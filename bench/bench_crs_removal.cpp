@@ -1,0 +1,104 @@
+// Experiment F7 — §5: removing the CRS with a δ-biased randomness exchange.
+//
+// Part 1: Algorithm 1 (true CRS) vs Algorithm A (exchanged δ-biased seeds)
+// under identical oblivious noise: success, ground-truth hash collisions, and
+// the rate cost of shipping the seeds (the exchange prologue).
+// Part 2: attacking the exchange itself (Claim 5.16): the number of
+// corruptions needed to kill even one link's seed shipment is Θ(codeword
+// length), far beyond an ε/m budget.
+#include "bench_support.h"
+
+namespace gkr {
+namespace {
+
+void part1() {
+  std::printf("[part 1: CRS vs delta-biased exchange under identical noise]\n");
+  const int kTrials = 8;
+  TablePrinter table({"scheme", "noise budget", "success", "hash collisions (mean)",
+                      "blowup vs chunked", "exchange bits/link"});
+  for (const Variant v : {Variant::Crs, Variant::ExchangeOblivious}) {
+    for (const long budget : {0L, 10L, 30L}) {
+      int ok = 0;
+      double coll = 0, blowup = 0;
+      long exch = 0;
+      for (int t = 0; t < kTrials; ++t) {
+        bench::Workload w = bench::gossip_workload(
+            std::make_shared<Topology>(Topology::ring(6)), v,
+            4400 + static_cast<std::uint64_t>(t), 12, 8.0);
+        exch = w.prologue_rounds();
+        SimulationResult r;
+        if (budget == 0) {
+          NoNoise none;
+          r = w.run(none);
+        } else {
+          Rng rng(5500 + static_cast<std::uint64_t>(budget * 10 + t));
+          ObliviousAdversary adv(
+              uniform_plan(w.total_rounds(), w.topo->num_dlinks(), budget, rng),
+              ObliviousMode::Additive);
+          r = w.run(adv);
+        }
+        ok += r.success;
+        coll += static_cast<double>(r.hash_collisions) / kTrials;
+        blowup += r.blowup_vs_chunked / kTrials;
+      }
+      table.add_row({variant_name(v), strf("%ld", budget), strf("%d/%d", ok, kTrials),
+                     strf("%.2f", coll), strf("%.2f", blowup), strf("%ld", exch)});
+    }
+  }
+  table.print();
+}
+
+void part2() {
+  std::printf("\n[part 2: cost of killing one randomness exchange (Claim 5.16)]\n");
+  const int kTrials = 5;
+  TablePrinter table({"attack corruptions (frac of exchange)", "exchange killed",
+                      "run success", "noise fraction spent"});
+  bench::Workload probe_w = bench::gossip_workload(
+      std::make_shared<Topology>(Topology::ring(6)), Variant::ExchangeOblivious, 4600, 12, 8.0);
+  const long exchange_len = probe_w.prologue_rounds();
+  for (const double frac : {0.01, 0.05, 0.15, 0.3, 0.6}) {
+    int killed = 0, ok = 0;
+    double nf = 0;
+    for (int t = 0; t < kTrials; ++t) {
+      bench::Workload w = bench::gossip_workload(
+          std::make_shared<Topology>(Topology::ring(6)), Variant::ExchangeOblivious,
+          4700 + static_cast<std::uint64_t>(t), 12, 8.0);
+      Rng rng(5800 + static_cast<std::uint64_t>(frac * 1000) + t);
+      const long count = std::max(1L, static_cast<long>(frac * exchange_len));
+      ObliviousAdversary adv(exchange_attack_plan(exchange_len, /*link=*/0, count, rng),
+                             ObliviousMode::Additive);
+      const SimulationResult r = w.run(adv);
+      killed += r.exchange_failures > 0;
+      ok += r.success;
+      nf += r.noise_fraction / kTrials;
+    }
+    table.add_row({strf("%.0f%% (~%ld bits)", frac * 100,
+                        static_cast<long>(frac * exchange_len)),
+                   strf("%d/%d", killed, kTrials), strf("%d/%d", ok, kTrials),
+                   strf("%.4f", nf)});
+  }
+  table.print();
+  std::printf("(exchange codeword length per link: %ld bits)\n", exchange_len);
+}
+
+void run() {
+  bench::print_header(
+      "F7 — removing the CRS (§5, Theorem 5.1)",
+      "Algorithm A replaces the shared random string with per-link AGHP δ-biased seeds\n"
+      "shipped through a constant-rate concatenated code. Paper shape: behaviour matches\n"
+      "the CRS scheme (Lemma 5.2: collision statistics within e·p^-2Err), and corrupting\n"
+      "an exchange costs Θ(|codeword|) — unaffordable at ε/m.");
+  part1();
+  part2();
+  std::printf(
+      "\nReading: part 1's columns match across the two schemes (δ-biased ≈ uniform for\n"
+      "every hash the protocol evaluates), at the price of the fixed exchange prologue.\n"
+      "Part 2: scattered hits are absorbed by the inner SECDED + outer RS code; only\n"
+      "saturation-level attacks (tens of percent of the codeword) kill a seed — and then\n"
+      "the spent noise fraction dwarfs any ε/m budget, exactly Claim 5.16.\n");
+}
+
+}  // namespace
+}  // namespace gkr
+
+int main() { gkr::run(); }

@@ -1,0 +1,79 @@
+// Experiment F5 — §3.1(iii): the flag-passing phase.
+//
+// Flag passing propagates each party's local continue/idle verdict through a
+// spanning tree so the *whole network* idles while any pair repairs errors.
+// Ablated (parties act on local status only), neighbours of a repairing pair
+// keep simulating chunks that will have to be re-simulated: wasted
+// communication grows and recovery becomes flaky.
+//
+// Measured: success and wasted simulation traffic (coded CC minus the clean
+// run's CC) with flags on vs off, under a burst of corruptions on one link.
+#include "bench_support.h"
+
+namespace gkr {
+namespace {
+
+struct Outcome {
+  double success_rate = 0;
+  double wasted_chunks = 0;  // chunks simulated then rolled back (MP + rewind)
+  double stalled_iters = 0;  // iterations with B* > 0
+};
+
+Outcome measure(int n, bool flags, int burst_count, int trials) {
+  double ok = 0, extra = 0, stalled = 0;
+  for (int t = 0; t < trials; ++t) {
+    auto topo = std::make_shared<Topology>(Topology::ring(n));
+    auto spec = std::make_shared<GossipSumProtocol>(*topo, 12);
+    bench::Workload w = bench::make_workload(topo, spec, Variant::Crs,
+                                             800 + static_cast<std::uint64_t>(n * 10 + t), 8.0);
+    w.cfg.enable_flag_passing = flags;
+    w.cfg.record_trace = true;
+    NoNoise none;
+    CodedSimulation probe(*w.proto, w.inputs, w.reference, w.cfg, none);
+    Rng rng(30 + static_cast<std::uint64_t>(t));
+    // Burst on link 0 inside iterations ~2..4.
+    const long start = probe.prologue_rounds() + 2 * probe.rounds_per_iteration();
+    ObliviousAdversary adv(
+        burst_plan(start, 2 * probe.rounds_per_iteration(), 2, burst_count, rng),
+        ObliviousMode::Additive);
+    const SimulationResult r = w.run(adv);
+    ok += r.success ? 1 : 0;
+    extra += static_cast<double>(r.mp_truncations + r.rewind_truncations);
+    for (const IterationTrace& it : r.trace) stalled += it.b_star > 0 ? 1 : 0;
+  }
+  return Outcome{ok / trials, extra / trials, stalled / trials};
+}
+
+void run() {
+  bench::print_header(
+      "F5 — flag-passing ablation (§3.1(iii))",
+      "ring(n) gossip, burst of corruptions on one link, 5 trials.\n"
+      "'wasted chunks' = chunks simulated and later rolled back (MP + rewind).\n"
+      "Expected: without flags, desynced neighbours keep burning chunks.");
+
+  const int kTrials = 5;
+  TablePrinter table({"n", "burst", "flags ON: success", "wasted chunks", "B*>0 iters",
+                      "flags OFF: success", "wasted chunks", "B*>0 iters"});
+  for (const int n : {4, 6, 8}) {
+    for (const int burst : {6, 16}) {
+      const Outcome on = measure(n, true, burst, kTrials);
+      const Outcome off = measure(n, false, burst, kTrials);
+      table.add_row({strf("%d", n), strf("%d", burst), strf("%.2f", on.success_rate),
+                     strf("%.1f", on.wasted_chunks), strf("%.1f", on.stalled_iters),
+                     strf("%.2f", off.success_rate), strf("%.1f", off.wasted_chunks),
+                     strf("%.1f", off.stalled_iters)});
+    }
+  }
+  table.print();
+  std::printf(
+      "\nReading: with flags the network pays idle iterations (cheap: ⊥s plus metadata);\n"
+      "without them parties simulate ahead against stale transcripts and the rewind\n"
+      "machinery must claw the chunks back — more wasted CC and lower success at equal\n"
+      "budget. This is the O(n)-bits-per-iteration coordination the paper inserts to\n"
+      "keep the blowup constant (§3.1(iii)).\n");
+}
+
+}  // namespace
+}  // namespace gkr
+
+int main() { gkr::run(); }

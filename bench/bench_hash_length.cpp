@@ -1,0 +1,134 @@
+// Experiment F6 — §6.1: hash length τ vs adversary strength.
+//
+// The paper's reason for Algorithm B's τ = Θ(log m): a non-oblivious
+// adversary gets so many corruption choices that constant-length hashes
+// yield free collision streaks, letting a single planted error survive
+// Θ(log m) consecutive checks and waste Θ(m log m) communication.
+//
+// Part 1 measures ground-truth hash collisions and success as τ shrinks,
+// under sustained link pressure — collisions scale like iterations·2^-τ and
+// below τ ≈ log m they start translating into failures.
+// Part 2 runs the reflection ("echo") man-in-the-middle on the meeting-points
+// messages: it defeats ANY τ while its budget lasts, and dies exactly when
+// the relative budget ε/(m log m) can no longer fund Θ(τ) corruptions per
+// iteration — the budget argument that closes §6.
+#include "bench_support.h"
+
+namespace gkr {
+namespace {
+
+void part1() {
+  std::printf("[part 1: collisions, blind iterations and success vs tau]\n");
+  const int kTrials = 6;
+  TablePrinter table({"m", "tau", "2^-tau*iters*m (expected colls)", "collisions (mean)",
+                      "blind iters (mean)", "truncated chunks", "success"});
+  for (const int n : {6, 10}) {
+    const int log_m = static_cast<int>(std::ceil(std::log2(n)));
+    for (const int tau : {1, 2, 4, 8, 2 * log_m + 4}) {
+      double collisions = 0, blind = 0, trunc = 0;
+      int ok = 0;
+      int iters = 0;
+      for (int t = 0; t < kTrials; ++t) {
+        auto topo = std::make_shared<Topology>(Topology::ring(n));
+        auto spec = std::make_shared<GossipSumProtocol>(*topo, 40);
+        bench::Workload w = bench::make_workload(
+            topo, spec, Variant::ExchangeNonOblivious,
+            2200 + static_cast<std::uint64_t>(n * 100 + t), 10.0);
+        w.cfg.tau = tau;
+        w.cfg.record_trace = true;
+        GreedyLinkAttacker adv(nullptr, 0.006 / (n * std::log2(n)), 2);
+        CodedSimulation sim(*w.proto, w.inputs, w.reference, w.cfg, adv);
+        adv.attach(&sim.engine_counters());
+        iters = sim.iterations();
+        const SimulationResult r = sim.run();
+        collisions += static_cast<double>(r.hash_collisions) / kTrials;
+        trunc += static_cast<double>(r.mp_truncations + r.rewind_truncations) / kTrials;
+        // "Blind" iteration: some pair's transcripts diverge (B* > 0) yet no
+        // link is running meeting points — a collision fooled every check.
+        for (const IterationTrace& it : r.trace) {
+          blind += (it.b_star > 0 && it.links_in_mp == 0) ? 1.0 / kTrials : 0.0;
+        }
+        ok += r.success;
+      }
+      const double expected = static_cast<double>(iters) * n * std::pow(2.0, -tau);
+      table.add_row({strf("%d", n), strf("%d", tau), strf("%.2f", expected),
+                     strf("%.2f", collisions), strf("%.2f", blind), strf("%.1f", trunc),
+                     strf("%d/%d", ok, kTrials)});
+    }
+  }
+  table.print();
+}
+
+void part2() {
+  std::printf(
+      "\n[part 2: the echo man-in-the-middle on meeting points — budget is the defence]\n");
+  const int kTrials = 5;
+  TablePrinter table({"tau", "echo budget rate", "success", "echo corruptions spent (mean)"});
+  for (const int tau : {4, 8, 12}) {
+    for (const double rate_scale : {1.0, 30.0}) {
+      double spent = 0;
+      int ok = 0;
+      for (int t = 0; t < kTrials; ++t) {
+        auto topo = std::make_shared<Topology>(Topology::ring(6));
+        auto spec = std::make_shared<GossipSumProtocol>(*topo, 12);
+        bench::Workload w = bench::make_workload(topo, spec, Variant::ExchangeNonOblivious,
+                                                 3300 + static_cast<std::uint64_t>(t), 8.0);
+        w.cfg.tau = tau;
+        const int m = topo->num_links();
+        // One planted corruption opens a divergence; the echo attacker then
+        // tries to hide it from every consistency check.
+        GreedyLinkAttacker opener(nullptr, 0.0, 2);  // head start only: ~4 hits
+        EchoMpAttacker echo(nullptr, rate_scale * 0.002 / (m * std::log2(m)), 2);
+        struct Both final : ChannelAdversary {
+          ChannelAdversary *a, *b;
+          void begin_round(const RoundContext& ctx, const std::vector<Sym>& sent) override {
+            a->begin_round(ctx, sent);
+            b->begin_round(ctx, sent);
+          }
+          Sym deliver(const RoundContext& ctx, int dlink, Sym sent) override {
+            return b->deliver(ctx, dlink, a->deliver(ctx, dlink, sent));
+          }
+        } both;
+        both.a = &opener;
+        both.b = &echo;
+        CodedSimulation sim(*w.proto, w.inputs, w.reference, w.cfg, both);
+        opener.attach(&sim.engine_counters());
+        echo.attach(&sim.engine_counters());
+        const SimulationResult r = sim.run();
+        ok += r.success;
+        spent += static_cast<double>(echo.spent()) / kTrials;
+      }
+      table.add_row({strf("%d", tau), strf("%.1fx eps/(m log m)", rate_scale),
+                     strf("%d/%d", ok, kTrials), strf("%.1f", spent)});
+    }
+  }
+  table.print();
+}
+
+void run() {
+  bench::print_header(
+      "F6 — hash output length: why Algorithm B needs tau = Theta(log m) (§6.1)",
+      "Collision probability per check is 2^-tau; a non-oblivious attacker rides\n"
+      "collision streaks. Constant tau stops scaling; tau = Theta(log m) restores\n"
+      "1/poly(m) collision rates. The echo MITM beats any tau but burns Theta(tau)\n"
+      "corruptions per iteration — unaffordable at eps/(m log m).");
+  part1();
+  part2();
+  std::printf(
+      "\nReading(part 1): measured collisions track the iters·m·2^-tau prediction and\n"
+      "vanish at tau = 2log m + 4; blind iterations (divergence invisible to every\n"
+      "check) shrink toward the structural floor of ~1 per corruption (detection\n"
+      "latency), and at tau=1 undetected garbage starts costing runs. The paper's\n"
+      "streak argument makes this catastrophic at scale — a seed-knowing adversary\n"
+      "chains collisions on SOME of m links for Theta(log m) checks — hence\n"
+      "tau = Theta(log m) in Algorithm B.\n"
+      "Reading(part 2): at the paper's budget the echo attack starves after a few\n"
+      "iterations (spend column) and the scheme wins; with a 30x budget it hides the\n"
+      "divergence long enough to kill runs — τ cannot fix that, only the budget bound\n"
+      "does, which is why resilience is stated as a fraction of communication.\n");
+}
+
+}  // namespace
+}  // namespace gkr
+
+int main() { gkr::run(); }

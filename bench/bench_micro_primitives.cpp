@@ -1,0 +1,141 @@
+// Experiment F10 — primitive costs (google-benchmark): the building blocks
+// the scheme's "computational efficiency" claim rests on. Everything here is
+// polynomial (indeed, near-linear) time — the paper's headline separation
+// from the tree-code schemes.
+#include <benchmark/benchmark.h>
+
+#include "core/meeting_points.h"
+#include "core/transcript.h"
+#include "ecc/concatenated_code.h"
+#include "hash/delta_biased.h"
+#include "hash/inner_product_hash.h"
+#include "hash/seed_source.h"
+#include "net/round_engine.h"
+#include "util/gf2_64.h"
+#include "util/rng.h"
+
+namespace gkr {
+namespace {
+
+void BM_Gf64Mul(benchmark::State& state) {
+  GF64 a{0x9e3779b97f4a7c15ULL}, b{0xdeadbeefcafef00dULL};
+  for (auto _ : state) {
+    a = gf64_mul(a, b);
+    benchmark::DoNotOptimize(a);
+  }
+}
+BENCHMARK(BM_Gf64Mul);
+
+void BM_DeltaBiasedBit(benchmark::State& state) {
+  DeltaBiasedStream stream(mix64(1), mix64(2));
+  for (auto _ : state) benchmark::DoNotOptimize(stream.next_bit());
+}
+BENCHMARK(BM_DeltaBiasedBit);
+
+void BM_IpHashUniform(benchmark::State& state) {
+  const int tau = static_cast<int>(state.range(0));
+  UniformSeedSource src(7);
+  std::uint64_t i = 0;
+  for (auto _ : state) {
+    auto s = src.open(1, i++, 0);
+    benchmark::DoNotOptimize(ip_hash128(0x1234, 0x5678, *s, tau));
+  }
+}
+BENCHMARK(BM_IpHashUniform)->Arg(8)->Arg(16);
+
+void BM_IpHashBiased(benchmark::State& state) {
+  const int tau = static_cast<int>(state.range(0));
+  BiasedSeedSource src(mix64(3), mix64(4));
+  std::uint64_t i = 0;
+  for (auto _ : state) {
+    auto s = src.open(1, i++, 0);
+    benchmark::DoNotOptimize(ip_hash128(0x1234, 0x5678, *s, tau));
+  }
+}
+BENCHMARK(BM_IpHashBiased)->Arg(8)->Arg(16);
+
+void BM_RsEncode(benchmark::State& state) {
+  ReedSolomon rs(60, 20);
+  std::vector<std::uint8_t> msg(20, 0x5a), cw(60);
+  for (auto _ : state) {
+    rs.encode(msg, cw);
+    benchmark::DoNotOptimize(cw[0]);
+  }
+}
+BENCHMARK(BM_RsEncode);
+
+void BM_RsDecodeWithErrors(benchmark::State& state) {
+  ReedSolomon rs(60, 20);
+  std::vector<std::uint8_t> msg(20, 0x5a), cw(60);
+  rs.encode(msg, cw);
+  Rng rng(5);
+  for (auto _ : state) {
+    std::vector<std::uint8_t> noisy = cw;
+    for (int e = 0; e < 10; ++e) {
+      noisy[rng.next_below(60)] ^= static_cast<std::uint8_t>(1 + rng.next_below(255));
+    }
+    benchmark::DoNotOptimize(rs.decode(noisy, {}));
+  }
+}
+BENCHMARK(BM_RsDecodeWithErrors);
+
+void BM_ConcatenatedRoundTrip(benchmark::State& state) {
+  ConcatenatedCode code(16, 0.5);
+  std::vector<std::uint8_t> msg(16, 0x42), out(16);
+  for (auto _ : state) {
+    auto wire = code.encode(msg);
+    benchmark::DoNotOptimize(code.decode(wire, out));
+  }
+}
+BENCHMARK(BM_ConcatenatedRoundTrip);
+
+void BM_TranscriptAppendPrefixDigest(benchmark::State& state) {
+  LinkTranscript tr;
+  LinkChunkRecord rec(50, Sym::One);
+  for (auto _ : state) {
+    tr.append_chunk(rec);
+    benchmark::DoNotOptimize(tr.prefix_digest(tr.chunks() / 2));
+    if (tr.chunks() > 4096) tr.truncate(0);
+  }
+}
+BENCHMARK(BM_TranscriptAppendPrefixDigest);
+
+void BM_MeetingPointsIteration(benchmark::State& state) {
+  LinkTranscript a, b;
+  LinkChunkRecord rec(20, Sym::One);
+  for (int i = 0; i < 64; ++i) {
+    a.append_chunk(rec);
+    b.append_chunk(rec);
+  }
+  MeetingPointsState ma, mb;
+  UniformSeedSource seeds(11);
+  std::uint64_t iter = 0;
+  for (auto _ : state) {
+    const MpMessage xa = ma.prepare(a, seeds, 1, iter, 8);
+    const MpMessage xb = mb.prepare(b, seeds, 1, iter, 8);
+    ++iter;
+    benchmark::DoNotOptimize(mb.process(xa, b));
+    benchmark::DoNotOptimize(ma.process(xb, a));
+  }
+}
+BENCHMARK(BM_MeetingPointsIteration);
+
+void BM_EngineRound(benchmark::State& state) {
+  const Topology topo = Topology::clique(8);
+  NoNoise adv;
+  RoundEngine engine(topo, adv);
+  std::vector<Sym> sent(static_cast<std::size_t>(topo.num_dlinks()), Sym::One);
+  std::vector<Sym> recv;
+  long r = 0;
+  for (auto _ : state) {
+    engine.step(RoundContext{r++, 0, Phase::Simulation}, sent, recv);
+    benchmark::DoNotOptimize(recv[0]);
+  }
+  state.SetItemsProcessed(state.iterations() * topo.num_dlinks());
+}
+BENCHMARK(BM_EngineRound);
+
+}  // namespace
+}  // namespace gkr
+
+BENCHMARK_MAIN();

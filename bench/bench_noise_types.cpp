@@ -1,0 +1,96 @@
+// Experiment F3 — §2.1 noise model: resilience per corruption *type*.
+//
+// The paper's channel may substitute, delete, or inject symbols, each
+// counting as one corruption. This bench gives the oblivious adversary a
+// fixed budget, spent entirely on one type (using the public timetable:
+// substitutions/deletions target the always-busy meeting-points rounds,
+// insertions target idle rewind-phase wires), and on the mixed additive
+// pattern. Paper shape: all four columns behave comparably — the scheme's
+// guarantee is type-agnostic.
+#include <set>
+
+#include "bench_support.h"
+
+namespace gkr {
+namespace {
+
+NoisePlan typed_plan(const bench::Workload& w, long count, int type, Rng& rng) {
+  // type 0: substitution (fix opposite bit on MP rounds — always traffic),
+  // type 1: deletion (fix to ∗ on MP rounds),
+  // type 2: insertion (fix to a bit on rewind rounds — usually idle).
+  NoNoise none;
+  CodedSimulation probe(*w.proto, w.inputs, w.reference, w.cfg, none);
+  std::vector<long> mp_rounds, rw_rounds;
+  for (long r = probe.prologue_rounds(); r < probe.total_rounds(); ++r) {
+    const Phase ph = probe.phase_of_round(r);
+    if (ph == Phase::MeetingPoints) mp_rounds.push_back(r);
+    if (ph == Phase::Rewind) rw_rounds.push_back(r);
+  }
+  NoisePlan plan;
+  const auto& pool = type == 2 ? rw_rounds : mp_rounds;
+  if (pool.empty()) return plan;
+  std::set<std::pair<long, int>> used;
+  long attempts = 0;
+  while (static_cast<long>(plan.size()) < count && attempts++ < count * 30 + 100) {
+    const long r = pool[rng.next_below(pool.size())];
+    const int dl = static_cast<int>(rng.next_below(static_cast<std::uint64_t>(
+        w.topo->num_dlinks())));
+    if (!used.insert({r, dl}).second) continue;
+    std::uint8_t value = 0;
+    if (type == 0) value = static_cast<std::uint8_t>(rng.next_below(2));      // random bit
+    if (type == 1) value = static_cast<std::uint8_t>(Sym::None);              // delete
+    if (type == 2) value = static_cast<std::uint8_t>(rng.next_below(2));      // inject bit
+    plan.push_back(NoiseEvent{r, dl, value});
+  }
+  return plan;
+}
+
+void run() {
+  bench::print_header(
+      "F3 — resilience by corruption type (§2.1)",
+      "Algorithm A, ring(6) gossip, fixed budget of corruptions spent on one type.\n"
+      "success over 6 trials; 'used' = corruptions the channel actually inflicted.");
+
+  const int kTrials = 6;
+  TablePrinter table(
+      {"budget", "substitution-only", "deletion-only", "insertion-only", "mixed additive"});
+  for (const long budget : {2L, 6L, 12L, 24L, 48L}) {
+    std::vector<std::string> cells = {strf("%ld", budget)};
+    for (int type = 0; type <= 3; ++type) {
+      int ok = 0;
+      long used = 0;
+      for (int t = 0; t < kTrials; ++t) {
+        bench::Workload w = bench::gossip_workload(
+            std::make_shared<Topology>(Topology::ring(6)), Variant::ExchangeOblivious,
+            4000 + static_cast<std::uint64_t>(type * 100 + t), 12, 8.0);
+        Rng rng(9000 + static_cast<std::uint64_t>(budget * 10 + type * 100 + t));
+        SimulationResult r;
+        if (type == 3) {
+          ObliviousAdversary adv(
+              uniform_plan(w.total_rounds(), w.topo->num_dlinks(), budget, rng),
+              ObliviousMode::Additive);
+          r = w.run(adv);
+        } else {
+          ObliviousAdversary adv(typed_plan(w, budget, type, rng), ObliviousMode::Fixing);
+          r = w.run(adv);
+        }
+        ok += r.success;
+        used += r.counters.corruptions;
+      }
+      cells.push_back(strf("%d/%d (used %.0f)", ok, kTrials,
+                           static_cast<double>(used) / kTrials));
+    }
+    table.add_row(cells);
+  }
+  table.print();
+  std::printf(
+      "\nReading: no corruption type is special — insertions/deletions are handled at the\n"
+      "same budget as substitutions (the paper's headline strengthening over [HS16]).\n"
+      "Fixing-mode substitutions sometimes coincide with the sent bit, so 'used' can sit\n"
+      "below the budget for the substitution column.\n");
+}
+
+}  // namespace
+}  // namespace gkr
+
+int main() { gkr::run(); }

@@ -1,0 +1,93 @@
+// Experiment F11 — where the constant rate goes: per-phase communication
+// decomposition of the coded protocol.
+//
+// The paper engineers every phase to O(m)-ish bits so the total is a constant
+// multiple of CC(Π) (§1.2 "our noise-resilient protocol will consist of
+// phases ... at most O(m) bits"). This bench splits the measured CC by phase
+// for Algorithms A and B across sizes, plus the replayer-rebuild count (the
+// implementation's recovery cost driver).
+#include "bench_support.h"
+
+namespace gkr {
+namespace {
+
+void run() {
+  bench::print_header(
+      "F11 — per-phase communication anatomy of the coded protocol",
+      "Noiseless runs, iteration factor 3. Shares of total coded CC per phase.\n"
+      "Expected: simulation phase dominates; metadata phases stay proportional,\n"
+      "whence the constant rate.");
+
+  TablePrinter table({"variant", "topology", "CC total", "exchange %", "meeting pts %",
+                      "flags %", "simulation %", "rewind %", "blowup vs chunked"});
+  for (const Variant v : {Variant::ExchangeOblivious, Variant::ExchangeNonOblivious}) {
+    for (const int n : {4, 8, 12, 16}) {
+      auto topo = std::make_shared<Topology>(Topology::ring(n));
+      auto spec = std::make_shared<GossipSumProtocol>(*topo, 12);
+      bench::Workload w = bench::make_workload(topo, spec, v,
+                                               6000 + static_cast<std::uint64_t>(n), 3.0);
+      NoNoise none;
+      const SimulationResult r = w.run(none);
+      const auto pct = [&](Phase ph) {
+        return strf("%5.1f",
+                    100.0 *
+                        static_cast<double>(
+                            r.counters.transmissions_by_phase[static_cast<std::size_t>(ph)]) /
+                        static_cast<double>(r.cc_coded));
+      };
+      table.add_row({variant_name(v), topo->name(), strf("%ld", r.cc_coded),
+                     pct(Phase::RandomnessExchange), pct(Phase::MeetingPoints),
+                     pct(Phase::FlagPassing), pct(Phase::Simulation), pct(Phase::Rewind),
+                     strf("%.2f", r.blowup_vs_chunked)});
+    }
+  }
+  table.print();
+
+  // Ablation: the chunk-size constant. The paper sets K = Θ(m) and does not
+  // optimize constants; growing K amortizes the fixed per-iteration metadata
+  // (6τ hash bits per link) over a larger payload and shrinks the rate
+  // constant — until idle-iteration padding takes over.
+  std::printf("\n[ablation: rate constant vs chunk-size multiplier (K = mult*m), AlgA]\n");
+  TablePrinter ktable({"K multiplier", "|Pi| (chunks)", "CC total", "meeting pts %",
+                       "simulation %", "blowup vs chunked", "blowup vs CC(Pi)"});
+  for (const int mult : {1, 2, 4, 8, 16}) {
+    auto topo = std::make_shared<Topology>(Topology::ring(8));
+    auto spec = std::make_shared<GossipSumProtocol>(*topo, 40);
+    bench::Workload w;
+    w.topo = topo;
+    w.spec = spec;
+    w.cfg = SchemeConfig::for_variant(Variant::ExchangeOblivious, *topo);
+    w.cfg.K = mult * topo->num_links();
+    w.cfg.seed = 6500 + static_cast<std::uint64_t>(mult);
+    w.cfg.iteration_factor = 3.0;
+    w.proto = std::make_unique<ChunkedProtocol>(w.spec, w.cfg.K);
+    Rng rng(w.cfg.seed ^ 0xbe9cULL);
+    for (int u = 0; u < topo->num_nodes(); ++u) w.inputs.push_back(rng.next_u64());
+    w.reference = run_noiseless(*w.proto, w.inputs);
+    NoNoise none;
+    const SimulationResult r = w.run(none);
+    const auto pct = [&](Phase ph) {
+      return strf("%5.1f",
+                  100.0 *
+                      static_cast<double>(
+                          r.counters.transmissions_by_phase[static_cast<std::size_t>(ph)]) /
+                      static_cast<double>(r.cc_coded));
+    };
+    ktable.add_row({strf("%d", mult), strf("%d", w.proto->num_real_chunks()),
+                    strf("%ld", r.cc_coded), pct(Phase::MeetingPoints), pct(Phase::Simulation),
+                    strf("%.2f", r.blowup_vs_chunked), strf("%.2f", r.blowup_vs_user)});
+  }
+  ktable.print();
+
+  std::printf(
+      "\nReading: the simulation phase carries the payload; meeting points cost\n"
+      "6τ bits/link/iteration (3τ each way) — a fixed share for AlgA (τ const, K = m)\n"
+      "and a share that *stays* fixed for AlgB because K grows with τ (K = m log m,\n"
+      "τ = Θ(log m)) — the τ↔K coupling of §6.1. Flag passing is O(n) per iteration,\n"
+      "asymptotically negligible. That is the whole constant-rate argument in one table.\n");
+}
+
+}  // namespace
+}  // namespace gkr
+
+int main() { gkr::run(); }

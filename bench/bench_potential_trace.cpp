@@ -1,0 +1,57 @@
+// Experiment F9 — §4.1 made visible: the progress measures G*, H*, B* per
+// iteration around a noise burst.
+//
+// The paper's potential Φ rises by ≥ K per iteration and errors/collisions
+// are paid for by the C7·K·EHC term. The observable counterparts: G* (global
+// agreed prefix), H* (longest simulated transcript), B* = H* − G* (stretch
+// under repair), links in meeting-points mode, and cumulative hash
+// collisions. Expected shape: G* climbs 1/iteration; the burst freezes G*,
+// opens B* > 0, meeting points + rewind close it, and the climb resumes.
+#include "bench_support.h"
+
+namespace gkr {
+namespace {
+
+void run() {
+  bench::print_header(
+      "F9 — progress trace around a noise burst (§4.1 potential, observable terms)",
+      "ring(5) gossip, Algorithm A; 14 corruptions burst at iteration ~8.");
+
+  auto topo = std::make_shared<Topology>(Topology::ring(5));
+  auto spec = std::make_shared<GossipSumProtocol>(*topo, 16);
+  bench::Workload w = bench::make_workload(topo, spec, Variant::ExchangeOblivious, 77, 5.0);
+  w.cfg.record_trace = true;
+
+  NoNoise none;
+  CodedSimulation probe(*w.proto, w.inputs, w.reference, w.cfg, none);
+  Rng rng(13);
+  const long start = probe.prologue_rounds() + 8 * probe.rounds_per_iteration();
+  ObliviousAdversary adv(
+      burst_plan(start, probe.rounds_per_iteration(), topo->num_dlinks(), 14, rng),
+      ObliviousMode::Additive);
+  const SimulationResult r = w.run(adv);
+
+  TablePrinter table({"iter", "G*", "H*", "B*", "links in MP", "cum. collisions",
+                      "cum. CC (bits)"});
+  for (const IterationTrace& t : r.trace) {
+    if (t.iteration > 20) break;  // the interesting window around the burst
+    table.add_row({strf("%d", t.iteration), strf("%d", t.g_star), strf("%d", t.h_star),
+                   strf("%d", t.b_star), strf("%d", t.links_in_mp),
+                   strf("%ld", t.hash_collisions_so_far), strf("%ld", t.cc_so_far)});
+  }
+  table.print();
+  std::printf(
+      "\nRun outcome: success=%s, corruptions=%ld, MP truncations=%ld, rewinds=%ld,\n"
+      "final blowup vs chunked Pi = %.2f\n"
+      "Reading: before the burst G* advances one chunk per iteration (Φ gains K from\n"
+      "Σ G_{u,v}); the burst halts G* and opens B*; the B* column draining back to 0 is\n"
+      "the −C1·K·B* term being repaid by meeting points + the rewind wave; afterwards\n"
+      "the climb resumes — the mechanics behind Lemma 4.2.\n",
+      r.success ? "yes" : "no", r.counters.corruptions, r.mp_truncations, r.rewinds_sent,
+      r.blowup_vs_chunked);
+}
+
+}  // namespace
+}  // namespace gkr
+
+int main() { gkr::run(); }

@@ -1,0 +1,86 @@
+// Experiment F1 — Theorem 1.1/1.2: constant rate over arbitrary topologies.
+//
+// Sweeps network size and family, reporting the coded-over-chunked blowup for
+// Algorithms A and B next to the *analytic* cost factor of the fully-utilized
+// conversion that pre-[GKR19] arbitrary-topology schemes require (×2m·RC/CC
+// before their own coding overhead, §1 "The communication model").
+//
+// Paper shape to reproduce: the algorithms' columns stay flat as m grows;
+// the fully-utilized column explodes for sparse protocols (TreeToken) and the
+// advantage narrows for dense ones (Gossip) — exactly the motivation for the
+// non-fully-utilized model.
+#include "bench_support.h"
+
+namespace gkr {
+namespace {
+
+void sweep(const char* family,
+           const std::function<std::shared_ptr<Topology>(int)>& topo_of,
+           const std::function<std::shared_ptr<const ProtocolSpec>(const Topology&)>& spec_of,
+           const std::vector<int>& sizes) {
+  TablePrinter table({"topology", "n", "m", "CC(Pi)", "CC(chunked)", "AlgA blowup",
+                      "AlgB blowup", "fully-utilized xCC(Pi)"});
+  for (int n : sizes) {
+    auto topo = topo_of(n);
+    auto spec = spec_of(*topo);
+    bench::Workload wa = bench::make_workload(topo, spec, Variant::ExchangeOblivious,
+                                              500 + static_cast<std::uint64_t>(n), 3.0);
+    bench::Workload wb = bench::make_workload(topo, spec, Variant::ExchangeNonOblivious,
+                                              700 + static_cast<std::uint64_t>(n), 3.0);
+    NoNoise none;
+    const SimulationResult ra = wa.run(none);
+    const SimulationResult rb = wb.run(none);
+    const double fu = static_cast<double>(fully_utilized_cc(*spec)) /
+                      static_cast<double>(wa.reference.cc_user);
+    table.add_row({topo->name(), strf("%d", topo->num_nodes()),
+                   strf("%d", topo->num_links()), strf("%ld", wa.reference.cc_user),
+                   strf("%ld", wa.reference.cc_chunked), strf("%.1f", ra.blowup_vs_chunked),
+                   strf("%.1f", rb.blowup_vs_chunked), strf("%.1f", fu)});
+  }
+  std::printf("\n[%s]\n", family);
+  table.print();
+}
+
+void run() {
+  bench::print_header(
+      "F1 — constant rate over arbitrary topologies (Thm 1.1/1.2)",
+      "Blowup = CC(coded)/CC(chunked Pi) at iteration factor 3, noiseless channel.\n"
+      "Expected shape: AlgA/AlgB columns flat in m; fully-utilized conversion factor\n"
+      "grows ~2m for sparse protocols.");
+
+  sweep(
+      "sparse: TreeToken on a line (1 bit in flight per round)",
+      [](int n) { return std::make_shared<Topology>(Topology::line(n)); },
+      [](const Topology& t) { return std::make_shared<TreeTokenProtocol>(t, 2, 8); },
+      {4, 6, 8, 12, 16});
+
+  sweep(
+      "sparse: TreeToken on a clique",
+      [](int n) { return std::make_shared<Topology>(Topology::clique(n)); },
+      [](const Topology& t) { return std::make_shared<TreeTokenProtocol>(t, 2, 8); },
+      {4, 5, 6, 8});
+
+  sweep(
+      "dense: Gossip on a ring (fully utilized already)",
+      [](int n) { return std::make_shared<Topology>(Topology::ring(n)); },
+      [](const Topology& t) { return std::make_shared<GossipSumProtocol>(t, 12); },
+      {4, 6, 8, 12, 16});
+
+  sweep(
+      "mixed: TreeAggregate on a grid",
+      [](int n) { return std::make_shared<Topology>(Topology::grid(2, n / 2)); },
+      [](const Topology& t) { return std::make_shared<TreeAggregateProtocol>(t, 8, 2); },
+      {4, 6, 8, 12});
+
+  std::printf(
+      "\nReading: AlgB's blowup exceeds AlgA's by the larger per-chunk metadata share\n"
+      "(tau = Theta(log m) hashes on K = m log m chunks), still m-independent. The\n"
+      "fully-utilized factor is what [RS94/HS16]-style schemes pay BEFORE their own\n"
+      "coding overhead; [GKR19]'s model avoids it (the paper's Table 1 'arbitrary\n"
+      "topology + Theta(1) rate + efficient' cell).\n");
+}
+
+}  // namespace
+}  // namespace gkr
+
+int main() { gkr::run(); }

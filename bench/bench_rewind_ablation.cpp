@@ -1,0 +1,94 @@
+// Experiment F4 — §1.2/§3.1(iv): the rewind phase.
+//
+// The paper's line-network story: a single early error on link (0,1)
+// invalidates downstream traffic; meeting points only repairs the *noisy*
+// link, and the neighboring transcripts — which agree with each other! —
+// must be rolled back by explicit rewind requests. Without the rewind phase
+// a party that truncated one link is stuck with longer transcripts on its
+// other links, holds status = 0 forever, and the whole network idles to
+// death.
+//
+// Measured: success and recovery iterations (iterations with B* > 0) with
+// the rewind phase on vs off, on lines of growing length, after one
+// substitution planted in an early simulation phase on link 0.
+#include "bench_support.h"
+
+namespace gkr {
+namespace {
+
+struct Outcome {
+  bool success = false;
+  int stalled_iters = 0;  // iterations with B* > 0 (network not in sync)
+  long cc = 0;
+};
+
+Outcome run_one(int n, bool rewind_enabled, std::uint64_t seed) {
+  auto topo = std::make_shared<Topology>(Topology::line(n));
+  auto spec = std::make_shared<LinePingPongProtocol>(*topo, 2, 4 * n);
+  bench::Workload w =
+      bench::make_workload(topo, spec, Variant::Crs, seed, /*iteration_factor=*/8.0);
+  w.cfg.enable_rewind_phase = rewind_enabled;
+  w.cfg.record_trace = true;
+
+  // Plant one substitution on a *user slot of link 0* — the paper's "error
+  // between parties 1 and 2" on the line. Find the first chunk c ≥ 1 whose
+  // layout has a user slot on link 0, and compute that slot's wire round
+  // inside iteration c's simulation phase (1 chunk per iteration when clean).
+  NoNoise none;
+  CodedSimulation probe(*w.proto, w.inputs, w.reference, w.cfg, none);
+  long hit_round = -1;
+  int hit_dlink = -1;
+  for (int c = 1; c < w.proto->num_real_chunks() && hit_round < 0; ++c) {
+    for (const ChunkSlot& cs : w.proto->chunk(c).slots) {
+      if (cs.kind != SlotKind::User || cs.link != 0) continue;
+      // Locate iteration c's simulation-phase ⊥ round, then offset.
+      const long iter_start = probe.prologue_rounds() + c * probe.rounds_per_iteration();
+      for (long r = iter_start; r < iter_start + probe.rounds_per_iteration(); ++r) {
+        if (probe.phase_of_round(r) == Phase::Simulation) {
+          hit_round = r + 1 + cs.local_round;  // skip the ⊥ round
+          hit_dlink = 2 * cs.link + cs.dir;
+          break;
+        }
+      }
+      break;
+    }
+  }
+  GKR_ASSERT(hit_round >= 0);
+  ObliviousAdversary adv(single_hit_plan(hit_round, hit_dlink), ObliviousMode::Additive);
+  const SimulationResult r = w.run(adv);
+
+  Outcome out;
+  out.success = r.success;
+  out.cc = r.cc_coded;
+  for (const IterationTrace& t : r.trace) out.stalled_iters += t.b_star > 0 ? 1 : 0;
+  return out;
+}
+
+void run() {
+  bench::print_header(
+      "F4 — rewind-phase ablation on the paper's line example (§1.2, §3.1(iv))",
+      "LinePingPong workload, ONE substitution on link 0 early in the run.\n"
+      "'stalled' = iterations with B* > 0. Expected: with rewind, recovery in a few\n"
+      "iterations; without it, the network stalls permanently and the run fails.");
+
+  TablePrinter table({"n (line)", "rewind ON: success", "stalled", "rewind OFF: success",
+                      "stalled", "paper prediction"});
+  for (const int n : {4, 6, 8, 10, 12}) {
+    const Outcome with = run_one(n, true, 600 + static_cast<std::uint64_t>(n));
+    const Outcome without = run_one(n, false, 600 + static_cast<std::uint64_t>(n));
+    table.add_row({strf("%d", n), with.success ? "yes" : "no", strf("%d", with.stalled_iters),
+                   without.success ? "yes" : "no", strf("%d", without.stalled_iters),
+                   "recover vs stall forever"});
+  }
+  table.print();
+  std::printf(
+      "\nReading: the rewind wave (n rounds per iteration) propagates truncation through\n"
+      "the whole network, so one error costs O(1) productive iterations regardless of n.\n"
+      "Ablated, the error freezes the network: exactly the Θ(m·n)-waste / 1-per-mn budget\n"
+      "argument of §1.2 for why the naive design cannot achieve ε/m resilience.\n");
+}
+
+}  // namespace
+}  // namespace gkr
+
+int main() { gkr::run(); }

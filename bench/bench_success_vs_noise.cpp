@@ -1,0 +1,100 @@
+// Experiment F2 — Theorems 1.1/1.2: success probability vs noise fraction.
+//
+// Sweeps the noise multiplier x in eps(x) = x·base over the claimed levels:
+// Algorithm A against an oblivious uniform ins/del/sub pattern at x·(base/m),
+// Algorithm B against an adaptive greedy link attacker at x·(base/(m log m)).
+// Paper shape: success ~1 below a threshold ε*, degrading beyond it; the
+// threshold for B sits a log m factor below A's in absolute terms.
+#include "bench_support.h"
+
+namespace gkr {
+namespace {
+
+void run() {
+  bench::print_header(
+      "F2 — success probability vs noise level (Thms 1.1/1.2)",
+      "ring(6) gossip workload; 8 trials per point; iteration factor 10.\n"
+      "base eps = 0.002. Expected: ~1.0 at small x, threshold decay at larger x.");
+
+  const int kTrials = 8;
+  const double base_eps = 0.002;
+  auto topo_of = [] { return std::make_shared<Topology>(Topology::ring(6)); };
+
+  TablePrinter table({"x (noise multiplier)", "AlgA @ x*eps/m (oblivious)",
+                      "AlgB @ x*eps/(m log m) (adaptive)", "uncoded (1 user-bit hit)"});
+  for (const double x : {0.0, 0.5, 1.0, 2.0, 4.0, 8.0, 16.0, 32.0}) {
+    const double rate_a = bench::success_rate(
+        [&](std::uint64_t seed) {
+          bench::Workload w =
+              bench::gossip_workload(topo_of(), Variant::ExchangeOblivious, seed, 12, 10.0);
+          const long clean = w.clean_cc();
+          const long budget = static_cast<long>(
+              x * base_eps / w.topo->num_links() * static_cast<double>(clean));
+          if (budget == 0) {
+            NoNoise none;
+            return w.run(none).success;
+          }
+          Rng rng(seed * 31 + 7);
+          ObliviousAdversary adv(
+              uniform_plan(w.total_rounds(), w.topo->num_dlinks(), budget, rng),
+              ObliviousMode::Additive);
+          return w.run(adv).success;
+        },
+        kTrials, 1000 + static_cast<std::uint64_t>(x * 100));
+
+    const double rate_b = bench::success_rate(
+        [&](std::uint64_t seed) {
+          bench::Workload w = bench::gossip_workload(topo_of(), Variant::ExchangeNonOblivious,
+                                                     seed, 12, 10.0);
+          const int m = w.topo->num_links();
+          GreedyLinkAttacker adv(nullptr, x * base_eps / (m * std::log2(m)),
+                                 static_cast<int>(seed % m));
+          CodedSimulation sim(*w.proto, w.inputs, w.reference, w.cfg, adv);
+          adv.attach(&sim.engine_counters());
+          return sim.run().success;
+        },
+        kTrials, 2000 + static_cast<std::uint64_t>(x * 100));
+
+    const double rate_u = bench::success_rate(
+        [&](std::uint64_t seed) {
+          bench::Workload w = bench::gossip_workload(topo_of(), Variant::Crs, seed, 12, 10.0);
+          if (x == 0.0) {
+            NoNoise none;
+            return run_uncoded(*w.proto, w.inputs, w.reference, none).success;
+          }
+          // Uncoded dies from a single accepted corruption: plant one hit on
+          // a random user slot (engine round = Σ rounds of earlier chunks +
+          // the slot's local round).
+          Rng rng(seed * 17 + 3);
+          const int c = static_cast<int>(
+              rng.next_below(static_cast<std::uint64_t>(w.proto->num_real_chunks())));
+          long base = 0;
+          for (int cc = 0; cc < c; ++cc) base += w.proto->chunk(cc).num_rounds;
+          const Chunk& chunk = w.proto->chunk(c);
+          std::vector<const ChunkSlot*> users;
+          for (const ChunkSlot& cs : chunk.slots) {
+            if (cs.kind == SlotKind::User) users.push_back(&cs);
+          }
+          const ChunkSlot* cs = users[rng.next_below(users.size())];
+          ObliviousAdversary adv(
+              single_hit_plan(base + cs->local_round, 2 * cs->link + cs->dir),
+              ObliviousMode::Additive);
+          return run_uncoded(*w.proto, w.inputs, w.reference, adv).success;
+        },
+        kTrials, 3000 + static_cast<std::uint64_t>(x * 100));
+
+    table.add_row({strf("%.1f", x), strf("%.2f", rate_a), strf("%.2f", rate_b),
+                   strf("%.2f", rate_u)});
+  }
+  table.print();
+  std::printf(
+      "\nReading: the coded schemes hold a success plateau well past the point where the\n"
+      "uncoded baseline is already dead (any single accepted corruption kills it), then\n"
+      "degrade once the adversary can out-spend the recovery machinery — the threshold\n"
+      "behaviour of Theorems 1.1/1.2 with concrete (implementation-scale) constants.\n");
+}
+
+}  // namespace
+}  // namespace gkr
+
+int main() { gkr::run(); }

@@ -1,0 +1,141 @@
+// Experiment T1 — reproduce Table 1 of the paper: interactive coding schemes
+// in the multiparty setting, measured on this implementation.
+//
+// Paper rows that rest on tree codes ([HS16], [JKL15]) are computationally
+// inefficient and have no public construction; they appear as annotated rows
+// (the paper's own Table 1 lists them as "not efficient"). [RS94] needs
+// stochastic noise only. The executable rows are measured: rate = coded CC /
+// chunked CC(Π), and resilience = success over trials at the row's claimed
+// noise level with an ε calibrated small (shape, not constants).
+#include "bench_support.h"
+
+namespace gkr {
+namespace {
+
+using bench::Workload;
+
+struct Row {
+  std::string scheme, noise_level, noise_type, rate, efficient, measured;
+};
+
+void run() {
+  bench::print_header("Table 1 — multiparty interactive coding schemes",
+                      "Measured on ring(6), gossip workload; rate = CC(coded)/CC(chunked "
+                      "Pi); resilience = successes over 6 trials at the scheme's noise level.");
+
+  const int kTrials = 6;
+  const double eps = 0.004;
+  std::vector<Row> rows;
+
+  rows.push_back({"RS94 (tree codes over BSC)", "BSC_eps", "stochastic flips",
+                  "1/O(log d)", "no", "— not executable: no efficient construction"});
+  rows.push_back({"JKL15 (star only)", "O(1/m)", "substitution", "Theta(1)", "no",
+                  "— not executable: tree codes"});
+  rows.push_back({"HS16", "O(1/m)", "substitution", "Theta(1)", "no",
+                  "— not executable: tree codes"});
+
+  auto topo_of = [] { return std::make_shared<Topology>(Topology::ring(6)); };
+
+  // --- uncoded ---
+  {
+    int ok = 0;
+    double blowup = 0;
+    for (int t = 0; t < kTrials; ++t) {
+      Workload w = bench::gossip_workload(topo_of(), Variant::Crs, 10 + t);
+      const long budget = std::max<long>(
+          1, static_cast<long>(eps / w.topo->num_links() * w.reference.cc_chunked));
+      Rng rng(77 + t);
+      ObliviousAdversary adv(
+          uniform_plan(static_cast<long>(w.reference.cc_chunked), w.topo->num_dlinks(),
+                       budget, rng),
+          ObliviousMode::Additive);
+      const BaselineResult r = run_uncoded(*w.proto, w.inputs, w.reference, adv);
+      ok += r.success;
+      blowup += r.blowup_vs_user / kTrials;
+    }
+    rows.push_back({"uncoded", "any", "ins+del+sub", strf("%.2f", blowup), "yes",
+                    strf("%d/%d at eps/m (silent corruption)", ok, kTrials)});
+  }
+
+  // --- replication r=5 ---
+  {
+    int ok = 0;
+    double blowup = 0;
+    for (int t = 0; t < kTrials; ++t) {
+      Workload w = bench::gossip_workload(topo_of(), Variant::Crs, 20 + t);
+      StochasticChannel adv(Rng(88 + t), 0.004, 0.004, 0.001);
+      const BaselineResult r = run_replicated(*w.proto, w.inputs, w.reference, adv, 5);
+      ok += r.success;
+      blowup += r.blowup_vs_user / kTrials;
+    }
+    rows.push_back({"replication r=5", "stochastic only", "ins+del+sub",
+                    strf("%.2f", blowup), "yes",
+                    strf("%d/%d vs random; dies vs concentrated attack", ok, kTrials)});
+  }
+
+  // --- the four algorithms ---
+  struct AlgoRow {
+    Variant variant;
+    const char* label;
+    const char* level;
+    const char* type;
+    double divisor_pow_log;  // 0: eps/m; 1: eps/(m log m); -1: eps/(m loglog m)
+  };
+  for (const AlgoRow a :
+       {AlgoRow{Variant::Crs, "Algorithm 1 (CRS, oblivious)", "eps/m", "ins+del+sub", 0},
+        AlgoRow{Variant::ExchangeOblivious, "Algorithm A (no CRS, oblivious)", "eps/m",
+                "ins+del+sub", 0},
+        AlgoRow{Variant::ExchangeNonOblivious, "Algorithm B (no CRS, non-oblivious)",
+                "eps/(m log m)", "ins+del+sub", 1},
+        AlgoRow{Variant::CrsHidden, "Algorithm C (hidden CRS, non-oblivious)",
+                "eps/(m loglog m)", "ins+del+sub", -1}}) {
+    int ok = 0;
+    double blowup_chunked = 0, blowup_user = 0;
+    for (int t = 0; t < kTrials; ++t) {
+      Workload w = bench::gossip_workload(topo_of(), a.variant, 30 + t, 12, 8.0);
+      const int m = w.topo->num_links();
+      double divisor = m;
+      if (a.divisor_pow_log > 0) divisor = m * std::log2(m);
+      if (a.divisor_pow_log < 0) divisor = m * std::log2(std::log2(m) + 1);
+      const long clean = w.clean_cc();
+      const long budget = std::max<long>(1, static_cast<long>(eps / divisor * clean));
+      if (a.variant == Variant::ExchangeNonOblivious || a.variant == Variant::CrsHidden) {
+        // Non-oblivious rows: adaptive link attacker at the claimed rate.
+        GreedyLinkAttacker adv(nullptr, eps / divisor, 1);
+        CodedSimulation sim(*w.proto, w.inputs, w.reference, w.cfg, adv);
+        adv.attach(&sim.engine_counters());
+        const SimulationResult r = sim.run();
+        ok += r.success;
+        blowup_chunked += r.blowup_vs_chunked / kTrials;
+        blowup_user += r.blowup_vs_user / kTrials;
+      } else {
+        Rng rng(99 + t);
+        ObliviousAdversary adv(
+            uniform_plan(w.total_rounds(), w.topo->num_dlinks(), budget, rng),
+            ObliviousMode::Additive);
+        const SimulationResult r = w.run(adv);
+        ok += r.success;
+        blowup_chunked += r.blowup_vs_chunked / kTrials;
+        blowup_user += r.blowup_vs_user / kTrials;
+      }
+    }
+    rows.push_back({a.label, a.level, a.type,
+                    strf("%.1fx chunked (%.1fx raw)", blowup_chunked, blowup_user), "yes",
+                    strf("%d/%d at claimed level", ok, kTrials)});
+  }
+
+  TablePrinter table({"scheme", "noise level", "noise type", "rate", "efficient", "measured"});
+  for (const Row& r : rows) {
+    table.add_row({r.scheme, r.noise_level, r.noise_type, r.rate, r.efficient, r.measured});
+  }
+  table.print();
+  std::printf(
+      "\nNotes: 'rate' for the algorithms is the measured constant blowup (iteration factor 8,\n"
+      "paper uses 100); it is independent of m (see bench_rate_vs_size). Tree-code rows are\n"
+      "annotated, not run: no computationally efficient construction exists (the paper's point).\n");
+}
+
+}  // namespace
+}  // namespace gkr
+
+int main() { gkr::run(); }

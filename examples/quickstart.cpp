@@ -1,0 +1,72 @@
+// Quickstart: make a distributed computation survive adversarial channel
+// noise with five library calls.
+//
+// Scenario: 12 nodes on a 3×4 grid each hold a private value; the network
+// computes the sum over a spanning tree (TreeAggregateProtocol). The channel
+// adversarially substitutes, deletes and injects symbols. We compile the
+// protocol with Algorithm A (Gelles–Kalai–Ramnarayan, PODC'19) and check
+// that every node still learns the right sum.
+//
+// Build & run:  cmake --build build && ./build/examples/quickstart
+#include <cstdio>
+#include <memory>
+
+#include "core/coding_scheme.h"
+#include "noise/stochastic.h"
+#include "proto/protocols/tree_aggregate.h"
+
+int main() {
+  using namespace gkr;
+
+  // 1. The network: an arbitrary connected topology (§2.1 of the paper).
+  auto topo = std::make_shared<Topology>(Topology::grid(3, 4));
+
+  // 2. The computation Π: convergecast + broadcast of the sum of inputs.
+  auto protocol = std::make_shared<TreeAggregateProtocol>(*topo, /*word_bits=*/16,
+                                                          /*repeats=*/2);
+
+  // 3. Compile Π into the noise-resilient form: pick the variant (Algorithm A:
+  //    no shared randomness needed, oblivious adversaries, ε/m noise) and
+  //    preprocess Π into 5K-bit chunks.
+  SchemeConfig cfg = SchemeConfig::for_variant(Variant::ExchangeOblivious, *topo);
+  cfg.seed = 2024;
+  cfg.iteration_factor = 8.0;
+  ChunkedProtocol chunked(protocol, cfg.K);
+
+  // Inputs and the noiseless reference run (defines "correct").
+  std::vector<std::uint64_t> inputs;
+  Rng rng(7);
+  for (int u = 0; u < topo->num_nodes(); ++u) inputs.push_back(rng.next_u64());
+  const NoiselessResult reference = run_noiseless(chunked, inputs);
+
+  // 4. A hostile channel: random substitutions, deletions AND insertions.
+  //    Tolerable noise scales as ~eps/m of the *communication* (Theorem 1.1),
+  //    so the per-cell rate must shrink with network size; 5e-5 per cell on
+  //    m=17 links sits comfortably inside the measured threshold (bench F2).
+  StochasticChannel channel(Rng(99), /*p_sub=*/5e-5, /*p_del=*/5e-5, /*p_ins=*/2e-5);
+
+  // 5. Run the coded simulation.
+  const SimulationResult result = run_coded(chunked, inputs, reference, cfg, channel);
+
+  std::printf("network            : %s (n=%d, m=%d links)\n", topo->name().c_str(),
+              topo->num_nodes(), topo->num_links());
+  std::printf("protocol           : %s, CC(Pi) = %ld bits in %d chunks\n",
+              protocol->name().c_str(), reference.cc_user, chunked.num_real_chunks());
+  std::printf("expected sum       : %llu\n",
+              static_cast<unsigned long long>(protocol->expected_sum(inputs)));
+  std::printf("channel corruptions: %ld (%.4f%% of %ld transmitted bits)\n",
+              result.counters.corruptions, 100.0 * result.noise_fraction, result.cc_coded);
+  std::printf("  substitutions=%ld deletions=%ld insertions=%ld\n",
+              result.counters.substitutions, result.counters.deletions,
+              result.counters.insertions);
+  std::printf("repairs            : %ld meeting-point truncations, %ld rewinds, "
+              "%ld hash collisions\n",
+              result.mp_truncations, result.rewinds_sent, result.hash_collisions);
+  std::printf("outcome            : %s (transcripts %s, outputs %s)\n",
+              result.success ? "SUCCESS" : "FAILURE",
+              result.transcripts_match ? "match" : "MISMATCH",
+              result.outputs_match ? "match" : "MISMATCH");
+  std::printf("communication cost : %.1fx the chunked protocol (constant rate)\n",
+              result.blowup_vs_chunked);
+  return result.success ? 0 : 1;
+}

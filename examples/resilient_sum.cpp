@@ -1,0 +1,107 @@
+// resilient_sum — a configurable "sensor network under interference" demo.
+//
+// A fleet of sensors on a chosen topology aggregates readings to every node
+// while an adversary (or a noisy RF environment) corrupts links. Compare the
+// uncoded execution, naive per-bit replication, and the GKR interactive
+// coding scheme, at equal noise.
+//
+// Usage: resilient_sum [topology] [n] [variant] [noise]
+//   topology: line | ring | star | clique | grid | gnp     (default ring)
+//   n:        node count                                    (default 8)
+//   variant:  crs | a | b | c                               (default a)
+//   noise:    stochastic per-cell rate, e.g. 0.001          (default 0.001)
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <memory>
+
+#include "core/baselines.h"
+#include "core/coding_scheme.h"
+#include "noise/stochastic.h"
+#include "proto/protocols/tree_aggregate.h"
+#include "util/stats.h"
+
+namespace {
+
+std::shared_ptr<gkr::Topology> make_topology(const char* kind, int n, gkr::Rng& rng) {
+  using gkr::Topology;
+  if (!std::strcmp(kind, "line")) return std::make_shared<Topology>(Topology::line(n));
+  if (!std::strcmp(kind, "ring")) return std::make_shared<Topology>(Topology::ring(n));
+  if (!std::strcmp(kind, "star")) return std::make_shared<Topology>(Topology::star(n));
+  if (!std::strcmp(kind, "clique")) return std::make_shared<Topology>(Topology::clique(n));
+  if (!std::strcmp(kind, "grid")) {
+    return std::make_shared<Topology>(Topology::grid(2, (n + 1) / 2));
+  }
+  if (!std::strcmp(kind, "gnp")) {
+    return std::make_shared<Topology>(Topology::erdos_renyi(n, 0.35, rng));
+  }
+  std::fprintf(stderr, "unknown topology '%s'\n", kind);
+  std::exit(2);
+}
+
+gkr::Variant parse_variant(const char* v) {
+  using gkr::Variant;
+  if (!std::strcmp(v, "crs")) return Variant::Crs;
+  if (!std::strcmp(v, "a")) return Variant::ExchangeOblivious;
+  if (!std::strcmp(v, "b")) return Variant::ExchangeNonOblivious;
+  if (!std::strcmp(v, "c")) return Variant::CrsHidden;
+  std::fprintf(stderr, "unknown variant '%s'\n", v);
+  std::exit(2);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace gkr;
+  const char* kind = argc > 1 ? argv[1] : "ring";
+  const int n = argc > 2 ? std::atoi(argv[2]) : 8;
+  const Variant variant = parse_variant(argc > 3 ? argv[3] : "a");
+  const double noise = argc > 4 ? std::atof(argv[4]) : 0.001;
+
+  Rng rng(42);
+  auto topo = make_topology(kind, n, rng);
+  auto protocol = std::make_shared<TreeAggregateProtocol>(*topo, 16, 2);
+
+  SchemeConfig cfg = SchemeConfig::for_variant(variant, *topo);
+  cfg.seed = 777;
+  cfg.iteration_factor = 8.0;
+  ChunkedProtocol chunked(protocol, cfg.K);
+  std::vector<std::uint64_t> inputs;
+  for (int u = 0; u < topo->num_nodes(); ++u) inputs.push_back(rng.next_u64());
+  const NoiselessResult reference = run_noiseless(chunked, inputs);
+
+  std::printf("sensor network: %s, %d nodes, %d links; computing a %d-bit sum (%s)\n",
+              topo->name().c_str(), topo->num_nodes(), topo->num_links(), 16,
+              variant_name(variant));
+  std::printf("channel: stochastic ins/del/sub at %.4f per wire-cell\n\n", noise);
+
+  TablePrinter table({"execution", "delivered correct sum", "bits sent", "corruptions",
+                      "cost vs CC(Pi)"});
+
+  {
+    StochasticChannel ch(Rng(1), noise, noise, noise / 4);
+    const BaselineResult r = run_uncoded(chunked, inputs, reference, ch);
+    table.add_row({"uncoded", r.success ? "yes" : "NO", strf("%ld", r.cc),
+                   strf("%ld", r.corruptions), strf("%.1fx", r.blowup_vs_user)});
+  }
+  {
+    StochasticChannel ch(Rng(2), noise, noise, noise / 4);
+    const BaselineResult r = run_replicated(chunked, inputs, reference, ch, 5);
+    table.add_row({"replication r=5", r.success ? "yes" : "NO", strf("%ld", r.cc),
+                   strf("%ld", r.corruptions), strf("%.1fx", r.blowup_vs_user)});
+  }
+  {
+    StochasticChannel ch(Rng(3), noise, noise, noise / 4);
+    const SimulationResult r = run_coded(chunked, inputs, reference, cfg, ch);
+    table.add_row({strf("interactive coding (%s)", variant_name(variant)),
+                   r.success ? "yes" : "NO", strf("%ld", r.cc_coded),
+                   strf("%ld", r.counters.corruptions), strf("%.1fx", r.blowup_vs_user)});
+  }
+  table.print();
+  std::printf(
+      "\nNote: replication also survives benign stochastic noise — the separation is\n"
+      "adversarial placement (see bench_table1 / the attack_lab example) and the fact\n"
+      "that replication's rate must grow with the target error rate while interactive\n"
+      "coding stays constant-rate.\n");
+  return 0;
+}

@@ -1,0 +1,58 @@
+// topology_survey — the paper's "arbitrary topology" claim, surveyed.
+//
+// Runs Algorithm A over every topology family in the library with the same
+// per-cell stochastic ins/del/sub noise and the RandomProtocol workload (the
+// most corruption-sensitive one), reporting success and cost. The point:
+// nothing in the scheme is topology-specific — no central coordinator (unlike
+// the star-only [JKL15]), no degree bound (unlike [RS94]'s 1/O(log d) rate).
+#include <cstdio>
+#include <memory>
+
+#include "core/coding_scheme.h"
+#include "noise/stochastic.h"
+#include "proto/protocols/random_protocol.h"
+#include "util/stats.h"
+
+int main() {
+  using namespace gkr;
+  Rng topo_rng(11);
+  std::vector<std::shared_ptr<Topology>> topologies = {
+      std::make_shared<Topology>(Topology::line(7)),
+      std::make_shared<Topology>(Topology::ring(7)),
+      std::make_shared<Topology>(Topology::star(7)),
+      std::make_shared<Topology>(Topology::clique(5)),
+      std::make_shared<Topology>(Topology::grid(2, 4)),
+      std::make_shared<Topology>(Topology::random_tree(9, topo_rng)),
+      std::make_shared<Topology>(Topology::erdos_renyi(8, 0.4, topo_rng)),
+  };
+
+  std::printf("topology_survey: Algorithm A, RandomProtocol workload,\n"
+              "stochastic noise 5e-5 per wire-cell (ins+del+sub) — the per-cell rate must\n"
+              "scale like eps/m, the 1/m resilience law of Theorem 1.1.\n\n");
+  TablePrinter table({"topology", "n", "m", "tree depth", "CC(Pi)", "corruptions",
+                      "repairs (MP+rw)", "result", "blowup vs chunked"});
+  for (const auto& topo : topologies) {
+    auto spec = std::make_shared<RandomProtocol>(*topo, 80, 0.4, 1234);
+    SchemeConfig cfg = SchemeConfig::for_variant(Variant::ExchangeOblivious, *topo);
+    cfg.seed = 97;
+    cfg.iteration_factor = 8.0;
+    ChunkedProtocol chunked(spec, cfg.K);
+    std::vector<std::uint64_t> inputs;
+    Rng rng(3);
+    for (int u = 0; u < topo->num_nodes(); ++u) inputs.push_back(rng.next_u64());
+    const NoiselessResult reference = run_noiseless(chunked, inputs);
+    StochasticChannel channel(Rng(55), 5e-5, 5e-5, 1e-5);
+    const SimulationResult r = run_coded(chunked, inputs, reference, cfg, channel);
+    const SpanningTree tree = SpanningTree::bfs(*topo, 0);
+    table.add_row({topo->name(), strf("%d", topo->num_nodes()),
+                   strf("%d", topo->num_links()), strf("%d", tree.depth),
+                   strf("%ld", reference.cc_user), strf("%ld", r.counters.corruptions),
+                   strf("%ld", r.mp_truncations + r.rewind_truncations),
+                   r.success ? "ok" : "FAIL", strf("%.1f", r.blowup_vs_chunked)});
+  }
+  table.print();
+  std::printf("\nEvery family runs through the same four phases — meeting points, flag\n"
+              "passing over a BFS tree, chunk simulation, rewind wave — with no\n"
+              "topology-specific machinery.\n");
+  return 0;
+}

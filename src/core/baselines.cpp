@@ -1,0 +1,118 @@
+#include "core/baselines.h"
+
+#include <algorithm>
+
+#include "util/assert.h"
+
+namespace gkr {
+namespace {
+
+// Shared chunk-walk executor: runs the real chunks of `proto` over the noisy
+// engine, sending every slot `repeats` times (1 = uncoded). Receivers decode
+// by majority over arrived copies; ties and silence read as 0.
+BaselineResult run_chunks(const ChunkedProtocol& proto, const std::vector<std::uint64_t>& inputs,
+                          const NoiselessResult& reference, ChannelAdversary& adversary,
+                          int repeats) {
+  const Topology& topo = proto.topology();
+  const int n = topo.num_nodes();
+  RoundEngine engine(topo, adversary);
+  std::vector<Sym> wire_out(static_cast<std::size_t>(topo.num_dlinks()), Sym::None);
+  std::vector<Sym> wire_in(static_cast<std::size_t>(topo.num_dlinks()), Sym::None);
+
+  std::vector<PartyReplayer> parties;
+  parties.reserve(static_cast<std::size_t>(n));
+  for (PartyId u = 0; u < n; ++u) {
+    parties.emplace_back(proto, u, inputs[static_cast<std::size_t>(u)]);
+  }
+
+  long round = 0;
+  std::vector<bool> send_bits;
+  std::vector<std::array<int, 2>> votes;  // per slot of the current round
+  for (int c = 0; c < proto.num_real_chunks(); ++c) {
+    const Chunk& chunk = proto.chunk(c);
+    std::size_t idx = 0;
+    while (idx < chunk.slots.size()) {
+      const int lr = chunk.slots[idx].local_round;
+      std::size_t end = idx;
+      while (end < chunk.slots.size() && chunk.slots[end].local_round == lr) ++end;
+
+      // Pass A: peek sends from the pre-round state.
+      send_bits.assign(end - idx, false);
+      votes.assign(end - idx, {0, 0});
+      for (std::size_t i = idx; i < end; ++i) {
+        const ChunkSlot& cs = chunk.slots[i];
+        const PartyId sender = topo.dlink_sender(2 * cs.link + cs.dir);
+        send_bits[i - idx] = parties[static_cast<std::size_t>(sender)].peek_send(cs);
+      }
+      // Transmit `repeats` copies over consecutive engine rounds.
+      for (int rep = 0; rep < repeats; ++rep) {
+        for (std::size_t i = idx; i < end; ++i) {
+          const ChunkSlot& cs = chunk.slots[i];
+          wire_out[static_cast<std::size_t>(2 * cs.link + cs.dir)] =
+              bit_to_sym(send_bits[i - idx]);
+        }
+        engine.step(RoundContext{round++, c, Phase::Baseline}, wire_out, wire_in);
+        std::fill(wire_out.begin(), wire_out.end(), Sym::None);
+        for (std::size_t i = idx; i < end; ++i) {
+          const ChunkSlot& cs = chunk.slots[i];
+          const Sym got = wire_in[static_cast<std::size_t>(2 * cs.link + cs.dir)];
+          if (got == Sym::Zero) ++votes[i - idx][0];
+          if (got == Sym::One) ++votes[i - idx][1];
+        }
+      }
+      // Pass B: fold in slot order — sender folds its sent bit, receiver the
+      // majority-decoded value.
+      for (std::size_t i = idx; i < end; ++i) {
+        const ChunkSlot& cs = chunk.slots[i];
+        const int dlink = 2 * cs.link + cs.dir;
+        const bool decoded = votes[i - idx][1] > votes[i - idx][0];
+        parties[static_cast<std::size_t>(topo.dlink_sender(dlink))].fold(
+            cs, bit_to_sym(send_bits[i - idx]));
+        parties[static_cast<std::size_t>(topo.dlink_receiver(dlink))].fold(cs,
+                                                                           bit_to_sym(decoded));
+      }
+      idx = end;
+    }
+  }
+
+  BaselineResult result;
+  result.success = true;
+  for (PartyId u = 0; u < n; ++u) {
+    if (parties[static_cast<std::size_t>(u)].output() !=
+        reference.outputs[static_cast<std::size_t>(u)]) {
+      result.success = false;
+    }
+  }
+  result.counters = engine.counters();
+  result.cc = result.counters.transmissions;
+  result.corruptions = result.counters.corruptions;
+  result.noise_fraction = result.counters.noise_fraction();
+  result.blowup_vs_user = reference.cc_user == 0
+                              ? 0.0
+                              : static_cast<double>(result.cc) /
+                                    static_cast<double>(reference.cc_user);
+  return result;
+}
+
+}  // namespace
+
+BaselineResult run_uncoded(const ChunkedProtocol& proto,
+                           const std::vector<std::uint64_t>& inputs,
+                           const NoiselessResult& reference, ChannelAdversary& adversary) {
+  return run_chunks(proto, inputs, reference, adversary, 1);
+}
+
+BaselineResult run_replicated(const ChunkedProtocol& proto,
+                              const std::vector<std::uint64_t>& inputs,
+                              const NoiselessResult& reference, ChannelAdversary& adversary,
+                              int repeats) {
+  GKR_ASSERT(repeats >= 1 && repeats % 2 == 1);
+  return run_chunks(proto, inputs, reference, adversary, repeats);
+}
+
+long fully_utilized_cc(const ProtocolSpec& spec) {
+  return static_cast<long>(spec.num_rounds()) *
+         static_cast<long>(spec.topology().num_dlinks());
+}
+
+}  // namespace gkr

@@ -1,0 +1,47 @@
+// Baselines the experiments compare the coding scheme against (Table 1 rows
+// and the rate experiments):
+//
+//  * uncoded      — execute the chunked protocol directly over the noisy
+//                   network; any corruption silently poisons the outputs.
+//  * replicated   — repeat every transmission r times with majority decoding;
+//                   the classical non-interactive defence. Good against thin
+//                   random noise, helpless against a budget-equal adversary
+//                   who concentrates ⌈r/2⌉ hits on one transmission.
+//  * fully-utilized conversion (analytic) — the cost of forcing every
+//                   directed link to speak every round before applying a
+//                   fully-utilized coding scheme ([RS94, HS16]); the ×m
+//                   communication blowup of §1 "The communication model".
+#pragma once
+
+#include <cstdint>
+
+#include "net/round_engine.h"
+#include "proto/noiseless.h"
+
+namespace gkr {
+
+struct BaselineResult {
+  bool success = false;  // party outputs equal the noiseless outputs
+  long cc = 0;           // transmissions
+  long corruptions = 0;
+  double noise_fraction = 0.0;
+  double blowup_vs_user = 0.0;
+  EngineCounters counters;
+};
+
+// Direct execution over the noisy network (no coding at all).
+BaselineResult run_uncoded(const ChunkedProtocol& proto,
+                           const std::vector<std::uint64_t>& inputs,
+                           const NoiselessResult& reference, ChannelAdversary& adversary);
+
+// Per-transmission repetition code with majority decoding; `repeats` odd.
+BaselineResult run_replicated(const ChunkedProtocol& proto,
+                              const std::vector<std::uint64_t>& inputs,
+                              const NoiselessResult& reference, ChannelAdversary& adversary,
+                              int repeats);
+
+// CC of the fully-utilized conversion of Π: every directed link speaks in
+// every protocol round (before any coding overhead).
+long fully_utilized_cc(const ProtocolSpec& spec);
+
+}  // namespace gkr

@@ -1,0 +1,109 @@
+// The noise-resilient simulation — Algorithm 1 of the paper, with the
+// variant wiring for Algorithms A, B and C (see core/config.h).
+//
+// Per iteration the scheme cycles through the four phases in the paper's
+// fixed order, each a fixed number of rounds known to all parties:
+//
+//   meeting points  (3τ rounds)   — §3.1(ii), Algorithm 7 / core/meeting_points
+//   flag passing    (2·depth − 2) — Algorithm 3 over the BFS spanning tree
+//   simulation      (1 + chunk rounds) — ⊥-listen round + one chunk of Π
+//   rewind          (n rounds)    — the rewind wave, Algorithm 1 lines 25–40
+//
+// Variants without a CRS prepend the randomness-exchange prologue
+// (Algorithm 5): per link the smaller-id endpoint ships an ECC-protected
+// 128-bit master seed that both sides then expand into δ-biased hash seeds.
+//
+// The simulator owns the ground-truth instrumentation the analysis talks
+// about: per-iteration G*, H*, B* (Eq. 3–5), detected/ground-truth hash
+// collisions (EHC), truncations, rewinds, and the per-phase communication
+// split.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "core/config.h"
+#include "core/meeting_points.h"
+#include "core/transcript.h"
+#include "net/round_engine.h"
+#include "net/spanning_tree.h"
+#include "proto/noiseless.h"
+
+namespace gkr {
+
+// Per-iteration progress snapshot (Eq. 3–5 and §4.1 terms, ground truth).
+struct IterationTrace {
+  int iteration = 0;
+  int g_star = 0;       // min over links of the agreeing-prefix length
+  int h_star = 0;       // max over (party, link) of |T|
+  int b_star = 0;       // H* − G*
+  int links_in_mp = 0;  // links where either endpoint is in meeting points
+  bool simulated = false;
+  long cc_so_far = 0;
+  long hash_collisions_so_far = 0;
+};
+
+struct SimulationResult {
+  bool success = false;        // transcripts AND outputs match the reference
+  bool outputs_match = false;  // party outputs equal the noiseless outputs
+  bool transcripts_match = false;
+
+  long cc_coded = 0;    // transmissions of the coded run (bits)
+  long cc_user = 0;     // CC(Π): original protocol bits
+  long cc_chunked = 0;  // CC of the preprocessed (chunked+padded) protocol
+  double blowup_vs_user = 0.0;
+  double blowup_vs_chunked = 0.0;
+
+  EngineCounters counters;           // per-phase transmissions / corruptions
+  double noise_fraction = 0.0;       // corruptions / cc_coded
+  long hash_collisions = 0;          // ground truth, over all MP comparisons
+  long mp_truncations = 0;           // chunks removed by meeting points
+  long rewind_truncations = 0;       // chunks removed by the rewind phase
+  long rewinds_sent = 0;
+  int exchange_failures = 0;         // links whose seed masters ended unequal
+  int iterations = 0;
+  long replayer_rebuilds = 0;
+
+  std::vector<IterationTrace> trace;  // filled when config.record_trace
+};
+
+class CodedSimulation {
+ public:
+  // `reference` must come from run_noiseless(proto, inputs) for the same
+  // inputs; it defines success and supplies CC baselines.
+  CodedSimulation(const ChunkedProtocol& proto, const std::vector<std::uint64_t>& inputs,
+                  const NoiselessResult& reference, const SchemeConfig& config,
+                  ChannelAdversary& adversary);
+  ~CodedSimulation();
+
+  CodedSimulation(const CodedSimulation&) = delete;
+  CodedSimulation& operator=(const CodedSimulation&) = delete;
+
+  SimulationResult run();
+
+  // Fixed timetable (public so oblivious adversaries can plan against it, as
+  // the model allows — the schedule is not secret).
+  long total_rounds() const noexcept;
+  long prologue_rounds() const noexcept;
+  long rounds_per_iteration() const noexcept;
+  int iterations() const noexcept;
+  Phase phase_of_round(long round) const noexcept;
+  int tau() const noexcept;
+
+  // Live engine counters — adaptive adversaries budget against these
+  // (attach() them before run()).
+  const EngineCounters& engine_counters() const noexcept;
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
+// Convenience wrapper: build + run.
+SimulationResult run_coded(const ChunkedProtocol& proto, const std::vector<std::uint64_t>& inputs,
+                           const NoiselessResult& reference, const SchemeConfig& config,
+                           ChannelAdversary& adversary);
+
+}  // namespace gkr

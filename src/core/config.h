@@ -1,0 +1,104 @@
+// Configuration of the coding scheme — the paper's four variants and the
+// knobs the experiments sweep.
+//
+//   Variant::Crs                 — Algorithm 1: CRS + oblivious noise,
+//                                  K = m, τ = Θ(1).     (Theorem 4.1)
+//   Variant::ExchangeOblivious   — Algorithm A: no CRS (randomness exchange),
+//                                  oblivious noise, K = m. (Theorem 5.1)
+//   Variant::ExchangeNonOblivious— Algorithm B: no CRS, non-oblivious noise,
+//                                  K = m·⌈log₂ m⌉, τ = Θ(log m). (Theorem 6.1)
+//   Variant::CrsHidden           — Algorithm C: hidden CRS, non-oblivious
+//                                  noise, K = m·⌈log₂ log₂ m⌉. (Appendix B,
+//                                  reconstructed — DESIGN.md §3(5))
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+
+#include "net/topology.h"
+
+namespace gkr {
+
+enum class Variant : int {
+  Crs = 0,
+  ExchangeOblivious = 1,
+  ExchangeNonOblivious = 2,
+  CrsHidden = 3,
+};
+
+inline const char* variant_name(Variant v) {
+  switch (v) {
+    case Variant::Crs:
+      return "Alg1(CRS)";
+    case Variant::ExchangeOblivious:
+      return "AlgA";
+    case Variant::ExchangeNonOblivious:
+      return "AlgB";
+    case Variant::CrsHidden:
+      return "AlgC";
+  }
+  return "?";
+}
+
+struct SchemeConfig {
+  Variant variant = Variant::Crs;
+
+  // Chunk-size parameter; 0 = auto from the variant (see for_variant()).
+  // Must be a positive multiple of m.
+  int K = 0;
+
+  // Hash output bits; 0 = auto from the variant.
+  int tau = 0;
+
+  // iterations = max(min_iterations, ceil(iteration_factor · |Π|)). The paper
+  // fixes 100|Π| for proof convenience (Algorithm 1); experiments use a
+  // smaller factor and say so (DESIGN.md §3(4)).
+  double iteration_factor = 4.0;
+  int min_iterations = 8;
+
+  // Root randomness for the run: CRS, exchange seeds, tie-breaking.
+  std::uint64_t seed = 1;
+
+  // Ablation switches (experiments F4/F5).
+  bool enable_rewind_phase = true;
+  bool enable_flag_passing = true;
+
+  // Randomness-exchange codeword length per link, bits; 0 = auto
+  // Θ(|Π|·K/m) per §5 (with a floor of one base codeword).
+  long exchange_target_bits = 0;
+
+  // Record the per-iteration progress trace (G*, H*, B*, ...) — costs a
+  // little time and memory; used by the potential-trace experiment.
+  bool record_trace = false;
+
+  static SchemeConfig for_variant(Variant v, const Topology& topo) {
+    SchemeConfig cfg;
+    cfg.variant = v;
+    const int m = topo.num_links();
+    const int log_m = std::max(1, static_cast<int>(std::ceil(std::log2(std::max(2, m)))));
+    const int loglog_m =
+        std::max(1, static_cast<int>(std::ceil(std::log2(static_cast<double>(log_m) + 1))));
+    switch (v) {
+      case Variant::Crs:
+      case Variant::ExchangeOblivious:
+        cfg.K = m;
+        cfg.tau = 8;
+        break;
+      case Variant::ExchangeNonOblivious:
+        cfg.K = m * log_m;
+        cfg.tau = std::max(8, 2 * log_m);
+        break;
+      case Variant::CrsHidden:
+        cfg.K = m * loglog_m;
+        cfg.tau = std::max(8, 2 * loglog_m + 4);
+        break;
+    }
+    return cfg;
+  }
+
+  bool uses_exchange() const noexcept {
+    return variant == Variant::ExchangeOblivious || variant == Variant::ExchangeNonOblivious;
+  }
+};
+
+}  // namespace gkr

@@ -1,0 +1,123 @@
+#include "core/meeting_points.h"
+
+#include "hash/buffer_seed_stream.h"
+
+#include <algorithm>
+
+namespace gkr {
+namespace {
+
+long smallest_pow2_at_least(long k) {
+  long p = 1;
+  while (p < k) p <<= 1;
+  return p;
+}
+
+std::uint32_t hash_prefix(const LinkTranscript& tr, long pos, SeedStream& seed, int tau) {
+  return ip_hash128(static_cast<std::uint64_t>(pos), tr.prefix_digest(static_cast<int>(pos)),
+                    seed, tau);
+}
+
+}  // namespace
+
+void MeetingPointsState::reset() noexcept {
+  k_ = 0;
+  e_ = 0;
+  v1_ = 0;
+  v2_ = 0;
+  kappa_ = 0;
+}
+
+MpMessage MeetingPointsState::prepare(const LinkTranscript& tr, const SeedSource& seeds,
+                                      std::uint64_t link_id, std::uint64_t iter, int tau) {
+  ++k_;
+  const long kappa = smallest_pow2_at_least(k_);
+  const long len = tr.chunks();
+  const long new_mpc1 = kappa * (len / kappa);
+  const long new_mpc2 = std::max(new_mpc1 - kappa, 0L);
+  if (kappa != kappa_) {
+    // Scale change: the new mpc1 is one of the two old candidates (same |T|),
+    // so carry its votes; the new mpc2 is fresh.
+    if (kappa_ != 0 && new_mpc1 == mpc2_) {
+      v1_ = v2_;
+    } else if (kappa_ != 0 && new_mpc1 != mpc1_) {
+      v1_ = 0;
+    }
+    v2_ = 0;
+    kappa_ = kappa;
+  }
+  mpc1_ = new_mpc1;
+  mpc2_ = new_mpc2;
+
+  auto seed_k = seeds.open(link_id, iter, kSeedSlotK);
+  own_.hk = ip_hash_u64(static_cast<std::uint64_t>(k_), *seed_k, tau);
+  // Both prefix hashes — and both endpoints' — must use the SAME seed, i.e.
+  // one hash-function instance per iteration: the mechanism compares my mpc1
+  // prefix against the peer's mpc2 prefix, which is meaningless across
+  // different seeds. Materialize the seed once and replay it.
+  auto seed_p = seeds.open(link_id, iter, kSeedSlotPrefix);
+  std::vector<std::uint64_t> seed_words(2 * static_cast<std::size_t>(tau));
+  for (auto& w : seed_words) w = seed_p->next_word();
+  BufferSeedStream replay(seed_words);
+  own_.h1 = hash_prefix(tr, mpc1_, replay, tau);
+  replay.rewind();
+  own_.h2 = hash_prefix(tr, mpc2_, replay, tau);
+  own_.valid = true;
+  return own_;
+}
+
+MpOutcome MeetingPointsState::process(const MpMessage& received, LinkTranscript& tr) {
+  MpOutcome out;
+  if (!received.valid || received.hk != own_.hk) {
+    // Lost/garbled message or the peers disagree on k: register evidence.
+    // When mismatches dominate the sequence (2E > k) the peers have
+    // irrecoverably desynced their k counters (e.g. one side reset after a
+    // truncation while the other kept counting): restart the sequence so the
+    // counters can meet again at k = 1. Without this rule the pair deadlocks
+    // with k-hashes that never agree.
+    ++e_;
+    if (2 * e_ > k_) reset();
+    status_ = MpStatus::MeetingPoints;
+    out.status = status_;
+    return out;
+  }
+
+  if (k_ == 1 && received.h1 == own_.h1) {
+    // κ = 1 ⇒ mpc1 = |T|: full transcripts match — back to simulation.
+    reset();
+    status_ = MpStatus::Simulate;
+    out.status = status_;
+    return out;
+  }
+
+  // Vote: did the peer exhibit a prefix matching one of our candidates?
+  // (Position is bound into the hash input, so cross-comparisons are sound.)
+  if (received.h1 == own_.h1 || received.h2 == own_.h1) ++v1_;
+  if (received.h1 == own_.h2 || received.h2 == own_.h2) ++v2_;
+
+  status_ = MpStatus::MeetingPoints;
+  // Transitions need at least two iterations of evidence (k ≥ 2): at k = 1
+  // the mpc2 candidates of two *equal* transcripts trivially match, so a
+  // single corrupted hash would otherwise cause an instant spurious
+  // truncation and an O(B)-iteration recovery cascade — one corruption must
+  // cost O(1) (Lemma A.6).
+  if (k_ >= 2 && k_ >= 2 * e_) {
+    long target = -1;
+    if (2 * v1_ >= k_) {
+      target = mpc1_;
+    } else if (2 * v2_ >= k_) {
+      target = mpc2_;
+    }
+    if (target >= 0) {
+      out.truncated = true;
+      out.truncated_by = tr.chunks() - static_cast<int>(target);
+      out.truncated_to = static_cast<int>(target);
+      tr.truncate(static_cast<int>(target));
+      reset();
+    }
+  }
+  out.status = status_;
+  return out;
+}
+
+}  // namespace gkr

@@ -1,0 +1,95 @@
+// The meeting-points mechanism (§3.1(ii), Appendix A; reconstructed from the
+// paper's description and [Hae14] — see DESIGN.md §3(1)).
+//
+// Each consistency-check phase performs ONE iteration of this state machine
+// per link. The party sends three hashes — of its sync counter k and of its
+// transcript prefixes at the two "meeting point" candidates mpc1, mpc2 — and
+// processes the peer's three hashes:
+//
+//   k   — iterations spent in the current meeting-points sequence;
+//   κ   — the scale, the smallest power of two ≥ k;
+//   mpc1 = κ·⌊|T|/κ⌋, mpc2 = max(mpc1 − κ, 0);
+//   v1, v2 — votes: iterations in which the peer exhibited a prefix whose
+//          (position, digest) matched our mpc1 / mpc2 candidate;
+//   E   — evidence of channel mischief (invalid messages / k-hash misses).
+//
+// Transition rules:
+//   * k = 1 and the peer's full-transcript hash matches ours
+//       → status "simulate", counters reset (the k=1 scale has mpc1 = |T|);
+//   * a candidate gathers votes on a majority of the iterations at the
+//     current k (2·v ≥ k) and the sequence is not noise-dominated (k ≥ 2E)
+//       → truncate the transcript to that candidate and reset;
+//   * when κ doubles, candidate positions move; votes are remapped (the new
+//     mpc1 is always one of the two old candidates) and v2 restarts;
+//   * when mismatch evidence dominates (2E > k) the sequence restarts from
+//     k = 0 — the resync rule that lets the two endpoints' k counters meet
+//     again after one side reset unilaterally (e.g. post-truncation).
+//
+// Properties verified by tests (mirroring Prop. A.2/A.4, Lemma A.6):
+// no-noise agreement is stable; divergence B converges in O(B) iterations;
+// each corruption causes O(1) damage; truncation never undershoots the common
+// prefix by more than O(B) absent hash collisions.
+#pragma once
+
+#include <cstdint>
+
+#include "core/transcript.h"
+#include "hash/inner_product_hash.h"
+#include "hash/seed_source.h"
+
+namespace gkr {
+
+enum class MpStatus : std::uint8_t { Simulate, MeetingPoints };
+
+struct MpMessage {
+  std::uint32_t hk = 0;  // hash of k
+  std::uint32_t h1 = 0;  // hash of (mpc1, prefix digest at mpc1)
+  std::uint32_t h2 = 0;  // hash of (mpc2, prefix digest at mpc2)
+  bool valid = false;    // false: bits lost/garbled on the wire
+};
+
+// Outcome of one iteration, for instrumentation.
+struct MpOutcome {
+  MpStatus status = MpStatus::Simulate;
+  bool truncated = false;
+  int truncated_to = 0;
+  int truncated_by = 0;
+};
+
+class MeetingPointsState {
+ public:
+  // Seed slots within (link, iteration): slot 0 seeds the k-hash, slot 1
+  // seeds both prefix hashes (cross-comparisons h1↔h2 require one seed).
+  static constexpr std::uint64_t kSeedSlotK = 0;
+  static constexpr std::uint64_t kSeedSlotPrefix = 1;
+
+  // Compute this iteration's candidates and the outgoing message.
+  // `link_id`/`iter` key the seed streams; both endpoints pass the same.
+  MpMessage prepare(const LinkTranscript& tr, const SeedSource& seeds, std::uint64_t link_id,
+                    std::uint64_t iter, int tau);
+
+  // Process the peer's message (received after prepare in the same phase).
+  // May truncate `tr`. Returns the outcome; status is also retained.
+  MpOutcome process(const MpMessage& received, LinkTranscript& tr);
+
+  MpStatus status() const noexcept { return status_; }
+  long k() const noexcept { return k_; }
+  long errors() const noexcept { return e_; }
+  long mpc1() const noexcept { return mpc1_; }
+  long mpc2() const noexcept { return mpc2_; }
+
+ private:
+  void reset() noexcept;
+
+  long k_ = 0;
+  long e_ = 0;
+  long v1_ = 0;
+  long v2_ = 0;
+  long kappa_ = 0;  // scale the current votes refer to
+  long mpc1_ = 0;
+  long mpc2_ = 0;
+  MpMessage own_{};
+  MpStatus status_ = MpStatus::Simulate;
+};
+
+}  // namespace gkr

@@ -1,0 +1,54 @@
+// The pairwise transcript T_{u,v} (§3.2): for each simulated chunk, the
+// symbols this endpoint put on / observed over the link, in the chunk's slot
+// order, with the chunk number bound into the digest chain (footnote 11).
+//
+// The prefix-digest chain gives O(1) access to the digest of any prefix,
+// which is what the meeting-points hashes consume (DESIGN.md §3(2)); append
+// and truncate are the only mutations, exactly matching the operations the
+// coding scheme performs.
+#pragma once
+
+#include <vector>
+
+#include "proto/replay.h"
+#include "util/digest.h"
+
+namespace gkr {
+
+class LinkTranscript {
+ public:
+  // Number of simulated chunks |T|.
+  int chunks() const noexcept { return static_cast<int>(records_.size()); }
+
+  void append_chunk(LinkChunkRecord symbols) {
+    ChunkDigest d(static_cast<std::uint64_t>(records_.size()));
+    for (Sym s : symbols) d.fold_symbol(static_cast<unsigned>(s));
+    chain_.append(d.value());
+    records_.push_back(std::move(symbols));
+  }
+
+  void truncate(int n_chunks) {
+    GKR_ASSERT(n_chunks >= 0 && n_chunks <= chunks());
+    records_.resize(static_cast<std::size_t>(n_chunks));
+    chain_.truncate(static_cast<std::size_t>(n_chunks));
+  }
+
+  // Digest of the first j chunks (j in [0, chunks()]).
+  std::uint64_t prefix_digest(int j) const {
+    GKR_ASSERT(j >= 0 && j <= chunks());
+    return chain_.value(static_cast<std::size_t>(j));
+  }
+
+  std::uint64_t full_digest() const { return chain_.value(); }
+
+  const LinkChunkRecord& chunk_record(int c) const {
+    GKR_ASSERT(c >= 0 && c < chunks());
+    return records_[static_cast<std::size_t>(c)];
+  }
+
+ private:
+  std::vector<LinkChunkRecord> records_;
+  PrefixChain chain_;
+};
+
+}  // namespace gkr

@@ -1,0 +1,85 @@
+#include "ecc/concatenated_code.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "ecc/secded.h"
+#include "util/assert.h"
+
+namespace gkr {
+namespace {
+
+int outer_length(int message_bytes, double outer_rate) {
+  GKR_ASSERT(message_bytes >= 1);
+  GKR_ASSERT(outer_rate > 0.0 && outer_rate < 1.0);
+  const int n = static_cast<int>(std::ceil(static_cast<double>(message_bytes) / outer_rate));
+  return std::min(255, std::max(n, message_bytes + 2));
+}
+
+}  // namespace
+
+ConcatenatedCode::ConcatenatedCode(int message_bytes, double outer_rate,
+                                   std::size_t min_codeword_bits)
+    : message_bytes_(message_bytes),
+      rs_(outer_length(message_bytes, outer_rate), message_bytes),
+      bits_per_rep_(static_cast<std::size_t>(rs_.n()) * kSecdedBits),
+      repeats_(1) {
+  if (min_codeword_bits > bits_per_rep_) {
+    repeats_ = (min_codeword_bits + bits_per_rep_ - 1) / bits_per_rep_;
+  }
+}
+
+std::vector<std::int8_t> ConcatenatedCode::encode(std::span<const std::uint8_t> msg) const {
+  GKR_ASSERT(static_cast<int>(msg.size()) == message_bytes_);
+  std::vector<std::uint8_t> outer(static_cast<std::size_t>(rs_.n()));
+  rs_.encode(msg, outer);
+  std::vector<std::int8_t> one_rep(bits_per_rep_);
+  for (int s = 0; s < rs_.n(); ++s) {
+    secded_encode(outer[static_cast<std::size_t>(s)],
+                  std::span<std::int8_t>(one_rep).subspan(
+                      static_cast<std::size_t>(s) * kSecdedBits, kSecdedBits));
+  }
+  std::vector<std::int8_t> out;
+  out.reserve(codeword_bits());
+  for (std::size_t r = 0; r < repeats_; ++r) out.insert(out.end(), one_rep.begin(), one_rep.end());
+  return out;
+}
+
+bool ConcatenatedCode::decode(std::span<const std::int8_t> wire,
+                              std::span<std::uint8_t> msg_out) const {
+  GKR_ASSERT(wire.size() == codeword_bits());
+  GKR_ASSERT(static_cast<int>(msg_out.size()) == message_bytes_);
+
+  // Majority-combine the repetitions bitwise; ties and all-erased → erased.
+  std::vector<std::int8_t> combined(bits_per_rep_);
+  for (std::size_t i = 0; i < bits_per_rep_; ++i) {
+    int votes[2] = {0, 0};
+    for (std::size_t r = 0; r < repeats_; ++r) {
+      const std::int8_t w = wire[r * bits_per_rep_ + i];
+      if (w == kWireZero) ++votes[0];
+      if (w == kWireOne) ++votes[1];
+    }
+    combined[i] = votes[0] > votes[1]   ? kWireZero
+                  : votes[1] > votes[0] ? kWireOne
+                                        : kWireErased;
+  }
+
+  // Inner decode per symbol → outer word with erasures.
+  std::vector<std::uint8_t> outer(static_cast<std::size_t>(rs_.n()), 0);
+  std::vector<int> erasures;
+  for (int s = 0; s < rs_.n(); ++s) {
+    std::uint8_t sym = 0;
+    const auto word = std::span<const std::int8_t>(combined).subspan(
+        static_cast<std::size_t>(s) * kSecdedBits, kSecdedBits);
+    if (secded_decode(word, &sym)) {
+      outer[static_cast<std::size_t>(s)] = sym;
+    } else {
+      erasures.push_back(s);
+    }
+  }
+  if (!rs_.decode(outer, erasures)) return false;
+  std::copy_n(outer.begin(), static_cast<std::size_t>(message_bytes_), msg_out.begin());
+  return true;
+}
+
+}  // namespace gkr

@@ -1,0 +1,51 @@
+// Concatenated binary code (Theorem 2.1): outer Reed–Solomon over GF(2^8),
+// inner (13,8) SECDED, optional whole-codeword repetition.
+//
+// This is the code the randomness-exchange phase (Algorithm 5) uses to ship
+// each link's master hash seed. Properties the paper relies on:
+//   * constant rate — rate ≈ (k/n)·(8/13)/repeats;
+//   * constant relative distance — corrupting a codeword beyond repair costs
+//     Θ(codeword length) channel corruptions, so the adversary cannot afford
+//     to kill even one exchange within an ε/m budget (Claim 5.16);
+//   * erasure friendliness — deletions are seen as ∗ at known positions
+//     (the exchange fully utilizes the link; footnote 9) and feed the
+//     errors-and-erasures RS decoder.
+//
+// `repeats` stretches the codeword to a target length (the paper sizes the
+// exchange at Θ(|Π|K/m) bits); the decoder majority-votes wire bits across
+// repetitions, treating ties as erasures.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "ecc/reed_solomon.h"
+
+namespace gkr {
+
+class ConcatenatedCode {
+ public:
+  // message_bytes ≥ 1; outer_rate in (0,1) controls RS redundancy;
+  // min_codeword_bits stretches the code via repetition (0 = no stretching).
+  ConcatenatedCode(int message_bytes, double outer_rate, std::size_t min_codeword_bits = 0);
+
+  std::size_t codeword_bits() const noexcept { return bits_per_rep_ * repeats_; }
+  int message_bytes() const noexcept { return message_bytes_; }
+  int repeats() const noexcept { return static_cast<int>(repeats_); }
+
+  // Encode message_bytes bytes into codeword_bits() wire bits (0/1).
+  std::vector<std::int8_t> encode(std::span<const std::uint8_t> msg) const;
+
+  // Decode codeword_bits() wire values in {0,1,kWireErased}. Returns true and
+  // fills msg_out (message_bytes bytes) on success.
+  bool decode(std::span<const std::int8_t> wire, std::span<std::uint8_t> msg_out) const;
+
+ private:
+  int message_bytes_;
+  ReedSolomon rs_;
+  std::size_t bits_per_rep_;
+  std::size_t repeats_;
+};
+
+}  // namespace gkr

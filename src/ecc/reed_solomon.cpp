@@ -1,0 +1,195 @@
+#include "ecc/reed_solomon.h"
+
+#include <algorithm>
+
+#include "util/assert.h"
+#include "util/gf256.h"
+
+namespace gkr {
+namespace {
+
+using Poly = std::vector<std::uint8_t>;  // poly[i] = coefficient of x^i
+
+// c(x) = a(x) * b(x)
+Poly poly_mul(const Poly& a, const Poly& b) {
+  Poly c(a.size() + b.size() - 1, 0);
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (a[i] == 0) continue;
+    for (std::size_t j = 0; j < b.size(); ++j) {
+      c[i + j] = GF256::add(c[i + j], GF256::mul(a[i], b[j]));
+    }
+  }
+  return c;
+}
+
+// a(x) * b(x) mod x^m
+Poly poly_mul_mod(const Poly& a, const Poly& b, std::size_t m) {
+  Poly c = poly_mul(a, b);
+  if (c.size() > m) c.resize(m);
+  return c;
+}
+
+std::uint8_t poly_eval(const Poly& p, std::uint8_t x) {
+  std::uint8_t acc = 0;
+  for (std::size_t i = p.size(); i-- > 0;) {
+    acc = GF256::add(GF256::mul(acc, x), p[i]);
+  }
+  return acc;
+}
+
+// Formal derivative; in characteristic 2 the even-degree terms vanish.
+Poly poly_derivative(const Poly& p) {
+  if (p.size() <= 1) return Poly{0};
+  Poly d(p.size() - 1, 0);
+  for (std::size_t i = 1; i < p.size(); i += 2) d[i - 1] = p[i];
+  return d;
+}
+
+int poly_degree(const Poly& p) {
+  int deg = 0;
+  for (std::size_t i = 0; i < p.size(); ++i) {
+    if (p[i] != 0) deg = static_cast<int>(i);
+  }
+  return deg;
+}
+
+}  // namespace
+
+ReedSolomon::ReedSolomon(int n, int k) : n_(n), k_(k) {
+  GKR_ASSERT(0 < k && k < n && n <= 255);
+  // g(x) = Π_{j=1..nroots} (x − α^j)
+  genpoly_ = Poly{1};
+  for (int j = 1; j <= nroots(); ++j) {
+    genpoly_ = poly_mul(genpoly_, Poly{GF256::pow_of_alpha(static_cast<unsigned>(j)), 1});
+  }
+}
+
+void ReedSolomon::encode(std::span<const std::uint8_t> msg, std::span<std::uint8_t> out) const {
+  GKR_ASSERT(static_cast<int>(msg.size()) == k_);
+  GKR_ASSERT(static_cast<int>(out.size()) == n_);
+  std::copy(msg.begin(), msg.end(), out.begin());
+  // Parity = remainder of msg(x)·x^nroots divided by g(x) (synthetic division).
+  std::vector<std::uint8_t> rem(static_cast<std::size_t>(nroots()), 0);
+  for (int i = 0; i < k_; ++i) {
+    const std::uint8_t feedback = GF256::add(msg[static_cast<std::size_t>(i)], rem.back());
+    for (int j = nroots() - 1; j > 0; --j) {
+      rem[static_cast<std::size_t>(j)] =
+          GF256::add(rem[static_cast<std::size_t>(j - 1)],
+                     GF256::mul(feedback, genpoly_[static_cast<std::size_t>(j)]));
+    }
+    rem[0] = GF256::mul(feedback, genpoly_[0]);
+  }
+  // Codeword layout: message in positions [0,k) as coefficients of
+  // x^{n-1}..x^{nroots}, parity in [k,n) as coefficients of x^{nroots-1}..x^0.
+  for (int j = 0; j < nroots(); ++j) {
+    out[static_cast<std::size_t>(k_ + j)] = rem[static_cast<std::size_t>(nroots() - 1 - j)];
+  }
+}
+
+bool ReedSolomon::decode(std::span<std::uint8_t> codeword,
+                         std::span<const int> erasures) const {
+  GKR_ASSERT(static_cast<int>(codeword.size()) == n_);
+  const int nr = nroots();
+  const int e_count = static_cast<int>(erasures.size());
+  if (e_count > nr) return false;
+
+  // Array position p (0 = first message symbol) holds the coefficient of
+  // degree n-1-p: c(x) = Σ_p codeword[p]·x^{n-1-p}.
+  auto degree_of = [&](int pos) { return n_ - 1 - pos; };
+
+  // Zero out erased symbols so their true value becomes the "error" value.
+  for (int pos : erasures) {
+    GKR_ASSERT(pos >= 0 && pos < n_);
+    codeword[static_cast<std::size_t>(pos)] = 0;
+  }
+
+  auto syndromes_of = [&](std::span<const std::uint8_t> word) {
+    Poly synd(static_cast<std::size_t>(nr), 0);
+    for (int j = 0; j < nr; ++j) {
+      std::uint8_t s = 0;
+      const std::uint8_t x = GF256::pow_of_alpha(static_cast<unsigned>(j + 1));
+      for (int p = 0; p < n_; ++p) {
+        s = GF256::add(GF256::mul(s, x), word[static_cast<std::size_t>(p)]);  // Horner
+      }
+      synd[static_cast<std::size_t>(j)] = s;
+    }
+    return synd;
+  };
+
+  const Poly synd = syndromes_of(codeword);
+  if (std::all_of(synd.begin(), synd.end(), [](std::uint8_t s) { return s == 0; })) {
+    return true;  // consistent codeword (erasures, if any, were genuinely 0)
+  }
+
+  // Erasure locator Γ(x) = Π (1 − α^{deg} x).
+  Poly gamma{1};
+  for (int pos : erasures) {
+    const std::uint8_t xk = GF256::pow_of_alpha(static_cast<unsigned>(degree_of(pos)));
+    gamma = poly_mul(gamma, Poly{1, xk});
+  }
+
+  // Joint errors-and-erasures Berlekamp–Massey (Blahut): start from the
+  // erasure locator and absorb the remaining syndromes. Yields the full
+  // locator Φ with Γ | Φ.
+  Poly lambda = gamma;
+  Poly b = gamma;
+  int l = e_count;
+  for (int r = e_count + 1; r <= nr; ++r) {
+    std::uint8_t delta = 0;
+    for (std::size_t j = 0; j < lambda.size(); ++j) {
+      const int idx = r - 1 - static_cast<int>(j);
+      if (idx >= 0 && idx < nr) {
+        delta = GF256::add(delta, GF256::mul(lambda[j], synd[static_cast<std::size_t>(idx)]));
+      }
+    }
+    // x·B, used by both branches.
+    Poly xb(b.size() + 1, 0);
+    for (std::size_t j = 0; j < b.size(); ++j) xb[j + 1] = b[j];
+    if (delta != 0 && 2 * l <= r - 1 + e_count) {
+      // Length change: B ← Λ/Δ (pre-update Λ), Λ ← Λ − Δ·x·B.
+      Poly new_b(lambda.size());
+      for (std::size_t j = 0; j < lambda.size(); ++j) new_b[j] = GF256::div(lambda[j], delta);
+      Poly new_lambda = lambda;
+      if (new_lambda.size() < xb.size()) new_lambda.resize(xb.size(), 0);
+      for (std::size_t j = 0; j < xb.size(); ++j) {
+        new_lambda[j] = GF256::add(new_lambda[j], GF256::mul(delta, xb[j]));
+      }
+      lambda = std::move(new_lambda);
+      b = std::move(new_b);
+      l = r - l + e_count;
+    } else {
+      if (lambda.size() < xb.size()) lambda.resize(xb.size(), 0);
+      for (std::size_t j = 0; j < xb.size(); ++j) {
+        lambda[j] = GF256::add(lambda[j], GF256::mul(delta, xb[j]));
+      }
+      b = std::move(xb);
+    }
+  }
+
+  const int phi_deg = poly_degree(lambda);
+  if (2 * (phi_deg - e_count) + e_count > nr) return false;  // beyond capacity
+
+  // Evaluator Ω = S·Φ mod x^nr; Forney with fcr = 1: e = Ω(X⁻¹)/Φ'(X⁻¹).
+  const Poly omega = poly_mul_mod(synd, lambda, static_cast<std::size_t>(nr));
+  const Poly phi_prime = poly_derivative(lambda);
+
+  int roots_found = 0;
+  for (int p = 0; p < n_; ++p) {
+    const unsigned deg = static_cast<unsigned>(degree_of(p));
+    const std::uint8_t x_inv = GF256::pow_of_alpha(255u - (deg % 255u));
+    if (poly_eval(lambda, x_inv) != 0) continue;
+    ++roots_found;
+    const std::uint8_t den = poly_eval(phi_prime, x_inv);
+    if (den == 0) return false;
+    const std::uint8_t magnitude = GF256::div(poly_eval(omega, x_inv), den);
+    codeword[static_cast<std::size_t>(p)] =
+        GF256::add(codeword[static_cast<std::size_t>(p)], magnitude);
+  }
+  if (roots_found != phi_deg) return false;  // locator roots outside the code
+
+  // Verify the corrected word really is a codeword.
+  const Poly check = syndromes_of(codeword);
+  return std::all_of(check.begin(), check.end(), [](std::uint8_t s) { return s == 0; });
+}
+
+}  // namespace gkr

@@ -1,0 +1,43 @@
+// Reed–Solomon code over GF(2^8) with errors-and-erasures decoding.
+//
+// This is the outer code of the constant-rate, constant-distance binary code
+// of Theorem 2.1, used by the randomness-exchange phase (Algorithm 5) to ship
+// hash-seed material across each link. Decoding succeeds whenever
+// 2·(#errors) + (#erasures) ≤ n − k.
+//
+// Implementation: systematic encoding by synthetic division with the
+// generator polynomial g(x) = Π_{j=1..n−k} (x − α^j) (fcr = 1), decoding via
+// syndromes → erasure-modified Berlekamp–Massey → Chien search → Forney.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace gkr {
+
+class ReedSolomon {
+ public:
+  // Code length n and dimension k, 0 < k < n ≤ 255.
+  ReedSolomon(int n, int k);
+
+  int n() const noexcept { return n_; }
+  int k() const noexcept { return k_; }
+  int nroots() const noexcept { return n_ - k_; }
+
+  // Systematic encode: out[0..k) = msg, out[k..n) = parity.
+  void encode(std::span<const std::uint8_t> msg, std::span<std::uint8_t> out) const;
+
+  // Decode in place. `erasures` lists positions in [0, n) whose symbols are
+  // unreliable (their current value is ignored). Returns true and corrects
+  // the codeword on success; returns false on decoding failure (codeword is
+  // left in an unspecified but valid state).
+  bool decode(std::span<std::uint8_t> codeword, std::span<const int> erasures) const;
+
+ private:
+  int n_;
+  int k_;
+  std::vector<std::uint8_t> genpoly_;  // degree nroots, genpoly_[0] = const term
+};
+
+}  // namespace gkr

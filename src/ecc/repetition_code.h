@@ -1,0 +1,48 @@
+// r-fold repetition code with majority decoding.
+//
+// Used (a) as the per-transmission "naive coding" baseline the experiments
+// compare the interactive coding scheme against, and (b) in tests as a
+// reference for the code interfaces.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "ecc/secded.h"
+#include "util/assert.h"
+
+namespace gkr {
+
+class RepetitionCode {
+ public:
+  explicit RepetitionCode(int repeats) : repeats_(repeats) {
+    GKR_ASSERT(repeats >= 1 && repeats % 2 == 1);
+  }
+
+  int repeats() const noexcept { return repeats_; }
+
+  std::vector<std::int8_t> encode_bit(bool bit) const {
+    return std::vector<std::int8_t>(static_cast<std::size_t>(repeats_),
+                                    bit ? kWireOne : kWireZero);
+  }
+
+  // Majority vote over non-erased copies. Returns false if no copy survived
+  // or the vote is tied.
+  bool decode_bit(std::span<const std::int8_t> wire, bool* bit) const {
+    GKR_ASSERT(wire.size() == static_cast<std::size_t>(repeats_));
+    int votes[2] = {0, 0};
+    for (std::int8_t w : wire) {
+      if (w == kWireZero) ++votes[0];
+      if (w == kWireOne) ++votes[1];
+    }
+    if (votes[0] == votes[1]) return false;
+    *bit = votes[1] > votes[0];
+    return true;
+  }
+
+ private:
+  int repeats_;
+};
+
+}  // namespace gkr

@@ -1,0 +1,126 @@
+#include "ecc/secded.h"
+
+#include <array>
+
+#include "util/assert.h"
+
+namespace gkr {
+namespace {
+
+// Hamming(12,8): positions 1..12; parity bits at 1,2,4,8; data bits at
+// 3,5,6,7,9,10,11,12 (in that order, data bit 0 first).
+constexpr std::array<int, 8> kDataPos = {3, 5, 6, 7, 9, 10, 11, 12};
+constexpr std::array<int, 4> kParityPos = {1, 2, 4, 8};
+
+int hamming_syndrome(const std::array<int, kSecdedBits>& bits) {
+  int syndrome = 0;
+  for (int p = 1; p <= 12; ++p) {
+    if (bits[static_cast<std::size_t>(p)]) syndrome ^= p;
+  }
+  return syndrome;
+}
+
+int overall_parity(const std::array<int, kSecdedBits>& bits) {
+  int par = 0;
+  for (int b : bits) par ^= b;
+  return par;
+}
+
+void encode_into(std::uint8_t data, std::array<int, kSecdedBits>& bits) {
+  bits.fill(0);
+  for (int i = 0; i < 8; ++i) {
+    bits[static_cast<std::size_t>(kDataPos[static_cast<std::size_t>(i)])] = (data >> i) & 1;
+  }
+  // Set each Hamming parity so the syndrome becomes zero.
+  for (int p : kParityPos) {
+    int par = 0;
+    for (int q = 1; q <= 12; ++q) {
+      if (q != p && (q & p) && bits[static_cast<std::size_t>(q)]) par ^= 1;
+    }
+    bits[static_cast<std::size_t>(p)] = par;
+  }
+  // Overall parity over bits 1..12 stored at position 0.
+  int par = 0;
+  for (int q = 1; q <= 12; ++q) par ^= bits[static_cast<std::size_t>(q)];
+  bits[0] = par;
+}
+
+std::uint8_t extract_data(const std::array<int, kSecdedBits>& bits) {
+  std::uint8_t data = 0;
+  for (int i = 0; i < 8; ++i) {
+    if (bits[static_cast<std::size_t>(kDataPos[static_cast<std::size_t>(i)])]) {
+      data |= static_cast<std::uint8_t>(1u << i);
+    }
+  }
+  return data;
+}
+
+// Decode an erasure-free word. Returns false on detected double error.
+bool decode_exact(std::array<int, kSecdedBits> bits, std::uint8_t* data) {
+  const int syndrome = hamming_syndrome(bits);
+  const int parity = overall_parity(bits);
+  if (syndrome == 0 && parity == 0) {
+    *data = extract_data(bits);
+    return true;
+  }
+  if (syndrome == 0 && parity == 1) {
+    // Overall-parity bit itself flipped; data unaffected.
+    *data = extract_data(bits);
+    return true;
+  }
+  if (parity == 1) {
+    // Odd number of flips with nonzero syndrome: assume single, correct it.
+    bits[static_cast<std::size_t>(syndrome)] ^= 1;
+    *data = extract_data(bits);
+    return true;
+  }
+  return false;  // syndrome != 0, parity even ⇒ double error detected
+}
+
+}  // namespace
+
+void secded_encode(std::uint8_t data, std::span<std::int8_t> out) {
+  GKR_ASSERT(out.size() == static_cast<std::size_t>(kSecdedBits));
+  std::array<int, kSecdedBits> bits{};
+  encode_into(data, bits);
+  for (int i = 0; i < kSecdedBits; ++i) {
+    out[static_cast<std::size_t>(i)] = static_cast<std::int8_t>(bits[static_cast<std::size_t>(i)]);
+  }
+}
+
+bool secded_decode(std::span<const std::int8_t> wire, std::uint8_t* data) {
+  GKR_ASSERT(wire.size() == static_cast<std::size_t>(kSecdedBits));
+  int n_erased = 0;
+  int erased_pos = -1;
+  std::array<int, kSecdedBits> bits{};
+  for (int i = 0; i < kSecdedBits; ++i) {
+    const std::int8_t w = wire[static_cast<std::size_t>(i)];
+    if (w == kWireErased) {
+      ++n_erased;
+      erased_pos = i;
+      bits[static_cast<std::size_t>(i)] = 0;
+    } else {
+      bits[static_cast<std::size_t>(i)] = w != 0;
+    }
+  }
+  if (n_erased == 0) return decode_exact(bits, data);
+  if (n_erased == 1) {
+    // Try both fill-ins; accept iff exactly one is a valid codeword
+    // (erasure + no flips). Ambiguity or residual errors ⇒ symbol erasure.
+    std::uint8_t cand[2];
+    bool ok[2];
+    for (int v = 0; v < 2; ++v) {
+      bits[static_cast<std::size_t>(erased_pos)] = v;
+      ok[v] = hamming_syndrome(bits) == 0 && overall_parity(bits) == 0;
+      cand[v] = extract_data(bits);
+    }
+    if (ok[0] != ok[1]) {
+      *data = ok[0] ? cand[0] : cand[1];
+      return true;
+    }
+    return false;
+  }
+  return false;  // 2+ erasures: give up on the symbol
+}
+
+}  // namespace gkr

@@ -1,0 +1,30 @@
+// Inner binary code for the concatenated construction of Theorem 2.1:
+// a (13,8) SECDED code — Hamming(12,8) plus an overall parity bit.
+//
+// Per 8-bit symbol it corrects any single bit flip, converts double flips
+// into a detected symbol erasure, and treats any wire-level deletion
+// (received ∗) as an erasure it tries to resolve by re-encoding both
+// fill-ins. The symbol-level error/erasure stream then feeds the outer
+// Reed–Solomon decoder.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+namespace gkr {
+
+inline constexpr int kSecdedBits = 13;  // bit 0 = overall parity, bits 1..12 Hamming
+
+// Wire bit values for the inner decoder.
+inline constexpr std::int8_t kWireZero = 0;
+inline constexpr std::int8_t kWireOne = 1;
+inline constexpr std::int8_t kWireErased = -1;
+
+// Encode one byte into 13 bits (out[0..13)).
+void secded_encode(std::uint8_t data, std::span<std::int8_t> out);
+
+// Decode 13 wire bits. Returns true and sets *data on success; returns false
+// (symbol erasure) when the word is ambiguous or detectably double-corrupted.
+bool secded_decode(std::span<const std::int8_t> wire, std::uint8_t* data);
+
+}  // namespace gkr

@@ -1,0 +1,38 @@
+// Umbrella header for gkrcode — the public API surface in one include.
+//
+//   #include "gkr/gkr.h"
+//
+// See README.md for the 5-call quickstart and DESIGN.md for the paper ↔
+// module map.
+#pragma once
+
+// Substrates.
+#include "ecc/concatenated_code.h"    // Theorem 2.1 code (randomness exchange)
+#include "ecc/repetition_code.h"      // naive-coding baseline
+#include "hash/delta_biased.h"        // AGHP small-bias generator (Lemma 2.5)
+#include "hash/inner_product_hash.h"  // the hash family of Definition 2.2
+#include "hash/seed_source.h"         // CRS / exchanged-seed streams
+#include "net/round_engine.h"         // synchronous ins/del/sub channel (§2.1)
+#include "net/spanning_tree.h"
+#include "net/topology.h"
+
+// Protocols Π.
+#include "proto/chunking.h"   // §3.2 preprocessing into 5K-bit chunks
+#include "proto/noiseless.h"  // reference runs (defines correctness)
+#include "proto/protocol_spec.h"
+#include "proto/protocols/gossip_sum.h"
+#include "proto/protocols/line_pingpong.h"
+#include "proto/protocols/random_protocol.h"
+#include "proto/protocols/tree_aggregate.h"
+#include "proto/protocols/tree_token.h"
+
+// Adversaries.
+#include "noise/adaptive.h"    // non-oblivious attackers (§6 model)
+#include "noise/oblivious.h"   // additive / fixing patterns (§2.1, Remark 1)
+#include "noise/stochastic.h"  // BSC-style channels
+#include "noise/strategies.h"  // noise-plan factories
+
+// The coding scheme (Algorithms 1 / A / B / C).
+#include "core/baselines.h"
+#include "core/coding_scheme.h"
+#include "core/config.h"

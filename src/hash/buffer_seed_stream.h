@@ -1,0 +1,31 @@
+// A SeedStream replaying a fixed buffer of words. Used where several hash
+// evaluations must share the *same* seed so their outputs are comparable —
+// e.g. the two transcript-prefix hashes of a meeting-points message, whose
+// cross-comparisons (my mpc1 vs your mpc2) are only meaningful under one
+// hash function instance.
+#pragma once
+
+#include <vector>
+
+#include "hash/seed_source.h"
+#include "util/assert.h"
+
+namespace gkr {
+
+class BufferSeedStream final : public SeedStream {
+ public:
+  explicit BufferSeedStream(const std::vector<std::uint64_t>& words) : words_(&words) {}
+
+  std::uint64_t next_word() override {
+    GKR_ASSERT(pos_ < words_->size());
+    return (*words_)[pos_++];
+  }
+
+  void rewind() noexcept { pos_ = 0; }
+
+ private:
+  const std::vector<std::uint64_t>* words_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace gkr

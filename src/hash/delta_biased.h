@@ -1,0 +1,49 @@
+// AGHP small-bias ("δ-biased") bit generator (Alon–Goldreich–Håstad–Peralta,
+// the "powering" construction) over GF(2^64).
+//
+// A seed is a pair (x, y) ∈ GF(2^64)^2; bit i of the generated string is the
+// least-significant bit of x·y^i. For any fixed nonzero test vector v of
+// length ℓ, |Pr[⟨v, bits⟩ = 0] − 1/2| ≤ ℓ / 2^64, i.e. the string is
+// (ℓ/2^64)-biased — far below the δ = 2^-Θ(|Π|K/m) the paper's analysis needs
+// at every scale we run (DESIGN.md §3, substitution 3).
+//
+// The paper uses such strings in place of a uniform CRS to seed the
+// inner-product hashes after the randomness-exchange phase (§5, Lemma 2.5).
+#pragma once
+
+#include <cstdint>
+
+#include "util/gf2_64.h"
+
+namespace gkr {
+
+class DeltaBiasedStream {
+ public:
+  // seed_x, seed_y: the 128-bit AGHP seed. A zero x would make the stream
+  // identically zero (still formally small-biased, but useless); we nudge it.
+  DeltaBiasedStream(std::uint64_t seed_x, std::uint64_t seed_y) noexcept
+      : x_{seed_x | 1ULL}, y_{seed_y | 2ULL}, z_{x_} {}
+
+  // Next bit of the stream (bit i on the i-th call): lsb(x * y^i).
+  bool next_bit() noexcept {
+    const bool b = (z_.v & 1ULL) != 0;
+    z_ = gf64_mul(z_, y_);
+    return b;
+  }
+
+  // Next 64 bits packed LSB-first.
+  std::uint64_t next_word() noexcept {
+    std::uint64_t w = 0;
+    for (int i = 0; i < 64; ++i) {
+      if (next_bit()) w |= 1ULL << i;
+    }
+    return w;
+  }
+
+ private:
+  GF64 x_;
+  GF64 y_;
+  GF64 z_;  // x * y^i for the next bit index i
+};
+
+}  // namespace gkr

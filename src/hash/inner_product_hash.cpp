@@ -1,0 +1,22 @@
+#include "hash/inner_product_hash.h"
+
+#include <bit>
+
+#include "util/assert.h"
+
+namespace gkr {
+
+std::uint32_t ip_hash128(std::uint64_t in_lo, std::uint64_t in_hi, SeedStream& seed, int tau) {
+  GKR_ASSERT(tau >= 1 && tau <= kMaxHashBits);
+  std::uint32_t out = 0;
+  for (int t = 0; t < tau; ++t) {
+    const std::uint64_t s_lo = seed.next_word();
+    const std::uint64_t s_hi = seed.next_word();
+    const std::uint64_t acc = (in_lo & s_lo) ^ (in_hi & s_hi);
+    const std::uint32_t bit = static_cast<std::uint32_t>(std::popcount(acc)) & 1U;
+    out |= bit << t;
+  }
+  return out;
+}
+
+}  // namespace gkr

@@ -1,0 +1,35 @@
+// The inner-product hash family of Definition 2.2.
+//
+// h(x, s) for a τ-bit output is the concatenation of τ inner products of the
+// input with τ disjoint, input-length-sized windows of the seed:
+//     h(x, s) = ⟨x, s[0,L)⟩ ∘ ⟨x, s[L,2L)⟩ ∘ ... ∘ ⟨x, s[(τ−1)L, τL)⟩.
+// For x ≠ y and a uniform seed, Pr[h(x)=h(y)] = 2^-τ exactly (Lemma 2.3).
+//
+// In gkrcode the hash inputs are the constant-size values produced by the
+// transcript prefix-digest chains (position ‖ 64-bit chain digest — 128 bits)
+// and the meeting-points sync counter k, so L = 128 and each hash consumes
+// τ·128 seed bits. The tunable collision probability 2^-τ — the quantity the
+// paper's whole analysis revolves around — is carried by this hash.
+#pragma once
+
+#include <cstdint>
+
+#include "hash/seed_source.h"
+
+namespace gkr {
+
+inline constexpr int kHashInputBits = 128;
+
+// Maximum supported output length; τ = Θ(log m) tops out far below this.
+inline constexpr int kMaxHashBits = 32;
+
+// Hash a 128-bit input (lo, hi) to tau bits, consuming tau seed words
+// (128 bits each) from `seed`.
+std::uint32_t ip_hash128(std::uint64_t in_lo, std::uint64_t in_hi, SeedStream& seed, int tau);
+
+// Convenience: hash of a small integer (e.g. the meeting-points counter k).
+inline std::uint32_t ip_hash_u64(std::uint64_t v, SeedStream& seed, int tau) {
+  return ip_hash128(v, 0x517cc1b727220a95ULL, seed, tau);
+}
+
+}  // namespace gkr

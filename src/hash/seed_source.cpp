@@ -1,0 +1,41 @@
+#include "hash/seed_source.h"
+
+namespace gkr {
+namespace {
+
+class UniformStream final : public SeedStream {
+ public:
+  explicit UniformStream(Rng rng) noexcept : rng_(rng) {}
+  std::uint64_t next_word() override { return rng_.next_u64(); }
+
+ private:
+  Rng rng_;
+};
+
+class BiasedStream final : public SeedStream {
+ public:
+  BiasedStream(std::uint64_t x, std::uint64_t y) noexcept : stream_(x, y) {}
+  std::uint64_t next_word() override { return stream_.next_word(); }
+
+ private:
+  DeltaBiasedStream stream_;
+};
+
+}  // namespace
+
+std::unique_ptr<SeedStream> UniformSeedSource::open(std::uint64_t link_id, std::uint64_t iter,
+                                                    std::uint64_t slot) const {
+  Rng rng = Rng(crs_seed_).fork(link_id).fork(iter).fork(slot ^ 0x5eedULL);
+  return std::make_unique<UniformStream>(rng);
+}
+
+std::unique_ptr<SeedStream> BiasedSeedSource::open(std::uint64_t link_id, std::uint64_t iter,
+                                                   std::uint64_t slot) const {
+  // Derive the per-slot AGHP seed from the link master. This models the
+  // paper's expansion of the exchanged seed into the long δ-biased string
+  // that is then chopped per iteration (Algorithm 4, line 8).
+  const std::uint64_t k = mix64(link_id ^ mix64(iter ^ mix64(slot ^ 0xb1a5ed5eedULL)));
+  return std::make_unique<BiasedStream>(lo_ ^ k, hi_ ^ mix64(k));
+}
+
+}  // namespace gkr

@@ -1,0 +1,77 @@
+// Seed material for the meeting-points hashes.
+//
+// Every (link, iteration, hash-slot) triple needs a fresh seed for the
+// inner-product hash, and — crucially — *both endpoints of the link must see
+// the same seed* so that their hash values are comparable (§3.1 "Randomness
+// Exchange"). Two implementations:
+//
+//  * UniformSeedSource — the CRS model (Algorithm 1 / Algorithm C): seeds are
+//    uniform, derived from a common random string all parties share.
+//  * BiasedSeedSource — the no-CRS model (Algorithms A and B): each link has
+//    a master seed that was shipped across the link by the randomness
+//    exchange (Algorithm 5); seed bits are drawn from an AGHP δ-biased
+//    stream expanded from that master. If the exchange was corrupted, the two
+//    endpoints hold different masters and their hashes never agree — exactly
+//    the failure mode §5.3 analyzes.
+//
+// A party only ever accesses seeds through its *own* endpoint master, so the
+// simulator never leaks one party's randomness to another.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "hash/delta_biased.h"
+#include "util/rng.h"
+
+namespace gkr {
+
+// One seed word stream for a specific (link, iteration, slot).
+class SeedStream {
+ public:
+  virtual ~SeedStream() = default;
+  virtual std::uint64_t next_word() = 0;
+};
+
+class SeedSource {
+ public:
+  virtual ~SeedSource() = default;
+
+  // Open the seed stream for hash slot `slot` of iteration `iter` on link
+  // `link_id`. Streams opened with identical arguments yield identical bits.
+  virtual std::unique_ptr<SeedStream> open(std::uint64_t link_id, std::uint64_t iter,
+                                           std::uint64_t slot) const = 0;
+};
+
+// CRS: uniform seeds keyed by (crs_seed, link, iter, slot).
+class UniformSeedSource final : public SeedSource {
+ public:
+  explicit UniformSeedSource(std::uint64_t crs_seed) noexcept : crs_seed_(crs_seed) {}
+
+  std::unique_ptr<SeedStream> open(std::uint64_t link_id, std::uint64_t iter,
+                                   std::uint64_t slot) const override;
+
+ private:
+  std::uint64_t crs_seed_;
+};
+
+// δ-biased expansion of a per-link 128-bit master seed. The per-slot AGHP
+// instance is derived from (master, iter, slot); see DESIGN.md §3(3).
+class BiasedSeedSource final : public SeedSource {
+ public:
+  // master_lo/hi: the 128-bit seed this endpoint holds for the link
+  // (post-randomness-exchange). Both endpoints construct their own source;
+  // agreement of hash values requires agreement of masters.
+  BiasedSeedSource(std::uint64_t master_lo, std::uint64_t master_hi) noexcept
+      : lo_(master_lo), hi_(master_hi) {}
+
+  std::unique_ptr<SeedStream> open(std::uint64_t link_id, std::uint64_t iter,
+                                   std::uint64_t slot) const override;
+
+ private:
+  std::uint64_t lo_;
+  std::uint64_t hi_;
+};
+
+}  // namespace gkr

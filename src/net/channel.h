@@ -1,0 +1,80 @@
+// Wire symbols, phase labels, and the channel-adversary interface.
+//
+// Channel model (§2.1): each directed link carries at most one symbol per
+// synchronous round. The alphabet is {0, 1, ⊥} plus the "no message" value ∗
+// (Sym::None). A corruption is any round/directed-link where the delivered
+// value differs from the sent value:
+//   substitution: sent ∈ Σ, delivered ∈ Σ, delivered ≠ sent
+//   deletion:     sent ∈ Σ, delivered = ∗
+//   insertion:    sent = ∗, delivered ∈ Σ
+// Each counts as a single corruption (footnote 4).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace gkr {
+
+enum class Sym : std::int8_t {
+  Zero = 0,
+  One = 1,
+  Bot = 2,   // the ⊥ "not simulating" marker (Algorithm 1, line 23)
+  None = 3,  // ∗: silence / no transmission
+};
+
+inline bool is_message(Sym s) noexcept { return s != Sym::None; }
+inline Sym bit_to_sym(bool b) noexcept { return b ? Sym::One : Sym::Zero; }
+// Fold a wire symbol to a protocol bit; ∗ and ⊥ read as 0 (documented
+// local-replay rule, DESIGN.md §4).
+inline bool sym_to_bit(Sym s) noexcept { return s == Sym::One; }
+
+// Which part of the coding scheme a round belongs to. Used for metrics
+// attribution and by phase-aware adversaries (the non-oblivious model of §6
+// lets the adversary see everything except private randomness, including the
+// public round schedule).
+enum class Phase : std::uint8_t {
+  RandomnessExchange = 0,
+  MeetingPoints = 1,
+  FlagPassing = 2,
+  Simulation = 3,
+  Rewind = 4,
+  Baseline = 5,  // used by the uncoded/replication baseline runners
+};
+
+inline constexpr int kNumPhases = 6;
+
+struct RoundContext {
+  long round = 0;      // global round index
+  int iteration = 0;   // coding-scheme iteration (0 during randomness exchange)
+  Phase phase = Phase::Baseline;
+};
+
+// Adversary hook applied by the round engine between send and receive.
+//
+// Obliviousness is a *property of implementations*: an oblivious adversary
+// precomputes its noise pattern and ignores `sent` values; a non-oblivious
+// one may inspect everything it is given. Budget enforcement lives in the
+// implementations (src/noise), aided by the engine's running counters.
+class ChannelAdversary {
+ public:
+  virtual ~ChannelAdversary() = default;
+
+  // Called once per round before any delivery, with the full wire state
+  // (indexed by directed link). Default: no-op.
+  virtual void begin_round(const RoundContext& ctx, const std::vector<Sym>& sent) {
+    (void)ctx;
+    (void)sent;
+  }
+
+  // Transform the symbol on one directed link. Return `sent` unchanged for a
+  // clean delivery.
+  virtual Sym deliver(const RoundContext& ctx, int dlink, Sym sent) = 0;
+};
+
+// The identity adversary (noiseless channel).
+class NoNoise final : public ChannelAdversary {
+ public:
+  Sym deliver(const RoundContext&, int, Sym sent) override { return sent; }
+};
+
+}  // namespace gkr

@@ -1,0 +1,38 @@
+#include "net/round_engine.h"
+
+#include "util/assert.h"
+
+namespace gkr {
+
+void RoundEngine::step(const RoundContext& ctx, const std::vector<Sym>& sent,
+                       std::vector<Sym>& received) {
+  const std::size_t d = static_cast<std::size_t>(topo_->num_dlinks());
+  GKR_ASSERT(sent.size() == d);
+  received.assign(d, Sym::None);
+
+  ++counters_.rounds;
+  adversary_->begin_round(ctx, sent);
+
+  const std::size_t phase = static_cast<std::size_t>(ctx.phase);
+  for (std::size_t dl = 0; dl < d; ++dl) {
+    const Sym in = sent[dl];
+    if (is_message(in)) {
+      ++counters_.transmissions;
+      ++counters_.transmissions_by_phase[phase];
+    }
+    const Sym out = adversary_->deliver(ctx, static_cast<int>(dl), in);
+    received[dl] = out;
+    if (out == in) continue;
+    ++counters_.corruptions;
+    ++counters_.corruptions_by_phase[phase];
+    if (is_message(in) && is_message(out)) {
+      ++counters_.substitutions;
+    } else if (is_message(in)) {
+      ++counters_.deletions;
+    } else {
+      ++counters_.insertions;
+    }
+  }
+}
+
+}  // namespace gkr

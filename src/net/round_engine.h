@@ -1,0 +1,53 @@
+// Synchronous round engine: delivers the per-round wire state through the
+// channel adversary and keeps the ground-truth accounting the analysis needs
+// (per-phase transmissions and corruptions, CC of the instance, noise
+// fraction μ = #corruptions / CC as defined in §2.1).
+#pragma once
+
+#include <array>
+#include <vector>
+
+#include "net/channel.h"
+#include "net/topology.h"
+
+namespace gkr {
+
+struct EngineCounters {
+  long rounds = 0;
+  long transmissions = 0;  // honest sends (CC of the instance, in symbols=bits)
+  long corruptions = 0;    // substitutions + deletions + insertions
+  long substitutions = 0;
+  long deletions = 0;
+  long insertions = 0;
+  std::array<long, kNumPhases> transmissions_by_phase{};
+  std::array<long, kNumPhases> corruptions_by_phase{};
+
+  double noise_fraction() const noexcept {
+    return transmissions == 0 ? 0.0
+                              : static_cast<double>(corruptions) /
+                                    static_cast<double>(transmissions);
+  }
+};
+
+class RoundEngine {
+ public:
+  RoundEngine(const Topology& topo, ChannelAdversary& adversary)
+      : topo_(&topo), adversary_(&adversary), wire_(static_cast<std::size_t>(topo.num_dlinks())) {}
+
+  // Run one synchronous round: `sent` and `received` are indexed by directed
+  // link; both must have size num_dlinks(). `sent` is what honest parties put
+  // on the wire (Sym::None = silent); `received` is filled with what arrives
+  // after adversarial interference.
+  void step(const RoundContext& ctx, const std::vector<Sym>& sent, std::vector<Sym>& received);
+
+  const EngineCounters& counters() const noexcept { return counters_; }
+  EngineCounters& counters() noexcept { return counters_; }
+
+ private:
+  const Topology* topo_;
+  ChannelAdversary* adversary_;
+  std::vector<Sym> wire_;
+  EngineCounters counters_;
+};
+
+}  // namespace gkr

@@ -1,0 +1,37 @@
+#include "net/spanning_tree.h"
+
+#include <deque>
+
+namespace gkr {
+
+SpanningTree SpanningTree::bfs(const Topology& g, PartyId root) {
+  const std::size_t n = static_cast<std::size_t>(g.num_nodes());
+  SpanningTree t;
+  t.root = root;
+  t.parent.assign(n, -1);
+  t.parent_link.assign(n, -1);
+  t.children.assign(n, {});
+  t.level.assign(n, 0);
+  t.level[static_cast<std::size_t>(root)] = 1;
+  t.depth = 1;
+
+  std::deque<PartyId> queue = {root};
+  while (!queue.empty()) {
+    const PartyId u = queue.front();
+    queue.pop_front();
+    for (int l : g.links_of(u)) {
+      const PartyId v = g.peer(l, u);
+      if (v == root || t.level[static_cast<std::size_t>(v)] != 0) continue;
+      t.level[static_cast<std::size_t>(v)] = t.level[static_cast<std::size_t>(u)] + 1;
+      t.parent[static_cast<std::size_t>(v)] = u;
+      t.parent_link[static_cast<std::size_t>(v)] = l;
+      t.children[static_cast<std::size_t>(u)].push_back(v);
+      t.depth = std::max(t.depth, t.level[static_cast<std::size_t>(v)]);
+      queue.push_back(v);
+    }
+  }
+  for (std::size_t v = 0; v < n; ++v) GKR_ASSERT(t.level[v] != 0);  // connected
+  return t;
+}
+
+}  // namespace gkr

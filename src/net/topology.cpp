@@ -1,0 +1,130 @@
+#include "net/topology.h"
+
+#include <algorithm>
+#include <set>
+
+#include "util/stats.h"
+
+namespace gkr {
+namespace {
+
+Edge make_edge(PartyId u, PartyId v) {
+  GKR_ASSERT(u != v);
+  return Edge{std::min(u, v), std::max(u, v)};
+}
+
+}  // namespace
+
+Topology::Topology(int n, std::vector<Edge> edges, std::string name)
+    : n_(n), edges_(std::move(edges)), name_(std::move(name)) {
+  GKR_ASSERT(n_ >= 2);
+  // Canonical order and no duplicates/self-loops (simple graph, §2.1).
+  std::sort(edges_.begin(), edges_.end(), [](const Edge& x, const Edge& y) {
+    return x.a != y.a ? x.a < y.a : x.b < y.b;
+  });
+  for (std::size_t i = 0; i < edges_.size(); ++i) {
+    const Edge& e = edges_[i];
+    GKR_ASSERT(0 <= e.a && e.a < e.b && e.b < n_);
+    if (i > 0) GKR_ASSERT(!(edges_[i - 1].a == e.a && edges_[i - 1].b == e.b));
+  }
+  incident_.resize(static_cast<std::size_t>(n_));
+  for (int l = 0; l < num_links(); ++l) {
+    incident_[static_cast<std::size_t>(edges_[static_cast<std::size_t>(l)].a)].push_back(l);
+    incident_[static_cast<std::size_t>(edges_[static_cast<std::size_t>(l)].b)].push_back(l);
+  }
+}
+
+Topology Topology::line(int n) {
+  std::vector<Edge> edges;
+  for (int i = 0; i + 1 < n; ++i) edges.push_back(make_edge(i, i + 1));
+  return Topology(n, std::move(edges), strf("line(%d)", n));
+}
+
+Topology Topology::ring(int n) {
+  GKR_ASSERT(n >= 3);
+  std::vector<Edge> edges;
+  for (int i = 0; i < n; ++i) edges.push_back(make_edge(i, (i + 1) % n));
+  return Topology(n, std::move(edges), strf("ring(%d)", n));
+}
+
+Topology Topology::star(int n) {
+  std::vector<Edge> edges;
+  for (int i = 1; i < n; ++i) edges.push_back(make_edge(0, i));
+  return Topology(n, std::move(edges), strf("star(%d)", n));
+}
+
+Topology Topology::clique(int n) {
+  std::vector<Edge> edges;
+  for (int i = 0; i < n; ++i) {
+    for (int j = i + 1; j < n; ++j) edges.push_back(make_edge(i, j));
+  }
+  return Topology(n, std::move(edges), strf("clique(%d)", n));
+}
+
+Topology Topology::grid(int rows, int cols) {
+  GKR_ASSERT(rows >= 1 && cols >= 1 && rows * cols >= 2);
+  auto id = [cols](int r, int c) { return r * cols + c; };
+  std::vector<Edge> edges;
+  for (int r = 0; r < rows; ++r) {
+    for (int c = 0; c < cols; ++c) {
+      if (c + 1 < cols) edges.push_back(make_edge(id(r, c), id(r, c + 1)));
+      if (r + 1 < rows) edges.push_back(make_edge(id(r, c), id(r + 1, c)));
+    }
+  }
+  return Topology(rows * cols, std::move(edges), strf("grid(%dx%d)", rows, cols));
+}
+
+Topology Topology::random_tree(int n, Rng& rng) {
+  // Random attachment: node i connects to a uniform earlier node.
+  std::vector<Edge> edges;
+  for (int i = 1; i < n; ++i) {
+    edges.push_back(make_edge(static_cast<PartyId>(rng.next_below(static_cast<std::uint64_t>(i))), i));
+  }
+  return Topology(n, std::move(edges), strf("rtree(%d)", n));
+}
+
+Topology Topology::erdos_renyi(int n, double p, Rng& rng) {
+  std::set<std::pair<int, int>> chosen;
+  for (int i = 1; i < n; ++i) {  // spanning tree guarantees connectivity
+    const int j = static_cast<int>(rng.next_below(static_cast<std::uint64_t>(i)));
+    chosen.insert({std::min(i, j), std::max(i, j)});
+  }
+  for (int i = 0; i < n; ++i) {
+    for (int j = i + 1; j < n; ++j) {
+      if (rng.next_coin(p)) chosen.insert({i, j});
+    }
+  }
+  std::vector<Edge> edges;
+  edges.reserve(chosen.size());
+  for (const auto& [a, b] : chosen) edges.push_back(Edge{a, b});
+  return Topology(n, std::move(edges), strf("gnp(%d,%.2f)", n, p));
+}
+
+int Topology::link_between(PartyId u, PartyId v) const {
+  for (int l : links_of(u)) {
+    if (peer(l, u) == v) return l;
+  }
+  return -1;
+}
+
+bool Topology::is_connected() const {
+  std::vector<bool> seen(static_cast<std::size_t>(n_), false);
+  std::vector<PartyId> stack = {0};
+  seen[0] = true;
+  int count = 0;
+  while (!stack.empty()) {
+    const PartyId u = stack.back();
+    stack.pop_back();
+    ++count;
+    for (int l : links_of(u)) {
+      const PartyId v = peer(l, u);
+      if (!seen[static_cast<std::size_t>(v)]) {
+        seen[static_cast<std::size_t>(v)] = true;
+        stack.push_back(v);
+      }
+    }
+  }
+  return count == n_;
+}
+
+}  // namespace gkr

@@ -1,0 +1,92 @@
+// Network topologies: connected simple graphs G = (V, E) where each node is a
+// party and each edge is a bidirectional communication link (§2.1).
+//
+// Links are indexed 0..m-1. A *directed* link is addressed as
+// dlink = 2*link + dir with dir 0 = (a→b), 1 = (b→a) for the edge {a, b},
+// a < b. Directed links index the per-round wire state everywhere in gkrcode.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "util/assert.h"
+#include "util/rng.h"
+
+namespace gkr {
+
+using PartyId = int;
+
+struct Edge {
+  PartyId a = -1;  // a < b by construction
+  PartyId b = -1;
+};
+
+class Topology {
+ public:
+  // Factories for the standard families used throughout the experiments.
+  static Topology line(int n);
+  static Topology ring(int n);
+  static Topology star(int n);       // node 0 is the hub
+  static Topology clique(int n);
+  static Topology grid(int rows, int cols);
+  static Topology random_tree(int n, Rng& rng);
+  // Connected Erdős–Rényi: G(n, p) conditioned on connectivity by adding a
+  // random spanning tree first.
+  static Topology erdos_renyi(int n, double p, Rng& rng);
+
+  int num_nodes() const noexcept { return n_; }
+  int num_links() const noexcept { return static_cast<int>(edges_.size()); }
+  int num_dlinks() const noexcept { return 2 * num_links(); }
+
+  const std::vector<Edge>& links() const noexcept { return edges_; }
+  const Edge& link(int link_id) const {
+    GKR_ASSERT(link_id >= 0 && link_id < num_links());
+    return edges_[static_cast<std::size_t>(link_id)];
+  }
+
+  // Link ids incident to u, sorted ascending.
+  const std::vector<int>& links_of(PartyId u) const {
+    GKR_ASSERT(u >= 0 && u < n_);
+    return incident_[static_cast<std::size_t>(u)];
+  }
+
+  // The other endpoint of `link_id` relative to u.
+  PartyId peer(int link_id, PartyId u) const {
+    const Edge& e = link(link_id);
+    GKR_ASSERT(e.a == u || e.b == u);
+    return e.a == u ? e.b : e.a;
+  }
+
+  // Link id between u and v, or -1.
+  int link_between(PartyId u, PartyId v) const;
+
+  // Directed link for sender u on link_id.
+  int dlink_from(int link_id, PartyId sender) const {
+    const Edge& e = link(link_id);
+    GKR_ASSERT(e.a == sender || e.b == sender);
+    return 2 * link_id + (e.a == sender ? 0 : 1);
+  }
+
+  PartyId dlink_sender(int dlink) const {
+    const Edge& e = link(dlink / 2);
+    return (dlink % 2) == 0 ? e.a : e.b;
+  }
+  PartyId dlink_receiver(int dlink) const {
+    const Edge& e = link(dlink / 2);
+    return (dlink % 2) == 0 ? e.b : e.a;
+  }
+
+  bool is_connected() const;
+
+  const std::string& name() const noexcept { return name_; }
+
+ private:
+  Topology(int n, std::vector<Edge> edges, std::string name);
+
+  int n_ = 0;
+  std::vector<Edge> edges_;
+  std::vector<std::vector<int>> incident_;
+  std::string name_;
+};
+
+}  // namespace gkr

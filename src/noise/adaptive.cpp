@@ -1,0 +1,61 @@
+#include "noise/adaptive.h"
+
+namespace gkr {
+
+Sym GreedyLinkAttacker::deliver(const RoundContext& ctx, int dlink, Sym sent) {
+  if (dlink / 2 != target_link_) return sent;
+  if (ctx.phase != Phase::Simulation) return sent;
+  if (!is_message(sent)) return sent;  // pure link attack: no insertions
+  if (!budget_.can_spend()) return sent;
+  budget_.spend();
+  // Flip protocol bits; turn ⊥ into a bit (forging "I'm simulating").
+  switch (sent) {
+    case Sym::Zero:
+      return Sym::One;
+    case Sym::One:
+      return Sym::Zero;
+    default:
+      return Sym::Zero;
+  }
+}
+
+Sym DesyncAttacker::deliver(const RoundContext& ctx, int dlink, Sym sent) {
+  (void)dlink;
+  const bool coordination =
+      ctx.phase == Phase::FlagPassing || ctx.phase == Phase::Rewind;
+  if (!coordination) return sent;
+  if (!budget_.can_spend()) return sent;
+  if (ctx.phase == Phase::FlagPassing) {
+    if (!is_message(sent)) return sent;  // only tamper with real flags
+    budget_.spend();
+    return sent == Sym::One ? Sym::Zero : Sym::One;  // flip continue/stop
+  }
+  // Rewind phase: forge rewind requests on idle wires, eat real ones.
+  budget_.spend();
+  return is_message(sent) ? Sym::None : Sym::One;
+}
+
+Sym EchoMpAttacker::deliver(const RoundContext& ctx, int dlink, Sym sent) {
+  if (ctx.phase != Phase::MeetingPoints || dlink / 2 != target_link_) return sent;
+  GKR_ASSERT(sent_ != nullptr);
+  // The opposite direction of the same link: what the receiver itself sent.
+  const int mirror = (dlink % 2 == 0) ? dlink + 1 : dlink - 1;
+  const Sym echo = (*sent_)[static_cast<std::size_t>(mirror)];
+  if (echo == sent) return sent;  // already identical: free ride
+  if (!budget_.can_spend()) return sent;
+  budget_.spend();
+  return echo;
+}
+
+Sym RandomAdaptiveAttacker::deliver(const RoundContext& ctx, int dlink, Sym sent) {
+  (void)ctx;
+  (void)dlink;
+  if (!is_message(sent)) return sent;
+  // Corrupt ~1 in 64 candidate transmissions, budget permitting.
+  if ((rng_.next_u64() & 63ULL) != 0) return sent;
+  if (!budget_.can_spend()) return sent;
+  budget_.spend();
+  return static_cast<Sym>((static_cast<int>(sent) + 1 + rng_.next_below(3)) % 4);
+}
+
+}  // namespace gkr

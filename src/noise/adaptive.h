@@ -1,0 +1,129 @@
+// Non-oblivious (adaptive) adversaries — §6's threat model. They observe all
+// wire traffic and the public timetable, and may condition corruptions on
+// what they see. They do NOT see private randomness that never crosses the
+// wire (the CRS of Algorithm C); everything that does cross the wire — e.g.
+// the randomness-exchange payload of Algorithms A/B — is fair game.
+//
+// Budgeting: adaptive attackers spend against a *relative* budget
+// rate × (transmissions so far), read live from the engine counters, mirroring
+// the paper's relative noise fraction for adaptive settings (§2.1, [AGS16]).
+#pragma once
+
+#include <vector>
+
+#include "net/channel.h"
+#include "net/round_engine.h"
+#include "net/topology.h"
+#include "util/rng.h"
+
+namespace gkr {
+
+// Shared budget logic for adaptive adversaries.
+class AdaptiveBudget {
+ public:
+  // rate: corruptions allowed per transmitted bit (e.g. ε/m);
+  // head_start: small absolute allowance so attacks can begin early.
+  // `counters` may be attached later (the engine that owns them is usually
+  // constructed after the adversary); until then only the head start is
+  // spendable.
+  AdaptiveBudget(const EngineCounters* counters, double rate, long head_start = 4)
+      : counters_(counters), rate_(rate), head_start_(head_start) {}
+
+  void attach(const EngineCounters* counters) { counters_ = counters; }
+
+  bool can_spend() const {
+    const double seen =
+        counters_ == nullptr ? 0.0 : static_cast<double>(counters_->transmissions);
+    const double allowed = rate_ * seen + static_cast<double>(head_start_);
+    return static_cast<double>(spent_) + 1.0 <= allowed;
+  }
+
+  void spend() { ++spent_; }
+  long spent() const noexcept { return spent_; }
+
+ private:
+  const EngineCounters* counters_;
+  double rate_;
+  long head_start_;
+  long spent_ = 0;
+};
+
+// Corrupts every message it can afford on one undirected link during
+// simulation phases: maximal sustained pressure on a single pairwise
+// transcript.
+class GreedyLinkAttacker final : public ChannelAdversary {
+ public:
+  GreedyLinkAttacker(const EngineCounters* counters, double rate, int target_link)
+      : budget_(counters, rate), target_link_(target_link) {}
+
+  Sym deliver(const RoundContext& ctx, int dlink, Sym sent) override;
+
+  void attach(const EngineCounters* c) { budget_.attach(c); }
+  long spent() const noexcept { return budget_.spent(); }
+
+ private:
+  AdaptiveBudget budget_;
+  int target_link_;
+};
+
+// Attacks coordination metadata: flips flag-passing bits and rewind messages
+// whenever affordable — the "keep the network out of sync" strategy.
+class DesyncAttacker final : public ChannelAdversary {
+ public:
+  DesyncAttacker(const EngineCounters* counters, double rate)
+      : budget_(counters, rate) {}
+
+  Sym deliver(const RoundContext& ctx, int dlink, Sym sent) override;
+
+  void attach(const EngineCounters* c) { budget_.attach(c); }
+  long spent() const noexcept { return budget_.spent(); }
+
+ private:
+  AdaptiveBudget budget_;
+};
+
+// The reflection ("echo") attack on the meeting-points phase of one link:
+// deliver to each endpoint exactly the bits it sent itself, so both sides see
+// hash values that match their own state and never detect divergence. This is
+// the strongest traffic-only man-in-the-middle against the consistency check;
+// it needs no knowledge of seeds but Θ(τ) corruptions per iteration, which is
+// what the budget analysis kills (experiment F6).
+class EchoMpAttacker final : public ChannelAdversary {
+ public:
+  EchoMpAttacker(const EngineCounters* counters, double rate, int target_link)
+      : budget_(counters, rate), target_link_(target_link) {}
+
+  void begin_round(const RoundContext& ctx, const std::vector<Sym>& sent) override {
+    (void)ctx;
+    sent_ = &sent;
+  }
+
+  Sym deliver(const RoundContext& ctx, int dlink, Sym sent) override;
+
+  void attach(const EngineCounters* c) { budget_.attach(c); }
+  long spent() const noexcept { return budget_.spent(); }
+
+ private:
+  AdaptiveBudget budget_;
+  int target_link_;
+  const std::vector<Sym>* sent_ = nullptr;
+};
+
+// Random adaptive vandal: corrupts uniformly random live traffic subject to
+// the relative budget; the adaptive analogue of uniform_plan.
+class RandomAdaptiveAttacker final : public ChannelAdversary {
+ public:
+  RandomAdaptiveAttacker(const EngineCounters* counters, double rate, Rng rng)
+      : budget_(counters, rate), rng_(rng) {}
+
+  Sym deliver(const RoundContext& ctx, int dlink, Sym sent) override;
+
+  void attach(const EngineCounters* c) { budget_.attach(c); }
+  long spent() const noexcept { return budget_.spent(); }
+
+ private:
+  AdaptiveBudget budget_;
+  Rng rng_;
+};
+
+}  // namespace gkr

@@ -1,0 +1,29 @@
+#include "noise/oblivious.h"
+
+#include "util/assert.h"
+
+namespace gkr {
+
+ObliviousAdversary::ObliviousAdversary(NoisePlan plan, ObliviousMode mode)
+    : mode_(mode), plan_entries_(plan.size()) {
+  pattern_.reserve(plan.size() * 2);
+  for (const NoiseEvent& e : plan) {
+    GKR_ASSERT(e.round >= 0 && e.dlink >= 0 && e.dlink < (1 << 20));
+    if (mode_ == ObliviousMode::Additive) {
+      GKR_ASSERT(e.value >= 1 && e.value <= 3);
+    } else {
+      GKR_ASSERT(e.value <= 3);
+    }
+    pattern_[key(e.round, e.dlink)] = e.value;
+  }
+}
+
+Sym ObliviousAdversary::deliver(const RoundContext& ctx, int dlink, Sym sent) {
+  const auto it = pattern_.find(key(ctx.round, dlink));
+  if (it == pattern_.end()) return sent;
+  if (mode_ == ObliviousMode::Fixing) return static_cast<Sym>(it->second);
+  const int idx = static_cast<int>(sent);
+  return static_cast<Sym>((idx + it->second) % 4);
+}
+
+}  // namespace gkr

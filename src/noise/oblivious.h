@@ -1,0 +1,56 @@
+// Oblivious adversaries (§2.1): the noise pattern is fixed before the
+// protocol runs, independent of inputs and of all randomness.
+//
+// Two flavors, both from the paper:
+//  * additive (the paper's primary model): the pattern holds an offset
+//    e ∈ {1,2,3} per (round, directed link); the delivered symbol is the sent
+//    symbol's index shifted by e modulo 4 over the wire alphabet
+//    {0, 1, ⊥, ∗}. This extends the paper's Z₃ additive noise over {0,1,∗}
+//    to cover the ⊥ marker (DESIGN.md §3(6)). An additive corruption always
+//    changes the symbol, so every pattern entry is a genuine corruption.
+//  * fixing (Remark 1): the pattern holds the delivered symbol outright;
+//    entries that match what was sent anyway do not count as corruptions.
+//
+// Noise *plans* (which (round, dlink) pairs to hit) come from the strategy
+// factories in noise/strategies.h.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "net/channel.h"
+
+namespace gkr {
+
+struct NoiseEvent {
+  long round = 0;
+  int dlink = 0;
+  // Additive mode: offset in {1,2,3}. Fixing mode: the delivered Sym index.
+  std::uint8_t value = 1;
+};
+
+using NoisePlan = std::vector<NoiseEvent>;
+
+enum class ObliviousMode { Additive, Fixing };
+
+class ObliviousAdversary final : public ChannelAdversary {
+ public:
+  ObliviousAdversary(NoisePlan plan, ObliviousMode mode);
+
+  Sym deliver(const RoundContext& ctx, int dlink, Sym sent) override;
+
+  ObliviousMode mode() const noexcept { return mode_; }
+  std::size_t plan_size() const noexcept { return plan_entries_; }
+
+ private:
+  static std::uint64_t key(long round, int dlink) noexcept {
+    return (static_cast<std::uint64_t>(round) << 20) | static_cast<std::uint64_t>(dlink);
+  }
+
+  std::unordered_map<std::uint64_t, std::uint8_t> pattern_;
+  ObliviousMode mode_;
+  std::size_t plan_entries_;
+};
+
+}  // namespace gkr

@@ -1,0 +1,43 @@
+// Stochastic channels: i.i.d. per-cell noise, the classical BSC-style model
+// of [RS94] extended with insertions and deletions. Budget-free (the noise
+// level is a rate, not a count); used as the "benign" end of the noise
+// spectrum in the experiments.
+#pragma once
+
+#include "net/channel.h"
+#include "util/rng.h"
+
+namespace gkr {
+
+class StochasticChannel final : public ChannelAdversary {
+ public:
+  // Probabilities per round per directed link: substitution/deletion apply to
+  // transmitted symbols, insertion to silent cells.
+  StochasticChannel(Rng rng, double p_sub, double p_del, double p_ins)
+      : rng_(rng), p_sub_(p_sub), p_del_(p_del), p_ins_(p_ins) {}
+
+  Sym deliver(const RoundContext&, int, Sym sent) override {
+    if (is_message(sent)) {
+      const double roll = rng_.next_double();
+      if (roll < p_sub_) {
+        // Substitute with a uniformly random *different* message symbol.
+        const int shift = 1 + static_cast<int>(rng_.next_below(2));
+        return static_cast<Sym>((static_cast<int>(sent) + shift) % 3);
+      }
+      if (roll < p_sub_ + p_del_) return Sym::None;
+      return sent;
+    }
+    if (rng_.next_double() < p_ins_) {
+      return static_cast<Sym>(rng_.next_below(3));  // inject 0, 1 or ⊥
+    }
+    return sent;
+  }
+
+ private:
+  Rng rng_;
+  double p_sub_;
+  double p_del_;
+  double p_ins_;
+};
+
+}  // namespace gkr

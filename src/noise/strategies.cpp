@@ -1,0 +1,99 @@
+#include "noise/strategies.h"
+
+#include <set>
+
+#include "util/assert.h"
+
+namespace gkr {
+namespace {
+
+std::uint8_t random_offset(Rng& rng) { return static_cast<std::uint8_t>(1 + rng.next_below(3)); }
+
+// Deduplicate (round, dlink) pairs: one corruption per wire cell.
+void push_unique(NoisePlan& plan, std::set<std::pair<long, int>>& used, long round, int dlink,
+                 std::uint8_t value) {
+  if (used.insert({round, dlink}).second) plan.push_back(NoiseEvent{round, dlink, value});
+}
+
+}  // namespace
+
+NoisePlan uniform_plan(long total_rounds, int num_dlinks, long count, Rng& rng) {
+  GKR_ASSERT(total_rounds > 0 && num_dlinks > 0);
+  NoisePlan plan;
+  std::set<std::pair<long, int>> used;
+  long attempts = 0;
+  while (static_cast<long>(plan.size()) < count && attempts < count * 20 + 100) {
+    ++attempts;
+    const long r = static_cast<long>(rng.next_below(static_cast<std::uint64_t>(total_rounds)));
+    const int dl = static_cast<int>(rng.next_below(static_cast<std::uint64_t>(num_dlinks)));
+    push_unique(plan, used, r, dl, random_offset(rng));
+  }
+  return plan;
+}
+
+NoisePlan burst_plan(long start_round, long burst_rounds, int num_dlinks, long count, Rng& rng) {
+  GKR_ASSERT(burst_rounds > 0);
+  NoisePlan plan;
+  std::set<std::pair<long, int>> used;
+  long attempts = 0;
+  while (static_cast<long>(plan.size()) < count && attempts < count * 20 + 100) {
+    ++attempts;
+    const long r =
+        start_round + static_cast<long>(rng.next_below(static_cast<std::uint64_t>(burst_rounds)));
+    const int dl = static_cast<int>(rng.next_below(static_cast<std::uint64_t>(num_dlinks)));
+    push_unique(plan, used, r, dl, random_offset(rng));
+  }
+  return plan;
+}
+
+NoisePlan link_targeted_plan(long total_rounds, int link, long count, Rng& rng) {
+  NoisePlan plan;
+  std::set<std::pair<long, int>> used;
+  long attempts = 0;
+  while (static_cast<long>(plan.size()) < count && attempts < count * 20 + 100) {
+    ++attempts;
+    const long r = static_cast<long>(rng.next_below(static_cast<std::uint64_t>(total_rounds)));
+    const int dl = 2 * link + static_cast<int>(rng.next_below(2));
+    push_unique(plan, used, r, dl, random_offset(rng));
+  }
+  return plan;
+}
+
+NoisePlan phase_targeted_plan(long total_rounds, int num_dlinks, long count, Phase phase,
+                              const PhaseOfRound& phase_of, Rng& rng) {
+  // Collect candidate rounds of the phase, then sample.
+  std::vector<long> candidates;
+  for (long r = 0; r < total_rounds; ++r) {
+    if (phase_of(r) == phase) candidates.push_back(r);
+  }
+  NoisePlan plan;
+  if (candidates.empty()) return plan;
+  std::set<std::pair<long, int>> used;
+  long attempts = 0;
+  while (static_cast<long>(plan.size()) < count && attempts < count * 20 + 100) {
+    ++attempts;
+    const long r = candidates[rng.next_below(candidates.size())];
+    const int dl = static_cast<int>(rng.next_below(static_cast<std::uint64_t>(num_dlinks)));
+    push_unique(plan, used, r, dl, random_offset(rng));
+  }
+  return plan;
+}
+
+NoisePlan exchange_attack_plan(long exchange_rounds, int link, long count, Rng& rng) {
+  NoisePlan plan;
+  std::set<std::pair<long, int>> used;
+  long attempts = 0;
+  while (static_cast<long>(plan.size()) < count && attempts < count * 20 + 100) {
+    ++attempts;
+    const long r = static_cast<long>(rng.next_below(static_cast<std::uint64_t>(exchange_rounds)));
+    const int dl = 2 * link + static_cast<int>(rng.next_below(2));
+    push_unique(plan, used, r, dl, random_offset(rng));
+  }
+  return plan;
+}
+
+NoisePlan single_hit_plan(long round, int dlink) {
+  return NoisePlan{NoiseEvent{round, dlink, 1}};
+}
+
+}  // namespace gkr

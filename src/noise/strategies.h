@@ -1,0 +1,41 @@
+// Noise-plan factories for the oblivious adversary.
+//
+// An oblivious adversary knows everything that is fixed before the run: the
+// topology, the coding scheme's round/phase timetable, and the protocol's
+// fixed speaking order — just not inputs or randomness. The factories
+// therefore may take a phase map (round → Phase) or targeted links, which is
+// exactly the information an oblivious attacker legitimately has.
+#pragma once
+
+#include <functional>
+
+#include "net/channel.h"
+#include "noise/oblivious.h"
+#include "util/rng.h"
+
+namespace gkr {
+
+using PhaseOfRound = std::function<Phase(long round)>;
+
+// `count` corruptions spread uniformly over rounds × directed links.
+NoisePlan uniform_plan(long total_rounds, int num_dlinks, long count, Rng& rng);
+
+// `count` corruptions in one contiguous burst of rounds, random links.
+NoisePlan burst_plan(long start_round, long burst_rounds, int num_dlinks, long count, Rng& rng);
+
+// All corruptions on one undirected link (both directions), random rounds.
+NoisePlan link_targeted_plan(long total_rounds, int link, long count, Rng& rng);
+
+// All corruptions in rounds belonging to `phase`.
+NoisePlan phase_targeted_plan(long total_rounds, int num_dlinks, long count, Phase phase,
+                              const PhaseOfRound& phase_of, Rng& rng);
+
+// Concentrate on the randomness-exchange prologue of one link: the §5.3
+// attack that tries to corrupt a seed shipment.
+NoisePlan exchange_attack_plan(long exchange_rounds, int link, long count, Rng& rng);
+
+// A single corruption at the given location (building block for the rewind
+// ablation experiment F4).
+NoisePlan single_hit_plan(long round, int dlink);
+
+}  // namespace gkr

@@ -1,0 +1,94 @@
+#include "proto/chunking.h"
+
+#include <algorithm>
+
+namespace gkr {
+
+ChunkedProtocol::ChunkedProtocol(std::shared_ptr<const ProtocolSpec> spec, int K)
+    : spec_(std::move(spec)), K_(K) {
+  const Topology& topo = spec_->topology();
+  const int m = topo.num_links();
+  GKR_ASSERT(K_ >= m && K_ % m == 0);
+  const int capacity = bits_per_chunk() - 2 * m;  // user+pad bits per chunk
+  GKR_ASSERT(capacity >= 2 * m);  // any single Π round (≤ 2m bits) must fit
+
+  // Enumerate user slots round by round, grouping rounds into chunks.
+  std::vector<std::vector<int>> current;  // per Π-round: global user slot ids
+  int current_bits = 0;
+  auto flush = [&] {
+    if (!current.empty() || chunks_.empty()) {
+      chunks_.push_back(build_chunk(current));
+      current.clear();
+      current_bits = 0;
+    }
+  };
+
+  for (int r = 0; r < spec_->num_rounds(); ++r) {
+    const std::vector<Slot> slots = spec_->slots_for_round(r);
+    if (slots.empty()) continue;  // silent rounds carry no information
+    GKR_ASSERT(static_cast<int>(slots.size()) <= 2 * m);
+    if (current_bits + static_cast<int>(slots.size()) > capacity) flush();
+    std::vector<int> ids;
+    ids.reserve(slots.size());
+    for (const Slot& s : slots) {
+      GKR_ASSERT(s.link >= 0 && s.link < m && (s.dir == 0 || s.dir == 1));
+      ids.push_back(static_cast<int>(user_slots_.size()));
+      user_slots_.push_back(s);
+    }
+    current.push_back(std::move(ids));
+    current_bits += static_cast<int>(slots.size());
+  }
+  flush();                 // trailing partial chunk (or a first all-pad chunk)
+  dummy_ = build_chunk({});  // layout for chunks past the end of Π
+
+  max_rounds_ = dummy_.num_rounds;
+  for (const Chunk& c : chunks_) max_rounds_ = std::max(max_rounds_, c.num_rounds);
+}
+
+Chunk ChunkedProtocol::build_chunk(const std::vector<std::vector<int>>& rounds_user_slots) const {
+  const Topology& topo = spec_->topology();
+  const int m = topo.num_links();
+  Chunk chunk;
+  chunk.by_link.resize(static_cast<std::size_t>(m));
+
+  auto add_slot = [&](ChunkSlot cs) {
+    chunk.by_link[static_cast<std::size_t>(cs.link)].push_back(
+        static_cast<int>(chunk.slots.size()));
+    chunk.slots.push_back(cs);
+  };
+
+  // Local round 0: heartbeat on every directed link.
+  for (int l = 0; l < m; ++l) {
+    add_slot(ChunkSlot{l, 0, SlotKind::Heartbeat, -1, 0});
+    add_slot(ChunkSlot{l, 1, SlotKind::Heartbeat, -1, 0});
+  }
+  int round = 1;
+  int bits = 2 * m;
+
+  // One local round per Π round (slots within a Π round are causally
+  // independent and sit on distinct directed links).
+  for (const std::vector<int>& ids : rounds_user_slots) {
+    for (int id : ids) {
+      const Slot& s = user_slots_[static_cast<std::size_t>(id)];
+      add_slot(ChunkSlot{s.link, s.dir, SlotKind::User, id, round});
+      ++bits;
+    }
+    ++round;
+  }
+
+  // Pad to exactly 5K bits, round-robin over directed links, ≤ 2m per round.
+  int pad = bits_per_chunk() - bits;
+  GKR_ASSERT(pad >= 0);
+  while (pad > 0) {
+    for (int dl = 0; dl < 2 * m && pad > 0; ++dl, --pad) {
+      add_slot(ChunkSlot{dl / 2, dl % 2, SlotKind::Pad, -1, round});
+    }
+    ++round;
+  }
+  chunk.num_rounds = round;
+  GKR_ASSERT(static_cast<int>(chunk.slots.size()) == bits_per_chunk());
+  GKR_ASSERT(chunk.num_rounds <= 5 * K_);
+  return chunk;
+}
+
+}  // namespace gkr

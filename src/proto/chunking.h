@@ -1,0 +1,93 @@
+// Preprocessing of Π into chunks of exactly 5K bits (§3.2).
+//
+// The builder implements the paper's preprocessing pipeline:
+//  * every party sends at least one bit to each neighbor per chunk — realized
+//    as a "heartbeat" round at the start of each chunk in which every
+//    directed link carries one bit (the parity of the user traffic this
+//    endpoint has seen on that directed link so far);
+//  * chunks are filled with consecutive protocol rounds while the total stays
+//    within 5K bits, then padded with zero-bits ("virtual rounds") to exactly
+//    5K (§3.2: "we can then add a virtual round that makes the communication
+//    in the chunk be exactly 5K bits");
+//  * causality is preserved: user slots of different Π-rounds are laid out in
+//    different simulation-phase rounds; slots of one Π-round share a round
+//    (they are causally independent — one symbol per directed link per
+//    round);
+//  * chunks past the end of Π are "dummy chunks" (heartbeat + padding only),
+//    the padding the paper adds so late corruption has something to burn
+//    against. chunk(c) works for every c ≥ 0 and returns the dummy layout
+//    for c ≥ num_real_chunks().
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "proto/protocol_spec.h"
+
+namespace gkr {
+
+enum class SlotKind : std::uint8_t { Heartbeat, User, Pad };
+
+struct ChunkSlot {
+  int link = -1;
+  int dir = 0;
+  SlotKind kind = SlotKind::Pad;
+  int user_slot = -1;   // global user-slot index when kind == User
+  int local_round = 0;  // round offset inside the simulation phase
+};
+
+struct Chunk {
+  std::vector<ChunkSlot> slots;            // ordered by local_round (stable)
+  int num_rounds = 0;                      // local rounds used by this chunk
+  std::vector<std::vector<int>> by_link;   // link id -> indices into `slots`
+};
+
+class ChunkedProtocol {
+ public:
+  // K must be a positive multiple of m = number of links (§3.1: "K ≥ m ...
+  // divisible by m"). bits_per_chunk() == 5K.
+  ChunkedProtocol(std::shared_ptr<const ProtocolSpec> spec, int K);
+
+  const ProtocolSpec& spec() const noexcept { return *spec_; }
+  const Topology& topology() const noexcept { return spec_->topology(); }
+
+  int K() const noexcept { return K_; }
+  int bits_per_chunk() const noexcept { return 5 * K_; }
+
+  // |Π| — number of chunks carrying user content.
+  int num_real_chunks() const noexcept { return static_cast<int>(chunks_.size()); }
+
+  // Chunk index c is 0-based here; c ≥ num_real_chunks() yields the dummy
+  // chunk (heartbeat + pad only).
+  const Chunk& chunk(int c) const {
+    GKR_ASSERT(c >= 0);
+    return c < num_real_chunks() ? chunks_[static_cast<std::size_t>(c)] : dummy_;
+  }
+
+  // Max local rounds over all chunks incl. the dummy: the fixed length of the
+  // simulation phase body (≤ 5K; the paper just uses 5K).
+  int max_chunk_rounds() const noexcept { return max_rounds_; }
+
+  // All user slots in protocol order; user_slot indices refer to this list.
+  const std::vector<Slot>& user_slots() const noexcept { return user_slots_; }
+
+  // Noiseless communication of the original Π (user bits only).
+  long cc_user() const noexcept { return static_cast<long>(user_slots_.size()); }
+  // Noiseless communication of the preprocessed, chunked Π (|Π| · 5K).
+  long cc_chunked() const noexcept {
+    return static_cast<long>(num_real_chunks()) * bits_per_chunk();
+  }
+
+ private:
+  Chunk build_chunk(const std::vector<std::vector<int>>& rounds_user_slots) const;
+
+  std::shared_ptr<const ProtocolSpec> spec_;
+  int K_;
+  std::vector<Slot> user_slots_;
+  std::vector<Chunk> chunks_;
+  Chunk dummy_;
+  int max_rounds_ = 0;
+};
+
+}  // namespace gkr

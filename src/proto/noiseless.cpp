@@ -1,0 +1,59 @@
+#include "proto/noiseless.h"
+
+namespace gkr {
+
+NoiselessResult run_noiseless(const ChunkedProtocol& proto,
+                              const std::vector<std::uint64_t>& inputs) {
+  const Topology& topo = proto.topology();
+  GKR_ASSERT(static_cast<int>(inputs.size()) == topo.num_nodes());
+
+  std::vector<PartyReplayer> parties;
+  parties.reserve(inputs.size());
+  for (PartyId u = 0; u < topo.num_nodes(); ++u) {
+    parties.emplace_back(proto, u, inputs[static_cast<std::size_t>(u)]);
+  }
+
+  NoiselessResult result;
+  result.records.assign(static_cast<std::size_t>(topo.num_links()), {});
+  for (auto& link_records : result.records) {
+    link_records.resize(static_cast<std::size_t>(proto.num_real_chunks()));
+  }
+
+  // Synchronous-round semantics (same as the coded simulation phase): all
+  // sends of a local round are computed from the end-of-previous-round state,
+  // then every slot of the round is folded in chunk-slot order.
+  std::vector<bool> bits;
+  for (int c = 0; c < proto.num_real_chunks(); ++c) {
+    const Chunk& chunk = proto.chunk(c);
+    bits.assign(chunk.slots.size(), false);
+    std::size_t idx = 0;
+    while (idx < chunk.slots.size()) {
+      const int round = chunk.slots[idx].local_round;
+      std::size_t end = idx;
+      while (end < chunk.slots.size() && chunk.slots[end].local_round == round) ++end;
+      for (std::size_t i = idx; i < end; ++i) {  // pass A: peek all sends
+        const ChunkSlot& cs = chunk.slots[i];
+        const PartyId sender = topo.dlink_sender(2 * cs.link + cs.dir);
+        bits[i] = parties[static_cast<std::size_t>(sender)].peek_send(cs);
+      }
+      for (std::size_t i = idx; i < end; ++i) {  // pass B: fold in slot order
+        const ChunkSlot& cs = chunk.slots[i];
+        const int dlink = 2 * cs.link + cs.dir;
+        const Sym sym = bit_to_sym(bits[i]);
+        parties[static_cast<std::size_t>(topo.dlink_sender(dlink))].fold(cs, sym);
+        parties[static_cast<std::size_t>(topo.dlink_receiver(dlink))].fold(cs, sym);
+        result.records[static_cast<std::size_t>(cs.link)][static_cast<std::size_t>(c)].push_back(
+            sym);
+      }
+      idx = end;
+    }
+  }
+
+  result.outputs.reserve(inputs.size());
+  for (const PartyReplayer& p : parties) result.outputs.push_back(p.output());
+  result.cc_user = proto.cc_user();
+  result.cc_chunked = proto.cc_chunked();
+  return result;
+}
+
+}  // namespace gkr

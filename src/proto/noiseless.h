@@ -1,0 +1,31 @@
+// Noiseless reference execution of a chunked protocol.
+//
+// Runs Π chunk by chunk over a perfect channel using the same PartyReplayer
+// machinery as the coded simulation, producing (a) the reference per-link
+// chunk records T^Π and (b) the reference party outputs. The coded run is
+// declared successful iff every party's first |Π| transcript chunks and its
+// output match this reference (§2.1: "Π̃ simulates Π correctly if each party
+// can obtain its output corresponding to Π").
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "proto/chunking.h"
+#include "proto/replay.h"
+
+namespace gkr {
+
+struct NoiselessResult {
+  // records[link][chunk] — symbols on `link` in `chunk`, in chunk-slot order.
+  std::vector<std::vector<LinkChunkRecord>> records;
+  // outputs[party] — reference output after all real chunks.
+  std::vector<std::uint64_t> outputs;
+  long cc_user = 0;     // CC(Π): original user bits
+  long cc_chunked = 0;  // CC of the preprocessed chunked protocol
+};
+
+NoiselessResult run_noiseless(const ChunkedProtocol& proto,
+                              const std::vector<std::uint64_t>& inputs);
+
+}  // namespace gkr

@@ -1,0 +1,74 @@
+// The noiseless multiparty protocol abstraction Π (§2.1).
+//
+// A protocol has a *fixed, input-independent speaking order* (the paper's
+// standing assumption): `slots_for_round` enumerates which directed links
+// carry a bit in each round. Only the *content* of each transmission depends
+// on inputs and history.
+//
+// Content is produced by a per-party deterministic automaton (PartyLogic)
+// that consumes the party's local slot events in order. The split into
+// compute_send / note_sent / note_received is what makes replay from
+// (possibly corrupted, possibly rolled-back) transcripts well-defined: on
+// replay the *recorded* bit is fed via note_sent, never recomputed, so the
+// automaton tracks what actually happened on the wire from this party's
+// point of view (DESIGN.md §4).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "net/channel.h"
+#include "net/topology.h"
+
+namespace gkr {
+
+// One scheduled transmission: a directed link. The sender is
+// topo.dlink_sender(2*link+dir).
+struct Slot {
+  int link = -1;
+  int dir = 0;
+};
+
+class PartyLogic {
+ public:
+  virtual ~PartyLogic() = default;
+
+  // Bit this party sends for user slot `user_slot` (its global index in the
+  // protocol's slot enumeration). Must be a pure function of the automaton
+  // state; the state is advanced only by note_sent / note_received.
+  virtual bool compute_send(int user_slot, const Slot& s) const = 0;
+
+  // Advance the automaton: this party sent `bit` / received `bit` at the
+  // given slot. On replay, `bit` is the recorded wire value.
+  virtual void note_sent(int user_slot, const Slot& s, bool bit) = 0;
+  virtual void note_received(int user_slot, const Slot& s, bool bit) = 0;
+
+  // Final output of the party (compared against the noiseless reference to
+  // decide simulation success).
+  virtual std::uint64_t output() const = 0;
+};
+
+class ProtocolSpec {
+ public:
+  explicit ProtocolSpec(const Topology& topo) : topo_(&topo) {}
+  virtual ~ProtocolSpec() = default;
+
+  const Topology& topology() const noexcept { return *topo_; }
+
+  virtual std::string name() const = 0;
+  virtual int num_rounds() const = 0;
+
+  // Slots transmitted in `round` (fixed speaking order). May be empty — the
+  // model is explicitly not fully utilized.
+  virtual std::vector<Slot> slots_for_round(int round) const = 0;
+
+  // Fresh automaton for party u with the given input.
+  virtual std::unique_ptr<PartyLogic> make_logic(PartyId u, std::uint64_t input) const = 0;
+
+ private:
+  const Topology* topo_;
+};
+
+}  // namespace gkr

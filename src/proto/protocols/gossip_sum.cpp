@@ -1,0 +1,53 @@
+#include "proto/protocols/gossip_sum.h"
+
+#include "util/rng.h"
+#include "util/stats.h"
+
+namespace gkr {
+namespace {
+
+class GossipSumLogic final : public PartyLogic {
+ public:
+  explicit GossipSumLogic(std::uint64_t input)
+      : est_((mix64(input) & 1ULL) != 0), digest_(mix64(input ^ 0x905511ULL)) {}
+
+  bool compute_send(int, const Slot&) const override { return est_; }
+
+  void note_sent(int, const Slot&, bool) override {}
+
+  void note_received(int user_slot, const Slot&, bool bit) override {
+    est_ = est_ ^ bit;
+    digest_ = mix64(digest_ ^ (static_cast<std::uint64_t>(user_slot) << 1) ^ (bit ? 1ULL : 0ULL));
+  }
+
+  std::uint64_t output() const override { return digest_; }
+
+ private:
+  bool est_;
+  std::uint64_t digest_;
+};
+
+}  // namespace
+
+GossipSumProtocol::GossipSumProtocol(const Topology& topo, int rounds)
+    : ProtocolSpec(topo), rounds_(rounds) {
+  GKR_ASSERT(rounds >= 1);
+}
+
+std::string GossipSumProtocol::name() const { return strf("gossip_sum(r=%d)", rounds_); }
+
+std::vector<Slot> GossipSumProtocol::slots_for_round(int) const {
+  std::vector<Slot> slots;
+  slots.reserve(static_cast<std::size_t>(topology().num_dlinks()));
+  for (int l = 0; l < topology().num_links(); ++l) {
+    slots.push_back(Slot{l, 0});
+    slots.push_back(Slot{l, 1});
+  }
+  return slots;
+}
+
+std::unique_ptr<PartyLogic> GossipSumProtocol::make_logic(PartyId, std::uint64_t input) const {
+  return std::make_unique<GossipSumLogic>(input);
+}
+
+}  // namespace gkr

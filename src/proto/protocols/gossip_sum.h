@@ -1,0 +1,28 @@
+// GossipSum: a dense, fully-utilized-style protocol — every directed link
+// carries one bit every round. Parties gossip a running parity of everything
+// they have seen; the output digests the full local history so any accepted
+// corruption is observable at the outputs.
+//
+// This is the opposite regime from TreeToken: CC(Π) = 2m · RC(Π), the case
+// where fully-utilized schemes like [HS16] are at home. Comparing both
+// workloads demonstrates the paper's "not fully utilized" motivation.
+#pragma once
+
+#include "proto/protocol_spec.h"
+
+namespace gkr {
+
+class GossipSumProtocol final : public ProtocolSpec {
+ public:
+  GossipSumProtocol(const Topology& topo, int rounds);
+
+  std::string name() const override;
+  int num_rounds() const override { return rounds_; }
+  std::vector<Slot> slots_for_round(int round) const override;
+  std::unique_ptr<PartyLogic> make_logic(PartyId u, std::uint64_t input) const override;
+
+ private:
+  int rounds_;
+};
+
+}  // namespace gkr

@@ -1,0 +1,79 @@
+#include "proto/protocols/line_pingpong.h"
+
+#include "util/rng.h"
+#include "util/stats.h"
+
+namespace gkr {
+namespace {
+
+class LinePingPongLogic final : public PartyLogic {
+ public:
+  LinePingPongLogic(PartyId self, std::uint64_t input)
+      : self_(self), state_(mix64(input ^ 0x11e9ULL)) {}
+
+  bool compute_send(int user_slot, const Slot&) const override {
+    // Bit = strong mix of everything seen so far; any accepted corruption
+    // upstream changes all downstream traffic.
+    return (mix64(state_ ^ static_cast<std::uint64_t>(user_slot)) & 1ULL) != 0;
+  }
+
+  void note_sent(int user_slot, const Slot&, bool bit) override { fold(user_slot, bit, true); }
+  void note_received(int user_slot, const Slot&, bool bit) override {
+    fold(user_slot, bit, false);
+  }
+
+  std::uint64_t output() const override { return state_; }
+
+ private:
+  void fold(int user_slot, bool bit, bool sent) {
+    state_ = mix64(state_ * 0x100000001b3ULL ^ static_cast<std::uint64_t>(user_slot) ^
+                   (bit ? 2ULL : 0ULL) ^ (sent ? 4ULL : 0ULL) ^
+                   (static_cast<std::uint64_t>(self_) << 40));
+  }
+
+  PartyId self_;
+  std::uint64_t state_;
+};
+
+}  // namespace
+
+LinePingPongProtocol::LinePingPongProtocol(const Topology& topo, int sweeps, int pp_bits)
+    : ProtocolSpec(topo), sweeps_(sweeps), pp_bits_(pp_bits) {
+  GKR_ASSERT(topo.num_nodes() >= 3);
+  GKR_ASSERT(topo.num_links() == topo.num_nodes() - 1);  // a line
+  GKR_ASSERT(sweeps >= 1 && pp_bits >= 1);
+}
+
+int LinePingPongProtocol::rounds_per_sweep() const {
+  return (topology().num_nodes() - 1) + pp_bits_;
+}
+
+std::string LinePingPongProtocol::name() const {
+  return strf("line_pingpong(sweeps=%d,pp=%d)", sweeps_, pp_bits_);
+}
+
+int LinePingPongProtocol::num_rounds() const { return sweeps_ * rounds_per_sweep(); }
+
+std::vector<Slot> LinePingPongProtocol::slots_for_round(int round) const {
+  const Topology& topo = topology();
+  const int n = topo.num_nodes();
+  const int r = round % rounds_per_sweep();
+  if (r < n - 1) {
+    // Forward hop: party r sends one bit to party r+1. Links on a line are
+    // sorted, so link id r connects parties r and r+1.
+    const int link = r;
+    return {Slot{link, topo.dlink_from(link, r) % 2}};
+  }
+  // Ping-pong burst on the last link between parties n-2 and n-1.
+  const int link = n - 2;
+  const int turn = r - (n - 1);
+  const PartyId sender = (turn % 2 == 0) ? n - 2 : n - 1;
+  return {Slot{link, topo.dlink_from(link, sender) % 2}};
+}
+
+std::unique_ptr<PartyLogic> LinePingPongProtocol::make_logic(PartyId u,
+                                                             std::uint64_t input) const {
+  return std::make_unique<LinePingPongLogic>(u, input);
+}
+
+}  // namespace gkr

@@ -1,0 +1,32 @@
+// LinePingPong: the paper's motivating example (§1.2).
+//
+// On a line of n parties, each "sweep" sends one bit hop-by-hop from party 0
+// to party n-1, after which the two last parties (n-2, n-1) exchange a long
+// ping-pong burst of pp_bits messages. An early corruption on link (0,1)
+// therefore invalidates a lot of downstream traffic — the workload the rewind
+// phase exists to rescue (§3.1(iv) and the Θ(n²) discussion).
+#pragma once
+
+#include "proto/protocol_spec.h"
+
+namespace gkr {
+
+class LinePingPongProtocol final : public ProtocolSpec {
+ public:
+  // topo must be Topology::line(n), n ≥ 3.
+  LinePingPongProtocol(const Topology& topo, int sweeps, int pp_bits);
+
+  std::string name() const override;
+  int num_rounds() const override;
+  std::vector<Slot> slots_for_round(int round) const override;
+  std::unique_ptr<PartyLogic> make_logic(PartyId u, std::uint64_t input) const override;
+
+  int rounds_per_sweep() const;
+
+ private:
+  friend class LinePingPongLogic;
+  int sweeps_;
+  int pp_bits_;
+};
+
+}  // namespace gkr

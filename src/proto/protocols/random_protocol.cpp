@@ -1,0 +1,62 @@
+#include "proto/protocols/random_protocol.h"
+
+#include "util/rng.h"
+#include "util/stats.h"
+
+namespace gkr {
+namespace {
+
+class RandomLogic final : public PartyLogic {
+ public:
+  explicit RandomLogic(std::uint64_t input) : state_(mix64(input ^ 0xd1ceULL)) {}
+
+  bool compute_send(int user_slot, const Slot&) const override {
+    return (mix64(state_ ^ (static_cast<std::uint64_t>(user_slot) * 0x9e3779b9ULL)) & 1ULL) != 0;
+  }
+
+  void note_sent(int user_slot, const Slot&, bool bit) override { fold(user_slot, bit); }
+  void note_received(int user_slot, const Slot&, bool bit) override {
+    fold(user_slot ^ 0x40000000, bit);
+  }
+
+  std::uint64_t output() const override { return state_; }
+
+ private:
+  void fold(int tag, bool bit) {
+    state_ = mix64(state_ ^ (static_cast<std::uint64_t>(tag) << 1) ^ (bit ? 1ULL : 0ULL));
+  }
+
+  std::uint64_t state_;
+};
+
+}  // namespace
+
+RandomProtocol::RandomProtocol(const Topology& topo, int rounds, double density,
+                               std::uint64_t proto_seed)
+    : ProtocolSpec(topo), rounds_(rounds), density_(density), seed_(proto_seed) {
+  GKR_ASSERT(rounds >= 1);
+  GKR_ASSERT(density > 0.0 && density <= 1.0);
+}
+
+std::string RandomProtocol::name() const {
+  return strf("random(r=%d,q=%.2f)", rounds_, density_);
+}
+
+std::vector<Slot> RandomProtocol::slots_for_round(int round) const {
+  // Schedule fixed by (seed, round, dlink): input-independent speaking order.
+  std::vector<Slot> slots;
+  const std::uint64_t threshold =
+      static_cast<std::uint64_t>(density_ * 18446744073709551615.0);
+  for (int dl = 0; dl < topology().num_dlinks(); ++dl) {
+    const std::uint64_t h =
+        mix64(seed_ ^ (static_cast<std::uint64_t>(round) << 20) ^ static_cast<std::uint64_t>(dl));
+    if (h <= threshold) slots.push_back(Slot{dl / 2, dl % 2});
+  }
+  return slots;
+}
+
+std::unique_ptr<PartyLogic> RandomProtocol::make_logic(PartyId, std::uint64_t input) const {
+  return std::make_unique<RandomLogic>(input);
+}
+
+}  // namespace gkr

@@ -1,0 +1,31 @@
+// RandomProtocol: an adversarially hard synthetic workload.
+//
+// The speaking schedule is a pseudo-random subset of directed links per round
+// (density q), fixed by the protocol seed — so the order of speaking is
+// input-independent, as the model requires. Every transmitted bit is a PRF of
+// the sender's input and its entire local history digest, so *any* accepted
+// corruption cascades into all later traffic and into the output. This is the
+// protocol used to stress simulation fidelity: if the coding scheme declares
+// success, the transcripts really are the noiseless ones.
+#pragma once
+
+#include "proto/protocol_spec.h"
+
+namespace gkr {
+
+class RandomProtocol final : public ProtocolSpec {
+ public:
+  RandomProtocol(const Topology& topo, int rounds, double density, std::uint64_t proto_seed);
+
+  std::string name() const override;
+  int num_rounds() const override { return rounds_; }
+  std::vector<Slot> slots_for_round(int round) const override;
+  std::unique_ptr<PartyLogic> make_logic(PartyId u, std::uint64_t input) const override;
+
+ private:
+  int rounds_;
+  double density_;
+  std::uint64_t seed_;
+};
+
+}  // namespace gkr

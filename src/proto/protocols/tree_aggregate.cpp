@@ -1,0 +1,149 @@
+#include "proto/protocols/tree_aggregate.h"
+
+#include <map>
+
+#include "util/rng.h"
+#include "util/stats.h"
+
+namespace gkr {
+namespace {
+
+std::uint64_t word_mask(int bits) { return bits >= 64 ? ~0ULL : (1ULL << bits) - 1; }
+
+// The value party u contributes to the sum, derived from its input.
+std::uint64_t contribution(std::uint64_t input, int bits) {
+  return mix64(input ^ 0xa66ULL) & word_mask(bits);
+}
+
+class TreeAggregateLogic final : public PartyLogic {
+ public:
+  TreeAggregateLogic(const TreeAggregateProtocol& spec, PartyId self, std::uint64_t input)
+      : spec_(&spec), self_(self) {
+    base_ = contribution(input, spec.word_bits());
+    subtree_sum_ = base_;
+    total_ = base_;  // placeholder until the down word arrives (root keeps it)
+  }
+
+  bool compute_send(int, const Slot& s) const override {
+    const int dlink = 2 * s.link + s.dir;
+    const int bit_idx = sent_count(dlink) % spec_->word_bits();
+    const bool down = is_down(s);
+    const std::uint64_t word = down ? word_down() : subtree_sum_;
+    return ((word >> bit_idx) & 1ULL) != 0;
+  }
+
+  void note_sent(int, const Slot& s, bool) override {
+    const int dlink = 2 * s.link + s.dir;
+    ++sent_[dlink];
+  }
+
+  void note_received(int, const Slot& s, bool bit) override {
+    const int dlink = 2 * s.link + s.dir;
+    auto& [buf, count] = recv_[dlink];
+    if (bit) buf |= 1ULL << (count % spec_->word_bits());
+    ++count;
+    if (count % spec_->word_bits() != 0) return;
+    const std::uint64_t word = buf & word_mask(spec_->word_bits());
+    buf = 0;
+    const PartyId sender = spec_->topology().dlink_sender(dlink);
+    if (sender == parent()) {
+      // Down word: adopt the total and reset for a possible next repeat.
+      total_ = word;
+      subtree_sum_ = base_;
+    } else {
+      // Up word from a child: fold into the subtree sum.
+      subtree_sum_ = (subtree_sum_ + word) & word_mask(spec_->word_bits());
+    }
+  }
+
+  std::uint64_t output() const override { return word_down(); }
+
+ private:
+  PartyId parent() const { return spec_->tree().parent[static_cast<std::size_t>(self_)]; }
+
+  bool is_down(const Slot& s) const {
+    // A send is "down" when the receiver is one of our children.
+    const PartyId receiver = spec_->topology().dlink_receiver(2 * s.link + s.dir);
+    return receiver != parent();
+  }
+
+  // The network total as this party knows it (root: its subtree sum).
+  std::uint64_t word_down() const { return parent() == -1 ? subtree_sum_ : total_; }
+
+  int sent_count(int dlink) const {
+    const auto it = sent_.find(dlink);
+    return it == sent_.end() ? 0 : it->second;
+  }
+
+  const TreeAggregateProtocol* spec_;
+  PartyId self_;
+  std::uint64_t base_;
+  std::uint64_t subtree_sum_;
+  std::uint64_t total_;
+  std::map<int, int> sent_;                           // dlink -> bits sent
+  std::map<int, std::pair<std::uint64_t, int>> recv_;  // dlink -> (buffer, bits)
+};
+
+}  // namespace
+
+TreeAggregateProtocol::TreeAggregateProtocol(const Topology& topo, int word_bits, int repeats)
+    : ProtocolSpec(topo),
+      tree_(SpanningTree::bfs(topo, 0)),
+      word_bits_(word_bits),
+      repeats_(repeats) {
+  GKR_ASSERT(word_bits >= 1 && word_bits <= 63);
+  GKR_ASSERT(repeats >= 1);
+  up_rounds_ = (tree_.depth - 1) * word_bits_;
+  down_rounds_ = (tree_.depth - 1) * word_bits_;
+}
+
+std::string TreeAggregateProtocol::name() const {
+  return strf("tree_aggregate(w=%d,rep=%d)", word_bits_, repeats_);
+}
+
+int TreeAggregateProtocol::num_rounds() const { return repeats_ * (up_rounds_ + down_rounds_); }
+
+std::vector<Slot> TreeAggregateProtocol::slots_for_round(int round) const {
+  const Topology& topo = topology();
+  const int r = round % (up_rounds_ + down_rounds_);
+  std::vector<Slot> slots;
+  if (r < up_rounds_) {
+    // Up phase: deepest level first. Level ℓ sends during its word window.
+    const int window = r / word_bits_;
+    const int level = tree_.depth - window;  // depth, depth-1, ..., 2
+    for (PartyId u = 0; u < topo.num_nodes(); ++u) {
+      if (tree_.level[static_cast<std::size_t>(u)] != level) continue;
+      const int link = tree_.parent_link[static_cast<std::size_t>(u)];
+      if (link < 0) continue;
+      slots.push_back(Slot{link, topo.dlink_from(link, u) % 2});
+    }
+  } else {
+    // Down phase: root first. Level ℓ sends to its children.
+    const int window = (r - up_rounds_) / word_bits_;
+    const int level = 1 + window;  // 1, 2, ..., depth-1
+    for (PartyId u = 0; u < topo.num_nodes(); ++u) {
+      if (tree_.level[static_cast<std::size_t>(u)] != level) continue;
+      for (PartyId c : tree_.children[static_cast<std::size_t>(u)]) {
+        const int link = topo.link_between(u, c);
+        slots.push_back(Slot{link, topo.dlink_from(link, u) % 2});
+      }
+    }
+  }
+  return slots;
+}
+
+std::unique_ptr<PartyLogic> TreeAggregateProtocol::make_logic(PartyId u,
+                                                              std::uint64_t input) const {
+  return std::make_unique<TreeAggregateLogic>(*this, u, input);
+}
+
+std::uint64_t TreeAggregateProtocol::expected_sum(
+    const std::vector<std::uint64_t>& inputs) const {
+  std::uint64_t sum = 0;
+  for (std::uint64_t in : inputs) {
+    sum = (sum + contribution(in, word_bits_)) & word_mask(word_bits_);
+  }
+  return sum;
+}
+
+}  // namespace gkr

@@ -1,0 +1,37 @@
+// TreeAggregate: a realistic distributed-computing workload — convergecast a
+// modular sum of all inputs up a BFS spanning tree, then broadcast the total
+// back down. Every party outputs the network-wide sum, giving a natural
+// end-to-end correctness check ("did the network compute f(x_1..x_n)?") for
+// the quickstart example and integration tests.
+#pragma once
+
+#include "net/spanning_tree.h"
+#include "proto/protocol_spec.h"
+
+namespace gkr {
+
+class TreeAggregateProtocol final : public ProtocolSpec {
+ public:
+  TreeAggregateProtocol(const Topology& topo, int word_bits = 16, int repeats = 1);
+
+  std::string name() const override;
+  int num_rounds() const override;
+  std::vector<Slot> slots_for_round(int round) const override;
+  std::unique_ptr<PartyLogic> make_logic(PartyId u, std::uint64_t input) const override;
+
+  const SpanningTree& tree() const noexcept { return tree_; }
+  int word_bits() const noexcept { return word_bits_; }
+
+  // Ground truth: the sum the protocol computes (mod 2^word_bits).
+  std::uint64_t expected_sum(const std::vector<std::uint64_t>& inputs) const;
+
+ private:
+  friend class TreeAggregateLogic;
+  SpanningTree tree_;
+  int word_bits_;
+  int repeats_;
+  int up_rounds_;    // (depth-1) * word_bits
+  int down_rounds_;  // (depth-1) * word_bits
+};
+
+}  // namespace gkr

@@ -1,0 +1,98 @@
+#include "proto/protocols/tree_token.h"
+
+#include "util/rng.h"
+#include "util/stats.h"
+
+namespace gkr {
+namespace {
+
+class TreeTokenLogic final : public PartyLogic {
+ public:
+  TreeTokenLogic(const TreeTokenProtocol& spec, PartyId self, std::uint64_t input)
+      : spec_(&spec), self_(self) {
+    token_ = mask(mix64(input ^ 0x70ce2ULL));
+    recv_buf_ = 0;
+    recv_count_ = 0;
+  }
+
+  bool compute_send(int user_slot, const Slot&) const override {
+    const int bit_idx = user_slot % spec_->word_bits();
+    return ((token_ >> bit_idx) & 1ULL) != 0;
+  }
+
+  void note_sent(int, const Slot&, bool) override {}
+
+  void note_received(int user_slot, const Slot&, bool bit) override {
+    const int bit_idx = user_slot % spec_->word_bits();
+    if (bit) recv_buf_ |= 1ULL << bit_idx;
+    ++recv_count_;
+    if (recv_count_ == spec_->word_bits()) {
+      // Full token received: fold own input-derived key and adopt it.
+      token_ = mask(mix64(recv_buf_ ^ token_ ^ (static_cast<std::uint64_t>(self_) << 32)));
+      recv_buf_ = 0;
+      recv_count_ = 0;
+    }
+  }
+
+  std::uint64_t output() const override { return token_; }
+
+ private:
+  std::uint64_t mask(std::uint64_t v) const {
+    return spec_->word_bits() >= 64 ? v : (v & ((1ULL << spec_->word_bits()) - 1));
+  }
+
+  const TreeTokenProtocol* spec_;
+  PartyId self_;
+  std::uint64_t token_;
+  std::uint64_t recv_buf_;
+  int recv_count_;
+};
+
+}  // namespace
+
+TreeTokenProtocol::TreeTokenProtocol(const Topology& topo, int laps, int word_bits)
+    : ProtocolSpec(topo), laps_(laps), word_bits_(word_bits) {
+  GKR_ASSERT(laps >= 1 && word_bits >= 1 && word_bits <= 64);
+  const SpanningTree tree = SpanningTree::bfs(topo, 0);
+  // Iterative DFS from the root, recording each edge transit (down and up).
+  std::vector<std::pair<PartyId, std::size_t>> stack;  // (node, next child idx)
+  stack.push_back({tree.root, 0});
+  while (!stack.empty()) {
+    auto& [u, next] = stack.back();
+    const auto& kids = tree.children[static_cast<std::size_t>(u)];
+    if (next < kids.size()) {
+      const PartyId v = kids[next];
+      ++next;
+      const int link = topo.link_between(u, v);
+      walk_.push_back(Slot{link, topo.dlink_from(link, u) % 2});
+      stack.push_back({v, 0});
+    } else {
+      stack.pop_back();
+      if (!stack.empty()) {
+        const PartyId parent = stack.back().first;
+        const int link = topo.link_between(u, parent);
+        walk_.push_back(Slot{link, topo.dlink_from(link, u) % 2});
+      }
+    }
+  }
+  GKR_ASSERT(static_cast<int>(walk_.size()) == 2 * (topo.num_nodes() - 1));
+}
+
+std::string TreeTokenProtocol::name() const {
+  return strf("tree_token(laps=%d,w=%d)", laps_, word_bits_);
+}
+
+int TreeTokenProtocol::num_rounds() const {
+  return laps_ * transits_per_lap() * word_bits_;
+}
+
+std::vector<Slot> TreeTokenProtocol::slots_for_round(int round) const {
+  const int transit = (round / word_bits_) % transits_per_lap();
+  return {walk_[static_cast<std::size_t>(transit)]};
+}
+
+std::unique_ptr<PartyLogic> TreeTokenProtocol::make_logic(PartyId u, std::uint64_t input) const {
+  return std::make_unique<TreeTokenLogic>(*this, u, input);
+}
+
+}  // namespace gkr

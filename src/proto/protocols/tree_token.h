@@ -1,0 +1,39 @@
+// TreeToken: a token-passing computation along a DFS traversal of a BFS
+// spanning tree — the canonical *sparse* protocol (exactly one directed link
+// speaks per round).
+//
+// A `word_bits`-bit token starts at the root, visits every node in DFS order
+// (down and up every tree edge), and every party folds its private input into
+// the token on each visit. After `laps` laps every party outputs its final
+// token view. Because at most one bit is in flight per round, CC(Π) ≈ RC(Π):
+// this is the regime where converting to a fully-utilized protocol costs a
+// factor m (§1, "communication model") — the workload behind the rate
+// experiments.
+#pragma once
+
+#include "net/spanning_tree.h"
+#include "proto/protocol_spec.h"
+
+namespace gkr {
+
+class TreeTokenProtocol final : public ProtocolSpec {
+ public:
+  TreeTokenProtocol(const Topology& topo, int laps, int word_bits = 16);
+
+  std::string name() const override;
+  int num_rounds() const override;
+  std::vector<Slot> slots_for_round(int round) const override;
+  std::unique_ptr<PartyLogic> make_logic(PartyId u, std::uint64_t input) const override;
+
+  int word_bits() const noexcept { return word_bits_; }
+  // The t-th transit (directed tree edge) of one lap.
+  int transits_per_lap() const noexcept { return static_cast<int>(walk_.size()); }
+
+ private:
+  friend class TreeTokenLogic;
+  int laps_;
+  int word_bits_;
+  std::vector<Slot> walk_;  // DFS edge sequence as directed slots
+};
+
+}  // namespace gkr

@@ -1,0 +1,102 @@
+#include "proto/replay.h"
+
+#include <algorithm>
+
+namespace gkr {
+
+PartyReplayer::PartyReplayer(const ChunkedProtocol& proto, PartyId self, std::uint64_t input)
+    : proto_(&proto), self_(self), input_(input) {
+  reset();
+}
+
+void PartyReplayer::reset() {
+  logic_ = proto_->spec().make_logic(self_, input_);
+  dlink_parity_.assign(static_cast<std::size_t>(proto_->topology().num_dlinks()), false);
+}
+
+void PartyReplayer::feed_slot(const ChunkSlot& cs, Sym recorded) {
+  const Topology& topo = proto_->topology();
+  const int dlink = 2 * cs.link + cs.dir;
+  const bool sender = topo.dlink_sender(dlink) == self_;
+  if (cs.kind == SlotKind::User) {
+    const Slot s{cs.link, cs.dir};
+    const bool bit = sym_to_bit(recorded);
+    if (sender) {
+      logic_->note_sent(cs.user_slot, s, bit);
+    } else {
+      logic_->note_received(cs.user_slot, s, bit);
+    }
+    dlink_parity_[static_cast<std::size_t>(dlink)] =
+        dlink_parity_[static_cast<std::size_t>(dlink)] ^ bit;
+  }
+  // Heartbeat and pad slots carry no automaton state.
+}
+
+void PartyReplayer::rebuild(const ChunkReader& reader, const std::vector<int>& chunks_per_link) {
+  reset();
+  ++rebuilds_;
+  const Topology& topo = proto_->topology();
+  int max_chunks = 0;
+  for (int l : topo.links_of(self_)) {
+    max_chunks = std::max(max_chunks, chunks_per_link[static_cast<std::size_t>(l)]);
+  }
+  for (int c = 0; c < max_chunks; ++c) {
+    const Chunk& chunk = proto_->chunk(c);
+    for (int l : topo.links_of(self_)) {
+      if (c >= chunks_per_link[static_cast<std::size_t>(l)]) continue;
+      const LinkChunkRecord* rec = reader(l, c);
+      GKR_ASSERT(rec != nullptr);
+      GKR_ASSERT(rec->size() == chunk.by_link[static_cast<std::size_t>(l)].size());
+    }
+    // Feed in chunk slot order (round-minor), interleaving links exactly as
+    // the live simulation phase does.
+    for (std::size_t idx = 0; idx < chunk.slots.size(); ++idx) {
+      const ChunkSlot& cs = chunk.slots[idx];
+      const Topology& g = topo;
+      const PartyId a = g.link(cs.link).a, b = g.link(cs.link).b;
+      if (a != self_ && b != self_) continue;
+      if (c >= chunks_per_link[static_cast<std::size_t>(cs.link)]) continue;
+      const LinkChunkRecord* rec = reader(cs.link, c);
+      // Index of this slot within the link's slot list for the chunk.
+      const auto& list = chunk.by_link[static_cast<std::size_t>(cs.link)];
+      const auto it = std::lower_bound(list.begin(), list.end(), static_cast<int>(idx));
+      GKR_ASSERT(it != list.end() && *it == static_cast<int>(idx));
+      const std::size_t pos = static_cast<std::size_t>(it - list.begin());
+      feed_slot(cs, (*rec)[pos]);
+    }
+  }
+}
+
+bool PartyReplayer::peek_send(const ChunkSlot& cs) const {
+  const int dlink = 2 * cs.link + cs.dir;
+  GKR_ASSERT(proto_->topology().dlink_sender(dlink) == self_);
+  switch (cs.kind) {
+    case SlotKind::Heartbeat:
+      return dlink_parity_[static_cast<std::size_t>(dlink)];
+    case SlotKind::Pad:
+      return false;
+    case SlotKind::User:
+      return logic_->compute_send(cs.user_slot, Slot{cs.link, cs.dir});
+  }
+  return false;
+}
+
+void PartyReplayer::fold(const ChunkSlot& cs, Sym recorded) { feed_slot(cs, recorded); }
+
+bool PartyReplayer::on_send_slot(int chunk_index, int slot_idx, const ChunkSlot& cs) {
+  (void)chunk_index;
+  (void)slot_idx;
+  const bool bit = peek_send(cs);
+  feed_slot(cs, bit_to_sym(bit));
+  return bit;
+}
+
+void PartyReplayer::on_receive_slot(int chunk_index, int slot_idx, const ChunkSlot& cs,
+                                    Sym received) {
+  (void)chunk_index;
+  (void)slot_idx;
+  GKR_ASSERT(proto_->topology().dlink_receiver(2 * cs.link + cs.dir) == self_);
+  feed_slot(cs, received);
+}
+
+}  // namespace gkr

@@ -1,0 +1,86 @@
+// Deterministic local replay of a party's protocol automaton from its
+// pairwise transcripts (DESIGN.md §4).
+//
+// Algorithm 1 line 17 has a party simulate chunk |T_{u,v}|+1 *per link*,
+// "based on the partial transcript T_{u,w} for each w ∈ N(u), as well as the
+// input to u". PartyReplayer is that machinery:
+//
+//  * rebuild(): reconstructs the automaton state from scratch by feeding the
+//    party's recorded per-link chunk records in chunk-major, round-minor
+//    order (recorded bits are authoritative — sends are *not* recomputed);
+//  * on_send_slot()/on_receive_slot(): advance the state live during a
+//    simulation phase, producing heartbeat parities, pad zeros and user bits.
+//
+// When all links are aligned and clean, live advancement equals the noiseless
+// execution of Π exactly (tested). When links are desynced (possible only
+// after undetected corruption), the emitted bits are deterministic values the
+// meeting-points + rewind machinery later rolls back; only agreeing prefixes
+// G_{u,v} count as progress in the paper's accounting.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "proto/chunking.h"
+
+namespace gkr {
+
+// Record of one chunk restricted to one link: one wire symbol per chunk-slot
+// touching the link, in the chunk's slot order (both directions; sent
+// symbols recorded as sent, received as received).
+using LinkChunkRecord = std::vector<Sym>;
+
+class PartyReplayer {
+ public:
+  PartyReplayer(const ChunkedProtocol& proto, PartyId self, std::uint64_t input);
+
+  PartyId self() const noexcept { return self_; }
+
+  // Reader giving the recorded symbols for (link, chunk) or nullptr when the
+  // local transcript for the link is shorter than chunk+1 chunks.
+  using ChunkReader = std::function<const LinkChunkRecord*(int link, int chunk)>;
+
+  // Rebuild the automaton from recorded history. chunks_per_link[link] bounds
+  // how many chunks to feed for each incident link (pass the transcript
+  // lengths). Non-incident links are ignored.
+  void rebuild(const ChunkReader& reader, const std::vector<int>& chunks_per_link);
+
+  // Live: bit to transmit for a slot (this party must be the sender),
+  // computed from the *current* state without advancing it. Synchronous-round
+  // semantics: all sends of a round are peeked from the end-of-previous-round
+  // state, then all of the round's events are folded in chunk-slot order —
+  // identically in the live path, the noiseless reference and rebuild().
+  bool peek_send(const ChunkSlot& cs) const;
+
+  // Advance the automaton with the recorded wire value of a slot this party
+  // participated in (its own sent bit, or the symbol it received).
+  void fold(const ChunkSlot& cs, Sym recorded);
+
+  // Convenience for strictly sequential execution (one slot in flight at a
+  // time): peek + fold.
+  bool on_send_slot(int chunk_index, int slot_idx, const ChunkSlot& cs);
+  void on_receive_slot(int chunk_index, int slot_idx, const ChunkSlot& cs, Sym received);
+
+  // Party output per the current automaton state.
+  std::uint64_t output() const { return logic_->output(); }
+
+  // Number of rebuilds performed (instrumentation for the overhead bench).
+  long rebuild_count() const noexcept { return rebuilds_; }
+
+ private:
+  void reset();
+  void feed_slot(const ChunkSlot& cs, Sym recorded);
+
+  const ChunkedProtocol* proto_;
+  PartyId self_;
+  std::uint64_t input_;
+  std::unique_ptr<PartyLogic> logic_;
+  // Parity of user bits this party has put on / taken off each directed
+  // link — the heartbeat content.
+  std::vector<bool> dlink_parity_;
+  long rebuilds_ = 0;
+};
+
+}  // namespace gkr

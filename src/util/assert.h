@@ -1,0 +1,30 @@
+// Lightweight runtime assertion macros used across gkrcode.
+//
+// GKR_ASSERT is compiled in all build types (the simulator is a research
+// instrument: silent state corruption costs far more than the check), prints
+// the failing expression with file/line context, and aborts.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace gkr::detail {
+
+[[noreturn]] inline void assert_fail(const char* expr, const char* file, int line,
+                                     const char* msg) {
+  std::fprintf(stderr, "GKR_ASSERT failed: %s\n  at %s:%d\n  %s\n", expr, file, line,
+               msg == nullptr ? "" : msg);
+  std::abort();
+}
+
+}  // namespace gkr::detail
+
+#define GKR_ASSERT(expr)                                                   \
+  do {                                                                     \
+    if (!(expr)) ::gkr::detail::assert_fail(#expr, __FILE__, __LINE__, ""); \
+  } while (0)
+
+#define GKR_ASSERT_MSG(expr, msg)                                             \
+  do {                                                                        \
+    if (!(expr)) ::gkr::detail::assert_fail(#expr, __FILE__, __LINE__, (msg)); \
+  } while (0)

@@ -1,0 +1,31 @@
+#include "util/bitvec.h"
+
+#include <bit>
+
+#include "util/rng.h"
+
+namespace gkr {
+
+std::size_t BitVec::popcount() const noexcept {
+  std::size_t n = 0;
+  for (std::uint64_t w : words_) n += static_cast<std::size_t>(std::popcount(w));
+  return n;
+}
+
+bool BitVec::operator==(const BitVec& other) const noexcept {
+  return size_ == other.size_ && words_ == other.words_;
+}
+
+BitVec& BitVec::operator^=(const BitVec& other) noexcept {
+  GKR_ASSERT(size_ == other.size_);
+  for (std::size_t i = 0; i < words_.size(); ++i) words_[i] ^= other.words_[i];
+  return *this;
+}
+
+std::uint64_t BitVec::digest() const noexcept {
+  std::uint64_t h = mix64(size_ ^ 0x9ae16a3b2f90404fULL);
+  for (std::uint64_t w : words_) h = mix64(h ^ w);
+  return h;
+}
+
+}  // namespace gkr

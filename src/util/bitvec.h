@@ -1,0 +1,108 @@
+// Compact growable bit vector.
+//
+// Used for codewords, seed material and transcript payloads. Bits are indexed
+// LSB-first within 64-bit words. The interface deliberately mirrors the small
+// subset of std::vector<bool> we need, plus word-level access for the hashing
+// and δ-biased generator hot paths.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "util/assert.h"
+
+namespace gkr {
+
+class BitVec {
+ public:
+  BitVec() = default;
+  explicit BitVec(std::size_t n_bits, bool value = false) { resize(n_bits, value); }
+
+  std::size_t size() const noexcept { return size_; }
+  bool empty() const noexcept { return size_ == 0; }
+
+  bool get(std::size_t i) const noexcept {
+    GKR_ASSERT(i < size_);
+    return ((words_[i >> 6] >> (i & 63)) & 1ULL) != 0;
+  }
+
+  void set(std::size_t i, bool v) noexcept {
+    GKR_ASSERT(i < size_);
+    const std::uint64_t mask = 1ULL << (i & 63);
+    if (v) {
+      words_[i >> 6] |= mask;
+    } else {
+      words_[i >> 6] &= ~mask;
+    }
+  }
+
+  void push_back(bool v) {
+    if ((size_ & 63) == 0) words_.push_back(0);
+    ++size_;
+    set(size_ - 1, v);
+  }
+
+  void append(const BitVec& other) {
+    for (std::size_t i = 0; i < other.size(); ++i) push_back(other.get(i));
+  }
+
+  // Append the low `n_bits` of `word`, LSB first.
+  void append_word(std::uint64_t word, int n_bits) {
+    GKR_ASSERT(n_bits >= 0 && n_bits <= 64);
+    for (int i = 0; i < n_bits; ++i) push_back(((word >> i) & 1ULL) != 0);
+  }
+
+  // Read up to 64 bits starting at `pos`, LSB first. Bits past the end are 0.
+  std::uint64_t read_word(std::size_t pos, int n_bits) const noexcept {
+    GKR_ASSERT(n_bits >= 0 && n_bits <= 64);
+    std::uint64_t w = 0;
+    for (int i = 0; i < n_bits; ++i) {
+      const std::size_t j = pos + static_cast<std::size_t>(i);
+      if (j < size_ && get(j)) w |= 1ULL << i;
+    }
+    return w;
+  }
+
+  void resize(std::size_t n_bits, bool value = false) {
+    const std::size_t old = size_;
+    size_ = n_bits;
+    words_.resize((n_bits + 63) / 64, value ? ~0ULL : 0ULL);
+    if (value) {
+      for (std::size_t i = old; i < n_bits && (i & 63) != 0; ++i) set(i, true);
+    }
+    trim_tail();
+  }
+
+  void clear() noexcept {
+    words_.clear();
+    size_ = 0;
+  }
+
+  // Number of set bits.
+  std::size_t popcount() const noexcept;
+
+  bool operator==(const BitVec& other) const noexcept;
+  bool operator!=(const BitVec& other) const noexcept { return !(*this == other); }
+
+  // XOR with another vector of identical length.
+  BitVec& operator^=(const BitVec& other) noexcept;
+
+  // 64-bit content digest (length-binding).
+  std::uint64_t digest() const noexcept;
+
+  const std::vector<std::uint64_t>& words() const noexcept { return words_; }
+
+ private:
+  // Keep bits past `size_` zero so equality/digest can work word-wise.
+  void trim_tail() noexcept {
+    if ((size_ & 63) != 0 && !words_.empty()) {
+      words_.back() &= (1ULL << (size_ & 63)) - 1ULL;
+    }
+  }
+
+  std::vector<std::uint64_t> words_;
+  std::size_t size_ = 0;
+};
+
+}  // namespace gkr

@@ -1,0 +1,66 @@
+// 64-bit content digests and prefix-digest chains.
+//
+// The coding scheme hashes transcript *prefixes* every iteration (meeting
+// points, §3.1(ii)). Hashing whole prefixes is Θ(|T|) per hash; instead each
+// transcript maintains a chain d_j = mix(d_{j-1}, chunk_digest_j), so the
+// paper's seeded inner-product hash is applied to the constant-size chain
+// value (see DESIGN.md §3 substitution 2). The chain digests are
+// position-binding: chunk index is folded into each link of the chain, which
+// implements footnote 11 of the paper (h(x) must not equal h(x ◦ 0)).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "util/assert.h"
+#include "util/rng.h"
+
+namespace gkr {
+
+// Digest of one chunk's payload: fold symbols one at a time.
+class ChunkDigest {
+ public:
+  explicit ChunkDigest(std::uint64_t chunk_index) noexcept
+      : h_(mix64(chunk_index ^ 0x6c62272e07bb0142ULL)) {}
+
+  void fold_symbol(unsigned symbol) noexcept { h_ = mix64(h_ * 0x100000001b3ULL + symbol + 1); }
+
+  std::uint64_t value() const noexcept { return h_; }
+
+ private:
+  std::uint64_t h_;
+};
+
+// Growable chain of prefix digests: value(j) digests chunks [0, j).
+// Appending is O(1); truncation to a prefix is O(1) (the chain for every
+// prefix length is retained).
+class PrefixChain {
+ public:
+  PrefixChain() { chain_.push_back(kEmpty); }
+
+  // Number of chunks currently digested.
+  std::size_t size() const noexcept { return chain_.size() - 1; }
+
+  void append(std::uint64_t chunk_digest) {
+    chain_.push_back(mix64(chain_.back() ^ mix64(chunk_digest)));
+  }
+
+  void truncate(std::size_t n_chunks) noexcept {
+    GKR_ASSERT(n_chunks <= size());
+    chain_.resize(n_chunks + 1);
+  }
+
+  // Digest of the length-j prefix (j in [0, size()]).
+  std::uint64_t value(std::size_t j) const noexcept {
+    GKR_ASSERT(j < chain_.size());
+    return chain_[j];
+  }
+
+  std::uint64_t value() const noexcept { return chain_.back(); }
+
+ private:
+  static constexpr std::uint64_t kEmpty = 0x2545f4914f6cdd1dULL;
+  std::vector<std::uint64_t> chain_;
+};
+
+}  // namespace gkr

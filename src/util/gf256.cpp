@@ -1,0 +1,58 @@
+#include "util/gf256.h"
+
+#include "util/assert.h"
+
+namespace gkr {
+namespace {
+
+struct Tables {
+  std::uint8_t exp[512];  // exp[i] = alpha^i, doubled to avoid a mod in mul
+  unsigned log[256];      // log[a] for a != 0
+
+  Tables() noexcept {
+    unsigned x = 1;
+    for (unsigned i = 0; i < 255; ++i) {
+      exp[i] = static_cast<std::uint8_t>(x);
+      log[x] = i;
+      x <<= 1;
+      if (x & 0x100) x ^= 0x11d;
+    }
+    for (unsigned i = 255; i < 512; ++i) exp[i] = exp[i - 255];
+    log[0] = 0;  // unused; guarded by assertions
+  }
+};
+
+const Tables& tables() noexcept {
+  static const Tables t;
+  return t;
+}
+
+}  // namespace
+
+std::uint8_t GF256::mul(std::uint8_t a, std::uint8_t b) noexcept {
+  if (a == 0 || b == 0) return 0;
+  const Tables& t = tables();
+  return t.exp[t.log[a] + t.log[b]];
+}
+
+std::uint8_t GF256::inv(std::uint8_t a) noexcept {
+  GKR_ASSERT(a != 0);
+  const Tables& t = tables();
+  return t.exp[255 - t.log[a]];
+}
+
+std::uint8_t GF256::div(std::uint8_t a, std::uint8_t b) noexcept {
+  GKR_ASSERT(b != 0);
+  if (a == 0) return 0;
+  const Tables& t = tables();
+  return t.exp[t.log[a] + 255 - t.log[b]];
+}
+
+std::uint8_t GF256::pow_of_alpha(unsigned e) noexcept { return tables().exp[e % 255]; }
+
+unsigned GF256::log_of(std::uint8_t a) noexcept {
+  GKR_ASSERT(a != 0);
+  return tables().log[a];
+}
+
+}  // namespace gkr

@@ -1,0 +1,26 @@
+// Arithmetic in GF(2^8) via log/antilog tables, modulo x^8+x^4+x^3+x^2+1
+// (0x11d, the conventional Reed–Solomon field polynomial; generator 0x02).
+//
+// Backing store for the Reed–Solomon code used by the randomness-exchange
+// phase (Algorithm 5 / Theorem 2.1 of the paper).
+#pragma once
+
+#include <cstdint>
+
+namespace gkr {
+
+class GF256 {
+ public:
+  // Tables are built once, on first use (constant thereafter).
+  static std::uint8_t mul(std::uint8_t a, std::uint8_t b) noexcept;
+  static std::uint8_t div(std::uint8_t a, std::uint8_t b) noexcept;  // b != 0
+  static std::uint8_t inv(std::uint8_t a) noexcept;                  // a != 0
+  static std::uint8_t pow_of_alpha(unsigned e) noexcept;  // alpha^e, alpha = 0x02
+  static unsigned log_of(std::uint8_t a) noexcept;        // a != 0
+
+  static constexpr std::uint8_t add(std::uint8_t a, std::uint8_t b) noexcept {
+    return a ^ b;
+  }
+};
+
+}  // namespace gkr

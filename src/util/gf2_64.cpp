@@ -1,0 +1,90 @@
+#include "util/gf2_64.h"
+
+#if defined(__x86_64__) && defined(__PCLMUL__)
+#include <wmmintrin.h>
+#define GKR_GF64_CLMUL 1
+#else
+#define GKR_GF64_CLMUL 0
+#endif
+
+namespace gkr {
+namespace {
+
+// Reduce a 128-bit carry-less product (hi:lo) modulo x^64 + x^4 + x^3 + x + 1.
+// The reduction polynomial's low part is r(x) = x^4 + x^3 + x + 1 = 0x1b, so
+// x^64 ≡ r(x); folding the high word twice suffices because deg(r) = 4.
+std::uint64_t reduce128(std::uint64_t hi, std::uint64_t lo) noexcept {
+  // First fold: hi * x^64 ≡ hi * r(x). hi*r spills at most 4 bits above 64.
+  std::uint64_t mid_lo = (hi << 4) ^ (hi << 3) ^ (hi << 1) ^ hi;
+  std::uint64_t mid_hi = (hi >> 60) ^ (hi >> 61) ^ (hi >> 63);
+  lo ^= mid_lo;
+  // Second fold: mid_hi < 2^4, so mid_hi * r(x) fits in 64 bits.
+  lo ^= (mid_hi << 4) ^ (mid_hi << 3) ^ (mid_hi << 1) ^ mid_hi;
+  return lo;
+}
+
+#if GKR_GF64_CLMUL
+std::uint64_t clmul(std::uint64_t a, std::uint64_t b, std::uint64_t* hi) noexcept {
+  const __m128i va = _mm_set_epi64x(0, static_cast<long long>(a));
+  const __m128i vb = _mm_set_epi64x(0, static_cast<long long>(b));
+  const __m128i prod = _mm_clmulepi64_si128(va, vb, 0x00);
+  alignas(16) std::uint64_t out[2];
+  _mm_storeu_si128(reinterpret_cast<__m128i*>(out), prod);
+  *hi = out[1];
+  return out[0];
+}
+#else
+// Portable 4-bit-window carry-less multiply.
+std::uint64_t clmul(std::uint64_t a, std::uint64_t b, std::uint64_t* hi_out) noexcept {
+  // table[i] = carry-less a * i for i in [0,16): lo 64 bits; spill tracked below.
+  std::uint64_t lo_tab[16];
+  std::uint64_t hi_tab[16];
+  lo_tab[0] = 0;
+  hi_tab[0] = 0;
+  for (int i = 1; i < 16; ++i) {
+    if (i & (i - 1)) {  // composite index: combine previously built entries
+      const int j = i & (i - 1), k = i ^ j;
+      lo_tab[i] = lo_tab[j] ^ lo_tab[k];
+      hi_tab[i] = hi_tab[j] ^ hi_tab[k];
+    } else {
+      int sh = i == 1 ? 0 : (i == 2 ? 1 : (i == 4 ? 2 : 3));
+      lo_tab[i] = a << sh;
+      hi_tab[i] = sh == 0 ? 0 : a >> (64 - sh);
+    }
+  }
+  std::uint64_t lo = 0, hi = 0;
+  for (int nib = 15; nib >= 0; --nib) {
+    // Shift accumulator left by 4.
+    hi = (hi << 4) | (lo >> 60);
+    lo <<= 4;
+    const unsigned idx = static_cast<unsigned>((b >> (4 * nib)) & 0xF);
+    lo ^= lo_tab[idx];
+    hi ^= hi_tab[idx];
+  }
+  *hi_out = hi;
+  return lo;
+}
+#endif
+
+}  // namespace
+
+GF64 gf64_mul(GF64 a, GF64 b) noexcept {
+  std::uint64_t hi = 0;
+  const std::uint64_t lo = clmul(a.v, b.v, &hi);
+  return GF64{reduce128(hi, lo)};
+}
+
+GF64 gf64_pow(GF64 a, std::uint64_t e) noexcept {
+  GF64 result{1};
+  GF64 base = a;
+  while (e != 0) {
+    if (e & 1ULL) result = gf64_mul(result, base);
+    base = gf64_mul(base, base);
+    e >>= 1;
+  }
+  return result;
+}
+
+bool gf64_has_clmul() noexcept { return GKR_GF64_CLMUL != 0; }
+
+}  // namespace gkr

@@ -1,0 +1,29 @@
+// Arithmetic in GF(2^64), represented as polynomials over F2 modulo
+// p(x) = x^64 + x^4 + x^3 + x + 1 (a standard irreducible pentanomial).
+//
+// This field underlies the AGHP small-bias generator (src/hash/delta_biased).
+// Multiplication uses the PCLMULQDQ carry-less multiply instruction when the
+// build target supports it, with a portable 4-bit-window fallback otherwise.
+#pragma once
+
+#include <cstdint>
+
+namespace gkr {
+
+struct GF64 {
+  std::uint64_t v = 0;
+
+  friend constexpr bool operator==(GF64 a, GF64 b) noexcept { return a.v == b.v; }
+  friend constexpr GF64 operator+(GF64 a, GF64 b) noexcept { return GF64{a.v ^ b.v}; }
+};
+
+// Product in GF(2^64).
+GF64 gf64_mul(GF64 a, GF64 b) noexcept;
+
+// a^e by square-and-multiply.
+GF64 gf64_pow(GF64 a, std::uint64_t e) noexcept;
+
+// True if the carry-less multiply fast path is compiled in (informational).
+bool gf64_has_clmul() noexcept;
+
+}  // namespace gkr

@@ -1,0 +1,101 @@
+// Small statistics helpers for the benchmark harness: accumulators with
+// mean / stddev / min / max / percentiles, and a fixed-width table printer so
+// every bench binary emits the same table format.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "util/assert.h"
+
+namespace gkr {
+
+class Accumulator {
+ public:
+  void add(double x) { samples_.push_back(x); }
+
+  std::size_t count() const noexcept { return samples_.size(); }
+
+  double mean() const noexcept {
+    if (samples_.empty()) return 0.0;
+    double s = 0.0;
+    for (double x : samples_) s += x;
+    return s / static_cast<double>(samples_.size());
+  }
+
+  double stddev() const noexcept {
+    if (samples_.size() < 2) return 0.0;
+    const double m = mean();
+    double s = 0.0;
+    for (double x : samples_) s += (x - m) * (x - m);
+    return std::sqrt(s / static_cast<double>(samples_.size() - 1));
+  }
+
+  double min() const noexcept {
+    return samples_.empty() ? 0.0 : *std::min_element(samples_.begin(), samples_.end());
+  }
+
+  double max() const noexcept {
+    return samples_.empty() ? 0.0 : *std::max_element(samples_.begin(), samples_.end());
+  }
+
+  // p in [0,100]; nearest-rank percentile.
+  double percentile(double p) const {
+    GKR_ASSERT(!samples_.empty());
+    std::vector<double> sorted = samples_;
+    std::sort(sorted.begin(), sorted.end());
+    const double rank = p / 100.0 * static_cast<double>(sorted.size() - 1);
+    const std::size_t lo = static_cast<std::size_t>(rank);
+    const std::size_t hi = std::min(lo + 1, sorted.size() - 1);
+    const double frac = rank - static_cast<double>(lo);
+    return sorted[lo] * (1.0 - frac) + sorted[hi] * frac;
+  }
+
+ private:
+  std::vector<double> samples_;
+};
+
+// Markdown-ish table printer used by the experiment benches.
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> headers) : headers_(std::move(headers)) {}
+
+  void add_row(std::vector<std::string> cells) {
+    GKR_ASSERT(cells.size() == headers_.size());
+    rows_.push_back(std::move(cells));
+  }
+
+  void print(std::FILE* out = stdout) const {
+    std::vector<std::size_t> width(headers_.size());
+    for (std::size_t c = 0; c < headers_.size(); ++c) width[c] = headers_[c].size();
+    for (const auto& row : rows_)
+      for (std::size_t c = 0; c < row.size(); ++c) width[c] = std::max(width[c], row[c].size());
+    print_row(out, headers_, width);
+    std::vector<std::string> rule;
+    rule.reserve(headers_.size());
+    for (std::size_t c = 0; c < headers_.size(); ++c) rule.push_back(std::string(width[c], '-'));
+    print_row(out, rule, width);
+    for (const auto& row : rows_) print_row(out, row, width);
+  }
+
+ private:
+  static void print_row(std::FILE* out, const std::vector<std::string>& cells,
+                        const std::vector<std::size_t>& width) {
+    std::fputs("|", out);
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+      std::fprintf(out, " %-*s |", static_cast<int>(width[c]), cells[c].c_str());
+    }
+    std::fputs("\n", out);
+  }
+
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+// printf-style helper returning std::string (for table cells).
+std::string strf(const char* fmt, ...);
+
+}  // namespace gkr

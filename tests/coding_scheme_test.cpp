@@ -1,0 +1,421 @@
+// End-to-end tests of the coding scheme (Algorithm 1 and variants A/B/C):
+// noiseless correctness on every topology/protocol pair, resilience at the
+// paper's noise levels, ablations, baselines and the randomness exchange.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "core/baselines.h"
+#include "core/coding_scheme.h"
+#include "noise/adaptive.h"
+#include "noise/oblivious.h"
+#include "noise/stochastic.h"
+#include "noise/strategies.h"
+#include "proto/protocols/gossip_sum.h"
+#include "proto/protocols/line_pingpong.h"
+#include "proto/protocols/random_protocol.h"
+#include "proto/protocols/tree_aggregate.h"
+#include "proto/protocols/tree_token.h"
+
+namespace gkr {
+namespace {
+
+struct Bench {
+  std::shared_ptr<Topology> topo;
+  std::shared_ptr<const ProtocolSpec> spec;
+  std::unique_ptr<ChunkedProtocol> proto;
+  std::vector<std::uint64_t> inputs;
+  NoiselessResult reference;
+  SchemeConfig cfg;
+};
+
+Bench make_bench(std::shared_ptr<Topology> topo, std::shared_ptr<const ProtocolSpec> spec,
+                 Variant variant, std::uint64_t seed) {
+  Bench b;
+  b.topo = std::move(topo);
+  b.spec = std::move(spec);
+  b.cfg = SchemeConfig::for_variant(variant, *b.topo);
+  b.cfg.seed = seed;
+  b.proto = std::make_unique<ChunkedProtocol>(b.spec, b.cfg.K);
+  Rng rng(seed ^ 0x1219ULL);
+  for (int u = 0; u < b.topo->num_nodes(); ++u) b.inputs.push_back(rng.next_u64());
+  b.reference = run_noiseless(*b.proto, b.inputs);
+  return b;
+}
+
+SimulationResult run_with(Bench& b, ChannelAdversary& adv) {
+  return run_coded(*b.proto, b.inputs, b.reference, b.cfg, adv);
+}
+
+// ------------------------------------------------- noiseless, all variants
+
+struct VariantCase {
+  Variant variant;
+  const char* label;
+};
+
+class NoiselessVariantTest : public ::testing::TestWithParam<VariantCase> {};
+
+TEST_P(NoiselessVariantTest, SimulatesCorrectlyOnRing) {
+  auto topo = std::make_shared<Topology>(Topology::ring(5));
+  auto spec = std::make_shared<GossipSumProtocol>(*topo, 10);
+  Bench b = make_bench(topo, spec, GetParam().variant, 42);
+  NoNoise adv;
+  const SimulationResult r = run_with(b, adv);
+  EXPECT_TRUE(r.success);
+  EXPECT_TRUE(r.transcripts_match);
+  EXPECT_TRUE(r.outputs_match);
+  EXPECT_EQ(r.counters.corruptions, 0);
+  EXPECT_EQ(r.hash_collisions, 0);
+  EXPECT_EQ(r.exchange_failures, 0);
+  EXPECT_EQ(r.mp_truncations, 0);
+  EXPECT_GT(r.blowup_vs_user, 1.0);
+}
+
+TEST_P(NoiselessVariantTest, SimulatesSparseProtocolOnLine) {
+  auto topo = std::make_shared<Topology>(Topology::line(5));
+  auto spec = std::make_shared<TreeTokenProtocol>(*topo, 2, 8);
+  Bench b = make_bench(topo, spec, GetParam().variant, 7);
+  NoNoise adv;
+  const SimulationResult r = run_with(b, adv);
+  EXPECT_TRUE(r.success) << GetParam().label;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllVariants, NoiselessVariantTest,
+    ::testing::Values(VariantCase{Variant::Crs, "Alg1"},
+                      VariantCase{Variant::ExchangeOblivious, "AlgA"},
+                      VariantCase{Variant::ExchangeNonOblivious, "AlgB"},
+                      VariantCase{Variant::CrsHidden, "AlgC"}),
+    [](const ::testing::TestParamInfo<VariantCase>& info) { return info.param.label; });
+
+// -------------------------------------------- noiseless, protocol sweep
+
+struct TopoProtoCase {
+  std::string label;
+  std::function<Bench(Variant, std::uint64_t)> make;
+};
+
+class NoiselessSweepTest : public ::testing::TestWithParam<TopoProtoCase> {};
+
+TEST_P(NoiselessSweepTest, Succeeds) {
+  Bench b = GetParam().make(Variant::Crs, 99);
+  NoNoise adv;
+  const SimulationResult r = run_with(b, adv);
+  EXPECT_TRUE(r.success);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Matrix, NoiselessSweepTest,
+    ::testing::Values(
+        TopoProtoCase{"gossip_star",
+                      [](Variant v, std::uint64_t s) {
+                        auto t = std::make_shared<Topology>(Topology::star(6));
+                        return make_bench(t, std::make_shared<GossipSumProtocol>(*t, 8), v, s);
+                      }},
+        TopoProtoCase{"gossip_clique",
+                      [](Variant v, std::uint64_t s) {
+                        auto t = std::make_shared<Topology>(Topology::clique(4));
+                        return make_bench(t, std::make_shared<GossipSumProtocol>(*t, 8), v, s);
+                      }},
+        TopoProtoCase{"aggregate_grid",
+                      [](Variant v, std::uint64_t s) {
+                        auto t = std::make_shared<Topology>(Topology::grid(2, 3));
+                        return make_bench(t, std::make_shared<TreeAggregateProtocol>(*t, 8, 2),
+                                          v, s);
+                      }},
+        TopoProtoCase{"random_ring",
+                      [](Variant v, std::uint64_t s) {
+                        auto t = std::make_shared<Topology>(Topology::ring(5));
+                        return make_bench(t, std::make_shared<RandomProtocol>(*t, 60, 0.5, 3), v,
+                                          s);
+                      }},
+        TopoProtoCase{"pingpong_line",
+                      [](Variant v, std::uint64_t s) {
+                        auto t = std::make_shared<Topology>(Topology::line(5));
+                        return make_bench(t, std::make_shared<LinePingPongProtocol>(*t, 2, 30),
+                                          v, s);
+                      }},
+        TopoProtoCase{"token_two_party",
+                      [](Variant v, std::uint64_t s) {
+                        auto t = std::make_shared<Topology>(Topology::line(2));
+                        return make_bench(t, std::make_shared<TreeTokenProtocol>(*t, 3, 8), v, s);
+                      }}),
+    [](const ::testing::TestParamInfo<TopoProtoCase>& info) { return info.param.label; });
+
+// ------------------------------------------------------------ determinism
+
+TEST(CodedSimulation, DeterministicGivenSeed) {
+  auto topo = std::make_shared<Topology>(Topology::ring(4));
+  auto spec = std::make_shared<GossipSumProtocol>(*topo, 8);
+  Bench b1 = make_bench(topo, spec, Variant::ExchangeOblivious, 5);
+  Bench b2 = make_bench(topo, spec, Variant::ExchangeOblivious, 5);
+  StochasticChannel adv1(Rng(77), 0.002, 0.002, 0.0005);
+  StochasticChannel adv2(Rng(77), 0.002, 0.002, 0.0005);
+  const SimulationResult r1 = run_with(b1, adv1);
+  const SimulationResult r2 = run_with(b2, adv2);
+  EXPECT_EQ(r1.success, r2.success);
+  EXPECT_EQ(r1.cc_coded, r2.cc_coded);
+  EXPECT_EQ(r1.counters.corruptions, r2.counters.corruptions);
+  EXPECT_EQ(r1.hash_collisions, r2.hash_collisions);
+}
+
+// ----------------------------------------------------- single corruption
+
+TEST(CodedSimulation, RecoversFromSingleSimulationHit) {
+  auto topo = std::make_shared<Topology>(Topology::line(4));
+  auto spec = std::make_shared<TreeTokenProtocol>(*topo, 2, 8);
+  Bench b = make_bench(topo, spec, Variant::Crs, 11);
+  // One substitution mid-run on link 0 during whatever phase that round is.
+  CodedSimulation probe(*b.proto, b.inputs, b.reference, b.cfg, *std::make_unique<NoNoise>());
+  const long hit_round = probe.total_rounds() / 2;
+  ObliviousAdversary adv(single_hit_plan(hit_round, 0), ObliviousMode::Additive);
+  const SimulationResult r = run_with(b, adv);
+  EXPECT_TRUE(r.success);
+}
+
+TEST(CodedSimulation, RecoversFromBurst) {
+  auto topo = std::make_shared<Topology>(Topology::ring(4));
+  auto spec = std::make_shared<GossipSumProtocol>(*topo, 8);
+  Bench b = make_bench(topo, spec, Variant::Crs, 13);
+  b.cfg.iteration_factor = 8.0;  // headroom to re-simulate what the burst cost
+  CodedSimulation probe(*b.proto, b.inputs, b.reference, b.cfg, *std::make_unique<NoNoise>());
+  Rng rng(3);
+  ObliviousAdversary adv(
+      burst_plan(probe.total_rounds() / 3, 40, topo->num_dlinks(), 12, rng),
+      ObliviousMode::Additive);
+  const SimulationResult r = run_with(b, adv);
+  EXPECT_TRUE(r.success);
+}
+
+// -------------------------------------------------- noise-level behaviour
+
+TEST(CodedSimulation, SurvivesUniformNoiseAtPaperRate) {
+  // ε/m with a small ε: Algorithm A's regime (Theorem 1.1).
+  auto topo = std::make_shared<Topology>(Topology::ring(5));
+  auto spec = std::make_shared<GossipSumProtocol>(*topo, 10);
+  int successes = 0;
+  const int kTrials = 5;
+  for (int t = 0; t < kTrials; ++t) {
+    Bench b = make_bench(topo, spec, Variant::ExchangeOblivious, 100 + t);
+    b.cfg.iteration_factor = 8.0;
+    CodedSimulation probe(*b.proto, b.inputs, b.reference, b.cfg, *std::make_unique<NoNoise>());
+    // Budget: ε/m of the expected clean communication.
+    const double eps = 0.005;
+    const long budget = static_cast<long>(
+        eps / topo->num_links() * static_cast<double>(probe.total_rounds()) *
+        topo->num_dlinks() / 4);
+    Rng rng(200 + t);
+    ObliviousAdversary adv(
+        uniform_plan(probe.total_rounds(), topo->num_dlinks(), std::max(1L, budget), rng),
+        ObliviousMode::Additive);
+    successes += run_with(b, adv).success ? 1 : 0;
+  }
+  EXPECT_GE(successes, kTrials - 1);
+}
+
+TEST(CodedSimulation, SurvivesStochasticChannel) {
+  auto topo = std::make_shared<Topology>(Topology::line(4));
+  auto spec = std::make_shared<GossipSumProtocol>(*topo, 8);
+  Bench b = make_bench(topo, spec, Variant::ExchangeOblivious, 21);
+  b.cfg.iteration_factor = 10.0;
+  StochasticChannel adv(Rng(31), 0.001, 0.001, 0.0002);
+  const SimulationResult r = run_with(b, adv);
+  EXPECT_TRUE(r.success);
+}
+
+TEST(CodedSimulation, UncodedFailsWhereCodedSucceeds) {
+  auto topo = std::make_shared<Topology>(Topology::ring(4));
+  auto spec = std::make_shared<RandomProtocol>(*topo, 60, 0.5, 17);
+  Bench b = make_bench(topo, spec, Variant::Crs, 23);
+  b.cfg.iteration_factor = 10.0;
+
+  StochasticChannel adv_uncoded(Rng(41), 0.01, 0.01, 0.002);
+  const BaselineResult u = run_uncoded(*b.proto, b.inputs, b.reference, adv_uncoded);
+  EXPECT_FALSE(u.success);  // the history-sensitive protocol cannot survive
+
+  StochasticChannel adv_coded(Rng(41), 0.001, 0.001, 0.0002);
+  const SimulationResult r = run_with(b, adv_coded);
+  EXPECT_TRUE(r.success);
+}
+
+TEST(CodedSimulation, HeavyNoiseBreaksIt) {
+  // Sanity: way past any budget, the scheme is allowed to fail (and must not
+  // crash or report phantom success with wrong transcripts).
+  auto topo = std::make_shared<Topology>(Topology::line(4));
+  auto spec = std::make_shared<GossipSumProtocol>(*topo, 8);
+  Bench b = make_bench(topo, spec, Variant::Crs, 29);
+  StochasticChannel adv(Rng(51), 0.25, 0.2, 0.1);
+  const SimulationResult r = run_with(b, adv);
+  if (r.success) {
+    EXPECT_TRUE(r.transcripts_match);
+    EXPECT_TRUE(r.outputs_match);
+  } else {
+    SUCCEED();
+  }
+}
+
+// ------------------------------------------------------ adaptive attacks
+
+TEST(CodedSimulation, SurvivesGreedyLinkAttackerAtBudget) {
+  auto topo = std::make_shared<Topology>(Topology::ring(5));
+  auto spec = std::make_shared<GossipSumProtocol>(*topo, 30);
+  Bench b = make_bench(topo, spec, Variant::ExchangeNonOblivious, 61);
+  b.cfg.iteration_factor = 12.0;
+  // Algorithm B's regime: ε/(m log m), with ε clearly below the empirical
+  // threshold ε* (each corruption costs ~3 iterations of recovery; bench F2
+  // charts the threshold itself).
+  const double rate = 0.002 / (topo->num_links() * std::log2(topo->num_links()));
+  GreedyLinkAttacker adv(nullptr, rate, /*target_link=*/1);
+  CodedSimulation sim(*b.proto, b.inputs, b.reference, b.cfg, adv);
+  adv.attach(&sim.engine_counters());
+  const SimulationResult r = sim.run();
+  EXPECT_TRUE(r.success);
+}
+
+TEST(CodedSimulation, SurvivesDesyncAttackerAtBudget) {
+  auto topo = std::make_shared<Topology>(Topology::line(5));
+  auto spec = std::make_shared<TreeTokenProtocol>(*topo, 2, 8);
+  Bench b = make_bench(topo, spec, Variant::ExchangeNonOblivious, 67);
+  b.cfg.iteration_factor = 10.0;
+  const double rate = 0.005 / topo->num_links();
+  DesyncAttacker adv(nullptr, rate);
+  CodedSimulation sim(*b.proto, b.inputs, b.reference, b.cfg, adv);
+  adv.attach(&sim.engine_counters());
+  const SimulationResult r = sim.run();
+  EXPECT_TRUE(r.success);
+}
+
+// --------------------------------------------------- randomness exchange
+
+TEST(CodedSimulation, ExchangeSurvivesScatteredNoise) {
+  auto topo = std::make_shared<Topology>(Topology::ring(4));
+  auto spec = std::make_shared<GossipSumProtocol>(*topo, 8);
+  Bench b = make_bench(topo, spec, Variant::ExchangeOblivious, 71);
+  CodedSimulation probe(*b.proto, b.inputs, b.reference, b.cfg, *std::make_unique<NoNoise>());
+  Rng rng(5);
+  // A handful of corruptions inside the exchange prologue: inner+outer code
+  // absorbs them.
+  ObliviousAdversary adv(exchange_attack_plan(probe.prologue_rounds(), 0, 6, rng),
+                         ObliviousMode::Additive);
+  const SimulationResult r = run_with(b, adv);
+  EXPECT_EQ(r.exchange_failures, 0);
+  EXPECT_TRUE(r.success);
+}
+
+TEST(CodedSimulation, ExchangeDiesOnlyUnderMassiveAttack) {
+  auto topo = std::make_shared<Topology>(Topology::ring(4));
+  auto spec = std::make_shared<GossipSumProtocol>(*topo, 8);
+  Bench b = make_bench(topo, spec, Variant::ExchangeOblivious, 73);
+  CodedSimulation probe(*b.proto, b.inputs, b.reference, b.cfg, *std::make_unique<NoNoise>());
+  Rng rng(6);
+  // Saturate the exchange rounds of link 0: Θ(exchange length) corruptions —
+  // the Claim 5.16 cost. The exchange on that link fails; the run cannot be
+  // trusted and the adversary has burned a huge budget.
+  ObliviousAdversary adv(
+      exchange_attack_plan(probe.prologue_rounds(), 0, probe.prologue_rounds(), rng),
+      ObliviousMode::Additive);
+  const SimulationResult r = run_with(b, adv);
+  EXPECT_EQ(r.exchange_failures, 1);
+  EXPECT_FALSE(r.success);
+}
+
+// ------------------------------------------------------------- ablations
+
+TEST(CodedSimulation, AblationsStillSucceedWithoutNoise) {
+  auto topo = std::make_shared<Topology>(Topology::line(4));
+  auto spec = std::make_shared<TreeTokenProtocol>(*topo, 2, 8);
+  for (const bool rewind : {true, false}) {
+    for (const bool flags : {true, false}) {
+      Bench b = make_bench(topo, spec, Variant::Crs, 83);
+      b.cfg.enable_rewind_phase = rewind;
+      b.cfg.enable_flag_passing = flags;
+      NoNoise adv;
+      const SimulationResult r = run_with(b, adv);
+      EXPECT_TRUE(r.success) << "rewind=" << rewind << " flags=" << flags;
+    }
+  }
+}
+
+// -------------------------------------------------------------- baselines
+
+TEST(Baselines, UncodedMatchesReferenceWithoutNoise) {
+  auto topo = std::make_shared<Topology>(Topology::ring(4));
+  auto spec = std::make_shared<GossipSumProtocol>(*topo, 8);
+  Bench b = make_bench(topo, spec, Variant::Crs, 91);
+  NoNoise adv;
+  const BaselineResult r = run_uncoded(*b.proto, b.inputs, b.reference, adv);
+  EXPECT_TRUE(r.success);
+  EXPECT_EQ(r.cc, b.reference.cc_chunked);
+}
+
+TEST(Baselines, ReplicationSurvivesThinRandomNoise) {
+  auto topo = std::make_shared<Topology>(Topology::ring(4));
+  auto spec = std::make_shared<GossipSumProtocol>(*topo, 8);
+  Bench b = make_bench(topo, spec, Variant::Crs, 93);
+  StochasticChannel adv(Rng(61), 0.005, 0.005, 0.0);
+  const BaselineResult r = run_replicated(*b.proto, b.inputs, b.reference, adv, 7);
+  EXPECT_TRUE(r.success);
+  EXPECT_NEAR(r.blowup_vs_user, 7.0 * b.reference.cc_chunked / b.reference.cc_user, 1.0);
+}
+
+TEST(Baselines, ReplicationDiesUnderConcentratedAttack) {
+  // The adversary spends ⌈r/2⌉ corruptions on one transmission — a vanishing
+  // fraction of the total — and the repetition code silently miscorrects.
+  auto topo = std::make_shared<Topology>(Topology::ring(4));
+  auto spec = std::make_shared<RandomProtocol>(*topo, 60, 0.5, 19);
+  Bench b = make_bench(topo, spec, Variant::Crs, 97);
+  const int reps = 5;
+  // Locate a user slot in chunk 1 and corrupt all `reps` copies of it.
+  // Engine round of (chunk c, local round lr, copy r) =
+  // (Σ_{c'<c} rounds(c') + lr)·reps + r in the replicated baseline.
+  const Chunk& chunk1 = b.proto->chunk(1);
+  const ChunkSlot* target = nullptr;
+  for (const ChunkSlot& cs : chunk1.slots) {
+    if (cs.kind == SlotKind::User) {
+      target = &cs;
+      break;
+    }
+  }
+  ASSERT_NE(target, nullptr);
+  const long base =
+      (static_cast<long>(b.proto->chunk(0).num_rounds) + target->local_round) * reps;
+  NoisePlan plan;
+  for (int i = 0; i < reps; ++i) {
+    plan.push_back(NoiseEvent{base + i, 2 * target->link + target->dir, 1});
+  }
+  ObliviousAdversary adv(plan, ObliviousMode::Additive);
+  const BaselineResult r = run_replicated(*b.proto, b.inputs, b.reference, adv, reps);
+  EXPECT_FALSE(r.success);
+  EXPECT_LT(r.noise_fraction, 0.01);  // tiny budget sufficed
+}
+
+TEST(Baselines, FullyUtilizedConversionCost) {
+  auto topo = std::make_shared<Topology>(Topology::clique(5));
+  TreeTokenProtocol sparse(*topo, 2, 8);
+  // Sparse protocol: CC(Π) = num_rounds (one bit per round), so the
+  // fully-utilized conversion costs a factor 2m.
+  EXPECT_EQ(fully_utilized_cc(sparse),
+            static_cast<long>(sparse.num_rounds()) * topo->num_dlinks());
+}
+
+// ---------------------------------------------------------------- trace
+
+TEST(CodedSimulation, TraceShowsMonotoneProgressWithoutNoise) {
+  auto topo = std::make_shared<Topology>(Topology::ring(4));
+  auto spec = std::make_shared<GossipSumProtocol>(*topo, 8);
+  Bench b = make_bench(topo, spec, Variant::Crs, 101);
+  b.cfg.record_trace = true;
+  NoNoise adv;
+  const SimulationResult r = run_with(b, adv);
+  ASSERT_TRUE(r.success);
+  ASSERT_FALSE(r.trace.empty());
+  for (std::size_t i = 1; i < r.trace.size(); ++i) {
+    EXPECT_GE(r.trace[i].g_star, r.trace[i - 1].g_star);
+    EXPECT_EQ(r.trace[i].b_star, 0);
+  }
+  EXPECT_GE(r.trace.back().g_star, b.proto->num_real_chunks());
+}
+
+}  // namespace
+}  // namespace gkr

@@ -1,0 +1,270 @@
+// Tests for the error-correcting codes backing the randomness exchange
+// (Theorem 2.1 / Algorithm 5): Reed–Solomon with errors and erasures,
+// the (13,8) SECDED inner code, the concatenated code, and the repetition
+// baseline.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <numeric>
+#include <vector>
+
+#include "ecc/concatenated_code.h"
+#include "ecc/reed_solomon.h"
+#include "ecc/repetition_code.h"
+#include "ecc/secded.h"
+#include "util/rng.h"
+
+namespace gkr {
+namespace {
+
+std::vector<std::uint8_t> random_message(Rng& rng, int k) {
+  std::vector<std::uint8_t> msg(static_cast<std::size_t>(k));
+  for (auto& b : msg) b = static_cast<std::uint8_t>(rng.next_below(256));
+  return msg;
+}
+
+TEST(ReedSolomon, EncodeIsSystematic) {
+  ReedSolomon rs(20, 12);
+  Rng rng(1);
+  const auto msg = random_message(rng, 12);
+  std::vector<std::uint8_t> cw(20);
+  rs.encode(msg, cw);
+  for (int i = 0; i < 12; ++i) {
+    EXPECT_EQ(cw[static_cast<std::size_t>(i)], msg[static_cast<std::size_t>(i)]);
+  }
+}
+
+TEST(ReedSolomon, CleanRoundTrip) {
+  ReedSolomon rs(30, 16);
+  Rng rng(2);
+  for (int t = 0; t < 20; ++t) {
+    const auto msg = random_message(rng, 16);
+    std::vector<std::uint8_t> cw(30);
+    rs.encode(msg, cw);
+    EXPECT_TRUE(rs.decode(cw, {}));
+    EXPECT_TRUE(std::equal(msg.begin(), msg.end(), cw.begin()));
+  }
+}
+
+struct RsCase {
+  int n, k, errors, erasures;
+};
+
+class RsCorrectionTest : public ::testing::TestWithParam<RsCase> {};
+
+TEST_P(RsCorrectionTest, CorrectsWithinCapacity) {
+  const RsCase c = GetParam();
+  ASSERT_LE(2 * c.errors + c.erasures, c.n - c.k) << "bad test case";
+  ReedSolomon rs(c.n, c.k);
+  Rng rng(static_cast<std::uint64_t>(c.n * 1000 + c.k * 10 + c.errors));
+  for (int trial = 0; trial < 25; ++trial) {
+    const auto msg = random_message(rng, c.k);
+    std::vector<std::uint8_t> cw(static_cast<std::size_t>(c.n));
+    rs.encode(msg, cw);
+
+    // Pick disjoint positions for errors and erasures.
+    std::vector<int> pos(static_cast<std::size_t>(c.n));
+    std::iota(pos.begin(), pos.end(), 0);
+    for (std::size_t i = pos.size(); i > 1; --i) {
+      std::swap(pos[i - 1], pos[rng.next_below(i)]);
+    }
+    std::vector<int> erasures(pos.begin(), pos.begin() + c.erasures);
+    for (int e = 0; e < c.errors; ++e) {
+      const int p = pos[static_cast<std::size_t>(c.erasures + e)];
+      cw[static_cast<std::size_t>(p)] ^= static_cast<std::uint8_t>(1 + rng.next_below(255));
+    }
+    // Trash erased symbols too (decoder must ignore their content).
+    for (int p : erasures) {
+      cw[static_cast<std::size_t>(p)] = static_cast<std::uint8_t>(rng.next_below(256));
+    }
+
+    ASSERT_TRUE(rs.decode(cw, erasures))
+        << "n=" << c.n << " k=" << c.k << " errors=" << c.errors
+        << " erasures=" << c.erasures;
+    EXPECT_TRUE(std::equal(msg.begin(), msg.end(), cw.begin()));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, RsCorrectionTest,
+    ::testing::Values(RsCase{15, 7, 0, 0}, RsCase{15, 7, 4, 0}, RsCase{15, 7, 0, 8},
+                      RsCase{15, 7, 2, 4}, RsCase{30, 16, 7, 0}, RsCase{30, 16, 0, 14},
+                      RsCase{30, 16, 3, 8}, RsCase{60, 20, 20, 0}, RsCase{60, 20, 10, 20},
+                      RsCase{255, 128, 63, 0}, RsCase{255, 128, 0, 127},
+                      RsCase{255, 223, 16, 0}, RsCase{10, 2, 4, 0}, RsCase{10, 2, 0, 8},
+                      RsCase{10, 8, 1, 0}, RsCase{10, 8, 0, 2}));
+
+TEST(ReedSolomon, DetectsBeyondCapacityMostly) {
+  // With > (n-k)/2 errors the decoder should (almost always) report failure
+  // or at least never be trusted; here we just require no crash and that
+  // *successful* decodes still verify as codewords.
+  ReedSolomon rs(20, 12);
+  Rng rng(9);
+  int silent_wrong = 0;
+  for (int trial = 0; trial < 200; ++trial) {
+    const auto msg = random_message(rng, 12);
+    std::vector<std::uint8_t> cw(20);
+    rs.encode(msg, cw);
+    for (int e = 0; e < 6; ++e) {  // capacity is 4
+      cw[rng.next_below(20)] ^= static_cast<std::uint8_t>(1 + rng.next_below(255));
+    }
+    if (rs.decode(cw, {}) && !std::equal(msg.begin(), msg.end(), cw.begin())) {
+      ++silent_wrong;  // miscorrection to a different codeword — possible but rare-ish
+    }
+  }
+  EXPECT_LT(silent_wrong, 60);
+}
+
+TEST(ReedSolomon, TooManyErasuresFails) {
+  ReedSolomon rs(12, 8);
+  Rng rng(10);
+  const auto msg = random_message(rng, 8);
+  std::vector<std::uint8_t> cw(12);
+  rs.encode(msg, cw);
+  std::vector<int> erasures = {0, 1, 2, 3, 4};  // nroots = 4
+  EXPECT_FALSE(rs.decode(cw, erasures));
+}
+
+TEST(Secded, RoundTripAllBytes) {
+  for (int b = 0; b < 256; ++b) {
+    std::vector<std::int8_t> wire(kSecdedBits);
+    secded_encode(static_cast<std::uint8_t>(b), wire);
+    std::uint8_t out = 0;
+    ASSERT_TRUE(secded_decode(wire, &out));
+    EXPECT_EQ(out, b);
+  }
+}
+
+TEST(Secded, CorrectsEverySingleBitFlip) {
+  for (int b : {0x00, 0xff, 0x5a, 0x13}) {
+    for (int flip = 0; flip < kSecdedBits; ++flip) {
+      std::vector<std::int8_t> wire(kSecdedBits);
+      secded_encode(static_cast<std::uint8_t>(b), wire);
+      wire[static_cast<std::size_t>(flip)] ^= 1;
+      std::uint8_t out = 0;
+      ASSERT_TRUE(secded_decode(wire, &out)) << "b=" << b << " flip=" << flip;
+      EXPECT_EQ(out, b);
+    }
+  }
+}
+
+TEST(Secded, DetectsEveryDoubleBitFlip) {
+  for (int b : {0x00, 0xa7}) {
+    for (int f1 = 0; f1 < kSecdedBits; ++f1) {
+      for (int f2 = f1 + 1; f2 < kSecdedBits; ++f2) {
+        std::vector<std::int8_t> wire(kSecdedBits);
+        secded_encode(static_cast<std::uint8_t>(b), wire);
+        wire[static_cast<std::size_t>(f1)] ^= 1;
+        wire[static_cast<std::size_t>(f2)] ^= 1;
+        std::uint8_t out = 0;
+        EXPECT_FALSE(secded_decode(wire, &out)) << "f1=" << f1 << " f2=" << f2;
+      }
+    }
+  }
+}
+
+TEST(Secded, ResolvesSingleErasure) {
+  for (int b : {0x00, 0xff, 0x3c}) {
+    for (int pos = 0; pos < kSecdedBits; ++pos) {
+      std::vector<std::int8_t> wire(kSecdedBits);
+      secded_encode(static_cast<std::uint8_t>(b), wire);
+      wire[static_cast<std::size_t>(pos)] = kWireErased;
+      std::uint8_t out = 0;
+      ASSERT_TRUE(secded_decode(wire, &out)) << "b=" << b << " pos=" << pos;
+      EXPECT_EQ(out, b);
+    }
+  }
+}
+
+TEST(Secded, TwoErasuresAreSymbolErasure) {
+  std::vector<std::int8_t> wire(kSecdedBits);
+  secded_encode(0x42, wire);
+  wire[2] = kWireErased;
+  wire[7] = kWireErased;
+  std::uint8_t out = 0;
+  EXPECT_FALSE(secded_decode(wire, &out));
+}
+
+TEST(Concatenated, CleanRoundTrip) {
+  ConcatenatedCode code(16, 0.5);
+  Rng rng(20);
+  const auto msg = random_message(rng, 16);
+  const auto wire = code.encode(msg);
+  EXPECT_EQ(wire.size(), code.codeword_bits());
+  std::vector<std::uint8_t> out(16);
+  ASSERT_TRUE(code.decode(wire, out));
+  EXPECT_EQ(out, msg);
+}
+
+TEST(Concatenated, RepetitionStretchingReachesTarget) {
+  ConcatenatedCode code(16, 0.5, 5000);
+  EXPECT_GE(code.codeword_bits(), 5000u);
+  EXPECT_GE(code.repeats(), 2);
+  Rng rng(21);
+  const auto msg = random_message(rng, 16);
+  const auto wire = code.encode(msg);
+  std::vector<std::uint8_t> out(16);
+  ASSERT_TRUE(code.decode(wire, out));
+  EXPECT_EQ(out, msg);
+}
+
+class ConcatenatedNoiseTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(ConcatenatedNoiseTest, SurvivesScatteredNoise) {
+  // Random substitutions+deletions at the given rate. The concatenated code
+  // with outer rate 1/2 has plenty of margin at these noise levels.
+  const double rate = GetParam();
+  ConcatenatedCode code(16, 0.5);
+  Rng rng(static_cast<std::uint64_t>(rate * 1e6) + 3);
+  int failures = 0;
+  for (int trial = 0; trial < 40; ++trial) {
+    const auto msg = random_message(rng, 16);
+    auto wire = code.encode(msg);
+    for (auto& w : wire) {
+      if (rng.next_coin(rate)) w = rng.next_coin(0.5) ? static_cast<std::int8_t>(w ^ 1) : kWireErased;
+    }
+    std::vector<std::uint8_t> out(16);
+    if (!code.decode(wire, out) || out != msg) ++failures;
+  }
+  EXPECT_EQ(failures, 0) << "noise rate " << rate;
+}
+
+INSTANTIATE_TEST_SUITE_P(NoiseSweep, ConcatenatedNoiseTest,
+                         ::testing::Values(0.0, 0.01, 0.03, 0.06));
+
+TEST(Concatenated, FailsGracefullyUnderHeavyNoise) {
+  ConcatenatedCode code(16, 0.5);
+  Rng rng(30);
+  const auto msg = random_message(rng, 16);
+  auto wire = code.encode(msg);
+  for (auto& w : wire) {
+    if (rng.next_coin(0.5)) w = static_cast<std::int8_t>(rng.next_below(2));
+  }
+  std::vector<std::uint8_t> out(16);
+  // Either fails outright or (very unlikely) decodes; it must not crash.
+  (void)code.decode(wire, out);
+}
+
+TEST(Repetition, MajorityDecodes) {
+  RepetitionCode code(5);
+  auto wire = code.encode_bit(true);
+  wire[0] = kWireZero;
+  wire[3] = kWireErased;
+  bool bit = false;
+  ASSERT_TRUE(code.decode_bit(wire, &bit));
+  EXPECT_TRUE(bit);
+}
+
+TEST(Repetition, TieIsFailure) {
+  RepetitionCode code(5);
+  auto wire = code.encode_bit(true);
+  wire[0] = kWireZero;
+  wire[1] = kWireZero;
+  wire[2] = kWireErased;
+  bool bit = false;
+  EXPECT_FALSE(code.decode_bit(wire, &bit));
+}
+
+}  // namespace
+}  // namespace gkr

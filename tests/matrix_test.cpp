@@ -1,0 +1,160 @@
+// End-to-end matrix sweep: every algorithm variant crossed with topology
+// families, protocol workloads and adversary classes — the "does the whole
+// thing hold together from any angle" net. Each cell is a full coded run
+// checked against the noiseless reference.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "core/coding_scheme.h"
+#include "noise/adaptive.h"
+#include "noise/oblivious.h"
+#include "noise/stochastic.h"
+#include "noise/strategies.h"
+#include "proto/protocols/gossip_sum.h"
+#include "proto/protocols/line_pingpong.h"
+#include "proto/protocols/random_protocol.h"
+#include "proto/protocols/tree_aggregate.h"
+#include "proto/protocols/tree_token.h"
+
+namespace gkr {
+namespace {
+
+struct Cell {
+  std::string label;
+  Variant variant;
+  std::function<std::shared_ptr<Topology>()> topo;
+  std::function<std::shared_ptr<const ProtocolSpec>(const Topology&)> spec;
+  // 0 = none, 1 = light stochastic, 2 = small oblivious uniform,
+  // 3 = single link-targeted hit, 4 = light adaptive vandal
+  int adversary_kind;
+};
+
+class MatrixTest : public ::testing::TestWithParam<Cell> {};
+
+TEST_P(MatrixTest, CodedRunSucceeds) {
+  const Cell& cell = GetParam();
+  auto topo = cell.topo();
+  auto spec = cell.spec(*topo);
+  SchemeConfig cfg = SchemeConfig::for_variant(cell.variant, *topo);
+  cfg.seed = 4242;
+  cfg.iteration_factor = 8.0;
+  ChunkedProtocol proto(spec, cfg.K);
+  std::vector<std::uint64_t> inputs;
+  Rng rng(17);
+  for (int u = 0; u < topo->num_nodes(); ++u) inputs.push_back(rng.next_u64());
+  const NoiselessResult reference = run_noiseless(proto, inputs);
+
+  std::unique_ptr<ChannelAdversary> adv;
+  std::unique_ptr<RandomAdaptiveAttacker> adaptive;
+  switch (cell.adversary_kind) {
+    case 0:
+      adv = std::make_unique<NoNoise>();
+      break;
+    case 1:
+      adv = std::make_unique<StochasticChannel>(Rng(23), 3e-5, 3e-5, 1e-5);
+      break;
+    case 2: {
+      NoNoise none;
+      CodedSimulation probe(proto, inputs, reference, cfg, none);
+      Rng prng(29);
+      adv = std::make_unique<ObliviousAdversary>(
+          uniform_plan(probe.total_rounds(), topo->num_dlinks(), 6, prng),
+          ObliviousMode::Additive);
+      break;
+    }
+    case 3: {
+      NoNoise none;
+      CodedSimulation probe(proto, inputs, reference, cfg, none);
+      adv = std::make_unique<ObliviousAdversary>(
+          single_hit_plan(probe.prologue_rounds() + 2 * probe.rounds_per_iteration() + 5, 0),
+          ObliviousMode::Additive);
+      break;
+    }
+    case 4:
+      adaptive = std::make_unique<RandomAdaptiveAttacker>(
+          nullptr, 0.001 / topo->num_links(), Rng(31));
+      break;
+    default:
+      FAIL();
+  }
+
+  SimulationResult r;
+  if (adaptive != nullptr) {
+    CodedSimulation sim(proto, inputs, reference, cfg, *adaptive);
+    adaptive->attach(&sim.engine_counters());
+    r = sim.run();
+  } else {
+    r = run_coded(proto, inputs, reference, cfg, *adv);
+  }
+  EXPECT_TRUE(r.success) << cell.label;
+  EXPECT_TRUE(r.transcripts_match) << cell.label;
+  EXPECT_TRUE(r.outputs_match) << cell.label;
+}
+
+std::vector<Cell> build_matrix() {
+  std::vector<Cell> cells;
+  struct VariantInfo {
+    Variant v;
+    const char* tag;
+  };
+  const VariantInfo variants[] = {{Variant::Crs, "crs"},
+                                  {Variant::ExchangeOblivious, "algA"},
+                                  {Variant::ExchangeNonOblivious, "algB"},
+                                  {Variant::CrsHidden, "algC"}};
+  struct TopoProto {
+    const char* tag;
+    std::function<std::shared_ptr<Topology>()> topo;
+    std::function<std::shared_ptr<const ProtocolSpec>(const Topology&)> spec;
+  };
+  const TopoProto workloads[] = {
+      {"gossip_ring5",
+       [] { return std::make_shared<Topology>(Topology::ring(5)); },
+       [](const Topology& g) { return std::make_shared<GossipSumProtocol>(g, 10); }},
+      {"token_line6",
+       [] { return std::make_shared<Topology>(Topology::line(6)); },
+       [](const Topology& g) { return std::make_shared<TreeTokenProtocol>(g, 2, 8); }},
+      {"aggregate_star6",
+       [] { return std::make_shared<Topology>(Topology::star(6)); },
+       [](const Topology& g) { return std::make_shared<TreeAggregateProtocol>(g, 8, 1); }},
+      {"random_grid23",
+       [] { return std::make_shared<Topology>(Topology::grid(2, 3)); },
+       [](const Topology& g) { return std::make_shared<RandomProtocol>(g, 50, 0.4, 5); }},
+      {"pingpong_line5",
+       [] { return std::make_shared<Topology>(Topology::line(5)); },
+       [](const Topology& g) { return std::make_shared<LinePingPongProtocol>(g, 2, 16); }},
+  };
+  const struct {
+    int kind;
+    const char* tag;
+  } adversaries[] = {{0, "clean"}, {1, "stochastic"}, {2, "oblivious6"},
+                     {3, "singlehit"}, {4, "adaptive"}};
+
+  // Full variant sweep on one workload per adversary; full workload sweep on
+  // two variants. Keeps the matrix dense where it matters without exploding
+  // runtime.
+  for (const auto& v : variants) {
+    for (const auto& a : adversaries) {
+      cells.push_back(Cell{std::string(v.tag) + "_gossip_ring5_" + a.tag, v.v,
+                           workloads[0].topo, workloads[0].spec, a.kind});
+    }
+  }
+  for (std::size_t wi = 1; wi < std::size(workloads); ++wi) {  // 0 covered above
+    const auto& w = workloads[wi];
+    for (const auto& a : adversaries) {
+      cells.push_back(Cell{std::string("crs_") + w.tag + "_" + a.tag, Variant::Crs, w.topo,
+                           w.spec, a.kind});
+      cells.push_back(Cell{std::string("algB_") + w.tag + "_" + a.tag,
+                           Variant::ExchangeNonOblivious, w.topo, w.spec, a.kind});
+    }
+  }
+  return cells;
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, MatrixTest, ::testing::ValuesIn(build_matrix()),
+                         [](const ::testing::TestParamInfo<Cell>& info) {
+                           return info.param.label;
+                         });
+
+}  // namespace
+}  // namespace gkr

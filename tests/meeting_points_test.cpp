@@ -1,0 +1,241 @@
+// Unit tests for the meeting-points mechanism (§3.1(ii), Appendix A
+// reconstruction) via a two-party harness that exchanges MpMessages directly,
+// with controllable corruption. These verify the properties the paper's
+// analysis relies on: stability under agreement (Prop. A.4), O(B)
+// convergence from divergence B, bounded per-corruption damage (Lemma A.6),
+// and resync after a unilateral reset.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "core/meeting_points.h"
+#include "core/transcript.h"
+#include "hash/seed_source.h"
+#include "util/rng.h"
+
+namespace gkr {
+namespace {
+
+LinkChunkRecord record_for(int chunk, std::uint64_t salt) {
+  LinkChunkRecord rec;
+  Rng rng(mix64(static_cast<std::uint64_t>(chunk) * 1000003ULL + salt));
+  for (int i = 0; i < 10; ++i) {
+    rec.push_back(rng.next_bit() ? Sym::One : Sym::Zero);
+  }
+  return rec;
+}
+
+// Two-party meeting-points harness over a perfect or lossy message channel.
+struct Pair {
+  LinkTranscript a, b;
+  MeetingPointsState ma, mb;
+  UniformSeedSource seeds{12345};
+  int tau = 12;
+  std::uint64_t iter = 0;
+
+  // Append `n` identical chunks to both transcripts.
+  void grow_common(int n) {
+    for (int i = 0; i < n; ++i) {
+      const int c = a.chunks();
+      a.append_chunk(record_for(c, 0));
+      b.append_chunk(record_for(c, 0));
+    }
+  }
+
+  // Append `n` chunks to one side only (salt differentiates content).
+  void grow_one(LinkTranscript& t, int n, std::uint64_t salt) {
+    for (int i = 0; i < n; ++i) t.append_chunk(record_for(t.chunks(), salt));
+  }
+
+  struct StepResult {
+    MpStatus sa, sb;
+  };
+
+  // One clean consistency-check iteration.
+  StepResult step(bool corrupt_a_to_b = false, bool corrupt_b_to_a = false) {
+    MpMessage msg_a = ma.prepare(a, seeds, /*link=*/7, iter, tau);
+    MpMessage msg_b = mb.prepare(b, seeds, /*link=*/7, iter, tau);
+    ++iter;
+    if (corrupt_a_to_b) msg_a.h1 ^= 1;  // substitution on the wire
+    if (corrupt_b_to_a) msg_b.valid = false;  // deletion of the message
+    const MpStatus sb = mb.process(msg_a, b).status;
+    const MpStatus sa = ma.process(msg_b, a).status;
+    return {sa, sb};
+  }
+
+  // Iterate until both sides report Simulate; returns iterations used.
+  int converge(int max_iters) {
+    for (int i = 1; i <= max_iters; ++i) {
+      const StepResult r = step();
+      if (r.sa == MpStatus::Simulate && r.sb == MpStatus::Simulate) return i;
+    }
+    return -1;
+  }
+};
+
+TEST(MeetingPoints, AgreementIsStable) {
+  Pair p;
+  p.grow_common(9);
+  for (int i = 0; i < 20; ++i) {
+    const auto r = p.step();
+    EXPECT_EQ(r.sa, MpStatus::Simulate);
+    EXPECT_EQ(r.sb, MpStatus::Simulate);
+    EXPECT_EQ(p.a.chunks(), 9);
+    EXPECT_EQ(p.b.chunks(), 9);
+  }
+}
+
+TEST(MeetingPoints, EmptyTranscriptsAgree) {
+  Pair p;
+  const auto r = p.step();
+  EXPECT_EQ(r.sa, MpStatus::Simulate);
+  EXPECT_EQ(r.sb, MpStatus::Simulate);
+}
+
+TEST(MeetingPoints, DetectsContentMismatch) {
+  Pair p;
+  p.grow_common(5);
+  p.grow_one(p.a, 1, /*salt=*/111);
+  p.grow_one(p.b, 1, /*salt=*/222);  // same length, different content
+  const auto r = p.step();
+  EXPECT_EQ(r.sa, MpStatus::MeetingPoints);
+  EXPECT_EQ(r.sb, MpStatus::MeetingPoints);
+}
+
+TEST(MeetingPoints, DetectsLengthMismatch) {
+  Pair p;
+  p.grow_common(5);
+  p.grow_one(p.a, 2, /*salt=*/0);  // a is ahead by 2 (content irrelevant)
+  const auto r = p.step();
+  EXPECT_EQ(r.sa, MpStatus::MeetingPoints);
+  EXPECT_EQ(r.sb, MpStatus::MeetingPoints);
+}
+
+struct DivergenceCase {
+  int common, extra_a, extra_b;
+};
+
+class MpConvergenceTest : public ::testing::TestWithParam<DivergenceCase> {};
+
+TEST_P(MpConvergenceTest, ConvergesToCommonPrefix) {
+  const DivergenceCase c = GetParam();
+  Pair p;
+  p.grow_common(c.common);
+  p.grow_one(p.a, c.extra_a, 111);
+  p.grow_one(p.b, c.extra_b, 222);
+
+  const int B = std::max(c.extra_a, c.extra_b);
+  const int iters = p.converge(40 * (B + 2));
+  ASSERT_GT(iters, 0) << "did not converge";
+  // Both sides end equal, at or below the common prefix, and not
+  // unreasonably far below it (O(B) undershoot).
+  EXPECT_EQ(p.a.chunks(), p.b.chunks());
+  EXPECT_LE(p.a.chunks(), c.common);
+  EXPECT_GE(p.a.chunks(), std::max(0, c.common - 8 * (B + 1)));
+  for (int j = 0; j <= p.a.chunks(); ++j) {
+    EXPECT_EQ(p.a.prefix_digest(j), p.b.prefix_digest(j));
+  }
+  // O(B) iterations (generous constant).
+  EXPECT_LE(iters, 30 * (B + 1)) << "convergence too slow";
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, MpConvergenceTest,
+    ::testing::Values(DivergenceCase{5, 1, 0}, DivergenceCase{5, 0, 1},
+                      DivergenceCase{5, 1, 1}, DivergenceCase{7, 3, 2},
+                      DivergenceCase{16, 5, 5}, DivergenceCase{3, 8, 8},
+                      DivergenceCase{0, 4, 4}, DivergenceCase{12, 1, 7},
+                      DivergenceCase{40, 16, 9}, DivergenceCase{64, 1, 1},
+                      DivergenceCase{2, 0, 2}, DivergenceCase{31, 31, 0}));
+
+TEST(MeetingPoints, ConvergesDespiteScatteredCorruption) {
+  Pair p;
+  p.grow_common(10);
+  p.grow_one(p.a, 3, 111);
+  p.grow_one(p.b, 2, 222);
+  // Corrupt every 4th message; convergence should still happen, just slower.
+  int converged_at = -1;
+  for (int i = 1; i <= 400; ++i) {
+    const auto r = p.step(i % 4 == 0, i % 8 == 0);
+    if (r.sa == MpStatus::Simulate && r.sb == MpStatus::Simulate) {
+      converged_at = i;
+      break;
+    }
+  }
+  ASSERT_GT(converged_at, 0);
+  EXPECT_EQ(p.a.chunks(), p.b.chunks());
+  EXPECT_LE(p.a.chunks(), 10);
+}
+
+TEST(MeetingPoints, ResyncAfterUnilateralReset) {
+  // Force one side into a long sequence, then hand-desync the counters by
+  // truncating the other side's transcript out-of-band (as the rewind phase
+  // may): the 2E > k rule must bring them back together.
+  Pair p;
+  p.grow_common(8);
+  p.grow_one(p.a, 4, 111);
+  // Run a few iterations so both sides are mid-sequence.
+  for (int i = 0; i < 3; ++i) p.step();
+  // Out-of-band: b rolls back two chunks (e.g. rewind wave).
+  p.b.truncate(6);
+  const int iters = p.converge(300);
+  ASSERT_GT(iters, 0);
+  EXPECT_EQ(p.a.chunks(), p.b.chunks());
+}
+
+TEST(MeetingPoints, SingleCorruptionCausesBoundedDamage) {
+  // From agreement, one corrupted message must not trigger a large
+  // truncation: at most O(1) chunks can be lost.
+  Pair p;
+  p.grow_common(20);
+  const auto r = p.step(/*corrupt_a_to_b=*/true, false);
+  EXPECT_GE(p.a.chunks(), 19);
+  EXPECT_GE(p.b.chunks(), 19);
+  (void)r;
+  // And the pair returns to Simulate quickly afterwards.
+  const int iters = p.converge(40);
+  ASSERT_GT(iters, 0);
+  EXPECT_GE(p.a.chunks(), 18);
+}
+
+TEST(MeetingPoints, StrictPrefixConvergesFastViaCrossComparison) {
+  // Regression: one side exactly one chunk ahead (the post-rewind shape).
+  // Resolution REQUIRES the cross-comparison my-mpc1 vs peer-mpc2, which is
+  // only sound when both prefix hashes of an iteration share one seed. With
+  // per-hash seeds this livelocks until the candidates bottom out at 0 — a
+  // catastrophic full rollback (caught by the end-to-end matrix sweep).
+  for (const int common : {5, 31, 64}) {
+    Pair p;
+    p.grow_common(common);
+    p.grow_one(p.a, 1, /*salt=*/0);  // a strictly ahead by one chunk
+    const int iters = p.converge(12);
+    ASSERT_GT(iters, 0) << "livelock at common=" << common;
+    EXPECT_LE(iters, 8);
+    EXPECT_EQ(p.a.chunks(), p.b.chunks());
+    EXPECT_GE(p.a.chunks(), common - 2) << "overshoot at common=" << common;
+  }
+}
+
+TEST(MeetingPoints, AsymmetricLargeGapNeverBottomsOut) {
+  Pair p;
+  p.grow_common(40);
+  p.grow_one(p.a, 23, 0);  // strict prefix, big asymmetry
+  const int iters = p.converge(400);
+  ASSERT_GT(iters, 0);
+  EXPECT_GE(p.a.chunks(), 16) << "rolled back catastrophically";
+  EXPECT_EQ(p.a.chunks(), p.b.chunks());
+}
+
+TEST(MeetingPoints, PrefixHashBindsPosition) {
+  // Transcripts where one is a strict prefix of the other must NOT pass the
+  // k=1 check (footnote 11: hashes bind the chunk count).
+  Pair p;
+  p.grow_common(6);
+  p.grow_one(p.a, 1, 0);
+  const auto r = p.step();
+  EXPECT_EQ(r.sa, MpStatus::MeetingPoints);
+  EXPECT_EQ(r.sb, MpStatus::MeetingPoints);
+}
+
+}  // namespace
+}  // namespace gkr

@@ -1,0 +1,192 @@
+// Tests for the network substrate: topologies, BFS spanning trees, and the
+// synchronous round engine with its corruption accounting (§2.1 noise model).
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "net/round_engine.h"
+#include "net/spanning_tree.h"
+#include "net/topology.h"
+#include "util/rng.h"
+
+namespace gkr {
+namespace {
+
+TEST(Topology, LineShape) {
+  const Topology t = Topology::line(5);
+  EXPECT_EQ(t.num_nodes(), 5);
+  EXPECT_EQ(t.num_links(), 4);
+  EXPECT_TRUE(t.is_connected());
+  EXPECT_EQ(t.links_of(0).size(), 1u);
+  EXPECT_EQ(t.links_of(2).size(), 2u);
+  EXPECT_EQ(t.link_between(1, 2), t.link_between(2, 1));
+  EXPECT_EQ(t.link_between(0, 4), -1);
+}
+
+TEST(Topology, RingShape) {
+  const Topology t = Topology::ring(6);
+  EXPECT_EQ(t.num_links(), 6);
+  for (PartyId u = 0; u < 6; ++u) EXPECT_EQ(t.links_of(u).size(), 2u);
+  EXPECT_TRUE(t.is_connected());
+}
+
+TEST(Topology, StarShape) {
+  const Topology t = Topology::star(7);
+  EXPECT_EQ(t.num_links(), 6);
+  EXPECT_EQ(t.links_of(0).size(), 6u);
+  for (PartyId u = 1; u < 7; ++u) EXPECT_EQ(t.links_of(u).size(), 1u);
+}
+
+TEST(Topology, CliqueShape) {
+  const Topology t = Topology::clique(5);
+  EXPECT_EQ(t.num_links(), 10);
+  for (PartyId u = 0; u < 5; ++u) EXPECT_EQ(t.links_of(u).size(), 4u);
+}
+
+TEST(Topology, GridShape) {
+  const Topology t = Topology::grid(3, 4);
+  EXPECT_EQ(t.num_nodes(), 12);
+  EXPECT_EQ(t.num_links(), 3 * 3 + 2 * 4);
+  EXPECT_TRUE(t.is_connected());
+}
+
+TEST(Topology, RandomTreeIsTree) {
+  Rng rng(1);
+  for (int n : {2, 5, 17}) {
+    const Topology t = Topology::random_tree(n, rng);
+    EXPECT_EQ(t.num_links(), n - 1);
+    EXPECT_TRUE(t.is_connected());
+  }
+}
+
+TEST(Topology, ErdosRenyiConnected) {
+  Rng rng(2);
+  for (int trial = 0; trial < 10; ++trial) {
+    const Topology t = Topology::erdos_renyi(12, 0.2, rng);
+    EXPECT_TRUE(t.is_connected());
+    EXPECT_GE(t.num_links(), 11);
+  }
+}
+
+TEST(Topology, DlinkSenderReceiver) {
+  const Topology t = Topology::line(3);
+  const int link = t.link_between(0, 1);
+  const int d01 = t.dlink_from(link, 0);
+  const int d10 = t.dlink_from(link, 1);
+  EXPECT_NE(d01, d10);
+  EXPECT_EQ(t.dlink_sender(d01), 0);
+  EXPECT_EQ(t.dlink_receiver(d01), 1);
+  EXPECT_EQ(t.dlink_sender(d10), 1);
+  EXPECT_EQ(t.dlink_receiver(d10), 0);
+}
+
+TEST(Topology, PeerResolution) {
+  const Topology t = Topology::star(4);
+  for (PartyId u = 1; u < 4; ++u) {
+    const int l = t.link_between(0, u);
+    EXPECT_EQ(t.peer(l, 0), u);
+    EXPECT_EQ(t.peer(l, u), 0);
+  }
+}
+
+TEST(SpanningTree, BfsLevelsOnLine) {
+  const Topology t = Topology::line(5);
+  const SpanningTree st = SpanningTree::bfs(t, 0);
+  EXPECT_EQ(st.depth, 5);
+  for (PartyId u = 0; u < 5; ++u) EXPECT_EQ(st.level[static_cast<std::size_t>(u)], u + 1);
+  EXPECT_EQ(st.parent[0], -1);
+  EXPECT_EQ(st.parent[3], 2);
+}
+
+TEST(SpanningTree, BfsOnClique) {
+  const Topology t = Topology::clique(6);
+  const SpanningTree st = SpanningTree::bfs(t, 2);
+  EXPECT_EQ(st.depth, 2);
+  EXPECT_EQ(st.children[2].size(), 5u);
+  for (PartyId u = 0; u < 6; ++u) {
+    if (u != 2) EXPECT_EQ(st.parent[static_cast<std::size_t>(u)], 2);
+  }
+}
+
+TEST(SpanningTree, ParentLinksExist) {
+  Rng rng(3);
+  const Topology t = Topology::erdos_renyi(15, 0.25, rng);
+  const SpanningTree st = SpanningTree::bfs(t, 0);
+  for (PartyId u = 1; u < 15; ++u) {
+    const int l = st.parent_link[static_cast<std::size_t>(u)];
+    ASSERT_GE(l, 0);
+    EXPECT_EQ(t.peer(l, u), st.parent[static_cast<std::size_t>(u)]);
+    EXPECT_EQ(st.level[static_cast<std::size_t>(u)],
+              st.level[static_cast<std::size_t>(st.parent[static_cast<std::size_t>(u)])] + 1);
+  }
+}
+
+// A scripted adversary for engine tests.
+class ScriptedAdversary final : public ChannelAdversary {
+ public:
+  // script[(round, dlink)] = symbol to deliver instead.
+  std::map<std::pair<long, int>, Sym> script;
+
+  Sym deliver(const RoundContext& ctx, int dlink, Sym sent) override {
+    const auto it = script.find({ctx.round, dlink});
+    return it == script.end() ? sent : it->second;
+  }
+};
+
+TEST(RoundEngine, CleanDelivery) {
+  const Topology t = Topology::line(3);
+  NoNoise adv;
+  RoundEngine engine(t, adv);
+  std::vector<Sym> sent(static_cast<std::size_t>(t.num_dlinks()), Sym::None);
+  sent[0] = Sym::One;
+  std::vector<Sym> received;
+  engine.step(RoundContext{0, 0, Phase::Simulation}, sent, received);
+  EXPECT_EQ(received[0], Sym::One);
+  for (std::size_t i = 1; i < received.size(); ++i) EXPECT_EQ(received[i], Sym::None);
+  EXPECT_EQ(engine.counters().transmissions, 1);
+  EXPECT_EQ(engine.counters().corruptions, 0);
+}
+
+TEST(RoundEngine, CountsCorruptionKinds) {
+  const Topology t = Topology::line(3);
+  ScriptedAdversary adv;
+  adv.script[{0, 0}] = Sym::Zero;  // substitution (we send One)
+  adv.script[{0, 1}] = Sym::None;  // deletion (we send Zero)
+  adv.script[{0, 2}] = Sym::Bot;   // insertion (we send nothing)
+  RoundEngine engine(t, adv);
+  std::vector<Sym> sent(static_cast<std::size_t>(t.num_dlinks()), Sym::None);
+  sent[0] = Sym::One;
+  sent[1] = Sym::Zero;
+  std::vector<Sym> received;
+  engine.step(RoundContext{0, 0, Phase::MeetingPoints}, sent, received);
+  EXPECT_EQ(received[0], Sym::Zero);
+  EXPECT_EQ(received[1], Sym::None);
+  EXPECT_EQ(received[2], Sym::Bot);
+  const EngineCounters& c = engine.counters();
+  EXPECT_EQ(c.transmissions, 2);
+  EXPECT_EQ(c.substitutions, 1);
+  EXPECT_EQ(c.deletions, 1);
+  EXPECT_EQ(c.insertions, 1);
+  EXPECT_EQ(c.corruptions, 3);
+  EXPECT_EQ(c.corruptions_by_phase[static_cast<std::size_t>(Phase::MeetingPoints)], 3);
+}
+
+TEST(RoundEngine, NoiseFraction) {
+  const Topology t = Topology::line(3);
+  ScriptedAdversary adv;
+  adv.script[{1, 0}] = Sym::Zero;
+  RoundEngine engine(t, adv);
+  std::vector<Sym> sent(static_cast<std::size_t>(t.num_dlinks()), Sym::None);
+  sent[0] = Sym::One;
+  std::vector<Sym> received;
+  for (long r = 0; r < 10; ++r) {
+    engine.step(RoundContext{r, 0, Phase::Simulation}, sent, received);
+  }
+  EXPECT_EQ(engine.counters().transmissions, 10);
+  EXPECT_EQ(engine.counters().corruptions, 1);
+  EXPECT_DOUBLE_EQ(engine.counters().noise_fraction(), 0.1);
+}
+
+}  // namespace
+}  // namespace gkr

@@ -1,0 +1,166 @@
+// Tests for the adversary implementations: oblivious additive/fixing
+// patterns, plan generators, adaptive budget enforcement, and the stochastic
+// channel.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "noise/adaptive.h"
+#include "noise/oblivious.h"
+#include "noise/stochastic.h"
+#include "noise/strategies.h"
+
+namespace gkr {
+namespace {
+
+TEST(Oblivious, AdditiveAlwaysChangesSymbol) {
+  // An additive offset in {1,2,3} mod 4 never maps a symbol to itself.
+  NoisePlan plan;
+  for (int v = 1; v <= 3; ++v) plan.push_back(NoiseEvent{v, 0, static_cast<std::uint8_t>(v)});
+  ObliviousAdversary adv(plan, ObliviousMode::Additive);
+  for (int v = 1; v <= 3; ++v) {
+    for (Sym s : {Sym::Zero, Sym::One, Sym::Bot, Sym::None}) {
+      EXPECT_NE(adv.deliver(RoundContext{v, 0, Phase::Simulation}, 0, s), s);
+    }
+  }
+}
+
+TEST(Oblivious, UntouchedCellsPassThrough) {
+  ObliviousAdversary adv(single_hit_plan(5, 3), ObliviousMode::Additive);
+  EXPECT_EQ(adv.deliver(RoundContext{4, 0, Phase::Simulation}, 3, Sym::One), Sym::One);
+  EXPECT_EQ(adv.deliver(RoundContext{5, 0, Phase::Simulation}, 2, Sym::One), Sym::One);
+  EXPECT_NE(adv.deliver(RoundContext{5, 0, Phase::Simulation}, 3, Sym::One), Sym::One);
+}
+
+TEST(Oblivious, FixingSetsExactSymbol) {
+  NoisePlan plan{NoiseEvent{1, 0, static_cast<std::uint8_t>(Sym::Bot)},
+                 NoiseEvent{2, 0, static_cast<std::uint8_t>(Sym::None)}};
+  ObliviousAdversary adv(plan, ObliviousMode::Fixing);
+  EXPECT_EQ(adv.deliver(RoundContext{1, 0, Phase::Simulation}, 0, Sym::One), Sym::Bot);
+  // Fixing to ∗ implements a deletion.
+  EXPECT_EQ(adv.deliver(RoundContext{2, 0, Phase::Simulation}, 0, Sym::Zero), Sym::None);
+}
+
+TEST(Oblivious, FixingMayCoincideWithSentValue) {
+  // A fixing entry that matches the sent value causes no corruption — the
+  // engine will not count it (Remark 1 discussion).
+  NoisePlan plan{NoiseEvent{1, 0, static_cast<std::uint8_t>(Sym::One)}};
+  ObliviousAdversary adv(plan, ObliviousMode::Fixing);
+  EXPECT_EQ(adv.deliver(RoundContext{1, 0, Phase::Simulation}, 0, Sym::One), Sym::One);
+}
+
+TEST(Strategies, UniformPlanRespectsCountAndBounds) {
+  Rng rng(1);
+  const NoisePlan plan = uniform_plan(1000, 8, 50, rng);
+  EXPECT_EQ(plan.size(), 50u);
+  std::set<std::pair<long, int>> cells;
+  for (const NoiseEvent& e : plan) {
+    EXPECT_GE(e.round, 0);
+    EXPECT_LT(e.round, 1000);
+    EXPECT_GE(e.dlink, 0);
+    EXPECT_LT(e.dlink, 8);
+    EXPECT_TRUE(cells.insert({e.round, e.dlink}).second) << "duplicate cell";
+  }
+}
+
+TEST(Strategies, BurstPlanStaysInWindow) {
+  Rng rng(2);
+  const NoisePlan plan = burst_plan(100, 20, 6, 30, rng);
+  for (const NoiseEvent& e : plan) {
+    EXPECT_GE(e.round, 100);
+    EXPECT_LT(e.round, 120);
+  }
+}
+
+TEST(Strategies, LinkTargetedPlanHitsOneLink) {
+  Rng rng(3);
+  const NoisePlan plan = link_targeted_plan(500, 4, 25, rng);
+  for (const NoiseEvent& e : plan) EXPECT_EQ(e.dlink / 2, 4);
+}
+
+TEST(Strategies, PhaseTargetedPlanUsesPhaseMap) {
+  Rng rng(4);
+  auto phase_of = [](long r) {
+    return r % 10 < 3 ? Phase::MeetingPoints : Phase::Simulation;
+  };
+  const NoisePlan plan = phase_targeted_plan(200, 4, 20, Phase::MeetingPoints, phase_of, rng);
+  EXPECT_FALSE(plan.empty());
+  for (const NoiseEvent& e : plan) EXPECT_EQ(phase_of(e.round), Phase::MeetingPoints);
+}
+
+TEST(AdaptiveBudget, EnforcesRateAgainstCounters) {
+  EngineCounters counters;
+  AdaptiveBudget budget(&counters, 0.1, /*head_start=*/0);
+  EXPECT_FALSE(budget.can_spend());
+  counters.transmissions = 9;
+  EXPECT_FALSE(budget.can_spend());
+  counters.transmissions = 10;
+  ASSERT_TRUE(budget.can_spend());
+  budget.spend();
+  EXPECT_FALSE(budget.can_spend());
+  counters.transmissions = 20;
+  EXPECT_TRUE(budget.can_spend());
+}
+
+TEST(AdaptiveBudget, HeadStartSpendsWithoutTraffic) {
+  AdaptiveBudget budget(nullptr, 0.0, 2);
+  EXPECT_TRUE(budget.can_spend());
+  budget.spend();
+  budget.spend();
+  EXPECT_FALSE(budget.can_spend());
+}
+
+TEST(Adaptive, GreedyLinkAttackerOnlyTouchesItsLinkInSimulation) {
+  EngineCounters counters;
+  counters.transmissions = 1000000;
+  GreedyLinkAttacker adv(&counters, 0.5, /*target_link=*/2);
+  // Other link: untouched.
+  EXPECT_EQ(adv.deliver(RoundContext{0, 0, Phase::Simulation}, 0, Sym::One), Sym::One);
+  // Other phase: untouched.
+  EXPECT_EQ(adv.deliver(RoundContext{0, 0, Phase::MeetingPoints}, 4, Sym::One), Sym::One);
+  // Target link, simulation phase: flipped.
+  EXPECT_EQ(adv.deliver(RoundContext{0, 0, Phase::Simulation}, 4, Sym::One), Sym::Zero);
+  EXPECT_EQ(adv.deliver(RoundContext{0, 0, Phase::Simulation}, 5, Sym::Zero), Sym::One);
+}
+
+TEST(Adaptive, EchoAttackerReflectsOwnBits) {
+  EngineCounters counters;
+  counters.transmissions = 1000000;
+  EchoMpAttacker adv(&counters, 0.5, /*target_link=*/0);
+  std::vector<Sym> sent = {Sym::One, Sym::Zero};  // dlink 0: a→b, dlink 1: b→a
+  adv.begin_round(RoundContext{0, 0, Phase::MeetingPoints}, sent);
+  // b receives what b itself sent (dlink 0 delivers to b; mirror is dlink 1).
+  EXPECT_EQ(adv.deliver(RoundContext{0, 0, Phase::MeetingPoints}, 0, Sym::One), Sym::Zero);
+  // a receives what a itself sent.
+  EXPECT_EQ(adv.deliver(RoundContext{0, 0, Phase::MeetingPoints}, 1, Sym::Zero), Sym::One);
+}
+
+TEST(Adaptive, EchoAttackerFreeRidesOnEqualBits) {
+  EngineCounters counters;
+  EchoMpAttacker adv(&counters, 0.0, 0);  // zero budget
+  std::vector<Sym> sent = {Sym::One, Sym::One};
+  adv.begin_round(RoundContext{0, 0, Phase::MeetingPoints}, sent);
+  // Identical bits: echoing is free (no corruption), so it "succeeds" even
+  // with no budget.
+  EXPECT_EQ(adv.deliver(RoundContext{0, 0, Phase::MeetingPoints}, 0, Sym::One), Sym::One);
+  EXPECT_EQ(adv.spent(), 0);
+}
+
+TEST(Stochastic, RatesRoughlyRespected) {
+  StochasticChannel adv(Rng(9), 0.1, 0.05, 0.02);
+  int subs = 0, dels = 0, ins = 0;
+  const int kTrials = 20000;
+  for (int i = 0; i < kTrials; ++i) {
+    const Sym out = adv.deliver(RoundContext{i, 0, Phase::Simulation}, 0, Sym::One);
+    if (out == Sym::None) ++dels;
+    if (out != Sym::One && out != Sym::None) ++subs;
+    const Sym out2 = adv.deliver(RoundContext{i, 0, Phase::Simulation}, 1, Sym::None);
+    if (out2 != Sym::None) ++ins;
+  }
+  EXPECT_NEAR(subs / static_cast<double>(kTrials), 0.1, 0.01);
+  EXPECT_NEAR(dels / static_cast<double>(kTrials), 0.05, 0.01);
+  EXPECT_NEAR(ins / static_cast<double>(kTrials), 0.02, 0.005);
+}
+
+}  // namespace
+}  // namespace gkr

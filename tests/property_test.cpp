@@ -1,0 +1,304 @@
+// Randomized property/invariant tests across module boundaries: transcript
+// algebra, chunking totality, replay determinism under truncation, seed
+// stream consistency, meeting-points safety invariants, and engine
+// accounting conservation.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <memory>
+#include <set>
+
+#include "core/coding_scheme.h"
+#include "core/meeting_points.h"
+#include "core/transcript.h"
+#include "hash/buffer_seed_stream.h"
+#include "hash/seed_source.h"
+#include "noise/oblivious.h"
+#include "noise/strategies.h"
+#include "proto/protocols/gossip_sum.h"
+#include "proto/protocols/random_protocol.h"
+#include "util/rng.h"
+
+namespace gkr {
+namespace {
+
+LinkChunkRecord random_record(Rng& rng, int len) {
+  LinkChunkRecord rec;
+  for (int i = 0; i < len; ++i) {
+    rec.push_back(static_cast<Sym>(rng.next_below(3)));
+  }
+  return rec;
+}
+
+// ------------------------------------------------------------- transcripts
+
+TEST(TranscriptProperty, AppendTruncateIsPrefixStable) {
+  // For random append/truncate programs: prefix digests of the surviving
+  // prefix never change.
+  Rng rng(1);
+  for (int trial = 0; trial < 50; ++trial) {
+    LinkTranscript tr;
+    std::vector<std::uint64_t> history;  // digest after chunk j
+    history.push_back(tr.prefix_digest(0));
+    for (int op = 0; op < 60; ++op) {
+      if (tr.chunks() == 0 || rng.next_coin(0.7)) {
+        tr.append_chunk(random_record(rng, 6));
+        history.resize(static_cast<std::size_t>(tr.chunks()));
+        history.push_back(tr.full_digest());
+      } else {
+        const int keep = static_cast<int>(rng.next_below(tr.chunks() + 1));
+        tr.truncate(keep);
+        history.resize(static_cast<std::size_t>(keep) + 1);
+      }
+      for (int j = 0; j <= tr.chunks(); ++j) {
+        ASSERT_EQ(tr.prefix_digest(j), history[static_cast<std::size_t>(j)])
+            << "prefix digest drifted";
+      }
+    }
+  }
+}
+
+TEST(TranscriptProperty, IdenticalHistoriesIdenticalDigests) {
+  // Two transcripts built from the same records agree on every prefix digest;
+  // differing in any chunk breaks every digest from that point on.
+  Rng rng(2);
+  for (int trial = 0; trial < 30; ++trial) {
+    LinkTranscript a, b;
+    const int len = 10 + static_cast<int>(rng.next_below(20));
+    std::vector<LinkChunkRecord> recs;
+    for (int c = 0; c < len; ++c) recs.push_back(random_record(rng, 5));
+    for (const auto& r : recs) {
+      a.append_chunk(r);
+      b.append_chunk(r);
+    }
+    for (int j = 0; j <= len; ++j) EXPECT_EQ(a.prefix_digest(j), b.prefix_digest(j));
+
+    const int diverge = static_cast<int>(rng.next_below(len));
+    b.truncate(diverge);
+    auto altered = recs[static_cast<std::size_t>(diverge)];
+    altered[0] = altered[0] == Sym::One ? Sym::Zero : Sym::One;
+    b.append_chunk(altered);
+    for (int c = diverge + 1; c < len; ++c) b.append_chunk(recs[static_cast<std::size_t>(c)]);
+    for (int j = 0; j <= diverge; ++j) EXPECT_EQ(a.prefix_digest(j), b.prefix_digest(j));
+    for (int j = diverge + 1; j <= len; ++j) {
+      EXPECT_NE(a.prefix_digest(j), b.prefix_digest(j)) << "j=" << j;
+    }
+  }
+}
+
+// ---------------------------------------------------------------- chunking
+
+TEST(ChunkingProperty, TotalityOverRandomProtocols) {
+  // For random schedules: every user slot appears in exactly one chunk, in
+  // order; every chunk has exactly 5K slots; by_link partitions the slots.
+  Rng rng(3);
+  for (int trial = 0; trial < 8; ++trial) {
+    auto topo = std::make_shared<Topology>(
+        Topology::erdos_renyi(4 + static_cast<int>(rng.next_below(5)), 0.5, rng));
+    const double density = 0.15 + rng.next_double() * 0.6;
+    auto spec = std::make_shared<RandomProtocol>(
+        *topo, 20 + static_cast<int>(rng.next_below(60)), density, rng.next_u64());
+    const int K = topo->num_links() * (1 + static_cast<int>(rng.next_below(3)));
+    ChunkedProtocol proto(spec, K);
+
+    long user_seen = 0;
+    int expected_next = 0;
+    for (int c = 0; c < proto.num_real_chunks(); ++c) {
+      const Chunk& chunk = proto.chunk(c);
+      ASSERT_EQ(static_cast<int>(chunk.slots.size()), 5 * K);
+      std::size_t by_link_total = 0;
+      for (const auto& list : chunk.by_link) by_link_total += list.size();
+      ASSERT_EQ(by_link_total, chunk.slots.size());
+      int prev_round = -1;
+      for (const ChunkSlot& cs : chunk.slots) {
+        ASSERT_GE(cs.local_round, prev_round);
+        prev_round = cs.local_round;
+        if (cs.kind == SlotKind::User) {
+          ASSERT_EQ(cs.user_slot, expected_next++);
+          ++user_seen;
+        }
+      }
+    }
+    EXPECT_EQ(user_seen, proto.cc_user());
+    EXPECT_EQ(proto.cc_chunked(), static_cast<long>(proto.num_real_chunks()) * 5 * K);
+  }
+}
+
+// ------------------------------------------------------------------ replay
+
+TEST(ReplayProperty, RebuildIsIdempotent) {
+  Rng rng(4);
+  auto topo = std::make_shared<Topology>(Topology::ring(5));
+  auto spec = std::make_shared<GossipSumProtocol>(*topo, 14);
+  ChunkedProtocol proto(spec, topo->num_links());
+  std::vector<std::uint64_t> inputs;
+  for (int u = 0; u < 5; ++u) inputs.push_back(rng.next_u64());
+  const NoiselessResult ref = run_noiseless(proto, inputs);
+  const std::vector<int> chunks(static_cast<std::size_t>(topo->num_links()),
+                                proto.num_real_chunks());
+  for (PartyId u = 0; u < 5; ++u) {
+    PartyReplayer r(proto, u, inputs[static_cast<std::size_t>(u)]);
+    auto reader = [&](int link, int chunk) {
+      return &ref.records[static_cast<std::size_t>(link)][static_cast<std::size_t>(chunk)];
+    };
+    r.rebuild(reader, chunks);
+    const std::uint64_t out1 = r.output();
+    r.rebuild(reader, chunks);
+    EXPECT_EQ(r.output(), out1);
+  }
+}
+
+TEST(ReplayProperty, PrefixRebuildMatchesPrefixExecution) {
+  // Rebuilding from the first j chunks equals executing only j chunks: the
+  // foundation of rollback correctness.
+  Rng rng(5);
+  auto topo = std::make_shared<Topology>(Topology::line(4));
+  auto spec = std::make_shared<GossipSumProtocol>(*topo, 16);
+  auto full = std::make_shared<ChunkedProtocol>(spec, topo->num_links());
+  std::vector<std::uint64_t> inputs;
+  for (int u = 0; u < 4; ++u) inputs.push_back(rng.next_u64());
+  const NoiselessResult ref = run_noiseless(*full, inputs);
+
+  for (int j : {1, 2, full->num_real_chunks() / 2, full->num_real_chunks()}) {
+    if (j < 1) continue;
+    const std::vector<int> chunks(static_cast<std::size_t>(topo->num_links()), j);
+    for (PartyId u = 0; u < 4; ++u) {
+      PartyReplayer a(*full, u, inputs[static_cast<std::size_t>(u)]);
+      a.rebuild(
+          [&](int link, int chunk) {
+            return &ref.records[static_cast<std::size_t>(link)][static_cast<std::size_t>(chunk)];
+          },
+          chunks);
+      // Execute the remaining chunks live; must land on the reference output.
+      // (Only meaningful at j == full: otherwise just check determinism by
+      // rebuilding a twin and comparing outputs.)
+      PartyReplayer b(*full, u, inputs[static_cast<std::size_t>(u)]);
+      b.rebuild(
+          [&](int link, int chunk) {
+            return &ref.records[static_cast<std::size_t>(link)][static_cast<std::size_t>(chunk)];
+          },
+          chunks);
+      EXPECT_EQ(a.output(), b.output());
+      if (j == full->num_real_chunks()) {
+        EXPECT_EQ(a.output(), ref.outputs[static_cast<std::size_t>(u)]);
+      }
+    }
+  }
+}
+
+// ------------------------------------------------------------- seed streams
+
+TEST(SeedProperty, BufferStreamReplays) {
+  std::vector<std::uint64_t> words = {1, 2, 3};
+  BufferSeedStream s(words);
+  EXPECT_EQ(s.next_word(), 1u);
+  EXPECT_EQ(s.next_word(), 2u);
+  s.rewind();
+  EXPECT_EQ(s.next_word(), 1u);
+}
+
+TEST(SeedProperty, CrossPrefixHashesComparable) {
+  // The property the meeting-points fix enforces: hashing (pos, digest) with
+  // the per-iteration prefix seed yields EQUAL values regardless of which of
+  // the two hash positions (h1/h2) carries it.
+  UniformSeedSource seeds(77);
+  Rng rng(6);
+  for (int t = 0; t < 200; ++t) {
+    LinkTranscript tr;
+    const int len = 1 + static_cast<int>(rng.next_below(12));
+    for (int c = 0; c < len; ++c) tr.append_chunk(random_record(rng, 4));
+    MeetingPointsState u, v;
+    LinkTranscript tu, tv;  // tu one chunk ahead of tv, common prefix = tv
+    for (int c = 0; c < len; ++c) {
+      tv.append_chunk(tr.chunk_record(c));
+      tu.append_chunk(tr.chunk_record(c));
+    }
+    tu.append_chunk(random_record(rng, 4));
+    const MpMessage mu = u.prepare(tu, seeds, 9, static_cast<std::uint64_t>(t), 10);
+    const MpMessage mv = v.prepare(tv, seeds, 9, static_cast<std::uint64_t>(t), 10);
+    // At k=1: u's mpc2 == len == v's mpc1, same digests ⇒ hashes MUST match.
+    ASSERT_EQ(u.mpc2(), v.mpc1());
+    EXPECT_EQ(mu.h2, mv.h1) << "cross prefix hash mismatch at t=" << t;
+  }
+}
+
+// -------------------------------------------------- meeting-points safety
+
+TEST(MpProperty, RandomizedDivergencesAlwaysConverge) {
+  // Fuzz: random common prefix, random divergence on both sides, random
+  // scattered corruption with a bounded budget — must always converge to a
+  // common transcript within O(B + corruption) iterations, never below the
+  // common prefix by more than O(B).
+  Rng rng(7);
+  UniformSeedSource seeds(99);
+  for (int trial = 0; trial < 60; ++trial) {
+    const int common = static_cast<int>(rng.next_below(40));
+    const int ea = static_cast<int>(rng.next_below(12));
+    const int eb = static_cast<int>(rng.next_below(12));
+    const int budget = static_cast<int>(rng.next_below(6));
+    LinkTranscript a, b;
+    for (int c = 0; c < common; ++c) {
+      const auto rec = random_record(rng, 5);
+      a.append_chunk(rec);
+      b.append_chunk(rec);
+    }
+    for (int c = 0; c < ea; ++c) a.append_chunk(random_record(rng, 5));
+    for (int c = 0; c < eb; ++c) b.append_chunk(random_record(rng, 5));
+    MeetingPointsState ma, mb;
+    const int big_b = std::max({ea, eb, 1});
+    const int max_iters = 60 * (big_b + budget + 2);
+    int spent = 0;
+    bool converged = false;
+    for (int i = 1; i <= max_iters; ++i) {
+      MpMessage xa = ma.prepare(a, seeds, 3, static_cast<std::uint64_t>(trial * 1000 + i), 12);
+      MpMessage xb = mb.prepare(b, seeds, 3, static_cast<std::uint64_t>(trial * 1000 + i), 12);
+      if (spent < budget && rng.next_coin(0.3)) {
+        xa.h1 ^= 1 + static_cast<std::uint32_t>(rng.next_below(7));
+        ++spent;
+      }
+      const MpStatus sb = mb.process(xa, b).status;
+      const MpStatus sa = ma.process(xb, a).status;
+      if (sa == MpStatus::Simulate && sb == MpStatus::Simulate) {
+        converged = true;
+        break;
+      }
+    }
+    ASSERT_TRUE(converged) << "trial " << trial << " common=" << common << " ea=" << ea
+                           << " eb=" << eb << " budget=" << budget;
+    EXPECT_EQ(a.chunks(), b.chunks());
+    EXPECT_LE(a.chunks(), common);
+    EXPECT_GE(a.chunks(), std::max(0, common - 8 * (big_b + budget + 1)));
+  }
+}
+
+// -------------------------------------------------------- engine accounting
+
+TEST(EngineProperty, CorruptionAccountingConservation) {
+  // Every additive plan entry that lands on a live round is counted exactly
+  // once, in the right phase bucket; totals are conserved.
+  Rng rng(8);
+  const Topology topo = Topology::ring(5);
+  const long rounds = 300;
+  const NoisePlan plan = uniform_plan(rounds, topo.num_dlinks(), 40, rng);
+  ObliviousAdversary adv(plan, ObliviousMode::Additive);
+  RoundEngine engine(topo, adv);
+  std::vector<Sym> sent(static_cast<std::size_t>(topo.num_dlinks()));
+  std::vector<Sym> recv;
+  for (long r = 0; r < rounds; ++r) {
+    for (auto& s : sent) s = rng.next_coin(0.5) ? bit_to_sym(rng.next_bit()) : Sym::None;
+    const Phase phase = r % 2 == 0 ? Phase::Simulation : Phase::MeetingPoints;
+    engine.step(RoundContext{r, 0, phase}, sent, recv);
+  }
+  const EngineCounters& c = engine.counters();
+  EXPECT_EQ(c.corruptions, static_cast<long>(plan.size()));  // additive always corrupts
+  EXPECT_EQ(c.corruptions, c.substitutions + c.deletions + c.insertions);
+  long by_phase = 0;
+  for (long v : c.corruptions_by_phase) by_phase += v;
+  EXPECT_EQ(by_phase, c.corruptions);
+  long tx_by_phase = 0;
+  for (long v : c.transmissions_by_phase) tx_by_phase += v;
+  EXPECT_EQ(tx_by_phase, c.transmissions);
+}
+
+}  // namespace
+}  // namespace gkr

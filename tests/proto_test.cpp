@@ -1,0 +1,326 @@
+// Tests for the protocol substrate: chunking (§3.2 preprocessing), the five
+// concrete protocols, the replay machinery and the noiseless reference
+// runner.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <set>
+
+#include "proto/chunking.h"
+#include "proto/noiseless.h"
+#include "proto/protocol_spec.h"
+#include "proto/protocols/gossip_sum.h"
+#include "proto/protocols/line_pingpong.h"
+#include "proto/protocols/random_protocol.h"
+#include "proto/protocols/tree_aggregate.h"
+#include "proto/protocols/tree_token.h"
+#include "proto/replay.h"
+#include "util/rng.h"
+
+namespace gkr {
+namespace {
+
+std::vector<std::uint64_t> make_inputs(int n, std::uint64_t seed) {
+  std::vector<std::uint64_t> inputs;
+  Rng rng(seed);
+  for (int i = 0; i < n; ++i) inputs.push_back(rng.next_u64());
+  return inputs;
+}
+
+// ---------------------------------------------------------------- chunking
+
+TEST(Chunking, ChunksCarryExactly5KBits) {
+  auto topo = std::make_shared<Topology>(Topology::ring(5));
+  auto spec = std::make_shared<GossipSumProtocol>(*topo, 30);
+  const int K = topo->num_links();
+  ChunkedProtocol proto(spec, K);
+  ASSERT_GE(proto.num_real_chunks(), 1);
+  for (int c = 0; c < proto.num_real_chunks(); ++c) {
+    EXPECT_EQ(static_cast<int>(proto.chunk(c).slots.size()), 5 * K);
+  }
+  EXPECT_EQ(static_cast<int>(proto.chunk(proto.num_real_chunks() + 3).slots.size()), 5 * K);
+}
+
+TEST(Chunking, HeartbeatCoversEveryDirectedLink) {
+  auto topo = std::make_shared<Topology>(Topology::line(4));
+  auto spec = std::make_shared<TreeTokenProtocol>(*topo, 2, 8);
+  ChunkedProtocol proto(spec, topo->num_links());
+  for (int c = 0; c <= proto.num_real_chunks(); ++c) {  // incl. dummy
+    std::set<int> dlinks;
+    for (const ChunkSlot& cs : proto.chunk(c).slots) {
+      if (cs.kind == SlotKind::Heartbeat) {
+        EXPECT_EQ(cs.local_round, 0);
+        dlinks.insert(2 * cs.link + cs.dir);
+      }
+    }
+    EXPECT_EQ(static_cast<int>(dlinks.size()), topo->num_dlinks()) << "chunk " << c;
+  }
+}
+
+TEST(Chunking, UserSlotOrderPreserved) {
+  auto topo = std::make_shared<Topology>(Topology::ring(4));
+  auto spec = std::make_shared<GossipSumProtocol>(*topo, 11);
+  ChunkedProtocol proto(spec, topo->num_links());
+  int expected = 0;
+  for (int c = 0; c < proto.num_real_chunks(); ++c) {
+    int prev_round = -1;
+    for (const ChunkSlot& cs : proto.chunk(c).slots) {
+      if (cs.kind != SlotKind::User) continue;
+      EXPECT_EQ(cs.user_slot, expected++);
+      EXPECT_GE(cs.local_round, prev_round);  // slot order is round-monotone
+      prev_round = cs.local_round;
+    }
+  }
+  EXPECT_EQ(expected, static_cast<int>(proto.user_slots().size()));
+  EXPECT_EQ(static_cast<long>(expected), proto.cc_user());
+}
+
+TEST(Chunking, CausalityOneRoundPerProtocolRound) {
+  // Two user slots from different Π rounds never share a local round.
+  auto topo = std::make_shared<Topology>(Topology::line(3));
+  auto spec = std::make_shared<TreeTokenProtocol>(*topo, 1, 4);
+  ChunkedProtocol proto(spec, topo->num_links());
+  for (int c = 0; c < proto.num_real_chunks(); ++c) {
+    std::map<int, std::set<int>> round_to_slots;  // local round -> user slots
+    for (const ChunkSlot& cs : proto.chunk(c).slots) {
+      if (cs.kind == SlotKind::User) round_to_slots[cs.local_round].insert(cs.user_slot);
+    }
+    // TreeToken has one slot per Π round, so each local round holds ≤ 1.
+    for (const auto& [round, slots] : round_to_slots) EXPECT_EQ(slots.size(), 1u);
+  }
+}
+
+TEST(Chunking, ByLinkIndexConsistent) {
+  auto topo = std::make_shared<Topology>(Topology::star(5));
+  auto spec = std::make_shared<GossipSumProtocol>(*topo, 7);
+  ChunkedProtocol proto(spec, topo->num_links());
+  const Chunk& chunk = proto.chunk(0);
+  std::size_t total = 0;
+  for (int l = 0; l < topo->num_links(); ++l) {
+    for (int idx : chunk.by_link[static_cast<std::size_t>(l)]) {
+      EXPECT_EQ(chunk.slots[static_cast<std::size_t>(idx)].link, l);
+    }
+    total += chunk.by_link[static_cast<std::size_t>(l)].size();
+  }
+  EXPECT_EQ(total, chunk.slots.size());
+}
+
+TEST(Chunking, MaxRoundsWithinPhaseBudget) {
+  auto topo = std::make_shared<Topology>(Topology::line(6));
+  auto spec = std::make_shared<TreeTokenProtocol>(*topo, 3, 16);
+  const int K = topo->num_links() * 2;  // also exercise K = 2m
+  ChunkedProtocol proto(spec, K);
+  EXPECT_LE(proto.max_chunk_rounds(), 5 * K);
+  EXPECT_GE(proto.max_chunk_rounds(), 2);
+}
+
+TEST(Chunking, RequiresKMultipleOfM) {
+  auto topo = std::make_shared<Topology>(Topology::line(4));
+  auto spec = std::make_shared<GossipSumProtocol>(*topo, 3);
+  EXPECT_DEATH(ChunkedProtocol(spec, topo->num_links() + 1), "");
+}
+
+// ---------------------------------------------------------------- protocols
+
+struct ProtoCase {
+  std::string label;
+  std::function<std::shared_ptr<Topology>()> topo;
+  std::function<std::shared_ptr<ProtocolSpec>(const Topology&)> spec;
+};
+
+class ProtocolContractTest : public ::testing::TestWithParam<ProtoCase> {};
+
+TEST_P(ProtocolContractTest, ScheduleIsWellFormed) {
+  auto topo = GetParam().topo();
+  auto spec = GetParam().spec(*topo);
+  int total_slots = 0;
+  for (int r = 0; r < spec->num_rounds(); ++r) {
+    std::set<int> seen_dlinks;
+    for (const Slot& s : spec->slots_for_round(r)) {
+      ASSERT_GE(s.link, 0);
+      ASSERT_LT(s.link, topo->num_links());
+      ASSERT_TRUE(s.dir == 0 || s.dir == 1);
+      // At most one symbol per directed link per round (§2.1).
+      EXPECT_TRUE(seen_dlinks.insert(2 * s.link + s.dir).second);
+      ++total_slots;
+    }
+  }
+  EXPECT_GT(total_slots, 0);
+}
+
+TEST_P(ProtocolContractTest, NoiselessRunIsDeterministic) {
+  auto topo = GetParam().topo();
+  auto spec = GetParam().spec(*topo);
+  ChunkedProtocol proto(spec, topo->num_links());
+  const auto inputs = make_inputs(topo->num_nodes(), 11);
+  const NoiselessResult a = run_noiseless(proto, inputs);
+  const NoiselessResult b = run_noiseless(proto, inputs);
+  EXPECT_EQ(a.outputs, b.outputs);
+  EXPECT_EQ(a.records, b.records);
+}
+
+TEST_P(ProtocolContractTest, OutputsSensitiveToInputs) {
+  auto topo = GetParam().topo();
+  auto spec = GetParam().spec(*topo);
+  ChunkedProtocol proto(spec, topo->num_links());
+  auto inputs = make_inputs(topo->num_nodes(), 11);
+  const NoiselessResult a = run_noiseless(proto, inputs);
+  inputs[0] ^= 0xff00ff;  // change party 0's input
+  const NoiselessResult b = run_noiseless(proto, inputs);
+  EXPECT_NE(a.outputs, b.outputs);
+}
+
+TEST_P(ProtocolContractTest, RebuildFromRecordsMatchesLiveState) {
+  auto topo = GetParam().topo();
+  auto spec = GetParam().spec(*topo);
+  ChunkedProtocol proto(spec, topo->num_links());
+  const auto inputs = make_inputs(topo->num_nodes(), 13);
+  const NoiselessResult ref = run_noiseless(proto, inputs);
+
+  // Rebuild every party from the recorded transcripts and compare outputs.
+  const std::vector<int> chunks(static_cast<std::size_t>(topo->num_links()),
+                                proto.num_real_chunks());
+  for (PartyId u = 0; u < topo->num_nodes(); ++u) {
+    PartyReplayer replayer(proto, u, inputs[static_cast<std::size_t>(u)]);
+    replayer.rebuild(
+        [&](int link, int chunk) {
+          return &ref.records[static_cast<std::size_t>(link)][static_cast<std::size_t>(chunk)];
+        },
+        chunks);
+    EXPECT_EQ(replayer.output(), ref.outputs[static_cast<std::size_t>(u)]) << "party " << u;
+  }
+}
+
+TEST_P(ProtocolContractTest, ReplayDivergesOnCorruptedRecord) {
+  auto topo = GetParam().topo();
+  auto spec = GetParam().spec(*topo);
+  ChunkedProtocol proto(spec, topo->num_links());
+  const auto inputs = make_inputs(topo->num_nodes(), 13);
+  NoiselessResult ref = run_noiseless(proto, inputs);
+
+  // Flip one user bit in the middle chunk on link 0 and rebuild the receiver:
+  // its state digest (and usually its output) must change for the
+  // history-sensitive protocols; at minimum the rebuild must not crash.
+  const int c = proto.num_real_chunks() / 2;
+  auto& rec = ref.records[0][static_cast<std::size_t>(c)];
+  const Chunk& chunk = proto.chunk(c);
+  int target = -1;
+  for (std::size_t i = 0; i < chunk.by_link[0].size(); ++i) {
+    const ChunkSlot& cs = chunk.slots[static_cast<std::size_t>(chunk.by_link[0][i])];
+    if (cs.kind == SlotKind::User) {
+      target = static_cast<int>(i);
+      break;
+    }
+  }
+  if (target < 0) GTEST_SKIP() << "no user slot on link 0 in middle chunk";
+  rec[static_cast<std::size_t>(target)] =
+      rec[static_cast<std::size_t>(target)] == Sym::One ? Sym::Zero : Sym::One;
+
+  const std::vector<int> chunks(static_cast<std::size_t>(topo->num_links()),
+                                proto.num_real_chunks());
+  const PartyId receiver = topo->link(0).a;
+  PartyReplayer replayer(proto, receiver, inputs[static_cast<std::size_t>(receiver)]);
+  replayer.rebuild(
+      [&](int link, int chunk_idx) {
+        return &ref.records[static_cast<std::size_t>(link)][static_cast<std::size_t>(chunk_idx)];
+      },
+      chunks);
+  SUCCEED();
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllProtocols, ProtocolContractTest,
+    ::testing::Values(
+        ProtoCase{"tree_token_line",
+                  [] { return std::make_shared<Topology>(Topology::line(5)); },
+                  [](const Topology& g) { return std::make_shared<TreeTokenProtocol>(g, 2, 8); }},
+        ProtoCase{"tree_token_grid",
+                  [] { return std::make_shared<Topology>(Topology::grid(2, 3)); },
+                  [](const Topology& g) { return std::make_shared<TreeTokenProtocol>(g, 3, 16); }},
+        ProtoCase{"line_pingpong",
+                  [] { return std::make_shared<Topology>(Topology::line(5)); },
+                  [](const Topology& g) {
+                    return std::make_shared<LinePingPongProtocol>(g, 3, 20);
+                  }},
+        ProtoCase{"gossip_ring",
+                  [] { return std::make_shared<Topology>(Topology::ring(5)); },
+                  [](const Topology& g) { return std::make_shared<GossipSumProtocol>(g, 13); }},
+        ProtoCase{"gossip_clique",
+                  [] { return std::make_shared<Topology>(Topology::clique(4)); },
+                  [](const Topology& g) { return std::make_shared<GossipSumProtocol>(g, 9); }},
+        ProtoCase{"random_star",
+                  [] { return std::make_shared<Topology>(Topology::star(5)); },
+                  [](const Topology& g) {
+                    return std::make_shared<RandomProtocol>(g, 40, 0.4, 777);
+                  }},
+        ProtoCase{"tree_aggregate_grid",
+                  [] { return std::make_shared<Topology>(Topology::grid(2, 3)); },
+                  [](const Topology& g) {
+                    return std::make_shared<TreeAggregateProtocol>(g, 8, 2);
+                  }}),
+    [](const ::testing::TestParamInfo<ProtoCase>& pinfo) { return pinfo.param.label; });
+
+TEST(TreeAggregate, ComputesTheSum) {
+  auto topo = std::make_shared<Topology>(Topology::grid(2, 3));
+  auto spec = std::make_shared<TreeAggregateProtocol>(*topo, 12, 1);
+  ChunkedProtocol proto(spec, topo->num_links());
+  const auto inputs = make_inputs(topo->num_nodes(), 21);
+  const NoiselessResult ref = run_noiseless(proto, inputs);
+  const std::uint64_t expected = spec->expected_sum(inputs);
+  for (PartyId u = 0; u < topo->num_nodes(); ++u) {
+    EXPECT_EQ(ref.outputs[static_cast<std::size_t>(u)], expected) << "party " << u;
+  }
+}
+
+TEST(TreeToken, AllPartiesSeeTokenOnLine) {
+  // After ≥1 full lap every party's token has been touched by the walk.
+  auto topo = std::make_shared<Topology>(Topology::line(4));
+  auto spec = std::make_shared<TreeTokenProtocol>(*topo, 2, 8);
+  ChunkedProtocol proto(spec, topo->num_links());
+  const auto inputs = make_inputs(4, 31);
+  const NoiselessResult ref = run_noiseless(proto, inputs);
+  // Sensitivity: changing the root input changes every party's output.
+  auto inputs2 = inputs;
+  inputs2[0] ^= 1;
+  const NoiselessResult ref2 = run_noiseless(proto, inputs2);
+  for (PartyId u = 0; u < 4; ++u) {
+    EXPECT_NE(ref.outputs[static_cast<std::size_t>(u)],
+              ref2.outputs[static_cast<std::size_t>(u)])
+        << "party " << u;
+  }
+}
+
+TEST(GossipSum, IsFullyUtilized) {
+  auto topo = std::make_shared<Topology>(Topology::ring(4));
+  GossipSumProtocol spec(*topo, 5);
+  for (int r = 0; r < spec.num_rounds(); ++r) {
+    EXPECT_EQ(static_cast<int>(spec.slots_for_round(r).size()), topo->num_dlinks());
+  }
+}
+
+TEST(RandomProtocol, DensityControlsTraffic) {
+  auto topo = std::make_shared<Topology>(Topology::clique(5));
+  RandomProtocol sparse(*topo, 200, 0.1, 5);
+  RandomProtocol dense(*topo, 200, 0.9, 5);
+  long sparse_slots = 0, dense_slots = 0;
+  for (int r = 0; r < 200; ++r) {
+    sparse_slots += static_cast<long>(sparse.slots_for_round(r).size());
+    dense_slots += static_cast<long>(dense.slots_for_round(r).size());
+  }
+  EXPECT_LT(sparse_slots * 3, dense_slots);
+}
+
+TEST(LinePingPong, LastLinkDominatesTraffic) {
+  // pp_bits ≫ n makes the last link the hot spot — the workload of the §1.2
+  // line example.
+  auto topo = std::make_shared<Topology>(Topology::line(5));
+  LinePingPongProtocol spec(*topo, 2, 50);
+  std::vector<long> per_link(static_cast<std::size_t>(topo->num_links()), 0);
+  for (int r = 0; r < spec.num_rounds(); ++r) {
+    for (const Slot& s : spec.slots_for_round(r)) ++per_link[static_cast<std::size_t>(s.link)];
+  }
+  EXPECT_GT(per_link.back(), 10 * per_link.front());
+}
+
+}  // namespace
+}  // namespace gkr

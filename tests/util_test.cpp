@@ -1,0 +1,272 @@
+// Unit tests for src/util: RNG, bit vectors, GF(2^64), GF(2^8),
+// digest chains and stats accumulators.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <set>
+
+#include "util/bitvec.h"
+#include "util/digest.h"
+#include "util/gf256.h"
+#include "util/gf2_64.h"
+#include "util/rng.h"
+#include "util/stats.h"
+
+namespace gkr {
+namespace {
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) same += a.next_u64() == b.next_u64();
+  EXPECT_LE(same, 1);
+}
+
+TEST(Rng, ForkIsIndependentAndStable) {
+  Rng root(7);
+  Rng c1 = root.fork(1);
+  Rng c2 = root.fork(2);
+  Rng c1_again = root.fork(1);
+  EXPECT_EQ(c1.next_u64(), c1_again.next_u64());
+  EXPECT_NE(root.fork(1).next_u64(), c2.next_u64());
+}
+
+TEST(Rng, StringForkStable) {
+  Rng root(7);
+  EXPECT_EQ(root.fork("alpha").next_u64(), root.fork("alpha").next_u64());
+  EXPECT_NE(root.fork("alpha").next_u64(), root.fork("beta").next_u64());
+}
+
+TEST(Rng, NextBelowInRange) {
+  Rng r(3);
+  for (std::uint64_t bound : {1ULL, 2ULL, 3ULL, 17ULL, 1000003ULL}) {
+    for (int i = 0; i < 200; ++i) EXPECT_LT(r.next_below(bound), bound);
+  }
+}
+
+TEST(Rng, NextBelowRoughlyUniform) {
+  Rng r(11);
+  int counts[10] = {};
+  const int trials = 100000;
+  for (int i = 0; i < trials; ++i) ++counts[r.next_below(10)];
+  for (int c : counts) {
+    EXPECT_GT(c, trials / 10 - 800);
+    EXPECT_LT(c, trials / 10 + 800);
+  }
+}
+
+TEST(Rng, DoubleInUnitInterval) {
+  Rng r(5);
+  for (int i = 0; i < 1000; ++i) {
+    const double d = r.next_double();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(Mix64, InjectiveOnSmallRange) {
+  std::set<std::uint64_t> seen;
+  for (std::uint64_t i = 0; i < 4096; ++i) seen.insert(mix64(i));
+  EXPECT_EQ(seen.size(), 4096u);
+}
+
+TEST(BitVec, PushAndGet) {
+  BitVec v;
+  for (int i = 0; i < 200; ++i) v.push_back(i % 3 == 0);
+  ASSERT_EQ(v.size(), 200u);
+  for (int i = 0; i < 200; ++i) EXPECT_EQ(v.get(static_cast<std::size_t>(i)), i % 3 == 0);
+}
+
+TEST(BitVec, AppendWordRoundTrip) {
+  BitVec v;
+  v.append_word(0xdeadbeefcafef00dULL, 64);
+  v.append_word(0x2a, 7);
+  EXPECT_EQ(v.read_word(0, 64), 0xdeadbeefcafef00dULL);
+  EXPECT_EQ(v.read_word(64, 7), 0x2aULL);
+}
+
+TEST(BitVec, EqualityIsContentBased) {
+  BitVec a, b;
+  for (int i = 0; i < 77; ++i) {
+    a.push_back(i % 2 == 0);
+    b.push_back(i % 2 == 0);
+  }
+  EXPECT_EQ(a, b);
+  b.set(50, !b.get(50));
+  EXPECT_NE(a, b);
+}
+
+TEST(BitVec, DigestBindsLength) {
+  BitVec a, b;
+  a.push_back(false);
+  EXPECT_NE(a.digest(), b.digest());  // "0" vs "" must differ (footnote 11)
+  b.push_back(false);
+  EXPECT_EQ(a.digest(), b.digest());
+}
+
+TEST(BitVec, XorAndPopcount) {
+  BitVec a(130), b(130);
+  a.set(0, true);
+  a.set(129, true);
+  b.set(129, true);
+  a ^= b;
+  EXPECT_EQ(a.popcount(), 1u);
+  EXPECT_TRUE(a.get(0));
+  EXPECT_FALSE(a.get(129));
+}
+
+TEST(BitVec, ResizeClearsTail) {
+  BitVec a(10, true);
+  a.resize(5);
+  a.resize(10);
+  for (std::size_t i = 5; i < 10; ++i) EXPECT_FALSE(a.get(i));
+}
+
+TEST(GF64, MultiplicativeIdentity) {
+  Rng r(1);
+  for (int i = 0; i < 100; ++i) {
+    GF64 a{r.next_u64()};
+    EXPECT_EQ(gf64_mul(a, GF64{1}).v, a.v);
+    EXPECT_EQ(gf64_mul(GF64{1}, a).v, a.v);
+  }
+}
+
+TEST(GF64, Commutative) {
+  Rng r(2);
+  for (int i = 0; i < 100; ++i) {
+    GF64 a{r.next_u64()}, b{r.next_u64()};
+    EXPECT_EQ(gf64_mul(a, b).v, gf64_mul(b, a).v);
+  }
+}
+
+TEST(GF64, Associative) {
+  Rng r(3);
+  for (int i = 0; i < 100; ++i) {
+    GF64 a{r.next_u64()}, b{r.next_u64()}, c{r.next_u64()};
+    EXPECT_EQ(gf64_mul(gf64_mul(a, b), c).v, gf64_mul(a, gf64_mul(b, c)).v);
+  }
+}
+
+TEST(GF64, DistributesOverAddition) {
+  Rng r(4);
+  for (int i = 0; i < 100; ++i) {
+    GF64 a{r.next_u64()}, b{r.next_u64()}, c{r.next_u64()};
+    EXPECT_EQ(gf64_mul(a, b + c).v, (gf64_mul(a, b) + gf64_mul(a, c)).v);
+  }
+}
+
+TEST(GF64, PowMatchesRepeatedMul) {
+  GF64 a{0x123456789abcdefULL};
+  GF64 acc{1};
+  for (std::uint64_t e = 0; e < 20; ++e) {
+    EXPECT_EQ(gf64_pow(a, e).v, acc.v);
+    acc = gf64_mul(acc, a);
+  }
+}
+
+TEST(GF64, NoZeroDivisors) {
+  Rng r(5);
+  for (int i = 0; i < 200; ++i) {
+    GF64 a{r.next_u64() | 1}, b{r.next_u64() | 1};
+    EXPECT_NE(gf64_mul(a, b).v, 0u);
+  }
+}
+
+TEST(GF64, FermatLittleTheorem) {
+  // a^(2^64 - 1) = 1 for a != 0 iff the modulus is irreducible (sanity check
+  // of the reduction polynomial).
+  for (std::uint64_t a : {2ULL, 3ULL, 0x9e3779b97f4a7c15ULL}) {
+    EXPECT_EQ(gf64_pow(GF64{a}, ~0ULL).v, 1u);
+  }
+}
+
+TEST(GF256, FieldAxioms) {
+  Rng r(6);
+  for (int i = 0; i < 300; ++i) {
+    const auto a = static_cast<std::uint8_t>(r.next_below(256));
+    const auto b = static_cast<std::uint8_t>(r.next_below(256));
+    const auto c = static_cast<std::uint8_t>(r.next_below(256));
+    EXPECT_EQ(GF256::mul(a, b), GF256::mul(b, a));
+    EXPECT_EQ(GF256::mul(GF256::mul(a, b), c), GF256::mul(a, GF256::mul(b, c)));
+    EXPECT_EQ(GF256::mul(a, GF256::add(b, c)),
+              GF256::add(GF256::mul(a, b), GF256::mul(a, c)));
+  }
+}
+
+TEST(GF256, InverseRoundTrip) {
+  for (int a = 1; a < 256; ++a) {
+    const auto byte = static_cast<std::uint8_t>(a);
+    EXPECT_EQ(GF256::mul(byte, GF256::inv(byte)), 1);
+    EXPECT_EQ(GF256::div(GF256::mul(byte, 0x53), byte), 0x53);
+  }
+}
+
+TEST(GF256, AlphaHasFullOrder) {
+  std::set<std::uint8_t> powers;
+  for (unsigned e = 0; e < 255; ++e) powers.insert(GF256::pow_of_alpha(e));
+  EXPECT_EQ(powers.size(), 255u);
+}
+
+TEST(PrefixChain, AppendTruncateConsistency) {
+  PrefixChain a;
+  std::vector<std::uint64_t> digests = {11, 22, 33, 44, 55};
+  for (auto d : digests) a.append(d);
+  EXPECT_EQ(a.size(), 5u);
+
+  // Truncating and re-appending identical chunk digests reproduces values.
+  const std::uint64_t v3 = a.value(3);
+  const std::uint64_t v5 = a.value(5);
+  a.truncate(3);
+  EXPECT_EQ(a.value(), v3);
+  a.append(44);
+  a.append(55);
+  EXPECT_EQ(a.value(), v5);
+}
+
+TEST(PrefixChain, OrderSensitive) {
+  PrefixChain a, b;
+  a.append(1);
+  a.append(2);
+  b.append(2);
+  b.append(1);
+  EXPECT_NE(a.value(), b.value());
+}
+
+TEST(PrefixChain, PositionBinding) {
+  // Same chunk digest at different positions yields different chain values.
+  PrefixChain a;
+  a.append(7);
+  PrefixChain b;
+  b.append(9);
+  b.append(7);
+  EXPECT_NE(a.value(), b.value(2));
+}
+
+TEST(ChunkDigest, SymbolSensitivity) {
+  ChunkDigest a(0), b(0), c(1);
+  a.fold_symbol(0);
+  b.fold_symbol(1);
+  c.fold_symbol(0);
+  EXPECT_NE(a.value(), b.value());
+  EXPECT_NE(a.value(), c.value());  // chunk index matters
+}
+
+TEST(Accumulator, Moments) {
+  Accumulator acc;
+  for (double x : {1.0, 2.0, 3.0, 4.0, 5.0}) acc.add(x);
+  EXPECT_DOUBLE_EQ(acc.mean(), 3.0);
+  EXPECT_NEAR(acc.stddev(), 1.5811, 1e-3);
+  EXPECT_DOUBLE_EQ(acc.min(), 1.0);
+  EXPECT_DOUBLE_EQ(acc.max(), 5.0);
+  EXPECT_DOUBLE_EQ(acc.percentile(50), 3.0);
+}
+
+TEST(Strf, Formats) { EXPECT_EQ(strf("%d/%s", 3, "x"), "3/x"); }
+
+}  // namespace
+}  // namespace gkr
