@@ -7,14 +7,18 @@
 // insertions target idle rewind-phase wires), and on the mixed additive
 // pattern. Paper shape: all four columns behave comparably — the scheme's
 // guarantee is type-agnostic.
+//
+// One SweepRunner grid: the noise axis carries the four typed strategies and
+// the μ axis carries the budget (src/sim).
 #include <set>
 
 #include "bench_support.h"
+#include "sim/sweep_runner.h"
 
 namespace gkr {
 namespace {
 
-NoisePlan typed_plan(const bench::Workload& w, long count, int type, Rng& rng) {
+NoisePlan typed_plan(const sim::Workload& w, long count, int type, Rng& rng) {
   // type 0: substitution (fix opposite bit on MP rounds — always traffic),
   // type 1: deletion (fix to ∗ on MP rounds),
   // type 2: insertion (fix to a bit on rewind rounds — usually idle).
@@ -45,40 +49,64 @@ NoisePlan typed_plan(const bench::Workload& w, long count, int type, Rng& rng) {
   return plan;
 }
 
+sim::NoiseFactory typed_noise(const char* name, int type) {
+  sim::NoiseFactory f;
+  f.name = name;
+  f.build = [type](const sim::Workload& w, double budget, Rng& rng) {
+    sim::BuiltNoise out;
+    const long count = static_cast<long>(budget);
+    if (count <= 0) return out;
+    out.adversary = std::make_unique<ObliviousAdversary>(typed_plan(w, count, type, rng),
+                                                         ObliviousMode::Fixing);
+    return out;
+  };
+  return f;
+}
+
+sim::NoiseFactory mixed_additive_noise() {
+  sim::NoiseFactory f;
+  f.name = "mixed-additive";
+  f.build = [](const sim::Workload& w, double budget, Rng& rng) {
+    sim::BuiltNoise out;
+    const long count = static_cast<long>(budget);
+    if (count <= 0) return out;
+    out.adversary = std::make_unique<ObliviousAdversary>(
+        uniform_plan(w.total_rounds(), w.topo->num_dlinks(), count, rng),
+        ObliviousMode::Additive);
+    return out;
+  };
+  return f;
+}
+
 void run() {
   bench::print_header(
       "F3 — resilience by corruption type (§2.1)",
       "Algorithm A, ring(6) gossip, fixed budget of corruptions spent on one type.\n"
       "success over 6 trials; 'used' = corruptions the channel actually inflicted.");
 
-  const int kTrials = 6;
+  sim::ParamGrid grid;
+  grid.variants = {Variant::ExchangeOblivious};
+  grid.topologies = {sim::topology_factory("ring", 6)};
+  grid.protocols = {sim::protocol_factory("gossip", 12)};
+  grid.noises = {typed_noise("substitution-only", 0), typed_noise("deletion-only", 1),
+                 typed_noise("insertion-only", 2), mixed_additive_noise()};
+  grid.noise_fractions = {2, 6, 12, 24, 48};  // corruption budget, not a fraction
+  grid.repetitions = 6;
+  grid.iteration_factor = 8.0;
+  grid.base_seed = 4000;
+
+  sim::SweepRunner runner(grid, sim::SweepOptions{/*threads=*/0, /*progress=*/false});
+  const auto groups = sim::summarize(runner.run());
+
+  // Group order mirrors expansion: noise type slowest, then budget.
+  const std::size_t B = grid.noise_fractions.size();
   TablePrinter table(
       {"budget", "substitution-only", "deletion-only", "insertion-only", "mixed additive"});
-  for (const long budget : {2L, 6L, 12L, 24L, 48L}) {
-    std::vector<std::string> cells = {strf("%ld", budget)};
-    for (int type = 0; type <= 3; ++type) {
-      int ok = 0;
-      long used = 0;
-      for (int t = 0; t < kTrials; ++t) {
-        bench::Workload w = bench::gossip_workload(
-            std::make_shared<Topology>(Topology::ring(6)), Variant::ExchangeOblivious,
-            4000 + static_cast<std::uint64_t>(type * 100 + t), 12, 8.0);
-        Rng rng(9000 + static_cast<std::uint64_t>(budget * 10 + type * 100 + t));
-        SimulationResult r;
-        if (type == 3) {
-          ObliviousAdversary adv(
-              uniform_plan(w.total_rounds(), w.topo->num_dlinks(), budget, rng),
-              ObliviousMode::Additive);
-          r = w.run(adv);
-        } else {
-          ObliviousAdversary adv(typed_plan(w, budget, type, rng), ObliviousMode::Fixing);
-          r = w.run(adv);
-        }
-        ok += r.success;
-        used += r.counters.corruptions;
-      }
-      cells.push_back(strf("%d/%d (used %.0f)", ok, kTrials,
-                           static_cast<double>(used) / kTrials));
+  for (std::size_t b = 0; b < B; ++b) {
+    std::vector<std::string> cells = {strf("%.0f", grid.noise_fractions[b])};
+    for (std::size_t type = 0; type < grid.noises.size(); ++type) {
+      const auto& g = groups[type * B + b];
+      cells.push_back(strf("%d/%d (used %.0f)", g.successes, g.runs, g.corruptions.mean()));
     }
     table.add_row(cells);
   }

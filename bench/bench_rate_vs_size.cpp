@@ -9,36 +9,57 @@
 // the fully-utilized column explodes for sparse protocols (TreeToken) and the
 // advantage narrows for dense ones (Gossip) — exactly the motivation for the
 // non-fully-utilized model.
+//
+// Each family is one SweepRunner grid ({AlgA, AlgB} × sizes, noiseless),
+// executed on the thread pool (src/sim); rows are assembled from the
+// deterministic RunRecord stream.
 #include "bench_support.h"
+#include "sim/sweep_runner.h"
 
 namespace gkr {
 namespace {
 
-void sweep(const char* family,
-           const std::function<std::shared_ptr<Topology>(int)>& topo_of,
-           const std::function<std::shared_ptr<const ProtocolSpec>(const Topology&)>& spec_of,
-           const std::vector<int>& sizes) {
+void sweep(const char* family, const std::vector<sim::TopologyFactory>& sizes,
+           sim::ProtocolFactory proto) {
+  sim::ParamGrid grid;
+  grid.variants = {Variant::ExchangeOblivious, Variant::ExchangeNonOblivious};
+  grid.topologies = sizes;
+  grid.protocols = {std::move(proto)};
+  grid.noises = {sim::no_noise()};
+  grid.iteration_factor = 3.0;
+  grid.base_seed = 500;
+
+  sim::SweepRunner runner(grid, sim::SweepOptions{/*threads=*/0, /*progress=*/false});
+  const std::vector<sim::RunRecord> records = runner.run();
+
+  // Expansion order: variant slowest, then topology — records[v*T + t].
+  const std::size_t T = sizes.size();
   TablePrinter table({"topology", "n", "m", "CC(Pi)", "CC(chunked)", "AlgA blowup",
                       "AlgB blowup", "fully-utilized xCC(Pi)"});
-  for (int n : sizes) {
-    auto topo = topo_of(n);
-    auto spec = spec_of(*topo);
-    bench::Workload wa = bench::make_workload(topo, spec, Variant::ExchangeOblivious,
-                                              500 + static_cast<std::uint64_t>(n), 3.0);
-    bench::Workload wb = bench::make_workload(topo, spec, Variant::ExchangeNonOblivious,
-                                              700 + static_cast<std::uint64_t>(n), 3.0);
-    NoNoise none;
-    const SimulationResult ra = wa.run(none);
-    const SimulationResult rb = wb.run(none);
-    const double fu = static_cast<double>(fully_utilized_cc(*spec)) /
-                      static_cast<double>(wa.reference.cc_user);
-    table.add_row({topo->name(), strf("%d", topo->num_nodes()),
-                   strf("%d", topo->num_links()), strf("%ld", wa.reference.cc_user),
-                   strf("%ld", wa.reference.cc_chunked), strf("%.1f", ra.blowup_vs_chunked),
+  for (std::size_t t = 0; t < T; ++t) {
+    const sim::RunRecord& ra = records[t];
+    const sim::RunRecord& rb = records[T + t];
+    const double fu =
+        static_cast<double>(ra.cc_fully_utilized) / static_cast<double>(ra.cc_user);
+    table.add_row({ra.topology, strf("%d", ra.n), strf("%d", ra.m), strf("%ld", ra.cc_user),
+                   strf("%ld", ra.cc_chunked), strf("%.1f", ra.blowup_vs_chunked),
                    strf("%.1f", rb.blowup_vs_chunked), strf("%.1f", fu)});
   }
   std::printf("\n[%s]\n", family);
   table.print();
+}
+
+std::vector<sim::TopologyFactory> family_of(const char* name,
+                                            const std::vector<int>& sizes) {
+  std::vector<sim::TopologyFactory> out;
+  for (int n : sizes) {
+    if (std::string(name) == "grid2") {
+      out.push_back(sim::topology_factory("grid", 2, n / 2));
+    } else {
+      out.push_back(sim::topology_factory(name, n));
+    }
+  }
+  return out;
 }
 
 void run() {
@@ -48,29 +69,17 @@ void run() {
       "Expected shape: AlgA/AlgB columns flat in m; fully-utilized conversion factor\n"
       "grows ~2m for sparse protocols.");
 
-  sweep(
-      "sparse: TreeToken on a line (1 bit in flight per round)",
-      [](int n) { return std::make_shared<Topology>(Topology::line(n)); },
-      [](const Topology& t) { return std::make_shared<TreeTokenProtocol>(t, 2, 8); },
-      {4, 6, 8, 12, 16});
+  sweep("sparse: TreeToken on a line (1 bit in flight per round)",
+        family_of("line", {4, 6, 8, 12, 16}), sim::protocol_factory("tree_token", 2, 8));
 
-  sweep(
-      "sparse: TreeToken on a clique",
-      [](int n) { return std::make_shared<Topology>(Topology::clique(n)); },
-      [](const Topology& t) { return std::make_shared<TreeTokenProtocol>(t, 2, 8); },
-      {4, 5, 6, 8});
+  sweep("sparse: TreeToken on a clique", family_of("clique", {4, 5, 6, 8}),
+        sim::protocol_factory("tree_token", 2, 8));
 
-  sweep(
-      "dense: Gossip on a ring (fully utilized already)",
-      [](int n) { return std::make_shared<Topology>(Topology::ring(n)); },
-      [](const Topology& t) { return std::make_shared<GossipSumProtocol>(t, 12); },
-      {4, 6, 8, 12, 16});
+  sweep("dense: Gossip on a ring (fully utilized already)",
+        family_of("ring", {4, 6, 8, 12, 16}), sim::protocol_factory("gossip", 12));
 
-  sweep(
-      "mixed: TreeAggregate on a grid",
-      [](int n) { return std::make_shared<Topology>(Topology::grid(2, n / 2)); },
-      [](const Topology& t) { return std::make_shared<TreeAggregateProtocol>(t, 8, 2); },
-      {4, 6, 8, 12});
+  sweep("mixed: TreeAggregate on a grid", family_of("grid2", {4, 6, 8, 12}),
+        sim::protocol_factory("tree_aggregate", 8, 2));
 
   std::printf(
       "\nReading: AlgB's blowup exceeds AlgA's by the larger per-chunk metadata share\n"

@@ -2,13 +2,78 @@
 //
 // Sweeps the noise multiplier x in eps(x) = x·base over the claimed levels:
 // Algorithm A against an oblivious uniform ins/del/sub pattern at x·(base/m),
-// Algorithm B against an adaptive greedy link attacker at x·(base/(m log m)).
-// Paper shape: success ~1 below a threshold ε*, degrading beyond it; the
-// threshold for B sits a log m factor below A's in absolute terms.
+// Algorithm B against an adaptive greedy link attacker at x·(base/(m log m)),
+// and the uncoded baseline against a single planted corruption. Paper shape:
+// success ~1 below a threshold ε*, degrading beyond it; the threshold for B
+// sits a log m factor below A's in absolute terms.
+//
+// One zipped SweepRunner grid: scenario i = (variant_i, noise model_i); the
+// grid's μ axis carries the multiplier x, and the 8 trials per point are the
+// repetition axis (src/sim).
 #include "bench_support.h"
+#include "sim/sweep_runner.h"
 
 namespace gkr {
 namespace {
+
+constexpr double kBaseEps = 0.002;
+
+// Scenario 1: oblivious additive noise, budget x·(base/m)·CC(clean).
+sim::NoiseFactory alg_a_noise() {
+  sim::NoiseFactory f;
+  f.name = "uniform@eps/m";
+  f.build = [](const sim::Workload& w, double x, Rng& rng) {
+    sim::BuiltNoise out;
+    const long budget = static_cast<long>(x * kBaseEps / w.topo->num_links() *
+                                          static_cast<double>(w.clean_cc()));
+    if (budget <= 0) return out;
+    out.adversary = std::make_unique<ObliviousAdversary>(
+        uniform_plan(w.total_rounds(), w.topo->num_dlinks(), budget, rng),
+        ObliviousMode::Additive);
+    return out;
+  };
+  return f;
+}
+
+// Scenario 2: adaptive greedy link attacker at relative rate x·base/(m log m)
+// — the standard greedy factory with the multiplier rescaled per workload.
+sim::NoiseFactory alg_b_noise() {
+  sim::NoiseFactory f;
+  f.name = "greedy@eps/mlogm";
+  f.build = [](const sim::Workload& w, double x, Rng& rng) {
+    const int m = w.topo->num_links();
+    return sim::greedy_link_noise().build(w, x * kBaseEps / (m * std::log2(m)), rng);
+  };
+  return f;
+}
+
+// Scenario 3: the uncoded baseline dies from a single accepted corruption —
+// plant one hit on a random user slot (engine round = Σ rounds of earlier
+// chunks + the slot's local round).
+sim::NoiseFactory uncoded_single_hit() {
+  sim::NoiseFactory f;
+  f.name = "single-user-hit";
+  f.mode = sim::ExecMode::Uncoded;
+  f.build = [](const sim::Workload& w, double x, Rng& rng) {
+    sim::BuiltNoise out;
+    if (x <= 0.0) return out;
+    const int c = static_cast<int>(
+        rng.next_below(static_cast<std::uint64_t>(w.proto->num_real_chunks())));
+    long base = 0;
+    for (int cc = 0; cc < c; ++cc) base += w.proto->chunk(cc).num_rounds;
+    const Chunk& chunk = w.proto->chunk(c);
+    std::vector<const ChunkSlot*> users;
+    for (const ChunkSlot& cs : chunk.slots) {
+      if (cs.kind == SlotKind::User) users.push_back(&cs);
+    }
+    const ChunkSlot* cs = users[rng.next_below(users.size())];
+    out.adversary = std::make_unique<ObliviousAdversary>(
+        single_hit_plan(base + cs->local_round, 2 * cs->link + cs->dir),
+        ObliviousMode::Additive);
+    return out;
+  };
+  return f;
+}
 
 void run() {
   bench::print_header(
@@ -16,75 +81,29 @@ void run() {
       "ring(6) gossip workload; 8 trials per point; iteration factor 10.\n"
       "base eps = 0.002. Expected: ~1.0 at small x, threshold decay at larger x.");
 
-  const int kTrials = 8;
-  const double base_eps = 0.002;
-  auto topo_of = [] { return std::make_shared<Topology>(Topology::ring(6)); };
+  sim::ParamGrid grid;
+  grid.variants = {Variant::ExchangeOblivious, Variant::ExchangeNonOblivious, Variant::Crs};
+  grid.noises = {alg_a_noise(), alg_b_noise(), uncoded_single_hit()};
+  grid.zip_variant_noise = true;
+  grid.topologies = {sim::topology_factory("ring", 6)};
+  grid.protocols = {sim::protocol_factory("gossip", 12)};
+  grid.noise_fractions = {0.0, 0.5, 1.0, 2.0, 4.0, 8.0, 16.0, 32.0};
+  grid.repetitions = 8;
+  grid.iteration_factor = 10.0;
+  grid.base_seed = 1000;
 
+  sim::SweepRunner runner(grid, sim::SweepOptions{/*threads=*/0, /*progress=*/false});
+  const auto groups = sim::summarize(runner.run());
+
+  // Group order mirrors expansion: scenario slowest, then x.
+  const std::size_t X = grid.noise_fractions.size();
   TablePrinter table({"x (noise multiplier)", "AlgA @ x*eps/m (oblivious)",
                       "AlgB @ x*eps/(m log m) (adaptive)", "uncoded (1 user-bit hit)"});
-  for (const double x : {0.0, 0.5, 1.0, 2.0, 4.0, 8.0, 16.0, 32.0}) {
-    const double rate_a = bench::success_rate(
-        [&](std::uint64_t seed) {
-          bench::Workload w =
-              bench::gossip_workload(topo_of(), Variant::ExchangeOblivious, seed, 12, 10.0);
-          const long clean = w.clean_cc();
-          const long budget = static_cast<long>(
-              x * base_eps / w.topo->num_links() * static_cast<double>(clean));
-          if (budget == 0) {
-            NoNoise none;
-            return w.run(none).success;
-          }
-          Rng rng(seed * 31 + 7);
-          ObliviousAdversary adv(
-              uniform_plan(w.total_rounds(), w.topo->num_dlinks(), budget, rng),
-              ObliviousMode::Additive);
-          return w.run(adv).success;
-        },
-        kTrials, 1000 + static_cast<std::uint64_t>(x * 100));
-
-    const double rate_b = bench::success_rate(
-        [&](std::uint64_t seed) {
-          bench::Workload w = bench::gossip_workload(topo_of(), Variant::ExchangeNonOblivious,
-                                                     seed, 12, 10.0);
-          const int m = w.topo->num_links();
-          GreedyLinkAttacker adv(nullptr, x * base_eps / (m * std::log2(m)),
-                                 static_cast<int>(seed % m));
-          CodedSimulation sim(*w.proto, w.inputs, w.reference, w.cfg, adv);
-          adv.attach(&sim.engine_counters());
-          return sim.run().success;
-        },
-        kTrials, 2000 + static_cast<std::uint64_t>(x * 100));
-
-    const double rate_u = bench::success_rate(
-        [&](std::uint64_t seed) {
-          bench::Workload w = bench::gossip_workload(topo_of(), Variant::Crs, seed, 12, 10.0);
-          if (x == 0.0) {
-            NoNoise none;
-            return run_uncoded(*w.proto, w.inputs, w.reference, none).success;
-          }
-          // Uncoded dies from a single accepted corruption: plant one hit on
-          // a random user slot (engine round = Σ rounds of earlier chunks +
-          // the slot's local round).
-          Rng rng(seed * 17 + 3);
-          const int c = static_cast<int>(
-              rng.next_below(static_cast<std::uint64_t>(w.proto->num_real_chunks())));
-          long base = 0;
-          for (int cc = 0; cc < c; ++cc) base += w.proto->chunk(cc).num_rounds;
-          const Chunk& chunk = w.proto->chunk(c);
-          std::vector<const ChunkSlot*> users;
-          for (const ChunkSlot& cs : chunk.slots) {
-            if (cs.kind == SlotKind::User) users.push_back(&cs);
-          }
-          const ChunkSlot* cs = users[rng.next_below(users.size())];
-          ObliviousAdversary adv(
-              single_hit_plan(base + cs->local_round, 2 * cs->link + cs->dir),
-              ObliviousMode::Additive);
-          return run_uncoded(*w.proto, w.inputs, w.reference, adv).success;
-        },
-        kTrials, 3000 + static_cast<std::uint64_t>(x * 100));
-
-    table.add_row({strf("%.1f", x), strf("%.2f", rate_a), strf("%.2f", rate_b),
-                   strf("%.2f", rate_u)});
+  for (std::size_t xi = 0; xi < X; ++xi) {
+    table.add_row({strf("%.1f", grid.noise_fractions[xi]),
+                   strf("%.2f", groups[xi].success_rate()),
+                   strf("%.2f", groups[X + xi].success_rate()),
+                   strf("%.2f", groups[2 * X + xi].success_rate())});
   }
   table.print();
   std::printf(

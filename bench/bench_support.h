@@ -1,5 +1,9 @@
 // Shared workload construction and measurement helpers for the experiment
 // benches (one binary per table/figure — see DESIGN.md §5 for the index).
+//
+// Workload construction lives in src/sim/workload.h (the sweep harness uses
+// it too); this header re-exports it under gkr::bench and keeps the
+// bench-only presentation helpers.
 #pragma once
 
 #include <cstdio>
@@ -19,66 +23,14 @@
 #include "proto/protocols/random_protocol.h"
 #include "proto/protocols/tree_aggregate.h"
 #include "proto/protocols/tree_token.h"
+#include "sim/workload.h"
 #include "util/stats.h"
 
 namespace gkr::bench {
 
-struct Workload {
-  std::shared_ptr<Topology> topo;
-  std::shared_ptr<const ProtocolSpec> spec;
-  std::unique_ptr<ChunkedProtocol> proto;
-  std::vector<std::uint64_t> inputs;
-  NoiselessResult reference;
-  SchemeConfig cfg;
-
-  SimulationResult run(ChannelAdversary& adv) const {
-    return run_coded(*proto, inputs, reference, cfg, adv);
-  }
-
-  // Clean-run communication (used to size oblivious noise budgets).
-  long clean_cc() const {
-    NoNoise none;
-    return run(none).cc_coded;
-  }
-
-  // Total rounds of the timetable (for oblivious noise plans).
-  long total_rounds() const {
-    NoNoise none;
-    CodedSimulation probe(*proto, inputs, reference, cfg, none);
-    return probe.total_rounds();
-  }
-
-  long prologue_rounds() const {
-    NoNoise none;
-    CodedSimulation probe(*proto, inputs, reference, cfg, none);
-    return probe.prologue_rounds();
-  }
-};
-
-inline Workload make_workload(std::shared_ptr<Topology> topo,
-                              std::shared_ptr<const ProtocolSpec> spec, Variant variant,
-                              std::uint64_t seed, double iteration_factor = 4.0) {
-  Workload w;
-  w.topo = std::move(topo);
-  w.spec = std::move(spec);
-  w.cfg = SchemeConfig::for_variant(variant, *w.topo);
-  w.cfg.seed = seed;
-  w.cfg.iteration_factor = iteration_factor;
-  w.proto = std::make_unique<ChunkedProtocol>(w.spec, w.cfg.K);
-  Rng rng(seed ^ 0xbe9cULL);
-  for (int u = 0; u < w.topo->num_nodes(); ++u) w.inputs.push_back(rng.next_u64());
-  w.reference = run_noiseless(*w.proto, w.inputs);
-  return w;
-}
-
-// A gossip workload sized so |Π| stays roughly constant across network sizes
-// (rounds shrink as density grows).
-inline Workload gossip_workload(std::shared_ptr<Topology> topo, Variant variant,
-                                std::uint64_t seed, int rounds = 12,
-                                double iteration_factor = 4.0) {
-  auto spec = std::make_shared<GossipSumProtocol>(*topo, rounds);
-  return make_workload(std::move(topo), std::move(spec), variant, seed, iteration_factor);
-}
+using sim::Workload;
+using sim::gossip_workload;
+using sim::make_workload;
 
 // Success-rate estimate over `trials` seeds.
 inline double success_rate(const std::function<bool(std::uint64_t seed)>& trial, int trials,

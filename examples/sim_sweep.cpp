@@ -1,0 +1,240 @@
+// sim_sweep — the command-line front end of the src/sim sweep harness.
+//
+// Runs a declarative parameter grid (variant × topology × protocol × noise ×
+// μ × repetitions) of coded-simulation runs on a thread pool, with
+// deterministic per-run seeding: the same grid + --seed produces bit-identical
+// JSONL/CSV output for any --threads value.
+//
+//   ./build/examples/sim_sweep                          # 64-point demo sweep
+//   ./build/examples/sim_sweep --threads 8 --jsonl out.jsonl --csv out.csv
+//   ./build/examples/sim_sweep --variants a,b --topos ring:6,grid:2x4
+//       --protos gossip:12 --noises none,uniform --mu 0,0.001,0.004
+//       --reps 3 --iteration-factor 6 --seed 42
+//
+// Axis syntax:
+//   --variants crs,a,b,c
+//   --topos    line:N ring:N star:N clique:N grid:RxC random_tree:N
+//              erdos_renyi:N[:p]
+//   --protos   gossip[:rounds] tree_token[:laps[:word_bits]]
+//              tree_aggregate[:word_bits[:repeats]]
+//              line_pingpong[:sweeps[:pp_bits]] random[:rounds]
+//   --noises   none uniform stochastic greedy random_adaptive
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "sim/param_grid.h"
+#include "sim/result_sink.h"
+#include "sim/sweep_runner.h"
+#include "sim/thread_pool.h"
+
+namespace gkr::sim {
+namespace {
+
+std::vector<std::string> split(const std::string& s, char sep) {
+  std::vector<std::string> out;
+  std::size_t start = 0;
+  while (start <= s.size()) {
+    const std::size_t end = s.find(sep, start);
+    if (end == std::string::npos) {
+      out.push_back(s.substr(start));
+      break;
+    }
+    out.push_back(s.substr(start, end - start));
+    start = end + 1;
+  }
+  return out;
+}
+
+[[noreturn]] void die(const std::string& msg) {
+  std::fprintf(stderr, "sim_sweep: %s\n", msg.c_str());
+  std::exit(2);
+}
+
+Variant parse_variant(const std::string& s) {
+  if (s == "crs") return Variant::Crs;
+  if (s == "a") return Variant::ExchangeOblivious;
+  if (s == "b") return Variant::ExchangeNonOblivious;
+  if (s == "c") return Variant::CrsHidden;
+  die("unknown variant '" + s + "' (expected crs, a, b or c)");
+}
+
+bool one_of(const std::string& s, const std::vector<std::string>& names) {
+  for (const std::string& n : names) {
+    if (s == n) return true;
+  }
+  return false;
+}
+
+TopologyFactory parse_topology(const std::string& s) {
+  const std::vector<std::string> parts = split(s, ':');
+  const std::string& family = parts[0];
+  if (!one_of(family, {"line", "ring", "star", "clique", "grid", "random_tree",
+                       "erdos_renyi"})) {
+    die("unknown topology family '" + family + "' (try --help)");
+  }
+  if (family == "grid") {
+    if (parts.size() != 2) die("grid topology syntax: grid:RxC");
+    const std::vector<std::string> rc = split(parts[1], 'x');
+    if (rc.size() != 2) die("grid topology syntax: grid:RxC");
+    const int rows = std::atoi(rc[0].c_str());
+    const int cols = std::atoi(rc[1].c_str());
+    if (rows <= 0 || cols <= 0) die("bad grid dimensions in '" + s + "'");
+    return topology_factory("grid", rows, cols);
+  }
+  if (parts.size() < 2) die("topology syntax: family:N — got '" + s + "'");
+  const int n = std::atoi(parts[1].c_str());
+  if (n <= 0) die("bad topology size in '" + s + "'");
+  double p = 0.3;
+  if (parts.size() >= 3) p = std::atof(parts[2].c_str());
+  return topology_factory(family, n, 0, p);
+}
+
+ProtocolFactory parse_protocol(const std::string& s) {
+  const std::vector<std::string> parts = split(s, ':');
+  if (!one_of(parts[0], {"gossip", "tree_token", "tree_aggregate", "line_pingpong",
+                         "random"})) {
+    die("unknown protocol '" + parts[0] + "' (try --help)");
+  }
+  const int p1 = parts.size() >= 2 ? std::atoi(parts[1].c_str()) : -1;
+  const int p2 = parts.size() >= 3 ? std::atoi(parts[2].c_str()) : -1;
+  return protocol_factory(parts[0], p1, p2);
+}
+
+ParamGrid demo_grid() {
+  // 64 grid points: 2 variants × 4 topologies × 2 protocols × 2 noises × 2 μ,
+  // 2 repetitions each (128 runs) — the quickstart sweep from DESIGN.md §7.
+  ParamGrid grid;
+  grid.variants = {Variant::Crs, Variant::ExchangeOblivious};
+  grid.topologies = {topology_factory("line", 4), topology_factory("ring", 6),
+                     topology_factory("star", 5), topology_factory("clique", 4)};
+  grid.protocols = {protocol_factory("gossip", 8), protocol_factory("tree_token", 2, 8)};
+  grid.noises = {no_noise(), uniform_oblivious_noise()};
+  grid.noise_fractions = {0.0, 0.002};
+  grid.repetitions = 2;
+  grid.iteration_factor = 4.0;
+  return grid;
+}
+
+int run_main(int argc, char** argv) {
+  ParamGrid grid = demo_grid();
+  bool grid_customized = false;
+  SweepOptions opts;
+  opts.threads = 0;  // default: all hardware threads
+  std::string jsonl_path, csv_path;
+  bool summary = true;
+  bool timing = false;
+
+  auto next_value = [&](int& i) -> std::string {
+    if (i + 1 >= argc) die(std::string("missing value after ") + argv[i]);
+    return argv[++i];
+  };
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--variants") {
+      grid.variants.clear();
+      for (const std::string& v : split(next_value(i), ',')) grid.variants.push_back(parse_variant(v));
+      grid_customized = true;
+    } else if (arg == "--topos") {
+      grid.topologies.clear();
+      for (const std::string& t : split(next_value(i), ',')) grid.topologies.push_back(parse_topology(t));
+      grid_customized = true;
+    } else if (arg == "--protos") {
+      grid.protocols.clear();
+      for (const std::string& p : split(next_value(i), ',')) grid.protocols.push_back(parse_protocol(p));
+      grid_customized = true;
+    } else if (arg == "--noises") {
+      grid.noises.clear();
+      for (const std::string& n : split(next_value(i), ',')) {
+        if (!one_of(n, {"none", "uniform", "stochastic", "greedy", "random_adaptive"})) {
+          die("unknown noise strategy '" + n + "' (try --help)");
+        }
+        grid.noises.push_back(noise_factory(n));
+      }
+      grid_customized = true;
+    } else if (arg == "--mu") {
+      grid.noise_fractions.clear();
+      for (const std::string& m : split(next_value(i), ',')) {
+        char* end = nullptr;
+        const double mu = std::strtod(m.c_str(), &end);
+        if (m.empty() || end == m.c_str() || *end != '\0') {
+          die("bad --mu value '" + m + "'");
+        }
+        grid.noise_fractions.push_back(mu);
+      }
+      grid_customized = true;
+    } else if (arg == "--reps") {
+      grid.repetitions = std::atoi(next_value(i).c_str());
+      if (grid.repetitions <= 0) die("--reps must be a positive integer");
+    } else if (arg == "--iteration-factor") {
+      grid.iteration_factor = std::atof(next_value(i).c_str());
+    } else if (arg == "--seed") {
+      grid.base_seed = std::strtoull(next_value(i).c_str(), nullptr, 0);
+    } else if (arg == "--threads") {
+      opts.threads = std::atoi(next_value(i).c_str());
+    } else if (arg == "--jsonl") {
+      jsonl_path = next_value(i);
+    } else if (arg == "--csv") {
+      csv_path = next_value(i);
+    } else if (arg == "--no-summary") {
+      summary = false;
+    } else if (arg == "--timing") {
+      timing = true;
+    } else if (arg == "--progress") {
+      opts.progress = true;
+    } else if (arg == "--help" || arg == "-h") {
+      std::printf("usage: sim_sweep [--variants ...] [--topos ...] [--protos ...]\n"
+                  "                 [--noises ...] [--mu ...] [--reps N]\n"
+                  "                 [--iteration-factor F] [--seed S] [--threads T]\n"
+                  "                 [--jsonl PATH] [--csv PATH] [--no-summary]\n"
+                  "                 [--timing] [--progress]\n"
+                  "See the header of examples/sim_sweep.cpp for axis syntax.\n");
+      return 0;
+    } else {
+      die("unknown argument '" + arg + "' (try --help)");
+    }
+  }
+
+  std::fprintf(stderr, "sim_sweep: %zu grid points x %d reps = %zu runs on %d thread(s)%s\n",
+               grid.num_points(), grid.repetitions, grid.num_runs(),
+               ThreadPool::resolve_threads(opts.threads),
+               grid_customized ? "" : " [demo grid]");
+
+  std::ofstream jsonl_file, csv_file;
+  std::vector<ResultSink*> sinks;
+  JsonlSink jsonl_sink(jsonl_file, timing);
+  CsvSink csv_sink(csv_file, timing);
+  SummarySink summary_sink(&std::cout);
+  if (!jsonl_path.empty()) {
+    jsonl_file.open(jsonl_path);
+    if (!jsonl_file) die("cannot open " + jsonl_path);
+    sinks.push_back(&jsonl_sink);
+  }
+  if (!csv_path.empty()) {
+    csv_file.open(csv_path);
+    if (!csv_file) die("cannot open " + csv_path);
+    sinks.push_back(&csv_sink);
+  }
+  if (summary) sinks.push_back(&summary_sink);
+
+  SweepRunner runner(std::move(grid), opts);
+  const std::vector<RunRecord> records = runner.run(sinks);
+
+  long failures = 0;
+  for (const RunRecord& r : records) failures += r.success ? 0 : 1;
+  std::fprintf(stderr, "sim_sweep: %zu runs, %ld failed simulations\n", records.size(),
+               failures);
+  if (!jsonl_path.empty()) std::fprintf(stderr, "sim_sweep: wrote %s\n", jsonl_path.c_str());
+  if (!csv_path.empty()) std::fprintf(stderr, "sim_sweep: wrote %s\n", csv_path.c_str());
+  return 0;
+}
+
+}  // namespace
+}  // namespace gkr::sim
+
+int main(int argc, char** argv) { return gkr::sim::run_main(argc, argv); }

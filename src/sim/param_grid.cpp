@@ -1,0 +1,228 @@
+#include "sim/param_grid.h"
+
+#include <cmath>
+
+#include "noise/adaptive.h"
+#include "noise/oblivious.h"
+#include "noise/stochastic.h"
+#include "noise/strategies.h"
+#include "proto/protocols/gossip_sum.h"
+#include "proto/protocols/line_pingpong.h"
+#include "proto/protocols/random_protocol.h"
+#include "proto/protocols/tree_aggregate.h"
+#include "proto/protocols/tree_token.h"
+#include "util/assert.h"
+
+namespace gkr::sim {
+
+std::size_t ParamGrid::num_points() const {
+  const std::size_t scenarios =
+      zip_variant_noise ? variants.size() : variants.size() * noises.size();
+  return scenarios * topologies.size() * protocols.size() * noise_fractions.size();
+}
+
+std::vector<RunSpec> expand_grid(const ParamGrid& grid) {
+  GKR_ASSERT_MSG(!grid.variants.empty(), "ParamGrid: variants axis is empty");
+  GKR_ASSERT_MSG(!grid.topologies.empty(), "ParamGrid: topologies axis is empty");
+  GKR_ASSERT_MSG(!grid.protocols.empty(), "ParamGrid: protocols axis is empty");
+  GKR_ASSERT_MSG(!grid.noises.empty(), "ParamGrid: noises axis is empty");
+  GKR_ASSERT_MSG(!grid.noise_fractions.empty(), "ParamGrid: noise_fractions axis is empty");
+  GKR_ASSERT_MSG(grid.repetitions > 0, "ParamGrid: repetitions must be positive");
+  if (grid.zip_variant_noise) {
+    GKR_ASSERT_MSG(grid.variants.size() == grid.noises.size(),
+                   "ParamGrid: zipped variant/noise axes must have equal length");
+  }
+
+  std::vector<RunSpec> specs;
+  specs.reserve(grid.num_runs());
+  long grid_index = 0;
+  const int num_scenarios = static_cast<int>(grid.variants.size());
+  const int num_noises = grid.zip_variant_noise ? 1 : static_cast<int>(grid.noises.size());
+  for (int s = 0; s < num_scenarios; ++s) {
+    for (int t = 0; t < static_cast<int>(grid.topologies.size()); ++t) {
+      for (int p = 0; p < static_cast<int>(grid.protocols.size()); ++p) {
+        for (int n = 0; n < num_noises; ++n) {
+          for (int u = 0; u < static_cast<int>(grid.noise_fractions.size()); ++u) {
+            for (int rep = 0; rep < grid.repetitions; ++rep) {
+              RunSpec spec;
+              spec.grid_index = grid_index;
+              spec.rep = rep;
+              spec.variant_i = s;
+              spec.topology_i = t;
+              spec.protocol_i = p;
+              spec.noise_i = grid.zip_variant_noise ? s : n;
+              spec.mu_i = u;
+              specs.push_back(spec);
+            }
+            ++grid_index;
+          }
+        }
+      }
+    }
+  }
+  GKR_ASSERT(specs.size() == grid.num_runs());
+  return specs;
+}
+
+// ---------------------------------------------------------------------------
+// Standard factories.
+
+TopologyFactory topology_factory(const std::string& family, int a, int b, double p) {
+  TopologyFactory f;
+  if (family == "line") {
+    f.name = "line:" + std::to_string(a);
+    f.build = [a](std::uint64_t) { return std::make_shared<Topology>(Topology::line(a)); };
+  } else if (family == "ring") {
+    f.name = "ring:" + std::to_string(a);
+    f.build = [a](std::uint64_t) { return std::make_shared<Topology>(Topology::ring(a)); };
+  } else if (family == "star") {
+    f.name = "star:" + std::to_string(a);
+    f.build = [a](std::uint64_t) { return std::make_shared<Topology>(Topology::star(a)); };
+  } else if (family == "clique") {
+    f.name = "clique:" + std::to_string(a);
+    f.build = [a](std::uint64_t) { return std::make_shared<Topology>(Topology::clique(a)); };
+  } else if (family == "grid") {
+    GKR_ASSERT_MSG(b > 0, "grid topology needs rows and cols");
+    f.name = "grid:" + std::to_string(a) + "x" + std::to_string(b);
+    f.build = [a, b](std::uint64_t) {
+      return std::make_shared<Topology>(Topology::grid(a, b));
+    };
+  } else if (family == "random_tree") {
+    f.name = "random_tree:" + std::to_string(a);
+    f.build = [a](std::uint64_t seed) {
+      Rng rng(seed);
+      return std::make_shared<Topology>(Topology::random_tree(a, rng));
+    };
+  } else if (family == "erdos_renyi") {
+    char pbuf[32];
+    std::snprintf(pbuf, sizeof pbuf, "%g", p);
+    f.name = "erdos_renyi:" + std::to_string(a) + ":" + pbuf;
+    f.build = [a, p](std::uint64_t seed) {
+      Rng rng(seed);
+      return std::make_shared<Topology>(Topology::erdos_renyi(a, p, rng));
+    };
+  } else {
+    GKR_ASSERT_MSG(false, "unknown topology family");
+  }
+  return f;
+}
+
+ProtocolFactory protocol_factory(const std::string& name, int p1, int p2) {
+  ProtocolFactory f;
+  if (name == "gossip") {
+    const int rounds = p1 < 0 ? 12 : p1;
+    f.name = "gossip:" + std::to_string(rounds);
+    f.build = [rounds](const Topology& t) {
+      return std::make_shared<GossipSumProtocol>(t, rounds);
+    };
+  } else if (name == "tree_token") {
+    const int laps = p1 < 0 ? 2 : p1;
+    const int word_bits = p2 < 0 ? 8 : p2;
+    f.name = "tree_token:" + std::to_string(laps) + ":" + std::to_string(word_bits);
+    f.build = [laps, word_bits](const Topology& t) {
+      return std::make_shared<TreeTokenProtocol>(t, laps, word_bits);
+    };
+  } else if (name == "tree_aggregate") {
+    const int word_bits = p1 < 0 ? 8 : p1;
+    const int repeats = p2 < 0 ? 2 : p2;
+    f.name = "tree_aggregate:" + std::to_string(word_bits) + ":" + std::to_string(repeats);
+    f.build = [word_bits, repeats](const Topology& t) {
+      return std::make_shared<TreeAggregateProtocol>(t, word_bits, repeats);
+    };
+  } else if (name == "line_pingpong") {
+    const int sweeps = p1 < 0 ? 2 : p1;
+    const int pp_bits = p2 < 0 ? 8 : p2;
+    f.name = "line_pingpong:" + std::to_string(sweeps) + ":" + std::to_string(pp_bits);
+    f.build = [sweeps, pp_bits](const Topology& t) {
+      return std::make_shared<LinePingPongProtocol>(t, sweeps, pp_bits);
+    };
+  } else if (name == "random") {
+    const int rounds = p1 < 0 ? 16 : p1;
+    f.name = "random:" + std::to_string(rounds);
+    f.build = [rounds](const Topology& t) {
+      return std::make_shared<RandomProtocol>(t, rounds, 0.5, /*proto_seed=*/0x5eedULL);
+    };
+  } else {
+    GKR_ASSERT_MSG(false, "unknown protocol name");
+  }
+  return f;
+}
+
+NoiseFactory no_noise() {
+  NoiseFactory f;
+  f.name = "none";
+  f.build = [](const Workload&, double, Rng&) { return BuiltNoise{}; };
+  return f;
+}
+
+NoiseFactory uniform_oblivious_noise() {
+  NoiseFactory f;
+  f.name = "uniform";
+  f.build = [](const Workload& w, double mu, Rng& rng) {
+    BuiltNoise out;
+    const long budget = static_cast<long>(std::ceil(mu * static_cast<double>(w.clean_cc())));
+    if (budget <= 0) return out;
+    out.adversary = std::make_unique<ObliviousAdversary>(
+        uniform_plan(w.total_rounds(), w.topo->num_dlinks(), budget, rng),
+        ObliviousMode::Additive);
+    return out;
+  };
+  return f;
+}
+
+NoiseFactory stochastic_noise() {
+  NoiseFactory f;
+  f.name = "stochastic";
+  f.build = [](const Workload&, double mu, Rng& rng) {
+    BuiltNoise out;
+    if (mu <= 0.0) return out;
+    out.adversary =
+        std::make_unique<StochasticChannel>(rng.fork("stochastic"), mu / 2, mu / 2, mu / 10);
+    return out;
+  };
+  return f;
+}
+
+NoiseFactory greedy_link_noise() {
+  NoiseFactory f;
+  f.name = "greedy";
+  f.build = [](const Workload& w, double mu, Rng& rng) {
+    BuiltNoise out;
+    if (mu <= 0.0) return out;
+    const int target =
+        static_cast<int>(rng.next_below(static_cast<std::uint64_t>(w.topo->num_links())));
+    auto adv = std::make_unique<GreedyLinkAttacker>(nullptr, mu, target);
+    GreedyLinkAttacker* raw = adv.get();
+    out.adversary = std::move(adv);
+    out.attach = [raw](const EngineCounters& c) { raw->attach(&c); };
+    return out;
+  };
+  return f;
+}
+
+NoiseFactory random_adaptive_noise() {
+  NoiseFactory f;
+  f.name = "random_adaptive";
+  f.build = [](const Workload&, double mu, Rng& rng) {
+    BuiltNoise out;
+    if (mu <= 0.0) return out;
+    auto adv = std::make_unique<RandomAdaptiveAttacker>(nullptr, mu, rng.fork("vandal"));
+    RandomAdaptiveAttacker* raw = adv.get();
+    out.adversary = std::move(adv);
+    out.attach = [raw](const EngineCounters& c) { raw->attach(&c); };
+    return out;
+  };
+  return f;
+}
+
+NoiseFactory noise_factory(const std::string& name) {
+  if (name == "none") return no_noise();
+  if (name == "uniform") return uniform_oblivious_noise();
+  if (name == "stochastic") return stochastic_noise();
+  if (name == "greedy") return greedy_link_noise();
+  if (name == "random_adaptive") return random_adaptive_noise();
+  GKR_ASSERT_MSG(false, "unknown noise strategy name");
+  return {};
+}
+
+}  // namespace gkr::sim

@@ -1,0 +1,141 @@
+// Declarative parameter grids for simulation sweeps.
+//
+// A ParamGrid is the cross product of six axes — coding-scheme variant,
+// topology, protocol, noise strategy, noise fraction μ, repetition — whose
+// expansion (expand_grid) fixes a canonical flat enumeration. Every run is
+// identified by (grid_index, rep); its randomness is
+// derive_seed(base_seed, grid_index, rep), so a sweep's results are a pure
+// function of the grid and base seed, independent of execution order
+// (DESIGN.md §7).
+//
+// The variant and noise axes can optionally be *zipped* instead of crossed
+// (zip_variant_noise): scenario i pairs variants[i] with noises[i]. This is
+// how experiments that give each algorithm its own threat model (e.g. F2:
+// Algorithm A vs oblivious noise, Algorithm B vs an adaptive attacker)
+// express their columns.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/config.h"
+#include "net/channel.h"
+#include "net/round_engine.h"
+#include "net/topology.h"
+#include "proto/protocol_spec.h"
+#include "sim/workload.h"
+#include "util/rng.h"
+
+namespace gkr::sim {
+
+// How a run executes: through the full coding scheme, or as the uncoded
+// baseline (direct execution over the noisy network, core/baselines.h).
+enum class ExecMode { Coded, Uncoded };
+
+// Named topology constructor. Random families (random_tree, erdos_renyi) draw
+// from the per-run seed they are handed, so every repetition samples a fresh
+// topology deterministically.
+struct TopologyFactory {
+  std::string name;
+  std::function<std::shared_ptr<Topology>(std::uint64_t seed)> build;
+};
+
+// Named protocol constructor over an already-built topology.
+struct ProtocolFactory {
+  std::string name;
+  std::function<std::shared_ptr<const ProtocolSpec>(const Topology&)> build;
+};
+
+// An adversary instantiated for one run. `attach` (optional) is invoked with
+// the live engine counters before the simulation starts — adaptive
+// adversaries budget against them. A null adversary means a noiseless
+// channel.
+struct BuiltNoise {
+  std::unique_ptr<ChannelAdversary> adversary;
+  std::function<void(const EngineCounters&)> attach;
+};
+
+// Named noise strategy. `build` may query the workload's public timetable
+// (total_rounds, phases, clean CC) — exactly the information the §2.1
+// oblivious model grants — plus the grid's μ knob and a private noise stream.
+struct NoiseFactory {
+  std::string name;
+  ExecMode mode = ExecMode::Coded;
+  std::function<BuiltNoise(const Workload& w, double mu, Rng& rng)> build;
+};
+
+struct ParamGrid {
+  std::vector<Variant> variants;
+  std::vector<TopologyFactory> topologies;
+  std::vector<ProtocolFactory> protocols;
+  std::vector<NoiseFactory> noises;
+  std::vector<double> noise_fractions{0.0};
+  int repetitions = 1;
+
+  // Zip variants[i] with noises[i] (sizes must match) instead of crossing
+  // the two axes.
+  bool zip_variant_noise = false;
+
+  double iteration_factor = 4.0;
+  std::uint64_t base_seed = 1;
+
+  // Distinct grid points (excluding repetitions) / total runs.
+  std::size_t num_points() const;
+  std::size_t num_runs() const { return num_points() * static_cast<std::size_t>(repetitions); }
+};
+
+// One cell of the expanded grid: axis indices plus the flat grid_index and
+// repetition number. grid_index enumerates points in row-major declaration
+// order — variant (or zipped scenario) slowest, then topology, protocol,
+// noise, μ — and rep varies fastest within a point.
+struct RunSpec {
+  long grid_index = 0;
+  int rep = 0;
+  int variant_i = 0;
+  int topology_i = 0;
+  int protocol_i = 0;
+  int noise_i = 0;
+  int mu_i = 0;
+};
+
+// Canonical expansion; result.size() == grid.num_runs(), ordered by
+// (grid_index, rep). Asserts the grid is well-formed (non-empty axes; zipped
+// axes of equal length).
+std::vector<RunSpec> expand_grid(const ParamGrid& grid);
+
+// ---------------------------------------------------------------------------
+// Standard factories (shared by the sim_sweep CLI and the benches).
+
+// family ∈ {line, ring, star, clique, grid, random_tree, erdos_renyi}.
+// `a` is n (for grid: rows; cols = b). p is the Erdős–Rényi edge probability.
+TopologyFactory topology_factory(const std::string& family, int a, int b = 0, double p = 0.3);
+
+// name ∈ {gossip, tree_token, tree_aggregate, line_pingpong, random}; the
+// int parameters default to the sizes used throughout the experiments.
+ProtocolFactory protocol_factory(const std::string& name, int p1 = -1, int p2 = -1);
+
+// Noiseless channel.
+NoiseFactory no_noise();
+
+// Oblivious additive noise, uniform over rounds × directed links, with a
+// budget of ⌈μ · CC(clean run)⌉ corruptions.
+NoiseFactory uniform_oblivious_noise();
+
+// i.i.d. stochastic channel: substitution/deletion at rate μ on busy cells,
+// insertion at rate μ/10 on idle cells.
+NoiseFactory stochastic_noise();
+
+// Adaptive greedy attacker on one random link at relative rate μ.
+NoiseFactory greedy_link_noise();
+
+// Adaptive uniform vandal at relative rate μ.
+NoiseFactory random_adaptive_noise();
+
+// Lookup by name over all standard noise factories above; asserts on unknown
+// names. Names: none, uniform, stochastic, greedy, random_adaptive.
+NoiseFactory noise_factory(const std::string& name);
+
+}  // namespace gkr::sim

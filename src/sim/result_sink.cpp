@@ -1,0 +1,216 @@
+#include "sim/result_sink.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <iostream>
+
+namespace gkr::sim {
+namespace {
+
+// Shortest decimal string that round-trips to exactly `x` — byte-stable and
+// human-friendly ("0.002", not "2.0000000000000001e-03").
+std::string fmt_double(double x) {
+  char buf[64];
+  for (int prec = 1; prec <= 17; ++prec) {
+    std::snprintf(buf, sizeof buf, "%.*g", prec, x);
+    if (std::strtod(buf, nullptr) == x) return buf;
+  }
+  std::snprintf(buf, sizeof buf, "%.17g", x);
+  return buf;
+}
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+void append_phase_array(std::string& line, const std::array<long, kNumPhases>& a) {
+  line += '[';
+  for (int i = 0; i < kNumPhases; ++i) {
+    if (i) line += ',';
+    line += std::to_string(a[static_cast<std::size_t>(i)]);
+  }
+  line += ']';
+}
+
+}  // namespace
+
+void JsonlSink::consume(const RunRecord& r) {
+  std::string line;
+  line.reserve(512);
+  line += "{\"grid_index\":" + std::to_string(r.grid_index);
+  line += ",\"rep\":" + std::to_string(r.rep);
+  line += ",\"run_seed\":" + std::to_string(r.run_seed);
+  line += ",\"variant\":\"" + json_escape(r.variant) + '"';
+  line += ",\"topology\":\"" + json_escape(r.topology) + '"';
+  line += ",\"protocol\":\"" + json_escape(r.protocol) + '"';
+  line += ",\"noise\":\"" + json_escape(r.noise) + '"';
+  line += ",\"mu\":" + fmt_double(r.mu);
+  line += ",\"n\":" + std::to_string(r.n);
+  line += ",\"m\":" + std::to_string(r.m);
+  line += ",\"mode\":\"";
+  line += (r.mode == 0 ? "coded" : "uncoded");
+  line += '"';
+  line += ",\"iterations\":" + std::to_string(r.iterations);
+  line += ",\"success\":";
+  line += (r.success ? "true" : "false");
+  line += ",\"cc_coded\":" + std::to_string(r.cc_coded);
+  line += ",\"cc_user\":" + std::to_string(r.cc_user);
+  line += ",\"cc_chunked\":" + std::to_string(r.cc_chunked);
+  line += ",\"cc_fully_utilized\":" + std::to_string(r.cc_fully_utilized);
+  line += ",\"blowup_vs_user\":" + fmt_double(r.blowup_vs_user);
+  line += ",\"blowup_vs_chunked\":" + fmt_double(r.blowup_vs_chunked);
+  line += ",\"corruptions\":" + std::to_string(r.corruptions);
+  line += ",\"substitutions\":" + std::to_string(r.substitutions);
+  line += ",\"deletions\":" + std::to_string(r.deletions);
+  line += ",\"insertions\":" + std::to_string(r.insertions);
+  line += ",\"noise_fraction\":" + fmt_double(r.noise_fraction);
+  line += ",\"transmissions_by_phase\":";
+  append_phase_array(line, r.transmissions_by_phase);
+  line += ",\"corruptions_by_phase\":";
+  append_phase_array(line, r.corruptions_by_phase);
+  line += ",\"hash_collisions\":" + std::to_string(r.hash_collisions);
+  line += ",\"mp_truncations\":" + std::to_string(r.mp_truncations);
+  line += ",\"rewind_truncations\":" + std::to_string(r.rewind_truncations);
+  line += ",\"rewinds_sent\":" + std::to_string(r.rewinds_sent);
+  line += ",\"exchange_failures\":" + std::to_string(r.exchange_failures);
+  if (include_timing_) line += ",\"wall_ms\":" + fmt_double(r.wall_ms);
+  line += "}\n";
+  *out_ << line;
+}
+
+void CsvSink::begin(const SweepMeta&) {
+  *out_ << "grid_index,rep,run_seed,variant,topology,protocol,noise,mu,n,m,mode,"
+           "iterations,success,cc_coded,cc_user,cc_chunked,cc_fully_utilized,"
+           "blowup_vs_user,blowup_vs_chunked,corruptions,substitutions,deletions,"
+           "insertions,noise_fraction,hash_collisions,mp_truncations,"
+           "rewind_truncations,rewinds_sent,exchange_failures";
+  if (include_timing_) *out_ << ",wall_ms";
+  *out_ << '\n';
+}
+
+void CsvSink::consume(const RunRecord& r) {
+  std::string line;
+  line.reserve(256);
+  line += std::to_string(r.grid_index);
+  line += ',' + std::to_string(r.rep);
+  line += ',' + std::to_string(r.run_seed);
+  line += ',' + r.variant;
+  line += ',' + r.topology;
+  line += ',' + r.protocol;
+  line += ',' + r.noise;
+  line += ',' + fmt_double(r.mu);
+  line += ',' + std::to_string(r.n);
+  line += ',' + std::to_string(r.m);
+  line += ',';
+  line += (r.mode == 0 ? "coded" : "uncoded");
+  line += ',' + std::to_string(r.iterations);
+  line += ',' + std::to_string(r.success ? 1 : 0);
+  line += ',' + std::to_string(r.cc_coded);
+  line += ',' + std::to_string(r.cc_user);
+  line += ',' + std::to_string(r.cc_chunked);
+  line += ',' + std::to_string(r.cc_fully_utilized);
+  line += ',' + fmt_double(r.blowup_vs_user);
+  line += ',' + fmt_double(r.blowup_vs_chunked);
+  line += ',' + std::to_string(r.corruptions);
+  line += ',' + std::to_string(r.substitutions);
+  line += ',' + std::to_string(r.deletions);
+  line += ',' + std::to_string(r.insertions);
+  line += ',' + fmt_double(r.noise_fraction);
+  line += ',' + std::to_string(r.hash_collisions);
+  line += ',' + std::to_string(r.mp_truncations);
+  line += ',' + std::to_string(r.rewind_truncations);
+  line += ',' + std::to_string(r.rewinds_sent);
+  line += ',' + std::to_string(r.exchange_failures);
+  if (include_timing_) line += ',' + fmt_double(r.wall_ms);
+  line += '\n';
+  *out_ << line;
+}
+
+void SummarySink::consume(const RunRecord& r) {
+  Group* g = nullptr;
+  for (Group& cand : groups_) {
+    if (cand.mu == r.mu && cand.variant == r.variant && cand.topology == r.topology &&
+        cand.protocol == r.protocol && cand.noise == r.noise) {
+      g = &cand;
+      break;
+    }
+  }
+  if (g == nullptr) {
+    groups_.emplace_back();
+    g = &groups_.back();
+    g->variant = r.variant;
+    g->topology = r.topology;
+    g->protocol = r.protocol;
+    g->noise = r.noise;
+    g->mu = r.mu;
+  }
+  ++g->runs;
+  g->successes += r.success ? 1 : 0;
+  g->blowup_vs_chunked.add(r.blowup_vs_chunked);
+  g->cc_coded.add(static_cast<double>(r.cc_coded));
+  g->corruptions.add(static_cast<double>(r.corruptions));
+  g->noise_fraction.add(r.noise_fraction);
+}
+
+void SummarySink::end() {
+  if (out_ == nullptr) return;
+  TablePrinter table({"variant", "topology", "protocol", "noise", "mu", "runs", "success",
+                      "blowup(chunked)", "cc mean", "corr mean"});
+  for (const Group& g : groups_) {
+    table.add_row({g.variant, g.topology, g.protocol, g.noise, strf("%g", g.mu),
+                   strf("%d", g.runs), strf("%.2f", g.success_rate()),
+                   strf("%.2f±%.2f", g.blowup_vs_chunked.mean(), g.blowup_vs_chunked.stddev()),
+                   strf("%.0f", g.cc_coded.mean()), strf("%.1f", g.corruptions.mean())});
+  }
+  // TablePrinter prints to FILE*; route through a string for ostream sinks.
+  if (out_ == &std::cout) {
+    table.print();
+    return;
+  }
+  std::string text;
+  {
+    char* buf = nullptr;
+    std::size_t len = 0;
+    std::FILE* mem = open_memstream(&buf, &len);
+    table.print(mem);
+    std::fclose(mem);
+    text.assign(buf, len);
+    std::free(buf);
+  }
+  *out_ << text;
+}
+
+std::vector<SummarySink::Group> summarize(const std::vector<RunRecord>& records) {
+  SummarySink sink(nullptr);
+  for (const RunRecord& r : records) sink.consume(r);
+  return sink.groups();
+}
+
+}  // namespace gkr::sim

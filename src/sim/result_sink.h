@@ -1,0 +1,105 @@
+// Structured result sinks for sweep output.
+//
+// The sweep runner feeds records to every sink strictly in (grid_index, rep)
+// order after the parallel execution finished, so sink output is
+// bit-identical across thread counts (the wall_ms field is the one
+// exception and is opt-in). Three sinks cover the experiment workflows:
+//
+//   JsonlSink   — one JSON object per run, fixed key order; the archival
+//                 format the analysis notebooks read.
+//   CsvSink     — flat table with a header row; spreadsheet-friendly.
+//   SummarySink — streaming per-group aggregation (group = every grid axis
+//                 except the repetition), printed as the standard bench table
+//                 and queryable programmatically.
+#pragma once
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "sim/run_record.h"
+#include "util/stats.h"
+
+namespace gkr::sim {
+
+struct SweepMeta {
+  std::uint64_t base_seed = 0;
+  std::size_t num_runs = 0;
+  int threads = 1;
+};
+
+class ResultSink {
+ public:
+  virtual ~ResultSink() = default;
+
+  virtual void begin(const SweepMeta& meta) { (void)meta; }
+  virtual void consume(const RunRecord& r) = 0;
+  virtual void end() {}
+};
+
+// One JSON object per line. Key order is fixed; doubles use shortest
+// round-trip formatting (%.17g trimmed) so output is byte-stable.
+class JsonlSink final : public ResultSink {
+ public:
+  explicit JsonlSink(std::ostream& out, bool include_timing = false)
+      : out_(&out), include_timing_(include_timing) {}
+
+  void consume(const RunRecord& r) override;
+
+ private:
+  std::ostream* out_;
+  bool include_timing_;
+};
+
+// Flat CSV, header row emitted from begin().
+class CsvSink final : public ResultSink {
+ public:
+  explicit CsvSink(std::ostream& out, bool include_timing = false)
+      : out_(&out), include_timing_(include_timing) {}
+
+  void begin(const SweepMeta& meta) override;
+  void consume(const RunRecord& r) override;
+
+ private:
+  std::ostream* out_;
+  bool include_timing_;
+};
+
+// Aggregates runs that share (variant, topology, protocol, noise, mu) —
+// i.e. repetitions of one grid point family — preserving first-seen order.
+class SummarySink final : public ResultSink {
+ public:
+  struct Group {
+    std::string variant, topology, protocol, noise;
+    double mu = 0.0;
+    int runs = 0;
+    int successes = 0;
+    Accumulator blowup_vs_chunked;
+    Accumulator cc_coded;
+    Accumulator corruptions;
+    Accumulator noise_fraction;
+
+    double success_rate() const {
+      return runs == 0 ? 0.0 : static_cast<double>(successes) / runs;
+    }
+  };
+
+  // When `out` is non-null, end() prints the aggregate table to it.
+  explicit SummarySink(std::ostream* out = nullptr) : out_(out) {}
+
+  void consume(const RunRecord& r) override;
+  void end() override;
+
+  const std::vector<Group>& groups() const noexcept { return groups_; }
+
+ private:
+  std::ostream* out_;
+  std::vector<Group> groups_;
+};
+
+// Convenience: run records already collected → groups (same aggregation as
+// SummarySink, usable by benches that format their own tables).
+std::vector<SummarySink::Group> summarize(const std::vector<RunRecord>& records);
+
+}  // namespace gkr::sim

@@ -1,0 +1,66 @@
+// The structured result of one sweep run — everything the experiment tables
+// and the analysis scripts consume, flattened from SimulationResult /
+// BaselineResult plus the run's grid coordinates.
+//
+// A RunRecord is a pure function of (grid, base_seed, grid_index, rep); the
+// only field that depends on the execution environment is wall_ms, which the
+// sinks therefore omit unless explicitly asked for (DESIGN.md §7).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+#include "net/channel.h"
+#include "net/round_engine.h"
+
+namespace gkr::sim {
+
+struct RunRecord {
+  // Grid coordinates.
+  long grid_index = 0;
+  int rep = 0;
+  std::uint64_t run_seed = 0;
+  std::string variant;
+  std::string topology;
+  std::string protocol;
+  std::string noise;
+  double mu = 0.0;
+
+  // Instance shape.
+  int n = 0;          // parties
+  int m = 0;          // links
+  int mode = 0;       // 0 = coded, 1 = uncoded baseline
+  int iterations = 0;
+
+  // Outcome.
+  bool success = false;
+  long cc_coded = 0;            // CC of the executed (coded or uncoded) run
+  long cc_user = 0;             // CC(Π)
+  long cc_chunked = 0;          // CC of the chunked Π
+  long cc_fully_utilized = 0;   // analytic fully-utilized conversion cost
+  double blowup_vs_user = 0.0;
+  double blowup_vs_chunked = 0.0;
+
+  // Channel accounting (ground truth from the round engine).
+  long corruptions = 0;
+  long substitutions = 0;
+  long deletions = 0;
+  long insertions = 0;
+  double noise_fraction = 0.0;
+  std::array<long, kNumPhases> transmissions_by_phase{};
+  std::array<long, kNumPhases> corruptions_by_phase{};
+
+  // Coding-scheme internals (coded runs only; zero for baselines).
+  long hash_collisions = 0;
+  long mp_truncations = 0;
+  long rewind_truncations = 0;
+  long rewinds_sent = 0;
+  int exchange_failures = 0;
+
+  // Wall-clock of this run, milliseconds. NOT deterministic — excluded from
+  // sink output by default.
+  double wall_ms = 0.0;
+};
+
+}  // namespace gkr::sim

@@ -1,0 +1,131 @@
+#include "sim/sweep_runner.h"
+
+#include <chrono>
+#include <cstdio>
+#include <utility>
+
+#include "core/baselines.h"
+#include "sim/thread_pool.h"
+#include "util/assert.h"
+#include "util/digest.h"
+
+namespace gkr::sim {
+
+SweepRunner::SweepRunner(ParamGrid grid, SweepOptions opts)
+    : grid_(std::move(grid)), opts_(opts) {}
+
+RunRecord SweepRunner::execute(const RunSpec& spec) const {
+  const auto t0 = std::chrono::steady_clock::now();
+
+  const Variant variant = grid_.variants[static_cast<std::size_t>(spec.variant_i)];
+  const TopologyFactory& topo_f = grid_.topologies[static_cast<std::size_t>(spec.topology_i)];
+  const ProtocolFactory& proto_f = grid_.protocols[static_cast<std::size_t>(spec.protocol_i)];
+  const NoiseFactory& noise_f = grid_.noises[static_cast<std::size_t>(spec.noise_i)];
+  const double mu = grid_.noise_fractions[static_cast<std::size_t>(spec.mu_i)];
+
+  RunRecord rec;
+  rec.grid_index = spec.grid_index;
+  rec.rep = spec.rep;
+  rec.run_seed = derive_seed(grid_.base_seed, static_cast<std::uint64_t>(spec.grid_index),
+                             static_cast<std::uint64_t>(spec.rep));
+  rec.variant = variant_name(variant);
+  rec.topology = topo_f.name;
+  rec.protocol = proto_f.name;
+  rec.noise = noise_f.name;
+  rec.mu = mu;
+  rec.mode = noise_f.mode == ExecMode::Uncoded ? 1 : 0;
+
+  // Disjoint randomness streams for the run: topology sampling, the workload
+  // (scheme seed + inputs), and the adversary's plan.
+  Rng root(rec.run_seed);
+  std::shared_ptr<Topology> topo = topo_f.build(root.fork("topology").next_u64());
+  GKR_ASSERT(topo != nullptr);
+  std::shared_ptr<const ProtocolSpec> proto_spec = proto_f.build(*topo);
+  GKR_ASSERT(proto_spec != nullptr);
+  Workload w = make_workload(topo, proto_spec, variant, root.fork("workload").next_u64(),
+                             grid_.iteration_factor);
+  Rng noise_rng = root.fork("noise");
+  BuiltNoise noise = noise_f.build(w, mu, noise_rng);
+
+  rec.n = topo->num_nodes();
+  rec.m = topo->num_links();
+  rec.cc_user = w.reference.cc_user;
+  rec.cc_chunked = w.reference.cc_chunked;
+  rec.cc_fully_utilized = fully_utilized_cc(*proto_spec);
+
+  NoNoise none;
+  ChannelAdversary& adv = noise.adversary ? *noise.adversary : static_cast<ChannelAdversary&>(none);
+
+  if (noise_f.mode == ExecMode::Uncoded) {
+    GKR_ASSERT_MSG(!noise.attach, "uncoded runs cannot attach engine counters");
+    const BaselineResult r = run_uncoded(*w.proto, w.inputs, w.reference, adv);
+    rec.success = r.success;
+    rec.cc_coded = r.cc;
+    rec.blowup_vs_user = r.blowup_vs_user;
+    rec.blowup_vs_chunked =
+        rec.cc_chunked == 0 ? 0.0
+                            : static_cast<double>(r.cc) / static_cast<double>(rec.cc_chunked);
+    rec.corruptions = r.counters.corruptions;
+    rec.substitutions = r.counters.substitutions;
+    rec.deletions = r.counters.deletions;
+    rec.insertions = r.counters.insertions;
+    rec.noise_fraction = r.noise_fraction;
+    rec.transmissions_by_phase = r.counters.transmissions_by_phase;
+    rec.corruptions_by_phase = r.counters.corruptions_by_phase;
+  } else {
+    CodedSimulation sim(*w.proto, w.inputs, w.reference, w.cfg, adv);
+    if (noise.attach) noise.attach(sim.engine_counters());
+    const SimulationResult r = sim.run();
+    rec.success = r.success;
+    rec.iterations = r.iterations;
+    rec.cc_coded = r.cc_coded;
+    rec.blowup_vs_user = r.blowup_vs_user;
+    rec.blowup_vs_chunked = r.blowup_vs_chunked;
+    rec.corruptions = r.counters.corruptions;
+    rec.substitutions = r.counters.substitutions;
+    rec.deletions = r.counters.deletions;
+    rec.insertions = r.counters.insertions;
+    rec.noise_fraction = r.noise_fraction;
+    rec.transmissions_by_phase = r.counters.transmissions_by_phase;
+    rec.corruptions_by_phase = r.counters.corruptions_by_phase;
+    rec.hash_collisions = r.hash_collisions;
+    rec.mp_truncations = r.mp_truncations;
+    rec.rewind_truncations = r.rewind_truncations;
+    rec.rewinds_sent = r.rewinds_sent;
+    rec.exchange_failures = r.exchange_failures;
+  }
+
+  rec.wall_ms =
+      std::chrono::duration<double, std::milli>(std::chrono::steady_clock::now() - t0).count();
+  return rec;
+}
+
+std::vector<RunRecord> SweepRunner::run(const std::vector<ResultSink*>& sinks) {
+  const std::vector<RunSpec> specs = expand_grid(grid_);
+
+  // Every run writes into its preassigned slot; the schedule never reorders
+  // results, which is what makes sweep output thread-count-invariant.
+  std::vector<RunRecord> records(specs.size());
+  const int threads = ThreadPool::resolve_threads(opts_.threads);
+  parallel_for(specs.size(), threads, [&](std::size_t i) {
+    records[i] = execute(specs[i]);
+    if (opts_.progress) {
+      std::fputc('.', stderr);
+      std::fflush(stderr);
+    }
+  });
+  if (opts_.progress) std::fputc('\n', stderr);
+
+  SweepMeta meta;
+  meta.base_seed = grid_.base_seed;
+  meta.num_runs = specs.size();
+  meta.threads = threads;
+  for (ResultSink* sink : sinks) sink->begin(meta);
+  for (const RunRecord& rec : records) {
+    for (ResultSink* sink : sinks) sink->consume(rec);
+  }
+  for (ResultSink* sink : sinks) sink->end();
+  return records;
+}
+
+}  // namespace gkr::sim

@@ -1,0 +1,46 @@
+// Parallel executor for ParamGrid sweeps.
+//
+// Every run of the expanded grid is an independent job on the thread pool.
+// Determinism contract (DESIGN.md §7): the RunRecord of run (grid_index, rep)
+// is a pure function of the grid and base_seed — its randomness is
+// derive_seed(base_seed, grid_index, rep) (util/digest.h) and it shares no
+// mutable state with other runs — and records are handed to sinks sorted by
+// (grid_index, rep). A sweep therefore produces bit-identical output whether
+// it ran on 1 thread or 64 (wall_ms excepted, and omitted by default).
+#pragma once
+
+#include <vector>
+
+#include "sim/param_grid.h"
+#include "sim/result_sink.h"
+#include "sim/run_record.h"
+
+namespace gkr::sim {
+
+struct SweepOptions {
+  int threads = 1;        // 0 = one per hardware thread
+  bool progress = false;  // per-run progress dots on stderr
+};
+
+class SweepRunner {
+ public:
+  explicit SweepRunner(ParamGrid grid, SweepOptions opts = {});
+
+  // Execute the whole grid; records are returned in (grid_index, rep) order.
+  std::vector<RunRecord> run() { return run({}); }
+
+  // Execute and stream the records through every sink (begin → consume in
+  // deterministic order → end). Also returns the records.
+  std::vector<RunRecord> run(const std::vector<ResultSink*>& sinks);
+
+  // Execute a single cell (exposed for tests and custom drivers).
+  RunRecord execute(const RunSpec& spec) const;
+
+  const ParamGrid& grid() const noexcept { return grid_; }
+
+ private:
+  ParamGrid grid_;
+  SweepOptions opts_;
+};
+
+}  // namespace gkr::sim

@@ -1,0 +1,59 @@
+// Fixed-size worker pool with a shared job queue, used by the sweep runner to
+// execute independent simulation runs in parallel.
+//
+// Design notes (DESIGN.md §7):
+//  * jobs are plain std::function<void()>; the pool imposes no ordering —
+//    determinism of sweep output is the *submitter's* responsibility (the
+//    sweep runner writes each result into a slot preallocated by run index,
+//    so the schedule never affects the output);
+//  * `threads == 0` means "one worker per hardware thread";
+//  * wait() blocks until the queue is drained AND every in-flight job has
+//    returned, so submit/wait rounds can be interleaved.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace gkr::sim {
+
+class ThreadPool {
+ public:
+  explicit ThreadPool(int threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  // Enqueue a job. Must not be called after shutdown began (the destructor).
+  void submit(std::function<void()> job);
+
+  // Block until all submitted jobs have completed.
+  void wait();
+
+  int num_threads() const noexcept { return static_cast<int>(workers_.size()); }
+
+  // Resolve a requested thread count: 0 -> hardware concurrency (min 1).
+  static int resolve_threads(int requested);
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::queue<std::function<void()>> queue_;
+  std::mutex mu_;
+  std::condition_variable work_cv_;   // signalled when a job is queued / stopping
+  std::condition_variable idle_cv_;   // signalled when a job finishes
+  std::size_t in_flight_ = 0;
+  bool stop_ = false;
+};
+
+// Run fn(i) for i in [0, n) on `threads` workers (1 means inline, no pool).
+// Blocks until every call returned.
+void parallel_for(std::size_t n, int threads, const std::function<void(std::size_t)>& fn);
+
+}  // namespace gkr::sim

@@ -1,0 +1,95 @@
+// A fully prepared simulation instance: topology + protocol + chunking +
+// inputs + noiseless reference + scheme config. This is the unit of work the
+// sweep harness executes and the experiment benches measure (it lived in
+// bench/bench_support.h before src/sim existed; the bench header re-exports
+// it for the hand-written experiments).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "core/coding_scheme.h"
+#include "core/config.h"
+#include "proto/chunking.h"
+#include "proto/noiseless.h"
+#include "proto/protocols/gossip_sum.h"
+#include "util/rng.h"
+
+namespace gkr::sim {
+
+struct Workload {
+  std::shared_ptr<Topology> topo;
+  std::shared_ptr<const ProtocolSpec> spec;
+  std::unique_ptr<ChunkedProtocol> proto;
+  std::vector<std::uint64_t> inputs;
+  NoiselessResult reference;
+  SchemeConfig cfg;
+
+  SimulationResult run(ChannelAdversary& adv) const {
+    return run_coded(*proto, inputs, reference, cfg, adv);
+  }
+
+  // Clean-run communication (used to size oblivious noise budgets). A full
+  // clean run is unavoidable the first time; the result is a pure function
+  // of the workload, so it is cached (noise factories often ask repeatedly).
+  long clean_cc() const {
+    if (clean_cc_ < 0) {
+      NoNoise none;
+      clean_cc_ = run(none).cc_coded;
+    }
+    return clean_cc_;
+  }
+
+  // Total rounds of the timetable (for oblivious noise plans).
+  long total_rounds() const {
+    fill_timetable();
+    return total_rounds_;
+  }
+
+  long prologue_rounds() const {
+    fill_timetable();
+    return prologue_rounds_;
+  }
+
+ private:
+  // One probe construction fills both timetable facts.
+  void fill_timetable() const {
+    if (total_rounds_ >= 0) return;
+    NoNoise none;
+    CodedSimulation probe(*proto, inputs, reference, cfg, none);
+    total_rounds_ = probe.total_rounds();
+    prologue_rounds_ = probe.prologue_rounds();
+  }
+
+  mutable long clean_cc_ = -1;
+  mutable long total_rounds_ = -1;
+  mutable long prologue_rounds_ = -1;
+};
+
+inline Workload make_workload(std::shared_ptr<Topology> topo,
+                              std::shared_ptr<const ProtocolSpec> spec, Variant variant,
+                              std::uint64_t seed, double iteration_factor = 4.0) {
+  Workload w;
+  w.topo = std::move(topo);
+  w.spec = std::move(spec);
+  w.cfg = SchemeConfig::for_variant(variant, *w.topo);
+  w.cfg.seed = seed;
+  w.cfg.iteration_factor = iteration_factor;
+  w.proto = std::make_unique<ChunkedProtocol>(w.spec, w.cfg.K);
+  Rng rng(seed ^ 0xbe9cULL);
+  for (int u = 0; u < w.topo->num_nodes(); ++u) w.inputs.push_back(rng.next_u64());
+  w.reference = run_noiseless(*w.proto, w.inputs);
+  return w;
+}
+
+// A gossip workload sized so |Π| stays roughly constant across network sizes
+// (rounds shrink as density grows).
+inline Workload gossip_workload(std::shared_ptr<Topology> topo, Variant variant,
+                                std::uint64_t seed, int rounds = 12,
+                                double iteration_factor = 4.0) {
+  auto spec = std::make_shared<GossipSumProtocol>(*topo, rounds);
+  return make_workload(std::move(topo), std::move(spec), variant, seed, iteration_factor);
+}
+
+}  // namespace gkr::sim

@@ -31,6 +31,21 @@ class ChunkDigest {
   std::uint64_t h_;
 };
 
+// Keyed seed derivation: an independent 64-bit seed for the (a, b)-th unit of
+// work under `base`. Used by the sweep harness (src/sim) to give every run of
+// a parameter sweep its own deterministic randomness — run_seed =
+// derive_seed(base_seed, grid_index, rep) — so results are bit-identical
+// regardless of thread count or scheduling. The chain structure matches the
+// prefix digests below: each input is pre-mixed before being folded in, so
+// (base, a, b) collisions require 64-bit mix64 collisions.
+inline std::uint64_t derive_seed(std::uint64_t base, std::uint64_t a,
+                                 std::uint64_t b) noexcept {
+  std::uint64_t h = mix64(base ^ 0x9e3779b97f4a7c15ULL);
+  h = mix64(h ^ mix64(a ^ 0xa0761d6478bd642fULL));
+  h = mix64(h ^ mix64(b ^ 0xe7037ed1a0b428dbULL));
+  return h;
+}
+
 // Growable chain of prefix digests: value(j) digests chunks [0, j).
 // Appending is O(1); truncation to a prefix is O(1) (the chain for every
 // prefix length is retained).

@@ -1,0 +1,268 @@
+// Tests for the src/sim sweep harness: thread pool, grid expansion, seed
+// derivation, scheduling-independent determinism, and sink round-trips.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "sim/param_grid.h"
+#include "sim/result_sink.h"
+#include "sim/sweep_runner.h"
+#include "sim/thread_pool.h"
+#include "util/digest.h"
+
+namespace gkr::sim {
+namespace {
+
+// ---------------------------------------------------------------- ThreadPool
+
+TEST(ThreadPool, RunsEveryJobExactlyOnce) {
+  std::atomic<int> counter{0};
+  std::vector<std::atomic<int>> per_job(100);
+  {
+    ThreadPool pool(4);
+    for (int i = 0; i < 100; ++i) {
+      pool.submit([&counter, &per_job, i] {
+        ++counter;
+        ++per_job[static_cast<std::size_t>(i)];
+      });
+    }
+    pool.wait();
+    EXPECT_EQ(counter.load(), 100);
+  }
+  for (const auto& c : per_job) EXPECT_EQ(c.load(), 1);
+}
+
+TEST(ThreadPool, WaitCanBeInterleavedWithSubmit) {
+  ThreadPool pool(2);
+  std::atomic<int> counter{0};
+  pool.submit([&] { ++counter; });
+  pool.wait();
+  EXPECT_EQ(counter.load(), 1);
+  pool.submit([&] { ++counter; });
+  pool.submit([&] { ++counter; });
+  pool.wait();
+  EXPECT_EQ(counter.load(), 3);
+}
+
+TEST(ThreadPool, ParallelForCoversRange) {
+  std::vector<std::atomic<int>> hits(257);
+  parallel_for(hits.size(), 8, [&](std::size_t i) { ++hits[i]; });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+// ------------------------------------------------------------ derive_seed
+
+TEST(DeriveSeed, DeterministicAndDistinct) {
+  EXPECT_EQ(derive_seed(1, 2, 3), derive_seed(1, 2, 3));
+  // Any coordinate change must change the seed.
+  EXPECT_NE(derive_seed(1, 2, 3), derive_seed(2, 2, 3));
+  EXPECT_NE(derive_seed(1, 2, 3), derive_seed(1, 3, 3));
+  EXPECT_NE(derive_seed(1, 2, 3), derive_seed(1, 2, 4));
+  // Coordinates do not commute (grid_index and rep are distinct roles).
+  EXPECT_NE(derive_seed(1, 2, 3), derive_seed(1, 3, 2));
+}
+
+TEST(DeriveSeed, NoCollisionsOnSmallGrid) {
+  std::vector<std::uint64_t> seen;
+  for (std::uint64_t g = 0; g < 64; ++g)
+    for (std::uint64_t r = 0; r < 16; ++r) seen.push_back(derive_seed(7, g, r));
+  std::sort(seen.begin(), seen.end());
+  EXPECT_EQ(std::adjacent_find(seen.begin(), seen.end()), seen.end());
+}
+
+// ------------------------------------------------------------ grid expansion
+
+ParamGrid small_grid() {
+  ParamGrid grid;
+  grid.variants = {Variant::Crs, Variant::ExchangeOblivious};
+  grid.topologies = {topology_factory("line", 3), topology_factory("ring", 4)};
+  grid.protocols = {protocol_factory("gossip", 4)};
+  grid.noises = {no_noise(), uniform_oblivious_noise()};
+  grid.noise_fractions = {0.0, 0.01};
+  grid.repetitions = 2;
+  grid.iteration_factor = 2.0;
+  grid.base_seed = 11;
+  return grid;
+}
+
+TEST(ParamGrid, ExpansionCountAndOrder) {
+  const ParamGrid grid = small_grid();
+  EXPECT_EQ(grid.num_points(), 16u);  // 2 variants * 2 topos * 1 proto * 2 noises * 2 mu
+  EXPECT_EQ(grid.num_runs(), 32u);
+
+  const std::vector<RunSpec> specs = expand_grid(grid);
+  ASSERT_EQ(specs.size(), 32u);
+
+  // grid_index is non-decreasing, reps vary fastest, every point appears
+  // `repetitions` times.
+  for (std::size_t i = 0; i < specs.size(); ++i) {
+    EXPECT_EQ(specs[i].grid_index, static_cast<long>(i / 2));
+    EXPECT_EQ(specs[i].rep, static_cast<int>(i % 2));
+  }
+  // Row-major declaration order: μ varies fastest among the axes, then noise,
+  // then topology, then variant.
+  EXPECT_EQ(specs[0].mu_i, 0);
+  EXPECT_EQ(specs[2].mu_i, 1);
+  EXPECT_EQ(specs[0].noise_i, 0);
+  EXPECT_EQ(specs[4].noise_i, 1);
+  EXPECT_EQ(specs[0].topology_i, 0);
+  EXPECT_EQ(specs[8].topology_i, 1);
+  EXPECT_EQ(specs[0].variant_i, 0);
+  EXPECT_EQ(specs[16].variant_i, 1);
+}
+
+TEST(ParamGrid, ZippedVariantNoisePairsAxes) {
+  ParamGrid grid = small_grid();
+  grid.zip_variant_noise = true;  // variants and noises both have length 2
+  EXPECT_EQ(grid.num_points(), 8u);
+
+  const std::vector<RunSpec> specs = expand_grid(grid);
+  ASSERT_EQ(specs.size(), 16u);
+  for (const RunSpec& s : specs) EXPECT_EQ(s.noise_i, s.variant_i);
+}
+
+// ------------------------------------------------- determinism across threads
+
+std::string jsonl_of(const ParamGrid& grid, int threads) {
+  std::ostringstream out;
+  JsonlSink sink(out);
+  SweepRunner runner(grid, SweepOptions{threads, /*progress=*/false});
+  runner.run({&sink});
+  return out.str();
+}
+
+TEST(SweepRunner, BitIdenticalAcrossThreadCounts) {
+  const ParamGrid grid = small_grid();
+  const std::string serial = jsonl_of(grid, 1);
+  const std::string pooled = jsonl_of(grid, 8);
+  EXPECT_EQ(serial, pooled);
+  // And re-running serially is reproducible outright.
+  EXPECT_EQ(serial, jsonl_of(grid, 1));
+  EXPECT_EQ(static_cast<int>(std::count(serial.begin(), serial.end(), '\n')), 32);
+}
+
+TEST(SweepRunner, BaseSeedChangesResults) {
+  ParamGrid grid = small_grid();
+  const std::string a = jsonl_of(grid, 1);
+  grid.base_seed = 12;
+  EXPECT_NE(a, jsonl_of(grid, 1));
+}
+
+TEST(SweepRunner, ExecuteMatchesRunSlot) {
+  const ParamGrid grid = small_grid();
+  SweepRunner runner(grid, SweepOptions{2, false});
+  const std::vector<RunRecord> records = runner.run();
+  const std::vector<RunSpec> specs = expand_grid(grid);
+  // Spot-check a few slots against a fresh standalone execution.
+  for (std::size_t i : {0u, 7u, 31u}) {
+    const RunRecord solo = runner.execute(specs[i]);
+    EXPECT_EQ(solo.run_seed, records[i].run_seed);
+    EXPECT_EQ(solo.success, records[i].success);
+    EXPECT_EQ(solo.cc_coded, records[i].cc_coded);
+    EXPECT_EQ(solo.corruptions, records[i].corruptions);
+  }
+}
+
+TEST(SweepRunner, RecordsCarryGridCoordinates) {
+  ParamGrid grid = small_grid();
+  grid.repetitions = 1;
+  SweepRunner runner(grid, SweepOptions{1, false});
+  const std::vector<RunRecord> records = runner.run();
+  ASSERT_EQ(records.size(), 16u);
+  EXPECT_EQ(records[0].variant, "Alg1(CRS)");
+  EXPECT_EQ(records[0].topology, "line:3");
+  EXPECT_EQ(records[0].protocol, "gossip:4");
+  EXPECT_EQ(records[0].noise, "none");
+  EXPECT_EQ(records[0].mu, 0.0);
+  EXPECT_EQ(records[0].n, 3);
+  EXPECT_EQ(records[0].m, 2);
+  // Noiseless runs of a correct scheme succeed with zero corruptions.
+  EXPECT_TRUE(records[0].success);
+  EXPECT_EQ(records[0].corruptions, 0);
+}
+
+// ---------------------------------------------------------------- sinks
+
+TEST(Sinks, JsonlRoundTripsKeyFields) {
+  ParamGrid grid = small_grid();
+  grid.repetitions = 1;
+  std::ostringstream out;
+  JsonlSink sink(out);
+  SweepRunner runner(grid, SweepOptions{1, false});
+  const std::vector<RunRecord> records = runner.run({&sink});
+
+  std::istringstream lines(out.str());
+  std::string line;
+  std::size_t i = 0;
+  while (std::getline(lines, line)) {
+    ASSERT_LT(i, records.size());
+    EXPECT_EQ(line.front(), '{');
+    EXPECT_EQ(line.back(), '}');
+    EXPECT_NE(line.find("\"grid_index\":" + std::to_string(records[i].grid_index) + ","),
+              std::string::npos);
+    EXPECT_NE(line.find("\"run_seed\":" + std::to_string(records[i].run_seed) + ","),
+              std::string::npos);
+    EXPECT_NE(line.find("\"topology\":\"" + records[i].topology + "\""), std::string::npos);
+    EXPECT_NE(line.find(records[i].success ? "\"success\":true" : "\"success\":false"),
+              std::string::npos);
+    EXPECT_NE(line.find("\"cc_coded\":" + std::to_string(records[i].cc_coded) + ","),
+              std::string::npos);
+    // wall_ms is nondeterministic and must be absent by default.
+    EXPECT_EQ(line.find("wall_ms"), std::string::npos);
+    ++i;
+  }
+  EXPECT_EQ(i, records.size());
+}
+
+TEST(Sinks, CsvHasHeaderAndOneRowPerRun) {
+  ParamGrid grid = small_grid();
+  std::ostringstream out;
+  CsvSink sink(out);
+  SweepRunner runner(grid, SweepOptions{1, false});
+  const std::vector<RunRecord> records = runner.run({&sink});
+
+  std::istringstream lines(out.str());
+  std::string header;
+  ASSERT_TRUE(std::getline(lines, header));
+  EXPECT_EQ(header.rfind("grid_index,rep,run_seed,variant,", 0), 0u);
+  const std::size_t columns = static_cast<std::size_t>(
+      std::count(header.begin(), header.end(), ',') + 1);
+  std::string line;
+  std::size_t rows = 0;
+  while (std::getline(lines, line)) {
+    EXPECT_EQ(static_cast<std::size_t>(std::count(line.begin(), line.end(), ',') + 1),
+              columns);
+    ++rows;
+  }
+  EXPECT_EQ(rows, records.size());
+}
+
+TEST(Sinks, SummaryAggregatesRepetitions) {
+  const ParamGrid grid = small_grid();
+  SweepRunner runner(grid, SweepOptions{2, false});
+  const std::vector<RunRecord> records = runner.run();
+  const std::vector<SummarySink::Group> groups = summarize(records);
+
+  ASSERT_EQ(groups.size(), grid.num_points());
+  int total_runs = 0;
+  for (const auto& g : groups) {
+    EXPECT_EQ(g.runs, grid.repetitions);
+    EXPECT_GE(g.success_rate(), 0.0);
+    EXPECT_LE(g.success_rate(), 1.0);
+    EXPECT_EQ(g.blowup_vs_chunked.count(), static_cast<std::size_t>(g.runs));
+    total_runs += g.runs;
+  }
+  EXPECT_EQ(static_cast<std::size_t>(total_runs), grid.num_runs());
+  // The noiseless groups must all succeed.
+  for (const auto& g : groups) {
+    if (g.noise == "none" || g.mu == 0.0) {
+      EXPECT_DOUBLE_EQ(g.success_rate(), 1.0);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace gkr::sim
