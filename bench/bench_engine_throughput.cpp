@@ -1,0 +1,230 @@
+// Engine throughput microbench (DESIGN.md §5, F12; §8 batched execution
+// core).
+//
+// Pumps synthetic rounds straight through RoundEngine — no coding scheme on
+// top — over clique topologies at {2, 8, 32} parties × the standard adversary
+// kinds, and measures rounds/sec and symbols/sec (wire cells processed) for
+// both delivery paths:
+//
+//   batched — ChannelAdversary::deliver_round over the packed wire (the
+//             default execution path since the batching refactor);
+//   scalar  — the same adversary behind ScalarizeAdversary, forcing the
+//             per-directed-link deliver() fallback, which reproduces the
+//             pre-batching engine's per-symbol dispatch.
+//
+// The speedup column is the acceptance metric of the refactor (≥ 3× for the
+// stochastic adversary at 8 parties). Results go to the standard table
+// printer and, with --jsonl/--csv, through the standard sinks as RunRecords
+// (timing fields enabled — rates are wall-clock derived and NOT
+// deterministic).
+//
+//   ./build/bench/bench_engine_throughput [--rounds-scale S] [--jsonl F]
+//                                         [--csv F]
+#include <algorithm>
+#include <cstring>
+#include <fstream>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bench_support.h"
+#include "noise/adaptive.h"
+#include "noise/oblivious.h"
+#include "noise/stochastic.h"
+#include "noise/strategies.h"
+#include "sim/result_sink.h"
+#include "sim/run_record.h"
+#include "util/digest.h"
+
+namespace gkr {
+namespace {
+
+struct BuiltAdversary {
+  std::unique_ptr<ChannelAdversary> adversary;
+  std::function<void(const EngineCounters&)> attach;  // adaptive kinds only
+};
+
+using AdversaryFactory =
+    std::function<BuiltAdversary(const Topology& topo, long rounds, Rng& rng)>;
+
+struct Kind {
+  const char* name;
+  AdversaryFactory build;
+};
+
+// ~μ of the wire cells corrupted, matching the sweep factories' ballpark.
+constexpr double kMu = 0.001;
+
+std::vector<Kind> adversary_kinds() {
+  std::vector<Kind> kinds;
+  kinds.push_back({"none", [](const Topology&, long, Rng&) {
+                     return BuiltAdversary{std::make_unique<NoNoise>(), nullptr};
+                   }});
+  kinds.push_back({"stochastic", [](const Topology&, long, Rng& rng) {
+                     return BuiltAdversary{
+                         std::make_unique<StochasticChannel>(Rng(rng.next_u64()), kMu / 2,
+                                                             kMu / 2, kMu / 10),
+                         nullptr};
+                   }});
+  kinds.push_back({"uniform", [](const Topology& topo, long rounds, Rng& rng) {
+                     const long count = static_cast<long>(
+                         kMu * static_cast<double>(rounds) * topo.num_dlinks());
+                     NoisePlan plan = uniform_plan(rounds, topo.num_dlinks(), count, rng);
+                     return BuiltAdversary{std::make_unique<ObliviousAdversary>(
+                                               std::move(plan), ObliviousMode::Additive),
+                                           nullptr};
+                   }});
+  kinds.push_back({"greedy", [](const Topology&, long, Rng&) {
+                     auto adv = std::make_unique<GreedyLinkAttacker>(nullptr, kMu,
+                                                                    /*target_link=*/0);
+                     GreedyLinkAttacker* raw = adv.get();
+                     return BuiltAdversary{
+                         std::move(adv),
+                         [raw](const EngineCounters& c) { raw->attach(&c); }};
+                   }});
+  return kinds;
+}
+
+// Fixed 75%-busy wire patterns, cycled to keep the branch behavior honest.
+std::vector<PackedSymVec> make_patterns(const Topology& topo, Rng& rng) {
+  std::vector<PackedSymVec> patterns;
+  for (int p = 0; p < 16; ++p) {
+    PackedSymVec wire(static_cast<std::size_t>(topo.num_dlinks()));
+    for (std::size_t dl = 0; dl < wire.size(); ++dl) {
+      if (rng.next_coin(0.75)) wire.set(dl, bit_to_sym(rng.next_bit()));
+    }
+    patterns.push_back(std::move(wire));
+  }
+  return patterns;
+}
+
+struct Measurement {
+  sim::RunRecord record;
+  long corruptions = 0;
+};
+
+Measurement pump(const Topology& topo, const Kind& kind, bool scalar, long rounds,
+                 std::uint64_t seed) {
+  Rng rng(seed);
+  BuiltAdversary built = kind.build(topo, rounds, rng);
+  ScalarizeAdversary scalarized(*built.adversary);
+  ChannelAdversary& adv =
+      scalar ? static_cast<ChannelAdversary&>(scalarized) : *built.adversary;
+  RoundEngine engine(topo, adv);
+  if (built.attach) built.attach(engine.counters());
+
+  const std::vector<PackedSymVec> patterns = make_patterns(topo, rng);
+  PackedSymVec received(static_cast<std::size_t>(topo.num_dlinks()));
+
+  bench::Timer timer;
+  for (long r = 0; r < rounds; ++r) {
+    engine.step(RoundContext{r, 0, Phase::Simulation},
+                patterns[static_cast<std::size_t>(r) & 15], received);
+  }
+  const double secs = timer.seconds();
+
+  Measurement m;
+  m.corruptions = engine.counters().corruptions;
+  sim::RunRecord& rec = m.record;
+  rec.variant = scalar ? "scalar" : "batched";
+  rec.topology = topo.name();
+  rec.protocol = "engine_pump";
+  rec.noise = kind.name;
+  rec.mu = kMu;
+  rec.n = topo.num_nodes();
+  rec.m = topo.num_links();
+  rec.run_seed = seed;
+  rec.rounds = engine.counters().rounds;
+  rec.cc_coded = engine.counters().transmissions;
+  rec.corruptions = engine.counters().corruptions;
+  rec.substitutions = engine.counters().substitutions;
+  rec.deletions = engine.counters().deletions;
+  rec.insertions = engine.counters().insertions;
+  rec.noise_fraction = engine.counters().noise_fraction();
+  rec.transmissions_by_phase = engine.counters().transmissions_by_phase;
+  rec.corruptions_by_phase = engine.counters().corruptions_by_phase;
+  rec.wall_ms = secs * 1000.0;
+  rec.rounds_per_sec = safe_ratio(static_cast<double>(rec.rounds), secs);
+  rec.syms_per_sec =
+      safe_ratio(static_cast<double>(rec.rounds) * topo.num_dlinks(), secs);
+  return m;
+}
+
+}  // namespace
+}  // namespace gkr
+
+int main(int argc, char** argv) {
+  using namespace gkr;
+
+  double rounds_scale = 1.0;
+  std::string jsonl_path, csv_path;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--rounds-scale") == 0 && i + 1 < argc) {
+      rounds_scale = std::atof(argv[++i]);
+    } else if (std::strcmp(argv[i], "--jsonl") == 0 && i + 1 < argc) {
+      jsonl_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--csv") == 0 && i + 1 < argc) {
+      csv_path = argv[++i];
+    } else {
+      std::fprintf(stderr,
+                   "usage: %s [--rounds-scale S] [--jsonl FILE] [--csv FILE]\n",
+                   argv[0]);
+      return 2;
+    }
+  }
+
+  std::printf("F12 — engine throughput: batched deliver_round vs scalar deliver fallback\n");
+  std::printf("clique topologies; wire ~75%% busy; mu=%g where the kind takes a rate\n\n", kMu);
+
+  std::vector<sim::RunRecord> records;
+  TablePrinter table({"n", "dlinks", "adversary", "path", "rounds", "rounds/s", "Msyms/s",
+                      "corruptions", "speedup"});
+  for (const int n : {2, 8, 32}) {
+    const Topology topo = Topology::clique(n);
+    // Keep each measurement in the ~0.3–1s range across sizes.
+    const long rounds = static_cast<long>(
+        rounds_scale * std::max(100000.0, 6.0e7 / topo.num_dlinks()));
+    const std::vector<Kind> kinds = adversary_kinds();
+    for (std::size_t ki = 0; ki < kinds.size(); ++ki) {
+      const Kind& kind = kinds[ki];
+      const std::uint64_t seed = derive_seed(0xbe7cULL, static_cast<std::uint64_t>(n),
+                                             static_cast<std::uint64_t>(ki));
+      const Measurement scalar = pump(topo, kind, /*scalar=*/true, rounds, seed);
+      const Measurement batched = pump(topo, kind, /*scalar=*/false, rounds, seed);
+      GKR_ASSERT_MSG(batched.corruptions == scalar.corruptions,
+                     "batched and scalar paths must corrupt identically");
+      const double speedup =
+          safe_ratio(batched.record.rounds_per_sec, scalar.record.rounds_per_sec);
+      for (const Measurement* m : {&scalar, &batched}) {
+        records.push_back(m->record);
+        table.add_row({strf("%d", n), strf("%d", topo.num_dlinks()), kind.name,
+                       m->record.variant.c_str(), strf("%ld", m->record.rounds),
+                       strf("%.3g", m->record.rounds_per_sec),
+                       strf("%.1f", m->record.syms_per_sec / 1e6),
+                       strf("%ld", m->record.corruptions),
+                       m == &batched ? strf("%.2fx", speedup) : std::string("-")});
+      }
+    }
+  }
+  table.print();
+
+  sim::SweepMeta meta;
+  meta.num_runs = records.size();
+  auto emit = [&](sim::ResultSink& sink) {
+    sink.begin(meta);
+    for (const sim::RunRecord& r : records) sink.consume(r);
+    sink.end();
+  };
+  if (!jsonl_path.empty()) {
+    std::ofstream out(jsonl_path);
+    sim::JsonlSink sink(out, /*include_timing=*/true);
+    emit(sink);
+  }
+  if (!csv_path.empty()) {
+    std::ofstream out(csv_path);
+    sim::CsvSink sink(out, /*include_timing=*/true);
+    emit(sink);
+  }
+  return 0;
+}

@@ -81,7 +81,7 @@ void part2() {
         EchoMpAttacker echo(nullptr, rate_scale * 0.002 / (m * std::log2(m)), 2);
         struct Both final : ChannelAdversary {
           ChannelAdversary *a, *b;
-          void begin_round(const RoundContext& ctx, const std::vector<Sym>& sent) override {
+          void begin_round(const RoundContext& ctx, const PackedSymVec& sent) override {
             a->begin_round(ctx, sent);
             b->begin_round(ctx, sent);
           }

@@ -6,6 +6,7 @@
 // bench-only presentation helpers.
 #pragma once
 
+#include <chrono>
 #include <cstdio>
 #include <functional>
 #include <memory>
@@ -43,5 +44,17 @@ inline double success_rate(const std::function<bool(std::uint64_t seed)>& trial,
 inline void print_header(const char* experiment, const char* claim) {
   std::printf("\n=== %s ===\n%s\n\n", experiment, claim);
 }
+
+// Monotonic wall-clock stopwatch for throughput measurements.
+class Timer {
+ public:
+  Timer() : start_(std::chrono::steady_clock::now()) {}
+  double seconds() const {
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() - start_).count();
+  }
+
+ private:
+  std::chrono::steady_clock::time_point start_;
+};
 
 }  // namespace gkr::bench

@@ -96,7 +96,7 @@ int main() {
     EchoMpAttacker echo(nullptr, 0.002 / (6 * std::log2(6)), 2);
     struct Both final : ChannelAdversary {
       ChannelAdversary *a, *b;
-      void begin_round(const RoundContext& ctx, const std::vector<Sym>& sent) override {
+      void begin_round(const RoundContext& ctx, const PackedSymVec& sent) override {
         a->begin_round(ctx, sent);
         b->begin_round(ctx, sent);
       }

@@ -16,8 +16,8 @@ BaselineResult run_chunks(const ChunkedProtocol& proto, const std::vector<std::u
   const Topology& topo = proto.topology();
   const int n = topo.num_nodes();
   RoundEngine engine(topo, adversary);
-  std::vector<Sym> wire_out(static_cast<std::size_t>(topo.num_dlinks()), Sym::None);
-  std::vector<Sym> wire_in(static_cast<std::size_t>(topo.num_dlinks()), Sym::None);
+  PackedSymVec wire_out(static_cast<std::size_t>(topo.num_dlinks()));
+  PackedSymVec wire_in(static_cast<std::size_t>(topo.num_dlinks()));
 
   std::vector<PartyReplayer> parties;
   parties.reserve(static_cast<std::size_t>(n));
@@ -48,14 +48,14 @@ BaselineResult run_chunks(const ChunkedProtocol& proto, const std::vector<std::u
       for (int rep = 0; rep < repeats; ++rep) {
         for (std::size_t i = idx; i < end; ++i) {
           const ChunkSlot& cs = chunk.slots[i];
-          wire_out[static_cast<std::size_t>(2 * cs.link + cs.dir)] =
-              bit_to_sym(send_bits[i - idx]);
+          wire_out.set(static_cast<std::size_t>(2 * cs.link + cs.dir),
+                       bit_to_sym(send_bits[i - idx]));
         }
         engine.step(RoundContext{round++, c, Phase::Baseline}, wire_out, wire_in);
-        std::fill(wire_out.begin(), wire_out.end(), Sym::None);
+        wire_out.fill(Sym::None);
         for (std::size_t i = idx; i < end; ++i) {
           const ChunkSlot& cs = chunk.slots[i];
-          const Sym got = wire_in[static_cast<std::size_t>(2 * cs.link + cs.dir)];
+          const Sym got = wire_in.get(static_cast<std::size_t>(2 * cs.link + cs.dir));
           if (got == Sym::Zero) ++votes[i - idx][0];
           if (got == Sym::One) ++votes[i - idx][1];
         }
@@ -87,10 +87,8 @@ BaselineResult run_chunks(const ChunkedProtocol& proto, const std::vector<std::u
   result.cc = result.counters.transmissions;
   result.corruptions = result.counters.corruptions;
   result.noise_fraction = result.counters.noise_fraction();
-  result.blowup_vs_user = reference.cc_user == 0
-                              ? 0.0
-                              : static_cast<double>(result.cc) /
-                                    static_cast<double>(reference.cc_user);
+  result.blowup_vs_user =
+      safe_ratio(static_cast<double>(result.cc), static_cast<double>(reference.cc_user));
   return result;
 }
 

@@ -2,80 +2,26 @@
 
 #include <algorithm>
 #include <cmath>
-#include <cstdlib>
+#include <tuple>
 
+#include "core/phase_executors.h"
 #include "ecc/concatenated_code.h"
 #include "ecc/secded.h"
 #include "util/rng.h"
+#include "util/stats.h"
 
 namespace gkr {
 namespace {
 
 constexpr int kMasterBytes = 16;  // 128-bit per-link hash-seed master
 
-// Parse 3τ wire symbols into an MpMessage; any non-bit symbol invalidates.
-MpMessage parse_mp_message(const std::vector<Sym>& bits, int tau) {
-  MpMessage msg;
-  msg.valid = true;
-  for (Sym s : bits) {
-    if (s != Sym::Zero && s != Sym::One) {
-      msg.valid = false;
-      return msg;
-    }
-  }
-  auto read = [&](int offset) {
-    std::uint32_t v = 0;
-    for (int i = 0; i < tau; ++i) {
-      if (bits[static_cast<std::size_t>(offset + i)] == Sym::One) {
-        v |= 1u << i;
-      }
-    }
-    return v;
-  };
-  msg.hk = read(0);
-  msg.h1 = read(tau);
-  msg.h2 = read(2 * tau);
-  return msg;
-}
-
 }  // namespace
 
+// The Impl owns the immutables, the timetable (RoundPlan), the shared SimCore
+// state, and the four phase executors (core/phase_executors.h); the
+// randomness-exchange prologue, the trace recorder and the final evaluation
+// live here because they span phases.
 struct CodedSimulation::Impl {
-  // ------------------------------------------------------------ party state
-  struct PartyLink {
-    int link = -1;
-    PartyId peer = -1;
-    LinkTranscript tr;
-    MeetingPointsState mp;
-    std::unique_ptr<SeedSource> seeds;  // this endpoint's view of the link seeds
-    std::uint64_t master_lo = 0, master_hi = 0;
-
-    // Meeting-points scratch (per iteration).
-    MpMessage outgoing;
-    std::vector<Sym> mp_recv;
-
-    // Simulation-phase scratch.
-    bool partner_idle = false;
-    bool simulating = false;
-    int chunk_index = 0;
-    std::size_t cursor = 0;          // position in chunk.by_link[link]
-    LinkChunkRecord buffer;          // record being collected this phase
-    bool already_rewound = false;    // rewind-phase once-per-iteration latch
-  };
-
-  struct Party {
-    PartyId id = -1;
-    std::unique_ptr<PartyReplayer> replayer;
-    bool replay_dirty = false;
-    std::vector<PartyLink> links;       // in links_of(id) order
-    std::vector<int> link_pos;          // link id -> index in `links`, or -1
-    int status = 1;                     // statusᵤ (Algorithm 1 lines 6–13)
-    bool net_correct = true;            // netCorrectᵤ
-    int flag_partial = 1;               // convergecast accumulator
-
-    PartyLink& on_link(int link) { return links[static_cast<std::size_t>(link_pos[static_cast<std::size_t>(link)])]; }
-  };
-
   // ------------------------------------------------------------ immutables
   const ChunkedProtocol* proto;
   const Topology* topo;
@@ -89,17 +35,18 @@ struct CodedSimulation::Impl {
   int n = 0, m = 0;
   int tau = 0;
   long exchange_rounds = 0;
-  long mp_rounds = 0, flag_rounds = 0, sim_rounds = 0, rewind_rounds = 0;
-  int num_iterations = 0;
   std::unique_ptr<ConcatenatedCode> exchange_code;
+  RoundPlan plan;
 
   // Run state.
   std::unique_ptr<RoundEngine> engine;
-  std::vector<Party> parties;
-  std::vector<Sym> wire_out, wire_in;
-  long round = 0;
   SimulationResult result;
   std::unique_ptr<UniformSeedSource> crs;  // CRS variants share this
+  SimCore core;
+  std::unique_ptr<MeetingPointsExec> mp_exec;
+  std::unique_ptr<FlagPassingExec> flag_exec;
+  std::unique_ptr<SimulationExec> sim_exec;
+  std::unique_ptr<RewindExec> rewind_exec;
 
   Impl(const ChunkedProtocol& p, const std::vector<std::uint64_t>& inputs,
        const NoiselessResult& ref, const SchemeConfig& config, ChannelAdversary& adv)
@@ -121,14 +68,9 @@ struct CodedSimulation::Impl {
     tau = cfg.tau;
     GKR_ASSERT(tau >= 1 && tau <= kMaxHashBits);
 
-    num_iterations = std::max(
+    const int num_iterations = std::max(
         cfg.min_iterations,
         static_cast<int>(std::ceil(cfg.iteration_factor * proto->num_real_chunks())));
-
-    mp_rounds = 3L * tau;
-    flag_rounds = cfg.enable_flag_passing ? 2L * (tree.depth - 1) : 0L;
-    sim_rounds = 1L + proto->max_chunk_rounds();
-    rewind_rounds = cfg.enable_rewind_phase ? static_cast<long>(n) : 0L;
 
     if (cfg.uses_exchange()) {
       long target = cfg.exchange_target_bits;
@@ -141,56 +83,46 @@ struct CodedSimulation::Impl {
       exchange_rounds = static_cast<long>(exchange_code->codeword_bits());
     }
 
-    engine = std::make_unique<RoundEngine>(*topo, *adviser());
-    wire_out.assign(static_cast<std::size_t>(topo->num_dlinks()), Sym::None);
-    wire_in.assign(static_cast<std::size_t>(topo->num_dlinks()), Sym::None);
+    plan = RoundPlan::build(
+        *topo, tree, exchange_rounds,
+        /*mp_rounds=*/3L * tau,
+        /*flag_rounds=*/cfg.enable_flag_passing ? 2L * (tree.depth - 1) : 0L,
+        /*sim_rounds=*/1L + proto->max_chunk_rounds(),
+        /*rewind_rounds=*/cfg.enable_rewind_phase ? static_cast<long>(n) : 0L, num_iterations);
+
+    engine = std::make_unique<RoundEngine>(*topo, *adversary);
 
     if (!cfg.uses_exchange()) {
       crs = std::make_unique<UniformSeedSource>(mix64(cfg.seed ^ 0xc125ULL));
     }
 
-    parties.reserve(static_cast<std::size_t>(n));
+    core.proto = proto;
+    core.topo = topo;
+    core.tree = &tree;
+    core.cfg = &cfg;
+    core.plan = &plan;
+    core.engine = engine.get();
+    core.result = &result;
+    core.n = n;
+    core.m = m;
+    core.tau = tau;
+    core.crs = crs.get();
+    core.init();
     for (PartyId u = 0; u < n; ++u) {
-      Party party;
-      party.id = u;
-      party.replayer =
+      core.replayers[static_cast<std::size_t>(u)] =
           std::make_unique<PartyReplayer>(*proto, u, inputs[static_cast<std::size_t>(u)]);
-      party.link_pos.assign(static_cast<std::size_t>(m), -1);
-      for (int l : topo->links_of(u)) {
-        party.link_pos[static_cast<std::size_t>(l)] = static_cast<int>(party.links.size());
-        PartyLink pl;
-        pl.link = l;
-        pl.peer = topo->peer(l, u);
-        party.links.push_back(std::move(pl));
-      }
-      parties.push_back(std::move(party));
     }
+
+    mp_exec = std::make_unique<MeetingPointsExec>(core);
+    flag_exec = std::make_unique<FlagPassingExec>(core);
+    sim_exec = std::make_unique<SimulationExec>(core);
+    rewind_exec = std::make_unique<RewindExec>(core);
   }
-
-  ChannelAdversary* adviser() { return adversary; }
-
-  // ----------------------------------------------------------- round engine
-  void clear_wire() { std::fill(wire_out.begin(), wire_out.end(), Sym::None); }
-
-  void step(int iteration, Phase phase) {
-    engine->step(RoundContext{round, iteration, phase}, wire_out, wire_in);
-    ++round;
-    clear_wire();
-  }
-
-  int dlink_out(PartyId u, int link) const { return topo->dlink_from(link, u); }
-  int dlink_in(PartyId u, int link) const { return topo->dlink_from(link, topo->peer(link, u)); }
 
   // ----------------------------------------------------- randomness exchange
   void run_randomness_exchange() {
-    if (!cfg.uses_exchange()) {
-      for (Party& p : parties) {
-        for (PartyLink& pl : p.links) {
-          pl.seeds = nullptr;  // parties share the CRS source
-        }
-      }
-      return;
-    }
+    if (!cfg.uses_exchange()) return;  // parties share the CRS source
+
     // Senders (smaller endpoint id) sample masters and encode.
     std::vector<std::vector<std::int8_t>> codewords(static_cast<std::size_t>(m));
     std::vector<std::array<std::uint8_t, kMasterBytes>> masters(static_cast<std::size_t>(m));
@@ -212,12 +144,13 @@ struct CodedSimulation::Impl {
     for (long j = 0; j < exchange_rounds; ++j) {
       for (int l = 0; l < m; ++l) {
         const std::int8_t bit = codewords[static_cast<std::size_t>(l)][static_cast<std::size_t>(j)];
-        wire_out[static_cast<std::size_t>(dlink_out(topo->link(l).a, l))] =
-            bit != 0 ? Sym::One : Sym::Zero;
+        core.wire_out.set(static_cast<std::size_t>(topo->dlink_from(l, topo->link(l).a)),
+                          bit != 0 ? Sym::One : Sym::Zero);
       }
-      step(0, Phase::RandomnessExchange);
+      core.step(0, Phase::RandomnessExchange);
       for (int l = 0; l < m; ++l) {
-        const Sym got = wire_in[static_cast<std::size_t>(dlink_out(topo->link(l).a, l))];
+        const Sym got =
+            core.wire_in.get(static_cast<std::size_t>(topo->dlink_from(l, topo->link(l).a)));
         std::int8_t& cell = received[static_cast<std::size_t>(l)][static_cast<std::size_t>(j)];
         // Deletions arrive as ∗ at a round where a bit was expected: erasure
         // (footnote 9). A ⊥ is equally out of place: erasure.
@@ -238,373 +171,27 @@ struct CodedSimulation::Impl {
       };
       // Sender side: the sampled master.
       auto [a_lo, a_hi] = read_master(masters[static_cast<std::size_t>(l)]);
-      Party& pa = parties[static_cast<std::size_t>(e.a)];
-      PartyLink& pla = pa.on_link(l);
-      pla.master_lo = a_lo;
-      pla.master_hi = a_hi;
-      pla.seeds = std::make_unique<BiasedSeedSource>(a_lo, a_hi);
+      core.seeds[static_cast<std::size_t>(core.ep(e.a, l))] =
+          std::make_unique<BiasedSeedSource>(a_lo, a_hi);
 
       // Receiver side: decode, or fall back to a private garbage master
       // (guaranteeing mismatch) when decoding fails.
       std::array<std::uint8_t, kMasterBytes> decoded{};
-      Party& pb = parties[static_cast<std::size_t>(e.b)];
-      PartyLink& plb = pb.on_link(l);
+      std::uint64_t b_lo = 0, b_hi = 0;
       const bool ok = exchange_code->decode(
           received[static_cast<std::size_t>(l)],
           std::span<std::uint8_t>(decoded.data(), kMasterBytes));
       if (ok) {
-        auto [b_lo, b_hi] = read_master(decoded);
-        plb.master_lo = b_lo;
-        plb.master_hi = b_hi;
+        std::tie(b_lo, b_hi) = read_master(decoded);
       } else {
         Rng junk = rng.fork("decode-fail").fork(static_cast<std::uint64_t>(l));
-        plb.master_lo = junk.next_u64();
-        plb.master_hi = junk.next_u64();
+        b_lo = junk.next_u64();
+        b_hi = junk.next_u64();
       }
-      plb.seeds = std::make_unique<BiasedSeedSource>(plb.master_lo, plb.master_hi);
-      if (plb.master_lo != pla.master_lo || plb.master_hi != pla.master_hi) {
+      core.seeds[static_cast<std::size_t>(core.ep(e.b, l))] =
+          std::make_unique<BiasedSeedSource>(b_lo, b_hi);
+      if (b_lo != a_lo || b_hi != a_hi) {
         ++result.exchange_failures;
-      }
-    }
-  }
-
-  const SeedSource& seeds_of(const PartyLink& pl) const {
-    return cfg.uses_exchange() ? static_cast<const SeedSource&>(*pl.seeds)
-                               : static_cast<const SeedSource&>(*crs);
-  }
-
-  // --------------------------------------------------------- meeting points
-  void run_meeting_points(int iteration) {
-    // Prepare outgoing messages.
-    for (Party& p : parties) {
-      for (PartyLink& pl : p.links) {
-        pl.outgoing = pl.mp.prepare(pl.tr, seeds_of(pl), static_cast<std::uint64_t>(pl.link),
-                                    static_cast<std::uint64_t>(iteration), tau);
-        pl.mp_recv.assign(static_cast<std::size_t>(mp_rounds), Sym::None);
-      }
-    }
-    // Ground-truth collision audit (before the channel touches anything):
-    // count, per link, the hash comparisons the state machine will actually
-    // evaluate whose values agree while the underlying inputs differ — the
-    // paper's EHC "hash collision" events.
-    for (int l = 0; l < m; ++l) {
-      const Edge& e = topo->link(l);
-      const PartyLink& a = parties[static_cast<std::size_t>(e.a)].on_link(l);
-      const PartyLink& b = parties[static_cast<std::size_t>(e.b)].on_link(l);
-      if (a.outgoing.hk == b.outgoing.hk && a.mp.k() != b.mp.k()) ++result.hash_collisions;
-      if (a.outgoing.hk != b.outgoing.hk) continue;  // early return: no more comparisons
-      auto prefix_in = [&](const PartyLink& pl, long pos) {
-        return std::pair<long, std::uint64_t>(pos, pl.tr.prefix_digest(static_cast<int>(pos)));
-      };
-      const auto a1 = prefix_in(a, a.mp.mpc1()), a2 = prefix_in(a, a.mp.mpc2());
-      const auto b1 = prefix_in(b, b.mp.mpc1()), b2 = prefix_in(b, b.mp.mpc2());
-      auto audit = [&](std::uint32_t ha, std::pair<long, std::uint64_t> ia, std::uint32_t hb,
-                       std::pair<long, std::uint64_t> ib) {
-        if (ha == hb && ia != ib) ++result.hash_collisions;
-      };
-      if (a.mp.k() == 1 && b.mp.k() == 1 && a.outgoing.h1 == b.outgoing.h1) {
-        // Both sides take the k=1 full-match early return: only the h1↔h1
-        // comparison is evaluated.
-        audit(a.outgoing.h1, a1, b.outgoing.h1, b1);
-        continue;
-      }
-      audit(a.outgoing.h1, a1, b.outgoing.h1, b1);
-      audit(a.outgoing.h1, a1, b.outgoing.h2, b2);
-      audit(a.outgoing.h2, a2, b.outgoing.h1, b1);
-      audit(a.outgoing.h2, a2, b.outgoing.h2, b2);
-    }
-
-    // Ship the 3τ bits, one per round per directed link (fully utilized).
-    for (long j = 0; j < mp_rounds; ++j) {
-      for (Party& p : parties) {
-        for (PartyLink& pl : p.links) {
-          const std::uint32_t word = j < tau          ? pl.outgoing.hk >> j
-                                     : j < 2L * tau   ? pl.outgoing.h1 >> (j - tau)
-                                                      : pl.outgoing.h2 >> (j - 2L * tau);
-          wire_out[static_cast<std::size_t>(dlink_out(p.id, pl.link))] =
-              (word & 1u) != 0 ? Sym::One : Sym::Zero;
-        }
-      }
-      step(iteration, Phase::MeetingPoints);
-      for (Party& p : parties) {
-        for (PartyLink& pl : p.links) {
-          pl.mp_recv[static_cast<std::size_t>(j)] =
-              wire_in[static_cast<std::size_t>(dlink_in(p.id, pl.link))];
-        }
-      }
-    }
-
-    // Process.
-    for (Party& p : parties) {
-      for (PartyLink& pl : p.links) {
-        const MpMessage received = parse_mp_message(pl.mp_recv, tau);
-        const MpOutcome outcome = pl.mp.process(received, pl.tr);
-        if (std::getenv("GKR_MP_DEBUG") != nullptr &&
-            outcome.status == MpStatus::MeetingPoints) {
-          std::fprintf(stderr, "MPDBG it=%d party=%d link=%d k=%ld E=%ld mpc=%ld/%ld len=%d trunc=%d valid=%d\n",
-                       iteration, p.id, pl.link, pl.mp.k(), pl.mp.errors(), pl.mp.mpc1(),
-                       pl.mp.mpc2(), pl.tr.chunks(), outcome.truncated ? outcome.truncated_to : -1,
-                       received.valid);
-        }
-        if (outcome.truncated && outcome.truncated_by > 0) {
-          result.mp_truncations += outcome.truncated_by;
-          p.replay_dirty = true;
-        }
-      }
-    }
-  }
-
-  // ----------------------------------------------------------- flag passing
-  void compute_status() {
-    for (Party& p : parties) {
-      int min_chunk = INT32_MAX;
-      for (PartyLink& pl : p.links) min_chunk = std::min(min_chunk, pl.tr.chunks());
-      p.status = 1;
-      for (PartyLink& pl : p.links) {
-        if (pl.mp.status() == MpStatus::MeetingPoints || pl.tr.chunks() > min_chunk) {
-          p.status = 0;
-          break;
-        }
-      }
-    }
-  }
-
-  void run_flag_passing(int iteration) {
-    compute_status();
-    if (!cfg.enable_flag_passing) {
-      for (Party& p : parties) p.net_correct = p.status == 1;  // local-only ablation
-      return;
-    }
-    const int d = tree.depth;
-    for (Party& p : parties) p.flag_partial = p.status;
-
-    // Upward convergecast: level ℓ sends to its parent at round d − ℓ.
-    for (long r = 0; r < d - 1; ++r) {
-      for (Party& p : parties) {
-        const int level = tree.level[static_cast<std::size_t>(p.id)];
-        if (level >= 2 && d - level == r) {
-          const int l = tree.parent_link[static_cast<std::size_t>(p.id)];
-          wire_out[static_cast<std::size_t>(dlink_out(p.id, l))] =
-              p.flag_partial == 1 ? Sym::One : Sym::Zero;
-        }
-      }
-      step(iteration, Phase::FlagPassing);
-      for (Party& p : parties) {
-        for (const PartyId c : tree.children[static_cast<std::size_t>(p.id)]) {
-          const int child_level = tree.level[static_cast<std::size_t>(c)];
-          if (d - child_level != r) continue;
-          const int l = tree.parent_link[static_cast<std::size_t>(c)];
-          const Sym got = wire_in[static_cast<std::size_t>(dlink_in(p.id, l))];
-          // A lost or garbled flag reads as "stop" — fail safe.
-          if (got != Sym::One) p.flag_partial = 0;
-        }
-      }
-    }
-
-    // Downward broadcast: level ℓ sends netCorrect to children at round ℓ−1.
-    for (Party& p : parties) {
-      if (p.id == tree.root) p.net_correct = p.flag_partial == 1;
-    }
-    for (long r = 0; r < d - 1; ++r) {
-      for (Party& p : parties) {
-        const int level = tree.level[static_cast<std::size_t>(p.id)];
-        if (level - 1 == r && !tree.is_leaf(p.id)) {
-          for (const PartyId c : tree.children[static_cast<std::size_t>(p.id)]) {
-            const int l = tree.parent_link[static_cast<std::size_t>(c)];
-            wire_out[static_cast<std::size_t>(dlink_out(p.id, l))] =
-                p.net_correct ? Sym::One : Sym::Zero;
-          }
-        }
-      }
-      step(iteration, Phase::FlagPassing);
-      for (Party& p : parties) {
-        const int level = tree.level[static_cast<std::size_t>(p.id)];
-        if (level - 2 == r) {  // our parent (level-1) sent this round
-          const int l = tree.parent_link[static_cast<std::size_t>(p.id)];
-          const Sym got = wire_in[static_cast<std::size_t>(dlink_in(p.id, l))];
-          p.net_correct = (got == Sym::One) && p.status == 1;  // Alg. 3 line 19
-        }
-      }
-    }
-  }
-
-  // ------------------------------------------------------- simulation phase
-  struct FoldEvent {
-    int slot_idx;
-    const ChunkSlot* cs;
-    Sym sym;
-  };
-
-  void run_simulation_phase(int iteration) {
-    bool any_simulated = false;
-    // ⊥ round (Algorithm 1 lines 16 / 23).
-    for (Party& p : parties) {
-      if (!p.net_correct) {
-        for (PartyLink& pl : p.links) {
-          wire_out[static_cast<std::size_t>(dlink_out(p.id, pl.link))] = Sym::Bot;
-        }
-      }
-    }
-    step(iteration, Phase::Simulation);
-    for (Party& p : parties) {
-      for (PartyLink& pl : p.links) {
-        pl.partner_idle =
-            wire_in[static_cast<std::size_t>(dlink_in(p.id, pl.link))] == Sym::Bot;
-        pl.simulating = false;
-      }
-    }
-
-    // Set up chunk walks for simulating parties.
-    for (Party& p : parties) {
-      if (!p.net_correct) continue;
-      if (p.replay_dirty) {
-        rebuild_replayer(p);
-      }
-      bool aligned = true;
-      int first_chunk = -1;
-      for (PartyLink& pl : p.links) {
-        pl.simulating = !pl.partner_idle;
-        pl.chunk_index = pl.tr.chunks();
-        pl.cursor = 0;
-        pl.buffer.clear();
-        if (first_chunk < 0) first_chunk = pl.chunk_index;
-        if (pl.chunk_index != first_chunk || !pl.simulating) aligned = false;
-        if (pl.simulating) any_simulated = true;
-      }
-      // Any desync or skipped link leaves the live automaton out of step with
-      // the transcripts: rebuild before the next simulated chunk.
-      if (!aligned) p.replay_dirty = true;
-    }
-
-    // Chunk body: fixed number of rounds; each party walks its per-link slot
-    // lists (peek sends from the pre-round state, then fold in slot order).
-    std::vector<std::vector<FoldEvent>> folds(parties.size());
-    for (long lr = 0; lr < sim_rounds - 1; ++lr) {
-      for (auto& f : folds) f.clear();
-      // Pass A: peek and transmit all sends of this local round.
-      for (Party& p : parties) {
-        if (!p.net_correct) continue;
-        for (PartyLink& pl : p.links) {
-          if (!pl.simulating) continue;
-          const Chunk& chunk = proto->chunk(pl.chunk_index);
-          const auto& list = chunk.by_link[static_cast<std::size_t>(pl.link)];
-          for (std::size_t cur = pl.cursor; cur < list.size(); ++cur) {
-            const int slot_idx = list[cur];
-            const ChunkSlot& cs = chunk.slots[static_cast<std::size_t>(slot_idx)];
-            if (cs.local_round != static_cast<int>(lr)) break;
-            if (topo->dlink_sender(2 * cs.link + cs.dir) != p.id) continue;
-            const bool bit = p.replayer->peek_send(cs);
-            wire_out[static_cast<std::size_t>(2 * cs.link + cs.dir)] = bit_to_sym(bit);
-            folds[static_cast<std::size_t>(p.id)].push_back(
-                FoldEvent{slot_idx, &cs, bit_to_sym(bit)});
-          }
-        }
-      }
-      step(iteration, Phase::Simulation);
-      // Pass B: collect receives, fold everything in slot order, fill buffers.
-      for (Party& p : parties) {
-        if (!p.net_correct) continue;
-        for (PartyLink& pl : p.links) {
-          if (!pl.simulating) continue;
-          const Chunk& chunk = proto->chunk(pl.chunk_index);
-          const auto& list = chunk.by_link[static_cast<std::size_t>(pl.link)];
-          while (pl.cursor < list.size()) {
-            const int slot_idx = list[pl.cursor];
-            const ChunkSlot& cs = chunk.slots[static_cast<std::size_t>(slot_idx)];
-            if (cs.local_round != static_cast<int>(lr)) break;
-            const int dlink = 2 * cs.link + cs.dir;
-            if (topo->dlink_sender(dlink) == p.id) {
-              // Our own send: the buffer records what we put on the wire.
-              // (The fold event was queued in pass A.)
-              pl.buffer.push_back(wire_sent_value(folds[static_cast<std::size_t>(p.id)],
-                                                  slot_idx));
-            } else {
-              const Sym got = wire_in[static_cast<std::size_t>(dlink)];
-              pl.buffer.push_back(got);
-              folds[static_cast<std::size_t>(p.id)].push_back(FoldEvent{slot_idx, &cs, got});
-            }
-            ++pl.cursor;
-          }
-        }
-        auto& f = folds[static_cast<std::size_t>(p.id)];
-        std::sort(f.begin(), f.end(), [](const FoldEvent& x, const FoldEvent& y) {
-          return x.slot_idx != y.slot_idx ? x.slot_idx < y.slot_idx
-                                          : x.cs->link < y.cs->link;
-        });
-        for (const FoldEvent& e : f) p.replayer->fold(*e.cs, e.sym);
-      }
-    }
-
-    // Append collected chunk records.
-    for (Party& p : parties) {
-      if (!p.net_correct) continue;
-      for (PartyLink& pl : p.links) {
-        if (!pl.simulating) continue;
-        const Chunk& chunk = proto->chunk(pl.chunk_index);
-        GKR_ASSERT(pl.buffer.size() ==
-                   chunk.by_link[static_cast<std::size_t>(pl.link)].size());
-        pl.tr.append_chunk(std::move(pl.buffer));
-        pl.buffer = LinkChunkRecord{};
-      }
-    }
-    if (cfg.record_trace && !result.trace.empty()) result.trace.back().simulated = any_simulated;
-  }
-
-  static Sym wire_sent_value(const std::vector<FoldEvent>& folds, int slot_idx) {
-    for (const FoldEvent& e : folds) {
-      if (e.slot_idx == slot_idx) return e.sym;
-    }
-    GKR_ASSERT_MSG(false, "own send not found in fold queue");
-    return Sym::None;
-  }
-
-  void rebuild_replayer(Party& p) {
-    std::vector<int> chunks(static_cast<std::size_t>(m), 0);
-    for (PartyLink& pl : p.links) {
-      chunks[static_cast<std::size_t>(pl.link)] = pl.tr.chunks();
-    }
-    p.replayer->rebuild(
-        [&](int link, int chunk) -> const LinkChunkRecord* {
-          return &p.on_link(link).tr.chunk_record(chunk);
-        },
-        chunks);
-    p.replay_dirty = false;
-  }
-
-  // ----------------------------------------------------------- rewind phase
-  void run_rewind_phase(int iteration) {
-    if (!cfg.enable_rewind_phase) return;
-    for (Party& p : parties) {
-      for (PartyLink& pl : p.links) pl.already_rewound = false;
-    }
-    for (long r = 0; r < rewind_rounds; ++r) {
-      for (Party& p : parties) {
-        int min_chunk = INT32_MAX;
-        for (PartyLink& pl : p.links) min_chunk = std::min(min_chunk, pl.tr.chunks());
-        for (PartyLink& pl : p.links) {
-          if (pl.mp.status() == MpStatus::MeetingPoints || pl.already_rewound) continue;
-          if (pl.tr.chunks() > min_chunk) {
-            wire_out[static_cast<std::size_t>(dlink_out(p.id, pl.link))] = Sym::One;
-            pl.tr.truncate(pl.tr.chunks() - 1);
-            pl.already_rewound = true;
-            p.replay_dirty = true;
-            ++result.rewinds_sent;
-            ++result.rewind_truncations;
-          }
-        }
-      }
-      step(iteration, Phase::Rewind);
-      for (Party& p : parties) {
-        for (PartyLink& pl : p.links) {
-          const Sym got = wire_in[static_cast<std::size_t>(dlink_in(p.id, pl.link))];
-          if (got != Sym::One) continue;  // only an explicit rewind request
-          if (pl.mp.status() == MpStatus::MeetingPoints || pl.already_rewound) continue;
-          if (pl.tr.chunks() == 0) continue;
-          pl.tr.truncate(pl.tr.chunks() - 1);
-          pl.already_rewound = true;
-          p.replay_dirty = true;
-          ++result.rewind_truncations;
-        }
       }
     }
   }
@@ -612,16 +199,8 @@ struct CodedSimulation::Impl {
   // ------------------------------------------------------------------ trace
   int common_prefix_chunks(int link) const {
     const Edge& e = topo->link(link);
-    const LinkTranscript& a =
-        parties[static_cast<std::size_t>(e.a)]
-            .links[static_cast<std::size_t>(
-                parties[static_cast<std::size_t>(e.a)].link_pos[static_cast<std::size_t>(link)])]
-            .tr;
-    const LinkTranscript& b =
-        parties[static_cast<std::size_t>(e.b)]
-            .links[static_cast<std::size_t>(
-                parties[static_cast<std::size_t>(e.b)].link_pos[static_cast<std::size_t>(link)])]
-            .tr;
+    const LinkTranscript& a = core.tr[static_cast<std::size_t>(core.ep(e.a, link))];
+    const LinkTranscript& b = core.tr[static_cast<std::size_t>(core.ep(e.b, link))];
     int lo = 0, hi = std::min(a.chunks(), b.chunks());
     while (lo < hi) {  // digests equal ⇔ prefixes equal (64-bit chain, whp)
       const int mid = (lo + hi + 1) / 2;
@@ -640,21 +219,15 @@ struct CodedSimulation::Impl {
     t.iteration = iteration;
     int g_star = INT32_MAX, h_star = 0;
     for (int l = 0; l < m; ++l) g_star = std::min(g_star, common_prefix_chunks(l));
-    for (const Party& p : parties) {
-      for (const PartyLink& pl : p.links) h_star = std::max(h_star, pl.tr.chunks());
-    }
+    for (const LinkTranscript& tr : core.tr) h_star = std::max(h_star, tr.chunks());
     t.g_star = g_star;
     t.h_star = h_star;
     t.b_star = h_star - g_star;
     for (int l = 0; l < m; ++l) {
       const Edge& e = topo->link(l);
-      const auto& pa = parties[static_cast<std::size_t>(e.a)];
-      const auto& pb = parties[static_cast<std::size_t>(e.b)];
       const bool in_mp =
-          pa.links[static_cast<std::size_t>(pa.link_pos[static_cast<std::size_t>(l)])]
-                  .mp.status() == MpStatus::MeetingPoints ||
-          pb.links[static_cast<std::size_t>(pb.link_pos[static_cast<std::size_t>(l)])]
-                  .mp.status() == MpStatus::MeetingPoints;
+          core.mp[static_cast<std::size_t>(core.ep(e.a, l))].status() == MpStatus::MeetingPoints ||
+          core.mp[static_cast<std::size_t>(core.ep(e.b, l))].status() == MpStatus::MeetingPoints;
       if (in_mp) ++t.links_in_mp;
     }
     t.cc_so_far = engine->counters().transmissions;
@@ -669,16 +242,13 @@ struct CodedSimulation::Impl {
     for (int l = 0; l < m && result.transcripts_match; ++l) {
       const Edge& e = topo->link(l);
       for (PartyId u : {e.a, e.b}) {
-        const PartyLink& pl =
-            parties[static_cast<std::size_t>(u)]
-                .links[static_cast<std::size_t>(
-                    parties[static_cast<std::size_t>(u)].link_pos[static_cast<std::size_t>(l)])];
-        if (pl.tr.chunks() < real) {
+        const LinkTranscript& tr = core.tr[static_cast<std::size_t>(core.ep(u, l))];
+        if (tr.chunks() < real) {
           result.transcripts_match = false;
           break;
         }
         for (int c = 0; c < real; ++c) {
-          if (pl.tr.chunk_record(c) !=
+          if (tr.chunk_record(c) !=
               reference->records[static_cast<std::size_t>(l)][static_cast<std::size_t>(c)]) {
             result.transcripts_match = false;
             break;
@@ -689,20 +259,22 @@ struct CodedSimulation::Impl {
     }
 
     result.outputs_match = true;
-    for (Party& p : parties) {
+    for (PartyId u = 0; u < n; ++u) {
       std::vector<int> chunks(static_cast<std::size_t>(m), 0);
-      for (PartyLink& pl : p.links) {
-        chunks[static_cast<std::size_t>(pl.link)] = std::min(pl.tr.chunks(), real);
+      for (int l : topo->links_of(u)) {
+        chunks[static_cast<std::size_t>(l)] =
+            std::min(core.tr[static_cast<std::size_t>(core.ep(u, l))].chunks(), real);
       }
       // The live replayer holds the party's input; rebuilding it against the
       // first |Π| chunks yields the output Algorithm 1 extracts.
-      p.replayer->rebuild(
+      core.replayers[static_cast<std::size_t>(u)]->rebuild(
           [&](int link, int chunk) -> const LinkChunkRecord* {
-            return &p.on_link(link).tr.chunk_record(chunk);
+            return &core.tr[static_cast<std::size_t>(core.ep(u, link))].chunk_record(chunk);
           },
           chunks);
-      result.replayer_rebuilds += p.replayer->rebuild_count();
-      if (p.replayer->output() != reference->outputs[static_cast<std::size_t>(p.id)]) {
+      result.replayer_rebuilds += core.replayers[static_cast<std::size_t>(u)]->rebuild_count();
+      if (core.replayers[static_cast<std::size_t>(u)]->output() !=
+          reference->outputs[static_cast<std::size_t>(u)]) {
         result.outputs_match = false;
       }
     }
@@ -712,26 +284,22 @@ struct CodedSimulation::Impl {
     result.cc_coded = result.counters.transmissions;
     result.cc_user = reference->cc_user;
     result.cc_chunked = reference->cc_chunked;
-    result.blowup_vs_user =
-        result.cc_user == 0 ? 0.0
-                            : static_cast<double>(result.cc_coded) /
-                                  static_cast<double>(result.cc_user);
-    result.blowup_vs_chunked =
-        result.cc_chunked == 0 ? 0.0
-                               : static_cast<double>(result.cc_coded) /
-                                     static_cast<double>(result.cc_chunked);
+    result.blowup_vs_user = safe_ratio(static_cast<double>(result.cc_coded),
+                                       static_cast<double>(result.cc_user));
+    result.blowup_vs_chunked = safe_ratio(static_cast<double>(result.cc_coded),
+                                          static_cast<double>(result.cc_chunked));
     result.noise_fraction = result.counters.noise_fraction();
-    result.iterations = num_iterations;
+    result.iterations = plan.iterations();
   }
 
   SimulationResult run() {
     run_randomness_exchange();
-    for (int it = 0; it < num_iterations; ++it) {
+    for (int it = 0; it < plan.iterations(); ++it) {
       if (cfg.record_trace) record_trace(it);
-      run_meeting_points(it);
-      run_flag_passing(it);
-      run_simulation_phase(it);
-      run_rewind_phase(it);
+      mp_exec->run(it);
+      flag_exec->run(it);
+      sim_exec->run(it);
+      rewind_exec->run(it);
     }
     evaluate();
     return result;
@@ -748,17 +316,17 @@ CodedSimulation::~CodedSimulation() = default;
 
 SimulationResult CodedSimulation::run() { return impl_->run(); }
 
-long CodedSimulation::prologue_rounds() const noexcept { return impl_->exchange_rounds; }
+const RoundPlan& CodedSimulation::plan() const noexcept { return impl_->plan; }
+
+long CodedSimulation::prologue_rounds() const noexcept { return impl_->plan.prologue_rounds(); }
 
 long CodedSimulation::rounds_per_iteration() const noexcept {
-  return impl_->mp_rounds + impl_->flag_rounds + impl_->sim_rounds + impl_->rewind_rounds;
+  return impl_->plan.rounds_per_iteration();
 }
 
-long CodedSimulation::total_rounds() const noexcept {
-  return prologue_rounds() + static_cast<long>(impl_->num_iterations) * rounds_per_iteration();
-}
+long CodedSimulation::total_rounds() const noexcept { return impl_->plan.total_rounds(); }
 
-int CodedSimulation::iterations() const noexcept { return impl_->num_iterations; }
+int CodedSimulation::iterations() const noexcept { return impl_->plan.iterations(); }
 
 int CodedSimulation::tau() const noexcept { return impl_->tau; }
 
@@ -767,14 +335,7 @@ const EngineCounters& CodedSimulation::engine_counters() const noexcept {
 }
 
 Phase CodedSimulation::phase_of_round(long round) const noexcept {
-  if (round < impl_->exchange_rounds) return Phase::RandomnessExchange;
-  const long within = (round - impl_->exchange_rounds) % rounds_per_iteration();
-  if (within < impl_->mp_rounds) return Phase::MeetingPoints;
-  if (within < impl_->mp_rounds + impl_->flag_rounds) return Phase::FlagPassing;
-  if (within < impl_->mp_rounds + impl_->flag_rounds + impl_->sim_rounds) {
-    return Phase::Simulation;
-  }
-  return Phase::Rewind;
+  return impl_->plan.phase_of(round);
 }
 
 SimulationResult run_coded(const ChunkedProtocol& proto, const std::vector<std::uint64_t>& inputs,

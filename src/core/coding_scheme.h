@@ -28,6 +28,7 @@
 #include "core/meeting_points.h"
 #include "core/transcript.h"
 #include "net/round_engine.h"
+#include "net/round_plan.h"
 #include "net/spanning_tree.h"
 #include "proto/noiseless.h"
 
@@ -84,7 +85,10 @@ class CodedSimulation {
   SimulationResult run();
 
   // Fixed timetable (public so oblivious adversaries can plan against it, as
-  // the model allows — the schedule is not secret).
+  // the model allows — the schedule is not secret). The RoundPlan is the
+  // precomputed table (net/round_plan.h); the scalar accessors below delegate
+  // to it.
+  const RoundPlan& plan() const noexcept;
   long total_rounds() const noexcept;
   long prologue_rounds() const noexcept;
   long rounds_per_iteration() const noexcept;

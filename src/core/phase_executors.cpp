@@ -1,0 +1,453 @@
+#include "core/phase_executors.h"
+
+#include <algorithm>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+
+#include "core/coding_scheme.h"
+
+namespace gkr {
+namespace {
+
+// Parse 3τ wire symbols into an MpMessage; any non-bit symbol invalidates.
+MpMessage parse_mp_message(const Sym* bits, int tau) {
+  MpMessage msg;
+  msg.valid = true;
+  for (int i = 0; i < 3 * tau; ++i) {
+    if (bits[i] != Sym::Zero && bits[i] != Sym::One) {
+      msg.valid = false;
+      return msg;
+    }
+  }
+  auto read = [&](int offset) {
+    std::uint32_t v = 0;
+    for (int i = 0; i < tau; ++i) {
+      if (bits[offset + i] == Sym::One) v |= 1u << i;
+    }
+    return v;
+  };
+  msg.hk = read(0);
+  msg.h1 = read(tau);
+  msg.h2 = read(2 * tau);
+  return msg;
+}
+
+}  // namespace
+
+// ------------------------------------------------------------------ SimCore
+
+void SimCore::init() {
+  const std::size_t eps = static_cast<std::size_t>(topo->num_dlinks());
+  wire_out.assign(eps, Sym::None);
+  wire_in.assign(eps, Sym::None);
+  replayers.resize(static_cast<std::size_t>(n));
+  replay_dirty.assign(static_cast<std::size_t>(n), 0);
+  status.assign(static_cast<std::size_t>(n), 1);
+  net_correct.assign(static_cast<std::size_t>(n), 1);
+  tr.resize(eps);
+  mp.resize(eps);
+  seeds.resize(eps);
+}
+
+void SimCore::step(int iteration, Phase phase) {
+  engine->step(RoundContext{round, iteration, phase}, wire_out, wire_in);
+  ++round;
+  wire_out.fill(Sym::None);
+}
+
+int SimCore::min_chunks(PartyId u) const {
+  int min_chunk = INT32_MAX;
+  for (int l : topo->links_of(u)) {
+    min_chunk = std::min(min_chunk, tr[static_cast<std::size_t>(ep(u, l))].chunks());
+  }
+  return min_chunk;
+}
+
+void SimCore::rebuild_replayer(PartyId u) {
+  std::vector<int> chunks(static_cast<std::size_t>(m), 0);
+  for (int l : topo->links_of(u)) {
+    chunks[static_cast<std::size_t>(l)] = tr[static_cast<std::size_t>(ep(u, l))].chunks();
+  }
+  replayers[static_cast<std::size_t>(u)]->rebuild(
+      [&](int link, int chunk) -> const LinkChunkRecord* {
+        return &tr[static_cast<std::size_t>(ep(u, link))].chunk_record(chunk);
+      },
+      chunks);
+  replay_dirty[static_cast<std::size_t>(u)] = 0;
+}
+
+// -------------------------------------------------------- MeetingPointsExec
+
+MeetingPointsExec::MeetingPointsExec(SimCore& core) : c_(&core) {
+  outgoing_.resize(static_cast<std::size_t>(core.topo->num_dlinks()));
+}
+
+void MeetingPointsExec::run(int iteration) {
+  SimCore& c = *c_;
+  const long mp_rounds = c.plan->mp_rounds();
+  const int tau = c.tau;
+
+  // Prepare outgoing messages.
+  for (PartyId u = 0; u < c.n; ++u) {
+    for (int l : c.topo->links_of(u)) {
+      const std::size_t e = static_cast<std::size_t>(c.ep(u, l));
+      outgoing_[e] = c.mp[e].prepare(c.tr[e], c.seeds_of(static_cast<int>(e)),
+                                     static_cast<std::uint64_t>(l),
+                                     static_cast<std::uint64_t>(iteration), tau);
+    }
+  }
+  recv_.assign(static_cast<std::size_t>(c.topo->num_dlinks()) *
+                   static_cast<std::size_t>(mp_rounds),
+               Sym::None);
+
+  // Ground-truth collision audit (before the channel touches anything):
+  // count, per link, the hash comparisons the state machine will actually
+  // evaluate whose values agree while the underlying inputs differ — the
+  // paper's EHC "hash collision" events.
+  for (int l = 0; l < c.m; ++l) {
+    const Edge& edge = c.topo->link(l);
+    const std::size_t ae = static_cast<std::size_t>(c.ep(edge.a, l));
+    const std::size_t be = static_cast<std::size_t>(c.ep(edge.b, l));
+    const MpMessage& aout = outgoing_[ae];
+    const MpMessage& bout = outgoing_[be];
+    if (aout.hk == bout.hk && c.mp[ae].k() != c.mp[be].k()) ++c.result->hash_collisions;
+    if (aout.hk != bout.hk) continue;  // early return: no more comparisons
+    auto prefix_in = [&](std::size_t e, long pos) {
+      return std::pair<long, std::uint64_t>(pos, c.tr[e].prefix_digest(static_cast<int>(pos)));
+    };
+    const auto a1 = prefix_in(ae, c.mp[ae].mpc1()), a2 = prefix_in(ae, c.mp[ae].mpc2());
+    const auto b1 = prefix_in(be, c.mp[be].mpc1()), b2 = prefix_in(be, c.mp[be].mpc2());
+    auto audit = [&](std::uint32_t ha, std::pair<long, std::uint64_t> ia, std::uint32_t hb,
+                     std::pair<long, std::uint64_t> ib) {
+      if (ha == hb && ia != ib) ++c.result->hash_collisions;
+    };
+    if (c.mp[ae].k() == 1 && c.mp[be].k() == 1 && aout.h1 == bout.h1) {
+      // Both sides take the k=1 full-match early return: only the h1↔h1
+      // comparison is evaluated.
+      audit(aout.h1, a1, bout.h1, b1);
+      continue;
+    }
+    audit(aout.h1, a1, bout.h1, b1);
+    audit(aout.h1, a1, bout.h2, b2);
+    audit(aout.h2, a2, bout.h1, b1);
+    audit(aout.h2, a2, bout.h2, b2);
+  }
+
+  // Ship the 3τ bits, one per round per directed link (fully utilized).
+  for (long j = 0; j < mp_rounds; ++j) {
+    for (PartyId u = 0; u < c.n; ++u) {
+      for (int l : c.topo->links_of(u)) {
+        const std::size_t e = static_cast<std::size_t>(c.ep(u, l));
+        const std::uint32_t word = j < tau        ? outgoing_[e].hk >> j
+                                   : j < 2L * tau ? outgoing_[e].h1 >> (j - tau)
+                                                  : outgoing_[e].h2 >> (j - 2L * tau);
+        c.wire_out.set(e, (word & 1u) != 0 ? Sym::One : Sym::Zero);
+      }
+    }
+    c.step(iteration, Phase::MeetingPoints);
+    for (PartyId u = 0; u < c.n; ++u) {
+      for (int l : c.topo->links_of(u)) {
+        const int e = c.ep(u, l);
+        recv_[static_cast<std::size_t>(e) * static_cast<std::size_t>(mp_rounds) +
+              static_cast<std::size_t>(j)] =
+            c.wire_in.get(static_cast<std::size_t>(SimCore::in_dlink(e)));
+      }
+    }
+  }
+
+  // Process.
+  for (PartyId u = 0; u < c.n; ++u) {
+    for (int l : c.topo->links_of(u)) {
+      const std::size_t e = static_cast<std::size_t>(c.ep(u, l));
+      const MpMessage received =
+          parse_mp_message(&recv_[e * static_cast<std::size_t>(mp_rounds)], tau);
+      const MpOutcome outcome = c.mp[e].process(received, c.tr[e]);
+      if (std::getenv("GKR_MP_DEBUG") != nullptr && outcome.status == MpStatus::MeetingPoints) {
+        std::fprintf(stderr,
+                     "MPDBG it=%d party=%d link=%d k=%ld E=%ld mpc=%ld/%ld len=%d trunc=%d "
+                     "valid=%d\n",
+                     iteration, u, l, c.mp[e].k(), c.mp[e].errors(), c.mp[e].mpc1(),
+                     c.mp[e].mpc2(), c.tr[e].chunks(),
+                     outcome.truncated ? outcome.truncated_to : -1, received.valid);
+      }
+      if (outcome.truncated && outcome.truncated_by > 0) {
+        c.result->mp_truncations += outcome.truncated_by;
+        c.replay_dirty[static_cast<std::size_t>(u)] = 1;
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------- FlagPassingExec
+
+FlagPassingExec::FlagPassingExec(SimCore& core) : c_(&core) {
+  flag_partial_.assign(static_cast<std::size_t>(core.n), 1);
+}
+
+void FlagPassingExec::compute_status() {
+  SimCore& c = *c_;
+  for (PartyId u = 0; u < c.n; ++u) {
+    const int min_chunk = c.min_chunks(u);
+    c.status[static_cast<std::size_t>(u)] = 1;
+    for (int l : c.topo->links_of(u)) {
+      const std::size_t e = static_cast<std::size_t>(c.ep(u, l));
+      if (c.mp[e].status() == MpStatus::MeetingPoints || c.tr[e].chunks() > min_chunk) {
+        c.status[static_cast<std::size_t>(u)] = 0;
+        break;
+      }
+    }
+  }
+}
+
+void FlagPassingExec::run(int iteration) {
+  SimCore& c = *c_;
+  compute_status();
+  if (!c.cfg->enable_flag_passing) {
+    for (PartyId u = 0; u < c.n; ++u) {
+      c.net_correct[static_cast<std::size_t>(u)] =
+          c.status[static_cast<std::size_t>(u)];  // local-only ablation
+    }
+    return;
+  }
+  const SpanningTree& tree = *c.tree;
+  const int d = tree.depth;
+  for (PartyId u = 0; u < c.n; ++u) {
+    flag_partial_[static_cast<std::size_t>(u)] = c.status[static_cast<std::size_t>(u)];
+  }
+
+  // Upward convergecast: level ℓ sends to its parent at round d − ℓ.
+  for (long r = 0; r < d - 1; ++r) {
+    for (PartyId u = 0; u < c.n; ++u) {
+      const int level = tree.level[static_cast<std::size_t>(u)];
+      if (level >= 2 && d - level == r) {
+        const int l = tree.parent_link[static_cast<std::size_t>(u)];
+        c.wire_out.set(static_cast<std::size_t>(c.ep(u, l)),
+                       flag_partial_[static_cast<std::size_t>(u)] == 1 ? Sym::One : Sym::Zero);
+      }
+    }
+    c.step(iteration, Phase::FlagPassing);
+    for (PartyId u = 0; u < c.n; ++u) {
+      for (const PartyId child : tree.children[static_cast<std::size_t>(u)]) {
+        const int child_level = tree.level[static_cast<std::size_t>(child)];
+        if (d - child_level != r) continue;
+        const int l = tree.parent_link[static_cast<std::size_t>(child)];
+        const Sym got = c.wire_in.get(static_cast<std::size_t>(SimCore::in_dlink(c.ep(u, l))));
+        // A lost or garbled flag reads as "stop" — fail safe.
+        if (got != Sym::One) flag_partial_[static_cast<std::size_t>(u)] = 0;
+      }
+    }
+  }
+
+  // Downward broadcast: level ℓ sends netCorrect to children at round ℓ−1.
+  c.net_correct[static_cast<std::size_t>(tree.root)] =
+      flag_partial_[static_cast<std::size_t>(tree.root)] == 1;
+  for (long r = 0; r < d - 1; ++r) {
+    for (PartyId u = 0; u < c.n; ++u) {
+      const int level = tree.level[static_cast<std::size_t>(u)];
+      if (level - 1 == r && !tree.is_leaf(u)) {
+        for (const PartyId child : tree.children[static_cast<std::size_t>(u)]) {
+          const int l = tree.parent_link[static_cast<std::size_t>(child)];
+          c.wire_out.set(static_cast<std::size_t>(c.ep(u, l)),
+                         c.net_correct[static_cast<std::size_t>(u)] ? Sym::One : Sym::Zero);
+        }
+      }
+    }
+    c.step(iteration, Phase::FlagPassing);
+    for (PartyId u = 0; u < c.n; ++u) {
+      const int level = tree.level[static_cast<std::size_t>(u)];
+      if (level - 2 == r) {  // our parent (level-1) sent this round
+        const int l = tree.parent_link[static_cast<std::size_t>(u)];
+        const Sym got = c.wire_in.get(static_cast<std::size_t>(SimCore::in_dlink(c.ep(u, l))));
+        c.net_correct[static_cast<std::size_t>(u)] =
+            (got == Sym::One) && c.status[static_cast<std::size_t>(u)] == 1;  // Alg. 3 line 19
+      }
+    }
+  }
+}
+
+// ----------------------------------------------------------- SimulationExec
+
+SimulationExec::SimulationExec(SimCore& core) : c_(&core) {
+  const std::size_t eps = static_cast<std::size_t>(core.topo->num_dlinks());
+  partner_idle_.assign(eps, 0);
+  simulating_.assign(eps, 0);
+  chunk_index_.assign(eps, 0);
+  cursor_.assign(eps, 0);
+  buffer_.resize(eps);
+  folds_.resize(static_cast<std::size_t>(core.n));
+}
+
+Sym SimulationExec::wire_sent_value(const std::vector<FoldEvent>& folds, int slot_idx) {
+  for (const FoldEvent& e : folds) {
+    if (e.slot_idx == slot_idx) return e.sym;
+  }
+  GKR_ASSERT_MSG(false, "own send not found in fold queue");
+  return Sym::None;
+}
+
+void SimulationExec::run(int iteration) {
+  SimCore& c = *c_;
+  const long sim_rounds = c.plan->sim_rounds();
+  bool any_simulated = false;
+
+  // ⊥ round (Algorithm 1 lines 16 / 23).
+  for (PartyId u = 0; u < c.n; ++u) {
+    if (!c.net_correct[static_cast<std::size_t>(u)]) {
+      for (int l : c.topo->links_of(u)) {
+        c.wire_out.set(static_cast<std::size_t>(c.ep(u, l)), Sym::Bot);
+      }
+    }
+  }
+  c.step(iteration, Phase::Simulation);
+  for (PartyId u = 0; u < c.n; ++u) {
+    for (int l : c.topo->links_of(u)) {
+      const int e = c.ep(u, l);
+      partner_idle_[static_cast<std::size_t>(e)] =
+          c.wire_in.get(static_cast<std::size_t>(SimCore::in_dlink(e))) == Sym::Bot;
+      simulating_[static_cast<std::size_t>(e)] = 0;
+    }
+  }
+
+  // Set up chunk walks for simulating parties.
+  for (PartyId u = 0; u < c.n; ++u) {
+    if (!c.net_correct[static_cast<std::size_t>(u)]) continue;
+    if (c.replay_dirty[static_cast<std::size_t>(u)]) {
+      c.rebuild_replayer(u);
+    }
+    bool aligned = true;
+    int first_chunk = -1;
+    for (int l : c.topo->links_of(u)) {
+      const std::size_t e = static_cast<std::size_t>(c.ep(u, l));
+      simulating_[e] = partner_idle_[e] ? 0 : 1;
+      chunk_index_[e] = c.tr[e].chunks();
+      cursor_[e] = 0;
+      buffer_[e].clear();
+      if (first_chunk < 0) first_chunk = chunk_index_[e];
+      if (chunk_index_[e] != first_chunk || !simulating_[e]) aligned = false;
+      if (simulating_[e]) any_simulated = true;
+    }
+    // Any desync or skipped link leaves the live automaton out of step with
+    // the transcripts: rebuild before the next simulated chunk.
+    if (!aligned) c.replay_dirty[static_cast<std::size_t>(u)] = 1;
+  }
+
+  // Chunk body: fixed number of rounds; each party walks its per-link slot
+  // lists (peek sends from the pre-round state, then fold in slot order).
+  for (long lr = 0; lr < sim_rounds - 1; ++lr) {
+    for (auto& f : folds_) f.clear();
+    // Pass A: peek and transmit all sends of this local round.
+    for (PartyId u = 0; u < c.n; ++u) {
+      if (!c.net_correct[static_cast<std::size_t>(u)]) continue;
+      for (int l : c.topo->links_of(u)) {
+        const std::size_t e = static_cast<std::size_t>(c.ep(u, l));
+        if (!simulating_[e]) continue;
+        const Chunk& chunk = c.proto->chunk(chunk_index_[e]);
+        const auto& list = chunk.by_link[static_cast<std::size_t>(l)];
+        for (std::size_t cur = cursor_[e]; cur < list.size(); ++cur) {
+          const int slot_idx = list[cur];
+          const ChunkSlot& cs = chunk.slots[static_cast<std::size_t>(slot_idx)];
+          if (cs.local_round != static_cast<int>(lr)) break;
+          if (c.topo->dlink_sender(2 * cs.link + cs.dir) != u) continue;
+          const bool bit = c.replayers[static_cast<std::size_t>(u)]->peek_send(cs);
+          c.wire_out.set(static_cast<std::size_t>(2 * cs.link + cs.dir), bit_to_sym(bit));
+          folds_[static_cast<std::size_t>(u)].push_back(FoldEvent{slot_idx, &cs, bit_to_sym(bit)});
+        }
+      }
+    }
+    c.step(iteration, Phase::Simulation);
+    // Pass B: collect receives, fold everything in slot order, fill buffers.
+    for (PartyId u = 0; u < c.n; ++u) {
+      if (!c.net_correct[static_cast<std::size_t>(u)]) continue;
+      for (int l : c.topo->links_of(u)) {
+        const std::size_t e = static_cast<std::size_t>(c.ep(u, l));
+        if (!simulating_[e]) continue;
+        const Chunk& chunk = c.proto->chunk(chunk_index_[e]);
+        const auto& list = chunk.by_link[static_cast<std::size_t>(l)];
+        while (cursor_[e] < list.size()) {
+          const int slot_idx = list[cursor_[e]];
+          const ChunkSlot& cs = chunk.slots[static_cast<std::size_t>(slot_idx)];
+          if (cs.local_round != static_cast<int>(lr)) break;
+          const int dlink = 2 * cs.link + cs.dir;
+          if (c.topo->dlink_sender(dlink) == u) {
+            // Our own send: the buffer records what we put on the wire.
+            // (The fold event was queued in pass A.)
+            buffer_[e].push_back(wire_sent_value(folds_[static_cast<std::size_t>(u)], slot_idx));
+          } else {
+            const Sym got = c.wire_in.get(static_cast<std::size_t>(dlink));
+            buffer_[e].push_back(got);
+            folds_[static_cast<std::size_t>(u)].push_back(FoldEvent{slot_idx, &cs, got});
+          }
+          ++cursor_[e];
+        }
+      }
+      auto& f = folds_[static_cast<std::size_t>(u)];
+      std::sort(f.begin(), f.end(), [](const FoldEvent& x, const FoldEvent& y) {
+        return x.slot_idx != y.slot_idx ? x.slot_idx < y.slot_idx : x.cs->link < y.cs->link;
+      });
+      for (const FoldEvent& ev : f) c.replayers[static_cast<std::size_t>(u)]->fold(*ev.cs, ev.sym);
+    }
+  }
+
+  // Append collected chunk records.
+  for (PartyId u = 0; u < c.n; ++u) {
+    if (!c.net_correct[static_cast<std::size_t>(u)]) continue;
+    for (int l : c.topo->links_of(u)) {
+      const std::size_t e = static_cast<std::size_t>(c.ep(u, l));
+      if (!simulating_[e]) continue;
+      const Chunk& chunk = c.proto->chunk(chunk_index_[e]);
+      GKR_ASSERT(buffer_[e].size() == chunk.by_link[static_cast<std::size_t>(l)].size());
+      c.tr[e].append_chunk(std::move(buffer_[e]));
+      buffer_[e] = LinkChunkRecord{};
+    }
+  }
+  if (c.cfg->record_trace && !c.result->trace.empty()) {
+    c.result->trace.back().simulated = any_simulated;
+  }
+}
+
+// --------------------------------------------------------------- RewindExec
+
+RewindExec::RewindExec(SimCore& core) : c_(&core) {
+  already_rewound_.assign(static_cast<std::size_t>(core.topo->num_dlinks()), 0);
+}
+
+void RewindExec::run(int iteration) {
+  SimCore& c = *c_;
+  if (!c.cfg->enable_rewind_phase) return;
+  std::fill(already_rewound_.begin(), already_rewound_.end(), 0);
+  const long rewind_rounds = c.plan->rewind_rounds();
+  for (long r = 0; r < rewind_rounds; ++r) {
+    for (PartyId u = 0; u < c.n; ++u) {
+      const int min_chunk = c.min_chunks(u);
+      for (int l : c.topo->links_of(u)) {
+        const std::size_t e = static_cast<std::size_t>(c.ep(u, l));
+        if (c.mp[e].status() == MpStatus::MeetingPoints || already_rewound_[e]) continue;
+        if (c.tr[e].chunks() > min_chunk) {
+          c.wire_out.set(e, Sym::One);
+          c.tr[e].truncate(c.tr[e].chunks() - 1);
+          already_rewound_[e] = 1;
+          c.replay_dirty[static_cast<std::size_t>(u)] = 1;
+          ++c.result->rewinds_sent;
+          ++c.result->rewind_truncations;
+        }
+      }
+    }
+    c.step(iteration, Phase::Rewind);
+    for (PartyId u = 0; u < c.n; ++u) {
+      for (int l : c.topo->links_of(u)) {
+        const std::size_t e = static_cast<std::size_t>(c.ep(u, l));
+        const Sym got = c.wire_in.get(static_cast<std::size_t>(SimCore::in_dlink(static_cast<int>(e))));
+        if (got != Sym::One) continue;  // only an explicit rewind request
+        if (c.mp[e].status() == MpStatus::MeetingPoints || already_rewound_[e]) continue;
+        if (c.tr[e].chunks() == 0) continue;
+        c.tr[e].truncate(c.tr[e].chunks() - 1);
+        already_rewound_[e] = 1;
+        c.replay_dirty[static_cast<std::size_t>(u)] = 1;
+        ++c.result->rewind_truncations;
+      }
+    }
+  }
+}
+
+}  // namespace gkr

@@ -1,0 +1,152 @@
+// Per-phase executors of the coded simulation (DESIGN.md §8).
+//
+// CodedSimulation::Impl used to be one ~800-line struct holding every phase's
+// state in per-party/per-link structs. It is now a shared SimCore — the
+// party- and endpoint-local state in structure-of-arrays form, the packed
+// wire, and the round stepper — plus one executor per phase that owns exactly
+// the scratch its phase needs:
+//
+//   MeetingPointsExec — the 3τ-round hash exchange + state machine step
+//   FlagPassingExec   — statusᵤ and the convergecast/broadcast over the tree
+//   SimulationExec    — the ⊥ round and one chunk of Π per iteration
+//   RewindExec        — the rewind wave (Algorithm 1 lines 25–40)
+//
+// An *endpoint* is a (party, link) incidence, indexed by its OUTGOING
+// directed link id (topology.dlink_from(link, party)), so endpoint arrays are
+// flat [2m] and wire addressing is index arithmetic: endpoint e sends on
+// dlink e and receives on dlink e^1. Every executor preserves the behavior of
+// the monolithic implementation bit for bit — counters, traces, and
+// SimulationResult fields included.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "core/config.h"
+#include "core/meeting_points.h"
+#include "core/transcript.h"
+#include "net/round_engine.h"
+#include "net/round_plan.h"
+#include "net/spanning_tree.h"
+#include "proto/chunking.h"
+#include "proto/replay.h"
+#include "util/packed_symvec.h"
+
+namespace gkr {
+
+struct SimulationResult;
+
+// Shared state of one coded run. Owned by CodedSimulation::Impl; executors
+// hold a pointer and mutate it through their run() methods.
+struct SimCore {
+  // Immutables (set once by the owner).
+  const ChunkedProtocol* proto = nullptr;
+  const Topology* topo = nullptr;
+  const SpanningTree* tree = nullptr;
+  const SchemeConfig* cfg = nullptr;
+  const RoundPlan* plan = nullptr;
+  RoundEngine* engine = nullptr;
+  SimulationResult* result = nullptr;
+  int n = 0, m = 0, tau = 0;
+
+  // Wire state (packed, indexed by directed link) and the round cursor.
+  PackedSymVec wire_out, wire_in;
+  long round = 0;
+
+  // Per-party state, SoA [n].
+  std::vector<std::unique_ptr<PartyReplayer>> replayers;
+  std::vector<std::uint8_t> replay_dirty;
+  std::vector<std::uint8_t> status;       // statusᵤ (Algorithm 1 lines 6–13)
+  std::vector<std::uint8_t> net_correct;  // netCorrectᵤ
+
+  // Per-endpoint state, SoA [2m], indexed by outgoing dlink.
+  std::vector<LinkTranscript> tr;
+  std::vector<MeetingPointsState> mp;
+  std::vector<std::unique_ptr<SeedSource>> seeds;  // null ⇒ the shared CRS
+  const SeedSource* crs = nullptr;                 // CRS variants share this
+
+  // Allocate the SoA arrays once the immutables are in place.
+  void init();
+
+  // Endpoint of party u on link l (== the dlink u sends on).
+  int ep(PartyId u, int l) const { return topo->dlink_from(l, u); }
+  // The dlink endpoint e receives on: the opposite direction of its link.
+  static int in_dlink(int e) { return e ^ 1; }
+  static int link_of(int e) { return e / 2; }
+
+  const SeedSource& seeds_of(int e) const {
+    return seeds[static_cast<std::size_t>(e)] ? *seeds[static_cast<std::size_t>(e)] : *crs;
+  }
+
+  // One engine round; clears wire_out afterwards.
+  void step(int iteration, Phase phase);
+
+  int min_chunks(PartyId u) const;
+  void rebuild_replayer(PartyId u);
+};
+
+// Meeting points (§3.1(ii)): prepare per-endpoint messages, audit ground-truth
+// hash collisions, ship 3τ bits, process the peer messages.
+class MeetingPointsExec {
+ public:
+  explicit MeetingPointsExec(SimCore& core);
+  void run(int iteration);
+
+ private:
+  SimCore* c_;
+  std::vector<MpMessage> outgoing_;  // [2m]
+  std::vector<Sym> recv_;            // [2m × 3τ], endpoint-major
+};
+
+// Flag passing (Algorithm 3): statusᵤ, upward convergecast, downward
+// broadcast over the BFS tree.
+class FlagPassingExec {
+ public:
+  explicit FlagPassingExec(SimCore& core);
+  void compute_status();
+  void run(int iteration);
+
+ private:
+  SimCore* c_;
+  std::vector<std::uint8_t> flag_partial_;  // [n] convergecast accumulator
+};
+
+// Simulation phase: the ⊥-listen round plus one chunk of Π walked slot by
+// slot (peek sends from pre-round state, fold in slot order).
+class SimulationExec {
+ public:
+  explicit SimulationExec(SimCore& core);
+  void run(int iteration);
+
+ private:
+  struct FoldEvent {
+    int slot_idx;
+    const ChunkSlot* cs;
+    Sym sym;
+  };
+
+  static Sym wire_sent_value(const std::vector<FoldEvent>& folds, int slot_idx);
+
+  SimCore* c_;
+  // Per-endpoint chunk-walk scratch, SoA [2m].
+  std::vector<std::uint8_t> partner_idle_;
+  std::vector<std::uint8_t> simulating_;
+  std::vector<int> chunk_index_;
+  std::vector<std::size_t> cursor_;          // position in chunk.by_link[link]
+  std::vector<LinkChunkRecord> buffer_;      // record being collected
+  std::vector<std::vector<FoldEvent>> folds_;  // [n]
+};
+
+// Rewind wave: n rounds of "truncate one chunk and tell the peer".
+class RewindExec {
+ public:
+  explicit RewindExec(SimCore& core);
+  void run(int iteration);
+
+ private:
+  SimCore* c_;
+  std::vector<std::uint8_t> already_rewound_;  // [2m] once-per-iteration latch
+};
+
+}  // namespace gkr

@@ -70,6 +70,9 @@ bool decode_exact(std::array<int, kSecdedBits> bits, std::uint8_t* data) {
   }
   if (parity == 1) {
     // Odd number of flips with nonzero syndrome: assume single, correct it.
+    // A syndrome that is no valid bit position (13..15) can only come from
+    // ≥ 3 flips — detected, not correctable.
+    if (syndrome >= kSecdedBits) return false;
     bits[static_cast<std::size_t>(syndrome)] ^= 1;
     *data = extract_data(bits);
     return true;

@@ -13,6 +13,8 @@
 #include <cstdint>
 #include <vector>
 
+#include "util/packed_symvec.h"
+
 namespace gkr {
 
 enum class Sym : std::int8_t {
@@ -21,6 +23,10 @@ enum class Sym : std::int8_t {
   Bot = 2,   // the ⊥ "not simulating" marker (Algorithm 1, line 23)
   None = 3,  // ∗: silence / no transmission
 };
+
+// util/packed_symvec.h relies on None's underlying value (its padding and
+// word-parallel helpers treat 0b11 cells as silence).
+static_assert(static_cast<std::int8_t>(Sym::None) == kSymNoneValue);
 
 inline bool is_message(Sym s) noexcept { return s != Sym::None; }
 inline Sym bit_to_sym(bool b) noexcept { return b ? Sym::One : Sym::Zero; }
@@ -59,9 +65,9 @@ class ChannelAdversary {
  public:
   virtual ~ChannelAdversary() = default;
 
-  // Called once per round before any delivery, with the full wire state
-  // (indexed by directed link). Default: no-op.
-  virtual void begin_round(const RoundContext& ctx, const std::vector<Sym>& sent) {
+  // Called once per round before any delivery, with the full packed wire
+  // state (indexed by directed link). Default: no-op.
+  virtual void begin_round(const RoundContext& ctx, const PackedSymVec& sent) {
     (void)ctx;
     (void)sent;
   }
@@ -69,12 +75,46 @@ class ChannelAdversary {
   // Transform the symbol on one directed link. Return `sent` unchanged for a
   // clean delivery.
   virtual Sym deliver(const RoundContext& ctx, int dlink, Sym sent) = 0;
+
+  // Batched delivery of one whole round. `wire` arrives as a copy of `sent`
+  // and leaves holding what the receivers see; implementations mutate only
+  // the cells they corrupt. The default falls back to the scalar deliver()
+  // per directed link, so every adversary is automatically batch-capable;
+  // overrides MUST deliver exactly what the scalar path would (the
+  // equivalence suite in tests/noise_test.cpp pins this contract).
+  virtual void deliver_round(const RoundContext& ctx, const PackedSymVec& sent,
+                             PackedSymVec& wire) {
+    for (std::size_t dl = 0; dl < sent.size(); ++dl) {
+      wire.set(dl, deliver(ctx, static_cast<int>(dl), sent.get(dl)));
+    }
+  }
 };
 
 // The identity adversary (noiseless channel).
 class NoNoise final : public ChannelAdversary {
  public:
   Sym deliver(const RoundContext&, int, Sym sent) override { return sent; }
+  // `wire` already equals `sent`.
+  void deliver_round(const RoundContext&, const PackedSymVec&, PackedSymVec&) override {}
+};
+
+// Adapter that hides an adversary's deliver_round override, forcing the
+// scalar per-symbol fallback path. Used by the batched-vs-scalar equivalence
+// tests and by bench_engine_throughput to reproduce the pre-batching
+// engine's per-link dispatch cost.
+class ScalarizeAdversary final : public ChannelAdversary {
+ public:
+  explicit ScalarizeAdversary(ChannelAdversary& inner) : inner_(&inner) {}
+
+  void begin_round(const RoundContext& ctx, const PackedSymVec& sent) override {
+    inner_->begin_round(ctx, sent);
+  }
+  Sym deliver(const RoundContext& ctx, int dlink, Sym sent) override {
+    return inner_->deliver(ctx, dlink, sent);
+  }
+
+ private:
+  ChannelAdversary* inner_;
 };
 
 }  // namespace gkr

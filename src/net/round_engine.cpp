@@ -4,35 +4,38 @@
 
 namespace gkr {
 
+void RoundEngine::step(const RoundContext& ctx, const PackedSymVec& sent,
+                       PackedSymVec& received) {
+  const std::size_t d = static_cast<std::size_t>(topo_->num_dlinks());
+  GKR_ASSERT(sent.size() == d);
+  received.copy_from(sent);
+
+  ++counters_.rounds;
+  const std::size_t phase = static_cast<std::size_t>(ctx.phase);
+  const long tx = sent.count_messages();
+  counters_.transmissions += tx;
+  counters_.transmissions_by_phase[phase] += tx;
+
+  adversary_->begin_round(ctx, sent);
+  adversary_->deliver_round(ctx, sent, received);
+
+  const SymDiffCounts diff = PackedSymVec::classify(sent, received);
+  counters_.corruptions += diff.corruptions;
+  counters_.corruptions_by_phase[phase] += diff.corruptions;
+  counters_.substitutions += diff.substitutions;
+  counters_.deletions += diff.deletions;
+  counters_.insertions += diff.insertions;
+}
+
 void RoundEngine::step(const RoundContext& ctx, const std::vector<Sym>& sent,
                        std::vector<Sym>& received) {
   const std::size_t d = static_cast<std::size_t>(topo_->num_dlinks());
   GKR_ASSERT(sent.size() == d);
-  received.assign(d, Sym::None);
-
-  ++counters_.rounds;
-  adversary_->begin_round(ctx, sent);
-
-  const std::size_t phase = static_cast<std::size_t>(ctx.phase);
-  for (std::size_t dl = 0; dl < d; ++dl) {
-    const Sym in = sent[dl];
-    if (is_message(in)) {
-      ++counters_.transmissions;
-      ++counters_.transmissions_by_phase[phase];
-    }
-    const Sym out = adversary_->deliver(ctx, static_cast<int>(dl), in);
-    received[dl] = out;
-    if (out == in) continue;
-    ++counters_.corruptions;
-    ++counters_.corruptions_by_phase[phase];
-    if (is_message(in) && is_message(out)) {
-      ++counters_.substitutions;
-    } else if (is_message(in)) {
-      ++counters_.deletions;
-    } else {
-      ++counters_.insertions;
-    }
-  }
+  scratch_sent_.assign(d);
+  for (std::size_t i = 0; i < d; ++i) scratch_sent_.set(i, sent[i]);
+  step(ctx, scratch_sent_, scratch_recv_);
+  received.resize(d);
+  for (std::size_t i = 0; i < d; ++i) received[i] = scratch_recv_.get(i);
 }
 
 }  // namespace gkr

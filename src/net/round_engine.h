@@ -2,6 +2,12 @@
 // channel adversary and keeps the ground-truth accounting the analysis needs
 // (per-phase transmissions and corruptions, CC of the instance, noise
 // fraction μ = #corruptions / CC as defined in §2.1).
+//
+// Execution is batched (DESIGN.md §8): one ChannelAdversary::deliver_round
+// call per round over the packed wire state, with corruption classification
+// done word-parallel by diffing sent vs delivered words — no per-link virtual
+// dispatch or branching on the hot path. A std::vector<Sym> overload remains
+// for callers that are not throughput-sensitive.
 #pragma once
 
 #include <array>
@@ -9,6 +15,8 @@
 
 #include "net/channel.h"
 #include "net/topology.h"
+#include "util/packed_symvec.h"
+#include "util/stats.h"
 
 namespace gkr {
 
@@ -23,21 +31,28 @@ struct EngineCounters {
   std::array<long, kNumPhases> corruptions_by_phase{};
 
   double noise_fraction() const noexcept {
-    return transmissions == 0 ? 0.0
-                              : static_cast<double>(corruptions) /
-                                    static_cast<double>(transmissions);
+    return safe_ratio(static_cast<double>(corruptions), static_cast<double>(transmissions));
   }
 };
 
 class RoundEngine {
  public:
   RoundEngine(const Topology& topo, ChannelAdversary& adversary)
-      : topo_(&topo), adversary_(&adversary), wire_(static_cast<std::size_t>(topo.num_dlinks())) {}
+      : topo_(&topo),
+        adversary_(&adversary),
+        scratch_sent_(static_cast<std::size_t>(topo.num_dlinks())),
+        scratch_recv_(static_cast<std::size_t>(topo.num_dlinks())) {}
 
   // Run one synchronous round: `sent` and `received` are indexed by directed
   // link; both must have size num_dlinks(). `sent` is what honest parties put
   // on the wire (Sym::None = silent); `received` is filled with what arrives
   // after adversarial interference.
+  //
+  // Transmissions are accounted before delivery, so an adaptive adversary
+  // budgeting against the counters sees the CC including the round in flight.
+  void step(const RoundContext& ctx, const PackedSymVec& sent, PackedSymVec& received);
+
+  // Unpacked convenience overload (packs, steps, unpacks).
   void step(const RoundContext& ctx, const std::vector<Sym>& sent, std::vector<Sym>& received);
 
   const EngineCounters& counters() const noexcept { return counters_; }
@@ -46,7 +61,7 @@ class RoundEngine {
  private:
   const Topology* topo_;
   ChannelAdversary* adversary_;
-  std::vector<Sym> wire_;
+  PackedSymVec scratch_sent_, scratch_recv_;  // for the unpacked overload
   EngineCounters counters_;
 };
 

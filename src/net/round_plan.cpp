@@ -1,0 +1,46 @@
+#include "net/round_plan.h"
+
+namespace gkr {
+
+RoundPlan RoundPlan::build(const Topology& topo, const SpanningTree& tree, long exchange_rounds,
+                           long mp_rounds, long flag_rounds, long sim_rounds, long rewind_rounds,
+                           int iterations) {
+  GKR_ASSERT(exchange_rounds >= 0 && flag_rounds >= 0 && sim_rounds >= 0 &&
+             rewind_rounds >= 0 && iterations >= 0);
+  // mp is the one phase every configuration keeps (3τ ≥ 3 rounds); a zero
+  // cycle length would make phase_of's modulo undefined.
+  GKR_ASSERT(mp_rounds > 0);
+  RoundPlan plan;
+  plan.exchange_ = exchange_rounds;
+  plan.mp_ = mp_rounds;
+  plan.flag_ = flag_rounds;
+  plan.sim_ = sim_rounds;
+  plan.rewind_ = rewind_rounds;
+  plan.iterations_ = iterations;
+
+  const std::size_t d = static_cast<std::size_t>(topo.num_dlinks());
+  for (BitVec& mask : plan.active_) mask.resize(d, false);
+
+  // Randomness exchange: the smaller endpoint (a) ships to b on every link.
+  for (int l = 0; l < topo.num_links(); ++l) {
+    plan.active_[static_cast<std::size_t>(Phase::RandomnessExchange)].set(
+        static_cast<std::size_t>(topo.dlink_from(l, topo.link(l).a)), true);
+  }
+  // Flag passing: both directions of every tree edge (up-convergecast, then
+  // down-broadcast).
+  for (PartyId u = 0; u < topo.num_nodes(); ++u) {
+    const int l = tree.parent_link[static_cast<std::size_t>(u)];
+    if (l < 0) continue;
+    plan.active_[static_cast<std::size_t>(Phase::FlagPassing)].set(
+        static_cast<std::size_t>(2 * l), true);
+    plan.active_[static_cast<std::size_t>(Phase::FlagPassing)].set(
+        static_cast<std::size_t>(2 * l + 1), true);
+  }
+  // Meeting points, simulation, rewind, baseline: every directed link.
+  for (Phase p : {Phase::MeetingPoints, Phase::Simulation, Phase::Rewind, Phase::Baseline}) {
+    plan.active_[static_cast<std::size_t>(p)] = BitVec(d, true);
+  }
+  return plan;
+}
+
+}  // namespace gkr

@@ -1,0 +1,83 @@
+// The precomputed public timetable of a coded run (DESIGN.md §8).
+//
+// Algorithm 1's schedule is fixed before the first round: a randomness-
+// exchange prologue, then `iterations` repetitions of the four-phase cycle
+// meeting-points → flag-passing → simulation → rewind, each phase a fixed
+// number of rounds known to all parties. RoundPlan captures that timetable
+// once — phase and iteration of every round in O(1), plus the per-phase
+// active-link masks (which directed links the honest schedule may drive) —
+// replacing the per-call recomputation that used to live in
+// CodedSimulation::phase_of_round. The §2.1 model makes the timetable public,
+// so oblivious adversaries and noise-plan factories may legitimately plan
+// against everything in here.
+#pragma once
+
+#include <array>
+
+#include "net/channel.h"
+#include "net/spanning_tree.h"
+#include "net/topology.h"
+#include "util/bitvec.h"
+
+namespace gkr {
+
+class RoundPlan {
+ public:
+  RoundPlan() = default;
+
+  // Segment lengths are in rounds; any of them (except mp) may be zero when
+  // the corresponding machinery is disabled by the config.
+  static RoundPlan build(const Topology& topo, const SpanningTree& tree, long exchange_rounds,
+                         long mp_rounds, long flag_rounds, long sim_rounds, long rewind_rounds,
+                         int iterations);
+
+  long prologue_rounds() const noexcept { return exchange_; }
+  long mp_rounds() const noexcept { return mp_; }
+  long flag_rounds() const noexcept { return flag_; }
+  long sim_rounds() const noexcept { return sim_; }
+  long rewind_rounds() const noexcept { return rewind_; }
+  int iterations() const noexcept { return iterations_; }
+
+  long rounds_per_iteration() const noexcept { return mp_ + flag_ + sim_ + rewind_; }
+  long total_rounds() const noexcept {
+    return exchange_ + static_cast<long>(iterations_) * rounds_per_iteration();
+  }
+
+  Phase phase_of(long round) const noexcept {
+    // A default-constructed plan has no iteration cycle; everything is
+    // prologue (build() guarantees mp_ > 0 for real plans).
+    if (round < exchange_ || rounds_per_iteration() == 0) return Phase::RandomnessExchange;
+    const long within = (round - exchange_) % rounds_per_iteration();
+    if (within < mp_) return Phase::MeetingPoints;
+    if (within < mp_ + flag_) return Phase::FlagPassing;
+    if (within < mp_ + flag_ + sim_) return Phase::Simulation;
+    return Phase::Rewind;
+  }
+
+  // Coding-scheme iteration the round belongs to (0 during the prologue, and
+  // clamped to the last iteration for rounds past the timetable).
+  int iteration_of(long round) const noexcept {
+    if (round < exchange_ || iterations_ == 0 || rounds_per_iteration() == 0) return 0;
+    const long it = (round - exchange_) / rounds_per_iteration();
+    return static_cast<int>(it < iterations_ ? it : iterations_ - 1);
+  }
+
+  RoundContext context_of(long round) const noexcept {
+    return RoundContext{round, iteration_of(round), phase_of(round)};
+  }
+
+  // Directed links the honest schedule may put symbols on during `phase`
+  // (indexed by dlink). The adversary is NOT bound by this — insertions can
+  // hit any cell — which is why the engine never consults it for accounting;
+  // it exists for planners and schedule-aware tooling.
+  const BitVec& active_dlinks(Phase phase) const noexcept {
+    return active_[static_cast<std::size_t>(phase)];
+  }
+
+ private:
+  long exchange_ = 0, mp_ = 0, flag_ = 0, sim_ = 0, rewind_ = 0;
+  int iterations_ = 0;
+  std::array<BitVec, kNumPhases> active_{};
+};
+
+}  // namespace gkr

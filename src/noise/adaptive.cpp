@@ -40,7 +40,7 @@ Sym EchoMpAttacker::deliver(const RoundContext& ctx, int dlink, Sym sent) {
   GKR_ASSERT(sent_ != nullptr);
   // The opposite direction of the same link: what the receiver itself sent.
   const int mirror = (dlink % 2 == 0) ? dlink + 1 : dlink - 1;
-  const Sym echo = (*sent_)[static_cast<std::size_t>(mirror)];
+  const Sym echo = sent_->get(static_cast<std::size_t>(mirror));
   if (echo == sent) return sent;  // already identical: free ride
   if (!budget_.can_spend()) return sent;
   budget_.spend();

@@ -7,6 +7,11 @@
 // Budgeting: adaptive attackers spend against a *relative* budget
 // rate × (transmissions so far), read live from the engine counters, mirroring
 // the paper's relative noise fraction for adaptive settings (§2.1, [AGS16]).
+//
+// Adaptive adversaries deliberately stay on the scalar deliver() path — the
+// default ChannelAdversary::deliver_round loops it per directed link —
+// because their decisions are stateful per cell (budget checks, rng draws in
+// wire order). The batched engine still wins on accounting and wire packing.
 #pragma once
 
 #include <vector>
@@ -93,7 +98,7 @@ class EchoMpAttacker final : public ChannelAdversary {
   EchoMpAttacker(const EngineCounters* counters, double rate, int target_link)
       : budget_(counters, rate), target_link_(target_link) {}
 
-  void begin_round(const RoundContext& ctx, const std::vector<Sym>& sent) override {
+  void begin_round(const RoundContext& ctx, const PackedSymVec& sent) override {
     (void)ctx;
     sent_ = &sent;
   }
@@ -106,7 +111,7 @@ class EchoMpAttacker final : public ChannelAdversary {
  private:
   AdaptiveBudget budget_;
   int target_link_;
-  const std::vector<Sym>* sent_ = nullptr;
+  const PackedSymVec* sent_ = nullptr;
 };
 
 // Random adaptive vandal: corrupts uniformly random live traffic subject to

@@ -16,14 +16,29 @@ ObliviousAdversary::ObliviousAdversary(NoisePlan plan, ObliviousMode mode)
     }
     pattern_[key(e.round, e.dlink)] = e.value;
   }
+  // Group the final pattern (duplicates already resolved, last entry wins) by
+  // round for the batched path.
+  for (const auto& [k, value] : pattern_) {
+    by_round_[static_cast<long>(k >> 20)].emplace_back(static_cast<int>(k & ((1u << 20) - 1)),
+                                                       value);
+  }
 }
 
 Sym ObliviousAdversary::deliver(const RoundContext& ctx, int dlink, Sym sent) {
   const auto it = pattern_.find(key(ctx.round, dlink));
   if (it == pattern_.end()) return sent;
-  if (mode_ == ObliviousMode::Fixing) return static_cast<Sym>(it->second);
-  const int idx = static_cast<int>(sent);
-  return static_cast<Sym>((idx + it->second) % 4);
+  return apply(sent, it->second);
+}
+
+void ObliviousAdversary::deliver_round(const RoundContext& ctx, const PackedSymVec& sent,
+                                       PackedSymVec& wire) {
+  const auto it = by_round_.find(ctx.round);
+  if (it == by_round_.end()) return;
+  for (const auto& [dlink, value] : it->second) {
+    const std::size_t dl = static_cast<std::size_t>(dlink);
+    if (dl >= sent.size()) continue;  // plan built for a wider topology
+    wire.set(dl, apply(sent.get(dl), value));
+  }
 }
 
 }  // namespace gkr

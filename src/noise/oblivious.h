@@ -40,6 +40,12 @@ class ObliviousAdversary final : public ChannelAdversary {
 
   Sym deliver(const RoundContext& ctx, int dlink, Sym sent) override;
 
+  // Batched path: the pattern is pre-grouped by round at construction, so a
+  // round's delivery touches only its corrupted cells (clean rounds are one
+  // hash probe) instead of probing the pattern per directed link.
+  void deliver_round(const RoundContext& ctx, const PackedSymVec& sent,
+                     PackedSymVec& wire) override;
+
   ObliviousMode mode() const noexcept { return mode_; }
   std::size_t plan_size() const noexcept { return plan_entries_; }
 
@@ -48,7 +54,15 @@ class ObliviousAdversary final : public ChannelAdversary {
     return (static_cast<std::uint64_t>(round) << 20) | static_cast<std::uint64_t>(dlink);
   }
 
+  Sym apply(Sym sent, std::uint8_t value) const noexcept {
+    if (mode_ == ObliviousMode::Fixing) return static_cast<Sym>(value);
+    return static_cast<Sym>((static_cast<int>(sent) + value) % 4);
+  }
+
   std::unordered_map<std::uint64_t, std::uint8_t> pattern_;
+  // round → corrupted cells of that round, derived from `pattern_` so both
+  // delivery paths apply the exact same final values.
+  std::unordered_map<long, std::vector<std::pair<int, std::uint8_t>>> by_round_;
   ObliviousMode mode_;
   std::size_t plan_entries_;
 };

@@ -2,7 +2,18 @@
 // of [RS94] extended with insertions and deletions. Budget-free (the noise
 // level is a rate, not a count); used as the "benign" end of the noise
 // spectrum in the experiments.
+//
+// Sampling is counter-based (DESIGN.md §8): the noise at cell
+// (round, dlink) is a pure function of (seed, round, dlink), so cells are
+// i.i.d. across the wire, delivery order is irrelevant, and the scalar
+// deliver() and batched deliver_round() paths produce identical symbols by
+// construction. One mix64 yields the 32-bit Bernoulli rolls of a *pair* of
+// adjacent cells (threshold granularity 2⁻³²), and the batch path rejects
+// clean cells with a single compare, so a round costs ~d/2 mixes + d
+// compares instead of d virtual calls into a sequential generator.
 #pragma once
+
+#include <cstdint>
 
 #include "net/channel.h"
 #include "util/rng.h"
@@ -14,30 +25,77 @@ class StochasticChannel final : public ChannelAdversary {
   // Probabilities per round per directed link: substitution/deletion apply to
   // transmitted symbols, insertion to silent cells.
   StochasticChannel(Rng rng, double p_sub, double p_del, double p_ins)
-      : rng_(rng), p_sub_(p_sub), p_del_(p_del), p_ins_(p_ins) {}
+      : seed_(rng.next_u64()),
+        thr_sub_(prob_threshold(p_sub)),
+        thr_sub_del_(prob_threshold(p_sub + p_del)),
+        thr_ins_(prob_threshold(p_ins)),
+        thr_max_(thr_sub_del_ > thr_ins_ ? thr_sub_del_ : thr_ins_) {}
 
-  Sym deliver(const RoundContext&, int, Sym sent) override {
+  Sym deliver(const RoundContext& ctx, int dlink, Sym sent) override {
+    return transform(cell_roll(round_key(ctx.round), static_cast<std::size_t>(dlink)), sent);
+  }
+
+  void deliver_round(const RoundContext& ctx, const PackedSymVec& sent,
+                     PackedSymVec& wire) override {
+    if (thr_max_ == 0) return;  // noiseless configuration
+    const std::uint64_t rk = round_key(ctx.round);
+    const std::size_t d = sent.size();
+    for (std::size_t dl = 0; dl < d; dl += 2) {
+      const std::uint64_t pair = mix64(rk + (dl >> 1));
+      const std::uint32_t lo = static_cast<std::uint32_t>(pair);
+      if (lo < thr_max_) {
+        const Sym s = sent.get(dl);
+        const Sym t = transform(lo, s);
+        if (t != s) wire.set(dl, t);
+      }
+      const std::uint32_t hi = static_cast<std::uint32_t>(pair >> 32);
+      if (hi < thr_max_ && dl + 1 < d) {
+        const Sym s = sent.get(dl + 1);
+        const Sym t = transform(hi, s);
+        if (t != s) wire.set(dl + 1, t);
+      }
+    }
+  }
+
+ private:
+  // p ↦ the u32 threshold with P[u < thr] = p for uniform 32-bit u.
+  static std::uint32_t prob_threshold(double p) noexcept {
+    if (p <= 0.0) return 0;
+    if (p >= 1.0) return ~0u;
+    return static_cast<std::uint32_t>(p * 4294967296.0 /* 2^32 */);
+  }
+
+  std::uint64_t round_key(long round) const noexcept {
+    return mix64(seed_ ^ static_cast<std::uint64_t>(round));
+  }
+
+  // Cells 2q and 2q+1 split the halves of one mixed word.
+  static std::uint32_t cell_roll(std::uint64_t rk, std::size_t dlink) noexcept {
+    const std::uint64_t pair = mix64(rk + (dlink >> 1));
+    return static_cast<std::uint32_t>((dlink & 1) != 0 ? pair >> 32 : pair);
+  }
+
+  Sym transform(std::uint32_t roll, Sym sent) const noexcept {
     if (is_message(sent)) {
-      const double roll = rng_.next_double();
-      if (roll < p_sub_) {
+      if (roll < thr_sub_) {
         // Substitute with a uniformly random *different* message symbol.
-        const int shift = 1 + static_cast<int>(rng_.next_below(2));
+        const int shift = 1 + static_cast<int>(mix64(roll) & 1ULL);
         return static_cast<Sym>((static_cast<int>(sent) + shift) % 3);
       }
-      if (roll < p_sub_ + p_del_) return Sym::None;
+      if (roll < thr_sub_del_) return Sym::None;
       return sent;
     }
-    if (rng_.next_double() < p_ins_) {
-      return static_cast<Sym>(rng_.next_below(3));  // inject 0, 1 or ⊥
+    if (roll < thr_ins_) {
+      return static_cast<Sym>(mix64(roll) % 3);  // inject 0, 1 or ⊥
     }
     return sent;
   }
 
- private:
-  Rng rng_;
-  double p_sub_;
-  double p_del_;
-  double p_ins_;
+  std::uint64_t seed_;
+  std::uint32_t thr_sub_;
+  std::uint32_t thr_sub_del_;
+  std::uint32_t thr_ins_;
+  std::uint32_t thr_max_;
 };
 
 }  // namespace gkr

@@ -100,7 +100,12 @@ void JsonlSink::consume(const RunRecord& r) {
   line += ",\"rewind_truncations\":" + std::to_string(r.rewind_truncations);
   line += ",\"rewinds_sent\":" + std::to_string(r.rewinds_sent);
   line += ",\"exchange_failures\":" + std::to_string(r.exchange_failures);
-  if (include_timing_) line += ",\"wall_ms\":" + fmt_double(r.wall_ms);
+  line += ",\"rounds\":" + std::to_string(r.rounds);
+  if (include_timing_) {
+    line += ",\"wall_ms\":" + fmt_double(r.wall_ms);
+    line += ",\"rounds_per_sec\":" + fmt_double(r.rounds_per_sec);
+    line += ",\"syms_per_sec\":" + fmt_double(r.syms_per_sec);
+  }
   line += "}\n";
   *out_ << line;
 }
@@ -110,8 +115,8 @@ void CsvSink::begin(const SweepMeta&) {
            "iterations,success,cc_coded,cc_user,cc_chunked,cc_fully_utilized,"
            "blowup_vs_user,blowup_vs_chunked,corruptions,substitutions,deletions,"
            "insertions,noise_fraction,hash_collisions,mp_truncations,"
-           "rewind_truncations,rewinds_sent,exchange_failures";
-  if (include_timing_) *out_ << ",wall_ms";
+           "rewind_truncations,rewinds_sent,exchange_failures,rounds";
+  if (include_timing_) *out_ << ",wall_ms,rounds_per_sec,syms_per_sec";
   *out_ << '\n';
 }
 
@@ -148,7 +153,12 @@ void CsvSink::consume(const RunRecord& r) {
   line += ',' + std::to_string(r.rewind_truncations);
   line += ',' + std::to_string(r.rewinds_sent);
   line += ',' + std::to_string(r.exchange_failures);
-  if (include_timing_) line += ',' + fmt_double(r.wall_ms);
+  line += ',' + std::to_string(r.rounds);
+  if (include_timing_) {
+    line += ',' + fmt_double(r.wall_ms);
+    line += ',' + fmt_double(r.rounds_per_sec);
+    line += ',' + fmt_double(r.syms_per_sec);
+  }
   line += '\n';
   *out_ << line;
 }

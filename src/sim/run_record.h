@@ -58,6 +58,12 @@ struct RunRecord {
   long rewinds_sent = 0;
   int exchange_failures = 0;
 
+  // Engine throughput. `rounds` is deterministic (part of the timetable);
+  // the rates are wall-clock derived and follow the wall_ms opt-in rule.
+  long rounds = 0;            // engine rounds executed
+  double rounds_per_sec = 0.0;
+  double syms_per_sec = 0.0;  // wire cells processed (rounds × dlinks) per sec
+
   // Wall-clock of this run, milliseconds. NOT deterministic — excluded from
   // sink output by default.
   double wall_ms = 0.0;

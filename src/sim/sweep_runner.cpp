@@ -72,6 +72,7 @@ RunRecord SweepRunner::execute(const RunSpec& spec) const {
     rec.noise_fraction = r.noise_fraction;
     rec.transmissions_by_phase = r.counters.transmissions_by_phase;
     rec.corruptions_by_phase = r.counters.corruptions_by_phase;
+    rec.rounds = r.counters.rounds;
   } else {
     CodedSimulation sim(*w.proto, w.inputs, w.reference, w.cfg, adv);
     if (noise.attach) noise.attach(sim.engine_counters());
@@ -93,10 +94,15 @@ RunRecord SweepRunner::execute(const RunSpec& spec) const {
     rec.rewind_truncations = r.rewind_truncations;
     rec.rewinds_sent = r.rewinds_sent;
     rec.exchange_failures = r.exchange_failures;
+    rec.rounds = r.counters.rounds;
   }
 
   rec.wall_ms =
       std::chrono::duration<double, std::milli>(std::chrono::steady_clock::now() - t0).count();
+  const double secs = rec.wall_ms / 1000.0;
+  rec.rounds_per_sec = safe_ratio(static_cast<double>(rec.rounds), secs);
+  rec.syms_per_sec =
+      safe_ratio(static_cast<double>(rec.rounds) * topo->num_dlinks(), secs);
   return rec;
 }
 

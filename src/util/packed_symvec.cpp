@@ -1,0 +1,49 @@
+#include "util/packed_symvec.h"
+
+#include <bit>
+
+namespace gkr {
+
+long PackedSymVec::count_messages() const noexcept {
+  // messages = cells − None cells, counted over full words: padding is None,
+  // so (words × 32 − none) is exact.
+  long none = 0;
+  for (const std::uint64_t w : words_) {
+    none += std::popcount(none_mask(w));
+  }
+  return static_cast<long>(words_.size() * kSymsPerWord) - none;
+}
+
+SymDiffCounts PackedSymVec::classify(const PackedSymVec& sent,
+                                     const PackedSymVec& received) noexcept {
+  GKR_ASSERT(sent.size_ == received.size_);
+  SymDiffCounts out;
+  for (std::size_t i = 0; i < sent.words_.size(); ++i) {
+    const std::uint64_t a = sent.words_[i];
+    const std::uint64_t b = received.words_[i];
+    if (a == b) continue;
+    const std::uint64_t sn = none_mask(a);
+    const std::uint64_t on = none_mask(b);
+    const std::uint64_t x = a ^ b;
+    const std::uint64_t diff = (x | (x >> 1)) & kCellLsb;
+    out.corruptions += std::popcount(diff);
+    out.substitutions += std::popcount(diff & ~sn & ~on);
+    out.deletions += std::popcount(on & ~sn);
+    out.insertions += std::popcount(sn & ~on);
+  }
+  return out;
+}
+
+PackedSymVec PackedSymVec::from_syms(const std::vector<Sym>& syms) {
+  PackedSymVec out(syms.size());
+  for (std::size_t i = 0; i < syms.size(); ++i) out.set(i, syms[i]);
+  return out;
+}
+
+std::vector<Sym> PackedSymVec::to_syms() const {
+  std::vector<Sym> out(size_);
+  for (std::size_t i = 0; i < size_; ++i) out[i] = get(i);
+  return out;
+}
+
+}  // namespace gkr

@@ -1,0 +1,139 @@
+// Packed wire-symbol vector: the 4-symbol wire alphabet {0, 1, ⊥, ∗} at
+// 2 bits per symbol, 32 symbols per 64-bit word.
+//
+// This is the wire-state representation of the batched execution core
+// (DESIGN.md §8): the round engine and the batch adversary API move whole
+// rounds as words, and corruption classification diffs sent vs delivered
+// words instead of branching per link. Encoding is Sym's integer value, so
+// Sym::None (= 3 = 0b11) is the all-ones pair; the words past size() are kept
+// padded with None so every word-parallel helper can run over full words
+// without a tail special case.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "util/assert.h"
+
+namespace gkr {
+
+// Defined in net/channel.h; forward-declared here so the wire container can
+// sit below net in the layering (net/channel.h includes this header).
+enum class Sym : std::int8_t;
+
+// Sym::None's underlying value, usable before net/channel.h completes the
+// enum (channel.h static_asserts the two stay in sync).
+inline constexpr std::int8_t kSymNoneValue = 3;
+
+// Per-word corruption classification of sent vs delivered (§2.1 taxonomy).
+struct SymDiffCounts {
+  long corruptions = 0;
+  long substitutions = 0;
+  long deletions = 0;
+  long insertions = 0;
+};
+
+class PackedSymVec {
+ public:
+  static constexpr std::size_t kSymsPerWord = 32;
+  // Mask selecting the low bit of every 2-bit cell.
+  static constexpr std::uint64_t kCellLsb = 0x5555555555555555ULL;
+
+  PackedSymVec() = default;
+  explicit PackedSymVec(std::size_t n, Sym fill = static_cast<Sym>(kSymNoneValue)) { assign(n, fill); }
+
+  std::size_t size() const noexcept { return size_; }
+  bool empty() const noexcept { return size_ == 0; }
+  std::size_t num_words() const noexcept { return words_.size(); }
+
+  Sym get(std::size_t i) const noexcept {
+    GKR_ASSERT(i < size_);
+    return static_cast<Sym>((words_[i / kSymsPerWord] >> (2 * (i % kSymsPerWord))) & 3ULL);
+  }
+
+  void set(std::size_t i, Sym s) noexcept {
+    GKR_ASSERT(i < size_);
+    const int shift = static_cast<int>(2 * (i % kSymsPerWord));
+    std::uint64_t& w = words_[i / kSymsPerWord];
+    w = (w & ~(3ULL << shift)) | (static_cast<std::uint64_t>(s) << shift);
+  }
+
+  std::uint64_t word(std::size_t w) const noexcept {
+    GKR_ASSERT(w < words_.size());
+    return words_[w];
+  }
+
+  // Overwrite word `w`; bits past size() are forced back to the None padding.
+  void set_word(std::size_t w, std::uint64_t value) noexcept {
+    GKR_ASSERT(w < words_.size());
+    words_[w] = value;
+    if (w + 1 == words_.size()) pad_tail();
+  }
+
+  void assign(std::size_t n, Sym fill = static_cast<Sym>(kSymNoneValue)) {
+    size_ = n;
+    words_.assign((n + kSymsPerWord - 1) / kSymsPerWord, fill_word(fill));
+    pad_tail();
+  }
+
+  // Reset every symbol to `fill` without changing the length.
+  void fill(Sym fill = static_cast<Sym>(kSymNoneValue)) noexcept {
+    for (std::uint64_t& w : words_) w = fill_word(fill);
+    pad_tail();
+  }
+
+  void clear() noexcept {
+    words_.clear();
+    size_ = 0;
+  }
+
+  // Reuse capacity; afterwards *this == other.
+  void copy_from(const PackedSymVec& other) {
+    size_ = other.size_;
+    words_.assign(other.words_.begin(), other.words_.end());
+  }
+
+  bool operator==(const PackedSymVec& other) const noexcept {
+    return size_ == other.size_ && words_ == other.words_;
+  }
+  bool operator!=(const PackedSymVec& other) const noexcept { return !(*this == other); }
+
+  // ------------------------------------------------------ word-parallel ops
+
+  // Mask (at cell LSB positions) of the cells of `w` that hold Sym::None.
+  static std::uint64_t none_mask(std::uint64_t w) noexcept {
+    return w & (w >> 1) & kCellLsb;
+  }
+
+  // Number of message symbols (≠ ∗). Padding cells are None, so whole words
+  // can be counted blindly.
+  long count_messages() const noexcept;
+
+  // Classify every cell where `sent` and `received` disagree. Both vectors
+  // must have the same size; padding agrees by invariant.
+  static SymDiffCounts classify(const PackedSymVec& sent, const PackedSymVec& received) noexcept;
+
+  // std::vector<Sym> interop (tests, compat shims).
+  static PackedSymVec from_syms(const std::vector<Sym>& syms);
+  std::vector<Sym> to_syms() const;
+
+ private:
+  static constexpr std::uint64_t fill_word(Sym s) noexcept {
+    return static_cast<std::uint64_t>(s) * kCellLsb;  // replicate the 2-bit cell
+  }
+
+  // Keep cells past size() at None (0b11) so word-parallel helpers see them
+  // as agreeing silence.
+  void pad_tail() noexcept {
+    const std::size_t used = 2 * (size_ % kSymsPerWord);
+    if (used != 0 && !words_.empty()) {
+      words_.back() |= ~0ULL << used;
+    }
+  }
+
+  std::vector<std::uint64_t> words_;
+  std::size_t size_ = 0;
+};
+
+}  // namespace gkr

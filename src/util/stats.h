@@ -13,6 +13,13 @@
 
 namespace gkr {
 
+// Ratio with the degenerate-denominator convention used across all metrics
+// (noise fraction, blowups, success rates): a zero denominator yields 0, not
+// NaN/Inf, so zero-transmission and zero-CC runs serialize cleanly.
+inline double safe_ratio(double num, double den) noexcept {
+  return den == 0.0 ? 0.0 : num / den;
+}
+
 class Accumulator {
  public:
   void add(double x) { samples_.push_back(x); }

@@ -1,11 +1,13 @@
-// Tests for the network substrate: topologies, BFS spanning trees, and the
-// synchronous round engine with its corruption accounting (§2.1 noise model).
+// Tests for the network substrate: topologies, BFS spanning trees, the
+// precomputed round plan, and the batched synchronous round engine with its
+// corruption accounting (§2.1 noise model).
 #include <gtest/gtest.h>
 
 #include <map>
 #include <set>
 
 #include "net/round_engine.h"
+#include "net/round_plan.h"
 #include "net/spanning_tree.h"
 #include "net/topology.h"
 #include "util/rng.h"
@@ -186,6 +188,125 @@ TEST(RoundEngine, NoiseFraction) {
   EXPECT_EQ(engine.counters().transmissions, 10);
   EXPECT_EQ(engine.counters().corruptions, 1);
   EXPECT_DOUBLE_EQ(engine.counters().noise_fraction(), 0.1);
+}
+
+TEST(RoundEngine, PackedAndVectorOverloadsAgree) {
+  const Topology t = Topology::ring(4);
+  const std::size_t d = static_cast<std::size_t>(t.num_dlinks());
+  ScriptedAdversary adv1, adv2;
+  for (long r = 0; r < 20; ++r) adv1.script[{r, static_cast<int>(r % d)}] = Sym::Bot;
+  adv2.script = adv1.script;
+  RoundEngine packed(t, adv1);
+  RoundEngine unpacked(t, adv2);
+
+  Rng rng(11);
+  PackedSymVec sent(d), recv_packed(d);
+  std::vector<Sym> recv_vec;
+  for (long r = 0; r < 20; ++r) {
+    for (std::size_t i = 0; i < d; ++i) {
+      sent.set(i, rng.next_coin(0.6) ? bit_to_sym(rng.next_bit()) : Sym::None);
+    }
+    packed.step(RoundContext{r, 0, Phase::Simulation}, sent, recv_packed);
+    unpacked.step(RoundContext{r, 0, Phase::Simulation}, sent.to_syms(), recv_vec);
+    ASSERT_EQ(recv_packed.to_syms(), recv_vec) << "round " << r;
+  }
+  EXPECT_EQ(packed.counters().transmissions, unpacked.counters().transmissions);
+  EXPECT_EQ(packed.counters().corruptions, unpacked.counters().corruptions);
+}
+
+// Regression (zero-transmission edge): an insertion-only round has
+// corruptions > 0 with transmissions == 0; noise_fraction must stay finite.
+TEST(RoundEngine, NoiseFractionGuardsZeroTransmissions) {
+  const Topology t = Topology::line(3);
+  ScriptedAdversary adv;
+  adv.script[{0, 0}] = Sym::One;  // insertion into silence
+  RoundEngine engine(t, adv);
+  PackedSymVec sent(static_cast<std::size_t>(t.num_dlinks()));
+  PackedSymVec received;
+  engine.step(RoundContext{0, 0, Phase::Simulation}, sent, received);
+  EXPECT_EQ(engine.counters().transmissions, 0);
+  EXPECT_EQ(engine.counters().insertions, 1);
+  EXPECT_EQ(engine.counters().corruptions, 1);
+  EXPECT_DOUBLE_EQ(engine.counters().noise_fraction(), 0.0);
+
+  EngineCounters untouched;
+  EXPECT_DOUBLE_EQ(untouched.noise_fraction(), 0.0);
+}
+
+TEST(RoundEngine, CountsRounds) {
+  const Topology t = Topology::line(3);
+  NoNoise adv;
+  RoundEngine engine(t, adv);
+  PackedSymVec sent(static_cast<std::size_t>(t.num_dlinks()));
+  PackedSymVec received;
+  for (long r = 0; r < 7; ++r) engine.step(RoundContext{r, 0, Phase::Baseline}, sent, received);
+  EXPECT_EQ(engine.counters().rounds, 7);
+}
+
+// ------------------------------------------------------------- round plan
+
+TEST(RoundPlan, PhaseAndIterationBoundaries) {
+  const Topology t = Topology::ring(5);
+  const SpanningTree tree = SpanningTree::bfs(t, 0);
+  const RoundPlan plan = RoundPlan::build(t, tree, /*exchange=*/10, /*mp=*/6, /*flag=*/4,
+                                          /*sim=*/5, /*rewind=*/3, /*iterations=*/2);
+  EXPECT_EQ(plan.rounds_per_iteration(), 18);
+  EXPECT_EQ(plan.total_rounds(), 10 + 2 * 18);
+
+  EXPECT_EQ(plan.phase_of(0), Phase::RandomnessExchange);
+  EXPECT_EQ(plan.phase_of(9), Phase::RandomnessExchange);
+  EXPECT_EQ(plan.phase_of(10), Phase::MeetingPoints);
+  EXPECT_EQ(plan.phase_of(15), Phase::MeetingPoints);
+  EXPECT_EQ(plan.phase_of(16), Phase::FlagPassing);
+  EXPECT_EQ(plan.phase_of(19), Phase::FlagPassing);
+  EXPECT_EQ(plan.phase_of(20), Phase::Simulation);
+  EXPECT_EQ(plan.phase_of(24), Phase::Simulation);
+  EXPECT_EQ(plan.phase_of(25), Phase::Rewind);
+  EXPECT_EQ(plan.phase_of(27), Phase::Rewind);
+  EXPECT_EQ(plan.phase_of(28), Phase::MeetingPoints);  // iteration 1 begins
+
+  EXPECT_EQ(plan.iteration_of(0), 0);
+  EXPECT_EQ(plan.iteration_of(10), 0);
+  EXPECT_EQ(plan.iteration_of(27), 0);
+  EXPECT_EQ(plan.iteration_of(28), 1);
+  EXPECT_EQ(plan.iteration_of(45), 1);
+
+  const RoundContext ctx = plan.context_of(28);
+  EXPECT_EQ(ctx.round, 28);
+  EXPECT_EQ(ctx.iteration, 1);
+  EXPECT_EQ(ctx.phase, Phase::MeetingPoints);
+}
+
+TEST(RoundPlan, ActiveDlinkMasks) {
+  const Topology t = Topology::star(5);  // node 0 is the hub
+  const SpanningTree tree = SpanningTree::bfs(t, 0);
+  const RoundPlan plan =
+      RoundPlan::build(t, tree, /*exchange=*/4, /*mp=*/3, /*flag=*/2, /*sim=*/2, /*rewind=*/1,
+                       /*iterations=*/1);
+  const std::size_t d = static_cast<std::size_t>(t.num_dlinks());
+
+  // Exchange: exactly one direction (a → b) per link.
+  const BitVec& ex = plan.active_dlinks(Phase::RandomnessExchange);
+  ASSERT_EQ(ex.size(), d);
+  EXPECT_EQ(ex.popcount(), static_cast<std::size_t>(t.num_links()));
+  for (int l = 0; l < t.num_links(); ++l) {
+    EXPECT_TRUE(ex.get(static_cast<std::size_t>(t.dlink_from(l, t.link(l).a))));
+  }
+  // Star: every link is a tree link, so flag passing covers all dlinks.
+  EXPECT_EQ(plan.active_dlinks(Phase::FlagPassing).popcount(), d);
+  // MP / simulation / rewind use the full wire.
+  for (Phase p : {Phase::MeetingPoints, Phase::Simulation, Phase::Rewind}) {
+    EXPECT_EQ(plan.active_dlinks(p).popcount(), d);
+  }
+}
+
+TEST(RoundPlan, FlagMaskCoversOnlyTreeLinksOnDenseGraphs) {
+  const Topology t = Topology::clique(5);
+  const SpanningTree tree = SpanningTree::bfs(t, 0);
+  const RoundPlan plan =
+      RoundPlan::build(t, tree, 0, 3, 2, 2, 1, 1);
+  // A clique's BFS tree keeps n−1 of the m links: 4 links → 8 dlinks.
+  EXPECT_EQ(plan.active_dlinks(Phase::FlagPassing).popcount(), 8u);
 }
 
 }  // namespace

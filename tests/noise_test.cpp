@@ -1,14 +1,22 @@
 // Tests for the adversary implementations: oblivious additive/fixing
-// patterns, plan generators, adaptive budget enforcement, and the stochastic
-// channel.
+// patterns, plan generators, adaptive budget enforcement, the stochastic
+// channel, and the batched-vs-scalar delivery equivalence contract
+// (DESIGN.md §8): for every adversary, deliver_round must produce exactly
+// the symbols, counters and SimulationResults of the per-link deliver path.
 #include <gtest/gtest.h>
 
+#include <functional>
+#include <memory>
 #include <set>
 
+#include "core/coding_scheme.h"
+#include "net/round_engine.h"
+#include "net/topology.h"
 #include "noise/adaptive.h"
 #include "noise/oblivious.h"
 #include "noise/stochastic.h"
 #include "noise/strategies.h"
+#include "proto/protocols/gossip_sum.h"
 
 namespace gkr {
 namespace {
@@ -127,7 +135,8 @@ TEST(Adaptive, EchoAttackerReflectsOwnBits) {
   EngineCounters counters;
   counters.transmissions = 1000000;
   EchoMpAttacker adv(&counters, 0.5, /*target_link=*/0);
-  std::vector<Sym> sent = {Sym::One, Sym::Zero};  // dlink 0: a→b, dlink 1: b→a
+  // dlink 0: a→b, dlink 1: b→a
+  const PackedSymVec sent = PackedSymVec::from_syms({Sym::One, Sym::Zero});
   adv.begin_round(RoundContext{0, 0, Phase::MeetingPoints}, sent);
   // b receives what b itself sent (dlink 0 delivers to b; mirror is dlink 1).
   EXPECT_EQ(adv.deliver(RoundContext{0, 0, Phase::MeetingPoints}, 0, Sym::One), Sym::Zero);
@@ -138,12 +147,201 @@ TEST(Adaptive, EchoAttackerReflectsOwnBits) {
 TEST(Adaptive, EchoAttackerFreeRidesOnEqualBits) {
   EngineCounters counters;
   EchoMpAttacker adv(&counters, 0.0, 0);  // zero budget
-  std::vector<Sym> sent = {Sym::One, Sym::One};
+  const PackedSymVec sent = PackedSymVec::from_syms({Sym::One, Sym::One});
   adv.begin_round(RoundContext{0, 0, Phase::MeetingPoints}, sent);
   // Identical bits: echoing is free (no corruption), so it "succeeds" even
   // with no budget.
   EXPECT_EQ(adv.deliver(RoundContext{0, 0, Phase::MeetingPoints}, 0, Sym::One), Sym::One);
   EXPECT_EQ(adv.spent(), 0);
+}
+
+// ------------------- batched vs scalar delivery equivalence (DESIGN.md §8)
+
+using Attach = std::function<void(const EngineCounters&)>;
+
+// Pump `rounds` of pseudo-random wire state through two engines — one on the
+// batched deliver_round path, one forced onto the scalar deliver fallback via
+// ScalarizeAdversary — and require identical received symbols every round and
+// identical counters at the end. `a` and `b` must be identically-constructed
+// instances (adaptive kinds mutate state while delivering).
+void expect_engine_equivalence(const Topology& topo, ChannelAdversary& a, ChannelAdversary& b,
+                               const Attach& attach_a, const Attach& attach_b,
+                               long rounds = 400) {
+  RoundEngine batched(topo, a);
+  ScalarizeAdversary wrap(b);
+  RoundEngine scalar(topo, wrap);
+  if (attach_a) attach_a(batched.counters());
+  if (attach_b) attach_b(scalar.counters());
+
+  const std::size_t d = static_cast<std::size_t>(topo.num_dlinks());
+  Rng rng(1234);
+  PackedSymVec sent(d), got_batched(d), got_scalar(d);
+  for (long r = 0; r < rounds; ++r) {
+    sent.fill(Sym::None);
+    for (std::size_t dl = 0; dl < d; ++dl) {
+      const std::uint64_t roll = rng.next_below(8);
+      if (roll < 5) sent.set(dl, roll < 3 ? bit_to_sym(roll & 1) : Sym::Bot);
+    }
+    const Phase phase = static_cast<Phase>(1 + r % 4);  // MP/Flag/Sim/Rewind
+    batched.step(RoundContext{r, 0, phase}, sent, got_batched);
+    scalar.step(RoundContext{r, 0, phase}, sent, got_scalar);
+    ASSERT_EQ(got_batched, got_scalar) << "round " << r;
+  }
+  const EngineCounters& cb = batched.counters();
+  const EngineCounters& cs = scalar.counters();
+  EXPECT_EQ(cb.transmissions, cs.transmissions);
+  EXPECT_EQ(cb.corruptions, cs.corruptions);
+  EXPECT_EQ(cb.substitutions, cs.substitutions);
+  EXPECT_EQ(cb.deletions, cs.deletions);
+  EXPECT_EQ(cb.insertions, cs.insertions);
+  EXPECT_EQ(cb.transmissions_by_phase, cs.transmissions_by_phase);
+  EXPECT_EQ(cb.corruptions_by_phase, cs.corruptions_by_phase);
+  EXPECT_GT(cb.transmissions, 0);
+}
+
+TEST(DeliveryEquivalence, NoNoise) {
+  const Topology topo = Topology::clique(4);
+  NoNoise a, b;
+  expect_engine_equivalence(topo, a, b, nullptr, nullptr);
+}
+
+TEST(DeliveryEquivalence, Stochastic) {
+  const Topology topo = Topology::clique(4);
+  StochasticChannel a(Rng(5), 0.05, 0.03, 0.02);
+  StochasticChannel b(Rng(5), 0.05, 0.03, 0.02);
+  expect_engine_equivalence(topo, a, b, nullptr, nullptr);
+}
+
+TEST(DeliveryEquivalence, ObliviousAdditiveAndFixing) {
+  const Topology topo = Topology::ring(5);
+  for (ObliviousMode mode : {ObliviousMode::Additive, ObliviousMode::Fixing}) {
+    Rng rng(6);
+    NoisePlan plan = uniform_plan(400, topo.num_dlinks(), 120, rng);
+    if (mode == ObliviousMode::Fixing) {
+      for (NoiseEvent& e : plan) e.value = static_cast<std::uint8_t>(e.value & 3);
+    }
+    ObliviousAdversary a(plan, mode);
+    ObliviousAdversary b(plan, mode);
+    expect_engine_equivalence(topo, a, b, nullptr, nullptr);
+  }
+}
+
+TEST(DeliveryEquivalence, AdaptiveAttackers) {
+  const Topology topo = Topology::clique(4);
+  {
+    GreedyLinkAttacker a(nullptr, 0.01, 2), b(nullptr, 0.01, 2);
+    expect_engine_equivalence(topo, a, b, [&](const EngineCounters& c) { a.attach(&c); },
+                              [&](const EngineCounters& c) { b.attach(&c); });
+  }
+  {
+    DesyncAttacker a(nullptr, 0.01), b(nullptr, 0.01);
+    expect_engine_equivalence(topo, a, b, [&](const EngineCounters& c) { a.attach(&c); },
+                              [&](const EngineCounters& c) { b.attach(&c); });
+  }
+  {
+    EchoMpAttacker a(nullptr, 0.02, 1), b(nullptr, 0.02, 1);
+    expect_engine_equivalence(topo, a, b, [&](const EngineCounters& c) { a.attach(&c); },
+                              [&](const EngineCounters& c) { b.attach(&c); });
+  }
+  {
+    RandomAdaptiveAttacker a(nullptr, 0.01, Rng(9)), b(nullptr, 0.01, Rng(9));
+    expect_engine_equivalence(topo, a, b, [&](const EngineCounters& c) { a.attach(&c); },
+                              [&](const EngineCounters& c) { b.attach(&c); });
+  }
+}
+
+// Full-scheme digest equivalence: a CodedSimulation driven by the batched
+// path must produce the exact SimulationResult of one driven by the scalar
+// fallback, for every adversary kind.
+struct SchemeBench {
+  std::shared_ptr<Topology> topo;
+  std::shared_ptr<const ProtocolSpec> spec;
+  std::unique_ptr<ChunkedProtocol> proto;
+  std::vector<std::uint64_t> inputs;
+  NoiselessResult reference;
+  SchemeConfig cfg;
+};
+
+SchemeBench make_scheme_bench(std::uint64_t seed) {
+  SchemeBench b;
+  b.topo = std::make_shared<Topology>(Topology::ring(4));
+  b.spec = std::make_shared<GossipSumProtocol>(*b.topo, 6);
+  b.cfg = SchemeConfig::for_variant(Variant::Crs, *b.topo);
+  b.cfg.seed = seed;
+  b.proto = std::make_unique<ChunkedProtocol>(b.spec, b.cfg.K);
+  Rng rng(seed ^ 0x7e57ULL);
+  for (int u = 0; u < b.topo->num_nodes(); ++u) b.inputs.push_back(rng.next_u64());
+  b.reference = run_noiseless(*b.proto, b.inputs);
+  return b;
+}
+
+void expect_results_equal(const SimulationResult& x, const SimulationResult& y) {
+  EXPECT_EQ(x.success, y.success);
+  EXPECT_EQ(x.outputs_match, y.outputs_match);
+  EXPECT_EQ(x.transcripts_match, y.transcripts_match);
+  EXPECT_EQ(x.cc_coded, y.cc_coded);
+  EXPECT_EQ(x.counters.rounds, y.counters.rounds);
+  EXPECT_EQ(x.counters.corruptions, y.counters.corruptions);
+  EXPECT_EQ(x.counters.substitutions, y.counters.substitutions);
+  EXPECT_EQ(x.counters.deletions, y.counters.deletions);
+  EXPECT_EQ(x.counters.insertions, y.counters.insertions);
+  EXPECT_EQ(x.counters.transmissions_by_phase, y.counters.transmissions_by_phase);
+  EXPECT_EQ(x.counters.corruptions_by_phase, y.counters.corruptions_by_phase);
+  EXPECT_DOUBLE_EQ(x.noise_fraction, y.noise_fraction);
+  EXPECT_EQ(x.hash_collisions, y.hash_collisions);
+  EXPECT_EQ(x.mp_truncations, y.mp_truncations);
+  EXPECT_EQ(x.rewind_truncations, y.rewind_truncations);
+  EXPECT_EQ(x.rewinds_sent, y.rewinds_sent);
+  EXPECT_EQ(x.exchange_failures, y.exchange_failures);
+  EXPECT_EQ(x.iterations, y.iterations);
+  EXPECT_EQ(x.replayer_rebuilds, y.replayer_rebuilds);
+}
+
+TEST(DeliveryEquivalence, CodedSimulationDigests) {
+  // kind 0: stochastic, 1: oblivious additive, 2: greedy, 3: random adaptive.
+  for (int kind = 0; kind < 4; ++kind) {
+    SchemeBench bench = make_scheme_bench(91 + static_cast<std::uint64_t>(kind));
+
+    auto run_one = [&](bool scalar) {
+      std::unique_ptr<ChannelAdversary> adv;
+      std::function<void(const CodedSimulation&)> attach;
+      switch (kind) {
+        case 0:
+          adv = std::make_unique<StochasticChannel>(Rng(17), 0.004, 0.004, 0.001);
+          break;
+        case 1: {
+          Rng rng(18);
+          adv = std::make_unique<ObliviousAdversary>(
+              uniform_plan(4000, bench.topo->num_dlinks(), 60, rng), ObliviousMode::Additive);
+          break;
+        }
+        case 2: {
+          auto greedy = std::make_unique<GreedyLinkAttacker>(nullptr, 0.003, 1);
+          GreedyLinkAttacker* raw = greedy.get();
+          attach = [raw](const CodedSimulation& sim) { raw->attach(&sim.engine_counters()); };
+          adv = std::move(greedy);
+          break;
+        }
+        default: {
+          auto vandal = std::make_unique<RandomAdaptiveAttacker>(nullptr, 0.003, Rng(19));
+          RandomAdaptiveAttacker* raw = vandal.get();
+          attach = [raw](const CodedSimulation& sim) { raw->attach(&sim.engine_counters()); };
+          adv = std::move(vandal);
+          break;
+        }
+      }
+      ScalarizeAdversary wrap(*adv);
+      ChannelAdversary& channel = scalar ? static_cast<ChannelAdversary&>(wrap) : *adv;
+      CodedSimulation sim(*bench.proto, bench.inputs, bench.reference, bench.cfg, channel);
+      if (attach) attach(sim);
+      return sim.run();
+    };
+
+    const SimulationResult batched = run_one(/*scalar=*/false);
+    const SimulationResult scalar = run_one(/*scalar=*/true);
+    SCOPED_TRACE(kind);
+    expect_results_equal(batched, scalar);
+  }
 }
 
 TEST(Stochastic, RatesRoughlyRespected) {

@@ -1,14 +1,16 @@
-// Unit tests for src/util: RNG, bit vectors, GF(2^64), GF(2^8),
-// digest chains and stats accumulators.
+// Unit tests for src/util: RNG, bit vectors, packed wire symbols, GF(2^64),
+// GF(2^8), digest chains and stats accumulators.
 #include <gtest/gtest.h>
 
 #include <cstdint>
 #include <set>
 
+#include "net/channel.h"
 #include "util/bitvec.h"
 #include "util/digest.h"
 #include "util/gf256.h"
 #include "util/gf2_64.h"
+#include "util/packed_symvec.h"
 #include "util/rng.h"
 #include "util/stats.h"
 
@@ -125,6 +127,107 @@ TEST(BitVec, ResizeClearsTail) {
   a.resize(5);
   a.resize(10);
   for (std::size_t i = 5; i < 10; ++i) EXPECT_FALSE(a.get(i));
+}
+
+TEST(PackedSymVec, DefaultsToSilenceAndRoundTrips) {
+  PackedSymVec v(70);  // spans three words, partial tail
+  EXPECT_EQ(v.size(), 70u);
+  EXPECT_EQ(v.num_words(), 3u);
+  for (std::size_t i = 0; i < v.size(); ++i) EXPECT_EQ(v.get(i), Sym::None);
+  const std::vector<Sym> syms = {Sym::Zero, Sym::One, Sym::Bot, Sym::None};
+  for (std::size_t i = 0; i < v.size(); ++i) v.set(i, syms[i % 4]);
+  for (std::size_t i = 0; i < v.size(); ++i) EXPECT_EQ(v.get(i), syms[i % 4]);
+  EXPECT_EQ(PackedSymVec::from_syms(v.to_syms()), v);
+}
+
+TEST(PackedSymVec, TailPaddingStaysNone) {
+  // Cells past size() must read as None at the word level so word-parallel
+  // counting and diffing need no tail special case.
+  PackedSymVec v(33, Sym::Zero);
+  EXPECT_EQ(v.word(1) >> 2, ~0ULL >> 2);  // 31 padding cells all 0b11
+  v.set_word(1, 0);                       // set_word re-pads
+  EXPECT_EQ(v.get(32), Sym::Zero);
+  EXPECT_EQ(v.word(1) >> 2, ~0ULL >> 2);
+  v.fill(Sym::One);
+  EXPECT_EQ(v.word(1) >> 2, ~0ULL >> 2);
+  EXPECT_EQ(v.count_messages(), 33);
+}
+
+TEST(PackedSymVec, CountMessages) {
+  PackedSymVec v(100);
+  EXPECT_EQ(v.count_messages(), 0);
+  v.set(0, Sym::Zero);
+  v.set(63, Sym::One);
+  v.set(64, Sym::Bot);  // ⊥ is a message symbol (≠ ∗)
+  v.set(99, Sym::One);
+  EXPECT_EQ(v.count_messages(), 4);
+  v.set(63, Sym::None);
+  EXPECT_EQ(v.count_messages(), 3);
+}
+
+TEST(PackedSymVec, ClassifyMatchesScalarTaxonomy) {
+  // Word-parallel classification must agree with the per-cell §2.1 rules on
+  // every (sent, received) symbol pair.
+  const std::vector<Sym> alphabet = {Sym::Zero, Sym::One, Sym::Bot, Sym::None};
+  PackedSymVec sent(16), received(16);
+  std::size_t cell = 0;
+  long want_sub = 0, want_del = 0, want_ins = 0;
+  for (Sym a : alphabet) {
+    for (Sym b : alphabet) {
+      sent.set(cell, a);
+      received.set(cell, b);
+      if (a != b) {
+        if (is_message(a) && is_message(b)) ++want_sub;
+        else if (is_message(a)) ++want_del;
+        else ++want_ins;
+      }
+      ++cell;
+    }
+  }
+  const SymDiffCounts diff = PackedSymVec::classify(sent, received);
+  EXPECT_EQ(diff.substitutions, want_sub);
+  EXPECT_EQ(diff.deletions, want_del);
+  EXPECT_EQ(diff.insertions, want_ins);
+  EXPECT_EQ(diff.corruptions, want_sub + want_del + want_ins);
+}
+
+TEST(PackedSymVec, ClassifyRandomizedAgainstScalar) {
+  Rng rng(77);
+  for (int trial = 0; trial < 50; ++trial) {
+    const std::size_t n = 1 + rng.next_below(130);
+    PackedSymVec sent(n), received(n);
+    SymDiffCounts want;
+    for (std::size_t i = 0; i < n; ++i) {
+      const Sym a = static_cast<Sym>(rng.next_below(4));
+      const Sym b = static_cast<Sym>(rng.next_below(4));
+      sent.set(i, a);
+      received.set(i, b);
+      if (a == b) continue;
+      ++want.corruptions;
+      if (is_message(a) && is_message(b)) ++want.substitutions;
+      else if (is_message(a)) ++want.deletions;
+      else ++want.insertions;
+    }
+    const SymDiffCounts got = PackedSymVec::classify(sent, received);
+    EXPECT_EQ(got.corruptions, want.corruptions);
+    EXPECT_EQ(got.substitutions, want.substitutions);
+    EXPECT_EQ(got.deletions, want.deletions);
+    EXPECT_EQ(got.insertions, want.insertions);
+  }
+}
+
+TEST(PackedSymVec, CopyFromReusesAndMatches) {
+  PackedSymVec a(40, Sym::One), b;
+  b.copy_from(a);
+  EXPECT_EQ(a, b);
+  b.set(7, Sym::Bot);
+  EXPECT_NE(a, b);
+}
+
+TEST(SafeRatio, GuardsZeroDenominator) {
+  EXPECT_DOUBLE_EQ(safe_ratio(3.0, 2.0), 1.5);
+  EXPECT_DOUBLE_EQ(safe_ratio(3.0, 0.0), 0.0);
+  EXPECT_DOUBLE_EQ(safe_ratio(0.0, 0.0), 0.0);
 }
 
 TEST(GF64, MultiplicativeIdentity) {
