@@ -13,6 +13,7 @@
 // the relative budget ε/(m log m) can no longer fund Θ(τ) corruptions per
 // iteration — the budget argument that closes §6.
 #include "bench_support.h"
+#include "noise/combinators.h"
 
 namespace gkr {
 namespace {
@@ -36,9 +37,8 @@ void part1() {
             2200 + static_cast<std::uint64_t>(n * 100 + t), 10.0);
         w.cfg.tau = tau;
         w.cfg.record_trace = true;
-        GreedyLinkAttacker adv(nullptr, 0.006 / (n * std::log2(n)), 2);
+        GreedyLinkAttacker adv(0.006 / (n * std::log2(n)), 2);
         CodedSimulation sim(*w.proto, w.inputs, w.reference, w.cfg, adv);
-        adv.attach(&sim.engine_counters());
         iters = sim.iterations();
         const SimulationResult r = sim.run();
         collisions += static_cast<double>(r.hash_collisions) / kTrials;
@@ -77,24 +77,10 @@ void part2() {
         const int m = topo->num_links();
         // One planted corruption opens a divergence; the echo attacker then
         // tries to hide it from every consistency check.
-        GreedyLinkAttacker opener(nullptr, 0.0, 2);  // head start only: ~4 hits
-        EchoMpAttacker echo(nullptr, rate_scale * 0.002 / (m * std::log2(m)), 2);
-        struct Both final : ChannelAdversary {
-          ChannelAdversary *a, *b;
-          void begin_round(const RoundContext& ctx, const PackedSymVec& sent) override {
-            a->begin_round(ctx, sent);
-            b->begin_round(ctx, sent);
-          }
-          Sym deliver(const RoundContext& ctx, int dlink, Sym sent) override {
-            return b->deliver(ctx, dlink, a->deliver(ctx, dlink, sent));
-          }
-        } both;
-        both.a = &opener;
-        both.b = &echo;
-        CodedSimulation sim(*w.proto, w.inputs, w.reference, w.cfg, both);
-        opener.attach(&sim.engine_counters());
-        echo.attach(&sim.engine_counters());
-        const SimulationResult r = sim.run();
+        GreedyLinkAttacker opener(0.0, 2);  // head start only: ~4 hits
+        EchoMpAttacker echo(rate_scale * 0.002 / (m * std::log2(m)), 2);
+        ComposedAdversary both(opener, echo);
+        const SimulationResult r = w.run(both);
         ok += r.success;
         spent += static_cast<double>(echo.spent()) / kTrials;
       }

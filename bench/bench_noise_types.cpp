@@ -4,15 +4,17 @@
 // counting as one corruption. This bench gives the oblivious adversary a
 // fixed budget, spent entirely on one type (using the public timetable:
 // substitutions/deletions target the always-busy meeting-points rounds,
-// insertions target idle rewind-phase wires), and on the mixed additive
-// pattern. Paper shape: all four columns behave comparably — the scheme's
-// guarantee is type-agnostic.
+// insertions target idle rewind-phase wires), on the mixed additive
+// pattern, and on the *adaptive* insertion flood from the strategy shelf.
+// Paper shape: all columns behave comparably — the scheme's guarantee is
+// type-agnostic, for oblivious and adaptive spenders alike.
 //
 // One SweepRunner grid: the noise axis carries the four typed strategies and
 // the μ axis carries the budget (src/sim).
 #include <set>
 
 #include "bench_support.h"
+#include "noise/attacks.h"
 #include "sim/sweep_runner.h"
 
 namespace gkr {
@@ -78,6 +80,23 @@ sim::NoiseFactory mixed_additive_noise() {
   return f;
 }
 
+// The adaptive member of the type columns: pure insertion pressure from the
+// strategy shelf (noise/attacks.h), its relative rate sized so the whole run
+// affords ≈ the same corruption budget as the oblivious columns.
+sim::NoiseFactory flood_noise() {
+  sim::NoiseFactory f;
+  f.name = "insertion-flood";
+  f.build = [](const sim::Workload& w, double budget, Rng&) {
+    sim::BuiltNoise out;
+    const long count = static_cast<long>(budget);
+    if (count <= 0) return out;
+    out.adversary = std::make_unique<InsertionFloodAttacker>(
+        budget / static_cast<double>(w.clean_cc()), /*head_start=*/0);
+    return out;
+  };
+  return f;
+}
+
 void run() {
   bench::print_header(
       "F3 — resilience by corruption type (§2.1)",
@@ -89,7 +108,7 @@ void run() {
   grid.topologies = {sim::topology_factory("ring", 6)};
   grid.protocols = {sim::protocol_factory("gossip", 12)};
   grid.noises = {typed_noise("substitution-only", 0), typed_noise("deletion-only", 1),
-                 typed_noise("insertion-only", 2), mixed_additive_noise()};
+                 typed_noise("insertion-only", 2), mixed_additive_noise(), flood_noise()};
   grid.noise_fractions = {2, 6, 12, 24, 48};  // corruption budget, not a fraction
   grid.repetitions = 6;
   grid.iteration_factor = 8.0;
@@ -100,8 +119,8 @@ void run() {
 
   // Group order mirrors expansion: noise type slowest, then budget.
   const std::size_t B = grid.noise_fractions.size();
-  TablePrinter table(
-      {"budget", "substitution-only", "deletion-only", "insertion-only", "mixed additive"});
+  TablePrinter table({"budget", "substitution-only", "deletion-only", "insertion-only",
+                      "mixed additive", "insertion-flood (adaptive)"});
   for (std::size_t b = 0; b < B; ++b) {
     std::vector<std::string> cells = {strf("%.0f", grid.noise_fractions[b])};
     for (std::size_t type = 0; type < grid.noises.size(); ++type) {

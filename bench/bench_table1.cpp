@@ -101,10 +101,8 @@ void run() {
       const long budget = std::max<long>(1, static_cast<long>(eps / divisor * clean));
       if (a.variant == Variant::ExchangeNonOblivious || a.variant == Variant::CrsHidden) {
         // Non-oblivious rows: adaptive link attacker at the claimed rate.
-        GreedyLinkAttacker adv(nullptr, eps / divisor, 1);
-        CodedSimulation sim(*w.proto, w.inputs, w.reference, w.cfg, adv);
-        adv.attach(&sim.engine_counters());
-        const SimulationResult r = sim.run();
+        GreedyLinkAttacker adv(eps / divisor, 1);
+        const SimulationResult r = w.run(adv);
         ok += r.success;
         blowup_chunked += r.blowup_vs_chunked / kTrials;
         blowup_user += r.blowup_vs_user / kTrials;

@@ -3,40 +3,39 @@
 //
 // Each scenario prints what the attacker did, what it cost, and how the
 // scheme reacted (detections, truncations, rewinds, outcome). This is the
-// threat-model tour of §2.1/§6 in executable form.
+// threat-model tour of §2.1/§6 in executable form, and a demo of the
+// adversary lab: plan_round attackers, the strategy shelf (noise/attacks.h)
+// and the combinator layer (noise/combinators.h).
 #include <cstdio>
 #include <memory>
 
 #include "core/coding_scheme.h"
 #include "noise/adaptive.h"
+#include "noise/attacks.h"
+#include "noise/combinators.h"
 #include "noise/oblivious.h"
 #include "noise/strategies.h"
 #include "proto/protocols/gossip_sum.h"
+#include "sim/workload.h"
 #include "util/stats.h"
 
 namespace {
 
 using namespace gkr;
 
+// One sim::Workload per scenario; the cached timetable accessors
+// (total_rounds, prologue_rounds) replace hand-rolled probe simulations.
 struct Lab {
-  std::shared_ptr<Topology> topo;
-  std::shared_ptr<const ProtocolSpec> spec;
-  std::unique_ptr<ChunkedProtocol> proto;
-  std::vector<std::uint64_t> inputs;
-  NoiselessResult reference;
-  SchemeConfig cfg;
+  sim::Workload w;
 
   Lab() {
-    topo = std::make_shared<Topology>(Topology::ring(6));
-    spec = std::make_shared<GossipSumProtocol>(*topo, 24);
-    cfg = SchemeConfig::for_variant(Variant::ExchangeNonOblivious, *topo);
-    cfg.seed = 31337;
-    cfg.iteration_factor = 10.0;
-    proto = std::make_unique<ChunkedProtocol>(spec, cfg.K);
-    Rng rng(5);
-    for (int u = 0; u < topo->num_nodes(); ++u) inputs.push_back(rng.next_u64());
-    reference = run_noiseless(*proto, inputs);
+    auto topo = std::make_shared<Topology>(Topology::ring(6));
+    auto spec = std::make_shared<GossipSumProtocol>(*topo, 24);
+    w = sim::make_workload(std::move(topo), std::move(spec), Variant::ExchangeNonOblivious,
+                           /*seed=*/31337, /*iteration_factor=*/10.0);
   }
+
+  SimulationResult run(ChannelAdversary& adv) const { return w.run(adv); }
 
   void report(const char* name, const char* description, const SimulationResult& r) const {
     std::printf("\n--- %s ---\n%s\n", name, description);
@@ -57,77 +56,97 @@ struct Lab {
 int main() {
   Lab lab;
   std::printf("attack_lab: Algorithm B on %s, gossip workload, CC(Pi)=%ld bits, |Pi|=%d chunks",
-              lab.topo->name().c_str(), lab.reference.cc_user,
-              lab.proto->num_real_chunks());
+              lab.w.topo->name().c_str(), lab.w.reference.cc_user,
+              lab.w.proto->num_real_chunks());
 
   {  // 1. scattered oblivious vandalism at the claimed budget
     Lab l;
     const long budget = 20;
     Rng rng(1);
-    NoNoise probe_adv;
-    CodedSimulation probe(*l.proto, l.inputs, l.reference, l.cfg, probe_adv);
     ObliviousAdversary adv(
-        uniform_plan(probe.total_rounds(), l.topo->num_dlinks(), budget, rng),
+        uniform_plan(l.w.total_rounds(), l.w.topo->num_dlinks(), budget, rng),
         ObliviousMode::Additive);
     l.report("scattered vandal (oblivious)",
              "20 additive corruptions sprayed uniformly over rounds and links.",
-             run_coded(*l.proto, l.inputs, l.reference, l.cfg, adv));
+             l.run(adv));
   }
   {  // 2. adaptive single-link mugging
     Lab l;
-    GreedyLinkAttacker adv(nullptr, 0.003 / (6 * std::log2(6)), 2);
-    CodedSimulation sim(*l.proto, l.inputs, l.reference, l.cfg, adv);
-    adv.attach(&sim.engine_counters());
+    GreedyLinkAttacker adv(0.003 / (6 * std::log2(6)), 2);
     l.report("greedy link mugger (adaptive)",
              "Flips every simulation bit on link 2 it can afford at eps/(m log m).",
-             sim.run());
+             l.run(adv));
   }
   {  // 3. coordination attack
     Lab l;
-    DesyncAttacker adv(nullptr, 0.002 / 6);
-    CodedSimulation sim(*l.proto, l.inputs, l.reference, l.cfg, adv);
-    adv.attach(&sim.engine_counters());
+    DesyncAttacker adv(0.002 / 6);
     l.report("desync attacker (adaptive)",
-             "Flips continue/stop flags and forges/eats rewind requests.", sim.run());
+             "Flips continue/stop flags and forges/eats rewind requests.", l.run(adv));
   }
-  {  // 4. echo MITM on the consistency checks
+  {  // 4. echo MITM on the consistency checks, via the compose combinator
     Lab l;
-    GreedyLinkAttacker opener(nullptr, 0.0, 2);
-    EchoMpAttacker echo(nullptr, 0.002 / (6 * std::log2(6)), 2);
-    struct Both final : ChannelAdversary {
-      ChannelAdversary *a, *b;
-      void begin_round(const RoundContext& ctx, const PackedSymVec& sent) override {
-        a->begin_round(ctx, sent);
-        b->begin_round(ctx, sent);
-      }
-      Sym deliver(const RoundContext& ctx, int dlink, Sym sent) override {
-        return b->deliver(ctx, dlink, a->deliver(ctx, dlink, sent));
-      }
-    } both{};
-    both.a = &opener;
-    both.b = &echo;
-    CodedSimulation sim(*l.proto, l.inputs, l.reference, l.cfg, both);
-    opener.attach(&sim.engine_counters());
-    echo.attach(&sim.engine_counters());
-    const SimulationResult r = sim.run();
-    l.report("echo man-in-the-middle",
+    GreedyLinkAttacker opener(0.0, 2);  // head start only: plants the divergence
+    EchoMpAttacker echo(0.002 / (6 * std::log2(6)), 2);
+    ComposedAdversary both(opener, echo);
+    l.report("echo man-in-the-middle (compose)",
              "Plants a divergence, then reflects each party's own meeting-points hashes\n"
              "back at it so every consistency check looks clean — until the budget dies.",
-             r);
+             l.run(both));
   }
-  {  // 5. going after the randomness exchange
+  {  // 5. going after the randomness exchange, obliviously
     Lab l;
-    NoNoise probe_adv;
-    CodedSimulation probe(*l.proto, l.inputs, l.reference, l.cfg, probe_adv);
     Rng rng(9);
     ObliviousAdversary adv(
-        exchange_attack_plan(probe.prologue_rounds(), /*link=*/0,
-                             probe.prologue_rounds() / 2, rng),
+        exchange_attack_plan(l.w.prologue_rounds(), /*link=*/0,
+                             l.w.prologue_rounds() / 2, rng),
         ObliviousMode::Additive);
-    l.report("seed-shipment saboteur",
+    l.report("seed-shipment saboteur (oblivious)",
              "Saturates half of link 0's randomness-exchange codeword (Claim 5.16: this\n"
              "is the only way to kill a link's hashes, and it is budget-ruinous).",
-             run_coded(*l.proto, l.inputs, l.reference, l.cfg, adv));
+             l.run(adv));
+  }
+  {  // 6. eavesdropping exchange sniper
+    Lab l;
+    ExchangeSniperAttacker adv(0.02);
+    l.report("exchange sniper (adaptive, eavesdropping)",
+             "Watches the prologue traffic it legally observes, locks onto the first\n"
+             "seed shipment it sees, and flips that link's payload while affordable.",
+             l.run(adv));
+  }
+  {  // 7. insertion flood on silent wires
+    Lab l;
+    InsertionFloodAttacker adv(0.004 / 6);
+    l.report("insertion flood (adaptive)",
+             "Forges protocol bits on every silent simulation wire it can afford —\n"
+             "pure insertion pressure (the BGMO insdel motivation).", l.run(adv));
+  }
+  {  // 8. bursty channel
+    Lab l;
+    MarkovBurstChannel adv(Rng(77), /*p_enter=*/0.001, /*p_exit=*/0.25, /*p_corrupt=*/0.5);
+    l.report("Markov burst channel (Gilbert-Elliott)",
+             "Per-link two-state channel: long clean stretches, then dense error\n"
+             "bursts — correlated noise instead of the i.i.d. stochastic model.",
+             l.run(adv));
+  }
+  {  // 9. budget-hoarding rewind sniper
+    Lab l;
+    RewindSniperAttacker adv(0.004 / 6, /*min_burst=*/12);
+    l.report("rewind sniper (adaptive, budget-hoarding)",
+             "Spends nothing until its relative budget has accumulated a burst, then\n"
+             "dumps it on the rewind wave (Ghaffari-Haeupler-style scheduling).",
+             l.run(adv));
+  }
+  {  // 10. combinator stack: gate a vandal to the meeting points, late rounds only
+    Lab l;
+    const long half = l.w.total_rounds() / 2;
+    auto adv = round_schedule(
+        phase_gate(std::make_unique<RandomAdaptiveAttacker>(0.002, Rng(13)),
+                   phase_bit(Phase::MeetingPoints)),
+        {{half, l.w.total_rounds()}});
+    l.report("late meeting-points vandal (phase_gate + round_schedule)",
+             "A random vandal allowed to act only on meeting-points rounds in the second\n"
+             "half of the run — combinators express the schedule declaratively.",
+             l.run(*adv));
   }
   std::printf("\nAll scenarios done.\n");
   return 0;

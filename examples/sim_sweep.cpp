@@ -18,7 +18,9 @@
 //   --protos   gossip[:rounds] tree_token[:laps[:word_bits]]
 //              tree_aggregate[:word_bits[:repeats]]
 //              line_pingpong[:sweeps[:pp_bits]] random[:rounds]
-//   --noises   none uniform stochastic greedy random_adaptive
+//   --noises   none uniform stochastic greedy random_adaptive desync echo
+//              insertion_flood exchange_sniper markov_burst rewind_sniper
+//              (atoms chain with '+' into a composed attack: greedy+echo)
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -150,9 +152,13 @@ int run_main(int argc, char** argv) {
       grid_customized = true;
     } else if (arg == "--noises") {
       grid.noises.clear();
+      const std::vector<std::string> known = standard_noise_names();
       for (const std::string& n : split(next_value(i), ',')) {
-        if (!one_of(n, {"none", "uniform", "stochastic", "greedy", "random_adaptive"})) {
-          die("unknown noise strategy '" + n + "' (try --help)");
+        // Compose specs chain registry atoms with '+': "greedy+echo".
+        for (const std::string& atom : split(n, '+')) {
+          if (!one_of(atom, known)) {
+            die("unknown noise strategy '" + atom + "' (try --help)");
+          }
         }
         grid.noises.push_back(noise_factory(n));
       }

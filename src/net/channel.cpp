@@ -1,0 +1,46 @@
+#include "net/channel.h"
+
+#include <algorithm>
+
+#include "net/round_engine.h"
+
+namespace gkr {
+
+Sym CorruptionSet::value_or(int dlink, Sym fallback) const noexcept {
+  const auto it = std::lower_bound(
+      items_.begin(), items_.end(), dlink,
+      [](const Corruption& c, int dl) { return c.dlink < dl; });
+  if (it == items_.end() || it->dlink != dlink) return fallback;
+  return it->value;
+}
+
+void PlannedAdversary::begin_round(const RoundContext& ctx, const PackedSymVec& sent) {
+  static const EngineCounters kZeroCounters{};
+  plan_.clear();
+  plan_round(ctx, sent, counters_ == nullptr ? kZeroCounters : *counters_, plan_);
+}
+
+void PlannedAdversary::deliver_round(const RoundContext& ctx, const PackedSymVec& sent,
+                                     PackedSymVec& wire) {
+  (void)ctx;
+  (void)sent;
+  // Merge all corruptions of a wire word into one masked read-modify-write.
+  const std::vector<Corruption>& items = plan_.items();
+  std::size_t i = 0;
+  while (i < items.size()) {
+    const std::size_t w =
+        static_cast<std::size_t>(items[i].dlink) / PackedSymVec::kSymsPerWord;
+    std::uint64_t mask = 0, bits = 0;
+    for (; i < items.size() &&
+           static_cast<std::size_t>(items[i].dlink) / PackedSymVec::kSymsPerWord == w;
+         ++i) {
+      const int shift = static_cast<int>(
+          2 * (static_cast<std::size_t>(items[i].dlink) % PackedSymVec::kSymsPerWord));
+      mask |= 3ULL << shift;
+      bits |= static_cast<std::uint64_t>(items[i].value) << shift;
+    }
+    wire.set_word(w, (wire.word(w) & ~mask) | bits);
+  }
+}
+
+}  // namespace gkr

@@ -13,9 +13,14 @@
 #include <cstdint>
 #include <vector>
 
+#include "util/assert.h"
 #include "util/packed_symvec.h"
 
 namespace gkr {
+
+// Defined in net/round_engine.h (which includes this header); adversaries
+// only ever hold a pointer/reference to the engine's live counters.
+struct EngineCounters;
 
 enum class Sym : std::int8_t {
   Zero = 0,
@@ -49,6 +54,12 @@ enum class Phase : std::uint8_t {
 
 inline constexpr int kNumPhases = 6;
 
+// Bitmask helpers for phase-targeted adversaries (noise/combinators.h).
+inline constexpr unsigned phase_bit(Phase p) noexcept {
+  return 1u << static_cast<unsigned>(p);
+}
+inline constexpr unsigned kAllPhases = (1u << kNumPhases) - 1;
+
 struct RoundContext {
   long round = 0;      // global round index
   int iteration = 0;   // coding-scheme iteration (0 during randomness exchange)
@@ -64,6 +75,12 @@ struct RoundContext {
 class ChannelAdversary {
  public:
   virtual ~ChannelAdversary() = default;
+
+  // The round engine hands every adversary its live counters at construction
+  // (RoundEngine's constructor calls this). Adaptive implementations budget
+  // against them; oblivious/stochastic ones ignore the call. Wrappers
+  // (ScalarizeAdversary, the noise/ combinators) forward it to their inners.
+  virtual void attach(const EngineCounters* counters) { (void)counters; }
 
   // Called once per round before any delivery, with the full packed wire
   // state (indexed by directed link). Default: no-op.
@@ -106,6 +123,7 @@ class ScalarizeAdversary final : public ChannelAdversary {
  public:
   explicit ScalarizeAdversary(ChannelAdversary& inner) : inner_(&inner) {}
 
+  void attach(const EngineCounters* counters) override { inner_->attach(counters); }
   void begin_round(const RoundContext& ctx, const PackedSymVec& sent) override {
     inner_->begin_round(ctx, sent);
   }
@@ -115,6 +133,83 @@ class ScalarizeAdversary final : public ChannelAdversary {
 
  private:
   ChannelAdversary* inner_;
+};
+
+// ---------------------------------------------------------------------------
+// Round-granular adaptive planning (the adversary lab's batched API).
+
+// One planned corruption: deliver `value` on directed link `dlink` instead of
+// whatever was sent there. `value` must differ from the sent symbol — no-op
+// "corruptions" are never planned (they would desynchronize the planner's
+// spend ledger from the engine's word-diff classification).
+struct Corruption {
+  int dlink = 0;
+  Sym value = Sym::None;
+};
+
+// A round's worth of planned corruptions, sparse and sorted by directed link
+// (wire order). Reused across rounds to avoid per-round allocation.
+class CorruptionSet {
+ public:
+  void clear() noexcept { items_.clear(); }
+
+  // Entries must be added in strictly increasing dlink order — the order the
+  // scalar delivery path visits cells, which keeps planners' stateful
+  // decisions (budget checks, rng draws) identical on both paths.
+  void add(int dlink, Sym value) {
+    GKR_ASSERT(items_.empty() || items_.back().dlink < dlink);
+    items_.push_back(Corruption{dlink, value});
+  }
+
+  bool empty() const noexcept { return items_.empty(); }
+  std::size_t size() const noexcept { return items_.size(); }
+  const std::vector<Corruption>& items() const noexcept { return items_; }
+
+  // The planned value for `dlink`, or `fallback` when the cell is clean.
+  Sym value_or(int dlink, Sym fallback) const noexcept;
+
+ private:
+  std::vector<Corruption> items_;
+};
+
+// Base class for adaptive adversaries that decide a whole round at once:
+// plan_round() is called once per round with everything a non-oblivious
+// adversary legally observes — the full wire state and the engine's live
+// counters — and emits the round's corruptions as a CorruptionSet. The base
+// class then serves both delivery paths from that one plan:
+//
+//   * deliver_round applies the set word-parallel (cells of the same 64-bit
+//     wire word are merged into one masked write);
+//   * deliver (the scalar fallback ScalarizeAdversary forces) is a lookup.
+//
+// Planning runs in begin_round, which the engine invokes exactly once per
+// round on both paths, so batched ≡ scalar by construction — the
+// DeliveryEquivalence suite still pins it. This retires the per-cell
+// decision loop the adaptive kinds used before: stateful choices happen once
+// per round, not once per directed link behind a virtual call.
+class PlannedAdversary : public ChannelAdversary {
+ public:
+  void attach(const EngineCounters* counters) override { counters_ = counters; }
+
+  // Emit this round's corruptions in increasing-dlink order. `counters` are
+  // the live engine counters (all-zero until an engine attaches itself),
+  // already including the in-flight round's transmissions.
+  virtual void plan_round(const RoundContext& ctx, const PackedSymVec& sent,
+                          const EngineCounters& counters, CorruptionSet& plan) = 0;
+
+  void begin_round(const RoundContext& ctx, const PackedSymVec& sent) final;
+  Sym deliver(const RoundContext& ctx, int dlink, Sym sent) final {
+    (void)ctx;
+    return plan_.value_or(dlink, sent);
+  }
+  void deliver_round(const RoundContext& ctx, const PackedSymVec& sent,
+                     PackedSymVec& wire) final;
+
+  const CorruptionSet& current_plan() const noexcept { return plan_; }
+
+ private:
+  const EngineCounters* counters_ = nullptr;
+  CorruptionSet plan_;
 };
 
 }  // namespace gkr

@@ -37,11 +37,17 @@ struct EngineCounters {
 
 class RoundEngine {
  public:
+  // Construction hands the adversary this engine's live counters
+  // (ChannelAdversary::attach), so adaptive budgets read ground truth with no
+  // per-call-site wiring. An adversary driven by several engines budgets
+  // against the most recently constructed one.
   RoundEngine(const Topology& topo, ChannelAdversary& adversary)
       : topo_(&topo),
         adversary_(&adversary),
         scratch_sent_(static_cast<std::size_t>(topo.num_dlinks())),
-        scratch_recv_(static_cast<std::size_t>(topo.num_dlinks())) {}
+        scratch_recv_(static_cast<std::size_t>(topo.num_dlinks())) {
+    adversary_->attach(&counters_);
+  }
 
   // Run one synchronous round: `sent` and `received` are indexed by directed
   // link; both must have size num_dlinks(). `sent` is what honest parties put

@@ -1,14 +1,13 @@
 #include "noise/adaptive.h"
 
-namespace gkr {
+#include <bit>
 
-Sym GreedyLinkAttacker::deliver(const RoundContext& ctx, int dlink, Sym sent) {
-  if (dlink / 2 != target_link_) return sent;
-  if (ctx.phase != Phase::Simulation) return sent;
-  if (!is_message(sent)) return sent;  // pure link attack: no insertions
-  if (!budget_.can_spend()) return sent;
-  budget_.spend();
-  // Flip protocol bits; turn ⊥ into a bit (forging "I'm simulating").
+namespace gkr {
+namespace {
+
+// Bit flip the retired scalar loops used: 0↔1, and ⊥ forged into a 0 ("I'm
+// simulating").
+Sym flip_message(Sym sent) noexcept {
   switch (sent) {
     case Sym::Zero:
       return Sym::One;
@@ -19,43 +18,94 @@ Sym GreedyLinkAttacker::deliver(const RoundContext& ctx, int dlink, Sym sent) {
   }
 }
 
-Sym DesyncAttacker::deliver(const RoundContext& ctx, int dlink, Sym sent) {
-  (void)dlink;
-  const bool coordination =
-      ctx.phase == Phase::FlagPassing || ctx.phase == Phase::Rewind;
-  if (!coordination) return sent;
-  if (!budget_.can_spend()) return sent;
-  if (ctx.phase == Phase::FlagPassing) {
-    if (!is_message(sent)) return sent;  // only tamper with real flags
-    budget_.spend();
-    return sent == Sym::One ? Sym::Zero : Sym::One;  // flip continue/stop
+// Visit the message-carrying cells of `sent` in wire order. The candidate
+// scan is word-parallel (one None-mask per 32 cells); `fn(dlink, sym)` runs
+// only on live cells and returns false to stop the walk.
+template <typename Fn>
+void for_each_message(const PackedSymVec& sent, Fn&& fn) {
+  for (std::size_t w = 0; w < sent.num_words(); ++w) {
+    const std::uint64_t word = sent.word(w);
+    std::uint64_t live = PackedSymVec::kCellLsb & ~PackedSymVec::none_mask(word);
+    while (live != 0) {
+      const int bit = std::countr_zero(live);
+      live &= live - 1;
+      const std::size_t dl = w * PackedSymVec::kSymsPerWord +
+                             static_cast<std::size_t>(bit) / 2;
+      if (dl >= sent.size()) return;  // padding is None, so this cannot fire
+      if (!fn(static_cast<int>(dl), static_cast<Sym>((word >> bit) & 3ULL))) return;
+    }
   }
+}
+
+}  // namespace
+
+void GreedyLinkAttacker::plan_round(const RoundContext& ctx, const PackedSymVec& sent,
+                                    const EngineCounters& counters, CorruptionSet& plan) {
+  if (ctx.phase != Phase::Simulation) return;
+  for (int dl = 2 * target_link_; dl <= 2 * target_link_ + 1; ++dl) {
+    if (static_cast<std::size_t>(dl) >= sent.size()) break;
+    const Sym s = sent.get(static_cast<std::size_t>(dl));
+    if (!is_message(s)) continue;  // pure link attack: no insertions
+    if (!budget()->can_spend(counters)) return;
+    const Sym t = flip_message(s);
+    budget()->spend(s, t);
+    plan.add(dl, t);
+  }
+}
+
+void DesyncAttacker::plan_round(const RoundContext& ctx, const PackedSymVec& sent,
+                                const EngineCounters& counters, CorruptionSet& plan) {
+  if (ctx.phase == Phase::FlagPassing) {
+    // Only tamper with real flags; flip continue/stop.
+    for_each_message(sent, [&](int dl, Sym s) {
+      if (!budget()->can_spend(counters)) return false;
+      const Sym t = s == Sym::One ? Sym::Zero : Sym::One;
+      budget()->spend(s, t);
+      plan.add(dl, t);
+      return true;
+    });
+    return;
+  }
+  if (ctx.phase != Phase::Rewind) return;
   // Rewind phase: forge rewind requests on idle wires, eat real ones.
-  budget_.spend();
-  return is_message(sent) ? Sym::None : Sym::One;
+  for (std::size_t dl = 0; dl < sent.size(); ++dl) {
+    if (!budget()->can_spend(counters)) return;
+    const Sym s = sent.get(dl);
+    const Sym t = is_message(s) ? Sym::None : Sym::One;
+    budget()->spend(s, t);
+    plan.add(static_cast<int>(dl), t);
+  }
 }
 
-Sym EchoMpAttacker::deliver(const RoundContext& ctx, int dlink, Sym sent) {
-  if (ctx.phase != Phase::MeetingPoints || dlink / 2 != target_link_) return sent;
-  GKR_ASSERT(sent_ != nullptr);
-  // The opposite direction of the same link: what the receiver itself sent.
-  const int mirror = (dlink % 2 == 0) ? dlink + 1 : dlink - 1;
-  const Sym echo = sent_->get(static_cast<std::size_t>(mirror));
-  if (echo == sent) return sent;  // already identical: free ride
-  if (!budget_.can_spend()) return sent;
-  budget_.spend();
-  return echo;
+void EchoMpAttacker::plan_round(const RoundContext& ctx, const PackedSymVec& sent,
+                                const EngineCounters& counters, CorruptionSet& plan) {
+  if (ctx.phase != Phase::MeetingPoints) return;
+  for (int dl = 2 * target_link_; dl <= 2 * target_link_ + 1; ++dl) {
+    if (static_cast<std::size_t>(dl) >= sent.size()) break;
+    // The opposite direction of the same link: what the receiver itself sent.
+    const Sym echo = sent.get(static_cast<std::size_t>(dl ^ 1));
+    const Sym s = sent.get(static_cast<std::size_t>(dl));
+    if (echo == s) continue;  // already identical: free ride
+    if (!budget()->can_spend(counters)) continue;
+    budget()->spend(s, echo);
+    plan.add(dl, echo);
+  }
 }
 
-Sym RandomAdaptiveAttacker::deliver(const RoundContext& ctx, int dlink, Sym sent) {
+void RandomAdaptiveAttacker::plan_round(const RoundContext& ctx, const PackedSymVec& sent,
+                                        const EngineCounters& counters,
+                                        CorruptionSet& plan) {
   (void)ctx;
-  (void)dlink;
-  if (!is_message(sent)) return sent;
-  // Corrupt ~1 in 64 candidate transmissions, budget permitting.
-  if ((rng_.next_u64() & 63ULL) != 0) return sent;
-  if (!budget_.can_spend()) return sent;
-  budget_.spend();
-  return static_cast<Sym>((static_cast<int>(sent) + 1 + rng_.next_below(3)) % 4);
+  for_each_message(sent, [&](int dl, Sym s) {
+    // Corrupt ~1 in 64 candidate transmissions, budget permitting.
+    if ((rng_.next_u64() & 63ULL) != 0) return true;
+    if (!budget()->can_spend(counters)) return true;
+    const Sym t =
+        static_cast<Sym>((static_cast<int>(s) + 1 + static_cast<int>(rng_.next_below(3))) % 4);
+    budget()->spend(s, t);
+    plan.add(dl, t);
+    return true;
+  });
 }
 
 }  // namespace gkr

@@ -5,15 +5,20 @@
 // the randomness-exchange payload of Algorithms A/B — is fair game.
 //
 // Budgeting: adaptive attackers spend against a *relative* budget
-// rate × (transmissions so far), read live from the engine counters, mirroring
-// the paper's relative noise fraction for adaptive settings (§2.1, [AGS16]).
+// ⌊rate × transmissions⌋ + head_start, read live from the engine counters
+// (RoundEngine attaches them at construction), mirroring the paper's relative
+// noise fraction for adaptive settings (§2.1, [AGS16]).
 //
-// Adaptive adversaries deliberately stay on the scalar deliver() path — the
-// default ChannelAdversary::deliver_round loops it per directed link —
-// because their decisions are stateful per cell (budget checks, rng draws in
-// wire order). The batched engine still wins on accounting and wire packing.
+// All adaptive kinds are PlannedAdversary implementations (net/channel.h):
+// each round they decide their corruptions once in plan_round — visiting
+// candidate cells in wire order, so stateful choices (budget checks, rng
+// draws) land exactly where the retired per-cell scalar loop put them — and
+// the base class applies the plan word-parallel. The scalar deliver() path is
+// a plan lookup, so batched ≡ scalar by construction (pinned by the
+// DeliveryEquivalence suite).
 #pragma once
 
+#include <memory>
 #include <vector>
 
 #include "net/channel.h"
@@ -23,68 +28,113 @@
 
 namespace gkr {
 
-// Shared budget logic for adaptive adversaries.
+// Default absolute allowance so attacks can begin before any traffic exists.
+// Deliberate and documented: a rate-0 adversary can still spend exactly
+// kDefaultHeadStart corruptions (bench F6 and attack_lab use a rate-0
+// "opener" for precisely this). Pass head_start = 0 to forbid it.
+inline constexpr long kDefaultHeadStart = 4;
+
+// Per-type record of the corruptions an attacker inflicted, classified by the
+// same (sent, delivered) taxonomy the engine's word-diff uses (§2.1), so the
+// budget-invariant tests can equate the two ledgers exactly.
+struct SpendLedger {
+  long substitutions = 0;
+  long deletions = 0;
+  long insertions = 0;
+
+  long total() const noexcept { return substitutions + deletions + insertions; }
+};
+
+// Shared budget logic for adaptive adversaries. Allowance is computed with
+// integer semantics — ⌊rate × transmissions⌋ + head_start — instead of the
+// old `spent + 1.0 <= rate·tx + head_start` double comparison, whose
+// fractional boundary depended on rounding noise (e.g. rate = 1/3 at
+// tx = 3 earned 0.999…). The floor is taken with a +1e-9 tolerance so
+// products that are integral in exact arithmetic stay integral.
 class AdaptiveBudget {
  public:
-  // rate: corruptions allowed per transmitted bit (e.g. ε/m);
-  // head_start: small absolute allowance so attacks can begin early.
-  // `counters` may be attached later (the engine that owns them is usually
-  // constructed after the adversary); until then only the head start is
-  // spendable.
-  AdaptiveBudget(const EngineCounters* counters, double rate, long head_start = 4)
-      : counters_(counters), rate_(rate), head_start_(head_start) {}
+  explicit AdaptiveBudget(double rate, long head_start = kDefaultHeadStart)
+      : rate_(rate), head_start_(head_start) {}
 
-  void attach(const EngineCounters* counters) { counters_ = counters; }
-
-  bool can_spend() const {
-    const double seen =
-        counters_ == nullptr ? 0.0 : static_cast<double>(counters_->transmissions);
-    const double allowed = rate_ * seen + static_cast<double>(head_start_);
-    return static_cast<double>(spent_) + 1.0 <= allowed;
+  // Corruptions affordable so far. `counters.transmissions` already includes
+  // the in-flight round (the engine accounts transmissions before delivery).
+  long allowance(const EngineCounters& counters) const noexcept {
+    if (rate_ <= 0.0) return head_start_;
+    const double earned = rate_ * static_cast<double>(counters.transmissions);
+    return static_cast<long>(earned + 1e-9) + head_start_;
   }
 
-  void spend() { ++spent_; }
-  long spent() const noexcept { return spent_; }
+  bool can_spend(const EngineCounters& counters) const noexcept {
+    return ledger_.total() < allowance(counters);
+  }
+
+  // Record one corruption, classified exactly as the engine's word-diff will
+  // classify it. `delivered` must differ from `sent`.
+  void spend(Sym sent, Sym delivered) noexcept {
+    GKR_ASSERT(sent != delivered);
+    if (!is_message(sent)) {
+      ++ledger_.insertions;
+    } else if (!is_message(delivered)) {
+      ++ledger_.deletions;
+    } else {
+      ++ledger_.substitutions;
+    }
+  }
+
+  long spent() const noexcept { return ledger_.total(); }
+  const SpendLedger& ledger() const noexcept { return ledger_; }
+  double rate() const noexcept { return rate_; }
+  long head_start() const noexcept { return head_start_; }
 
  private:
-  const EngineCounters* counters_;
   double rate_;
   long head_start_;
-  long spent_ = 0;
+  SpendLedger ledger_;
+};
+
+// Planned adversary with a relative budget. The budget lives behind a
+// shared_ptr so several attackers can draw from one pool
+// (noise/combinators.h `budget_share`).
+class BudgetedAttacker : public PlannedAdversary {
+ public:
+  const std::shared_ptr<AdaptiveBudget>& budget() const noexcept { return budget_; }
+  void use_budget(std::shared_ptr<AdaptiveBudget> budget) { budget_ = std::move(budget); }
+
+  long spent() const noexcept { return budget_->spent(); }
+  const SpendLedger& ledger() const noexcept { return budget_->ledger(); }
+
+ protected:
+  BudgetedAttacker(double rate, long head_start)
+      : budget_(std::make_shared<AdaptiveBudget>(rate, head_start)) {}
+
+ private:
+  std::shared_ptr<AdaptiveBudget> budget_;
 };
 
 // Corrupts every message it can afford on one undirected link during
 // simulation phases: maximal sustained pressure on a single pairwise
 // transcript.
-class GreedyLinkAttacker final : public ChannelAdversary {
+class GreedyLinkAttacker final : public BudgetedAttacker {
  public:
-  GreedyLinkAttacker(const EngineCounters* counters, double rate, int target_link)
-      : budget_(counters, rate), target_link_(target_link) {}
+  GreedyLinkAttacker(double rate, int target_link, long head_start = kDefaultHeadStart)
+      : BudgetedAttacker(rate, head_start), target_link_(target_link) {}
 
-  Sym deliver(const RoundContext& ctx, int dlink, Sym sent) override;
-
-  void attach(const EngineCounters* c) { budget_.attach(c); }
-  long spent() const noexcept { return budget_.spent(); }
+  void plan_round(const RoundContext& ctx, const PackedSymVec& sent,
+                  const EngineCounters& counters, CorruptionSet& plan) override;
 
  private:
-  AdaptiveBudget budget_;
   int target_link_;
 };
 
 // Attacks coordination metadata: flips flag-passing bits and rewind messages
 // whenever affordable — the "keep the network out of sync" strategy.
-class DesyncAttacker final : public ChannelAdversary {
+class DesyncAttacker final : public BudgetedAttacker {
  public:
-  DesyncAttacker(const EngineCounters* counters, double rate)
-      : budget_(counters, rate) {}
+  explicit DesyncAttacker(double rate, long head_start = kDefaultHeadStart)
+      : BudgetedAttacker(rate, head_start) {}
 
-  Sym deliver(const RoundContext& ctx, int dlink, Sym sent) override;
-
-  void attach(const EngineCounters* c) { budget_.attach(c); }
-  long spent() const noexcept { return budget_.spent(); }
-
- private:
-  AdaptiveBudget budget_;
+  void plan_round(const RoundContext& ctx, const PackedSymVec& sent,
+                  const EngineCounters& counters, CorruptionSet& plan) override;
 };
 
 // The reflection ("echo") attack on the meeting-points phase of one link:
@@ -93,41 +143,29 @@ class DesyncAttacker final : public ChannelAdversary {
 // the strongest traffic-only man-in-the-middle against the consistency check;
 // it needs no knowledge of seeds but Θ(τ) corruptions per iteration, which is
 // what the budget analysis kills (experiment F6).
-class EchoMpAttacker final : public ChannelAdversary {
+class EchoMpAttacker final : public BudgetedAttacker {
  public:
-  EchoMpAttacker(const EngineCounters* counters, double rate, int target_link)
-      : budget_(counters, rate), target_link_(target_link) {}
+  EchoMpAttacker(double rate, int target_link, long head_start = kDefaultHeadStart)
+      : BudgetedAttacker(rate, head_start), target_link_(target_link) {}
 
-  void begin_round(const RoundContext& ctx, const PackedSymVec& sent) override {
-    (void)ctx;
-    sent_ = &sent;
-  }
-
-  Sym deliver(const RoundContext& ctx, int dlink, Sym sent) override;
-
-  void attach(const EngineCounters* c) { budget_.attach(c); }
-  long spent() const noexcept { return budget_.spent(); }
+  void plan_round(const RoundContext& ctx, const PackedSymVec& sent,
+                  const EngineCounters& counters, CorruptionSet& plan) override;
 
  private:
-  AdaptiveBudget budget_;
   int target_link_;
-  const PackedSymVec* sent_ = nullptr;
 };
 
 // Random adaptive vandal: corrupts uniformly random live traffic subject to
 // the relative budget; the adaptive analogue of uniform_plan.
-class RandomAdaptiveAttacker final : public ChannelAdversary {
+class RandomAdaptiveAttacker final : public BudgetedAttacker {
  public:
-  RandomAdaptiveAttacker(const EngineCounters* counters, double rate, Rng rng)
-      : budget_(counters, rate), rng_(rng) {}
+  RandomAdaptiveAttacker(double rate, Rng rng, long head_start = kDefaultHeadStart)
+      : BudgetedAttacker(rate, head_start), rng_(rng) {}
 
-  Sym deliver(const RoundContext& ctx, int dlink, Sym sent) override;
-
-  void attach(const EngineCounters* c) { budget_.attach(c); }
-  long spent() const noexcept { return budget_.spent(); }
+  void plan_round(const RoundContext& ctx, const PackedSymVec& sent,
+                  const EngineCounters& counters, CorruptionSet& plan) override;
 
  private:
-  AdaptiveBudget budget_;
   Rng rng_;
 };
 

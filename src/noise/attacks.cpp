@@ -1,0 +1,92 @@
+#include "noise/attacks.h"
+
+#include <bit>
+
+namespace gkr {
+
+void InsertionFloodAttacker::plan_round(const RoundContext& ctx, const PackedSymVec& sent,
+                                        const EngineCounters& counters,
+                                        CorruptionSet& plan) {
+  if ((phase_mask_ & phase_bit(ctx.phase)) == 0) return;
+  // Word-parallel candidate scan: silent cells are exactly the None mask.
+  for (std::size_t w = 0; w < sent.num_words(); ++w) {
+    std::uint64_t silent = PackedSymVec::none_mask(sent.word(w));
+    while (silent != 0) {
+      const int bit = std::countr_zero(silent);
+      silent &= silent - 1;
+      const std::size_t dl =
+          w * PackedSymVec::kSymsPerWord + static_cast<std::size_t>(bit) / 2;
+      if (dl >= sent.size()) return;  // tail padding reads as silence
+      if (!budget()->can_spend(counters)) return;
+      budget()->spend(Sym::None, Sym::One);
+      plan.add(static_cast<int>(dl), Sym::One);
+    }
+  }
+}
+
+void ExchangeSniperAttacker::plan_round(const RoundContext& ctx, const PackedSymVec& sent,
+                                        const EngineCounters& counters,
+                                        CorruptionSet& plan) {
+  if (ctx.phase != Phase::RandomnessExchange) return;
+  if (target_link_ < 0) {
+    // Lock onto the first observed shipment (lowest dlink carrying payload).
+    for (std::size_t dl = 0; dl < sent.size(); ++dl) {
+      if (is_message(sent.get(dl))) {
+        target_link_ = static_cast<int>(dl) / 2;
+        break;
+      }
+    }
+    if (target_link_ < 0) return;  // nothing shipping yet
+  }
+  for (int dl = 2 * target_link_; dl <= 2 * target_link_ + 1; ++dl) {
+    if (static_cast<std::size_t>(dl) >= sent.size()) break;
+    const Sym s = sent.get(static_cast<std::size_t>(dl));
+    if (!is_message(s)) continue;
+    if (!budget()->can_spend(counters)) return;
+    const Sym t = s == Sym::Zero ? Sym::One : Sym::Zero;
+    budget()->spend(s, t);
+    plan.add(dl, t);
+  }
+}
+
+void MarkovBurstChannel::plan_round(const RoundContext& ctx, const PackedSymVec& sent,
+                                    const EngineCounters& counters, CorruptionSet& plan) {
+  (void)ctx;
+  (void)counters;
+  bad_.resize(sent.size(), 0);
+  // Fixed per-cell draw order (transition, then corruption roll when Bad, then
+  // the substitution value) keeps the stream identical on both delivery paths.
+  for (std::size_t dl = 0; dl < sent.size(); ++dl) {
+    bool bad = bad_[dl] != 0;
+    bad = bad ? !rng_.next_coin(p_exit_) : rng_.next_coin(p_enter_);
+    bad_[dl] = bad ? 1 : 0;
+    if (!bad) continue;
+    const Sym s = sent.get(dl);
+    if (is_message(s)) {
+      if (!rng_.next_coin(p_corrupt_)) continue;
+      // Uniformly random different symbol: substitutions and deletions both
+      // occur inside a burst.
+      const Sym t = static_cast<Sym>(
+          (static_cast<int>(s) + 1 + static_cast<int>(rng_.next_below(3))) % 4);
+      plan.add(static_cast<int>(dl), t);
+    } else {
+      if (!rng_.next_coin(p_corrupt_ * 0.25)) continue;
+      plan.add(static_cast<int>(dl), bit_to_sym(rng_.next_bit()));
+    }
+  }
+}
+
+void RewindSniperAttacker::plan_round(const RoundContext& ctx, const PackedSymVec& sent,
+                                      const EngineCounters& counters, CorruptionSet& plan) {
+  if (ctx.phase != Phase::Rewind) return;
+  if (budget()->allowance(counters) - budget()->spent() < min_burst_) return;  // hoard
+  for (std::size_t dl = 0; dl < sent.size(); ++dl) {
+    if (!budget()->can_spend(counters)) return;
+    const Sym s = sent.get(dl);
+    const Sym t = is_message(s) ? Sym::None : Sym::One;
+    budget()->spend(s, t);
+    plan.add(static_cast<int>(dl), t);
+  }
+}
+
+}  // namespace gkr

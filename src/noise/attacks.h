@@ -1,0 +1,101 @@
+// The adversary lab's extended strategy shelf — attacks beyond the original
+// greedy/desync/echo/vandal quartet, all built on the round-granular
+// plan_round API (net/channel.h). Motivations:
+//
+//  * InsertionFloodAttacker — the BGMO insdel model (arXiv:1508.00514):
+//    insertions are first-class corruptions, and a silent wire is the
+//    cheapest place to forge traffic the receiver has no reason to expect.
+//  * ExchangeSniperAttacker — §5.3/§6: the randomness-exchange payload
+//    crosses the wire, so a non-oblivious adversary legally observes it and
+//    can concentrate its budget on one link's seed shipment.
+//  * MarkovBurstChannel — the classical Gilbert–Elliott bursty channel:
+//    correlated error runs instead of i.i.d. noise; stress-tests the scheme's
+//    recovery pipelining rather than its average-case budget.
+//  * RewindSniperAttacker — Ghaffari–Haeupler-style budget scheduling
+//    (arXiv:1312.1763): hoard the relative budget during calm phases, then
+//    dump it on the rewind wave, the scheme's most decision-heavy rounds.
+#pragma once
+
+#include "noise/adaptive.h"
+#include "util/rng.h"
+
+namespace gkr {
+
+// Forges a protocol bit on every *silent* directed link it can afford during
+// the phases of `phase_mask` (default: the simulation phase, where honest
+// silence encodes "not simulating"). Pure-insertion pressure: the engine
+// classifies every hit as an insertion.
+class InsertionFloodAttacker final : public BudgetedAttacker {
+ public:
+  explicit InsertionFloodAttacker(double rate, long head_start = kDefaultHeadStart,
+                                  unsigned phase_mask = phase_bit(Phase::Simulation))
+      : BudgetedAttacker(rate, head_start), phase_mask_(phase_mask) {}
+
+  void plan_round(const RoundContext& ctx, const PackedSymVec& sent,
+                  const EngineCounters& counters, CorruptionSet& plan) override;
+
+ private:
+  unsigned phase_mask_;
+};
+
+// Eavesdropping attack on the randomness-exchange prologue: watches the wire
+// (which it legally observes — the payload is public traffic, only the CRS of
+// Algorithm C is private), locks onto the first link it sees shipping a seed
+// codeword, and flips every payload symbol on that link it can afford.
+// `target_link` pins the victim instead; -1 means lock on by observation.
+class ExchangeSniperAttacker final : public BudgetedAttacker {
+ public:
+  explicit ExchangeSniperAttacker(double rate, int target_link = -1,
+                                  long head_start = kDefaultHeadStart)
+      : BudgetedAttacker(rate, head_start), target_link_(target_link) {}
+
+  void plan_round(const RoundContext& ctx, const PackedSymVec& sent,
+                  const EngineCounters& counters, CorruptionSet& plan) override;
+
+  // The locked victim link (-1 until the first shipment is observed).
+  int target_link() const noexcept { return target_link_; }
+
+ private:
+  int target_link_;
+};
+
+// Two-state Gilbert–Elliott burst channel, independently per directed link:
+// Good → Bad with probability p_enter, Bad → Good with p_exit, and while Bad
+// each cell is corrupted with probability p_corrupt (messages get a uniformly
+// random different symbol — substitutions and deletions; silent cells get
+// rare insertions at p_corrupt/4). Budget-free like StochasticChannel: the
+// noise level is a rate, not a count. The stationary Bad fraction is
+// p_enter / (p_enter + p_exit), so the long-run corrupted fraction of busy
+// cells is ≈ p_corrupt · p_enter / (p_enter + p_exit).
+class MarkovBurstChannel final : public PlannedAdversary {
+ public:
+  MarkovBurstChannel(Rng rng, double p_enter, double p_exit, double p_corrupt)
+      : rng_(rng), p_enter_(p_enter), p_exit_(p_exit), p_corrupt_(p_corrupt) {}
+
+  void plan_round(const RoundContext& ctx, const PackedSymVec& sent,
+                  const EngineCounters& counters, CorruptionSet& plan) override;
+
+ private:
+  Rng rng_;
+  double p_enter_, p_exit_, p_corrupt_;
+  std::vector<std::uint8_t> bad_;  // per-dlink channel state, lazily sized
+};
+
+// Budget-hoarding rewind-phase sniper: spends nothing while its reserve
+// (allowance − spent) is below `min_burst`, then, during rewind rounds,
+// dumps the reserve — eating real rewind requests and forging them on idle
+// wires — and goes back to hoarding. Models an attacker that saves its
+// relative budget for the scheme's decisive coordination rounds.
+class RewindSniperAttacker final : public BudgetedAttacker {
+ public:
+  explicit RewindSniperAttacker(double rate, long min_burst = 12, long head_start = 0)
+      : BudgetedAttacker(rate, head_start), min_burst_(min_burst) {}
+
+  void plan_round(const RoundContext& ctx, const PackedSymVec& sent,
+                  const EngineCounters& counters, CorruptionSet& plan) override;
+
+ private:
+  long min_burst_;
+};
+
+}  // namespace gkr

@@ -1,0 +1,181 @@
+// Adversary combinators: build composite attacks from the strategy shelf
+// without writing new ChannelAdversary classes. All combinators preserve the
+// batched/scalar delivery-equivalence contract (DESIGN.md §8): they forward
+// begin_round with the *original* wire state (what every man-in-the-middle
+// observes before it interferes), gate or chain both delivery paths the same
+// way, and forward attach so inner budgets see the live engine counters.
+//
+//   compose(a, b)        — b sees a's output: wire → a → b → receivers.
+//   phase_gate(a, mask)  — a acts only in the phases of `mask`.
+//   round_schedule(a, w) — a acts only in the round windows of `w`.
+//   budget_share(a, b)   — b draws from a's AdaptiveBudget pool.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "net/channel.h"
+#include "noise/adaptive.h"
+
+namespace gkr {
+
+// Chain two adversaries on one wire: `second` observes and corrupts what
+// `first` delivered. Both observe the honest wire state in begin_round
+// (planning-style inners decide against pre-interference traffic, which is
+// what a colluding pair tapping the same wire would see). Owning and
+// non-owning construction are both supported.
+//
+// Budget accounting under overlap: each stage self-accounts against the wire
+// it planned on, so when both stages hit the same cell (or the second
+// reverts the first), the engine's word-diff sees at most one corruption
+// while the stages' ledgers record one spend each, with stage-local type
+// classification. Composition therefore *over*-pays — engine corruptions ≤
+// combined spend ≤ the allowance(s) — which keeps the budget bound sound in
+// the attacker's disfavor; exact ledger ≡ engine equality holds only for
+// stages with disjoint targets (e.g. disjoint phases), and that is what the
+// budget-invariant tests assert per case.
+class ComposedAdversary final : public ChannelAdversary {
+ public:
+  ComposedAdversary(ChannelAdversary& first, ChannelAdversary& second)
+      : first_(&first), second_(&second) {}
+  ComposedAdversary(std::unique_ptr<ChannelAdversary> first,
+                    std::unique_ptr<ChannelAdversary> second)
+      : owned_first_(std::move(first)), owned_second_(std::move(second)) {
+    first_ = owned_first_.get();
+    second_ = owned_second_.get();
+  }
+
+  void attach(const EngineCounters* counters) override {
+    first_->attach(counters);
+    second_->attach(counters);
+  }
+
+  void begin_round(const RoundContext& ctx, const PackedSymVec& sent) override {
+    first_->begin_round(ctx, sent);
+    second_->begin_round(ctx, sent);
+  }
+
+  Sym deliver(const RoundContext& ctx, int dlink, Sym sent) override {
+    return second_->deliver(ctx, dlink, first_->deliver(ctx, dlink, sent));
+  }
+
+  void deliver_round(const RoundContext& ctx, const PackedSymVec& sent,
+                     PackedSymVec& wire) override {
+    // `wire` arrives as a copy of `sent` (the deliver_round contract), so the
+    // first stage runs in place; the snapshot of its output is what the
+    // second stage gets as its sent-state.
+    first_->deliver_round(ctx, sent, wire);
+    mid_.copy_from(wire);
+    second_->deliver_round(ctx, mid_, wire);
+  }
+
+ private:
+  ChannelAdversary* first_ = nullptr;
+  ChannelAdversary* second_ = nullptr;
+  std::unique_ptr<ChannelAdversary> owned_first_, owned_second_;
+  PackedSymVec mid_;
+};
+
+inline std::unique_ptr<ChannelAdversary> compose(std::unique_ptr<ChannelAdversary> first,
+                                                 std::unique_ptr<ChannelAdversary> second) {
+  return std::make_unique<ComposedAdversary>(std::move(first), std::move(second));
+}
+
+// Let `inner` act only in the phases of `mask` (build with phase_bit). While
+// gated off, inner sees nothing — begin_round is withheld, so planners do not
+// plan and budgets do not spend.
+class PhaseGateAdversary final : public ChannelAdversary {
+ public:
+  PhaseGateAdversary(ChannelAdversary& inner, unsigned mask) : inner_(&inner), mask_(mask) {}
+  PhaseGateAdversary(std::unique_ptr<ChannelAdversary> inner, unsigned mask)
+      : owned_(std::move(inner)), mask_(mask) {
+    inner_ = owned_.get();
+  }
+
+  void attach(const EngineCounters* counters) override { inner_->attach(counters); }
+
+  void begin_round(const RoundContext& ctx, const PackedSymVec& sent) override {
+    if (active(ctx)) inner_->begin_round(ctx, sent);
+  }
+  Sym deliver(const RoundContext& ctx, int dlink, Sym sent) override {
+    return active(ctx) ? inner_->deliver(ctx, dlink, sent) : sent;
+  }
+  void deliver_round(const RoundContext& ctx, const PackedSymVec& sent,
+                     PackedSymVec& wire) override {
+    if (active(ctx)) inner_->deliver_round(ctx, sent, wire);
+  }
+
+ private:
+  bool active(const RoundContext& ctx) const noexcept {
+    return (mask_ & phase_bit(ctx.phase)) != 0;
+  }
+
+  ChannelAdversary* inner_ = nullptr;
+  std::unique_ptr<ChannelAdversary> owned_;
+  unsigned mask_;
+};
+
+inline std::unique_ptr<ChannelAdversary> phase_gate(std::unique_ptr<ChannelAdversary> inner,
+                                                    unsigned mask) {
+  return std::make_unique<PhaseGateAdversary>(std::move(inner), mask);
+}
+
+// Half-open round window [begin, end).
+struct RoundWindow {
+  long begin = 0;
+  long end = 0;
+};
+
+// Let `inner` act only while the global round index lies in one of the
+// windows — the declarative form of "attack between rounds a and b" (e.g.
+// only during the prologue, or only after the scheme has built up state).
+class RoundScheduleAdversary final : public ChannelAdversary {
+ public:
+  RoundScheduleAdversary(ChannelAdversary& inner, std::vector<RoundWindow> windows)
+      : inner_(&inner), windows_(std::move(windows)) {}
+  RoundScheduleAdversary(std::unique_ptr<ChannelAdversary> inner,
+                         std::vector<RoundWindow> windows)
+      : owned_(std::move(inner)), windows_(std::move(windows)) {
+    inner_ = owned_.get();
+  }
+
+  void attach(const EngineCounters* counters) override { inner_->attach(counters); }
+
+  void begin_round(const RoundContext& ctx, const PackedSymVec& sent) override {
+    if (active(ctx.round)) inner_->begin_round(ctx, sent);
+  }
+  Sym deliver(const RoundContext& ctx, int dlink, Sym sent) override {
+    return active(ctx.round) ? inner_->deliver(ctx, dlink, sent) : sent;
+  }
+  void deliver_round(const RoundContext& ctx, const PackedSymVec& sent,
+                     PackedSymVec& wire) override {
+    if (active(ctx.round)) inner_->deliver_round(ctx, sent, wire);
+  }
+
+ private:
+  bool active(long round) const noexcept {
+    for (const RoundWindow& w : windows_) {
+      if (round >= w.begin && round < w.end) return true;
+    }
+    return false;
+  }
+
+  ChannelAdversary* inner_ = nullptr;
+  std::unique_ptr<ChannelAdversary> owned_;
+  std::vector<RoundWindow> windows_;
+};
+
+inline std::unique_ptr<ChannelAdversary> round_schedule(
+    std::unique_ptr<ChannelAdversary> inner, std::vector<RoundWindow> windows) {
+  return std::make_unique<RoundScheduleAdversary>(std::move(inner), std::move(windows));
+}
+
+// Make `follower` draw from `owner`'s budget pool: total corruptions across
+// both attackers stay within one ⌊rate·tx⌋ + head_start allowance, and the
+// combined spend ledger lives in owner.budget(). This is how a coordinated
+// multi-pronged attack under a single noise-fraction bound is modeled.
+inline void budget_share(BudgetedAttacker& owner, BudgetedAttacker& follower) {
+  follower.use_budget(owner.budget());
+}
+
+}  // namespace gkr

@@ -3,6 +3,8 @@
 #include <cmath>
 
 #include "noise/adaptive.h"
+#include "noise/attacks.h"
+#include "noise/combinators.h"
 #include "noise/oblivious.h"
 #include "noise/stochastic.h"
 #include "noise/strategies.h"
@@ -183,18 +185,22 @@ NoiseFactory stochastic_noise() {
   return f;
 }
 
+namespace {
+
+// Pick a uniformly random victim link for single-link attackers.
+int random_link(const Workload& w, Rng& rng) {
+  return static_cast<int>(rng.next_below(static_cast<std::uint64_t>(w.topo->num_links())));
+}
+
+}  // namespace
+
 NoiseFactory greedy_link_noise() {
   NoiseFactory f;
   f.name = "greedy";
   f.build = [](const Workload& w, double mu, Rng& rng) {
     BuiltNoise out;
     if (mu <= 0.0) return out;
-    const int target =
-        static_cast<int>(rng.next_below(static_cast<std::uint64_t>(w.topo->num_links())));
-    auto adv = std::make_unique<GreedyLinkAttacker>(nullptr, mu, target);
-    GreedyLinkAttacker* raw = adv.get();
-    out.adversary = std::move(adv);
-    out.attach = [raw](const EngineCounters& c) { raw->attach(&c); };
+    out.adversary = std::make_unique<GreedyLinkAttacker>(mu, random_link(w, rng));
     return out;
   };
   return f;
@@ -206,23 +212,134 @@ NoiseFactory random_adaptive_noise() {
   f.build = [](const Workload&, double mu, Rng& rng) {
     BuiltNoise out;
     if (mu <= 0.0) return out;
-    auto adv = std::make_unique<RandomAdaptiveAttacker>(nullptr, mu, rng.fork("vandal"));
-    RandomAdaptiveAttacker* raw = adv.get();
-    out.adversary = std::move(adv);
-    out.attach = [raw](const EngineCounters& c) { raw->attach(&c); };
+    out.adversary = std::make_unique<RandomAdaptiveAttacker>(mu, rng.fork("vandal"));
     return out;
   };
   return f;
 }
 
-NoiseFactory noise_factory(const std::string& name) {
+NoiseFactory desync_noise() {
+  NoiseFactory f;
+  f.name = "desync";
+  f.build = [](const Workload&, double mu, Rng&) {
+    BuiltNoise out;
+    if (mu <= 0.0) return out;
+    out.adversary = std::make_unique<DesyncAttacker>(mu);
+    return out;
+  };
+  return f;
+}
+
+NoiseFactory echo_mp_noise() {
+  NoiseFactory f;
+  f.name = "echo";
+  f.build = [](const Workload& w, double mu, Rng& rng) {
+    BuiltNoise out;
+    if (mu <= 0.0) return out;
+    out.adversary = std::make_unique<EchoMpAttacker>(mu, random_link(w, rng));
+    return out;
+  };
+  return f;
+}
+
+NoiseFactory insertion_flood_noise() {
+  NoiseFactory f;
+  f.name = "insertion_flood";
+  f.build = [](const Workload&, double mu, Rng&) {
+    BuiltNoise out;
+    if (mu <= 0.0) return out;
+    out.adversary = std::make_unique<InsertionFloodAttacker>(mu);
+    return out;
+  };
+  return f;
+}
+
+NoiseFactory exchange_sniper_noise() {
+  NoiseFactory f;
+  f.name = "exchange_sniper";
+  f.build = [](const Workload&, double mu, Rng&) {
+    BuiltNoise out;
+    if (mu <= 0.0) return out;
+    out.adversary = std::make_unique<ExchangeSniperAttacker>(mu);
+    return out;
+  };
+  return f;
+}
+
+NoiseFactory markov_burst_noise() {
+  NoiseFactory f;
+  f.name = "markov_burst";
+  f.build = [](const Workload&, double mu, Rng& rng) {
+    BuiltNoise out;
+    if (mu <= 0.0) return out;
+    // Stationary Bad fraction p_enter/(p_enter+p_exit) ≈ 2μ for small μ, half
+    // of each burst corrupted → long-run corrupted fraction ≈ μ.
+    out.adversary =
+        std::make_unique<MarkovBurstChannel>(rng.fork("markov"), mu / 2.0, 0.25, 0.5);
+    return out;
+  };
+  return f;
+}
+
+NoiseFactory rewind_sniper_noise() {
+  NoiseFactory f;
+  f.name = "rewind_sniper";
+  f.build = [](const Workload&, double mu, Rng&) {
+    BuiltNoise out;
+    if (mu <= 0.0) return out;
+    out.adversary = std::make_unique<RewindSniperAttacker>(mu);
+    return out;
+  };
+  return f;
+}
+
+std::vector<std::string> standard_noise_names() {
+  return {"none",   "uniform",         "stochastic",      "greedy",
+          "random_adaptive", "desync", "echo",            "insertion_flood",
+          "exchange_sniper", "markov_burst",              "rewind_sniper"};
+}
+
+namespace {
+
+NoiseFactory atom_noise_factory(const std::string& name) {
   if (name == "none") return no_noise();
   if (name == "uniform") return uniform_oblivious_noise();
   if (name == "stochastic") return stochastic_noise();
   if (name == "greedy") return greedy_link_noise();
   if (name == "random_adaptive") return random_adaptive_noise();
+  if (name == "desync") return desync_noise();
+  if (name == "echo") return echo_mp_noise();
+  if (name == "insertion_flood") return insertion_flood_noise();
+  if (name == "exchange_sniper") return exchange_sniper_noise();
+  if (name == "markov_burst") return markov_burst_noise();
+  if (name == "rewind_sniper") return rewind_sniper_noise();
   GKR_ASSERT_MSG(false, "unknown noise strategy name");
   return {};
+}
+
+}  // namespace
+
+NoiseFactory noise_factory(const std::string& name) {
+  const std::size_t plus = name.find('+');
+  if (plus == std::string::npos) return atom_noise_factory(name);
+
+  // "a+b[+c…]": deliver through the atoms left to right (compose folds left).
+  NoiseFactory first = atom_noise_factory(name.substr(0, plus));
+  NoiseFactory rest = noise_factory(name.substr(plus + 1));
+  NoiseFactory f;
+  f.name = name;
+  GKR_ASSERT_MSG(first.mode == rest.mode, "composed noises must share an exec mode");
+  f.mode = first.mode;
+  f.build = [first, rest](const Workload& w, double mu, Rng& rng) {
+    BuiltNoise a = first.build(w, mu, rng);
+    BuiltNoise b = rest.build(w, mu, rng);
+    BuiltNoise out;
+    if (a.adversary == nullptr) return b;
+    if (b.adversary == nullptr) return a;
+    out.adversary = compose(std::move(a.adversary), std::move(b.adversary));
+    return out;
+  };
+  return f;
 }
 
 }  // namespace gkr::sim

@@ -49,13 +49,12 @@ struct ProtocolFactory {
   std::function<std::shared_ptr<const ProtocolSpec>(const Topology&)> build;
 };
 
-// An adversary instantiated for one run. `attach` (optional) is invoked with
-// the live engine counters before the simulation starts — adaptive
-// adversaries budget against them. A null adversary means a noiseless
-// channel.
+// An adversary instantiated for one run. A null adversary means a noiseless
+// channel. Adaptive kinds need no attach plumbing: the round engine hands
+// every adversary its live counters at construction
+// (ChannelAdversary::attach).
 struct BuiltNoise {
   std::unique_ptr<ChannelAdversary> adversary;
-  std::function<void(const EngineCounters&)> attach;
 };
 
 // Named noise strategy. `build` may query the workload's public timetable
@@ -134,8 +133,34 @@ NoiseFactory greedy_link_noise();
 // Adaptive uniform vandal at relative rate μ.
 NoiseFactory random_adaptive_noise();
 
-// Lookup by name over all standard noise factories above; asserts on unknown
-// names. Names: none, uniform, stochastic, greedy, random_adaptive.
+// Adaptive coordination attacker (flag flips + rewind forgery) at rate μ.
+NoiseFactory desync_noise();
+
+// Echo man-in-the-middle on the meeting points of one random link at rate μ.
+NoiseFactory echo_mp_noise();
+
+// Insertion flood on silent simulation-phase wires at rate μ.
+NoiseFactory insertion_flood_noise();
+
+// Eavesdropping randomness-exchange sniper (locks onto the first observed
+// seed shipment) at rate μ.
+NoiseFactory exchange_sniper_noise();
+
+// Gilbert–Elliott burst channel with long-run corrupted fraction ≈ μ.
+NoiseFactory markov_burst_noise();
+
+// Budget-hoarding rewind-phase sniper at rate μ.
+NoiseFactory rewind_sniper_noise();
+
+// The names of every standard adversary above, in registry order — the
+// declarative adversary axis a sweep can enumerate wholesale.
+std::vector<std::string> standard_noise_names();
+
+// Lookup by spec string over all standard noise factories above; asserts on
+// unknown names. Atoms: none, uniform, stochastic, greedy, random_adaptive,
+// desync, echo, insertion_flood, exchange_sniper, markov_burst,
+// rewind_sniper. Specs may chain atoms with '+' (noise/combinators.h
+// compose): "greedy+echo" delivers through greedy first, then echo.
 NoiseFactory noise_factory(const std::string& name);
 
 }  // namespace gkr::sim

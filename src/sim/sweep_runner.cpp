@@ -57,7 +57,6 @@ RunRecord SweepRunner::execute(const RunSpec& spec) const {
   ChannelAdversary& adv = noise.adversary ? *noise.adversary : static_cast<ChannelAdversary&>(none);
 
   if (noise_f.mode == ExecMode::Uncoded) {
-    GKR_ASSERT_MSG(!noise.attach, "uncoded runs cannot attach engine counters");
     const BaselineResult r = run_uncoded(*w.proto, w.inputs, w.reference, adv);
     rec.success = r.success;
     rec.cc_coded = r.cc;
@@ -75,7 +74,6 @@ RunRecord SweepRunner::execute(const RunSpec& spec) const {
     rec.rounds = r.counters.rounds;
   } else {
     CodedSimulation sim(*w.proto, w.inputs, w.reference, w.cfg, adv);
-    if (noise.attach) noise.attach(sim.engine_counters());
     const SimulationResult r = sim.run();
     rec.success = r.success;
     rec.iterations = r.iterations;

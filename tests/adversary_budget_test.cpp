@@ -1,0 +1,188 @@
+// Budget-invariant property tests (ISSUE 3): for every budgeted adaptive
+// adversary, over random wire traffic and random seeds,
+//
+//   (1) corruptions spent never exceed the relative allowance
+//       ⌊rate × transmissions⌋ + head_start — checked against the engine's
+//       live counters after every round, not just at the end;
+//   (2) the engine's word-diff classification (substitution/deletion/
+//       insertion counts) equals the adversary's own spend ledger exactly —
+//       the attacker's self-accounting and the channel ground truth are the
+//       same numbers.
+//
+// Both invariants are also checked through the full coding scheme, and for a
+// budget-shared composite (two attackers drawing from one pool).
+#include <gtest/gtest.h>
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "core/coding_scheme.h"
+#include "net/round_engine.h"
+#include "net/topology.h"
+#include "noise/adaptive.h"
+#include "noise/attacks.h"
+#include "noise/combinators.h"
+#include "sim/workload.h"
+
+namespace gkr {
+namespace {
+
+struct BudgetedKind {
+  const char* name;
+  // Builds the attacker; the returned raw pointer sees the whole composite's
+  // spend (for budget-shared composites, the shared pool's ledger).
+  std::function<std::unique_ptr<ChannelAdversary>(std::uint64_t seed,
+                                                  BudgetedAttacker*& ledger_view)> build;
+};
+
+std::vector<BudgetedKind> budgeted_kinds() {
+  std::vector<BudgetedKind> kinds;
+  kinds.push_back({"greedy", [](std::uint64_t, BudgetedAttacker*& view) {
+                     auto a = std::make_unique<GreedyLinkAttacker>(0.02, 1);
+                     view = a.get();
+                     return std::unique_ptr<ChannelAdversary>(std::move(a));
+                   }});
+  kinds.push_back({"desync", [](std::uint64_t, BudgetedAttacker*& view) {
+                     auto a = std::make_unique<DesyncAttacker>(0.01);
+                     view = a.get();
+                     return std::unique_ptr<ChannelAdversary>(std::move(a));
+                   }});
+  kinds.push_back({"echo", [](std::uint64_t, BudgetedAttacker*& view) {
+                     auto a = std::make_unique<EchoMpAttacker>(0.03, 0);
+                     view = a.get();
+                     return std::unique_ptr<ChannelAdversary>(std::move(a));
+                   }});
+  kinds.push_back({"random_adaptive", [](std::uint64_t seed, BudgetedAttacker*& view) {
+                     auto a = std::make_unique<RandomAdaptiveAttacker>(0.02, Rng(seed));
+                     view = a.get();
+                     return std::unique_ptr<ChannelAdversary>(std::move(a));
+                   }});
+  kinds.push_back({"insertion_flood", [](std::uint64_t, BudgetedAttacker*& view) {
+                     auto a = std::make_unique<InsertionFloodAttacker>(0.01);
+                     view = a.get();
+                     return std::unique_ptr<ChannelAdversary>(std::move(a));
+                   }});
+  kinds.push_back({"exchange_sniper", [](std::uint64_t, BudgetedAttacker*& view) {
+                     auto a = std::make_unique<ExchangeSniperAttacker>(0.05);
+                     view = a.get();
+                     return std::unique_ptr<ChannelAdversary>(std::move(a));
+                   }});
+  kinds.push_back({"rewind_sniper", [](std::uint64_t, BudgetedAttacker*& view) {
+                     auto a = std::make_unique<RewindSniperAttacker>(0.02, /*min_burst=*/6);
+                     view = a.get();
+                     return std::unique_ptr<ChannelAdversary>(std::move(a));
+                   }});
+  // Two attackers on disjoint phases drawing from one shared pool: the pool's
+  // combined ledger must still match the engine's ground truth, and the pool
+  // bound covers the *sum* of both attackers' spend.
+  kinds.push_back({"budget_share(greedy,desync)",
+                   [](std::uint64_t, BudgetedAttacker*& view) {
+                     auto g = std::make_unique<GreedyLinkAttacker>(0.02, 1);
+                     auto d = std::make_unique<DesyncAttacker>(0.0, /*head_start=*/0);
+                     budget_share(*g, *d);
+                     view = g.get();
+                     return compose(std::move(g), std::move(d));
+                   }});
+  return kinds;
+}
+
+TEST(BudgetInvariant, EngineSpendNeverExceedsAllowanceAndLedgerMatches) {
+  const Topology topo = Topology::clique(4);
+  const std::size_t d = static_cast<std::size_t>(topo.num_dlinks());
+  for (const BudgetedKind& kind : budgeted_kinds()) {
+    for (const std::uint64_t seed : {1ULL, 77ULL, 4096ULL}) {
+      SCOPED_TRACE(kind.name);
+      SCOPED_TRACE(seed);
+      BudgetedAttacker* view = nullptr;
+      std::unique_ptr<ChannelAdversary> adv = kind.build(seed, view);
+      ASSERT_NE(view, nullptr);
+      const AdaptiveBudget& budget = *view->budget();
+
+      RoundEngine engine(topo, *adv);
+      Rng rng(seed ^ 0xabcdULL);
+      PackedSymVec sent(d), recv(d);
+      for (long r = 0; r < 500; ++r) {
+        sent.fill(Sym::None);
+        for (std::size_t dl = 0; dl < d; ++dl) {
+          const std::uint64_t roll = rng.next_below(8);
+          if (roll < 5) sent.set(dl, roll < 3 ? bit_to_sym(roll & 1) : Sym::Bot);
+        }
+        engine.step(RoundContext{r, 0, static_cast<Phase>(r % 5)}, sent, recv);
+        // (1) the relative bound holds after every round.
+        ASSERT_LE(budget.spent(), budget.allowance(engine.counters()))
+            << "round " << r;
+      }
+      // (2) ledger == engine word-diff classification, per corruption type.
+      const EngineCounters& c = engine.counters();
+      EXPECT_EQ(budget.ledger().substitutions, c.substitutions);
+      EXPECT_EQ(budget.ledger().deletions, c.deletions);
+      EXPECT_EQ(budget.ledger().insertions, c.insertions);
+      EXPECT_EQ(budget.spent(), c.corruptions);
+      EXPECT_GT(c.transmissions, 0);
+    }
+  }
+}
+
+// Overlapping composition: two attackers hitting the same phase (and
+// sometimes the same cells) each pay for their own interference, so the
+// engine's word-diff may count fewer corruptions than the combined ledgers —
+// composition over-pays, never under-pays (noise/combinators.h). The
+// security-relevant direction is pinned: engine corruptions ≤ combined spend
+// ≤ combined allowance, after every round.
+TEST(BudgetInvariant, OverlappingCompositionOverPaysNeverUnderPays) {
+  const Topology topo = Topology::clique(4);
+  const std::size_t d = static_cast<std::size_t>(topo.num_dlinks());
+  for (const std::uint64_t seed : {5ULL, 91ULL}) {
+    SCOPED_TRACE(seed);
+    // Both act during Simulation rounds; the vandal regularly lands on the
+    // greedy attacker's link, and can even revert its flips.
+    auto vandal = std::make_unique<RandomAdaptiveAttacker>(0.05, Rng(seed));
+    auto greedy = std::make_unique<GreedyLinkAttacker>(0.05, 1);
+    const AdaptiveBudget& vb = *vandal->budget();
+    const AdaptiveBudget& gb = *greedy->budget();
+    std::unique_ptr<ChannelAdversary> adv = compose(std::move(vandal), std::move(greedy));
+
+    RoundEngine engine(topo, *adv);
+    Rng rng(seed ^ 0x5eedULL);
+    PackedSymVec sent(d), recv(d);
+    bool overlapped = false;
+    for (long r = 0; r < 2000; ++r) {
+      sent.fill(Sym::None);
+      for (std::size_t dl = 0; dl < d; ++dl) {
+        if (rng.next_coin(0.7)) sent.set(dl, bit_to_sym(rng.next_bit()));
+      }
+      engine.step(RoundContext{r, 0, Phase::Simulation}, sent, recv);
+      const EngineCounters& c = engine.counters();
+      const long spent = vb.spent() + gb.spent();
+      ASSERT_LE(c.corruptions, spent) << "round " << r;
+      ASSERT_LE(spent, vb.allowance(c) + gb.allowance(c)) << "round " << r;
+      if (c.corruptions < spent) overlapped = true;
+    }
+    // The scenario must actually exercise an overlap, or it pins nothing.
+    EXPECT_TRUE(overlapped);
+  }
+}
+
+// The same invariants through the full coding scheme: SimulationResult's
+// engine counters are the ground truth the attacker's ledger must equal.
+TEST(BudgetInvariant, FullSchemeLedgerMatchesEngineCounters) {
+  for (const BudgetedKind& kind : budgeted_kinds()) {
+    SCOPED_TRACE(kind.name);
+    sim::Workload w = sim::gossip_workload(
+        std::make_shared<Topology>(Topology::ring(4)), Variant::ExchangeNonOblivious,
+        /*seed=*/123, /*rounds=*/6);
+    BudgetedAttacker* view = nullptr;
+    std::unique_ptr<ChannelAdversary> adv = kind.build(9, view);
+    ASSERT_NE(view, nullptr);
+    const SimulationResult r = w.run(*adv);
+    const AdaptiveBudget& budget = *view->budget();
+    EXPECT_EQ(budget.ledger().substitutions, r.counters.substitutions);
+    EXPECT_EQ(budget.ledger().deletions, r.counters.deletions);
+    EXPECT_EQ(budget.ledger().insertions, r.counters.insertions);
+    EXPECT_LE(budget.spent(), budget.allowance(r.counters));
+  }
+}
+
+}  // namespace
+}  // namespace gkr

@@ -1,0 +1,131 @@
+// Golden-digest regression corpus (ISSUE 3): a small seed × topology ×
+// adversary grid whose SimulationResult digests are recorded in-tree and
+// asserted bit-stable. Determinism breaks — a reordered rng draw, a changed
+// plan iteration order, a counter accounted in the wrong phase — are caught
+// at PR time here instead of surfacing later as unexplained bench drift.
+//
+// The digest folds only integer fields (every double in SimulationResult is
+// derived from them), so the expected values are platform-independent given
+// IEEE-754 doubles for the budget/plan arithmetic, which the toolchains we
+// build on all provide.
+//
+// Updating goldens: when a change *intentionally* alters simulation behavior
+// (new rng draw order, different plan semantics), run this test and paste the
+// printed actual digests; the failure message emits the full replacement
+// table. Never update them for an unintentional diff — that is the regression
+// this corpus exists to catch.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/coding_scheme.h"
+#include "net/topology.h"
+#include "sim/param_grid.h"
+#include "sim/workload.h"
+#include "util/digest.h"
+
+namespace gkr {
+namespace {
+
+std::uint64_t result_digest(const SimulationResult& r) {
+  std::uint64_t d = 0x9d6f0a7c5b3e1842ULL;
+  const auto fold = [&d](std::uint64_t x) { d = mix64(d ^ mix64(x)); };
+  fold(r.success ? 1 : 0);
+  fold(r.outputs_match ? 1 : 0);
+  fold(r.transcripts_match ? 1 : 0);
+  fold(static_cast<std::uint64_t>(r.cc_coded));
+  fold(static_cast<std::uint64_t>(r.cc_user));
+  fold(static_cast<std::uint64_t>(r.cc_chunked));
+  fold(static_cast<std::uint64_t>(r.counters.rounds));
+  fold(static_cast<std::uint64_t>(r.counters.transmissions));
+  fold(static_cast<std::uint64_t>(r.counters.corruptions));
+  fold(static_cast<std::uint64_t>(r.counters.substitutions));
+  fold(static_cast<std::uint64_t>(r.counters.deletions));
+  fold(static_cast<std::uint64_t>(r.counters.insertions));
+  for (long v : r.counters.transmissions_by_phase) fold(static_cast<std::uint64_t>(v));
+  for (long v : r.counters.corruptions_by_phase) fold(static_cast<std::uint64_t>(v));
+  fold(static_cast<std::uint64_t>(r.hash_collisions));
+  fold(static_cast<std::uint64_t>(r.mp_truncations));
+  fold(static_cast<std::uint64_t>(r.rewind_truncations));
+  fold(static_cast<std::uint64_t>(r.rewinds_sent));
+  fold(static_cast<std::uint64_t>(r.exchange_failures));
+  fold(static_cast<std::uint64_t>(r.iterations));
+  fold(static_cast<std::uint64_t>(r.replayer_rebuilds));
+  return d;
+}
+
+struct CorpusEntry {
+  const char* topology;  // "ring4" or "star5"
+  const char* spec;      // sim adversary-registry spec
+  std::uint64_t expected;
+};
+
+// The golden table. Workload: gossip(6) on the named topology, Algorithm B
+// (ExchangeNonOblivious), workload seed 2026, noise stream seed 7, μ = 0.004.
+const CorpusEntry kCorpus[] = {
+    {"ring4", "none", 0x737f0d6adab4a3abULL},
+    {"ring4", "uniform", 0x112c082dbf4f7485ULL},
+    {"ring4", "stochastic", 0x2c7e5f26e78818c7ULL},
+    {"ring4", "greedy", 0x1c96270c0cea90ccULL},
+    {"ring4", "random_adaptive", 0x1230efabccbb0a8ULL},
+    {"ring4", "desync", 0xc55084393f9670a7ULL},
+    // Standalone echo equals "none" by design: with no opener the two
+    // directions of a clean link carry identical hash bits, so every echo is
+    // a free ride — the attacker that only *hides* divergence corrupts
+    // nothing when there is none.
+    {"ring4", "echo", 0x737f0d6adab4a3abULL},
+    {"ring4", "insertion_flood", 0xcb5909fc2215cd19ULL},
+    {"ring4", "exchange_sniper", 0x961b42e8844015d5ULL},
+    {"ring4", "markov_burst", 0xd4d1b7c32b96391eULL},
+    {"ring4", "rewind_sniper", 0x5c57e36546be8c0ULL},
+    {"ring4", "greedy+echo", 0xcd3ef5c03513d044ULL},
+    {"star5", "uniform", 0x35b3a1862ebdda83ULL},
+    {"star5", "stochastic", 0x63f50681c36acb8ULL},
+    {"star5", "greedy", 0x6227d1b49337fdd6ULL},
+    {"star5", "desync", 0xefbb83c7f7c788ULL},
+    {"star5", "insertion_flood", 0x8b4cbae2a8b50c7dULL},
+    {"star5", "markov_burst", 0x12196909989c3557ULL},
+    {"star5", "rewind_sniper", 0xee513588f693f79dULL},
+    {"star5", "greedy+echo", 0xf9b0e9962b09db12ULL},
+};
+
+std::shared_ptr<Topology> build_topology(const std::string& name) {
+  if (name == "ring4") return std::make_shared<Topology>(Topology::ring(4));
+  if (name == "star5") return std::make_shared<Topology>(Topology::star(5));
+  ADD_FAILURE() << "unknown corpus topology " << name;
+  return nullptr;
+}
+
+TEST(AdversaryCorpus, GoldenDigestsAreBitStable) {
+  std::string replacement;  // printed wholesale on any mismatch
+  bool mismatch = false;
+  for (const CorpusEntry& entry : kCorpus) {
+    SCOPED_TRACE(std::string(entry.topology) + " / " + entry.spec);
+    sim::Workload w = sim::gossip_workload(build_topology(entry.topology),
+                                           Variant::ExchangeNonOblivious,
+                                           /*seed=*/2026, /*rounds=*/6);
+    const sim::NoiseFactory factory = sim::noise_factory(entry.spec);
+    Rng noise_rng(7);
+    sim::BuiltNoise noise = factory.build(w, /*mu=*/0.004, noise_rng);
+    NoNoise none;
+    ChannelAdversary& adv =
+        noise.adversary ? *noise.adversary : static_cast<ChannelAdversary&>(none);
+    const std::uint64_t actual = result_digest(w.run(adv));
+    if (actual != entry.expected) mismatch = true;
+    EXPECT_EQ(actual, entry.expected);
+    char line[160];
+    std::snprintf(line, sizeof line, "    {\"%s\", \"%s\", 0x%llxULL},\n", entry.topology,
+                  entry.spec, static_cast<unsigned long long>(actual));
+    replacement += line;
+  }
+  if (mismatch) {
+    ADD_FAILURE() << "corpus digests changed; if intentional, replace kCorpus with:\n"
+                  << replacement;
+  }
+}
+
+}  // namespace
+}  // namespace gkr

@@ -266,10 +266,8 @@ TEST(CodedSimulation, SurvivesGreedyLinkAttackerAtBudget) {
   // threshold ε* (each corruption costs ~3 iterations of recovery; bench F2
   // charts the threshold itself).
   const double rate = 0.002 / (topo->num_links() * std::log2(topo->num_links()));
-  GreedyLinkAttacker adv(nullptr, rate, /*target_link=*/1);
-  CodedSimulation sim(*b.proto, b.inputs, b.reference, b.cfg, adv);
-  adv.attach(&sim.engine_counters());
-  const SimulationResult r = sim.run();
+  GreedyLinkAttacker adv(rate, /*target_link=*/1);
+  const SimulationResult r = run_coded(*b.proto, b.inputs, b.reference, b.cfg, adv);
   EXPECT_TRUE(r.success);
 }
 
@@ -279,10 +277,8 @@ TEST(CodedSimulation, SurvivesDesyncAttackerAtBudget) {
   Bench b = make_bench(topo, spec, Variant::ExchangeNonOblivious, 67);
   b.cfg.iteration_factor = 10.0;
   const double rate = 0.005 / topo->num_links();
-  DesyncAttacker adv(nullptr, rate);
-  CodedSimulation sim(*b.proto, b.inputs, b.reference, b.cfg, adv);
-  adv.attach(&sim.engine_counters());
-  const SimulationResult r = sim.run();
+  DesyncAttacker adv(rate);
+  const SimulationResult r = run_coded(*b.proto, b.inputs, b.reference, b.cfg, adv);
   EXPECT_TRUE(r.success);
 }
 

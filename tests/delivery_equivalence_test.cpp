@@ -1,0 +1,211 @@
+// The batched-vs-scalar delivery-equivalence contract (DESIGN.md §8), for
+// every adversary kind and combinator: deliver_round must produce exactly the
+// symbols, counters, and SimulationResults of the per-link deliver path,
+// which ScalarizeAdversary forces. Two levels:
+//
+//   * engine level — pump pseudo-random wire state through two RoundEngines
+//     holding identically-constructed adversaries, one scalarized, and
+//     require identical received symbols every round plus identical counters;
+//   * scheme level — run the full CodedSimulation once per delivery path for
+//     every spec in the sim adversary registry (atoms and a composed spec)
+//     and require identical SimulationResults.
+#include <gtest/gtest.h>
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/coding_scheme.h"
+#include "net/round_engine.h"
+#include "net/topology.h"
+#include "noise/adaptive.h"
+#include "noise/attacks.h"
+#include "noise/combinators.h"
+#include "noise/oblivious.h"
+#include "noise/stochastic.h"
+#include "noise/strategies.h"
+#include "sim/param_grid.h"
+#include "sim/workload.h"
+
+namespace gkr {
+namespace {
+
+// Pump `rounds` of pseudo-random wire state through two engines — one on the
+// batched deliver_round path, one forced onto the scalar deliver fallback via
+// ScalarizeAdversary — and require identical received symbols every round and
+// identical counters at the end. `a` and `b` must be identically-constructed
+// instances (adaptive kinds mutate state while planning). Each engine
+// attaches its own counters to its adversary at construction.
+void expect_engine_equivalence(const Topology& topo, ChannelAdversary& a,
+                               ChannelAdversary& b, long rounds = 400) {
+  RoundEngine batched(topo, a);
+  ScalarizeAdversary wrap(b);
+  RoundEngine scalar(topo, wrap);
+
+  const std::size_t d = static_cast<std::size_t>(topo.num_dlinks());
+  Rng rng(1234);
+  PackedSymVec sent(d), got_batched(d), got_scalar(d);
+  for (long r = 0; r < rounds; ++r) {
+    sent.fill(Sym::None);
+    for (std::size_t dl = 0; dl < d; ++dl) {
+      const std::uint64_t roll = rng.next_below(8);
+      if (roll < 5) sent.set(dl, roll < 3 ? bit_to_sym(roll & 1) : Sym::Bot);
+    }
+    // Cycle all five scheme phases so phase-targeted attackers (exchange
+    // sniper, desync, rewind sniper) exercise their active rounds.
+    const Phase phase = static_cast<Phase>(r % 5);
+    batched.step(RoundContext{r, 0, phase}, sent, got_batched);
+    scalar.step(RoundContext{r, 0, phase}, sent, got_scalar);
+    ASSERT_EQ(got_batched, got_scalar) << "round " << r;
+  }
+  const EngineCounters& cb = batched.counters();
+  const EngineCounters& cs = scalar.counters();
+  EXPECT_EQ(cb.transmissions, cs.transmissions);
+  EXPECT_EQ(cb.corruptions, cs.corruptions);
+  EXPECT_EQ(cb.substitutions, cs.substitutions);
+  EXPECT_EQ(cb.deletions, cs.deletions);
+  EXPECT_EQ(cb.insertions, cs.insertions);
+  EXPECT_EQ(cb.transmissions_by_phase, cs.transmissions_by_phase);
+  EXPECT_EQ(cb.corruptions_by_phase, cs.corruptions_by_phase);
+  EXPECT_GT(cb.transmissions, 0);
+}
+
+using Builder = std::function<std::unique_ptr<ChannelAdversary>()>;
+
+struct Kind {
+  const char* name;
+  Builder build;  // must yield identically-behaving instances on every call
+};
+
+std::vector<Kind> engine_kinds(const Topology& topo) {
+  std::vector<Kind> kinds;
+  kinds.push_back({"none", [] { return std::make_unique<NoNoise>(); }});
+  kinds.push_back({"stochastic", [] {
+                     return std::make_unique<StochasticChannel>(Rng(5), 0.05, 0.03, 0.02);
+                   }});
+  const int dlinks = topo.num_dlinks();
+  kinds.push_back({"oblivious_additive", [dlinks]() -> std::unique_ptr<ChannelAdversary> {
+                     Rng rng(6);
+                     return std::make_unique<ObliviousAdversary>(
+                         uniform_plan(400, dlinks, 120, rng), ObliviousMode::Additive);
+                   }});
+  kinds.push_back({"oblivious_fixing", [dlinks]() -> std::unique_ptr<ChannelAdversary> {
+                     Rng rng(6);
+                     NoisePlan plan = uniform_plan(400, dlinks, 120, rng);
+                     for (NoiseEvent& e : plan) e.value = static_cast<std::uint8_t>(e.value & 3);
+                     return std::make_unique<ObliviousAdversary>(std::move(plan),
+                                                                 ObliviousMode::Fixing);
+                   }});
+  kinds.push_back({"greedy", [] { return std::make_unique<GreedyLinkAttacker>(0.01, 2); }});
+  kinds.push_back({"desync", [] { return std::make_unique<DesyncAttacker>(0.01); }});
+  kinds.push_back({"echo", [] { return std::make_unique<EchoMpAttacker>(0.02, 1); }});
+  kinds.push_back({"random_adaptive", [] {
+                     return std::make_unique<RandomAdaptiveAttacker>(0.01, Rng(9));
+                   }});
+  kinds.push_back({"insertion_flood", [] {
+                     return std::make_unique<InsertionFloodAttacker>(0.01);
+                   }});
+  kinds.push_back({"exchange_sniper", [] {
+                     return std::make_unique<ExchangeSniperAttacker>(0.02);
+                   }});
+  kinds.push_back({"markov_burst", [] {
+                     return std::make_unique<MarkovBurstChannel>(Rng(11), 0.01, 0.2, 0.5);
+                   }});
+  kinds.push_back({"rewind_sniper", [] {
+                     return std::make_unique<RewindSniperAttacker>(0.02, /*min_burst=*/8);
+                   }});
+  // Combinators, over stateful inners to stress the forwarding rules.
+  kinds.push_back({"compose(greedy,echo)", [] {
+                     return compose(std::make_unique<GreedyLinkAttacker>(0.01, 1),
+                                    std::make_unique<EchoMpAttacker>(0.02, 1));
+                   }});
+  kinds.push_back({"phase_gate(stochastic)", [] {
+                     return phase_gate(
+                         std::make_unique<StochasticChannel>(Rng(7), 0.05, 0.02, 0.02),
+                         phase_bit(Phase::MeetingPoints) | phase_bit(Phase::Simulation));
+                   }});
+  kinds.push_back({"round_schedule(markov_burst)", [] {
+                     return round_schedule(
+                         std::make_unique<MarkovBurstChannel>(Rng(13), 0.02, 0.2, 0.5),
+                         {{0, 50}, {200, 320}});
+                   }});
+  kinds.push_back({"budget_share(greedy,desync)", []() -> std::unique_ptr<ChannelAdversary> {
+                     auto g = std::make_unique<GreedyLinkAttacker>(0.01, 0);
+                     auto ds = std::make_unique<DesyncAttacker>(0.0, /*head_start=*/0);
+                     budget_share(*g, *ds);
+                     return compose(std::move(g), std::move(ds));
+                   }});
+  return kinds;
+}
+
+TEST(DeliveryEquivalence, EngineAllKindsAndCombinators) {
+  const Topology topo = Topology::clique(4);
+  for (const Kind& kind : engine_kinds(topo)) {
+    SCOPED_TRACE(kind.name);
+    std::unique_ptr<ChannelAdversary> a = kind.build();
+    std::unique_ptr<ChannelAdversary> b = kind.build();
+    expect_engine_equivalence(topo, *a, *b);
+  }
+}
+
+// ---------------------------------------------------------- full scheme
+
+void expect_results_equal(const SimulationResult& x, const SimulationResult& y) {
+  EXPECT_EQ(x.success, y.success);
+  EXPECT_EQ(x.outputs_match, y.outputs_match);
+  EXPECT_EQ(x.transcripts_match, y.transcripts_match);
+  EXPECT_EQ(x.cc_coded, y.cc_coded);
+  EXPECT_EQ(x.counters.rounds, y.counters.rounds);
+  EXPECT_EQ(x.counters.corruptions, y.counters.corruptions);
+  EXPECT_EQ(x.counters.substitutions, y.counters.substitutions);
+  EXPECT_EQ(x.counters.deletions, y.counters.deletions);
+  EXPECT_EQ(x.counters.insertions, y.counters.insertions);
+  EXPECT_EQ(x.counters.transmissions_by_phase, y.counters.transmissions_by_phase);
+  EXPECT_EQ(x.counters.corruptions_by_phase, y.counters.corruptions_by_phase);
+  EXPECT_DOUBLE_EQ(x.noise_fraction, y.noise_fraction);
+  EXPECT_EQ(x.hash_collisions, y.hash_collisions);
+  EXPECT_EQ(x.mp_truncations, y.mp_truncations);
+  EXPECT_EQ(x.rewind_truncations, y.rewind_truncations);
+  EXPECT_EQ(x.rewinds_sent, y.rewinds_sent);
+  EXPECT_EQ(x.exchange_failures, y.exchange_failures);
+  EXPECT_EQ(x.iterations, y.iterations);
+  EXPECT_EQ(x.replayer_rebuilds, y.replayer_rebuilds);
+}
+
+// Full-scheme digest equivalence across the whole sim adversary registry
+// (plus a composed spec): a CodedSimulation driven by the batched path must
+// produce the exact SimulationResult of one driven by the scalar fallback.
+TEST(DeliveryEquivalence, CodedSimulationDigestsAllRegistryKinds) {
+  std::vector<std::string> specs = sim::standard_noise_names();
+  specs.push_back("greedy+echo");
+
+  std::uint64_t seed = 91;
+  for (const std::string& spec : specs) {
+    SCOPED_TRACE(spec);
+    // ExchangeNonOblivious includes the randomness-exchange prologue, so the
+    // exchange sniper has payload to observe.
+    sim::Workload w = sim::gossip_workload(
+        std::make_shared<Topology>(Topology::ring(4)), Variant::ExchangeNonOblivious,
+        seed++, /*rounds=*/6);
+    const sim::NoiseFactory factory = sim::noise_factory(spec);
+
+    auto run_one = [&](bool scalar) {
+      Rng noise_rng(4242);
+      sim::BuiltNoise noise = factory.build(w, /*mu=*/0.003, noise_rng);
+      NoNoise none;
+      ChannelAdversary& inner =
+          noise.adversary ? *noise.adversary : static_cast<ChannelAdversary&>(none);
+      ScalarizeAdversary wrap(inner);
+      ChannelAdversary& channel = scalar ? static_cast<ChannelAdversary&>(wrap) : inner;
+      return run_coded(*w.proto, w.inputs, w.reference, w.cfg, channel);
+    };
+
+    const SimulationResult batched = run_one(/*scalar=*/false);
+    const SimulationResult scalar = run_one(/*scalar=*/true);
+    expect_results_equal(batched, scalar);
+  }
+}
+
+}  // namespace
+}  // namespace gkr

@@ -46,7 +46,6 @@ TEST_P(MatrixTest, CodedRunSucceeds) {
   const NoiselessResult reference = run_noiseless(proto, inputs);
 
   std::unique_ptr<ChannelAdversary> adv;
-  std::unique_ptr<RandomAdaptiveAttacker> adaptive;
   switch (cell.adversary_kind) {
     case 0:
       adv = std::make_unique<NoNoise>();
@@ -72,21 +71,15 @@ TEST_P(MatrixTest, CodedRunSucceeds) {
       break;
     }
     case 4:
-      adaptive = std::make_unique<RandomAdaptiveAttacker>(
-          nullptr, 0.001 / topo->num_links(), Rng(31));
+      // The engine attaches its live counters at construction, so adaptive
+      // adversaries need no extra wiring here.
+      adv = std::make_unique<RandomAdaptiveAttacker>(0.001 / topo->num_links(), Rng(31));
       break;
     default:
       FAIL();
   }
 
-  SimulationResult r;
-  if (adaptive != nullptr) {
-    CodedSimulation sim(proto, inputs, reference, cfg, *adaptive);
-    adaptive->attach(&sim.engine_counters());
-    r = sim.run();
-  } else {
-    r = run_coded(proto, inputs, reference, cfg, *adv);
-  }
+  const SimulationResult r = run_coded(proto, inputs, reference, cfg, *adv);
   EXPECT_TRUE(r.success) << cell.label;
   EXPECT_TRUE(r.transcripts_match) << cell.label;
   EXPECT_TRUE(r.outputs_match) << cell.label;

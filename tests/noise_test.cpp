@@ -1,22 +1,21 @@
-// Tests for the adversary implementations: oblivious additive/fixing
-// patterns, plan generators, adaptive budget enforcement, the stochastic
-// channel, and the batched-vs-scalar delivery equivalence contract
-// (DESIGN.md §8): for every adversary, deliver_round must produce exactly
-// the symbols, counters and SimulationResults of the per-link deliver path.
+// Unit tests for the adversary implementations: oblivious additive/fixing
+// patterns, plan generators, adaptive budget enforcement (including the
+// ISSUE-3 can_spend audit), the plan_round attackers and combinators, and the
+// stochastic channel. The batched-vs-scalar delivery-equivalence contract has
+// its own suite in tests/delivery_equivalence_test.cpp.
 #include <gtest/gtest.h>
 
-#include <functional>
 #include <memory>
 #include <set>
 
-#include "core/coding_scheme.h"
 #include "net/round_engine.h"
 #include "net/topology.h"
 #include "noise/adaptive.h"
+#include "noise/attacks.h"
+#include "noise/combinators.h"
 #include "noise/oblivious.h"
 #include "noise/stochastic.h"
 #include "noise/strategies.h"
-#include "proto/protocols/gossip_sum.h"
 
 namespace gkr {
 namespace {
@@ -98,250 +97,209 @@ TEST(Strategies, PhaseTargetedPlanUsesPhaseMap) {
 
 TEST(AdaptiveBudget, EnforcesRateAgainstCounters) {
   EngineCounters counters;
-  AdaptiveBudget budget(&counters, 0.1, /*head_start=*/0);
-  EXPECT_FALSE(budget.can_spend());
+  AdaptiveBudget budget(0.1, /*head_start=*/0);
+  EXPECT_FALSE(budget.can_spend(counters));
   counters.transmissions = 9;
-  EXPECT_FALSE(budget.can_spend());
+  EXPECT_FALSE(budget.can_spend(counters));
   counters.transmissions = 10;
-  ASSERT_TRUE(budget.can_spend());
-  budget.spend();
-  EXPECT_FALSE(budget.can_spend());
+  ASSERT_TRUE(budget.can_spend(counters));
+  budget.spend(Sym::Zero, Sym::One);
+  EXPECT_FALSE(budget.can_spend(counters));
   counters.transmissions = 20;
-  EXPECT_TRUE(budget.can_spend());
+  EXPECT_TRUE(budget.can_spend(counters));
 }
 
 TEST(AdaptiveBudget, HeadStartSpendsWithoutTraffic) {
-  AdaptiveBudget budget(nullptr, 0.0, 2);
-  EXPECT_TRUE(budget.can_spend());
-  budget.spend();
-  budget.spend();
-  EXPECT_FALSE(budget.can_spend());
+  EngineCounters counters;
+  AdaptiveBudget budget(0.0, 2);
+  EXPECT_TRUE(budget.can_spend(counters));
+  budget.spend(Sym::Zero, Sym::One);
+  budget.spend(Sym::One, Sym::None);
+  EXPECT_FALSE(budget.can_spend(counters));
 }
+
+// --- the ISSUE-3 audit of can_spend (float comparison + head_start default)
+
+TEST(AdaptiveBudget, ZeroRateZeroHeadStartNeverSpends) {
+  EngineCounters counters;
+  counters.transmissions = 1000000000L;
+  AdaptiveBudget budget(0.0, /*head_start=*/0);
+  EXPECT_EQ(budget.allowance(counters), 0);
+  EXPECT_FALSE(budget.can_spend(counters));
+}
+
+TEST(AdaptiveBudget, DefaultHeadStartIsFourAndDocumented) {
+  // A rate-0 adversary can still spend exactly kDefaultHeadStart corruptions;
+  // this is the documented "opener" allowance (bench F6, attack_lab), not a
+  // leak. Pass head_start = 0 to forbid it.
+  EngineCounters counters;
+  AdaptiveBudget budget(0.0);
+  EXPECT_EQ(budget.allowance(counters), kDefaultHeadStart);
+  for (long i = 0; i < kDefaultHeadStart; ++i) {
+    ASSERT_TRUE(budget.can_spend(counters));
+    budget.spend(Sym::None, Sym::One);
+  }
+  EXPECT_FALSE(budget.can_spend(counters));
+}
+
+TEST(AdaptiveBudget, AllowanceIsIntegerFloorWithFpTolerance) {
+  // rate = 1/3 at 3 transmissions earns exactly 1 in exact arithmetic; the
+  // double product lands a hair below 1.0, which the old
+  // `spent + 1.0 <= rate·tx` comparison judged unaffordable on some
+  // rate/tx pairs. allowance() floors with a +1e-9 tolerance instead.
+  EngineCounters counters;
+  counters.transmissions = 3;
+  AdaptiveBudget budget(1.0 / 3.0, /*head_start=*/0);
+  EXPECT_EQ(budget.allowance(counters), 1);
+  counters.transmissions = 2;  // earned 2/3: still nothing to spend
+  EXPECT_EQ(budget.allowance(counters), 0);
+  counters.transmissions = 3000000;
+  EXPECT_EQ(budget.allowance(counters), 1000000);
+}
+
+TEST(AdaptiveBudget, LedgerClassifiesLikeTheEngine) {
+  AdaptiveBudget budget(0.0, 10);
+  budget.spend(Sym::Zero, Sym::One);    // substitution
+  budget.spend(Sym::Bot, Sym::Zero);    // substitution (⊥ is a message)
+  budget.spend(Sym::One, Sym::None);    // deletion
+  budget.spend(Sym::None, Sym::Bot);    // insertion
+  EXPECT_EQ(budget.ledger().substitutions, 2);
+  EXPECT_EQ(budget.ledger().deletions, 1);
+  EXPECT_EQ(budget.ledger().insertions, 1);
+  EXPECT_EQ(budget.spent(), 4);
+}
+
+namespace {
+
+// Drive one planned round through the scalar lookup path (what
+// ScalarizeAdversary does per cell).
+Sym planned_deliver(PlannedAdversary& adv, const RoundContext& ctx, int dlink,
+                    const PackedSymVec& sent) {
+  return adv.deliver(ctx, dlink, sent.get(static_cast<std::size_t>(dlink)));
+}
+
+}  // namespace
 
 TEST(Adaptive, GreedyLinkAttackerOnlyTouchesItsLinkInSimulation) {
   EngineCounters counters;
   counters.transmissions = 1000000;
-  GreedyLinkAttacker adv(&counters, 0.5, /*target_link=*/2);
+  GreedyLinkAttacker adv(0.5, /*target_link=*/2);
+  adv.attach(&counters);
+  const PackedSymVec sent =
+      PackedSymVec::from_syms({Sym::One, Sym::One, Sym::One, Sym::One, Sym::One, Sym::Zero});
+  {
+    const RoundContext ctx{0, 0, Phase::MeetingPoints};
+    adv.begin_round(ctx, sent);  // other phase: no plan
+    EXPECT_EQ(planned_deliver(adv, ctx, 4, sent), Sym::One);
+  }
+  const RoundContext ctx{0, 0, Phase::Simulation};
+  adv.begin_round(ctx, sent);
   // Other link: untouched.
-  EXPECT_EQ(adv.deliver(RoundContext{0, 0, Phase::Simulation}, 0, Sym::One), Sym::One);
-  // Other phase: untouched.
-  EXPECT_EQ(adv.deliver(RoundContext{0, 0, Phase::MeetingPoints}, 4, Sym::One), Sym::One);
+  EXPECT_EQ(planned_deliver(adv, ctx, 0, sent), Sym::One);
   // Target link, simulation phase: flipped.
-  EXPECT_EQ(adv.deliver(RoundContext{0, 0, Phase::Simulation}, 4, Sym::One), Sym::Zero);
-  EXPECT_EQ(adv.deliver(RoundContext{0, 0, Phase::Simulation}, 5, Sym::Zero), Sym::One);
+  EXPECT_EQ(planned_deliver(adv, ctx, 4, sent), Sym::Zero);
+  EXPECT_EQ(planned_deliver(adv, ctx, 5, sent), Sym::One);
 }
 
 TEST(Adaptive, EchoAttackerReflectsOwnBits) {
   EngineCounters counters;
   counters.transmissions = 1000000;
-  EchoMpAttacker adv(&counters, 0.5, /*target_link=*/0);
+  EchoMpAttacker adv(0.5, /*target_link=*/0);
+  adv.attach(&counters);
   // dlink 0: a→b, dlink 1: b→a
   const PackedSymVec sent = PackedSymVec::from_syms({Sym::One, Sym::Zero});
-  adv.begin_round(RoundContext{0, 0, Phase::MeetingPoints}, sent);
+  const RoundContext ctx{0, 0, Phase::MeetingPoints};
+  adv.begin_round(ctx, sent);
   // b receives what b itself sent (dlink 0 delivers to b; mirror is dlink 1).
-  EXPECT_EQ(adv.deliver(RoundContext{0, 0, Phase::MeetingPoints}, 0, Sym::One), Sym::Zero);
+  EXPECT_EQ(planned_deliver(adv, ctx, 0, sent), Sym::Zero);
   // a receives what a itself sent.
-  EXPECT_EQ(adv.deliver(RoundContext{0, 0, Phase::MeetingPoints}, 1, Sym::Zero), Sym::One);
+  EXPECT_EQ(planned_deliver(adv, ctx, 1, sent), Sym::One);
 }
 
 TEST(Adaptive, EchoAttackerFreeRidesOnEqualBits) {
-  EngineCounters counters;
-  EchoMpAttacker adv(&counters, 0.0, 0);  // zero budget
+  EchoMpAttacker adv(0.0, 0, /*head_start=*/0);  // zero budget
   const PackedSymVec sent = PackedSymVec::from_syms({Sym::One, Sym::One});
-  adv.begin_round(RoundContext{0, 0, Phase::MeetingPoints}, sent);
+  const RoundContext ctx{0, 0, Phase::MeetingPoints};
+  adv.begin_round(ctx, sent);
   // Identical bits: echoing is free (no corruption), so it "succeeds" even
   // with no budget.
-  EXPECT_EQ(adv.deliver(RoundContext{0, 0, Phase::MeetingPoints}, 0, Sym::One), Sym::One);
+  EXPECT_EQ(planned_deliver(adv, ctx, 0, sent), Sym::One);
   EXPECT_EQ(adv.spent(), 0);
 }
 
-// ------------------- batched vs scalar delivery equivalence (DESIGN.md §8)
-
-using Attach = std::function<void(const EngineCounters&)>;
-
-// Pump `rounds` of pseudo-random wire state through two engines — one on the
-// batched deliver_round path, one forced onto the scalar deliver fallback via
-// ScalarizeAdversary — and require identical received symbols every round and
-// identical counters at the end. `a` and `b` must be identically-constructed
-// instances (adaptive kinds mutate state while delivering).
-void expect_engine_equivalence(const Topology& topo, ChannelAdversary& a, ChannelAdversary& b,
-                               const Attach& attach_a, const Attach& attach_b,
-                               long rounds = 400) {
-  RoundEngine batched(topo, a);
-  ScalarizeAdversary wrap(b);
-  RoundEngine scalar(topo, wrap);
-  if (attach_a) attach_a(batched.counters());
-  if (attach_b) attach_b(scalar.counters());
-
-  const std::size_t d = static_cast<std::size_t>(topo.num_dlinks());
-  Rng rng(1234);
-  PackedSymVec sent(d), got_batched(d), got_scalar(d);
-  for (long r = 0; r < rounds; ++r) {
-    sent.fill(Sym::None);
-    for (std::size_t dl = 0; dl < d; ++dl) {
-      const std::uint64_t roll = rng.next_below(8);
-      if (roll < 5) sent.set(dl, roll < 3 ? bit_to_sym(roll & 1) : Sym::Bot);
-    }
-    const Phase phase = static_cast<Phase>(1 + r % 4);  // MP/Flag/Sim/Rewind
-    batched.step(RoundContext{r, 0, phase}, sent, got_batched);
-    scalar.step(RoundContext{r, 0, phase}, sent, got_scalar);
-    ASSERT_EQ(got_batched, got_scalar) << "round " << r;
-  }
-  const EngineCounters& cb = batched.counters();
-  const EngineCounters& cs = scalar.counters();
-  EXPECT_EQ(cb.transmissions, cs.transmissions);
-  EXPECT_EQ(cb.corruptions, cs.corruptions);
-  EXPECT_EQ(cb.substitutions, cs.substitutions);
-  EXPECT_EQ(cb.deletions, cs.deletions);
-  EXPECT_EQ(cb.insertions, cs.insertions);
-  EXPECT_EQ(cb.transmissions_by_phase, cs.transmissions_by_phase);
-  EXPECT_EQ(cb.corruptions_by_phase, cs.corruptions_by_phase);
-  EXPECT_GT(cb.transmissions, 0);
+TEST(Adaptive, InsertionFloodOnlyHitsSilentCells) {
+  EngineCounters counters;
+  counters.transmissions = 1000000;
+  InsertionFloodAttacker adv(0.5);
+  adv.attach(&counters);
+  const PackedSymVec sent =
+      PackedSymVec::from_syms({Sym::One, Sym::None, Sym::Bot, Sym::None});
+  const RoundContext ctx{0, 0, Phase::Simulation};
+  adv.begin_round(ctx, sent);
+  EXPECT_EQ(planned_deliver(adv, ctx, 0, sent), Sym::One);   // busy: untouched
+  EXPECT_EQ(planned_deliver(adv, ctx, 1, sent), Sym::One);   // silent: forged
+  EXPECT_EQ(planned_deliver(adv, ctx, 2, sent), Sym::Bot);   // busy: untouched
+  EXPECT_EQ(planned_deliver(adv, ctx, 3, sent), Sym::One);   // silent: forged
+  EXPECT_EQ(adv.ledger().insertions, 2);
+  EXPECT_EQ(adv.ledger().substitutions, 0);
 }
 
-TEST(DeliveryEquivalence, NoNoise) {
-  const Topology topo = Topology::clique(4);
-  NoNoise a, b;
-  expect_engine_equivalence(topo, a, b, nullptr, nullptr);
+TEST(Adaptive, ExchangeSniperLocksOntoFirstObservedShipment) {
+  EngineCounters counters;
+  counters.transmissions = 1000000;
+  ExchangeSniperAttacker adv(0.5);
+  adv.attach(&counters);
+  // First exchange round: only link 1 (dlinks 2,3) ships payload.
+  const PackedSymVec sent =
+      PackedSymVec::from_syms({Sym::None, Sym::None, Sym::One, Sym::None});
+  const RoundContext ctx{0, 0, Phase::RandomnessExchange};
+  adv.begin_round(ctx, sent);
+  EXPECT_EQ(adv.target_link(), 1);
+  EXPECT_EQ(planned_deliver(adv, ctx, 2, sent), Sym::Zero);  // payload flipped
+  EXPECT_EQ(planned_deliver(adv, ctx, 0, sent), Sym::None);  // other link silent
+  // Outside the exchange it never acts, even on its locked link.
+  const RoundContext sim_ctx{5, 1, Phase::Simulation};
+  adv.begin_round(sim_ctx, sent);
+  EXPECT_EQ(planned_deliver(adv, sim_ctx, 2, sent), Sym::One);
 }
 
-TEST(DeliveryEquivalence, Stochastic) {
-  const Topology topo = Topology::clique(4);
-  StochasticChannel a(Rng(5), 0.05, 0.03, 0.02);
-  StochasticChannel b(Rng(5), 0.05, 0.03, 0.02);
-  expect_engine_equivalence(topo, a, b, nullptr, nullptr);
+TEST(Adaptive, RewindSniperHoardsUntilBurstAffordable) {
+  EngineCounters counters;
+  RewindSniperAttacker adv(/*rate=*/0.01, /*min_burst=*/10, /*head_start=*/0);
+  adv.attach(&counters);
+  const PackedSymVec sent = PackedSymVec::from_syms({Sym::One, Sym::None});
+  const RoundContext ctx{0, 0, Phase::Rewind};
+  // Reserve below the burst threshold: hoard, even though spending is legal.
+  counters.transmissions = 500;  // allowance 5 < 10
+  adv.begin_round(ctx, sent);
+  EXPECT_EQ(adv.spent(), 0);
+  EXPECT_EQ(planned_deliver(adv, ctx, 0, sent), Sym::One);
+  // Reserve reaches the threshold: the burst fires (eat + forge).
+  counters.transmissions = 1000;  // allowance 10
+  adv.begin_round(ctx, sent);
+  EXPECT_EQ(planned_deliver(adv, ctx, 0, sent), Sym::None);
+  EXPECT_EQ(planned_deliver(adv, ctx, 1, sent), Sym::One);
+  EXPECT_EQ(adv.ledger().deletions, 1);
+  EXPECT_EQ(adv.ledger().insertions, 1);
 }
 
-TEST(DeliveryEquivalence, ObliviousAdditiveAndFixing) {
-  const Topology topo = Topology::ring(5);
-  for (ObliviousMode mode : {ObliviousMode::Additive, ObliviousMode::Fixing}) {
-    Rng rng(6);
-    NoisePlan plan = uniform_plan(400, topo.num_dlinks(), 120, rng);
-    if (mode == ObliviousMode::Fixing) {
-      for (NoiseEvent& e : plan) e.value = static_cast<std::uint8_t>(e.value & 3);
-    }
-    ObliviousAdversary a(plan, mode);
-    ObliviousAdversary b(plan, mode);
-    expect_engine_equivalence(topo, a, b, nullptr, nullptr);
-  }
-}
-
-TEST(DeliveryEquivalence, AdaptiveAttackers) {
-  const Topology topo = Topology::clique(4);
-  {
-    GreedyLinkAttacker a(nullptr, 0.01, 2), b(nullptr, 0.01, 2);
-    expect_engine_equivalence(topo, a, b, [&](const EngineCounters& c) { a.attach(&c); },
-                              [&](const EngineCounters& c) { b.attach(&c); });
-  }
-  {
-    DesyncAttacker a(nullptr, 0.01), b(nullptr, 0.01);
-    expect_engine_equivalence(topo, a, b, [&](const EngineCounters& c) { a.attach(&c); },
-                              [&](const EngineCounters& c) { b.attach(&c); });
-  }
-  {
-    EchoMpAttacker a(nullptr, 0.02, 1), b(nullptr, 0.02, 1);
-    expect_engine_equivalence(topo, a, b, [&](const EngineCounters& c) { a.attach(&c); },
-                              [&](const EngineCounters& c) { b.attach(&c); });
-  }
-  {
-    RandomAdaptiveAttacker a(nullptr, 0.01, Rng(9)), b(nullptr, 0.01, Rng(9));
-    expect_engine_equivalence(topo, a, b, [&](const EngineCounters& c) { a.attach(&c); },
-                              [&](const EngineCounters& c) { b.attach(&c); });
-  }
-}
-
-// Full-scheme digest equivalence: a CodedSimulation driven by the batched
-// path must produce the exact SimulationResult of one driven by the scalar
-// fallback, for every adversary kind.
-struct SchemeBench {
-  std::shared_ptr<Topology> topo;
-  std::shared_ptr<const ProtocolSpec> spec;
-  std::unique_ptr<ChunkedProtocol> proto;
-  std::vector<std::uint64_t> inputs;
-  NoiselessResult reference;
-  SchemeConfig cfg;
-};
-
-SchemeBench make_scheme_bench(std::uint64_t seed) {
-  SchemeBench b;
-  b.topo = std::make_shared<Topology>(Topology::ring(4));
-  b.spec = std::make_shared<GossipSumProtocol>(*b.topo, 6);
-  b.cfg = SchemeConfig::for_variant(Variant::Crs, *b.topo);
-  b.cfg.seed = seed;
-  b.proto = std::make_unique<ChunkedProtocol>(b.spec, b.cfg.K);
-  Rng rng(seed ^ 0x7e57ULL);
-  for (int u = 0; u < b.topo->num_nodes(); ++u) b.inputs.push_back(rng.next_u64());
-  b.reference = run_noiseless(*b.proto, b.inputs);
-  return b;
-}
-
-void expect_results_equal(const SimulationResult& x, const SimulationResult& y) {
-  EXPECT_EQ(x.success, y.success);
-  EXPECT_EQ(x.outputs_match, y.outputs_match);
-  EXPECT_EQ(x.transcripts_match, y.transcripts_match);
-  EXPECT_EQ(x.cc_coded, y.cc_coded);
-  EXPECT_EQ(x.counters.rounds, y.counters.rounds);
-  EXPECT_EQ(x.counters.corruptions, y.counters.corruptions);
-  EXPECT_EQ(x.counters.substitutions, y.counters.substitutions);
-  EXPECT_EQ(x.counters.deletions, y.counters.deletions);
-  EXPECT_EQ(x.counters.insertions, y.counters.insertions);
-  EXPECT_EQ(x.counters.transmissions_by_phase, y.counters.transmissions_by_phase);
-  EXPECT_EQ(x.counters.corruptions_by_phase, y.counters.corruptions_by_phase);
-  EXPECT_DOUBLE_EQ(x.noise_fraction, y.noise_fraction);
-  EXPECT_EQ(x.hash_collisions, y.hash_collisions);
-  EXPECT_EQ(x.mp_truncations, y.mp_truncations);
-  EXPECT_EQ(x.rewind_truncations, y.rewind_truncations);
-  EXPECT_EQ(x.rewinds_sent, y.rewinds_sent);
-  EXPECT_EQ(x.exchange_failures, y.exchange_failures);
-  EXPECT_EQ(x.iterations, y.iterations);
-  EXPECT_EQ(x.replayer_rebuilds, y.replayer_rebuilds);
-}
-
-TEST(DeliveryEquivalence, CodedSimulationDigests) {
-  // kind 0: stochastic, 1: oblivious additive, 2: greedy, 3: random adaptive.
-  for (int kind = 0; kind < 4; ++kind) {
-    SchemeBench bench = make_scheme_bench(91 + static_cast<std::uint64_t>(kind));
-
-    auto run_one = [&](bool scalar) {
-      std::unique_ptr<ChannelAdversary> adv;
-      std::function<void(const CodedSimulation&)> attach;
-      switch (kind) {
-        case 0:
-          adv = std::make_unique<StochasticChannel>(Rng(17), 0.004, 0.004, 0.001);
-          break;
-        case 1: {
-          Rng rng(18);
-          adv = std::make_unique<ObliviousAdversary>(
-              uniform_plan(4000, bench.topo->num_dlinks(), 60, rng), ObliviousMode::Additive);
-          break;
-        }
-        case 2: {
-          auto greedy = std::make_unique<GreedyLinkAttacker>(nullptr, 0.003, 1);
-          GreedyLinkAttacker* raw = greedy.get();
-          attach = [raw](const CodedSimulation& sim) { raw->attach(&sim.engine_counters()); };
-          adv = std::move(greedy);
-          break;
-        }
-        default: {
-          auto vandal = std::make_unique<RandomAdaptiveAttacker>(nullptr, 0.003, Rng(19));
-          RandomAdaptiveAttacker* raw = vandal.get();
-          attach = [raw](const CodedSimulation& sim) { raw->attach(&sim.engine_counters()); };
-          adv = std::move(vandal);
-          break;
-        }
-      }
-      ScalarizeAdversary wrap(*adv);
-      ChannelAdversary& channel = scalar ? static_cast<ChannelAdversary&>(wrap) : *adv;
-      CodedSimulation sim(*bench.proto, bench.inputs, bench.reference, bench.cfg, channel);
-      if (attach) attach(sim);
-      return sim.run();
-    };
-
-    const SimulationResult batched = run_one(/*scalar=*/false);
-    const SimulationResult scalar = run_one(/*scalar=*/true);
-    SCOPED_TRACE(kind);
-    expect_results_equal(batched, scalar);
-  }
+TEST(Combinators, BudgetShareDrawsFromOnePool) {
+  EngineCounters counters;
+  GreedyLinkAttacker a(0.0, /*target_link=*/0, /*head_start=*/2);
+  DesyncAttacker b(0.5, /*head_start=*/99);  // follower's own budget is discarded
+  budget_share(a, b);
+  b.attach(&counters);
+  a.attach(&counters);
+  // b now spends a's head-start-only pool: two corruptions total across both.
+  const PackedSymVec flags = PackedSymVec::from_syms({Sym::One, Sym::Zero, Sym::One});
+  const RoundContext ctx{0, 0, Phase::FlagPassing};
+  b.begin_round(ctx, flags);
+  EXPECT_EQ(b.current_plan().size(), 2u);  // pool of 2 exhausted
+  EXPECT_EQ(a.spent(), 2);                 // visible through the shared ledger
+  const RoundContext sim{1, 0, Phase::Simulation};
+  const PackedSymVec busy = PackedSymVec::from_syms({Sym::One, Sym::One, Sym::One});
+  a.begin_round(sim, busy);
+  EXPECT_TRUE(a.current_plan().empty());  // a finds the shared pool empty
 }
 
 TEST(Stochastic, RatesRoughlyRespected) {
