@@ -9,6 +9,7 @@
 #include "ecc/concatenated_code.h"
 #include "hash/delta_biased.h"
 #include "hash/inner_product_hash.h"
+#include "hash/seed_plane.h"
 #include "hash/seed_source.h"
 #include "net/round_engine.h"
 #include "util/gf2_64.h"
@@ -31,6 +32,54 @@ void BM_DeltaBiasedBit(benchmark::State& state) {
   for (auto _ : state) benchmark::DoNotOptimize(stream.next_bit());
 }
 BENCHMARK(BM_DeltaBiasedBit);
+
+void BM_DeltaBiasedWordScalar(benchmark::State& state) {
+  DeltaBiasedStream stream(mix64(1), mix64(2));
+  for (auto _ : state) benchmark::DoNotOptimize(stream.next_word());
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_DeltaBiasedWordScalar);
+
+void BM_DeltaBiasedWordStepper(benchmark::State& state) {
+  DeltaBiasedWordStepper stepper(mix64(1), mix64(2));
+  for (auto _ : state) benchmark::DoNotOptimize(stepper.next_word());
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_DeltaBiasedWordStepper);
+
+void BM_DeltaBiasedStepperSetup(benchmark::State& state) {
+  // The per-(link, iter, slot) cost the seed plane pays before the first
+  // word: matrix construction + y^64.
+  std::uint64_t s = 0;
+  for (auto _ : state) {
+    DeltaBiasedWordStepper stepper(mix64(s), mix64(s + 1));
+    benchmark::DoNotOptimize(stepper.next_word());
+    ++s;
+  }
+}
+BENCHMARK(BM_DeltaBiasedStepperSetup);
+
+void BM_SeedPlaneFillBiased(benchmark::State& state) {
+  // One full plane fill at 8 parties (56 endpoints × 2 slots × 2τ words) —
+  // the per-iteration cost of the meeting-points seed path (DESIGN.md §10).
+  const int tau = 8;
+  const std::size_t eps = 56;
+  const BiasedSeedSource src(mix64(5), mix64(6));
+  std::vector<const SeedSource*> sources(eps, &src);
+  std::vector<std::uint64_t> links(eps);
+  for (std::size_t e = 0; e < eps; ++e) links[e] = static_cast<std::uint64_t>(e / 2);
+  const std::uint64_t slots[2] = {MeetingPointsState::kSeedSlotK,
+                                  MeetingPointsState::kSeedSlotPrefix};
+  SeedPlane plane;
+  plane.configure(eps, 2, 2 * static_cast<std::size_t>(tau));
+  std::uint64_t iter = 0;
+  for (auto _ : state) {
+    plane.fill(sources.data(), links.data(), iter++, slots);
+    benchmark::DoNotOptimize(plane.mp_seeds(0).k_words[0]);
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<long>(eps * 2 * 2 * tau));
+}
+BENCHMARK(BM_SeedPlaneFillBiased);
 
 void BM_IpHashUniform(benchmark::State& state) {
   const int tau = static_cast<int>(state.range(0));

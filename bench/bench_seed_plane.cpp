@@ -1,0 +1,284 @@
+// Seed-plane acceptance bench (DESIGN.md §5, F13; §10 the seed plane).
+//
+// Two sections:
+//
+//  micro — δ-biased seed-word generation throughput. `scalar` is the legacy
+//    DeltaBiasedStream (64 dependent GF(2^64) multiplications per word);
+//    `stepper` is the linearized DeltaBiasedWordStepper (precomputed bit
+//    matrix, 64 mask-select XORs + one ·y^64 multiply per word). Measured on
+//    one long stream (matrix setup amortized — the plane regime) and in the
+//    plane's actual 2τ-word slot shape through BiasedSeedSource::fill_words
+//    vs open() (setup paid per slot). UniformSeedSource fill is reported for
+//    scale. The ≥8× acceptance line is stepper vs scalar on the long stream.
+//
+//  e2e — full CodedSimulation throughput for the no-CRS variants A and B
+//    (the δ-biased consumers) at 8 parties, seed plane on vs off
+//    (config.use_seed_plane), equal results asserted. The ≥1.5× acceptance
+//    line is iterations/s plane vs legacy, per variant.
+//
+// Results go to the standard table printer and, with --jsonl/--csv, through
+// the standard sinks as RunRecords (timing enabled — rates are wall-clock
+// derived and NOT deterministic).
+//
+//   ./build/bench/bench_seed_plane [--words-scale S] [--runs-scale S]
+//                                  [--jsonl F] [--csv F]
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "bench_support.h"
+#include "hash/delta_biased.h"
+#include "hash/seed_plane.h"
+#include "hash/seed_source.h"
+#include "noise/stochastic.h"
+#include "sim/result_sink.h"
+#include "sim/run_record.h"
+#include "util/digest.h"
+
+namespace gkr {
+namespace {
+
+struct MicroResult {
+  double words_per_sec = 0.0;
+  std::uint64_t checksum = 0;  // defeats dead-code elimination; also equality-checked
+  double wall_ms = 0.0;
+};
+
+// One long stream: the setup-amortized regime the plane runs in.
+template <typename Gen>
+MicroResult pump_words(Gen make_gen, long words) {
+  MicroResult r;
+  bench::Timer timer;
+  auto gen = make_gen();
+  std::uint64_t sum = 0;
+  for (long i = 0; i < words; ++i) sum ^= mix64(gen.next_word() + static_cast<std::uint64_t>(i));
+  const double secs = timer.seconds();
+  r.words_per_sec = safe_ratio(static_cast<double>(words), secs);
+  r.checksum = sum;
+  r.wall_ms = secs * 1000.0;
+  return r;
+}
+
+// The plane's slot shape: fresh (link, iter, slot) keys, 2τ words each —
+// matrix setup is paid once per slot here, exactly as in a fill().
+template <bool kUseFill>
+MicroResult pump_slots(const SeedSource& src, long slots, int tau) {
+  MicroResult r;
+  const std::size_t wps = 2 * static_cast<std::size_t>(tau);
+  std::uint64_t buf[2 * kMaxHashBits];
+  bench::Timer timer;
+  std::uint64_t sum = 0;
+  for (long s = 0; s < slots; ++s) {
+    const auto link = static_cast<std::uint64_t>(s % 28);
+    const auto iter = static_cast<std::uint64_t>(s / 28);
+    if constexpr (kUseFill) {
+      src.fill_words(link, iter, s & 1, buf, wps);
+    } else {
+      const auto stream = src.open(link, iter, s & 1);
+      for (std::size_t i = 0; i < wps; ++i) buf[i] = stream->next_word();
+    }
+    for (std::size_t i = 0; i < wps; ++i) sum ^= mix64(buf[i] + i);
+  }
+  const double secs = timer.seconds();
+  r.words_per_sec = safe_ratio(static_cast<double>(slots) * static_cast<double>(wps), secs);
+  r.checksum = sum;
+  r.wall_ms = secs * 1000.0;
+  return r;
+}
+
+sim::RunRecord micro_record(const char* variant, const char* shape, int tau,
+                            const MicroResult& m) {
+  sim::RunRecord rec;
+  rec.variant = variant;   // scalar | stepper | open | fill
+  rec.topology = shape;    // long_stream | slots
+  rec.protocol = "seed_words";
+  rec.noise = "none";
+  rec.n = tau;
+  rec.wall_ms = m.wall_ms;
+  rec.syms_per_sec = m.words_per_sec;  // words/s in the micro section
+  return rec;
+}
+
+struct E2eResult {
+  sim::RunRecord record;
+  std::uint64_t digest = 0;
+  double iters_per_sec = 0.0;
+};
+
+std::uint64_t result_digest(const SimulationResult& r) {
+  std::uint64_t d = 0x9d6f0a7c5b3e1842ULL;
+  const auto fold = [&d](std::uint64_t x) { d = mix64(d ^ mix64(x)); };
+  fold(r.success ? 1 : 0);
+  fold(static_cast<std::uint64_t>(r.cc_coded));
+  fold(static_cast<std::uint64_t>(r.counters.corruptions));
+  fold(static_cast<std::uint64_t>(r.hash_collisions));
+  fold(static_cast<std::uint64_t>(r.mp_truncations));
+  fold(static_cast<std::uint64_t>(r.rewind_truncations));
+  fold(static_cast<std::uint64_t>(r.exchange_failures));
+  return d;
+}
+
+E2eResult run_scheme(Variant variant, bool use_plane, int repeats) {
+  // 8-party clique, gossip, light stochastic noise: the A/B workload shape
+  // the tentpole targets. Deterministic apart from the wall clock.
+  E2eResult out;
+  double secs = 0.0;
+  long iterations = 0, rounds = 0;
+  sim::RunRecord& rec = out.record;
+  for (int rep = 0; rep < repeats; ++rep) {
+    sim::Workload w = sim::gossip_workload(std::make_shared<Topology>(Topology::clique(8)),
+                                           variant, /*seed=*/2027, /*rounds=*/8);
+    w.cfg.use_seed_plane = use_plane;
+    StochasticChannel adv(Rng(11), 0.0005, 0.0005, 0.0001);
+    bench::Timer timer;
+    const SimulationResult res = w.run(adv);
+    secs += timer.seconds();
+    iterations += res.iterations;
+    rounds += res.counters.rounds;
+    if (rep == 0) {
+      out.digest = result_digest(res);
+      rec.variant = variant_name(variant);
+      rec.topology = "clique8";
+      rec.protocol = use_plane ? "scheme_plane" : "scheme_legacy";
+      rec.noise = "stochastic";
+      rec.mu = 0.0005;
+      rec.n = 8;
+      rec.m = w.topo->num_links();
+      rec.success = res.success;
+      rec.cc_coded = res.cc_coded;
+      rec.corruptions = res.counters.corruptions;
+      rec.iterations = res.iterations;
+    }
+  }
+  rec.rounds = rounds;
+  rec.wall_ms = secs * 1000.0;
+  rec.rounds_per_sec = safe_ratio(static_cast<double>(rounds), secs);
+  rec.syms_per_sec = safe_ratio(static_cast<double>(rounds) * 2.0 * rec.m, secs);
+  out.iters_per_sec = safe_ratio(static_cast<double>(iterations), secs);
+  return out;
+}
+
+}  // namespace
+}  // namespace gkr
+
+int main(int argc, char** argv) {
+  using namespace gkr;
+
+  double words_scale = 1.0, runs_scale = 1.0;
+  std::string jsonl_path, csv_path;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--words-scale") == 0 && i + 1 < argc) {
+      words_scale = std::atof(argv[++i]);
+    } else if (std::strcmp(argv[i], "--runs-scale") == 0 && i + 1 < argc) {
+      runs_scale = std::atof(argv[++i]);
+    } else if (std::strcmp(argv[i], "--jsonl") == 0 && i + 1 < argc) {
+      jsonl_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--csv") == 0 && i + 1 < argc) {
+      csv_path = argv[++i];
+    } else {
+      std::fprintf(stderr,
+                   "usage: %s [--words-scale S] [--runs-scale S] [--jsonl FILE] [--csv FILE]\n",
+                   argv[0]);
+      return 2;
+    }
+  }
+
+  std::printf("F13 — seed plane: linearized δ-biased generation vs the scalar stream\n");
+  std::printf("gf64 clmul fast path compiled in: %s\n\n", gf64_has_clmul() ? "yes" : "no");
+
+  std::vector<sim::RunRecord> records;
+  TablePrinter micro_table({"section", "generator", "shape", "tau", "Mwords/s", "speedup"});
+
+  // ---- micro: long stream (setup amortized) --------------------------------
+  const long words = static_cast<long>(words_scale * 400000.0);
+  const std::uint64_t sx = mix64(1), sy = mix64(2);
+  const MicroResult scalar =
+      pump_words([&] { return DeltaBiasedStream(sx, sy); }, words);
+  const MicroResult stepper =
+      pump_words([&] { return DeltaBiasedWordStepper(sx, sy); }, words);
+  GKR_ASSERT_MSG(scalar.checksum == stepper.checksum,
+                 "stepper and scalar streams must be bit-identical");
+  const double micro_speedup = safe_ratio(stepper.words_per_sec, scalar.words_per_sec);
+  records.push_back(micro_record("scalar", "long_stream", 0, scalar));
+  records.push_back(micro_record("stepper", "long_stream", 0, stepper));
+  micro_table.add_row({"micro", "scalar stream", "long", "-",
+                       strf("%.2f", scalar.words_per_sec / 1e6), "-"});
+  micro_table.add_row({"micro", "word stepper", "long", "-",
+                       strf("%.2f", stepper.words_per_sec / 1e6), strf("%.2fx", micro_speedup)});
+
+  // ---- micro: the plane's 2τ-word slot shape (setup per slot) --------------
+  double min_slot_speedup = -1.0;
+  for (const int tau : {8, 16}) {
+    const long slots = static_cast<long>(words_scale * 600000.0) / (2 * tau);
+    const BiasedSeedSource biased(mix64(3), mix64(4));
+    const MicroResult open_path = pump_slots<false>(biased, slots, tau);
+    const MicroResult fill_path = pump_slots<true>(biased, slots, tau);
+    GKR_ASSERT_MSG(open_path.checksum == fill_path.checksum,
+                   "fill_words and open must produce identical words");
+    const double speedup = safe_ratio(fill_path.words_per_sec, open_path.words_per_sec);
+    if (min_slot_speedup < 0 || speedup < min_slot_speedup) min_slot_speedup = speedup;
+    records.push_back(micro_record("open", "slots", tau, open_path));
+    records.push_back(micro_record("fill", "slots", tau, fill_path));
+    micro_table.add_row({"micro", "biased open()", "2tau slots", strf("%d", tau),
+                         strf("%.2f", open_path.words_per_sec / 1e6), "-"});
+    micro_table.add_row({"micro", "biased fill_words", "2tau slots", strf("%d", tau),
+                         strf("%.2f", fill_path.words_per_sec / 1e6), strf("%.2fx", speedup)});
+
+    const UniformSeedSource uniform(7);
+    const MicroResult uni = pump_slots<true>(uniform, slots, tau);
+    records.push_back(micro_record("uniform_fill", "slots", tau, uni));
+    micro_table.add_row({"micro", "uniform fill_words", "2tau slots", strf("%d", tau),
+                         strf("%.2f", uni.words_per_sec / 1e6), "-"});
+  }
+  micro_table.print();
+
+  // ---- e2e: variants A and B at 8 parties ----------------------------------
+  std::printf("\n");
+  TablePrinter e2e_table({"section", "variant", "path", "iters/s", "rounds/s", "speedup"});
+  const int repeats = std::max(1, static_cast<int>(runs_scale * 3.0));
+  double min_e2e_speedup = -1.0;
+  for (const Variant variant : {Variant::ExchangeOblivious, Variant::ExchangeNonOblivious}) {
+    const E2eResult legacy = run_scheme(variant, /*use_plane=*/false, repeats);
+    const E2eResult plane = run_scheme(variant, /*use_plane=*/true, repeats);
+    GKR_ASSERT_MSG(legacy.digest == plane.digest,
+                   "plane and legacy paths must produce identical results");
+    const double speedup = safe_ratio(plane.iters_per_sec, legacy.iters_per_sec);
+    if (min_e2e_speedup < 0 || speedup < min_e2e_speedup) min_e2e_speedup = speedup;
+    records.push_back(legacy.record);
+    records.push_back(plane.record);
+    e2e_table.add_row({"e2e", variant_name(variant), "legacy",
+                       strf("%.1f", legacy.iters_per_sec),
+                       strf("%.3g", legacy.record.rounds_per_sec), "-"});
+    e2e_table.add_row({"e2e", variant_name(variant), "plane",
+                       strf("%.1f", plane.iters_per_sec),
+                       strf("%.3g", plane.record.rounds_per_sec), strf("%.2fx", speedup)});
+  }
+  e2e_table.print();
+
+  std::printf(
+      "\nδ-biased word generation, stepper vs scalar (long stream): %.2fx (acceptance: >= 8x)\n"
+      "slot-shaped fill_words vs open(), min over tau: %.2fx\n"
+      "end-to-end A/B scheme throughput at 8 parties, min over variants: %.2fx "
+      "(acceptance: >= 1.5x)\n",
+      micro_speedup, min_slot_speedup, min_e2e_speedup);
+
+  sim::SweepMeta meta;
+  meta.num_runs = records.size();
+  auto emit = [&](sim::ResultSink& sink) {
+    sink.begin(meta);
+    for (const sim::RunRecord& r : records) sink.consume(r);
+    sink.end();
+  };
+  if (!jsonl_path.empty()) {
+    std::ofstream out(jsonl_path);
+    sim::JsonlSink sink(out, /*include_timing=*/true);
+    emit(sink);
+  }
+  if (!csv_path.empty()) {
+    std::ofstream out(csv_path);
+    sim::CsvSink sink(out, /*include_timing=*/true);
+    emit(sink);
+  }
+  return 0;
+}

@@ -63,6 +63,13 @@ struct SchemeConfig {
   bool enable_rewind_phase = true;
   bool enable_flag_passing = true;
 
+  // Materialize meeting-points hash seeds through the seed plane (DESIGN.md
+  // §10), one batched fill per iteration; false forces the legacy
+  // per-endpoint SeedSource::open path. Results are bit-identical either way
+  // (pinned by the seed-plane equivalence suite) — the switch exists for the
+  // F13 A/B benchmark and for regression bisection.
+  bool use_seed_plane = true;
+
   // Randomness-exchange codeword length per link, bits; 0 = auto
   // Θ(|Π|·K/m) per §5 (with a floor of one base codeword).
   long exchange_target_bits = 0;

@@ -1,7 +1,5 @@
 #include "core/meeting_points.h"
 
-#include "hash/buffer_seed_stream.h"
-
 #include <algorithm>
 
 namespace gkr {
@@ -13,9 +11,10 @@ long smallest_pow2_at_least(long k) {
   return p;
 }
 
-std::uint32_t hash_prefix(const LinkTranscript& tr, long pos, SeedStream& seed, int tau) {
+std::uint32_t hash_prefix(const LinkTranscript& tr, long pos, const std::uint64_t* seed_words,
+                          int tau) {
   return ip_hash128(static_cast<std::uint64_t>(pos), tr.prefix_digest(static_cast<int>(pos)),
-                    seed, tau);
+                    seed_words, tau);
 }
 
 }  // namespace
@@ -28,8 +27,7 @@ void MeetingPointsState::reset() noexcept {
   kappa_ = 0;
 }
 
-MpMessage MeetingPointsState::prepare(const LinkTranscript& tr, const SeedSource& seeds,
-                                      std::uint64_t link_id, std::uint64_t iter, int tau) {
+MpMessage MeetingPointsState::prepare(const LinkTranscript& tr, const MpSeeds& seeds, int tau) {
   ++k_;
   const long kappa = smallest_pow2_at_least(k_);
   const long len = tr.chunks();
@@ -49,21 +47,32 @@ MpMessage MeetingPointsState::prepare(const LinkTranscript& tr, const SeedSource
   mpc1_ = new_mpc1;
   mpc2_ = new_mpc2;
 
-  auto seed_k = seeds.open(link_id, iter, kSeedSlotK);
-  own_.hk = ip_hash_u64(static_cast<std::uint64_t>(k_), *seed_k, tau);
+  own_.hk = ip_hash_u64(static_cast<std::uint64_t>(k_), seeds.k_words, tau);
   // Both prefix hashes — and both endpoints' — must use the SAME seed, i.e.
   // one hash-function instance per iteration: the mechanism compares my mpc1
   // prefix against the peer's mpc2 prefix, which is meaningless across
-  // different seeds. Materialize the seed once and replay it.
-  auto seed_p = seeds.open(link_id, iter, kSeedSlotPrefix);
-  std::vector<std::uint64_t> seed_words(2 * static_cast<std::size_t>(tau));
-  for (auto& w : seed_words) w = seed_p->next_word();
-  BufferSeedStream replay(seed_words);
-  own_.h1 = hash_prefix(tr, mpc1_, replay, tau);
-  replay.rewind();
-  own_.h2 = hash_prefix(tr, mpc2_, replay, tau);
+  // different seeds. The flat seed words are simply read twice.
+  own_.h1 = hash_prefix(tr, mpc1_, seeds.prefix_words, tau);
+  own_.h2 = hash_prefix(tr, mpc2_, seeds.prefix_words, tau);
   own_.valid = true;
   return own_;
+}
+
+MpMessage MeetingPointsState::prepare(const LinkTranscript& tr, const SeedSource& seeds,
+                                      std::uint64_t link_id, std::uint64_t iter, int tau) {
+  // Reference adapter: materialize the two slots through the legacy virtual
+  // streams — deliberately NOT fill_words, so this path stays an independent
+  // check on (and honest cost baseline against) the seed plane's batched
+  // expansion — then run the flat path on the same words.
+  GKR_ASSERT(tau >= 1 && tau <= kMaxHashBits);  // the stack buffers are sized 2·kMaxHashBits
+  std::uint64_t k_words[2 * kMaxHashBits];
+  std::uint64_t prefix_words[2 * kMaxHashBits];
+  const std::size_t n = 2 * static_cast<std::size_t>(tau);
+  const auto seed_k = seeds.open(link_id, iter, kSeedSlotK);
+  for (std::size_t i = 0; i < n; ++i) k_words[i] = seed_k->next_word();
+  const auto seed_p = seeds.open(link_id, iter, kSeedSlotPrefix);
+  for (std::size_t i = 0; i < n; ++i) prefix_words[i] = seed_p->next_word();
+  return prepare(tr, MpSeeds{k_words, prefix_words}, tau);
 }
 
 MpOutcome MeetingPointsState::process(const MpMessage& received, LinkTranscript& tr) {

@@ -35,6 +35,7 @@
 
 #include "core/transcript.h"
 #include "hash/inner_product_hash.h"
+#include "hash/seed_plane.h"
 #include "hash/seed_source.h"
 
 namespace gkr {
@@ -63,7 +64,14 @@ class MeetingPointsState {
   static constexpr std::uint64_t kSeedSlotK = 0;
   static constexpr std::uint64_t kSeedSlotPrefix = 1;
 
-  // Compute this iteration's candidates and the outgoing message.
+  // Compute this iteration's candidates and the outgoing message from
+  // pre-materialized seed words (2τ per slot — the seed plane's layout,
+  // DESIGN.md §10). No allocation, no virtual dispatch.
+  MpMessage prepare(const LinkTranscript& tr, const MpSeeds& seeds, int tau);
+
+  // Reference/compat adapter: materialize the two slots' words through
+  // `seeds.open(...)` (the legacy per-endpoint path) and delegate to the
+  // MpSeeds overload. Bit-identical to it by construction.
   // `link_id`/`iter` key the seed streams; both endpoints pass the same.
   MpMessage prepare(const LinkTranscript& tr, const SeedSource& seeds, std::uint64_t link_id,
                     std::uint64_t iter, int tau);

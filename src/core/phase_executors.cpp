@@ -48,6 +48,23 @@ void SimCore::init() {
   tr.resize(eps);
   mp.resize(eps);
   seeds.resize(eps);
+  // Plane shape: 2 hash slots × 2τ words per endpoint (ip_hash128 consumes
+  // two words per output bit).
+  seed_plane.configure(eps, 2, 2 * static_cast<std::size_t>(tau));
+  seed_sources.assign(eps, nullptr);
+  seed_links.resize(eps);
+  for (std::size_t e = 0; e < eps; ++e) {
+    seed_links[e] = static_cast<std::uint64_t>(link_of(static_cast<int>(e)));
+  }
+}
+
+void SimCore::fill_seed_plane(std::uint64_t iter) {
+  static constexpr std::uint64_t kSlotIds[2] = {MeetingPointsState::kSeedSlotK,
+                                                MeetingPointsState::kSeedSlotPrefix};
+  for (std::size_t e = 0; e < seed_sources.size(); ++e) {
+    seed_sources[e] = seeds[e] ? seeds[e].get() : crs;
+  }
+  seed_plane.fill(seed_sources.data(), seed_links.data(), iter, kSlotIds);
 }
 
 void SimCore::step(int iteration, Phase phase) {
@@ -88,13 +105,20 @@ void MeetingPointsExec::run(int iteration) {
   const long mp_rounds = c.plan->mp_rounds();
   const int tau = c.tau;
 
-  // Prepare outgoing messages.
+  // Prepare outgoing messages. Default path: one plane fill materializes all
+  // endpoints' seed words, then each prepare reads its flat view — no
+  // allocations, no virtual dispatch in the hash loop. The legacy per-open
+  // path is kept selectable as the cost baseline (config.use_seed_plane).
+  const bool use_plane = c.cfg->use_seed_plane;
+  if (use_plane) c.fill_seed_plane(static_cast<std::uint64_t>(iteration));
   for (PartyId u = 0; u < c.n; ++u) {
     for (int l : c.topo->links_of(u)) {
       const std::size_t e = static_cast<std::size_t>(c.ep(u, l));
-      outgoing_[e] = c.mp[e].prepare(c.tr[e], c.seeds_of(static_cast<int>(e)),
-                                     static_cast<std::uint64_t>(l),
-                                     static_cast<std::uint64_t>(iteration), tau);
+      outgoing_[e] = use_plane
+                         ? c.mp[e].prepare(c.tr[e], c.seed_plane.mp_seeds(e), tau)
+                         : c.mp[e].prepare(c.tr[e], c.seeds_of(static_cast<int>(e)),
+                                           static_cast<std::uint64_t>(l),
+                                           static_cast<std::uint64_t>(iteration), tau);
     }
   }
   recv_.assign(static_cast<std::size_t>(c.topo->num_dlinks()) *

@@ -26,6 +26,7 @@
 #include "core/config.h"
 #include "core/meeting_points.h"
 #include "core/transcript.h"
+#include "hash/seed_plane.h"
 #include "net/round_engine.h"
 #include "net/round_plan.h"
 #include "net/spanning_tree.h"
@@ -66,8 +67,21 @@ struct SimCore {
   std::vector<std::unique_ptr<SeedSource>> seeds;  // null ⇒ the shared CRS
   const SeedSource* crs = nullptr;                 // CRS variants share this
 
+  // The seed plane (DESIGN.md §10): all endpoints' meeting-points hash seeds
+  // for the current iteration, materialized by one fill_seed_plane() call.
+  // The scratch arrays resolve per-endpoint (source, link) for the fill —
+  // re-resolved each fill because the randomness exchange installs sources
+  // after init().
+  SeedPlane seed_plane;
+  std::vector<const SeedSource*> seed_sources;  // [2m] fill scratch
+  std::vector<std::uint64_t> seed_links;        // [2m] link id of endpoint e
+
   // Allocate the SoA arrays once the immutables are in place.
   void init();
+
+  // Materialize every endpoint's seed words for iteration `iter` (zero
+  // allocations; the per-iteration hash path then reads plane views).
+  void fill_seed_plane(std::uint64_t iter);
 
   // Endpoint of party u on link l (== the dlink u sends on).
   int ep(PartyId u, int l) const { return topo->dlink_from(l, u); }

@@ -11,6 +11,7 @@
 #include "ecc/repetition_code.h"      // naive-coding baseline
 #include "hash/delta_biased.h"        // AGHP small-bias generator (Lemma 2.5)
 #include "hash/inner_product_hash.h"  // the hash family of Definition 2.2
+#include "hash/seed_plane.h"          // batched per-iteration seed views (§10)
 #include "hash/seed_source.h"         // CRS / exchanged-seed streams
 #include "net/round_engine.h"         // synchronous ins/del/sub channel (§2.1)
 #include "net/spanning_tree.h"

@@ -9,6 +9,19 @@
 //
 // The paper uses such strings in place of a uniform CRS to seed the
 // inner-product hashes after the randomness-exchange phase (§5, Lemma 2.5).
+//
+// Two generators over the same stream:
+//
+//  * DeltaBiasedStream — the scalar reference: one GF(2^64) multiplication
+//    per bit, 64 dependent multiplications per word.
+//  * DeltaBiasedWordStepper — the linearized word stepper the seed plane runs
+//    on (DESIGN.md §10): bit i of a word is lsb(z·y^i), a GF(2)-linear
+//    functional of the state z, so the stepper precomputes the 64×64 bit
+//    matrix of those 64 functionals once (columns built by shift-and-reduce —
+//    no gf64_mul chain) and emits each word as 64 mask-select XORs, advancing
+//    z by a single precomputed ·y^64 multiply. Word-for-word identical to the
+//    scalar stream by construction (pinned by the seed-plane equivalence
+//    suite).
 #pragma once
 
 #include <cstdint>
@@ -44,6 +57,71 @@ class DeltaBiasedStream {
   GF64 x_;
   GF64 y_;
   GF64 z_;  // x * y^i for the next bit index i
+};
+
+// Linearized word-granular generator: emits exactly the sequence of
+// DeltaBiasedStream(seed_x, seed_y).next_word() calls on a fresh stream
+// (word-aligned — there is no next_bit interleaving here by design).
+class DeltaBiasedWordStepper {
+ public:
+  DeltaBiasedWordStepper(std::uint64_t seed_x, std::uint64_t seed_y) noexcept {
+    const GF64 x{seed_x | 1ULL};  // same nudges as the scalar stream
+    const GF64 y{seed_y | 2ULL};
+
+    // Columns of the multiply-by-y matrix Y: col j = y·x^j, each one
+    // shift-and-reduce step from the last. Transposing in place turns the
+    // array into Y's rows: yrows[i] bit j = (Y)_{i,j}.
+    std::uint64_t yrows[64];
+    yrows[0] = y.v;
+    for (int j = 1; j < 64; ++j) yrows[j] = gf64_mul_x(GF64{yrows[j - 1]}).v;
+    gf64_transpose64(yrows);
+
+    // Masks m_i with lsb(u·y^i) = parity(u & m_i). m_0 = e_0, and since
+    // lsb(u·y^{i+1}) = parity((u·y) & m_i) = parity(u & Yᵀm_i), each next
+    // mask is Yᵀ applied to the last — an XOR of Y's rows selected by the
+    // mask's bits, branchless (random masks are ~half dense, so masked
+    // select beats sparse set-bit iteration).
+    std::uint64_t masks[64];
+    masks[0] = 1ULL;
+    for (int i = 1; i < 64; ++i) {
+      const std::uint64_t mm = masks[i - 1];
+      std::uint64_t a0 = 0, a1 = 0, a2 = 0, a3 = 0;
+      for (int b = 0; b < 64; b += 4) {
+        a0 ^= yrows[b + 0] & (0ULL - ((mm >> (b + 0)) & 1ULL));
+        a1 ^= yrows[b + 1] & (0ULL - ((mm >> (b + 1)) & 1ULL));
+        a2 ^= yrows[b + 2] & (0ULL - ((mm >> (b + 2)) & 1ULL));
+        a3 ^= yrows[b + 3] & (0ULL - ((mm >> (b + 3)) & 1ULL));
+      }
+      masks[i] = (a0 ^ a1) ^ (a2 ^ a3);
+    }
+
+    // Emission wants the transpose: word = XOR over z's set bits j of
+    // rows_[j], where rows_[j] bit i = (m_i)_j = lsb(x^j·y^i).
+    for (int i = 0; i < 64; ++i) rows_[i] = masks[i];
+    gf64_transpose64(rows_);
+
+    y64_ = gf64_pow(y, 64);
+    z_ = x;
+  }
+
+  // Next 64 stream bits packed LSB-first: bit i = lsb(z·y^i), then z ← z·y^64.
+  std::uint64_t next_word() noexcept {
+    const std::uint64_t z = z_.v;
+    std::uint64_t w0 = 0, w1 = 0, w2 = 0, w3 = 0;
+    for (int j = 0; j < 64; j += 4) {
+      w0 ^= rows_[j + 0] & (0ULL - ((z >> (j + 0)) & 1ULL));
+      w1 ^= rows_[j + 1] & (0ULL - ((z >> (j + 1)) & 1ULL));
+      w2 ^= rows_[j + 2] & (0ULL - ((z >> (j + 2)) & 1ULL));
+      w3 ^= rows_[j + 3] & (0ULL - ((z >> (j + 3)) & 1ULL));
+    }
+    z_ = gf64_mul(z_, y64_);
+    return (w0 ^ w1) ^ (w2 ^ w3);
+  }
+
+ private:
+  std::uint64_t rows_[64];  // rows_[j] bit i = lsb(x^j·y^i)
+  GF64 y64_;                // y^64: one multiply advances z a whole word
+  GF64 z_;                  // x·y^(64·words_emitted)
 };
 
 }  // namespace gkr

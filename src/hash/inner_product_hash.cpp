@@ -19,4 +19,16 @@ std::uint32_t ip_hash128(std::uint64_t in_lo, std::uint64_t in_hi, SeedStream& s
   return out;
 }
 
+std::uint32_t ip_hash128(std::uint64_t in_lo, std::uint64_t in_hi,
+                         const std::uint64_t* seed_words, int tau) {
+  GKR_ASSERT(tau >= 1 && tau <= kMaxHashBits);
+  std::uint32_t out = 0;
+  for (int t = 0; t < tau; ++t) {
+    const std::uint64_t acc = (in_lo & seed_words[2 * t]) ^ (in_hi & seed_words[2 * t + 1]);
+    const std::uint32_t bit = static_cast<std::uint32_t>(std::popcount(acc)) & 1U;
+    out |= bit << t;
+  }
+  return out;
+}
+
 }  // namespace gkr

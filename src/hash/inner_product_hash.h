@@ -27,9 +27,19 @@ inline constexpr int kMaxHashBits = 32;
 // (128 bits each) from `seed`.
 std::uint32_t ip_hash128(std::uint64_t in_lo, std::uint64_t in_hi, SeedStream& seed, int tau);
 
+// Flat-seed variant: the same hash over 2τ pre-materialized seed words (the
+// seed plane's layout, DESIGN.md §10) — no virtual dispatch, re-hashable from
+// the same pointer. Equals the stream variant word for word.
+std::uint32_t ip_hash128(std::uint64_t in_lo, std::uint64_t in_hi,
+                         const std::uint64_t* seed_words, int tau);
+
 // Convenience: hash of a small integer (e.g. the meeting-points counter k).
 inline std::uint32_t ip_hash_u64(std::uint64_t v, SeedStream& seed, int tau) {
   return ip_hash128(v, 0x517cc1b727220a95ULL, seed, tau);
+}
+
+inline std::uint32_t ip_hash_u64(std::uint64_t v, const std::uint64_t* seed_words, int tau) {
+  return ip_hash128(v, 0x517cc1b727220a95ULL, seed_words, tau);
 }
 
 }  // namespace gkr

@@ -1,0 +1,26 @@
+#include "hash/seed_plane.h"
+
+#include "util/assert.h"
+
+namespace gkr {
+
+void SeedPlane::configure(std::size_t endpoints, std::size_t slots, std::size_t words_per_slot) {
+  endpoints_ = endpoints;
+  slots_ = slots;
+  wps_ = words_per_slot;
+  words_.assign(endpoints * slots * words_per_slot, 0);
+}
+
+void SeedPlane::fill(const SeedSource* const* sources, const std::uint64_t* link_ids,
+                     std::uint64_t iter, const std::uint64_t* slot_ids) {
+  GKR_ASSERT(!words_.empty());
+  // Slot-major to match the buffer layout: writes walk the plane linearly.
+  std::uint64_t* out = words_.data();
+  for (std::size_t s = 0; s < slots_; ++s) {
+    for (std::size_t e = 0; e < endpoints_; ++e, out += wps_) {
+      sources[e]->fill_words(link_ids[e], iter, slot_ids[s], out, wps_);
+    }
+  }
+}
+
+}  // namespace gkr

@@ -1,0 +1,71 @@
+// The seed plane (DESIGN.md §10): per-iteration batch materialization of
+// every endpoint's hash-seed words.
+//
+// The meeting-points phase needs, per endpoint per iteration, 2τ seed words
+// for each hash slot. The legacy path opens one virtual SeedStream per
+// (endpoint, slot) — a heap allocation and 2τ virtual calls each — inside the
+// per-iteration hot loop. The plane instead owns one flat SoA buffer
+// (slot-major, then endpoint, then word) sized once, and a single fill() per
+// iteration writes every endpoint's words through the sources'
+// allocation-free fill_words() overrides. Consumers read non-owning views;
+// the per-iteration hash path performs zero allocations and zero virtual
+// dispatch per word.
+//
+// The plane is layout + orchestration only: the words are bit-identical to
+// what the legacy open() streams produce (pinned by the seed-plane
+// equivalence suite), so golden digests do not move.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "hash/seed_source.h"
+
+namespace gkr {
+
+// Non-owning view of one endpoint's materialized seed words for one
+// meeting-points iteration. Pointers reference the plane's buffer and are
+// valid until the next fill()/configure().
+struct MpSeeds {
+  const std::uint64_t* k_words = nullptr;       // 2τ words: seeds the k-hash
+  const std::uint64_t* prefix_words = nullptr;  // 2τ words: seeds BOTH prefix
+                                                // hashes (h1/h2 share a seed)
+};
+
+class SeedPlane {
+ public:
+  // Shape the plane: `endpoints` views × `slots` hash slots × `words_per_slot`
+  // words each. Allocates the buffer once; fill() never allocates.
+  void configure(std::size_t endpoints, std::size_t slots, std::size_t words_per_slot);
+
+  // Materialize every endpoint's words for iteration `iter`:
+  //   sources[e]->fill_words(link_ids[e], iter, slot_ids[s], ..., wps)
+  // for each slot index s and endpoint e. `sources` entries must be non-null
+  // (callers resolve CRS fallbacks before filling); both endpoints of a link
+  // pass the same link id, which is what makes their hashes comparable.
+  void fill(const SeedSource* const* sources, const std::uint64_t* link_ids, std::uint64_t iter,
+            const std::uint64_t* slot_ids);
+
+  // Words of slot index `s` for `endpoint`, `words_per_slot()` of them.
+  const std::uint64_t* slot(std::size_t endpoint, std::size_t s) const noexcept {
+    return words_.data() + (s * endpoints_ + endpoint) * wps_;
+  }
+
+  // Meeting-points view: slot index 0 = the k-hash slot, 1 = the prefix slot
+  // (the slot_ids order MeetingPointsExec fills with).
+  MpSeeds mp_seeds(std::size_t endpoint) const noexcept {
+    return MpSeeds{slot(endpoint, 0), slot(endpoint, 1)};
+  }
+
+  std::size_t endpoints() const noexcept { return endpoints_; }
+  std::size_t slots() const noexcept { return slots_; }
+  std::size_t words_per_slot() const noexcept { return wps_; }
+
+ private:
+  std::size_t endpoints_ = 0;
+  std::size_t slots_ = 0;
+  std::size_t wps_ = 0;
+  std::vector<std::uint64_t> words_;  // [slot][endpoint][word], flat
+};
+
+}  // namespace gkr

@@ -21,21 +21,50 @@ class BiasedStream final : public SeedStream {
   DeltaBiasedStream stream_;
 };
 
+Rng uniform_stream_rng(std::uint64_t crs_seed, std::uint64_t link_id, std::uint64_t iter,
+                       std::uint64_t slot) noexcept {
+  return Rng(crs_seed).fork(link_id).fork(iter).fork(slot ^ 0x5eedULL);
+}
+
 }  // namespace
+
+void SeedSource::fill_words(std::uint64_t link_id, std::uint64_t iter, std::uint64_t slot,
+                            std::uint64_t* out, std::size_t count) const {
+  const std::unique_ptr<SeedStream> stream = open(link_id, iter, slot);
+  for (std::size_t i = 0; i < count; ++i) out[i] = stream->next_word();
+}
 
 std::unique_ptr<SeedStream> UniformSeedSource::open(std::uint64_t link_id, std::uint64_t iter,
                                                     std::uint64_t slot) const {
-  Rng rng = Rng(crs_seed_).fork(link_id).fork(iter).fork(slot ^ 0x5eedULL);
-  return std::make_unique<UniformStream>(rng);
+  return std::make_unique<UniformStream>(uniform_stream_rng(crs_seed_, link_id, iter, slot));
 }
 
-std::unique_ptr<SeedStream> BiasedSeedSource::open(std::uint64_t link_id, std::uint64_t iter,
-                                                   std::uint64_t slot) const {
+void UniformSeedSource::fill_words(std::uint64_t link_id, std::uint64_t iter, std::uint64_t slot,
+                                   std::uint64_t* out, std::size_t count) const {
+  Rng rng = uniform_stream_rng(crs_seed_, link_id, iter, slot);
+  for (std::size_t i = 0; i < count; ++i) out[i] = rng.next_u64();
+}
+
+std::pair<std::uint64_t, std::uint64_t> BiasedSeedSource::derive_seed_pair(
+    std::uint64_t link_id, std::uint64_t iter, std::uint64_t slot) const noexcept {
   // Derive the per-slot AGHP seed from the link master. This models the
   // paper's expansion of the exchanged seed into the long δ-biased string
   // that is then chopped per iteration (Algorithm 4, line 8).
   const std::uint64_t k = mix64(link_id ^ mix64(iter ^ mix64(slot ^ 0xb1a5ed5eedULL)));
-  return std::make_unique<BiasedStream>(lo_ ^ k, hi_ ^ mix64(k));
+  return {lo_ ^ k, hi_ ^ mix64(k)};
+}
+
+std::unique_ptr<SeedStream> BiasedSeedSource::open(std::uint64_t link_id, std::uint64_t iter,
+                                                   std::uint64_t slot) const {
+  const auto [x, y] = derive_seed_pair(link_id, iter, slot);
+  return std::make_unique<BiasedStream>(x, y);
+}
+
+void BiasedSeedSource::fill_words(std::uint64_t link_id, std::uint64_t iter, std::uint64_t slot,
+                                  std::uint64_t* out, std::size_t count) const {
+  const auto [x, y] = derive_seed_pair(link_id, iter, slot);
+  DeltaBiasedWordStepper stepper(x, y);
+  for (std::size_t i = 0; i < count; ++i) out[i] = stepper.next_word();
 }
 
 }  // namespace gkr

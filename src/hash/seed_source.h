@@ -20,6 +20,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <utility>
 #include <vector>
 
 #include "hash/delta_biased.h"
@@ -40,8 +41,17 @@ class SeedSource {
 
   // Open the seed stream for hash slot `slot` of iteration `iter` on link
   // `link_id`. Streams opened with identical arguments yield identical bits.
+  // This is the reference path; the hot path is fill_words below.
   virtual std::unique_ptr<SeedStream> open(std::uint64_t link_id, std::uint64_t iter,
                                            std::uint64_t slot) const = 0;
+
+  // Materialize `count` words of the (link, iter, slot) stream into `out` —
+  // exactly the words `count` next_word() calls on a fresh open() stream
+  // would produce. The base implementation goes through open() (and so
+  // allocates); both concrete sources override it allocation-free, which is
+  // what the seed plane's zero-allocation fill relies on (DESIGN.md §10).
+  virtual void fill_words(std::uint64_t link_id, std::uint64_t iter, std::uint64_t slot,
+                          std::uint64_t* out, std::size_t count) const;
 };
 
 // CRS: uniform seeds keyed by (crs_seed, link, iter, slot).
@@ -51,6 +61,9 @@ class UniformSeedSource final : public SeedSource {
 
   std::unique_ptr<SeedStream> open(std::uint64_t link_id, std::uint64_t iter,
                                    std::uint64_t slot) const override;
+
+  void fill_words(std::uint64_t link_id, std::uint64_t iter, std::uint64_t slot,
+                  std::uint64_t* out, std::size_t count) const override;
 
  private:
   std::uint64_t crs_seed_;
@@ -68,6 +81,18 @@ class BiasedSeedSource final : public SeedSource {
 
   std::unique_ptr<SeedStream> open(std::uint64_t link_id, std::uint64_t iter,
                                    std::uint64_t slot) const override;
+
+  // Batched expansion via the linearized DeltaBiasedWordStepper — the δ-biased
+  // fast path the tentpole targets (≥8× over the scalar stream).
+  void fill_words(std::uint64_t link_id, std::uint64_t iter, std::uint64_t slot,
+                  std::uint64_t* out, std::size_t count) const override;
+
+  // The per-slot AGHP instance (x, y) derived from the master and the
+  // (link, iter, slot) key — shared by open() and fill_words(), and pinned by
+  // the derivation-distinctness regression test.
+  std::pair<std::uint64_t, std::uint64_t> derive_seed_pair(std::uint64_t link_id,
+                                                           std::uint64_t iter,
+                                                           std::uint64_t slot) const noexcept;
 
  private:
   std::uint64_t lo_;

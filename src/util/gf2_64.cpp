@@ -1,6 +1,6 @@
 #include "util/gf2_64.h"
 
-#if defined(__x86_64__) && defined(__PCLMUL__)
+#if defined(__x86_64__) && defined(__PCLMUL__) && !defined(GKR_FORCE_PORTABLE_GF64)
 #include <wmmintrin.h>
 #define GKR_GF64_CLMUL 1
 #else
@@ -23,19 +23,8 @@ std::uint64_t reduce128(std::uint64_t hi, std::uint64_t lo) noexcept {
   return lo;
 }
 
-#if GKR_GF64_CLMUL
-std::uint64_t clmul(std::uint64_t a, std::uint64_t b, std::uint64_t* hi) noexcept {
-  const __m128i va = _mm_set_epi64x(0, static_cast<long long>(a));
-  const __m128i vb = _mm_set_epi64x(0, static_cast<long long>(b));
-  const __m128i prod = _mm_clmulepi64_si128(va, vb, 0x00);
-  alignas(16) std::uint64_t out[2];
-  _mm_storeu_si128(reinterpret_cast<__m128i*>(out), prod);
-  *hi = out[1];
-  return out[0];
-}
-#else
 // Portable 4-bit-window carry-less multiply.
-std::uint64_t clmul(std::uint64_t a, std::uint64_t b, std::uint64_t* hi_out) noexcept {
+std::uint64_t clmul_portable(std::uint64_t a, std::uint64_t b, std::uint64_t* hi_out) noexcept {
   // table[i] = carry-less a * i for i in [0,16): lo 64 bits; spill tracked below.
   std::uint64_t lo_tab[16];
   std::uint64_t hi_tab[16];
@@ -64,6 +53,21 @@ std::uint64_t clmul(std::uint64_t a, std::uint64_t b, std::uint64_t* hi_out) noe
   *hi_out = hi;
   return lo;
 }
+
+#if GKR_GF64_CLMUL
+std::uint64_t clmul(std::uint64_t a, std::uint64_t b, std::uint64_t* hi) noexcept {
+  const __m128i va = _mm_set_epi64x(0, static_cast<long long>(a));
+  const __m128i vb = _mm_set_epi64x(0, static_cast<long long>(b));
+  const __m128i prod = _mm_clmulepi64_si128(va, vb, 0x00);
+  alignas(16) std::uint64_t out[2];
+  _mm_storeu_si128(reinterpret_cast<__m128i*>(out), prod);
+  *hi = out[1];
+  return out[0];
+}
+#else
+std::uint64_t clmul(std::uint64_t a, std::uint64_t b, std::uint64_t* hi_out) noexcept {
+  return clmul_portable(a, b, hi_out);
+}
 #endif
 
 }  // namespace
@@ -71,6 +75,12 @@ std::uint64_t clmul(std::uint64_t a, std::uint64_t b, std::uint64_t* hi_out) noe
 GF64 gf64_mul(GF64 a, GF64 b) noexcept {
   std::uint64_t hi = 0;
   const std::uint64_t lo = clmul(a.v, b.v, &hi);
+  return GF64{reduce128(hi, lo)};
+}
+
+GF64 gf64_mul_portable(GF64 a, GF64 b) noexcept {
+  std::uint64_t hi = 0;
+  const std::uint64_t lo = clmul_portable(a.v, b.v, &hi);
   return GF64{reduce128(hi, lo)};
 }
 
@@ -83,6 +93,27 @@ GF64 gf64_pow(GF64 a, std::uint64_t e) noexcept {
     e >>= 1;
   }
   return result;
+}
+
+void gf64_transpose64(std::uint64_t m[64]) noexcept {
+  // Butterfly transpose. At level s, for each row pair (i, i+s) with
+  // (i & s) == 0 and each column pair (j, j+s) with (j & s) == 0, swap
+  // element (i, j+s) with element (i+s, j); mask selects the columns with
+  // (j & s) != 0. After all six levels bit j of m[i] holds old bit i of m[j].
+  static constexpr std::uint64_t kMask[6] = {
+      0xFFFFFFFF00000000ULL, 0xFFFF0000FFFF0000ULL, 0xFF00FF00FF00FF00ULL,
+      0xF0F0F0F0F0F0F0F0ULL, 0xCCCCCCCCCCCCCCCCULL, 0xAAAAAAAAAAAAAAAAULL};
+  int level = 0;
+  for (int s = 32; s > 0; s >>= 1, ++level) {
+    const std::uint64_t mask = kMask[level];
+    for (int base = 0; base < 64; base += 2 * s) {
+      for (int i = base; i < base + s; ++i) {
+        const std::uint64_t t = (m[i] ^ (m[i + s] << s)) & mask;
+        m[i] ^= t;
+        m[i + s] ^= t >> s;
+      }
+    }
+  }
 }
 
 bool gf64_has_clmul() noexcept { return GKR_GF64_CLMUL != 0; }

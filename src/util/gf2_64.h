@@ -3,7 +3,19 @@
 //
 // This field underlies the AGHP small-bias generator (src/hash/delta_biased).
 // Multiplication uses the PCLMULQDQ carry-less multiply instruction when the
-// build target supports it, with a portable 4-bit-window fallback otherwise.
+// build target supports it (the default build compiles this TU with -mpclmul
+// on x86-64 — see CMakeLists.txt), with a portable 4-bit-window fallback
+// otherwise. Configure with -DGKR_FORCE_PORTABLE_GF64=ON to force the
+// fallback even where the instruction exists; `gf64_mul_portable` is always
+// available so the two paths can be cross-checked in one binary.
+//
+// Besides the ring operations this header carries the GF(2)-linearization
+// helpers the seed plane's word stepper is built on (DESIGN.md §10): the
+// field is an F2 vector space, so "multiply by a fixed y" is a 64×64 bit
+// matrix, and lsb(z·yⁱ) is a linear functional of z. `gf64_mul_x` steps one
+// basis column of such a matrix (shift-and-reduce), and `gf64_transpose64`
+// flips a 64×64 bit matrix between row-major and column-major so the matrix
+// can be applied by masked XOR instead of per-bit parity.
 #pragma once
 
 #include <cstdint>
@@ -17,11 +29,29 @@ struct GF64 {
   friend constexpr GF64 operator+(GF64 a, GF64 b) noexcept { return GF64{a.v ^ b.v}; }
 };
 
-// Product in GF(2^64).
+// The reduction polynomial's low part: x^64 ≡ x^4 + x^3 + x + 1 (mod p).
+inline constexpr std::uint64_t kGf64ReductionLow = 0x1bULL;
+
+// Product in GF(2^64) — the fast path (clmul when compiled in).
 GF64 gf64_mul(GF64 a, GF64 b) noexcept;
+
+// Product via the portable 4-bit-window path, regardless of how gf64_mul was
+// compiled. Reference implementation for the clmul-vs-portable contract.
+GF64 gf64_mul_portable(GF64 a, GF64 b) noexcept;
 
 // a^e by square-and-multiply.
 GF64 gf64_pow(GF64 a, std::uint64_t e) noexcept;
+
+// a·x: one shift-and-reduce step. Column j+1 of any multiply-by-c matrix is
+// gf64_mul_x of column j (the columns are c·x^j), which is how the seed
+// plane's stepper builds its matrices without a gf64_mul chain.
+inline constexpr GF64 gf64_mul_x(GF64 a) noexcept {
+  return GF64{(a.v << 1) ^ ((a.v >> 63) != 0 ? kGf64ReductionLow : 0ULL)};
+}
+
+// In-place 64×64 bit-matrix transpose: bit j of m[i] swaps with bit i of
+// m[j]. Butterfly network, 6 levels of masked swaps.
+void gf64_transpose64(std::uint64_t m[64]) noexcept;
 
 // True if the carry-less multiply fast path is compiled in (informational).
 bool gf64_has_clmul() noexcept;

@@ -156,6 +156,24 @@ TEST(IpHash, CollisionProbabilityWithBiasedSeeds) {
   EXPECT_NEAR(rate, 1.0 / 16, 0.01);
 }
 
+TEST(IpHash, FlatSeedMatchesStreamSeed) {
+  // The flat-array overload (the seed plane's consumer, DESIGN.md §10) must
+  // equal the virtual-stream reference for every tau, including re-reading
+  // the same words twice (the h1/h2 shared-seed pattern).
+  UniformSeedSource src(6);
+  Rng inputs(21);
+  for (int tau : {1, 4, 8, 16, 32}) {
+    auto stream = src.open(4, static_cast<std::uint64_t>(tau), 1);
+    std::uint64_t words[64];
+    auto copy = src.open(4, static_cast<std::uint64_t>(tau), 1);
+    for (int i = 0; i < 2 * tau; ++i) words[i] = copy->next_word();
+    const std::uint64_t lo = inputs.next_u64(), hi = inputs.next_u64();
+    const std::uint32_t via_stream = ip_hash128(lo, hi, *stream, tau);
+    EXPECT_EQ(ip_hash128(lo, hi, words, tau), via_stream);
+    EXPECT_EQ(ip_hash128(lo, hi, words, tau), via_stream);  // re-readable
+  }
+}
+
 TEST(IpHash, EqualInputsAlwaysCollide) {
   UniformSeedSource src(5);
   for (int t = 0; t < 100; ++t) {

@@ -1,0 +1,139 @@
+// Allocation regression for the seed plane (DESIGN.md §10): one full
+// meeting-points iteration at 8 parties — plane fill, every endpoint's
+// prepare, every endpoint's process — must perform ZERO heap allocations on
+// the plane path. The legacy path's cost was two `new`ed virtual streams per
+// endpoint per iteration; this test pins that they are gone, not merely
+// cheaper.
+//
+// The counting hook replaces global operator new/new[] (this binary only —
+// each test source is its own executable), so the test lives alone in this
+// file to keep the override's blast radius contained.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstdlib>
+#include <memory>
+#include <new>
+#include <vector>
+
+#include "core/meeting_points.h"
+#include "hash/seed_plane.h"
+#include "hash/seed_source.h"
+#include "net/topology.h"
+#include "util/rng.h"
+
+namespace {
+long g_allocations = 0;
+}  // namespace
+
+void* operator new(std::size_t size) {
+  ++g_allocations;
+  if (void* p = std::malloc(size ? size : 1)) return p;
+  throw std::bad_alloc();
+}
+
+void* operator new[](std::size_t size) {
+  ++g_allocations;
+  if (void* p = std::malloc(size ? size : 1)) return p;
+  throw std::bad_alloc();
+}
+
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+
+namespace gkr {
+namespace {
+
+LinkChunkRecord record_for(int chunk, std::uint64_t salt) {
+  LinkChunkRecord rec;
+  Rng rng(mix64(static_cast<std::uint64_t>(chunk) * 1000003ULL + salt));
+  for (int i = 0; i < 10; ++i) rec.push_back(rng.next_bit() ? Sym::One : Sym::Zero);
+  return rec;
+}
+
+// One meeting-points iteration over every endpoint of an 8-party clique.
+// Returns the operator-new count the iteration incurred.
+template <typename PrepareFn>
+long run_iteration(const Topology& topo, std::vector<MeetingPointsState>& mp,
+                   std::vector<LinkTranscript>& tr, std::vector<MpMessage>& outgoing,
+                   const PrepareFn& prepare_all) {
+  const long before = g_allocations;
+  prepare_all();
+  // Deliver: endpoint e receives what its link peer (dlink e^1) sent.
+  for (std::size_t e = 0; e < mp.size(); ++e) {
+    mp[e].process(outgoing[e ^ 1], tr[e]);
+  }
+  (void)topo;
+  return g_allocations - before;
+}
+
+TEST(SeedPlaneAlloc, ZeroAllocationsPerMpIterationAt8Parties) {
+  const Topology topo = Topology::clique(8);
+  const std::size_t eps = static_cast<std::size_t>(topo.num_dlinks());
+  const int tau = 10;
+
+  // Per-link biased masters (the exchange-variant shape: both endpoints of a
+  // link share one), transcripts with a mix of agreeing and diverged links so
+  // prepare/process walk both the Simulate and MeetingPoints branches.
+  Rng rng(515);
+  std::vector<std::unique_ptr<SeedSource>> owned(eps);
+  std::vector<const SeedSource*> sources(eps);
+  std::vector<std::uint64_t> links(eps);
+  for (int l = 0; l < topo.num_links(); ++l) {
+    const std::uint64_t lo = rng.next_u64(), hi = rng.next_u64();
+    owned[static_cast<std::size_t>(2 * l)] = std::make_unique<BiasedSeedSource>(lo, hi);
+    owned[static_cast<std::size_t>(2 * l + 1)] = std::make_unique<BiasedSeedSource>(lo, hi);
+    links[static_cast<std::size_t>(2 * l)] = static_cast<std::uint64_t>(l);
+    links[static_cast<std::size_t>(2 * l + 1)] = static_cast<std::uint64_t>(l);
+  }
+  for (std::size_t e = 0; e < eps; ++e) sources[e] = owned[e].get();
+
+  std::vector<LinkTranscript> tr(eps);
+  std::vector<MeetingPointsState> mp(eps);
+  std::vector<MpMessage> outgoing(eps);
+  for (int l = 0; l < topo.num_links(); ++l) {
+    for (int c = 0; c < 10; ++c) {
+      tr[static_cast<std::size_t>(2 * l)].append_chunk(record_for(c, 0));
+      tr[static_cast<std::size_t>(2 * l + 1)].append_chunk(record_for(c, 0));
+    }
+    if (l % 2 == 1) {  // odd links: one endpoint a chunk ahead
+      tr[static_cast<std::size_t>(2 * l)].append_chunk(record_for(10, 111));
+    }
+  }
+
+  const std::uint64_t slots[2] = {MeetingPointsState::kSeedSlotK,
+                                  MeetingPointsState::kSeedSlotPrefix};
+  SeedPlane plane;
+  plane.configure(eps, 2, 2 * static_cast<std::size_t>(tau));
+
+  std::uint64_t iter = 0;
+  const auto prepare_plane = [&] {
+    plane.fill(sources.data(), links.data(), iter, slots);
+    for (std::size_t e = 0; e < eps; ++e) {
+      outgoing[e] = mp[e].prepare(tr[e], plane.mp_seeds(e), tau);
+    }
+  };
+
+  // Warmup iteration (first-touch effects), then the counted one.
+  run_iteration(topo, mp, tr, outgoing, prepare_plane);
+  ++iter;
+  const long plane_allocs = run_iteration(topo, mp, tr, outgoing, prepare_plane);
+  EXPECT_EQ(plane_allocs, 0) << "seed-plane MP iteration must not allocate";
+
+  // Control: the hook works and the legacy path is measurably allocating —
+  // two opened streams per endpoint per iteration.
+  ++iter;
+  const auto prepare_legacy = [&] {
+    for (std::size_t e = 0; e < eps; ++e) {
+      outgoing[e] = mp[e].prepare(tr[e], *sources[e], links[e], iter, tau);
+    }
+  };
+  const long legacy_allocs = run_iteration(topo, mp, tr, outgoing, prepare_legacy);
+  EXPECT_GE(legacy_allocs, static_cast<long>(2 * eps))
+      << "control: legacy path should allocate two streams per endpoint";
+}
+
+}  // namespace
+}  // namespace gkr

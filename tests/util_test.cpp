@@ -288,6 +288,70 @@ TEST(GF64, FermatLittleTheorem) {
   }
 }
 
+TEST(GF64, PowEdgeCases) {
+  Rng r(7);
+  // a^0 = 1 for every a (including a = 0: the empty product convention the
+  // square-and-multiply loop implements); a^1 = a; 0^e = 0 for e >= 1.
+  EXPECT_EQ(gf64_pow(GF64{0}, 0).v, 1u);
+  for (int i = 0; i < 50; ++i) {
+    GF64 a{r.next_u64()};
+    EXPECT_EQ(gf64_pow(a, 0).v, 1u);
+    EXPECT_EQ(gf64_pow(a, 1).v, a.v);
+  }
+  for (std::uint64_t e : {1ULL, 2ULL, 63ULL, ~0ULL}) {
+    EXPECT_EQ(gf64_pow(GF64{0}, e).v, 0u);
+  }
+}
+
+TEST(GF64, ClmulAndPortablePathsAgree) {
+  // gf64_mul dispatches to PCLMULQDQ when compiled in; gf64_mul_portable is
+  // always the 4-bit-window fallback. The two must agree bit for bit — on a
+  // portable-forced build this is trivially true, on a clmul build it is the
+  // fast-path contract.
+  Rng r(8);
+  for (int i = 0; i < 500; ++i) {
+    GF64 a{r.next_u64()}, b{r.next_u64()};
+    EXPECT_EQ(gf64_mul(a, b).v, gf64_mul_portable(a, b).v);
+  }
+  // Boundary operands: zero, one, top-bit, all-ones.
+  const std::uint64_t edges[] = {0ULL, 1ULL, 1ULL << 63, ~0ULL, kGf64ReductionLow};
+  for (std::uint64_t a : edges) {
+    for (std::uint64_t b : edges) {
+      EXPECT_EQ(gf64_mul(GF64{a}, GF64{b}).v, gf64_mul_portable(GF64{a}, GF64{b}).v);
+    }
+  }
+}
+
+TEST(GF64, MulXMatchesMulByTwo) {
+  // x is the polynomial with value 2; the shift-and-reduce step must equal a
+  // full multiply by it.
+  Rng r(9);
+  for (int i = 0; i < 200; ++i) {
+    GF64 a{r.next_u64()};
+    EXPECT_EQ(gf64_mul_x(a).v, gf64_mul(a, GF64{2}).v);
+  }
+}
+
+TEST(GF64, Transpose64MatchesNaive) {
+  Rng r(10);
+  for (int trial = 0; trial < 20; ++trial) {
+    std::uint64_t m[64], naive[64] = {};
+    for (auto& row : m) row = r.next_u64();
+    for (int i = 0; i < 64; ++i) {
+      for (int j = 0; j < 64; ++j) {
+        if ((m[i] >> j) & 1ULL) naive[j] |= 1ULL << i;
+      }
+    }
+    std::uint64_t fast[64];
+    for (int i = 0; i < 64; ++i) fast[i] = m[i];
+    gf64_transpose64(fast);
+    for (int i = 0; i < 64; ++i) EXPECT_EQ(fast[i], naive[i]) << "row " << i;
+    // Involution: transposing again restores the original.
+    gf64_transpose64(fast);
+    for (int i = 0; i < 64; ++i) EXPECT_EQ(fast[i], m[i]);
+  }
+}
+
 TEST(GF256, FieldAxioms) {
   Rng r(6);
   for (int i = 0; i < 300; ++i) {
