@@ -111,6 +111,10 @@ struct CodedSimulation::Impl {
     for (PartyId u = 0; u < n; ++u) {
       core.replayers[static_cast<std::size_t>(u)] =
           std::make_unique<PartyReplayer>(*proto, u, inputs[static_cast<std::size_t>(u)]);
+      if (cfg.replay_checkpoint_interval > 0) {
+        core.replayers[static_cast<std::size_t>(u)]->enable_checkpoints(
+            cfg.replay_checkpoint_interval);
+      }
     }
 
     mp_exec = std::make_unique<MeetingPointsExec>(core);
@@ -267,12 +271,10 @@ struct CodedSimulation::Impl {
       }
       // The live replayer holds the party's input; rebuilding it against the
       // first |Π| chunks yields the output Algorithm 1 extracts.
-      core.replayers[static_cast<std::size_t>(u)]->rebuild(
-          [&](int link, int chunk) -> const LinkChunkRecord* {
-            return &core.tr[static_cast<std::size_t>(core.ep(u, link))].chunk_record(chunk);
-          },
-          chunks);
+      core.replayers[static_cast<std::size_t>(u)]->rebuild(PartyTranscriptSource(core, u),
+                                                           chunks);
       result.replayer_rebuilds += core.replayers[static_cast<std::size_t>(u)]->rebuild_count();
+      result.replayed_chunks += core.replayers[static_cast<std::size_t>(u)]->replayed_chunks();
       if (core.replayers[static_cast<std::size_t>(u)]->output() !=
           reference->outputs[static_cast<std::size_t>(u)]) {
         result.outputs_match = false;

@@ -66,6 +66,9 @@ struct SimulationResult {
   int exchange_failures = 0;         // links whose seed masters ended unequal
   int iterations = 0;
   long replayer_rebuilds = 0;
+  // (link, chunk) records fed by those rebuilds — suffix-only under the
+  // checkpoint plane (DESIGN.md §11), full Θ(|T|) history on the legacy path.
+  long replayed_chunks = 0;
 
   std::vector<IterationTrace> trace;  // filled when config.record_trace
 };

@@ -70,6 +70,15 @@ struct SchemeConfig {
   // F13 A/B benchmark and for regression bisection.
   bool use_seed_plane = true;
 
+  // Replay checkpoint cadence in chunks (DESIGN.md §11): each party snapshots
+  // its replay automaton every this-many chunks and rebuilds by restoring the
+  // newest still-valid snapshot + replaying the suffix — amortized
+  // O(interval) per rebuild instead of O(|T|). 0 forces the legacy
+  // from-scratch path (the F14 A/B baseline and the bisection escape hatch).
+  // Results are bit-identical either way (pinned by the replay-checkpoint
+  // equivalence suite and the golden corpus).
+  int replay_checkpoint_interval = 4;
+
   // Randomness-exchange codeword length per link, bits; 0 = auto
   // Θ(|Π|·K/m) per §5 (with a floor of one base codeword).
   long exchange_target_bits = 0;

@@ -86,11 +86,7 @@ void SimCore::rebuild_replayer(PartyId u) {
   for (int l : topo->links_of(u)) {
     chunks[static_cast<std::size_t>(l)] = tr[static_cast<std::size_t>(ep(u, l))].chunks();
   }
-  replayers[static_cast<std::size_t>(u)]->rebuild(
-      [&](int link, int chunk) -> const LinkChunkRecord* {
-        return &tr[static_cast<std::size_t>(ep(u, link))].chunk_record(chunk);
-      },
-      chunks);
+  replayers[static_cast<std::size_t>(u)]->rebuild(PartyTranscriptSource(*this, u), chunks);
   replay_dirty[static_cast<std::size_t>(u)] = 0;
 }
 
@@ -300,6 +296,13 @@ SimulationExec::SimulationExec(SimCore& core) : c_(&core) {
   cursor_.assign(eps, 0);
   buffer_.resize(eps);
   folds_.resize(static_cast<std::size_t>(core.n));
+  // A local round carries at most one slot per directed link, so a party
+  // folds at most 2·deg events per round — reserve that once, instead of
+  // letting every cleared round's push_backs regrow the vectors.
+  for (PartyId u = 0; u < core.n; ++u) {
+    folds_[static_cast<std::size_t>(u)].reserve(2 * core.topo->links_of(u).size());
+  }
+  aligned_.assign(static_cast<std::size_t>(core.n), 0);
 }
 
 Sym SimulationExec::wire_sent_value(const std::vector<FoldEvent>& folds, int slot_idx) {
@@ -354,6 +357,7 @@ void SimulationExec::run(int iteration) {
     // Any desync or skipped link leaves the live automaton out of step with
     // the transcripts: rebuild before the next simulated chunk.
     if (!aligned) c.replay_dirty[static_cast<std::size_t>(u)] = 1;
+    aligned_[static_cast<std::size_t>(u)] = aligned ? 1 : 0;
   }
 
   // Chunk body: fixed number of rounds; each party walks its per-link slot
@@ -423,6 +427,14 @@ void SimulationExec::run(int iteration) {
       GKR_ASSERT(buffer_[e].size() == chunk.by_link[static_cast<std::size_t>(l)].size());
       c.tr[e].append_chunk(std::move(buffer_[e]));
       buffer_[e] = LinkChunkRecord{};
+    }
+    // An aligned chunk advanced the live automaton in lockstep with every
+    // incident transcript: feed the checkpoint plane instead of ever setting
+    // replay_dirty for it.
+    if (aligned_[static_cast<std::size_t>(u)]) {
+      const int chunks = c.tr[static_cast<std::size_t>(c.ep(u, c.topo->links_of(u)[0]))].chunks();
+      c.replayers[static_cast<std::size_t>(u)]->note_aligned_append(
+          PartyTranscriptSource(c, u), chunks);
     }
   }
   if (c.cfg->record_trace && !c.result->trace.empty()) {

@@ -100,6 +100,27 @@ struct SimCore {
   void rebuild_replayer(PartyId u);
 };
 
+// ChunkSource over one party's endpoint transcripts — the concrete reader
+// rebuild and the checkpoint plane consume (a stack object; replaces the
+// per-rebuild std::function allocation of the old ChunkReader path).
+class PartyTranscriptSource final : public ChunkSource {
+ public:
+  PartyTranscriptSource(const SimCore& core, PartyId u) : c_(&core), u_(u) {}
+
+  const LinkChunkRecord* chunk_record(int link, int chunk) const override {
+    return &c_->tr[ep(link)].chunk_record(chunk);
+  }
+  std::uint64_t prefix_digest(int link, int chunks) const override {
+    return c_->tr[ep(link)].prefix_digest(chunks);
+  }
+
+ private:
+  std::size_t ep(int link) const { return static_cast<std::size_t>(c_->ep(u_, link)); }
+
+  const SimCore* c_;
+  PartyId u_;
+};
+
 // Meeting points (§3.1(ii)): prepare per-endpoint messages, audit ground-truth
 // hash collisions, ship 3τ bits, process the peer messages.
 class MeetingPointsExec {
@@ -150,6 +171,7 @@ class SimulationExec {
   std::vector<std::size_t> cursor_;          // position in chunk.by_link[link]
   std::vector<LinkChunkRecord> buffer_;      // record being collected
   std::vector<std::vector<FoldEvent>> folds_;  // [n]
+  std::vector<std::uint8_t> aligned_;          // [n] this-iteration alignment
 };
 
 // Rewind wave: n rounds of "truncate one chunk and tell the peer".

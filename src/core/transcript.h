@@ -21,9 +21,7 @@ class LinkTranscript {
   int chunks() const noexcept { return static_cast<int>(records_.size()); }
 
   void append_chunk(LinkChunkRecord symbols) {
-    ChunkDigest d(static_cast<std::uint64_t>(records_.size()));
-    for (Sym s : symbols) d.fold_symbol(static_cast<unsigned>(s));
-    chain_.append(d.value());
+    chain_.append(link_chunk_digest(symbols, static_cast<std::uint64_t>(records_.size())));
     records_.push_back(std::move(symbols));
   }
 

@@ -21,6 +21,8 @@
 #include "proto/chunking.h"   // §3.2 preprocessing into 5K-bit chunks
 #include "proto/noiseless.h"  // reference runs (defines correctness)
 #include "proto/protocol_spec.h"
+#include "proto/replay.h"             // transcript replay (§4)
+#include "proto/replay_checkpoint.h"  // replay checkpoint plane (§11)
 #include "proto/protocols/gossip_sum.h"
 #include "proto/protocols/line_pingpong.h"
 #include "proto/protocols/random_protocol.h"

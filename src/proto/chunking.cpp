@@ -52,6 +52,8 @@ Chunk ChunkedProtocol::build_chunk(const std::vector<std::vector<int>>& rounds_u
   chunk.by_link.resize(static_cast<std::size_t>(m));
 
   auto add_slot = [&](ChunkSlot cs) {
+    chunk.link_pos.push_back(
+        static_cast<int>(chunk.by_link[static_cast<std::size_t>(cs.link)].size()));
     chunk.by_link[static_cast<std::size_t>(cs.link)].push_back(
         static_cast<int>(chunk.slots.size()));
     chunk.slots.push_back(cs);

@@ -41,6 +41,9 @@ struct Chunk {
   std::vector<ChunkSlot> slots;            // ordered by local_round (stable)
   int num_rounds = 0;                      // local rounds used by this chunk
   std::vector<std::vector<int>> by_link;   // link id -> indices into `slots`
+  // Position of slots[i] within by_link[slots[i].link] — the per-link record
+  // index of the slot, precomputed so replay never searches by_link.
+  std::vector<int> link_pos;
 };
 
 class ChunkedProtocol {

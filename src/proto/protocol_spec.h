@@ -45,6 +45,13 @@ class PartyLogic {
   virtual void note_sent(int user_slot, const Slot& s, bool bit) = 0;
   virtual void note_received(int user_slot, const Slot& s, bool bit) = 0;
 
+  // Deep copy of the automaton state. The clone must be indistinguishable
+  // from the original under every other method — it is what the replay
+  // checkpoint plane (proto/replay_checkpoint.h) snapshots, so a logic whose
+  // clone diverges breaks checkpointed rebuilds (the equivalence suite
+  // catches that per protocol).
+  virtual std::unique_ptr<PartyLogic> clone() const = 0;
+
   // Final output of the party (compared against the noiseless reference to
   // decide simulation success).
   virtual std::uint64_t output() const = 0;

@@ -22,6 +22,10 @@ class GossipSumLogic final : public PartyLogic {
 
   std::uint64_t output() const override { return digest_; }
 
+  std::unique_ptr<PartyLogic> clone() const override {
+    return std::make_unique<GossipSumLogic>(*this);
+  }
+
  private:
   bool est_;
   std::uint64_t digest_;

@@ -24,6 +24,10 @@ class LinePingPongLogic final : public PartyLogic {
 
   std::uint64_t output() const override { return state_; }
 
+  std::unique_ptr<PartyLogic> clone() const override {
+    return std::make_unique<LinePingPongLogic>(*this);
+  }
+
  private:
   void fold(int user_slot, bool bit, bool sent) {
     state_ = mix64(state_ * 0x100000001b3ULL ^ static_cast<std::uint64_t>(user_slot) ^

@@ -21,6 +21,10 @@ class RandomLogic final : public PartyLogic {
 
   std::uint64_t output() const override { return state_; }
 
+  std::unique_ptr<PartyLogic> clone() const override {
+    return std::make_unique<RandomLogic>(*this);
+  }
+
  private:
   void fold(int tag, bool bit) {
     state_ = mix64(state_ ^ (static_cast<std::uint64_t>(tag) << 1) ^ (bit ? 1ULL : 0ULL));

@@ -58,6 +58,10 @@ class TreeAggregateLogic final : public PartyLogic {
 
   std::uint64_t output() const override { return word_down(); }
 
+  std::unique_ptr<PartyLogic> clone() const override {
+    return std::make_unique<TreeAggregateLogic>(*this);
+  }
+
  private:
   PartyId parent() const { return spec_->tree().parent[static_cast<std::size_t>(self_)]; }
 

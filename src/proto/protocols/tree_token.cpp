@@ -36,6 +36,10 @@ class TreeTokenLogic final : public PartyLogic {
 
   std::uint64_t output() const override { return token_; }
 
+  std::unique_ptr<PartyLogic> clone() const override {
+    return std::make_unique<TreeTokenLogic>(*this);
+  }
+
  private:
   std::uint64_t mask(std::uint64_t v) const {
     return spec_->word_bits() >= 64 ? v : (v & ((1ULL << spec_->word_bits()) - 1));

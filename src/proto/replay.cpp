@@ -2,11 +2,35 @@
 
 #include <algorithm>
 
+#include "proto/replay_checkpoint.h"
+
 namespace gkr {
+
+RecordsChunkSource::RecordsChunkSource(const std::vector<std::vector<LinkChunkRecord>>& records)
+    : records_(&records), chains_(records.size()) {
+  for (std::size_t l = 0; l < records.size(); ++l) {
+    for (std::size_t c = 0; c < records[l].size(); ++c) {
+      chains_[l].append(link_chunk_digest(records[l][c], static_cast<std::uint64_t>(c)));
+    }
+  }
+}
 
 PartyReplayer::PartyReplayer(const ChunkedProtocol& proto, PartyId self, std::uint64_t input)
     : proto_(&proto), self_(self), input_(input) {
+  recs_.assign(static_cast<std::size_t>(proto.topology().num_links()), nullptr);
   reset();
+}
+
+PartyReplayer::~PartyReplayer() = default;
+
+PartyReplayer::PartyReplayer(PartyReplayer&&) noexcept = default;
+
+PartyReplayer& PartyReplayer::operator=(PartyReplayer&&) noexcept = default;
+
+void PartyReplayer::enable_checkpoints(int interval_chunks) {
+  GKR_ASSERT(interval_chunks > 0);
+  ckpt_ = std::make_unique<ReplayCheckpointer>(interval_chunks,
+                                               proto_->topology().num_links());
 }
 
 void PartyReplayer::reset() {
@@ -32,39 +56,63 @@ void PartyReplayer::feed_slot(const ChunkSlot& cs, Sym recorded) {
   // Heartbeat and pad slots carry no automaton state.
 }
 
-void PartyReplayer::rebuild(const ChunkReader& reader, const std::vector<int>& chunks_per_link) {
-  reset();
+void PartyReplayer::rebuild(const ChunkSource& src, const std::vector<int>& chunks_per_link) {
   ++rebuilds_;
   const Topology& topo = proto_->topology();
-  int max_chunks = 0;
-  for (int l : topo.links_of(self_)) {
+  const std::vector<int>& links = topo.links_of(self_);
+
+  int start = 0;
+  const ReplayCheckpoint* snap =
+      ckpt_ ? ckpt_->restore_point(links, chunks_per_link, src) : nullptr;
+  if (snap != nullptr) {
+    logic_ = snap->logic->clone();
+    dlink_parity_ = snap->parity;
+    start = snap->boundary;
+  } else {
+    reset();
+  }
+
+  int max_chunks = start;
+  for (int l : links) {
     max_chunks = std::max(max_chunks, chunks_per_link[static_cast<std::size_t>(l)]);
   }
-  for (int c = 0; c < max_chunks; ++c) {
+  for (int c = start; c < max_chunks; ++c) {
+    if (ckpt_ && c > start && c % ckpt_->interval() == 0) {
+      ckpt_->capture(c, links, chunks_per_link, src, *logic_, dlink_parity_);
+    }
     const Chunk& chunk = proto_->chunk(c);
-    for (int l : topo.links_of(self_)) {
-      if (c >= chunks_per_link[static_cast<std::size_t>(l)]) continue;
-      const LinkChunkRecord* rec = reader(l, c);
+    // Fetch + validate each incident link's record once per chunk; links past
+    // their bound (and non-incident links, never written) stay null and the
+    // slot loop skips them.
+    for (int l : links) {
+      if (c >= chunks_per_link[static_cast<std::size_t>(l)]) {
+        recs_[static_cast<std::size_t>(l)] = nullptr;
+        continue;
+      }
+      const LinkChunkRecord* rec = src.chunk_record(l, c);
       GKR_ASSERT(rec != nullptr);
       GKR_ASSERT(rec->size() == chunk.by_link[static_cast<std::size_t>(l)].size());
+      recs_[static_cast<std::size_t>(l)] = rec;
+      ++replayed_chunks_;
     }
     // Feed in chunk slot order (round-minor), interleaving links exactly as
     // the live simulation phase does.
     for (std::size_t idx = 0; idx < chunk.slots.size(); ++idx) {
       const ChunkSlot& cs = chunk.slots[idx];
-      const Topology& g = topo;
-      const PartyId a = g.link(cs.link).a, b = g.link(cs.link).b;
-      if (a != self_ && b != self_) continue;
-      if (c >= chunks_per_link[static_cast<std::size_t>(cs.link)]) continue;
-      const LinkChunkRecord* rec = reader(cs.link, c);
-      // Index of this slot within the link's slot list for the chunk.
-      const auto& list = chunk.by_link[static_cast<std::size_t>(cs.link)];
-      const auto it = std::lower_bound(list.begin(), list.end(), static_cast<int>(idx));
-      GKR_ASSERT(it != list.end() && *it == static_cast<int>(idx));
-      const std::size_t pos = static_cast<std::size_t>(it - list.begin());
-      feed_slot(cs, (*rec)[pos]);
+      const LinkChunkRecord* rec = recs_[static_cast<std::size_t>(cs.link)];
+      if (rec == nullptr) continue;
+      feed_slot(cs, (*rec)[static_cast<std::size_t>(chunk.link_pos[idx])]);
     }
   }
+}
+
+void PartyReplayer::note_aligned_append(const ChunkSource& src, int chunks) {
+  if (!ckpt_ || chunks <= 0 || chunks % ckpt_->interval() != 0) return;
+  const std::vector<int>& links = proto_->topology().links_of(self_);
+  // Every incident link is `chunks` long here, so bounds == the watermark.
+  std::vector<int> bounds(static_cast<std::size_t>(proto_->topology().num_links()), 0);
+  for (int l : links) bounds[static_cast<std::size_t>(l)] = chunks;
+  ckpt_->capture(chunks, links, bounds, src, *logic_, dlink_parity_);
 }
 
 bool PartyReplayer::peek_send(const ChunkSlot& cs) const {

@@ -5,9 +5,12 @@
 // "based on the partial transcript T_{u,w} for each w ∈ N(u), as well as the
 // input to u". PartyReplayer is that machinery:
 //
-//  * rebuild(): reconstructs the automaton state from scratch by feeding the
-//    party's recorded per-link chunk records in chunk-major, round-minor
-//    order (recorded bits are authoritative — sends are *not* recomputed);
+//  * rebuild(): reconstructs the automaton state by feeding the party's
+//    recorded per-link chunk records in chunk-major, round-minor order
+//    (recorded bits are authoritative — sends are *not* recomputed). With
+//    checkpoints enabled (DESIGN.md §11) the feed starts from the newest
+//    snapshot the current transcripts still validate and replays only the
+//    suffix; without them it starts from scratch.
 //  * on_send_slot()/on_receive_slot(): advance the state live during a
 //    simulation phase, producing heartbeat parities, pad zeros and user bits.
 //
@@ -19,33 +22,96 @@
 #pragma once
 
 #include <cstdint>
-#include <functional>
 #include <memory>
 #include <vector>
 
 #include "proto/chunking.h"
+#include "util/digest.h"
 
 namespace gkr {
+
+class ReplayCheckpointer;
 
 // Record of one chunk restricted to one link: one wire symbol per chunk-slot
 // touching the link, in the chunk's slot order (both directions; sent
 // symbols recorded as sent, received as received).
 using LinkChunkRecord = std::vector<Sym>;
 
+// Position-binding digest of one link-chunk record (footnote 11: the chunk
+// index is folded in). The single definition every prefix chain over records
+// builds on — LinkTranscript's append and RecordsChunkSource must agree bit
+// for bit, since checkpoint validation compares digests across sources.
+inline std::uint64_t link_chunk_digest(const LinkChunkRecord& rec, std::uint64_t chunk_index) {
+  ChunkDigest d(chunk_index);
+  for (Sym s : rec) d.fold_symbol(static_cast<unsigned>(s));
+  return d.value();
+}
+
+// Read access to a party's recorded per-link history during rebuild. A
+// concrete implementation per backing store (the coded run's LinkTranscripts,
+// a test's reference-record array) replaces the std::function reader the
+// scratch path used to allocate per rebuild call.
+class ChunkSource {
+ public:
+  virtual ~ChunkSource() = default;
+
+  // Recorded symbols for (link, chunk); never called past the bounds the
+  // rebuild was given.
+  virtual const LinkChunkRecord* chunk_record(int link, int chunk) const = 0;
+
+  // Position-binding digest of the link's first `chunks` records — what
+  // checkpoint validation compares (transcript.h maintains this chain
+  // natively; adapters may precompute it).
+  virtual std::uint64_t prefix_digest(int link, int chunks) const = 0;
+};
+
+// ChunkSource over a records[link][chunk] array (reference records in tests
+// and benches). Prefix chains are computed once at construction with the same
+// fold LinkTranscript uses, so checkpoint validation works over plain arrays.
+class RecordsChunkSource final : public ChunkSource {
+ public:
+  explicit RecordsChunkSource(const std::vector<std::vector<LinkChunkRecord>>& records);
+
+  const LinkChunkRecord* chunk_record(int link, int chunk) const override {
+    return &(*records_)[static_cast<std::size_t>(link)][static_cast<std::size_t>(chunk)];
+  }
+  std::uint64_t prefix_digest(int link, int chunks) const override {
+    return chains_[static_cast<std::size_t>(link)].value(static_cast<std::size_t>(chunks));
+  }
+
+ private:
+  const std::vector<std::vector<LinkChunkRecord>>* records_;
+  std::vector<PrefixChain> chains_;
+};
+
 class PartyReplayer {
  public:
   PartyReplayer(const ChunkedProtocol& proto, PartyId self, std::uint64_t input);
+  ~PartyReplayer();
+
+  // Movable (the reference runners keep replayers by value), not copyable.
+  PartyReplayer(PartyReplayer&&) noexcept;
+  PartyReplayer& operator=(PartyReplayer&&) noexcept;
 
   PartyId self() const noexcept { return self_; }
 
-  // Reader giving the recorded symbols for (link, chunk) or nullptr when the
-  // local transcript for the link is shorter than chunk+1 chunks.
-  using ChunkReader = std::function<const LinkChunkRecord*(int link, int chunk)>;
+  // Attach a replay checkpoint plane with the given snapshot cadence
+  // (chunks). Rebuilds then restore-and-replay-suffix instead of starting
+  // from scratch, and aligned live chunks feed new snapshots through
+  // note_aligned_append. Results are bit-identical either way.
+  void enable_checkpoints(int interval_chunks);
 
   // Rebuild the automaton from recorded history. chunks_per_link[link] bounds
   // how many chunks to feed for each incident link (pass the transcript
   // lengths). Non-incident links are ignored.
-  void rebuild(const ChunkReader& reader, const std::vector<int>& chunks_per_link);
+  void rebuild(const ChunkSource& src, const std::vector<int>& chunks_per_link);
+
+  // Live-path checkpoint hook: the caller just advanced this replayer through
+  // an aligned chunk, so every incident link's recorded history is `chunks`
+  // chunks long and the live state equals a from-scratch rebuild at those
+  // bounds. Snapshots when `chunks` lands on the checkpoint grid; no-op
+  // without checkpoints.
+  void note_aligned_append(const ChunkSource& src, int chunks);
 
   // Live: bit to transmit for a slot (this party must be the sender),
   // computed from the *current* state without advancing it. Synchronous-round
@@ -66,8 +132,17 @@ class PartyReplayer {
   // Party output per the current automaton state.
   std::uint64_t output() const { return logic_->output(); }
 
-  // Number of rebuilds performed (instrumentation for the overhead bench).
+  // Heartbeat parity per directed link (state the checkpoint plane snapshots
+  // and the equivalence suite compares).
+  const std::vector<bool>& dlink_parity() const noexcept { return dlink_parity_; }
+
+  // Instrumentation for the overhead/replay-path benches: rebuild() calls and
+  // (link, chunk) records fed by them (suffix-only when checkpointed).
   long rebuild_count() const noexcept { return rebuilds_; }
+  long replayed_chunks() const noexcept { return replayed_chunks_; }
+
+  // Checkpoint-plane introspection (tests); null when disabled.
+  const ReplayCheckpointer* checkpointer() const noexcept { return ckpt_.get(); }
 
  private:
   void reset();
@@ -80,7 +155,10 @@ class PartyReplayer {
   // Parity of user bits this party has put on / taken off each directed
   // link — the heartbeat content.
   std::vector<bool> dlink_parity_;
+  std::unique_ptr<ReplayCheckpointer> ckpt_;
+  std::vector<const LinkChunkRecord*> recs_;  // [m] per-chunk feed scratch
   long rebuilds_ = 0;
+  long replayed_chunks_ = 0;
 };
 
 }  // namespace gkr

@@ -1,0 +1,72 @@
+#include "proto/replay_checkpoint.h"
+
+#include <algorithm>
+
+#include "proto/replay.h"
+
+namespace gkr {
+namespace {
+
+// min(boundary, bounds[l]) — the chunks a from-scratch replay bounded by
+// `bounds` would have fed link l before chunk-major index `boundary`.
+int fed_before(int boundary, const std::vector<int>& bounds, int l) {
+  return std::min(boundary, bounds[static_cast<std::size_t>(l)]);
+}
+
+}  // namespace
+
+ReplayCheckpointer::ReplayCheckpointer(int interval, int num_links)
+    : interval_(interval), m_(num_links) {
+  GKR_ASSERT(interval_ > 0 && m_ > 0);
+}
+
+void ReplayCheckpointer::capture(int boundary, const std::vector<int>& links,
+                                 const std::vector<int>& bounds, const ChunkSource& src,
+                                 const PartyLogic& logic, const std::vector<bool>& parity) {
+  // Stale checkpoints at or past this boundary describe a history that has
+  // since been rewritten; drop them rather than letting restore_point churn
+  // through their failed validations later.
+  while (!stack_.empty() && stack_.back().boundary >= boundary) {
+    stack_.pop_back();
+    ++invalidations_;
+  }
+  ReplayCheckpoint cp;
+  cp.boundary = boundary;
+  cp.fed.assign(static_cast<std::size_t>(m_), 0);
+  cp.digests.assign(static_cast<std::size_t>(m_), 0);
+  for (int l : links) {
+    const int fed = fed_before(boundary, bounds, l);
+    cp.fed[static_cast<std::size_t>(l)] = fed;
+    cp.digests[static_cast<std::size_t>(l)] = src.prefix_digest(l, fed);
+  }
+  cp.logic = logic.clone();
+  cp.parity = parity;
+  stack_.push_back(std::move(cp));
+  if (stack_.size() > kMaxCheckpoints) stack_.erase(stack_.begin());
+}
+
+const ReplayCheckpoint* ReplayCheckpointer::restore_point(const std::vector<int>& links,
+                                                          const std::vector<int>& bounds,
+                                                          const ChunkSource& src) {
+  while (!stack_.empty()) {
+    const ReplayCheckpoint& cp = stack_.back();
+    bool valid = true;
+    for (int l : links) {
+      const int fed = cp.fed[static_cast<std::size_t>(l)];
+      if (fed_before(cp.boundary, bounds, l) != fed ||
+          src.prefix_digest(l, fed) != cp.digests[static_cast<std::size_t>(l)]) {
+        valid = false;
+        break;
+      }
+    }
+    if (valid) {
+      ++restores_;
+      return &cp;
+    }
+    stack_.pop_back();
+    ++invalidations_;
+  }
+  return nullptr;
+}
+
+}  // namespace gkr

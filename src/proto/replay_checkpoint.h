@@ -1,0 +1,87 @@
+// The replay checkpoint plane (DESIGN.md §11).
+//
+// PartyReplayer::rebuild re-derives the automaton from the recorded per-link
+// chunk history; from scratch that is Θ(|T|) per call, and rewind-heavy runs
+// rebuild nearly every iteration — the quadratic path this module kills. A
+// ReplayCheckpointer keeps snapshots of the replay state (cloned PartyLogic +
+// dlink parities) at chunk boundaries every `interval` chunks; rebuild then
+// restores the newest snapshot consistent with the current transcripts and
+// replays only the suffix, making rebuild cost amortized O(interval + depth
+// of the truncation) instead of O(|T|).
+//
+// Consistency rule: a checkpoint captured at boundary c with per-link fed
+// counts fed[l] = min(c, |T_l| at capture) is restorable against current
+// bounds B iff, for every incident link l,
+//
+//    min(c, B[l]) == fed[l]   and   prefix_digest(l, fed[l]) is unchanged.
+//
+// The first clause guarantees a from-scratch replay against B would feed
+// exactly the checkpoint's (link, chunk) set before boundary c, in the same
+// chunk-major slot order; the second (the transcript's position-binding
+// 64-bit prefix chain) guarantees the same content. Truncation below a
+// checkpoint's fed counts therefore invalidates it — restore_point drops
+// invalidated checkpoints newest-first, so a rollback pays once and the plane
+// re-grows as the transcripts do.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "proto/protocol_spec.h"
+
+namespace gkr {
+
+class ChunkSource;
+
+// One snapshot of a party's replay state at a chunk boundary.
+struct ReplayCheckpoint {
+  int boundary = 0;                    // chunk-major watermark c
+  std::vector<int> fed;                // [m] chunks fed per link (0 if not incident)
+  std::vector<std::uint64_t> digests;  // [m] prefix digest at fed[l]
+  std::unique_ptr<PartyLogic> logic;   // cloned automaton
+  std::vector<bool> parity;            // [2m] dlink heartbeat parities
+};
+
+class ReplayCheckpointer {
+ public:
+  // `interval` > 0: snapshot cadence in chunks. `num_links` sizes the
+  // per-link bookkeeping (m of the topology, not the party's degree).
+  ReplayCheckpointer(int interval, int num_links);
+
+  int interval() const noexcept { return interval_; }
+  std::size_t size() const noexcept { return stack_.size(); }
+
+  // Instrumentation: checkpoints restored / dropped as invalid, lifetime.
+  long restores() const noexcept { return restores_; }
+  long invalidations() const noexcept { return invalidations_; }
+
+  // Record the state reached after feeding, for each link in `links`,
+  // min(boundary, bounds[l]) chunks whose content `src` currently serves.
+  // A checkpoint already at `boundary` is replaced; any stale checkpoint at a
+  // later boundary is dropped first.
+  void capture(int boundary, const std::vector<int>& links, const std::vector<int>& bounds,
+               const ChunkSource& src, const PartyLogic& logic,
+               const std::vector<bool>& parity);
+
+  // Newest checkpoint consistent with (bounds, src) per the rule above, or
+  // nullptr when none is. Inconsistent newer checkpoints are discarded. The
+  // returned pointer is owned by the checkpointer and valid until the next
+  // capture/restore_point call.
+  const ReplayCheckpoint* restore_point(const std::vector<int>& links,
+                                        const std::vector<int>& bounds, const ChunkSource& src);
+
+ private:
+  // Memory bound: dropping the oldest checkpoint only costs speed on a
+  // rollback deeper than every retained boundary — correctness never depends
+  // on the stack's contents.
+  static constexpr std::size_t kMaxCheckpoints = 128;
+
+  int interval_;
+  int m_;
+  std::vector<ReplayCheckpoint> stack_;  // ascending boundary order
+  long restores_ = 0;
+  long invalidations_ = 0;
+};
+
+}  // namespace gkr

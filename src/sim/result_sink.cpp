@@ -100,6 +100,8 @@ void JsonlSink::consume(const RunRecord& r) {
   line += ",\"rewind_truncations\":" + std::to_string(r.rewind_truncations);
   line += ",\"rewinds_sent\":" + std::to_string(r.rewinds_sent);
   line += ",\"exchange_failures\":" + std::to_string(r.exchange_failures);
+  line += ",\"replayer_rebuilds\":" + std::to_string(r.replayer_rebuilds);
+  line += ",\"replayed_chunks\":" + std::to_string(r.replayed_chunks);
   line += ",\"rounds\":" + std::to_string(r.rounds);
   if (include_timing_) {
     line += ",\"wall_ms\":" + fmt_double(r.wall_ms);
@@ -115,7 +117,8 @@ void CsvSink::begin(const SweepMeta&) {
            "iterations,success,cc_coded,cc_user,cc_chunked,cc_fully_utilized,"
            "blowup_vs_user,blowup_vs_chunked,corruptions,substitutions,deletions,"
            "insertions,noise_fraction,hash_collisions,mp_truncations,"
-           "rewind_truncations,rewinds_sent,exchange_failures,rounds";
+           "rewind_truncations,rewinds_sent,exchange_failures,"
+           "replayer_rebuilds,replayed_chunks,rounds";
   if (include_timing_) *out_ << ",wall_ms,rounds_per_sec,syms_per_sec";
   *out_ << '\n';
 }
@@ -153,6 +156,8 @@ void CsvSink::consume(const RunRecord& r) {
   line += ',' + std::to_string(r.rewind_truncations);
   line += ',' + std::to_string(r.rewinds_sent);
   line += ',' + std::to_string(r.exchange_failures);
+  line += ',' + std::to_string(r.replayer_rebuilds);
+  line += ',' + std::to_string(r.replayed_chunks);
   line += ',' + std::to_string(r.rounds);
   if (include_timing_) {
     line += ',' + fmt_double(r.wall_ms);

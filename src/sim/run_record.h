@@ -57,6 +57,10 @@ struct RunRecord {
   long rewind_truncations = 0;
   long rewinds_sent = 0;
   int exchange_failures = 0;
+  // Replay-path anatomy (DESIGN.md §11): automaton rebuilds and the
+  // (link, chunk) records they fed — suffix-only under the checkpoint plane.
+  long replayer_rebuilds = 0;
+  long replayed_chunks = 0;
 
   // Engine throughput. `rounds` is deterministic (part of the timetable);
   // the rates are wall-clock derived and follow the wall_ms opt-in rule.

@@ -92,6 +92,8 @@ RunRecord SweepRunner::execute(const RunSpec& spec) const {
     rec.rewind_truncations = r.rewind_truncations;
     rec.rewinds_sent = r.rewinds_sent;
     rec.exchange_failures = r.exchange_failures;
+    rec.replayer_rebuilds = r.replayer_rebuilds;
+    rec.replayed_chunks = r.replayed_chunks;
     rec.rounds = r.counters.rounds;
   }
 

@@ -99,7 +99,11 @@ std::shared_ptr<Topology> build_topology(const std::string& name) {
   return nullptr;
 }
 
-TEST(AdversaryCorpus, GoldenDigestsAreBitStable) {
+// The corpus runs twice: with the replay checkpoint plane at its default
+// cadence and with it disabled (the legacy from-scratch path). Both must hit
+// the same goldens — the plane is a cost optimization, never a behavior
+// change.
+void run_corpus(int replay_checkpoint_interval) {
   std::string replacement;  // printed wholesale on any mismatch
   bool mismatch = false;
   for (const CorpusEntry& entry : kCorpus) {
@@ -107,6 +111,7 @@ TEST(AdversaryCorpus, GoldenDigestsAreBitStable) {
     sim::Workload w = sim::gossip_workload(build_topology(entry.topology),
                                            Variant::ExchangeNonOblivious,
                                            /*seed=*/2026, /*rounds=*/6);
+    w.cfg.replay_checkpoint_interval = replay_checkpoint_interval;
     const sim::NoiseFactory factory = sim::noise_factory(entry.spec);
     Rng noise_rng(7);
     sim::BuiltNoise noise = factory.build(w, /*mu=*/0.004, noise_rng);
@@ -126,6 +131,12 @@ TEST(AdversaryCorpus, GoldenDigestsAreBitStable) {
                   << replacement;
   }
 }
+
+TEST(AdversaryCorpus, GoldenDigestsAreBitStable) {
+  run_corpus(SchemeConfig{}.replay_checkpoint_interval);
+}
+
+TEST(AdversaryCorpus, GoldenDigestsAreBitStableWithoutCheckpoints) { run_corpus(0); }
 
 }  // namespace
 }  // namespace gkr

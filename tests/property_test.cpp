@@ -110,13 +110,19 @@ TEST(ChunkingProperty, TotalityOverRandomProtocols) {
       for (const auto& list : chunk.by_link) by_link_total += list.size();
       ASSERT_EQ(by_link_total, chunk.slots.size());
       int prev_round = -1;
-      for (const ChunkSlot& cs : chunk.slots) {
+      ASSERT_EQ(chunk.link_pos.size(), chunk.slots.size());
+      for (std::size_t i = 0; i < chunk.slots.size(); ++i) {
+        const ChunkSlot& cs = chunk.slots[i];
         ASSERT_GE(cs.local_round, prev_round);
         prev_round = cs.local_round;
         if (cs.kind == SlotKind::User) {
           ASSERT_EQ(cs.user_slot, expected_next++);
           ++user_seen;
         }
+        // link_pos inverts by_link: slot i sits at per-link position
+        // link_pos[i] of its link's record.
+        const auto& list = chunk.by_link[static_cast<std::size_t>(cs.link)];
+        ASSERT_EQ(list[static_cast<std::size_t>(chunk.link_pos[i])], static_cast<int>(i));
       }
     }
     EXPECT_EQ(user_seen, proto.cc_user());
@@ -136,14 +142,12 @@ TEST(ReplayProperty, RebuildIsIdempotent) {
   const NoiselessResult ref = run_noiseless(proto, inputs);
   const std::vector<int> chunks(static_cast<std::size_t>(topo->num_links()),
                                 proto.num_real_chunks());
+  const RecordsChunkSource src(ref.records);
   for (PartyId u = 0; u < 5; ++u) {
     PartyReplayer r(proto, u, inputs[static_cast<std::size_t>(u)]);
-    auto reader = [&](int link, int chunk) {
-      return &ref.records[static_cast<std::size_t>(link)][static_cast<std::size_t>(chunk)];
-    };
-    r.rebuild(reader, chunks);
+    r.rebuild(src, chunks);
     const std::uint64_t out1 = r.output();
-    r.rebuild(reader, chunks);
+    r.rebuild(src, chunks);
     EXPECT_EQ(r.output(), out1);
   }
 }
@@ -162,22 +166,15 @@ TEST(ReplayProperty, PrefixRebuildMatchesPrefixExecution) {
   for (int j : {1, 2, full->num_real_chunks() / 2, full->num_real_chunks()}) {
     if (j < 1) continue;
     const std::vector<int> chunks(static_cast<std::size_t>(topo->num_links()), j);
+    const RecordsChunkSource src(ref.records);
     for (PartyId u = 0; u < 4; ++u) {
       PartyReplayer a(*full, u, inputs[static_cast<std::size_t>(u)]);
-      a.rebuild(
-          [&](int link, int chunk) {
-            return &ref.records[static_cast<std::size_t>(link)][static_cast<std::size_t>(chunk)];
-          },
-          chunks);
+      a.rebuild(src, chunks);
       // Execute the remaining chunks live; must land on the reference output.
       // (Only meaningful at j == full: otherwise just check determinism by
       // rebuilding a twin and comparing outputs.)
       PartyReplayer b(*full, u, inputs[static_cast<std::size_t>(u)]);
-      b.rebuild(
-          [&](int link, int chunk) {
-            return &ref.records[static_cast<std::size_t>(link)][static_cast<std::size_t>(chunk)];
-          },
-          chunks);
+      b.rebuild(src, chunks);
       EXPECT_EQ(a.output(), b.output());
       if (j == full->num_real_chunks()) {
         EXPECT_EQ(a.output(), ref.outputs[static_cast<std::size_t>(u)]);

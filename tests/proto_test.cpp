@@ -180,13 +180,10 @@ TEST_P(ProtocolContractTest, RebuildFromRecordsMatchesLiveState) {
   // Rebuild every party from the recorded transcripts and compare outputs.
   const std::vector<int> chunks(static_cast<std::size_t>(topo->num_links()),
                                 proto.num_real_chunks());
+  const RecordsChunkSource src(ref.records);
   for (PartyId u = 0; u < topo->num_nodes(); ++u) {
     PartyReplayer replayer(proto, u, inputs[static_cast<std::size_t>(u)]);
-    replayer.rebuild(
-        [&](int link, int chunk) {
-          return &ref.records[static_cast<std::size_t>(link)][static_cast<std::size_t>(chunk)];
-        },
-        chunks);
+    replayer.rebuild(src, chunks);
     EXPECT_EQ(replayer.output(), ref.outputs[static_cast<std::size_t>(u)]) << "party " << u;
   }
 }
@@ -220,11 +217,7 @@ TEST_P(ProtocolContractTest, ReplayDivergesOnCorruptedRecord) {
                                 proto.num_real_chunks());
   const PartyId receiver = topo->link(0).a;
   PartyReplayer replayer(proto, receiver, inputs[static_cast<std::size_t>(receiver)]);
-  replayer.rebuild(
-      [&](int link, int chunk_idx) {
-        return &ref.records[static_cast<std::size_t>(link)][static_cast<std::size_t>(chunk_idx)];
-      },
-      chunks);
+  replayer.rebuild(RecordsChunkSource(ref.records), chunks);
   SUCCEED();
 }
 
