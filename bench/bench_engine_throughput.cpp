@@ -120,12 +120,13 @@ struct Measurement {
 };
 
 Measurement pump(const Topology& topo, const Kind& kind, bool scalar, long rounds,
-                 std::uint64_t seed) {
+                 std::uint64_t seed, DeliveryProbe* probe = nullptr) {
   Rng rng(seed);
   std::unique_ptr<ChannelAdversary> built = kind.build(topo, rounds, rng);
   ScalarizeAdversary scalarized(*built);
   ChannelAdversary& adv = scalar ? static_cast<ChannelAdversary&>(scalarized) : *built;
   RoundEngine engine(topo, adv);
+  if (probe != nullptr) engine.set_probe(probe);
 
   const std::vector<PackedSymVec> patterns = make_patterns(topo, rng);
   PackedSymVec received(static_cast<std::size_t>(topo.num_dlinks()));
@@ -164,6 +165,53 @@ Measurement pump(const Topology& topo, const Kind& kind, bool scalar, long round
   return m;
 }
 
+// --obs-guard: the CI-friendly overhead assertion for the observability
+// plane. It cannot compare against a pre-PR binary, so it checks the next
+// best invariant: with the probe DETACHED the engine must run the untimed
+// hot path (identical to the pre-probe engine), and with the probe ATTACHED
+// each round pays ~3 clock reads — measurably slower. If the off path ever
+// starts carrying instrumentation cost, the off/full ratio collapses toward
+// 1.0 and the guard trips. (The literal "<= 2% vs pre-PR" acceptance is a
+// local measurement: build the pre-PR commit and compare rounds/sec on
+// stochastic @ 8 parties.)
+int run_obs_guard(double rounds_scale) {
+  const Topology topo = Topology::clique(8);
+  const long rounds = static_cast<long>(
+      rounds_scale * std::max(100000.0, 6.0e7 / topo.num_dlinks()));
+  const std::vector<Kind> kinds = adversary_kinds();
+  const Kind* stochastic = nullptr;
+  for (const Kind& k : kinds) {
+    if (std::strcmp(k.name, "stochastic") == 0) stochastic = &k;
+  }
+  GKR_ASSERT(stochastic != nullptr);
+  const std::uint64_t seed = derive_seed(0xbe7cULL, 8, 1);
+
+  // Warm up, then interleave three off/full pairs and keep the best of each —
+  // the usual defense against one-off scheduler noise.
+  pump(topo, *stochastic, /*scalar=*/false, rounds / 4, seed);
+  double best_off = 0.0, best_full = 0.0;
+  for (int trial = 0; trial < 3; ++trial) {
+    const Measurement off = pump(topo, *stochastic, /*scalar=*/false, rounds, seed);
+    DeliveryProbe probe;
+    const Measurement full =
+        pump(topo, *stochastic, /*scalar=*/false, rounds, seed, &probe);
+    GKR_ASSERT_MSG(probe.rounds == rounds, "probe must see every round");
+    best_off = std::max(best_off, off.record.rounds_per_sec);
+    best_full = std::max(best_full, full.record.rounds_per_sec);
+  }
+  const double ratio = safe_ratio(best_off, best_full);
+  std::printf("obs guard (stochastic @ 8 parties, batched): off %.3g r/s, "
+              "probe attached %.3g r/s, off/full ratio %.3fx (floor 1.02x)\n",
+              best_off, best_full, ratio);
+  if (ratio < 1.02) {
+    std::fprintf(stderr,
+                 "bench_engine_throughput: FAIL — obs=off is not measurably faster than "
+                 "the probed engine; the untimed hot path has picked up overhead\n");
+    return 1;
+  }
+  return 0;
+}
+
 }  // namespace
 }  // namespace gkr
 
@@ -172,6 +220,7 @@ int main(int argc, char** argv) {
 
   double rounds_scale = 1.0;
   std::string jsonl_path, csv_path;
+  bool obs_guard = false;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--rounds-scale") == 0 && i + 1 < argc) {
       rounds_scale = std::atof(argv[++i]);
@@ -179,13 +228,16 @@ int main(int argc, char** argv) {
       jsonl_path = argv[++i];
     } else if (std::strcmp(argv[i], "--csv") == 0 && i + 1 < argc) {
       csv_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--obs-guard") == 0) {
+      obs_guard = true;
     } else {
       std::fprintf(stderr,
-                   "usage: %s [--rounds-scale S] [--jsonl FILE] [--csv FILE]\n",
+                   "usage: %s [--rounds-scale S] [--jsonl FILE] [--csv FILE] [--obs-guard]\n",
                    argv[0]);
       return 2;
     }
   }
+  if (obs_guard) return run_obs_guard(rounds_scale);
 
   std::printf("F12 — engine throughput: batched deliver_round vs scalar deliver fallback\n");
   std::printf("clique topologies; wire ~75%% busy; mu=%g where the kind takes a rate\n\n", kMu);
@@ -232,6 +284,7 @@ int main(int argc, char** argv) {
 
   sim::SweepMeta meta;
   meta.num_runs = records.size();
+  meta.include_timing = true;
   auto emit = [&](sim::ResultSink& sink) {
     sink.begin(meta);
     for (const sim::RunRecord& r : records) sink.consume(r);
@@ -239,12 +292,12 @@ int main(int argc, char** argv) {
   };
   if (!jsonl_path.empty()) {
     std::ofstream out(jsonl_path);
-    sim::JsonlSink sink(out, /*include_timing=*/true);
+    sim::JsonlSink sink(out);
     emit(sink);
   }
   if (!csv_path.empty()) {
     std::ofstream out(csv_path);
-    sim::CsvSink sink(out, /*include_timing=*/true);
+    sim::CsvSink sink(out);
     emit(sink);
   }
   return 0;

@@ -1,32 +1,61 @@
-// Experiment F11 — where the constant rate goes: per-phase communication
-// decomposition of the coded protocol.
+// Experiment F11 — where the constant rate goes: per-phase decomposition of
+// the coded protocol, in bits (communication) and in nanoseconds (wall time).
 //
 // The paper engineers every phase to O(m)-ish bits so the total is a constant
 // multiple of CC(Π) (§1.2 "our noise-resilient protocol will consist of
 // phases ... at most O(m) bits"). This bench splits the measured CC by phase
 // for Algorithms A and B across sizes, plus the replayer-rebuild count (the
 // implementation's recovery cost driver).
+//
+// The wall-time section consumes the observability plane's phase timers
+// (DESIGN.md §12): each scenario runs at ObsLevel::Counters and the
+// per-phase + evaluate breakdown is reported alongside its *coverage* — the
+// fraction of the run's wall time attributed to a named scope. The bench
+// asserts coverage ≥ 95% on every scenario (the acceptance gate for the
+// phase timers: if the scopes stop covering the run, this exits nonzero).
+//
+// Artifacts: --metrics-out metrics.json (the runs folded into a metrics
+// registry, timing subtree included) and --trace-out trace.json (Chrome
+// trace-event spans of the wall-time scenarios; load at ui.perfetto.dev).
+#include <fstream>
+#include <string>
+
 #include "bench_support.h"
+#include "obs/metrics.h"
+#include "obs/publish.h"
+#include "obs/trace.h"
 
 namespace gkr {
 namespace {
 
-void run() {
+constexpr double kMinCoverage = 0.95;
+
+void run(const std::string& metrics_path, const std::string& trace_path) {
   bench::print_header(
-      "F11 — per-phase communication anatomy of the coded protocol",
-      "Noiseless runs, iteration factor 3. Shares of total coded CC per phase.\n"
-      "Expected: simulation phase dominates; metadata phases stay proportional,\n"
-      "whence the constant rate.");
+      "F11 — per-phase anatomy of the coded protocol (bits and wall time)",
+      "Noiseless runs, iteration factor 3. Shares of total coded CC per phase,\n"
+      "then shares of run wall time from the observability plane's phase timers.\n"
+      "Expected: simulation phase dominates CC; metadata phases stay proportional,\n"
+      "whence the constant rate. Wall-time coverage must stay >= 95%.");
+
+  obs::Tracer tracer;
+  obs::Registry metrics;
+  const bool want_trace = !trace_path.empty();
 
   TablePrinter table({"variant", "topology", "CC total", "exchange %", "meeting pts %",
                       "flags %", "simulation %", "rewind %", "blowup vs chunked", "rebuilds",
                       "replayed chunks"});
+  TablePrinter wtable({"variant", "topology", "run ms", "exchange %", "meeting pts %",
+                       "flags %", "simulation %", "rewind %", "evaluate %", "coverage %"});
+  bool coverage_ok = true;
   for (const Variant v : {Variant::ExchangeOblivious, Variant::ExchangeNonOblivious}) {
     for (const int n : {4, 8, 12, 16}) {
       auto topo = std::make_shared<Topology>(Topology::ring(n));
       auto spec = std::make_shared<GossipSumProtocol>(*topo, 12);
       bench::Workload w = bench::make_workload(topo, spec, v,
                                                6000 + static_cast<std::uint64_t>(n), 3.0);
+      w.cfg.observability = want_trace ? obs::ObsLevel::Full : obs::ObsLevel::Counters;
+      w.cfg.tracer = want_trace ? &tracer : nullptr;
       NoNoise none;
       const SimulationResult r = w.run(none);
       const auto pct = [&](Phase ph) {
@@ -41,6 +70,24 @@ void run() {
                      pct(Phase::FlagPassing), pct(Phase::Simulation), pct(Phase::Rewind),
                      strf("%.2f", r.blowup_vs_chunked), strf("%ld", r.replayer_rebuilds),
                      strf("%ld", r.replayed_chunks)});
+
+      const obs::RunTimings& t = r.timings;
+      const double total = static_cast<double>(t.total_ns);
+      const auto wpct = [&](Phase ph) {
+        return strf("%5.1f",
+                    100.0 * static_cast<double>(t.phase_ns[static_cast<std::size_t>(ph)]) /
+                        total);
+      };
+      const double coverage = t.coverage();
+      if (coverage < kMinCoverage) coverage_ok = false;
+      wtable.add_row({variant_name(v), topo->name(), strf("%.2f", total / 1e6),
+                      wpct(Phase::RandomnessExchange), wpct(Phase::MeetingPoints),
+                      wpct(Phase::FlagPassing), wpct(Phase::Simulation), wpct(Phase::Rewind),
+                      strf("%5.1f", 100.0 * static_cast<double>(t.evaluate_ns) / total),
+                      strf("%5.1f", 100.0 * coverage)});
+
+      publish_result(metrics, r);
+      publish_timings(metrics, t);
     }
   }
   table.print();
@@ -48,6 +95,13 @@ void run() {
       "\n(rebuilds / replayed chunks: the recovery-cost driver — with the replay\n"
       "checkpoint plane on, replayed chunks per rebuild is amortized O(interval);\n"
       "bench_replay_path (F14) measures the rewind-heavy regime.)\n");
+
+  std::printf("\n[wall-time anatomy: the same scenarios through the phase timers]\n");
+  wtable.print();
+  std::printf(
+      "\nReading: CC shares say where the *bits* go; wall-time shares say where the\n"
+      "*cycles* go (meeting-points hashing and the simulation chunk dominate). The\n"
+      "coverage column is (sum of phase scopes + evaluate) / run total.\n");
 
   // Ablation: the chunk-size constant. The paper sets K = Θ(m) and does not
   // optimize constants; growing K amortizes the fixed per-iteration metadata
@@ -91,9 +145,45 @@ void run() {
       "and a share that *stays* fixed for AlgB because K grows with τ (K = m log m,\n"
       "τ = Θ(log m)) — the τ↔K coupling of §6.1. Flag passing is O(n) per iteration,\n"
       "asymptotically negligible. That is the whole constant-rate argument in one table.\n");
+
+  if (!metrics_path.empty()) {
+    std::ofstream out(metrics_path);
+    out << metrics.to_json(/*include_timing=*/true) << '\n';
+    std::printf("\nwrote %s\n", metrics_path.c_str());
+  }
+  if (want_trace) {
+    std::ofstream out(trace_path);
+    tracer.write_chrome_json(out);
+    std::printf("wrote %s (%zu spans, %zu dropped)\n", trace_path.c_str(), tracer.recorded(),
+                tracer.dropped());
+  }
+
+  if (!coverage_ok) {
+    std::fprintf(stderr,
+                 "bench_overhead_anatomy: FAIL — phase-timer coverage below %.0f%% on at "
+                 "least one scenario\n",
+                 100.0 * kMinCoverage);
+    std::exit(1);
+  }
 }
 
 }  // namespace
 }  // namespace gkr
 
-int main() { gkr::run(); }
+int main(int argc, char** argv) {
+  std::string metrics_path, trace_path;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--metrics-out" && i + 1 < argc) {
+      metrics_path = argv[++i];
+    } else if (arg == "--trace-out" && i + 1 < argc) {
+      trace_path = argv[++i];
+    } else {
+      std::fprintf(stderr,
+                   "usage: bench_overhead_anatomy [--metrics-out m.json] [--trace-out t.json]\n");
+      return 2;
+    }
+  }
+  gkr::run(metrics_path, trace_path);
+  return 0;
+}

@@ -221,6 +221,7 @@ int main(int argc, char** argv) {
 
   sim::SweepMeta meta;
   meta.num_runs = records.size();
+  meta.include_timing = true;
   auto emit = [&](sim::ResultSink& sink) {
     sink.begin(meta);
     for (const sim::RunRecord& r : records) sink.consume(r);
@@ -228,12 +229,12 @@ int main(int argc, char** argv) {
   };
   if (!jsonl_path.empty()) {
     std::ofstream out(jsonl_path);
-    sim::JsonlSink sink(out, /*include_timing=*/true);
+    sim::JsonlSink sink(out);
     emit(sink);
   }
   if (!csv_path.empty()) {
     std::ofstream out(csv_path);
-    sim::CsvSink sink(out, /*include_timing=*/true);
+    sim::CsvSink sink(out);
     emit(sink);
   }
   return 0;

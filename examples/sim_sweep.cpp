@@ -20,7 +20,16 @@
 //              line_pingpong[:sweeps[:pp_bits]] random[:rounds]
 //   --noises   none uniform stochastic greedy random_adaptive desync echo
 //              insertion_flood exchange_sniper markov_burst rewind_sniper
-//              (atoms chain with '+' into a composed attack: greedy+echo)
+//              (atoms chain with '+' into a composed attack: greedy+echo;
+//              --list-adversaries prints the registry with descriptions)
+//
+// Observability (DESIGN.md §12):
+//   --obs off|counters|full   instrumentation level for every run
+//   --trace-out trace.json    Chrome trace-event spans (implies --obs full);
+//                             load at ui.perfetto.dev
+//   --metrics-out metrics.json  sweep-level metrics registry as JSON
+//                             (deterministic for any --threads; timing
+//                             subtree included only with --timing)
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -29,6 +38,9 @@
 #include <string>
 #include <vector>
 
+#include "obs/metrics.h"
+#include "obs/obs_level.h"
+#include "obs/trace.h"
 #include "sim/param_grid.h"
 #include "sim/result_sink.h"
 #include "sim/sweep_runner.h"
@@ -127,9 +139,11 @@ int run_main(int argc, char** argv) {
   bool grid_customized = false;
   SweepOptions opts;
   opts.threads = 0;  // default: all hardware threads
-  std::string jsonl_path, csv_path;
+  std::string jsonl_path, csv_path, trace_path, metrics_path;
   bool summary = true;
   bool timing = false;
+  obs::ObsLevel obs_level = obs::ObsLevel::Off;
+  bool obs_level_set = false;
 
   auto next_value = [&](int& i) -> std::string {
     if (i + 1 >= argc) die(std::string("missing value after ") + argv[i]);
@@ -193,17 +207,44 @@ int run_main(int argc, char** argv) {
       timing = true;
     } else if (arg == "--progress") {
       opts.progress = true;
+    } else if (arg == "--obs") {
+      const std::string level = next_value(i);
+      if (!obs::parse_obs_level(level.c_str(), obs_level)) {
+        die("bad --obs level '" + level + "' (expected off, counters or full)");
+      }
+      obs_level_set = true;
+    } else if (arg == "--trace-out") {
+      trace_path = next_value(i);
+    } else if (arg == "--metrics-out") {
+      metrics_path = next_value(i);
+    } else if (arg == "--list-adversaries") {
+      for (const NoiseInfo& info : standard_noise_registry()) {
+        std::printf("%-16s %s\n", info.name.c_str(), info.description.c_str());
+      }
+      std::printf("\nAtoms chain with '+' into a composed attack, e.g. greedy+echo.\n");
+      return 0;
     } else if (arg == "--help" || arg == "-h") {
       std::printf("usage: sim_sweep [--variants ...] [--topos ...] [--protos ...]\n"
                   "                 [--noises ...] [--mu ...] [--reps N]\n"
                   "                 [--iteration-factor F] [--seed S] [--threads T]\n"
                   "                 [--jsonl PATH] [--csv PATH] [--no-summary]\n"
-                  "                 [--timing] [--progress]\n"
-                  "See the header of examples/sim_sweep.cpp for axis syntax.\n");
+                  "                 [--timing] [--progress] [--list-adversaries]\n"
+                  "                 [--obs off|counters|full] [--trace-out PATH]\n"
+                  "                 [--metrics-out PATH]\n"
+                  "See the header of examples/sim_sweep.cpp for axis syntax.\n"
+                  "--trace-out implies --obs full; --metrics-out exports the sweep\n"
+                  "metrics registry as JSON (timing subtree included with --timing).\n");
       return 0;
     } else {
       die("unknown argument '" + arg + "' (try --help)");
     }
+  }
+
+  // A trace needs full observability; a requested lower level is an error,
+  // an unset one is upgraded silently.
+  if (!trace_path.empty() && obs_level != obs::ObsLevel::Full) {
+    if (obs_level_set) die("--trace-out requires --obs full");
+    obs_level = obs::ObsLevel::Full;
   }
 
   std::fprintf(stderr, "sim_sweep: %zu grid points x %d reps = %zu runs on %d thread(s)%s\n",
@@ -211,10 +252,17 @@ int run_main(int argc, char** argv) {
                ThreadPool::resolve_threads(opts.threads),
                grid_customized ? "" : " [demo grid]");
 
+  obs::Tracer tracer;
+  obs::Registry metrics;
+  opts.observability = obs_level;
+  opts.include_timing = timing;
+  if (!trace_path.empty()) opts.tracer = &tracer;
+  if (!metrics_path.empty()) opts.metrics = &metrics;
+
   std::ofstream jsonl_file, csv_file;
   std::vector<ResultSink*> sinks;
-  JsonlSink jsonl_sink(jsonl_file, timing);
-  CsvSink csv_sink(csv_file, timing);
+  JsonlSink jsonl_sink(jsonl_file);
+  CsvSink csv_sink(csv_file);
   SummarySink summary_sink(&std::cout);
   if (!jsonl_path.empty()) {
     jsonl_file.open(jsonl_path);
@@ -237,6 +285,20 @@ int run_main(int argc, char** argv) {
                failures);
   if (!jsonl_path.empty()) std::fprintf(stderr, "sim_sweep: wrote %s\n", jsonl_path.c_str());
   if (!csv_path.empty()) std::fprintf(stderr, "sim_sweep: wrote %s\n", csv_path.c_str());
+
+  if (!trace_path.empty()) {
+    std::ofstream trace_file(trace_path);
+    if (!trace_file) die("cannot open " + trace_path);
+    tracer.write_chrome_json(trace_file);
+    std::fprintf(stderr, "sim_sweep: wrote %s (%zu spans, %zu dropped)\n", trace_path.c_str(),
+                 tracer.recorded(), tracer.dropped());
+  }
+  if (!metrics_path.empty()) {
+    std::ofstream metrics_file(metrics_path);
+    if (!metrics_file) die("cannot open " + metrics_path);
+    metrics_file << metrics.to_json(/*include_timing=*/timing) << '\n';
+    std::fprintf(stderr, "sim_sweep: wrote %s\n", metrics_path.c_str());
+  }
   return 0;
 }
 

@@ -40,6 +40,8 @@ struct CodedSimulation::Impl {
 
   // Run state.
   std::unique_ptr<RoundEngine> engine;
+  obs::RunObs obs;
+  DeliveryProbe probe;  // attached to the engine at ObsLevel::Full
   SimulationResult result;
   std::unique_ptr<UniformSeedSource> crs;  // CRS variants share this
   SimCore core;
@@ -92,6 +94,9 @@ struct CodedSimulation::Impl {
 
     engine = std::make_unique<RoundEngine>(*topo, *adversary);
 
+    obs = obs::RunObs(cfg.observability, cfg.tracer);
+    if (obs.full_on()) engine->set_probe(&probe);
+
     if (!cfg.uses_exchange()) {
       crs = std::make_unique<UniformSeedSource>(mix64(cfg.seed ^ 0xc125ULL));
     }
@@ -103,6 +108,7 @@ struct CodedSimulation::Impl {
     core.plan = &plan;
     core.engine = engine.get();
     core.result = &result;
+    core.obs = &obs;
     core.n = n;
     core.m = m;
     core.tau = tau;
@@ -126,6 +132,7 @@ struct CodedSimulation::Impl {
   // ----------------------------------------------------- randomness exchange
   void run_randomness_exchange() {
     if (!cfg.uses_exchange()) return;  // parties share the CRS source
+    obs::PhaseScope scope(obs, Phase::RandomnessExchange, /*iteration=*/0);
 
     // Senders (smaller endpoint id) sample masters and encode.
     std::vector<std::vector<std::int8_t>> codewords(static_cast<std::size_t>(m));
@@ -295,15 +302,34 @@ struct CodedSimulation::Impl {
   }
 
   SimulationResult run() {
-    run_randomness_exchange();
-    for (int it = 0; it < plan.iterations(); ++it) {
-      if (cfg.record_trace) record_trace(it);
-      mp_exec->run(it);
-      flag_exec->run(it);
-      sim_exec->run(it);
-      rewind_exec->run(it);
+    {
+      obs::TimerScope total(obs, &obs::RunTimings::total_ns, "coded_run");
+      run_randomness_exchange();
+      for (int it = 0; it < plan.iterations(); ++it) {
+        obs::Span it_span(obs.tracer(), "iteration", "scheme", "iteration", it);
+        if (cfg.record_trace) record_trace(it);
+        {
+          obs::PhaseScope s(obs, Phase::MeetingPoints, it);
+          mp_exec->run(it);
+        }
+        {
+          obs::PhaseScope s(obs, Phase::FlagPassing, it);
+          flag_exec->run(it);
+        }
+        {
+          obs::PhaseScope s(obs, Phase::Simulation, it);
+          sim_exec->run(it);
+        }
+        {
+          obs::PhaseScope s(obs, Phase::Rewind, it);
+          rewind_exec->run(it);
+        }
+      }
+      obs::TimerScope ev(obs, &obs::RunTimings::evaluate_ns, "evaluate");
+      evaluate();
     }
-    evaluate();
+    result.timings = obs.timings;
+    result.delivery_probe = probe;
     return result;
   }
 };

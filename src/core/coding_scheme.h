@@ -30,6 +30,7 @@
 #include "net/round_engine.h"
 #include "net/round_plan.h"
 #include "net/spanning_tree.h"
+#include "obs/run_obs.h"
 #include "proto/noiseless.h"
 
 namespace gkr {
@@ -71,6 +72,14 @@ struct SimulationResult {
   long replayed_chunks = 0;
 
   std::vector<IterationTrace> trace;  // filled when config.record_trace
+
+  // Wall-clock anatomy (DESIGN.md §12). All-zero unless config.observability
+  // is Counters or Full; wall-clock-derived, so downstream consumers follow
+  // the wall_ms opt-in convention.
+  obs::RunTimings timings;
+
+  // Per-round delivery timing, populated only at ObsLevel::Full.
+  DeliveryProbe delivery_probe;
 };
 
 class CodedSimulation {

@@ -16,8 +16,13 @@
 #include <cstdint>
 
 #include "net/topology.h"
+#include "obs/obs_level.h"
 
 namespace gkr {
+
+namespace obs {
+class Tracer;  // obs/trace.h — config only carries a pointer
+}
 
 enum class Variant : int {
   Crs = 0,
@@ -86,6 +91,18 @@ struct SchemeConfig {
   // Record the per-iteration progress trace (G*, H*, B*, ...) — costs a
   // little time and memory; used by the potential-trace experiment.
   bool record_trace = false;
+
+  // Observability plane (DESIGN.md §12). Off costs one branch per phase
+  // entry; Counters adds per-phase wall-clock accumulation into
+  // SimulationResult::timings; Full additionally emits tracer spans (when
+  // `tracer` is set) and per-round engine delivery timing. Never affects
+  // simulation behavior — results are bit-identical across all levels
+  // (pinned by the golden corpus).
+  obs::ObsLevel observability = obs::ObsLevel::Off;
+
+  // Span destination for ObsLevel::Full; not owned, may be null (spans are
+  // then skipped while per-phase counters still accumulate).
+  obs::Tracer* tracer = nullptr;
 
   static SchemeConfig for_variant(Variant v, const Topology& topo) {
     SchemeConfig cfg;

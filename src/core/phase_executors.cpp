@@ -6,6 +6,7 @@
 #include <cstdlib>
 
 #include "core/coding_scheme.h"
+#include "obs/run_obs.h"
 
 namespace gkr {
 namespace {
@@ -59,6 +60,8 @@ void SimCore::init() {
 }
 
 void SimCore::fill_seed_plane(std::uint64_t iter) {
+  obs::Span span(obs != nullptr ? obs->tracer() : nullptr, "seed_fill", "seed",
+                 "iteration", static_cast<std::int64_t>(iter));
   static constexpr std::uint64_t kSlotIds[2] = {MeetingPointsState::kSeedSlotK,
                                                 MeetingPointsState::kSeedSlotPrefix};
   for (std::size_t e = 0; e < seed_sources.size(); ++e) {
@@ -82,6 +85,8 @@ int SimCore::min_chunks(PartyId u) const {
 }
 
 void SimCore::rebuild_replayer(PartyId u) {
+  obs::Span span(obs != nullptr ? obs->tracer() : nullptr, "rebuild", "replay",
+                 "party", u);
   std::vector<int> chunks(static_cast<std::size_t>(m), 0);
   for (int l : topo->links_of(u)) {
     chunks[static_cast<std::size_t>(l)] = tr[static_cast<std::size_t>(ep(u, l))].chunks();

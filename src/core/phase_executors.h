@@ -36,6 +36,10 @@
 
 namespace gkr {
 
+namespace obs {
+class RunObs;  // obs/run_obs.h — SimCore only carries a pointer
+}
+
 struct SimulationResult;
 
 // Shared state of one coded run. Owned by CodedSimulation::Impl; executors
@@ -49,6 +53,7 @@ struct SimCore {
   const RoundPlan* plan = nullptr;
   RoundEngine* engine = nullptr;
   SimulationResult* result = nullptr;
+  obs::RunObs* obs = nullptr;  // null ⇒ observability off
   int n = 0, m = 0, tau = 0;
 
   // Wire state (packed, indexed by directed link) and the round cursor.

@@ -54,6 +54,26 @@ enum class Phase : std::uint8_t {
 
 inline constexpr int kNumPhases = 6;
 
+// Stable lowercase labels, used for sink columns, metric paths, and trace
+// span names (so every surface names a phase the same way).
+inline const char* phase_name(Phase p) noexcept {
+  switch (p) {
+    case Phase::RandomnessExchange:
+      return "randomness_exchange";
+    case Phase::MeetingPoints:
+      return "meeting_points";
+    case Phase::FlagPassing:
+      return "flag_passing";
+    case Phase::Simulation:
+      return "simulation";
+    case Phase::Rewind:
+      return "rewind";
+    case Phase::Baseline:
+      return "baseline";
+  }
+  return "?";
+}
+
 // Bitmask helpers for phase-targeted adversaries (noise/combinators.h).
 inline constexpr unsigned phase_bit(Phase p) noexcept {
   return 1u << static_cast<unsigned>(p);

@@ -1,8 +1,19 @@
 #include "net/round_engine.h"
 
+#include <chrono>
+
 #include "util/assert.h"
 
 namespace gkr {
+namespace {
+
+long long probe_now_ns() noexcept {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace
 
 void RoundEngine::step(const RoundContext& ctx, const PackedSymVec& sent,
                        PackedSymVec& received) {
@@ -16,10 +27,37 @@ void RoundEngine::step(const RoundContext& ctx, const PackedSymVec& sent,
   counters_.transmissions += tx;
   counters_.transmissions_by_phase[phase] += tx;
 
+  if (probe_ != nullptr) {
+    step_probed(ctx, sent, received);
+    return;
+  }
+
+  // Untimed hot path: identical to the pre-probe engine.
   adversary_->begin_round(ctx, sent);
   adversary_->deliver_round(ctx, sent, received);
 
   const SymDiffCounts diff = PackedSymVec::classify(sent, received);
+  counters_.corruptions += diff.corruptions;
+  counters_.corruptions_by_phase[phase] += diff.corruptions;
+  counters_.substitutions += diff.substitutions;
+  counters_.deletions += diff.deletions;
+  counters_.insertions += diff.insertions;
+}
+
+void RoundEngine::step_probed(const RoundContext& ctx, const PackedSymVec& sent,
+                              PackedSymVec& received) {
+  const std::size_t phase = static_cast<std::size_t>(ctx.phase);
+  ++probe_->rounds;
+  const long long t0 = probe_now_ns();
+  adversary_->begin_round(ctx, sent);
+  adversary_->deliver_round(ctx, sent, received);
+  const long long t1 = probe_now_ns();
+
+  const SymDiffCounts diff = PackedSymVec::classify(sent, received);
+  const long long t2 = probe_now_ns();
+  probe_->deliver_ns += t1 - t0;
+  probe_->classify_ns += t2 - t1;
+
   counters_.corruptions += diff.corruptions;
   counters_.corruptions_by_phase[phase] += diff.corruptions;
   counters_.substitutions += diff.substitutions;

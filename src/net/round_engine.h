@@ -20,6 +20,18 @@
 
 namespace gkr {
 
+// Optional per-round timing hook for the observability plane. A plain
+// accumulator struct (NOT an obs type — net stays free of obs includes): the
+// engine, when a probe is attached, brackets the adversary delivery and the
+// corruption classification with steady-clock reads and folds the elapsed
+// nanoseconds in here. Null probe (the default) costs one predictable branch
+// per step(); obs=full attaches one (see sim/sweep_runner.cpp).
+struct DeliveryProbe {
+  long long rounds = 0;
+  long long deliver_ns = 0;   // inside ChannelAdversary::{begin_round,deliver_round}
+  long long classify_ns = 0;  // word-parallel sent-vs-received diff
+};
+
 struct EngineCounters {
   long rounds = 0;
   long transmissions = 0;  // honest sends (CC of the instance, in symbols=bits)
@@ -64,11 +76,22 @@ class RoundEngine {
   const EngineCounters& counters() const noexcept { return counters_; }
   EngineCounters& counters() noexcept { return counters_; }
 
+  // Attach (or detach with nullptr) the per-round timing probe. The probe
+  // must outlive the engine or be detached first; it only ever receives
+  // accumulated nanoseconds, never feedback into delivery.
+  void set_probe(DeliveryProbe* probe) noexcept { probe_ = probe; }
+  const DeliveryProbe* probe() const noexcept { return probe_; }
+
  private:
+  // The probe-attached slow path, kept out of line so the untimed step()
+  // stays at pre-probe size and layout (the obs=off overhead budget).
+  void step_probed(const RoundContext& ctx, const PackedSymVec& sent, PackedSymVec& received);
+
   const Topology* topo_;
   ChannelAdversary* adversary_;
   PackedSymVec scratch_sent_, scratch_recv_;  // for the unpacked overload
   EngineCounters counters_;
+  DeliveryProbe* probe_ = nullptr;
 };
 
 }  // namespace gkr

@@ -1,0 +1,189 @@
+#include "obs/metrics.h"
+
+#include "util/assert.h"
+#include "util/jsonfmt.h"
+
+namespace gkr::obs {
+
+Registry::Id Registry::intern(std::string_view path, Kind kind, bool timing) {
+  GKR_ASSERT_MSG(!path.empty() && path.front() != '/' && path.back() != '/',
+                 "metric paths are non-empty and '/'-separated without edge slashes");
+  for (std::size_t i = 0; i < entries_.size(); ++i) {
+    if (entries_[i].path == path) {
+      GKR_ASSERT_MSG(entries_[i].kind == kind && entries_[i].timing == timing,
+                     "metric re-registered with a different kind or timing flag");
+      return static_cast<Id>(i);
+    }
+  }
+  Entry e;
+  e.path.assign(path);
+  e.kind = kind;
+  e.timing = timing;
+  if (kind == Kind::Histogram) {
+    e.histogram = static_cast<int>(histograms_.size());
+    histograms_.emplace_back();
+  }
+  entries_.push_back(std::move(e));
+  return static_cast<Id>(entries_.size() - 1);
+}
+
+Registry::Id Registry::counter(std::string_view path, bool timing) {
+  return intern(path, Kind::Counter, timing);
+}
+
+Registry::Id Registry::gauge(std::string_view path, bool timing) {
+  return intern(path, Kind::Gauge, timing);
+}
+
+Registry::Id Registry::histogram(std::string_view path, bool timing) {
+  return intern(path, Kind::Histogram, timing);
+}
+
+void Registry::add(Id id, long long delta) noexcept {
+  entries_[static_cast<std::size_t>(id)].counter += delta;
+}
+
+void Registry::set(Id id, double value) noexcept {
+  entries_[static_cast<std::size_t>(id)].gauge = value;
+}
+
+void Registry::observe(Id id, std::uint64_t value) noexcept {
+  histograms_[static_cast<std::size_t>(entries_[static_cast<std::size_t>(id)].histogram)]
+      .record(value);
+}
+
+Registry::Id Registry::find(std::string_view path) const noexcept {
+  for (std::size_t i = 0; i < entries_.size(); ++i) {
+    if (entries_[i].path == path) return static_cast<Id>(i);
+  }
+  return -1;
+}
+
+long long Registry::counter_value(Id id) const {
+  const Entry& e = entries_.at(static_cast<std::size_t>(id));
+  GKR_ASSERT(e.kind == Kind::Counter);
+  return e.counter;
+}
+
+double Registry::gauge_value(Id id) const {
+  const Entry& e = entries_.at(static_cast<std::size_t>(id));
+  GKR_ASSERT(e.kind == Kind::Gauge);
+  return e.gauge;
+}
+
+const Log2Histogram& Registry::histogram_data(Id id) const {
+  const Entry& e = entries_.at(static_cast<std::size_t>(id));
+  GKR_ASSERT(e.kind == Kind::Histogram);
+  return histograms_[static_cast<std::size_t>(e.histogram)];
+}
+
+void Registry::reset() noexcept {
+  for (Entry& e : entries_) {
+    e.counter = 0;
+    e.gauge = 0.0;
+  }
+  for (Log2Histogram& h : histograms_) h = Log2Histogram{};
+}
+
+namespace {
+
+// One node of the export tree: a group (children in first-registration
+// order) or a leaf holding an entry index.
+struct Node {
+  std::string name;
+  int entry = -1;
+  std::vector<int> children;  // indices into the node pool
+};
+
+void append_leaf_value(std::string& out, const Registry& reg, Registry::Id id,
+                       Registry::Kind kind) {
+  switch (kind) {
+    case Registry::Kind::Counter:
+      out += std::to_string(reg.counter_value(id));
+      break;
+    case Registry::Kind::Gauge:
+      out += format_double_shortest(reg.gauge_value(id));
+      break;
+    case Registry::Kind::Histogram: {
+      const Log2Histogram& h = reg.histogram_data(id);
+      out += "{\"count\":" + std::to_string(h.count);
+      out += ",\"sum\":" + std::to_string(h.sum);
+      out += ",\"log2_buckets\":[";
+      bool first = true;
+      for (int b = 0; b < Log2Histogram::kBuckets; ++b) {
+        const std::uint64_t n = h.buckets[static_cast<std::size_t>(b)];
+        if (n == 0) continue;
+        if (!first) out += ',';
+        first = false;
+        out += '[' + std::to_string(b) + ',' + std::to_string(n) + ']';
+      }
+      out += "]}";
+      break;
+    }
+  }
+}
+
+}  // namespace
+
+std::string Registry::to_json(bool include_timing) const {
+  // Build the tree: split every visible entry's path on '/' and intern the
+  // segments as nodes under their parent, preserving first-seen order.
+  std::vector<Node> nodes;
+  nodes.push_back(Node{});  // root
+  for (std::size_t i = 0; i < entries_.size(); ++i) {
+    const Entry& e = entries_[i];
+    if (e.timing && !include_timing) continue;
+    int at = 0;
+    std::size_t start = 0;
+    while (start <= e.path.size()) {
+      std::size_t end = e.path.find('/', start);
+      if (end == std::string::npos) end = e.path.size();
+      const std::string_view seg(e.path.data() + start, end - start);
+      int next = -1;
+      for (int c : nodes[static_cast<std::size_t>(at)].children) {
+        if (nodes[static_cast<std::size_t>(c)].name == seg) {
+          next = c;
+          break;
+        }
+      }
+      if (next < 0) {
+        next = static_cast<int>(nodes.size());
+        Node n;
+        n.name.assign(seg);
+        nodes.push_back(std::move(n));
+        nodes[static_cast<std::size_t>(at)].children.push_back(next);
+      }
+      at = next;
+      start = end + 1;
+    }
+    GKR_ASSERT_MSG(nodes[static_cast<std::size_t>(at)].entry < 0 &&
+                       nodes[static_cast<std::size_t>(at)].children.empty(),
+                   "metric path collides with an existing group or leaf");
+    nodes[static_cast<std::size_t>(at)].entry = static_cast<int>(i);
+  }
+
+  std::string out;
+  out.reserve(256 + 32 * entries_.size());
+  // Recursive emit via an explicit lambda (the tree is shallow).
+  const auto emit = [&](const auto& self, int idx) -> void {
+    const Node& node = nodes[static_cast<std::size_t>(idx)];
+    if (node.entry >= 0) {
+      const Entry& e = entries_[static_cast<std::size_t>(node.entry)];
+      append_leaf_value(out, *this, node.entry, e.kind);
+      return;
+    }
+    out += '{';
+    bool first = true;
+    for (int c : node.children) {
+      if (!first) out += ',';
+      first = false;
+      out += '"' + json_escape(nodes[static_cast<std::size_t>(c)].name) + "\":";
+      self(self, c);
+    }
+    out += '}';
+  };
+  emit(emit, 0);
+  return out;
+}
+
+}  // namespace gkr::obs

@@ -1,0 +1,103 @@
+// The deterministic metrics registry (DESIGN.md §12): one queryable tree of
+// counters, gauges, and log2-bucket histograms that absorbs the scattered
+// per-subsystem counters (EngineCounters, SpendLedger, the replay and scheme
+// internals — see obs/publish.h) and exports as JSON.
+//
+// Determinism rules:
+//   * Registration fixes the export order. Registering the same path twice
+//     returns the same handle (kinds must agree), so publish helpers are
+//     idempotent and sweep-level aggregation re-folds records freely.
+//   * Count fields (counters, histograms, non-timing gauges) are pure
+//     functions of the runs folded in and the fold order; a sweep that folds
+//     records in (grid_index, rep) order therefore exports bit-identical
+//     JSON for any thread count (pinned by tests/obs_test.cpp).
+//   * Entries registered with timing = true carry wall-clock-derived values
+//     and are excluded from export unless explicitly asked for — the
+//     registry-level mirror of the RunRecord wall_ms convention.
+//
+// Hot-path cost: add/set/observe are array indexing on preallocated storage —
+// no allocation, no locking (a registry is single-writer; sweeps aggregate
+// post-hoc in deterministic order rather than sharing one registry across
+// workers).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace gkr::obs {
+
+// Power-of-two bucket histogram over non-negative integer samples: bucket i
+// holds values v with bit_width(v) == i, i.e. bucket 0 is {0} and bucket i≥1
+// is [2^(i-1), 2^i). 65 buckets cover the full uint64 range.
+struct Log2Histogram {
+  static constexpr int kBuckets = 65;
+
+  std::array<std::uint64_t, kBuckets> buckets{};
+  std::uint64_t count = 0;
+  std::uint64_t sum = 0;
+
+  void record(std::uint64_t v) noexcept {
+    int w = 0;
+    for (std::uint64_t x = v; x != 0; x >>= 1) ++w;
+    ++buckets[static_cast<std::size_t>(w)];
+    ++count;
+    sum += v;
+  }
+};
+
+class Registry {
+ public:
+  enum class Kind : std::uint8_t { Counter, Gauge, Histogram };
+
+  // Stable handle; valid for the registry's lifetime.
+  using Id = int;
+
+  // Register (or look up) an entry. Path segments are separated by '/' and
+  // become nesting levels in the JSON export ("engine/by_phase/simulation").
+  // Re-registering an existing path returns the existing id and asserts the
+  // kind and timing flag agree.
+  Id counter(std::string_view path, bool timing = false);
+  Id gauge(std::string_view path, bool timing = false);
+  Id histogram(std::string_view path, bool timing = false);
+
+  // Hot-path mutators (no allocation, no lookup).
+  void add(Id id, long long delta) noexcept;
+  void set(Id id, double value) noexcept;
+  void observe(Id id, std::uint64_t value) noexcept;
+
+  // Queries. find() returns -1 when the path is not registered.
+  Id find(std::string_view path) const noexcept;
+  long long counter_value(Id id) const;
+  double gauge_value(Id id) const;
+  const Log2Histogram& histogram_data(Id id) const;
+
+  std::size_t size() const noexcept { return entries_.size(); }
+
+  // Nested JSON object, children ordered by first registration. Timing
+  // entries appear only when include_timing; groups left without any visible
+  // leaf are pruned entirely.
+  std::string to_json(bool include_timing) const;
+
+  // Zero every value; registration (schema + order) is preserved.
+  void reset() noexcept;
+
+ private:
+  struct Entry {
+    std::string path;
+    Kind kind = Kind::Counter;
+    bool timing = false;
+    long long counter = 0;
+    double gauge = 0.0;
+    int histogram = -1;  // index into histograms_
+  };
+
+  Id intern(std::string_view path, Kind kind, bool timing);
+
+  std::vector<Entry> entries_;
+  std::vector<Log2Histogram> histograms_;
+};
+
+}  // namespace gkr::obs

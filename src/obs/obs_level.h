@@ -1,0 +1,53 @@
+// Observability levels (DESIGN.md §12). A leaf header so core/config.h can
+// carry the knob without pulling the registry or tracer into every TU.
+//
+//   Off      — no instrumentation at all; the hot paths pay one predictable
+//              branch per phase entry and nothing per round. The default.
+//   Counters — per-phase wall-clock accumulation (a handful of clock reads
+//              per iteration) feeding SimulationResult::timings and the
+//              RunRecord phase breakdown. Deterministic *count* metrics are
+//              unaffected by this level; only timing fields appear.
+//   Full     — Counters plus span tracing (RAII phase/iteration/rebuild
+//              spans into per-thread buffers, exported as Chrome trace-event
+//              JSON) and the engine's per-round delivery probe.
+//
+// Levels only ever add timing and trace output: simulation results are
+// bit-identical across all three (pinned by the golden corpus, which runs
+// Off and Full against the same digests).
+#pragma once
+
+namespace gkr::obs {
+
+enum class ObsLevel : int {
+  Off = 0,
+  Counters = 1,
+  Full = 2,
+};
+
+inline const char* obs_level_name(ObsLevel level) {
+  switch (level) {
+    case ObsLevel::Off:
+      return "off";
+    case ObsLevel::Counters:
+      return "counters";
+    case ObsLevel::Full:
+      return "full";
+  }
+  return "?";
+}
+
+// Parse "off" / "counters" / "full"; returns false on anything else.
+inline bool parse_obs_level(const char* s, ObsLevel& out) {
+  const auto eq = [s](const char* t) {
+    const char* a = s;
+    const char* b = t;
+    while (*a && *b && *a == *b) ++a, ++b;
+    return *a == '\0' && *b == '\0';
+  };
+  if (eq("off")) return out = ObsLevel::Off, true;
+  if (eq("counters")) return out = ObsLevel::Counters, true;
+  if (eq("full")) return out = ObsLevel::Full, true;
+  return false;
+}
+
+}  // namespace gkr::obs

@@ -1,0 +1,108 @@
+#include "obs/publish.h"
+
+#include <cmath>
+#include <string>
+
+namespace gkr::obs {
+namespace {
+
+void add_counter(Registry& reg, std::string_view path, long long delta,
+                 bool timing = false) {
+  reg.add(reg.counter(path, timing), delta);
+}
+
+// Phases the coded scheme actually drives (Baseline is the uncoded runner's
+// label); baseline traffic still shows up via publish_record on its records.
+void publish_by_phase(Registry& reg, const char* what,
+                      const std::array<long, kNumPhases>& a) {
+  for (int i = 0; i < kNumPhases; ++i) {
+    std::string path = "engine/by_phase/";
+    path += phase_name(static_cast<Phase>(i));
+    path += '/';
+    path += what;
+    add_counter(reg, path, a[static_cast<std::size_t>(i)]);
+  }
+}
+
+}  // namespace
+
+void publish_engine(Registry& reg, const EngineCounters& c) {
+  add_counter(reg, "engine/rounds", c.rounds);
+  add_counter(reg, "engine/transmissions", c.transmissions);
+  add_counter(reg, "engine/corruptions", c.corruptions);
+  add_counter(reg, "engine/substitutions", c.substitutions);
+  add_counter(reg, "engine/deletions", c.deletions);
+  add_counter(reg, "engine/insertions", c.insertions);
+  publish_by_phase(reg, "transmissions", c.transmissions_by_phase);
+  publish_by_phase(reg, "corruptions", c.corruptions_by_phase);
+}
+
+void publish_ledger(Registry& reg, const SpendLedger& ledger) {
+  add_counter(reg, "adversary/spend/substitutions", ledger.substitutions);
+  add_counter(reg, "adversary/spend/deletions", ledger.deletions);
+  add_counter(reg, "adversary/spend/insertions", ledger.insertions);
+}
+
+void publish_result(Registry& reg, const SimulationResult& r) {
+  publish_engine(reg, r.counters);
+  add_counter(reg, "cc/coded", r.cc_coded);
+  add_counter(reg, "cc/user", r.cc_user);
+  add_counter(reg, "cc/chunked", r.cc_chunked);
+  add_counter(reg, "scheme/iterations", r.iterations);
+  add_counter(reg, "scheme/hash_collisions", r.hash_collisions);
+  add_counter(reg, "scheme/mp_truncations", r.mp_truncations);
+  add_counter(reg, "scheme/rewind_truncations", r.rewind_truncations);
+  add_counter(reg, "scheme/rewinds_sent", r.rewinds_sent);
+  add_counter(reg, "scheme/exchange_failures", r.exchange_failures);
+  add_counter(reg, "replay/rebuilds", r.replayer_rebuilds);
+  add_counter(reg, "replay/replayed_chunks", r.replayed_chunks);
+}
+
+void publish_timings(Registry& reg, const RunTimings& t) {
+  for (int i = 0; i < kNumPhases; ++i) {
+    std::string path = "wall_ns/phase/";
+    path += phase_name(static_cast<Phase>(i));
+    add_counter(reg, path, t.phase_ns[static_cast<std::size_t>(i)], /*timing=*/true);
+  }
+  add_counter(reg, "wall_ns/evaluate", t.evaluate_ns, /*timing=*/true);
+  add_counter(reg, "wall_ns/total", t.total_ns, /*timing=*/true);
+}
+
+void publish_record(Registry& reg, const sim::RunRecord& r) {
+  add_counter(reg, "sweep/runs", 1);
+  add_counter(reg, "sweep/successes", r.success ? 1 : 0);
+  add_counter(reg, "sweep/failures", r.success ? 0 : 1);
+
+  add_counter(reg, "engine/rounds", r.rounds);
+  add_counter(reg, "engine/transmissions", r.cc_coded);
+  add_counter(reg, "engine/corruptions", r.corruptions);
+  add_counter(reg, "engine/substitutions", r.substitutions);
+  add_counter(reg, "engine/deletions", r.deletions);
+  add_counter(reg, "engine/insertions", r.insertions);
+  publish_by_phase(reg, "transmissions", r.transmissions_by_phase);
+  publish_by_phase(reg, "corruptions", r.corruptions_by_phase);
+
+  add_counter(reg, "cc/coded", r.cc_coded);
+  add_counter(reg, "cc/user", r.cc_user);
+  add_counter(reg, "cc/chunked", r.cc_chunked);
+  add_counter(reg, "scheme/iterations", r.iterations);
+  add_counter(reg, "scheme/hash_collisions", r.hash_collisions);
+  add_counter(reg, "scheme/mp_truncations", r.mp_truncations);
+  add_counter(reg, "scheme/rewind_truncations", r.rewind_truncations);
+  add_counter(reg, "scheme/rewinds_sent", r.rewinds_sent);
+  add_counter(reg, "scheme/exchange_failures", r.exchange_failures);
+  add_counter(reg, "replay/rebuilds", r.replayer_rebuilds);
+  add_counter(reg, "replay/replayed_chunks", r.replayed_chunks);
+
+  reg.observe(reg.histogram("sweep/hist/cc_coded"),
+              static_cast<std::uint64_t>(r.cc_coded < 0 ? 0 : r.cc_coded));
+  reg.observe(reg.histogram("sweep/hist/corruptions"),
+              static_cast<std::uint64_t>(r.corruptions < 0 ? 0 : r.corruptions));
+  reg.observe(reg.histogram("sweep/hist/rounds"),
+              static_cast<std::uint64_t>(r.rounds < 0 ? 0 : r.rounds));
+
+  add_counter(reg, "sweep/wall_us", std::llround(r.wall_ms * 1000.0),
+              /*timing=*/true);
+}
+
+}  // namespace gkr::obs

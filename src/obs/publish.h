@@ -1,0 +1,45 @@
+// Publishers: the one place that maps the scattered per-subsystem counters
+// (EngineCounters, SpendLedger, the scheme/replay internals, sweep
+// RunRecords) onto the metrics registry's path tree, so every consumer sees
+// the same schema.
+//
+// All publishers are fold operations — they register their paths idempotently
+// and *add* the argument's values — so calling one per run in deterministic
+// (grid_index, rep) order yields a sweep-level aggregate whose count fields
+// are bit-identical for any worker-thread count (the registry is never shared
+// across workers; aggregation happens post-hoc).
+#pragma once
+
+#include "core/coding_scheme.h"
+#include "net/round_engine.h"
+#include "noise/adaptive.h"
+#include "obs/metrics.h"
+#include "obs/run_obs.h"
+#include "sim/run_record.h"
+
+namespace gkr::obs {
+
+// engine/{rounds,transmissions,corruptions,substitutions,deletions,
+// insertions} and engine/by_phase/<phase>/{transmissions,corruptions}.
+void publish_engine(Registry& reg, const EngineCounters& c);
+
+// adversary/spend/{substitutions,deletions,insertions}.
+void publish_ledger(Registry& reg, const SpendLedger& ledger);
+
+// One coded run: publish_engine plus cc/{coded,user,chunked},
+// scheme/{iterations,hash_collisions,mp_truncations,rewind_truncations,
+// rewinds_sent,exchange_failures} and replay/{rebuilds,replayed_chunks}.
+void publish_result(Registry& reg, const SimulationResult& r);
+
+// Per-phase wall-clock from one run's RunTimings, registered timing=true so
+// it stays out of exports unless explicitly included:
+// wall_ns/phase/<phase>, wall_ns/evaluate, wall_ns/total.
+void publish_timings(Registry& reg, const RunTimings& t);
+
+// Sweep-level fold of one RunRecord: sweep/{runs,successes,failures},
+// engine + cc + scheme + replay trees as above, per-run log2 histograms
+// (sweep/hist/{cc_coded,corruptions,rounds}), and (timing=true)
+// sweep/wall_us. Feed records in (grid_index, rep) order.
+void publish_record(Registry& reg, const sim::RunRecord& r);
+
+}  // namespace gkr::obs

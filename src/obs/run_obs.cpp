@@ -1,0 +1,13 @@
+#include "obs/run_obs.h"
+
+#include <chrono>
+
+namespace gkr::obs {
+
+std::int64_t monotonic_ns() noexcept {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace gkr::obs

@@ -1,0 +1,150 @@
+// Per-run observability context: the handle the coding scheme (and the
+// uncoded baseline runner) threads through its phase loop. It owns the
+// per-phase wall-clock accumulators and, at ObsLevel::Full, forwards RAII
+// scopes to the span tracer.
+//
+// Cost model (the "zero-overhead-when-disabled" contract, DESIGN.md §12):
+//   Off      — every scope is a null-check; no clock reads, no stores.
+//   Counters — two steady_clock reads per phase scope (~8 per iteration),
+//              accumulated into RunTimings. No tracer traffic.
+//   Full     — Counters plus one TraceEvent per scope into the tracer's
+//              calling-thread buffer.
+//
+// Nothing here feeds back into simulation behavior: obs reads the clock and
+// writes side buffers only, so runs are bit-identical across all three
+// levels (pinned by the golden corpus in tests/adversary_corpus_test.cpp).
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "net/channel.h"
+#include "obs/obs_level.h"
+#include "obs/trace.h"
+
+namespace gkr::obs {
+
+// Raw steady-clock nanoseconds (same clock the Tracer uses, unshifted).
+std::int64_t monotonic_ns() noexcept;
+
+// Wall-clock anatomy of one run. phase_ns is indexed by Phase and covers the
+// wire phases; evaluate_ns covers the post-loop transcript evaluation
+// (reference comparison + replayer rebuilds), which is real work but not a
+// wire phase; total_ns spans the whole run() call. All values are
+// wall-clock-derived and follow the wall_ms opt-in convention downstream.
+struct RunTimings {
+  std::array<std::int64_t, kNumPhases> phase_ns{};
+  std::int64_t evaluate_ns = 0;
+  std::int64_t total_ns = 0;
+
+  std::int64_t phases_total_ns() const noexcept {
+    std::int64_t sum = 0;
+    for (std::int64_t v : phase_ns) sum += v;
+    return sum;
+  }
+
+  // Fraction of the run's wall time attributed to a named scope. The
+  // bench_overhead_anatomy acceptance gate asserts this stays ≥ 0.95.
+  double coverage() const noexcept {
+    if (total_ns <= 0) return 0.0;
+    return static_cast<double>(phases_total_ns() + evaluate_ns) /
+           static_cast<double>(total_ns);
+  }
+};
+
+class RunObs {
+ public:
+  RunObs() = default;  // Off: all scopes no-op.
+  RunObs(ObsLevel level, Tracer* tracer) : level_(level), tracer_(tracer) {}
+
+  ObsLevel level() const noexcept { return level_; }
+  bool counters_on() const noexcept { return level_ != ObsLevel::Off; }
+  bool full_on() const noexcept { return level_ == ObsLevel::Full; }
+
+  // Non-null only at Full — call sites can pass this straight to Span.
+  Tracer* tracer() const noexcept { return full_on() ? tracer_ : nullptr; }
+
+  RunTimings timings;
+
+ private:
+  ObsLevel level_ = ObsLevel::Off;
+  Tracer* tracer_ = nullptr;
+};
+
+// RAII scope over one wire phase: accumulates into obs.timings.phase_ns[p]
+// and (at Full) records a span named after the phase, carrying the iteration
+// index as an arg. No-op when obs is Off.
+class PhaseScope {
+ public:
+  PhaseScope(RunObs& obs, Phase phase, int iteration) {
+    if (!obs.counters_on()) return;
+    obs_ = &obs;
+    phase_ = phase;
+    iteration_ = iteration;
+    start_ns_ = monotonic_ns();
+  }
+
+  PhaseScope(const PhaseScope&) = delete;
+  PhaseScope& operator=(const PhaseScope&) = delete;
+
+  ~PhaseScope() {
+    if (obs_ == nullptr) return;
+    const std::int64_t end_ns = monotonic_ns();
+    obs_->timings.phase_ns[static_cast<std::size_t>(phase_)] += end_ns - start_ns_;
+    if (Tracer* t = obs_->tracer(); t != nullptr) {
+      TraceEvent ev;
+      ev.name = phase_name(phase_);
+      ev.category = "phase";
+      // Re-base onto the tracer epoch: both clocks are the same steady clock.
+      ev.ts_ns = start_ns_ - t->epoch_ns();
+      ev.dur_ns = end_ns - start_ns_;
+      ev.arg0_name = "iteration";
+      ev.arg0 = iteration_;
+      t->record(ev);
+    }
+  }
+
+ private:
+  RunObs* obs_ = nullptr;
+  Phase phase_ = Phase::Baseline;
+  int iteration_ = 0;
+  std::int64_t start_ns_ = 0;
+};
+
+// RAII scope over a non-phase slot (evaluate_ns, total_ns): accumulates into
+// the named RunTimings field and (at Full) records a span. No-op when Off.
+class TimerScope {
+ public:
+  TimerScope(RunObs& obs, std::int64_t RunTimings::* slot, const char* span_name) {
+    if (!obs.counters_on()) return;
+    obs_ = &obs;
+    slot_ = slot;
+    name_ = span_name;
+    start_ns_ = monotonic_ns();
+  }
+
+  TimerScope(const TimerScope&) = delete;
+  TimerScope& operator=(const TimerScope&) = delete;
+
+  ~TimerScope() {
+    if (obs_ == nullptr) return;
+    const std::int64_t end_ns = monotonic_ns();
+    obs_->timings.*slot_ += end_ns - start_ns_;
+    if (Tracer* t = obs_->tracer(); t != nullptr) {
+      TraceEvent ev;
+      ev.name = name_;
+      ev.category = "run";
+      ev.ts_ns = start_ns_ - t->epoch_ns();
+      ev.dur_ns = end_ns - start_ns_;
+      t->record(ev);
+    }
+  }
+
+ private:
+  RunObs* obs_ = nullptr;
+  std::int64_t RunTimings::* slot_ = nullptr;
+  const char* name_ = nullptr;
+  std::int64_t start_ns_ = 0;
+};
+
+}  // namespace gkr::obs

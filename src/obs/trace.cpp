@@ -1,0 +1,136 @@
+#include "obs/trace.h"
+
+#include <atomic>
+#include <chrono>
+
+#include "util/jsonfmt.h"
+
+namespace gkr::obs {
+namespace {
+
+std::uint64_t next_tracer_id() noexcept {
+  static std::atomic<std::uint64_t> next{1};
+  return next.fetch_add(1, std::memory_order_relaxed);
+}
+
+std::int64_t steady_ns() noexcept {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+// Nanoseconds → trace-JSON microseconds with sub-microsecond precision.
+void append_us(std::string& out, std::int64_t ns) {
+  out += std::to_string(ns / 1000);
+  const std::int64_t frac = ns % 1000;
+  if (frac != 0) {
+    char buf[8];
+    std::snprintf(buf, sizeof buf, ".%03d", static_cast<int>(frac));
+    out += buf;
+  }
+}
+
+}  // namespace
+
+Tracer::Tracer(std::size_t max_events_per_thread)
+    : id_(next_tracer_id()), epoch_ns_(steady_ns()), max_events_(max_events_per_thread) {}
+
+std::int64_t Tracer::now_ns() const noexcept { return steady_ns() - epoch_ns_; }
+
+Tracer::ThreadBuf* Tracer::thread_buffer() {
+  // Per-thread cache of (tracer id → buffer). A thread talks to very few
+  // tracers over its lifetime (usually one), so a tiny linear-scanned vector
+  // beats a map and keeps the common case a single compare. Keying on the
+  // process-unique id_ (not `this`) keeps entries for a destroyed tracer from
+  // matching a new tracer constructed at the same address; the stale entries
+  // themselves are harmless dead weight in the scan.
+  struct CacheEntry {
+    std::uint64_t tracer_id;
+    ThreadBuf* buf;
+  };
+  thread_local std::vector<CacheEntry> cache;
+  for (const CacheEntry& e : cache) {
+    if (e.tracer_id == id_) return e.buf;
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  auto buf = std::make_unique<ThreadBuf>();
+  buf->tid = static_cast<int>(bufs_.size());
+  buf->events.reserve(std::min<std::size_t>(max_events_, 4096));
+  ThreadBuf* raw = buf.get();
+  bufs_.push_back(std::move(buf));
+  cache.push_back(CacheEntry{id_, raw});
+  return raw;
+}
+
+void Tracer::record(const TraceEvent& ev) {
+  ThreadBuf* buf = thread_buffer();
+  if (buf->events.size() >= max_events_) {
+    ++buf->dropped;
+    return;
+  }
+  buf->events.push_back(ev);
+}
+
+std::size_t Tracer::dropped() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::size_t total = 0;
+  for (const auto& b : bufs_) total += b->dropped;
+  return total;
+}
+
+std::size_t Tracer::recorded() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::size_t total = 0;
+  for (const auto& b : bufs_) total += b->events.size();
+  return total;
+}
+
+void Tracer::write_chrome_json(std::ostream& out) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  out << "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  bool first = true;
+  std::string line;
+  for (const auto& b : bufs_) {
+    // Thread metadata: names the track and carries the drop count so a
+    // truncated trace is visibly truncated.
+    line.clear();
+    if (!first) line += ',';
+    first = false;
+    line += "\n{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":";
+    line += std::to_string(b->tid);
+    line += ",\"args\":{\"name\":\"worker-" + std::to_string(b->tid);
+    line += "\",\"dropped_events\":" + std::to_string(b->dropped) + "}}";
+    out << line;
+    for (const TraceEvent& ev : b->events) {
+      line.clear();
+      line += ",\n{\"name\":\"";
+      line += json_escape(ev.name != nullptr ? ev.name : "?");
+      line += "\",\"cat\":\"";
+      line += json_escape(ev.category != nullptr ? ev.category : "span");
+      line += "\",\"ph\":\"X\",\"pid\":1,\"tid\":";
+      line += std::to_string(b->tid);
+      line += ",\"ts\":";
+      append_us(line, ev.ts_ns);
+      line += ",\"dur\":";
+      append_us(line, ev.dur_ns);
+      if (ev.arg0_name != nullptr || ev.arg1_name != nullptr) {
+        line += ",\"args\":{";
+        bool first_arg = true;
+        if (ev.arg0_name != nullptr) {
+          line += '"' + json_escape(ev.arg0_name) + "\":" + std::to_string(ev.arg0);
+          first_arg = false;
+        }
+        if (ev.arg1_name != nullptr) {
+          if (!first_arg) line += ',';
+          line += '"' + json_escape(ev.arg1_name) + "\":" + std::to_string(ev.arg1);
+        }
+        line += '}';
+      }
+      line += '}';
+      out << line;
+    }
+  }
+  out << "\n]}\n";
+}
+
+}  // namespace gkr::obs

@@ -1,0 +1,143 @@
+// The span tracer (DESIGN.md §12): RAII phase/iteration/rebuild spans
+// recorded into per-thread buffers and exported as Chrome trace-event JSON —
+// the format Perfetto (ui.perfetto.dev) and chrome://tracing load directly —
+// so a single coded run or a whole sweep renders as a timeline.
+//
+// Design constraints:
+//   * Recording must be safe from every sweep worker concurrently: each
+//     thread appends to its own preallocated buffer (registered once under a
+//     mutex on first use), so the span hot path is a clock read and an
+//     append — no locks, no allocation after warm-up.
+//   * Span names and categories are static strings (string literals at every
+//     call site); events store the pointers, never copies.
+//   * Buffers are bounded (events beyond the per-thread cap are counted and
+//     dropped, never silently lost: the export carries a dropped_events
+//     metadata arg and dropped() exposes the total).
+//
+// Tracing never feeds back into simulation behavior — it reads the clock and
+// writes side buffers only — so traced and untraced runs are bit-identical
+// (pinned by the golden corpus running obs=off and obs=full).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <ostream>
+#include <vector>
+
+namespace gkr::obs {
+
+struct TraceEvent {
+  const char* name = nullptr;      // static string
+  const char* category = nullptr;  // static string
+  std::int64_t ts_ns = 0;          // start, relative to the tracer epoch
+  std::int64_t dur_ns = 0;
+  // Up to two small integer args, rendered into "args" when the name ptr is
+  // non-null ("iteration", "party", "chunks", ...).
+  const char* arg0_name = nullptr;
+  std::int64_t arg0 = 0;
+  const char* arg1_name = nullptr;
+  std::int64_t arg1 = 0;
+};
+
+class Tracer {
+ public:
+  // Per-thread event cap. The default (1M events, 64 bytes each) bounds a
+  // runaway trace at ~64 MiB per thread.
+  explicit Tracer(std::size_t max_events_per_thread = 1u << 20);
+
+  Tracer(const Tracer&) = delete;
+  Tracer& operator=(const Tracer&) = delete;
+
+  // Monotonic nanoseconds since the tracer epoch (construction).
+  std::int64_t now_ns() const noexcept;
+
+  // The epoch as a raw steady-clock reading, for call sites that time with
+  // obs::monotonic_ns() and re-base when emitting events.
+  std::int64_t epoch_ns() const noexcept { return epoch_ns_; }
+
+  // Append one complete event from the calling thread.
+  void record(const TraceEvent& ev);
+
+  // Events dropped across all threads because a buffer hit its cap.
+  std::size_t dropped() const;
+  std::size_t recorded() const;
+
+  // Chrome trace-event JSON: {"traceEvents":[...]} with one complete ("X")
+  // event per recorded span, a thread_name metadata event per buffer, and
+  // timestamps in microseconds. Stable ordering: buffers in registration
+  // order, events in recording order within each buffer.
+  void write_chrome_json(std::ostream& out) const;
+
+ private:
+  struct ThreadBuf {
+    std::vector<TraceEvent> events;
+    std::size_t dropped = 0;
+    int tid = 0;
+  };
+
+  ThreadBuf* thread_buffer();
+
+  // Process-unique, never reused. The per-thread buffer cache keys on this
+  // rather than on `this`: a destroyed tracer's address can be recycled by a
+  // later one (stack reuse makes this routine), and an address-keyed cache
+  // would then hand back a dangling buffer.
+  const std::uint64_t id_;
+  const std::int64_t epoch_ns_;
+  const std::size_t max_events_;
+  mutable std::mutex mu_;  // guards bufs_ registration and cross-thread reads
+  std::vector<std::unique_ptr<ThreadBuf>> bufs_;
+};
+
+// RAII complete-event span: records [construction, destruction) into `t`'s
+// calling-thread buffer. A null tracer makes every member a no-op, which is
+// how disabled call sites stay at one branch of overhead.
+class Span {
+ public:
+  Span(Tracer* t, const char* name, const char* category)
+      : tracer_(t), name_(name), category_(category) {
+    if (tracer_ != nullptr) start_ns_ = tracer_->now_ns();
+  }
+  Span(Tracer* t, const char* name, const char* category, const char* arg0_name,
+       std::int64_t arg0)
+      : Span(t, name, category) {
+    arg0_name_ = arg0_name;
+    arg0_ = arg0;
+  }
+  Span(Tracer* t, const char* name, const char* category, const char* arg0_name,
+       std::int64_t arg0, const char* arg1_name, std::int64_t arg1)
+      : Span(t, name, category, arg0_name, arg0) {
+    arg1_name_ = arg1_name;
+    arg1_ = arg1;
+  }
+
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+
+  ~Span() {
+    if (tracer_ == nullptr) return;
+    TraceEvent ev;
+    ev.name = name_;
+    ev.category = category_;
+    ev.ts_ns = start_ns_;
+    ev.dur_ns = tracer_->now_ns() - start_ns_;
+    ev.arg0_name = arg0_name_;
+    ev.arg0 = arg0_;
+    ev.arg1_name = arg1_name_;
+    ev.arg1 = arg1_;
+    tracer_->record(ev);
+  }
+
+ private:
+  friend class Tracer;
+  Tracer* tracer_;
+  const char* name_ = nullptr;
+  const char* category_ = nullptr;
+  std::int64_t start_ns_ = 0;
+  const char* arg0_name_ = nullptr;
+  std::int64_t arg0_ = 0;
+  const char* arg1_name_ = nullptr;
+  std::int64_t arg1_ = 0;
+};
+
+}  // namespace gkr::obs

@@ -293,10 +293,26 @@ NoiseFactory rewind_sniper_noise() {
   return f;
 }
 
+std::vector<NoiseInfo> standard_noise_registry() {
+  return {
+      {"none", "noiseless channel (identity adversary)"},
+      {"uniform", "oblivious additive noise, uniform over rounds x dlinks, budget ceil(mu*CC)"},
+      {"stochastic", "i.i.d. channel: sub/del at rate mu on busy cells, insertions at mu/10"},
+      {"greedy", "adaptive greedy attacker on one random link at relative rate mu"},
+      {"random_adaptive", "adaptive uniform vandal spending its mu budget on random cells"},
+      {"desync", "adaptive coordination attacker: flag flips plus rewind forgery at rate mu"},
+      {"echo", "man-in-the-middle echoing stale meeting-points hashes on one random link"},
+      {"insertion_flood", "floods silent simulation-phase wires with inserted symbols at rate mu"},
+      {"exchange_sniper", "eavesdropper locking onto the first observed seed shipment"},
+      {"markov_burst", "Gilbert-Elliott burst channel, long-run corrupted fraction ~mu"},
+      {"rewind_sniper", "budget hoarder spending everything on rewind-phase forgery"},
+  };
+}
+
 std::vector<std::string> standard_noise_names() {
-  return {"none",   "uniform",         "stochastic",      "greedy",
-          "random_adaptive", "desync", "echo",            "insertion_flood",
-          "exchange_sniper", "markov_burst",              "rewind_sniper"};
+  std::vector<std::string> names;
+  for (NoiseInfo& info : standard_noise_registry()) names.push_back(std::move(info.name));
+  return names;
 }
 
 namespace {

@@ -152,8 +152,20 @@ NoiseFactory markov_burst_noise();
 // Budget-hoarding rewind-phase sniper at rate μ.
 NoiseFactory rewind_sniper_noise();
 
+// One row of the standard adversary registry: an atom name as accepted by
+// noise_factory() plus a one-line description (what sim_sweep
+// --list-adversaries prints).
+struct NoiseInfo {
+  std::string name;
+  std::string description;
+};
+
+// Every standard adversary with its one-line description, in registry order.
+std::vector<NoiseInfo> standard_noise_registry();
+
 // The names of every standard adversary above, in registry order — the
-// declarative adversary axis a sweep can enumerate wholesale.
+// declarative adversary axis a sweep can enumerate wholesale. (Derived from
+// standard_noise_registry(), so the two can never drift apart.)
 std::vector<std::string> standard_noise_names();
 
 // Lookup by spec string over all standard noise factories above; asserts on

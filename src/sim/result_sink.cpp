@@ -2,59 +2,31 @@
 
 #include <cstdio>
 #include <cstdlib>
-#include <cstring>
 #include <iostream>
+
+#include "util/jsonfmt.h"
 
 namespace gkr::sim {
 namespace {
 
-// Shortest decimal string that round-trips to exactly `x` — byte-stable and
-// human-friendly ("0.002", not "2.0000000000000001e-03").
-std::string fmt_double(double x) {
-  char buf[64];
-  for (int prec = 1; prec <= 17; ++prec) {
-    std::snprintf(buf, sizeof buf, "%.*g", prec, x);
-    if (std::strtod(buf, nullptr) == x) return buf;
-  }
-  std::snprintf(buf, sizeof buf, "%.17g", x);
-  return buf;
-}
-
-std::string json_escape(const std::string& s) {
-  std::string out;
-  out.reserve(s.size() + 2);
-  for (char c : s) {
-    switch (c) {
-      case '"':
-        out += "\\\"";
-        break;
-      case '\\':
-        out += "\\\\";
-        break;
-      case '\n':
-        out += "\\n";
-        break;
-      case '\t':
-        out += "\\t";
-        break;
-      default:
-        if (static_cast<unsigned char>(c) < 0x20) {
-          char buf[8];
-          std::snprintf(buf, sizeof buf, "\\u%04x", c);
-          out += buf;
-        } else {
-          out += c;
-        }
-    }
-  }
-  return out;
-}
+// Shortest round-trip formatting (contract point 4 in result_sink.h),
+// shared with the obs exporters.
+std::string fmt_double(double x) { return format_double_shortest(x); }
 
 void append_phase_array(std::string& line, const std::array<long, kNumPhases>& a) {
   line += '[';
   for (int i = 0; i < kNumPhases; ++i) {
     if (i) line += ',';
     line += std::to_string(a[static_cast<std::size_t>(i)]);
+  }
+  line += ']';
+}
+
+void append_phase_wall_array(std::string& line, const std::array<double, kNumPhases>& a) {
+  line += '[';
+  for (int i = 0; i < kNumPhases; ++i) {
+    if (i) line += ',';
+    line += fmt_double(a[static_cast<std::size_t>(i)]);
   }
   line += ']';
 }
@@ -107,19 +79,30 @@ void JsonlSink::consume(const RunRecord& r) {
     line += ",\"wall_ms\":" + fmt_double(r.wall_ms);
     line += ",\"rounds_per_sec\":" + fmt_double(r.rounds_per_sec);
     line += ",\"syms_per_sec\":" + fmt_double(r.syms_per_sec);
+    line += ",\"phase_wall_ms\":";
+    append_phase_wall_array(line, r.phase_wall_ms);
+    line += ",\"evaluate_wall_ms\":" + fmt_double(r.evaluate_wall_ms);
+    line += ",\"run_wall_ms\":" + fmt_double(r.run_wall_ms);
   }
   line += "}\n";
   *out_ << line;
 }
 
-void CsvSink::begin(const SweepMeta&) {
+void CsvSink::begin(const SweepMeta& meta) {
+  include_timing_ = meta.include_timing;
   *out_ << "grid_index,rep,run_seed,variant,topology,protocol,noise,mu,n,m,mode,"
            "iterations,success,cc_coded,cc_user,cc_chunked,cc_fully_utilized,"
            "blowup_vs_user,blowup_vs_chunked,corruptions,substitutions,deletions,"
            "insertions,noise_fraction,hash_collisions,mp_truncations,"
            "rewind_truncations,rewinds_sent,exchange_failures,"
            "replayer_rebuilds,replayed_chunks,rounds";
-  if (include_timing_) *out_ << ",wall_ms,rounds_per_sec,syms_per_sec";
+  if (include_timing_) {
+    *out_ << ",wall_ms,rounds_per_sec,syms_per_sec";
+    for (int i = 0; i < kNumPhases; ++i) {
+      *out_ << ",wall_" << phase_name(static_cast<Phase>(i)) << "_ms";
+    }
+    *out_ << ",evaluate_wall_ms,run_wall_ms";
+  }
   *out_ << '\n';
 }
 
@@ -129,10 +112,10 @@ void CsvSink::consume(const RunRecord& r) {
   line += std::to_string(r.grid_index);
   line += ',' + std::to_string(r.rep);
   line += ',' + std::to_string(r.run_seed);
-  line += ',' + r.variant;
-  line += ',' + r.topology;
-  line += ',' + r.protocol;
-  line += ',' + r.noise;
+  line += ',' + csv_escape(r.variant);
+  line += ',' + csv_escape(r.topology);
+  line += ',' + csv_escape(r.protocol);
+  line += ',' + csv_escape(r.noise);
   line += ',' + fmt_double(r.mu);
   line += ',' + std::to_string(r.n);
   line += ',' + std::to_string(r.m);
@@ -163,6 +146,11 @@ void CsvSink::consume(const RunRecord& r) {
     line += ',' + fmt_double(r.wall_ms);
     line += ',' + fmt_double(r.rounds_per_sec);
     line += ',' + fmt_double(r.syms_per_sec);
+    for (int i = 0; i < kNumPhases; ++i) {
+      line += ',' + fmt_double(r.phase_wall_ms[static_cast<std::size_t>(i)]);
+    }
+    line += ',' + fmt_double(r.evaluate_wall_ms);
+    line += ',' + fmt_double(r.run_wall_ms);
   }
   line += '\n';
   *out_ << line;

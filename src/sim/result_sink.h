@@ -1,13 +1,29 @@
 // Structured result sinks for sweep output.
 //
-// The sweep runner feeds records to every sink strictly in (grid_index, rep)
-// order after the parallel execution finished, so sink output is
-// bit-identical across thread counts (the wall_ms field is the one
-// exception and is opt-in). Three sinks cover the experiment workflows:
+// Determinism contract (DESIGN.md §6/§7), which every sink implementation
+// must uphold:
+//
+//   1. The sweep runner feeds records to every sink strictly in
+//      (grid_index, rep) order after the parallel execution finished, so
+//      sink output is bit-identical across thread counts.
+//   2. Each RunRecord is a pure function of (grid, base_seed, grid_index,
+//      rep) — except its wall-clock fields (wall_ms, the rates, and the
+//      phase_wall_ms breakdown), which depend on the machine and the moment.
+//   3. Wall-clock fields therefore appear in output only when the driver
+//      opts in, and the opt-in lives in ONE place: SweepMeta::include_timing,
+//      handed to every sink at begin(). Sinks must not carry their own
+//      timing switches — a JSONL and a CSV sink attached to the same sweep
+//      can never disagree about whether timing columns exist.
+//   4. Doubles are formatted with the shortest string that round-trips to
+//      the exact value (util/jsonfmt.h), keeping output byte-stable across
+//      runs and platforms with IEEE-754 doubles.
+//
+// Three sinks cover the experiment workflows:
 //
 //   JsonlSink   — one JSON object per run, fixed key order; the archival
 //                 format the analysis notebooks read.
-//   CsvSink     — flat table with a header row; spreadsheet-friendly.
+//   CsvSink     — flat table with a header row; spreadsheet-friendly
+//                 (RFC 4180 quoting for fields containing , " or newlines).
 //   SummarySink — streaming per-group aggregation (group = every grid axis
 //                 except the repetition), printed as the standard bench table
 //                 and queryable programmatically.
@@ -27,6 +43,10 @@ struct SweepMeta {
   std::uint64_t base_seed = 0;
   std::size_t num_runs = 0;
   int threads = 1;
+  // The single timing gate (contract point 3 above): when true, sinks emit
+  // the wall-clock-derived fields; when false (default) output is fully
+  // deterministic.
+  bool include_timing = false;
 };
 
 class ResultSink {
@@ -42,28 +62,27 @@ class ResultSink {
 // round-trip formatting (%.17g trimmed) so output is byte-stable.
 class JsonlSink final : public ResultSink {
  public:
-  explicit JsonlSink(std::ostream& out, bool include_timing = false)
-      : out_(&out), include_timing_(include_timing) {}
+  explicit JsonlSink(std::ostream& out) : out_(&out) {}
 
+  void begin(const SweepMeta& meta) override { include_timing_ = meta.include_timing; }
   void consume(const RunRecord& r) override;
 
  private:
   std::ostream* out_;
-  bool include_timing_;
+  bool include_timing_ = false;
 };
 
 // Flat CSV, header row emitted from begin().
 class CsvSink final : public ResultSink {
  public:
-  explicit CsvSink(std::ostream& out, bool include_timing = false)
-      : out_(&out), include_timing_(include_timing) {}
+  explicit CsvSink(std::ostream& out) : out_(&out) {}
 
   void begin(const SweepMeta& meta) override;
   void consume(const RunRecord& r) override;
 
  private:
   std::ostream* out_;
-  bool include_timing_;
+  bool include_timing_ = false;
 };
 
 // Aggregates runs that share (variant, topology, protocol, noise, mu) —

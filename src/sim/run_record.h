@@ -71,6 +71,16 @@ struct RunRecord {
   // Wall-clock of this run, milliseconds. NOT deterministic — excluded from
   // sink output by default.
   double wall_ms = 0.0;
+
+  // Per-phase wall-clock breakdown from the observability plane (DESIGN.md
+  // §12): time inside each wire phase, the post-loop evaluation, and the
+  // span of the whole timed region (the coded run() call — wall_ms
+  // additionally covers workload construction). All-zero when observability
+  // is off; wall-clock-derived, so excluded from sink output by default like
+  // wall_ms. Uncoded baselines attribute their whole run to Phase::Baseline.
+  std::array<double, kNumPhases> phase_wall_ms{};
+  double evaluate_wall_ms = 0.0;
+  double run_wall_ms = 0.0;
 };
 
 }  // namespace gkr::sim

@@ -5,6 +5,8 @@
 #include <utility>
 
 #include "core/baselines.h"
+#include "obs/publish.h"
+#include "obs/run_obs.h"
 #include "sim/thread_pool.h"
 #include "util/assert.h"
 #include "util/digest.h"
@@ -57,7 +59,16 @@ RunRecord SweepRunner::execute(const RunSpec& spec) const {
   ChannelAdversary& adv = noise.adversary ? *noise.adversary : static_cast<ChannelAdversary&>(none);
 
   if (noise_f.mode == ExecMode::Uncoded) {
+    // The baseline runner has no phase structure; attribute its whole run to
+    // Phase::Baseline so timing breakdowns still cover it.
+    const std::int64_t b0 =
+        opts_.observability != obs::ObsLevel::Off ? obs::monotonic_ns() : 0;
     const BaselineResult r = run_uncoded(*w.proto, w.inputs, w.reference, adv);
+    if (opts_.observability != obs::ObsLevel::Off) {
+      const double ms = static_cast<double>(obs::monotonic_ns() - b0) / 1e6;
+      rec.phase_wall_ms[static_cast<std::size_t>(Phase::Baseline)] = ms;
+      rec.run_wall_ms = ms;
+    }
     rec.success = r.success;
     rec.cc_coded = r.cc;
     rec.blowup_vs_user = r.blowup_vs_user;
@@ -73,8 +84,16 @@ RunRecord SweepRunner::execute(const RunSpec& spec) const {
     rec.corruptions_by_phase = r.counters.corruptions_by_phase;
     rec.rounds = r.counters.rounds;
   } else {
+    w.cfg.observability = opts_.observability;
+    w.cfg.tracer = opts_.tracer;
     CodedSimulation sim(*w.proto, w.inputs, w.reference, w.cfg, adv);
     const SimulationResult r = sim.run();
+    for (int p = 0; p < kNumPhases; ++p) {
+      rec.phase_wall_ms[static_cast<std::size_t>(p)] =
+          static_cast<double>(r.timings.phase_ns[static_cast<std::size_t>(p)]) / 1e6;
+    }
+    rec.evaluate_wall_ms = static_cast<double>(r.timings.evaluate_ns) / 1e6;
+    rec.run_wall_ms = static_cast<double>(r.timings.total_ns) / 1e6;
     rec.success = r.success;
     rec.iterations = r.iterations;
     rec.cc_coded = r.cc_coded;
@@ -126,11 +145,18 @@ std::vector<RunRecord> SweepRunner::run(const std::vector<ResultSink*>& sinks) {
   meta.base_seed = grid_.base_seed;
   meta.num_runs = specs.size();
   meta.threads = threads;
+  meta.include_timing = opts_.include_timing;
   for (ResultSink* sink : sinks) sink->begin(meta);
   for (const RunRecord& rec : records) {
     for (ResultSink* sink : sinks) sink->consume(rec);
   }
   for (ResultSink* sink : sinks) sink->end();
+
+  // Sweep-level metrics: fold in the same deterministic order the sinks saw,
+  // never from inside the workers — thread-count invariance by construction.
+  if (opts_.metrics != nullptr) {
+    for (const RunRecord& rec : records) obs::publish_record(*opts_.metrics, rec);
+  }
   return records;
 }
 

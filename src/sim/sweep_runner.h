@@ -11,15 +11,34 @@
 
 #include <vector>
 
+#include "obs/obs_level.h"
 #include "sim/param_grid.h"
 #include "sim/result_sink.h"
 #include "sim/run_record.h"
+
+namespace gkr::obs {
+class Registry;
+class Tracer;
+}  // namespace gkr::obs
 
 namespace gkr::sim {
 
 struct SweepOptions {
   int threads = 1;        // 0 = one per hardware thread
   bool progress = false;  // per-run progress dots on stderr
+
+  // Observability plane (DESIGN.md §12). The level is threaded into every
+  // run's SchemeConfig; `tracer` receives spans at ObsLevel::Full (each
+  // worker thread appends to its own buffer). `include_timing` is the single
+  // timing gate handed to every sink via SweepMeta (see result_sink.h).
+  obs::ObsLevel observability = obs::ObsLevel::Off;
+  obs::Tracer* tracer = nullptr;
+  bool include_timing = false;
+
+  // When set, run() folds every record into this registry with
+  // obs::publish_record in (grid_index, rep) order after the parallel phase —
+  // count metrics are therefore bit-identical for any thread count.
+  obs::Registry* metrics = nullptr;
 };
 
 class SweepRunner {

@@ -1,0 +1,30 @@
+// Shared JSON fragment formatting for every byte-stable text emitter (the
+// sim result sinks, the obs metrics/trace exporters).
+//
+// Determinism contract: both helpers are pure functions of their argument —
+// no locale, no platform-dependent printf paths — so any two builds emit the
+// same bytes for the same values. format_double_shortest additionally
+// guarantees the printed string parses back (strtod) to the exact input
+// double, including -0.0 (sign preserved), denormals, and large exact
+// integers; tests/sim_test.cpp pins the round-trip over the nasty cases.
+#pragma once
+
+#include <string>
+#include <string_view>
+
+namespace gkr {
+
+// Shortest decimal string that round-trips to exactly `x` — byte-stable and
+// human-friendly ("0.002", not "2.0000000000000001e-03"). Non-finite values
+// (which valid JSON cannot carry) render as "null".
+std::string format_double_shortest(double x);
+
+// Escape for a JSON string literal body (quotes, backslash, control chars).
+std::string json_escape(std::string_view s);
+
+// Escape one CSV field per RFC 4180: fields containing a comma, a double
+// quote, or a newline are wrapped in quotes with embedded quotes doubled;
+// anything else passes through unchanged (so existing output is byte-stable).
+std::string csv_escape(std::string_view s);
+
+}  // namespace gkr

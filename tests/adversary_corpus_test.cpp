@@ -23,6 +23,8 @@
 
 #include "core/coding_scheme.h"
 #include "net/topology.h"
+#include "obs/obs_level.h"
+#include "obs/trace.h"
 #include "sim/param_grid.h"
 #include "sim/workload.h"
 #include "util/digest.h"
@@ -99,11 +101,15 @@ std::shared_ptr<Topology> build_topology(const std::string& name) {
   return nullptr;
 }
 
-// The corpus runs twice: with the replay checkpoint plane at its default
-// cadence and with it disabled (the legacy from-scratch path). Both must hit
-// the same goldens — the plane is a cost optimization, never a behavior
-// change.
-void run_corpus(int replay_checkpoint_interval) {
+// The corpus runs in several configurations that must all hit the same
+// goldens, because each knob is an observer or a cost optimization, never a
+// behavior change: the replay checkpoint plane at its default cadence and
+// disabled (the legacy from-scratch path), and the observability plane off
+// and at Full with a live tracer (obs reads the clock and writes side
+// buffers; it takes no part in simulation state — DESIGN.md §12).
+void run_corpus(int replay_checkpoint_interval,
+                obs::ObsLevel observability = obs::ObsLevel::Off,
+                obs::Tracer* tracer = nullptr) {
   std::string replacement;  // printed wholesale on any mismatch
   bool mismatch = false;
   for (const CorpusEntry& entry : kCorpus) {
@@ -112,6 +118,8 @@ void run_corpus(int replay_checkpoint_interval) {
                                            Variant::ExchangeNonOblivious,
                                            /*seed=*/2026, /*rounds=*/6);
     w.cfg.replay_checkpoint_interval = replay_checkpoint_interval;
+    w.cfg.observability = observability;
+    w.cfg.tracer = tracer;
     const sim::NoiseFactory factory = sim::noise_factory(entry.spec);
     Rng noise_rng(7);
     sim::BuiltNoise noise = factory.build(w, /*mu=*/0.004, noise_rng);
@@ -137,6 +145,18 @@ TEST(AdversaryCorpus, GoldenDigestsAreBitStable) {
 }
 
 TEST(AdversaryCorpus, GoldenDigestsAreBitStableWithoutCheckpoints) { run_corpus(0); }
+
+// The observability plane must be a pure observer: the same 20 digests at
+// ObsLevel::Full with spans flowing into a live tracer. A divergence here
+// means obs leaked into simulation behavior (an rng draw, a counter, a code
+// path conditioned on the level).
+TEST(AdversaryCorpus, GoldenDigestsAreBitStableAtFullObservability) {
+  obs::Tracer tracer;
+  run_corpus(SchemeConfig{}.replay_checkpoint_interval, obs::ObsLevel::Full, &tracer);
+  // The runs really were traced, not silently downgraded.
+  EXPECT_GT(tracer.recorded(), 0u);
+  EXPECT_EQ(tracer.dropped(), 0u);
+}
 
 }  // namespace
 }  // namespace gkr

@@ -1,0 +1,604 @@
+// Tests for the observability plane (src/obs, DESIGN.md §12): metrics
+// registry semantics and export determinism, the span tracer's Chrome
+// trace-event JSON (validated with a small recursive-descent parser), the
+// RunTimings phase accounting on real coded runs, and the sweep-level
+// guarantee that count metrics are bit-identical across thread counts.
+#include <gtest/gtest.h>
+
+#include <cctype>
+#include <cstdint>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/coding_scheme.h"
+#include "net/topology.h"
+#include "obs/metrics.h"
+#include "obs/obs_level.h"
+#include "obs/publish.h"
+#include "obs/run_obs.h"
+#include "obs/trace.h"
+#include "sim/param_grid.h"
+#include "sim/sweep_runner.h"
+#include "sim/workload.h"
+
+namespace gkr {
+namespace {
+
+// ----------------------------------------------------- a minimal JSON parser
+//
+// Recursive-descent validator/reader, just enough to assert that every JSON
+// artifact the plane emits is well-formed and to poke at a few fields. Not a
+// general-purpose parser: numbers are read with strtod, objects keep the last
+// value for a duplicate key (the emitters never produce duplicates).
+
+struct JsonValue {
+  enum class Type { Null, Bool, Number, String, Array, Object };
+  Type type = Type::Null;
+  bool boolean = false;
+  double number = 0.0;
+  std::string string;
+  std::vector<JsonValue> array;
+  std::vector<std::pair<std::string, JsonValue>> object;
+
+  const JsonValue* find(const std::string& key) const {
+    for (const auto& [k, v] : object)
+      if (k == key) return &v;
+    return nullptr;
+  }
+};
+
+class JsonParser {
+ public:
+  explicit JsonParser(const std::string& text) : s_(text) {}
+
+  // Parses the full text; returns false (with a position) on any syntax error
+  // or trailing garbage.
+  bool parse(JsonValue& out) {
+    ok_ = true;
+    pos_ = 0;
+    out = value();
+    skip_ws();
+    if (pos_ != s_.size()) ok_ = false;
+    return ok_;
+  }
+
+  std::size_t error_pos() const { return pos_; }
+
+ private:
+  void skip_ws() {
+    while (pos_ < s_.size() && std::isspace(static_cast<unsigned char>(s_[pos_]))) ++pos_;
+  }
+
+  bool consume(char c) {
+    skip_ws();
+    if (pos_ < s_.size() && s_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  bool literal(const char* word) {
+    const std::size_t len = std::string(word).size();
+    if (s_.compare(pos_, len, word) == 0) {
+      pos_ += len;
+      return true;
+    }
+    ok_ = false;
+    return false;
+  }
+
+  JsonValue value() {
+    JsonValue v;
+    if (!ok_) return v;
+    skip_ws();
+    if (pos_ >= s_.size()) {
+      ok_ = false;
+      return v;
+    }
+    const char c = s_[pos_];
+    if (c == '{') return object();
+    if (c == '[') return array();
+    if (c == '"') {
+      v.type = JsonValue::Type::String;
+      v.string = string();
+      return v;
+    }
+    if (c == 't') {
+      literal("true");
+      v.type = JsonValue::Type::Bool;
+      v.boolean = true;
+      return v;
+    }
+    if (c == 'f') {
+      literal("false");
+      v.type = JsonValue::Type::Bool;
+      return v;
+    }
+    if (c == 'n') {
+      literal("null");
+      return v;
+    }
+    return number();
+  }
+
+  JsonValue object() {
+    JsonValue v;
+    v.type = JsonValue::Type::Object;
+    consume('{');
+    if (consume('}')) return v;
+    while (ok_) {
+      skip_ws();
+      if (pos_ >= s_.size() || s_[pos_] != '"') {
+        ok_ = false;
+        break;
+      }
+      std::string key = string();
+      if (!consume(':')) {
+        ok_ = false;
+        break;
+      }
+      v.object.emplace_back(std::move(key), value());
+      if (consume(',')) continue;
+      if (consume('}')) break;
+      ok_ = false;
+    }
+    return v;
+  }
+
+  JsonValue array() {
+    JsonValue v;
+    v.type = JsonValue::Type::Array;
+    consume('[');
+    if (consume(']')) return v;
+    while (ok_) {
+      v.array.push_back(value());
+      if (consume(',')) continue;
+      if (consume(']')) break;
+      ok_ = false;
+    }
+    return v;
+  }
+
+  std::string string() {
+    std::string out;
+    ++pos_;  // opening quote
+    while (pos_ < s_.size()) {
+      const char c = s_[pos_++];
+      if (c == '"') return out;
+      if (c == '\\') {
+        if (pos_ >= s_.size()) break;
+        const char e = s_[pos_++];
+        switch (e) {
+          case '"': out += '"'; break;
+          case '\\': out += '\\'; break;
+          case '/': out += '/'; break;
+          case 'b': out += '\b'; break;
+          case 'f': out += '\f'; break;
+          case 'n': out += '\n'; break;
+          case 'r': out += '\r'; break;
+          case 't': out += '\t'; break;
+          case 'u': {
+            if (pos_ + 4 > s_.size()) {
+              ok_ = false;
+              return out;
+            }
+            unsigned code = 0;
+            for (int i = 0; i < 4; ++i) {
+              const char h = s_[pos_++];
+              code <<= 4;
+              if (h >= '0' && h <= '9') {
+                code += static_cast<unsigned>(h - '0');
+              } else if (h >= 'a' && h <= 'f') {
+                code += static_cast<unsigned>(h - 'a' + 10);
+              } else if (h >= 'A' && h <= 'F') {
+                code += static_cast<unsigned>(h - 'A' + 10);
+              } else {
+                ok_ = false;
+                return out;
+              }
+            }
+            out += static_cast<char>(code & 0x7f);  // ASCII-only emitters
+            break;
+          }
+          default: ok_ = false; return out;
+        }
+        continue;
+      }
+      if (static_cast<unsigned char>(c) < 0x20) {
+        ok_ = false;  // raw control character inside a string is invalid JSON
+        return out;
+      }
+      out += c;
+    }
+    ok_ = false;
+    return out;
+  }
+
+  JsonValue number() {
+    JsonValue v;
+    v.type = JsonValue::Type::Number;
+    const char* start = s_.c_str() + pos_;
+    char* end = nullptr;
+    v.number = std::strtod(start, &end);
+    if (end == start) {
+      ok_ = false;
+      return v;
+    }
+    pos_ += static_cast<std::size_t>(end - start);
+    return v;
+  }
+
+  const std::string& s_;
+  std::size_t pos_ = 0;
+  bool ok_ = true;
+};
+
+JsonValue parse_or_fail(const std::string& text) {
+  JsonParser parser(text);
+  JsonValue v;
+  EXPECT_TRUE(parser.parse(v)) << "invalid JSON at byte " << parser.error_pos() << " of:\n"
+                               << text;
+  return v;
+}
+
+// ------------------------------------------------------------- Log2Histogram
+
+TEST(Log2Histogram, BucketsByBitWidth) {
+  obs::Log2Histogram h;
+  h.record(0);  // bit_width 0 → bucket 0
+  h.record(1);  // bucket 1
+  h.record(2);  // bucket 2
+  h.record(3);  // bucket 2
+  h.record(4);  // bucket 3
+  h.record(7);  // bucket 3
+  h.record(8);  // bucket 4
+  h.record(std::uint64_t{1} << 63);  // bucket 64
+  h.record(~std::uint64_t{0});       // bucket 64
+  EXPECT_EQ(h.buckets[0], 1u);
+  EXPECT_EQ(h.buckets[1], 1u);
+  EXPECT_EQ(h.buckets[2], 2u);
+  EXPECT_EQ(h.buckets[3], 2u);
+  EXPECT_EQ(h.buckets[4], 1u);
+  EXPECT_EQ(h.buckets[64], 2u);
+  EXPECT_EQ(h.count, 9u);
+  EXPECT_EQ(h.sum, 0u + 1 + 2 + 3 + 4 + 7 + 8 + (std::uint64_t{1} << 63) + ~std::uint64_t{0});
+}
+
+// ------------------------------------------------------------------ Registry
+
+TEST(Registry, RegistrationIsIdempotentAndOrderFixesExport) {
+  obs::Registry reg;
+  const obs::Registry::Id b = reg.counter("group/b");
+  const obs::Registry::Id a = reg.counter("group/a");
+  EXPECT_NE(a, b);
+  // Re-registering returns the existing handle.
+  EXPECT_EQ(reg.counter("group/b"), b);
+  EXPECT_EQ(reg.size(), 2u);
+
+  reg.add(a, 1);
+  reg.add(b, 2);
+  // First-registration order, not lexicographic: "b" exports before "a".
+  EXPECT_EQ(reg.to_json(false), "{\"group\":{\"b\":2,\"a\":1}}");
+}
+
+TEST(Registry, FindAndValues) {
+  obs::Registry reg;
+  const auto c = reg.counter("x/count");
+  const auto g = reg.gauge("x/rate");
+  const auto h = reg.histogram("x/sizes");
+  reg.add(c, 5);
+  reg.add(c, -2);
+  reg.set(g, 1.5);
+  reg.set(g, 2.5);  // gauge keeps the last value
+  reg.observe(h, 3);
+  reg.observe(h, 300);
+
+  EXPECT_EQ(reg.find("x/count"), c);
+  EXPECT_EQ(reg.find("missing"), -1);
+  EXPECT_EQ(reg.counter_value(c), 3);
+  EXPECT_DOUBLE_EQ(reg.gauge_value(g), 2.5);
+  EXPECT_EQ(reg.histogram_data(h).count, 2u);
+  EXPECT_EQ(reg.histogram_data(h).sum, 303u);
+}
+
+TEST(Registry, TimingEntriesAreGatedAndEmptyGroupsPruned) {
+  obs::Registry reg;
+  reg.add(reg.counter("engine/rounds"), 7);
+  reg.set(reg.gauge("wall/total_ms", /*timing=*/true), 12.5);
+
+  // Without timing the wall group vanishes entirely (pruned, not emitted
+  // empty) — the registry-level mirror of the wall_ms opt-in convention.
+  const std::string plain = reg.to_json(false);
+  EXPECT_EQ(plain, "{\"engine\":{\"rounds\":7}}");
+
+  const std::string timed = reg.to_json(true);
+  EXPECT_NE(timed.find("\"wall\""), std::string::npos);
+  EXPECT_NE(timed.find("\"total_ms\":12.5"), std::string::npos);
+
+  JsonValue v = parse_or_fail(timed);
+  ASSERT_EQ(v.type, JsonValue::Type::Object);
+  const JsonValue* wall = v.find("wall");
+  ASSERT_NE(wall, nullptr);
+  EXPECT_DOUBLE_EQ(wall->find("total_ms")->number, 12.5);
+}
+
+TEST(Registry, HistogramExportCarriesSparseBuckets) {
+  obs::Registry reg;
+  const auto h = reg.histogram("hist/cc");
+  reg.observe(h, 0);
+  reg.observe(h, 5);  // bucket 3
+  reg.observe(h, 5);
+
+  JsonValue v = parse_or_fail(reg.to_json(false));
+  const JsonValue* cc = v.find("hist")->find("cc");
+  ASSERT_NE(cc, nullptr);
+  EXPECT_DOUBLE_EQ(cc->find("count")->number, 3.0);
+  EXPECT_DOUBLE_EQ(cc->find("sum")->number, 10.0);
+  const JsonValue* buckets = cc->find("log2_buckets");
+  ASSERT_NE(buckets, nullptr);
+  ASSERT_EQ(buckets->type, JsonValue::Type::Array);
+  // Sparse pairs [bucket, count]; only non-empty buckets appear.
+  ASSERT_EQ(buckets->array.size(), 2u);
+  EXPECT_DOUBLE_EQ(buckets->array[0].array[0].number, 0.0);
+  EXPECT_DOUBLE_EQ(buckets->array[0].array[1].number, 1.0);
+  EXPECT_DOUBLE_EQ(buckets->array[1].array[0].number, 3.0);
+  EXPECT_DOUBLE_EQ(buckets->array[1].array[1].number, 2.0);
+}
+
+TEST(Registry, ResetZeroesValuesButKeepsSchema) {
+  obs::Registry reg;
+  const auto c = reg.counter("a/n");
+  const auto h = reg.histogram("a/h");
+  reg.add(c, 9);
+  reg.observe(h, 9);
+  reg.reset();
+  EXPECT_EQ(reg.size(), 2u);
+  EXPECT_EQ(reg.counter_value(c), 0);
+  EXPECT_EQ(reg.histogram_data(h).count, 0u);
+  // Same ids remain valid; the export schema (order) is unchanged.
+  EXPECT_EQ(reg.counter("a/n"), c);
+}
+
+// -------------------------------------------------------------------- Tracer
+
+TEST(Tracer, NullTracerSpansAreNoOps) {
+  // Must not crash and must not need a tracer anywhere.
+  obs::Span s(nullptr, "x", "y", "arg", 1);
+  obs::Span t(nullptr, "x", "y");
+  SUCCEED();
+}
+
+TEST(Tracer, EmitsValidChromeTraceJson) {
+  obs::Tracer tracer;
+  {
+    obs::Span a(&tracer, "alpha", "test", "iteration", 3);
+    obs::Span b(&tracer, "beta", "test", "party", 1, "chunks", 2);
+  }
+  EXPECT_EQ(tracer.recorded(), 2u);
+  EXPECT_EQ(tracer.dropped(), 0u);
+
+  std::ostringstream out;
+  tracer.write_chrome_json(out);
+  JsonValue v = parse_or_fail(out.str());
+
+  ASSERT_EQ(v.type, JsonValue::Type::Object);
+  const JsonValue* unit = v.find("displayTimeUnit");
+  ASSERT_NE(unit, nullptr);
+  EXPECT_EQ(unit->string, "ms");
+
+  const JsonValue* events = v.find("traceEvents");
+  ASSERT_NE(events, nullptr);
+  ASSERT_EQ(events->type, JsonValue::Type::Array);
+
+  std::size_t metadata = 0, complete = 0;
+  for (const JsonValue& ev : events->array) {
+    const JsonValue* ph = ev.find("ph");
+    ASSERT_NE(ph, nullptr);
+    if (ph->string == "M") {
+      ++metadata;
+      EXPECT_EQ(ev.find("name")->string, "thread_name");
+      continue;
+    }
+    ASSERT_EQ(ph->string, "X");  // complete events only
+    ++complete;
+    EXPECT_NE(ev.find("name"), nullptr);
+    EXPECT_NE(ev.find("cat"), nullptr);
+    EXPECT_NE(ev.find("ts"), nullptr);
+    EXPECT_GE(ev.find("dur")->number, 0.0);
+    EXPECT_NE(ev.find("pid"), nullptr);
+    EXPECT_NE(ev.find("tid"), nullptr);
+  }
+  EXPECT_EQ(metadata, 1u);  // one buffer → one thread_name metadata event
+  EXPECT_EQ(complete, 2u);
+
+  // Spans close LIFO, so "beta" (inner) is recorded before "alpha", and the
+  // args objects carry the integer payloads.
+  const JsonValue* beta = nullptr;
+  const JsonValue* alpha = nullptr;
+  for (const JsonValue& ev : events->array) {
+    if (ev.find("ph")->string != "X") continue;
+    if (ev.find("name")->string == "beta") beta = &ev;
+    if (ev.find("name")->string == "alpha") alpha = &ev;
+  }
+  ASSERT_NE(beta, nullptr);
+  ASSERT_NE(alpha, nullptr);
+  EXPECT_DOUBLE_EQ(beta->find("args")->find("party")->number, 1.0);
+  EXPECT_DOUBLE_EQ(beta->find("args")->find("chunks")->number, 2.0);
+  EXPECT_DOUBLE_EQ(alpha->find("args")->find("iteration")->number, 3.0);
+}
+
+TEST(Tracer, BoundedBuffersCountDrops) {
+  obs::Tracer tracer(/*max_events_per_thread=*/4);
+  for (int i = 0; i < 10; ++i) obs::Span s(&tracer, "e", "test");
+  EXPECT_EQ(tracer.recorded(), 4u);
+  EXPECT_EQ(tracer.dropped(), 6u);
+
+  std::ostringstream out;
+  tracer.write_chrome_json(out);
+  JsonValue v = parse_or_fail(out.str());
+  // The drop count is not silent: the thread_name metadata event carries it.
+  bool found = false;
+  for (const JsonValue& ev : v.find("traceEvents")->array) {
+    if (ev.find("ph")->string != "M") continue;
+    const JsonValue* args = ev.find("args");
+    ASSERT_NE(args, nullptr);
+    const JsonValue* dropped = args->find("dropped_events");
+    ASSERT_NE(dropped, nullptr);
+    EXPECT_DOUBLE_EQ(dropped->number, 6.0);
+    found = true;
+  }
+  EXPECT_TRUE(found);
+}
+
+// ------------------------------------------------------- RunObs / RunTimings
+
+TEST(RunObs, OffLevelRecordsNothing) {
+  obs::RunObs obs;  // default = Off
+  {
+    obs::PhaseScope p(obs, Phase::Simulation, 0);
+    obs::TimerScope t(obs, &obs::RunTimings::total_ns, "total");
+  }
+  EXPECT_EQ(obs.timings.total_ns, 0);
+  EXPECT_EQ(obs.timings.phases_total_ns(), 0);
+  EXPECT_EQ(obs.tracer(), nullptr);
+}
+
+TEST(RunObs, CountersLevelAccumulatesWithoutTracer) {
+  obs::Tracer tracer;
+  obs::RunObs obs(obs::ObsLevel::Counters, &tracer);
+  // At Counters the tracer is withheld even though one was supplied.
+  EXPECT_EQ(obs.tracer(), nullptr);
+  { obs::PhaseScope p(obs, Phase::MeetingPoints, 1); }
+  { obs::PhaseScope p(obs, Phase::MeetingPoints, 2); }
+  EXPECT_GE(obs.timings.phase_ns[static_cast<std::size_t>(Phase::MeetingPoints)], 0);
+  EXPECT_EQ(tracer.recorded(), 0u);
+}
+
+TEST(RunObs, CodedRunProducesCoveredTimings) {
+  sim::Workload w = sim::gossip_workload(std::make_shared<Topology>(Topology::ring(4)),
+                                         Variant::ExchangeNonOblivious,
+                                         /*seed=*/2026, /*rounds=*/6);
+  w.cfg.observability = obs::ObsLevel::Counters;
+  NoNoise none;
+  const SimulationResult r = w.run(none);
+  ASSERT_TRUE(r.success);
+
+  const obs::RunTimings& t = r.timings;
+  EXPECT_GT(t.total_ns, 0);
+  EXPECT_GT(t.phase_ns[static_cast<std::size_t>(Phase::Simulation)], 0);
+  // The scopes nest inside the total scope, so attribution can never exceed
+  // the total (clock granularity aside). The hard ≥95% acceptance gate lives
+  // in bench_overhead_anatomy on realistic sizes; this run is tiny, so just
+  // require the structure to be sane and the bulk of the run attributed.
+  EXPECT_LE(t.phases_total_ns() + t.evaluate_ns, t.total_ns + 1000);
+  EXPECT_GT(t.coverage(), 0.5);
+}
+
+TEST(RunObs, DisabledRunLeavesTimingsZero) {
+  sim::Workload w = sim::gossip_workload(std::make_shared<Topology>(Topology::ring(4)),
+                                         Variant::ExchangeNonOblivious,
+                                         /*seed=*/2026, /*rounds=*/6);
+  NoNoise none;
+  const SimulationResult r = w.run(none);
+  EXPECT_EQ(r.timings.total_ns, 0);
+  EXPECT_EQ(r.timings.phases_total_ns(), 0);
+  EXPECT_EQ(r.delivery_probe.rounds, 0);
+}
+
+TEST(RunObs, FullRunEmitsPhaseSpans) {
+  obs::Tracer tracer;
+  sim::Workload w = sim::gossip_workload(std::make_shared<Topology>(Topology::ring(4)),
+                                         Variant::ExchangeNonOblivious,
+                                         /*seed=*/2026, /*rounds=*/6);
+  w.cfg.observability = obs::ObsLevel::Full;
+  w.cfg.tracer = &tracer;
+  NoNoise none;
+  const SimulationResult r = w.run(none);
+  ASSERT_TRUE(r.success);
+  EXPECT_GT(tracer.recorded(), 0u);
+  // The probe is attached at Full: engine round work is measured.
+  EXPECT_GT(r.delivery_probe.rounds, 0);
+  EXPECT_GE(r.delivery_probe.deliver_ns, 0);
+
+  std::ostringstream out;
+  tracer.write_chrome_json(out);
+  JsonValue v = parse_or_fail(out.str());
+  bool saw_simulation_phase = false, saw_total = false;
+  for (const JsonValue& ev : v.find("traceEvents")->array) {
+    if (ev.find("ph")->string != "X") continue;
+    const std::string& name = ev.find("name")->string;
+    if (name == "simulation" && ev.find("cat")->string == "phase") saw_simulation_phase = true;
+    if (name == "coded_run" && ev.find("cat")->string == "run") saw_total = true;
+  }
+  EXPECT_TRUE(saw_simulation_phase);
+  EXPECT_TRUE(saw_total);
+}
+
+// ---------------------------------------------------- sweep-level aggregation
+
+sim::ParamGrid obs_grid() {
+  sim::ParamGrid grid;
+  grid.variants = {Variant::ExchangeOblivious};
+  grid.topologies = {sim::topology_factory("ring", 4), sim::topology_factory("line", 3)};
+  grid.protocols = {sim::protocol_factory("gossip", 4)};
+  grid.noises = {sim::no_noise(), sim::uniform_oblivious_noise()};
+  grid.noise_fractions = {0.0, 0.01};
+  grid.repetitions = 2;
+  grid.iteration_factor = 2.0;
+  grid.base_seed = 42;
+  return grid;
+}
+
+std::string metrics_json_of(int threads) {
+  obs::Registry metrics;
+  sim::SweepOptions opts;
+  opts.threads = threads;
+  opts.observability = obs::ObsLevel::Counters;
+  opts.metrics = &metrics;
+  sim::SweepRunner runner(obs_grid(), opts);
+  runner.run();
+  // Count metrics only: the timing subtree is wall-clock-derived and excluded.
+  return metrics.to_json(false);
+}
+
+TEST(SweepMetrics, CountMetricsBitIdenticalAcrossThreadCounts) {
+  const std::string serial = metrics_json_of(1);
+  const std::string four = metrics_json_of(4);
+  const std::string eight = metrics_json_of(8);
+  EXPECT_EQ(serial, four);
+  EXPECT_EQ(serial, eight);
+
+  JsonValue v = parse_or_fail(serial);
+  const JsonValue* sweep = v.find("sweep");
+  ASSERT_NE(sweep, nullptr);
+  EXPECT_DOUBLE_EQ(sweep->find("runs")->number, 16.0);  // 1*2*1*2*2 points × 2 reps
+  ASSERT_NE(v.find("engine"), nullptr);
+  ASSERT_NE(v.find("cc"), nullptr);
+}
+
+TEST(SweepMetrics, PublishRecordIsFoldable) {
+  obs::Registry metrics;
+  sim::SweepRunner runner(obs_grid(), sim::SweepOptions{1, false});
+  const std::vector<sim::RunRecord> records = runner.run();
+  ASSERT_FALSE(records.empty());
+
+  obs::publish_record(metrics, records[0]);
+  const long long once = metrics.counter_value(metrics.find("sweep/runs"));
+  EXPECT_EQ(once, 1);
+  obs::publish_record(metrics, records[0]);
+  // Re-folding reuses the registered entries (idempotent registration) and
+  // accumulates the counts.
+  EXPECT_EQ(metrics.counter_value(metrics.find("sweep/runs")), 2);
+  EXPECT_EQ(metrics.size(), [] {
+    obs::Registry fresh;
+    sim::SweepRunner r2(obs_grid(), sim::SweepOptions{1, false});
+    obs::publish_record(fresh, r2.run()[0]);
+    return fresh.size();
+  }());
+}
+
+}  // namespace
+}  // namespace gkr

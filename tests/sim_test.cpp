@@ -3,6 +3,9 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <cmath>
+#include <cstdlib>
+#include <limits>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -12,6 +15,7 @@
 #include "sim/sweep_runner.h"
 #include "sim/thread_pool.h"
 #include "util/digest.h"
+#include "util/jsonfmt.h"
 
 namespace gkr::sim {
 namespace {
@@ -262,6 +266,121 @@ TEST(Sinks, SummaryAggregatesRepetitions) {
       EXPECT_DOUBLE_EQ(g.success_rate(), 1.0);
     }
   }
+}
+
+// ------------------------------------------------- formatting edge cases
+//
+// The sinks' byte-stability rests on util/jsonfmt.h (determinism contract
+// point 4 in result_sink.h); pin the nasty cases here.
+
+TEST(JsonFmt, CsvEscapePassesPlainFieldsThrough) {
+  EXPECT_EQ(csv_escape(""), "");
+  EXPECT_EQ(csv_escape("ring:4"), "ring:4");
+  EXPECT_EQ(csv_escape("greedy+echo"), "greedy+echo");
+  EXPECT_EQ(csv_escape("has space"), "has space");
+}
+
+TEST(JsonFmt, CsvEscapeQuotesSpecialFields) {
+  EXPECT_EQ(csv_escape("a,b"), "\"a,b\"");
+  EXPECT_EQ(csv_escape("say \"hi\""), "\"say \"\"hi\"\"\"");
+  EXPECT_EQ(csv_escape("two\nlines"), "\"two\nlines\"");
+  EXPECT_EQ(csv_escape("cr\rhere"), "\"cr\rhere\"");
+  EXPECT_EQ(csv_escape("a,b\"c"), "\"a,b\"\"c\"");
+}
+
+// Every printed double must parse (strtod) back to the exact same bits.
+void expect_round_trip(double x) {
+  const std::string s = format_double_shortest(x);
+  SCOPED_TRACE("formatted \"" + s + "\"");
+  char* end = nullptr;
+  const double back = std::strtod(s.c_str(), &end);
+  EXPECT_EQ(*end, '\0');
+  EXPECT_EQ(back, x);
+  EXPECT_EQ(std::signbit(back), std::signbit(x));  // distinguishes -0.0 from 0.0
+}
+
+TEST(JsonFmt, DoubleShortestRoundTripsExactly) {
+  expect_round_trip(0.0);
+  expect_round_trip(-0.0);
+  expect_round_trip(0.1);
+  expect_round_trip(1.0 / 3.0);
+  expect_round_trip(2.0000000000000001e-03);
+  expect_round_trip(5e-324);  // smallest positive denormal
+  expect_round_trip(-5e-324);
+  expect_round_trip(std::numeric_limits<double>::denorm_min() * 3);
+  expect_round_trip(std::numeric_limits<double>::max());
+  expect_round_trip(-std::numeric_limits<double>::max());
+  expect_round_trip(std::numeric_limits<double>::min());
+  expect_round_trip(9007199254740993.0);  // 2^53 + 1 rounds to 2^53: still exact
+  expect_round_trip(1e300);
+}
+
+TEST(JsonFmt, DoubleShortestPrefersHumanFriendlyForms) {
+  // Exact small integers print as integers, not exponent forms.
+  EXPECT_EQ(format_double_shortest(0.0), "0");
+  EXPECT_EQ(format_double_shortest(1.0), "1");
+  EXPECT_EQ(format_double_shortest(-3.0), "-3");
+  EXPECT_EQ(format_double_shortest(123456789.0), "123456789");
+  EXPECT_EQ(format_double_shortest(0.002), "0.002");
+  // -0.0 keeps its sign in the output (and therefore in any parser).
+  EXPECT_EQ(format_double_shortest(-0.0), "-0");
+  // Non-finite values cannot appear in JSON; they render as null.
+  EXPECT_EQ(format_double_shortest(std::numeric_limits<double>::quiet_NaN()), "null");
+  EXPECT_EQ(format_double_shortest(std::numeric_limits<double>::infinity()), "null");
+  EXPECT_EQ(format_double_shortest(-std::numeric_limits<double>::infinity()), "null");
+}
+
+TEST(Sinks, CsvQuotesFieldsContainingDelimiters) {
+  RunRecord r;
+  r.variant = "Alg\"A\"";
+  r.topology = "ring,4";
+  r.protocol = "gossip:4";
+  r.noise = "two\nlines";
+  std::ostringstream out;
+  CsvSink sink(out);
+  sink.begin(SweepMeta{});
+  sink.consume(r);
+  sink.end();
+  const std::string text = out.str();
+  EXPECT_NE(text.find("\"Alg\"\"A\"\"\""), std::string::npos);
+  EXPECT_NE(text.find("\"ring,4\""), std::string::npos);
+  EXPECT_NE(text.find("\"two\nlines\""), std::string::npos);
+  // The unremarkable field stays unquoted — existing output is byte-stable.
+  EXPECT_NE(text.find(",gossip:4,"), std::string::npos);
+}
+
+// --------------------------------------- the single timing gate (SweepMeta)
+
+TEST(Sinks, TimingFieldsAppearOnlyThroughSweepMetaGate) {
+  ParamGrid grid = small_grid();
+  grid.repetitions = 1;
+
+  SweepOptions opts;
+  opts.threads = 2;
+  opts.include_timing = true;
+  opts.observability = obs::ObsLevel::Counters;
+
+  std::ostringstream jsonl_out, csv_out;
+  JsonlSink jsonl(jsonl_out);
+  CsvSink csv(csv_out);
+  SweepRunner runner(grid, opts);
+  runner.run({&jsonl, &csv});
+
+  // Both sinks flipped together from the one gate: JSONL lines carry the
+  // wall fields and the phase breakdown; the CSV header grows the columns.
+  std::istringstream lines(jsonl_out.str());
+  std::string line;
+  while (std::getline(lines, line)) {
+    EXPECT_NE(line.find("\"wall_ms\":"), std::string::npos);
+    EXPECT_NE(line.find("\"phase_wall_ms\":["), std::string::npos);
+    EXPECT_NE(line.find("\"run_wall_ms\":"), std::string::npos);
+  }
+  std::string header;
+  std::istringstream csv_lines(csv_out.str());
+  ASSERT_TRUE(std::getline(csv_lines, header));
+  EXPECT_NE(header.find(",wall_ms,"), std::string::npos);
+  EXPECT_NE(header.find(",wall_simulation_ms"), std::string::npos);
+  EXPECT_NE(header.find(",run_wall_ms"), std::string::npos);
 }
 
 }  // namespace
