@@ -1,0 +1,342 @@
+// ECC-plane acceptance bench (DESIGN.md §5, F15; §13 the batched ECC plane).
+//
+// Three sections:
+//
+//  kernel — raw GF(2^8) vector·scalar MAC throughput: the dispatched
+//    gf256_mul_add (SSSE3/AVX2 split-nibble shuffle-LUT where the CPU has
+//    them) vs the table-driven portable kernel vs a scalar GF256::mul loop.
+//    Checksum-asserted identical outputs.
+//
+//  codec — full concatenated encode+decode throughput, the batched SoA plane
+//    (EccPlane) vs the scalar per-lane path (ConcatenatedCode::encode_into /
+//    decode_from with a warm workspace), across representative code shapes
+//    with and without repetition voting, under a deterministic noisy channel.
+//    Digest-asserted equivalence: identical wire bits, identical per-lane
+//    decode successes and decoded bytes. The ≥5× acceptance line is the
+//    combined encode+decode speedup, min over shapes — expected to hold with
+//    the SIMD kernels engaged; the portable build trades it away by design.
+//
+// Results go to the standard table printer and, with --jsonl/--csv, through
+// the standard sinks as RunRecords (timing enabled — rates are wall-clock
+// derived and NOT deterministic).
+//
+//   ./build/bench/bench_ecc_plane [--scale S] [--jsonl F] [--csv F]
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "bench_support.h"
+#include "ecc/concatenated_code.h"
+#include "ecc/ecc_plane.h"
+#include "ecc/secded.h"
+#include "sim/result_sink.h"
+#include "sim/run_record.h"
+#include "util/assert.h"
+#include "util/digest.h"
+#include "util/gf256.h"
+#include "util/gf256_simd.h"
+#include "util/rng.h"
+#include "util/stats.h"
+
+namespace gkr {
+namespace {
+
+// ------------------------------------------------------------------- kernel
+
+struct KernelResult {
+  double bytes_per_sec = 0.0;
+  std::uint64_t checksum = 0;  // defeats dead-code elimination; equality-checked
+  double wall_ms = 0.0;
+};
+
+template <typename MulAdd>
+KernelResult pump_kernel(MulAdd mul_add, long passes, std::size_t len) {
+  std::vector<std::uint8_t> dst(len), src(len);
+  for (std::size_t i = 0; i < len; ++i) src[i] = static_cast<std::uint8_t>(mix64(i) & 0xff);
+  KernelResult r;
+  bench::Timer timer;
+  for (long p = 0; p < passes; ++p) {
+    mul_add(dst.data(), src.data(), static_cast<std::uint8_t>(1 + (p % 255)), len);
+  }
+  const double secs = timer.seconds();
+  for (std::size_t i = 0; i < len; ++i) r.checksum ^= mix64(dst[i] + i);
+  r.bytes_per_sec = safe_ratio(static_cast<double>(passes) * static_cast<double>(len), secs);
+  r.wall_ms = secs * 1000.0;
+  return r;
+}
+
+void scalar_mul_add(std::uint8_t* dst, const std::uint8_t* src, std::uint8_t c,
+                    std::size_t len) {
+  for (std::size_t i = 0; i < len; ++i) {
+    dst[i] = static_cast<std::uint8_t>(dst[i] ^ GF256::mul(c, src[i]));
+  }
+}
+
+sim::RunRecord kernel_record(const char* variant, std::size_t len, const KernelResult& k) {
+  sim::RunRecord rec;
+  rec.variant = variant;  // dispatched | portable | scalar
+  rec.topology = "buffer";
+  rec.protocol = "gf256_mul_add";
+  rec.noise = "none";
+  rec.n = static_cast<int>(len);
+  rec.wall_ms = k.wall_ms;
+  rec.syms_per_sec = k.bytes_per_sec;  // bytes/s in the kernel section
+  return rec;
+}
+
+// -------------------------------------------------------------------- codec
+
+// Deterministic noisy wire in the exchange's operating regime: the adversary's
+// ε/m budget concentrates on a minority of links (the greedy shape), so one
+// lane in eight carries ~1.6% flips plus sparse erasures — heavy enough to
+// engage the errors-and-erasures RS tail there — while the rest arrive clean
+// and take the plane's zero-syndrome fast path.
+std::int8_t channel(std::int8_t bit, int lane, long j, std::uint64_t salt) {
+  if (lane % 8 != 0) return bit;
+  const std::uint64_t roll =
+      mix64(salt ^ (static_cast<std::uint64_t>(lane) << 32) ^ static_cast<std::uint64_t>(j));
+  if ((roll & 0x3f) == 0) bit = static_cast<std::int8_t>(bit ^ 1);
+  if ((roll & 0xfff) == 0) bit = kWireErased;
+  return bit;
+}
+
+struct CodecShape {
+  const char* label;
+  int message_bytes;
+  double outer_rate;
+  std::size_t min_codeword_bits;
+  int lanes;
+};
+
+struct CodecResult {
+  double enc_cw_per_sec = 0.0;
+  double dec_cw_per_sec = 0.0;
+  double enc_ms = 0.0;
+  double dec_ms = 0.0;
+  std::uint64_t digest = 0;  // folds ok flags + decoded bytes; plane ≡ scalar
+};
+
+std::uint64_t fold_decode(std::span<const std::uint8_t> out, std::span<const std::uint8_t> ok) {
+  std::uint64_t d = 0x6a09e667f3bcc908ULL;
+  for (std::uint8_t f : ok) d = mix64(d ^ f);
+  for (std::uint8_t b : out) d = mix64(d ^ b);
+  return d;
+}
+
+CodecResult run_plane(const ConcatenatedCode& code, const CodecShape& s,
+                      std::span<const std::uint8_t> messages, long enc_iters, long dec_iters,
+                      std::uint64_t salt) {
+  EccPlane plane(code, s.lanes);
+  CodecResult r;
+
+  bench::Timer enc_timer;
+  for (long it = 0; it < enc_iters; ++it) plane.encode(messages);
+  const double enc_secs = enc_timer.seconds();
+
+  plane.rx_reset();
+  for (int l = 0; l < s.lanes; ++l) {
+    for (long j = 0; j < plane.rounds(); ++j) {
+      plane.rx_set(l, j, channel(static_cast<std::int8_t>(plane.tx_bit(l, j)), l, j, salt));
+    }
+  }
+
+  std::vector<std::uint8_t> out(messages.size(), 0);
+  std::vector<std::uint8_t> ok(static_cast<std::size_t>(s.lanes), 0);
+  bench::Timer dec_timer;
+  for (long it = 0; it < dec_iters; ++it) (void)plane.decode_all(out, ok);
+  const double dec_secs = dec_timer.seconds();
+
+  r.enc_cw_per_sec = safe_ratio(static_cast<double>(enc_iters) * s.lanes, enc_secs);
+  r.dec_cw_per_sec = safe_ratio(static_cast<double>(dec_iters) * s.lanes, dec_secs);
+  r.enc_ms = enc_secs * 1000.0;
+  r.dec_ms = dec_secs * 1000.0;
+  r.digest = fold_decode(out, ok);
+  return r;
+}
+
+CodecResult run_scalar(const ConcatenatedCode& code, const CodecShape& s,
+                       std::span<const std::uint8_t> messages, long enc_iters, long dec_iters,
+                       std::uint64_t salt) {
+  const std::size_t bits = code.codeword_bits();
+  const std::size_t mb = static_cast<std::size_t>(s.message_bytes);
+  std::vector<std::int8_t> wire(static_cast<std::size_t>(s.lanes) * bits);
+  CodecResult r;
+
+  bench::Timer enc_timer;
+  for (long it = 0; it < enc_iters; ++it) {
+    for (int l = 0; l < s.lanes; ++l) {
+      code.encode_into(messages.subspan(static_cast<std::size_t>(l) * mb, mb),
+                       std::span<std::int8_t>(wire.data() + static_cast<std::size_t>(l) * bits,
+                                              bits));
+    }
+  }
+  const double enc_secs = enc_timer.seconds();
+
+  for (int l = 0; l < s.lanes; ++l) {
+    for (std::size_t j = 0; j < bits; ++j) {
+      std::int8_t& cell = wire[static_cast<std::size_t>(l) * bits + j];
+      cell = channel(cell, l, static_cast<long>(j), salt);
+    }
+  }
+
+  std::vector<std::uint8_t> out(messages.size(), 0);
+  std::vector<std::uint8_t> ok(static_cast<std::size_t>(s.lanes), 0);
+  ConcatenatedCode::Workspace ws;
+  bench::Timer dec_timer;
+  for (long it = 0; it < dec_iters; ++it) {
+    for (int l = 0; l < s.lanes; ++l) {
+      const bool good = code.decode_from(
+          std::span<const std::int8_t>(wire.data() + static_cast<std::size_t>(l) * bits, bits),
+          std::span<std::uint8_t>(out.data() + static_cast<std::size_t>(l) * mb, mb), ws);
+      ok[static_cast<std::size_t>(l)] = good ? 1 : 0;
+      if (!good) {
+        std::memset(out.data() + static_cast<std::size_t>(l) * mb, 0, mb);
+      }
+    }
+  }
+  const double dec_secs = dec_timer.seconds();
+
+  r.enc_cw_per_sec = safe_ratio(static_cast<double>(enc_iters) * s.lanes, enc_secs);
+  r.dec_cw_per_sec = safe_ratio(static_cast<double>(dec_iters) * s.lanes, dec_secs);
+  r.enc_ms = enc_secs * 1000.0;
+  r.dec_ms = dec_secs * 1000.0;
+  r.digest = fold_decode(out, ok);
+  return r;
+}
+
+sim::RunRecord codec_record(const char* variant, const char* op, const CodecShape& s,
+                            double cw_per_sec, double wall_ms) {
+  sim::RunRecord rec;
+  rec.variant = variant;  // plane | scalar
+  rec.topology = s.label;
+  rec.protocol = op;  // ecc_encode | ecc_decode
+  rec.noise = "deterministic";
+  rec.n = s.message_bytes;
+  rec.m = s.lanes;
+  rec.wall_ms = wall_ms;
+  rec.syms_per_sec = cw_per_sec;  // codewords/s in the codec section
+  return rec;
+}
+
+}  // namespace
+}  // namespace gkr
+
+int main(int argc, char** argv) {
+  using namespace gkr;
+
+  double scale = 1.0;
+  std::string jsonl_path, csv_path;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--scale") == 0 && i + 1 < argc) {
+      scale = std::atof(argv[++i]);
+    } else if (std::strcmp(argv[i], "--jsonl") == 0 && i + 1 < argc) {
+      jsonl_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--csv") == 0 && i + 1 < argc) {
+      csv_path = argv[++i];
+    } else {
+      std::fprintf(stderr, "usage: %s [--scale S] [--jsonl FILE] [--csv FILE]\n", argv[0]);
+      return 2;
+    }
+  }
+
+  std::printf("F15 — ECC plane: batched SoA concatenated codec vs the scalar per-lane path\n");
+  std::printf("gf256 kernel dispatched to: %s%s\n\n",
+              gf256_kernel_name(gf256_kernel_level()),
+              gf256_force_portable() ? " (GKR_FORCE_PORTABLE_GF256)" : "");
+
+  std::vector<sim::RunRecord> records;
+
+  // ---- kernel: gf256_mul_add over a 4 KiB row ------------------------------
+  TablePrinter kernel_table({"section", "kernel", "len", "GB/s", "speedup"});
+  const std::size_t len = 4096;
+  const long passes = static_cast<long>(scale * 200000.0);
+  const KernelResult scalar_k = pump_kernel(scalar_mul_add, passes, len);
+  const KernelResult portable_k = pump_kernel(gf256_mul_add_portable, passes, len);
+  const KernelResult dispatched_k = pump_kernel(gf256_mul_add, passes, len);
+  GKR_ASSERT_MSG(scalar_k.checksum == portable_k.checksum &&
+                     scalar_k.checksum == dispatched_k.checksum,
+                 "all gf256_mul_add paths must be bit-identical");
+  const double kernel_speedup = safe_ratio(dispatched_k.bytes_per_sec, scalar_k.bytes_per_sec);
+  records.push_back(kernel_record("scalar", len, scalar_k));
+  records.push_back(kernel_record("portable", len, portable_k));
+  records.push_back(kernel_record("dispatched", len, dispatched_k));
+  kernel_table.add_row({"kernel", "scalar GF256::mul", strf("%zu", len),
+                        strf("%.2f", scalar_k.bytes_per_sec / 1e9), "-"});
+  kernel_table.add_row({"kernel", "portable", strf("%zu", len),
+                        strf("%.2f", portable_k.bytes_per_sec / 1e9),
+                        strf("%.2fx", safe_ratio(portable_k.bytes_per_sec,
+                                                 scalar_k.bytes_per_sec))});
+  kernel_table.add_row({"kernel", gf256_kernel_name(gf256_kernel_level()), strf("%zu", len),
+                        strf("%.2f", dispatched_k.bytes_per_sec / 1e9),
+                        strf("%.2fx", kernel_speedup)});
+  kernel_table.print();
+
+  // ---- codec: batched plane vs scalar per-lane -----------------------------
+  std::printf("\n");
+  TablePrinter codec_table(
+      {"section", "shape", "path", "enc cw/s", "dec cw/s", "enc x", "dec x", "e+d x"});
+  // 56 lanes = the 8-party-clique link-master count the scheme batches over;
+  // the repetition shape mirrors the stretched exchange (Θ(|Π|K/m) bits).
+  const CodecShape shapes[] = {
+      {"m16/r.5/x1", 16, 0.5, 0, 56},
+      {"m16/r.5/rep", 16, 0.5, 1700, 56},
+      {"m32/r.5/x1", 32, 0.5, 0, 120},
+  };
+  double min_codec_speedup = -1.0;
+  for (const CodecShape& s : shapes) {
+    ConcatenatedCode code(s.message_bytes, s.outer_rate, s.min_codeword_bits);
+    Rng rng(777);
+    std::vector<std::uint8_t> messages(static_cast<std::size_t>(s.lanes) * s.message_bytes);
+    for (auto& b : messages) b = static_cast<std::uint8_t>(rng.next_below(256));
+    const long enc_iters = std::max<long>(1, static_cast<long>(scale * 300.0));
+    const long dec_iters = std::max<long>(1, static_cast<long>(scale * 150.0));
+    const std::uint64_t salt = mix64(0xecc0 + static_cast<std::uint64_t>(s.lanes));
+
+    const CodecResult scalar = run_scalar(code, s, messages, enc_iters, dec_iters, salt);
+    const CodecResult plane = run_plane(code, s, messages, enc_iters, dec_iters, salt);
+    GKR_ASSERT_MSG(scalar.digest == plane.digest,
+                   "plane and scalar codecs must decode identically");
+
+    const double enc_x = safe_ratio(plane.enc_cw_per_sec, scalar.enc_cw_per_sec);
+    const double dec_x = safe_ratio(plane.dec_cw_per_sec, scalar.dec_cw_per_sec);
+    const double both_x = safe_ratio(scalar.enc_ms + scalar.dec_ms, plane.enc_ms + plane.dec_ms);
+    if (min_codec_speedup < 0 || both_x < min_codec_speedup) min_codec_speedup = both_x;
+    records.push_back(codec_record("scalar", "ecc_encode", s, scalar.enc_cw_per_sec, scalar.enc_ms));
+    records.push_back(codec_record("scalar", "ecc_decode", s, scalar.dec_cw_per_sec, scalar.dec_ms));
+    records.push_back(codec_record("plane", "ecc_encode", s, plane.enc_cw_per_sec, plane.enc_ms));
+    records.push_back(codec_record("plane", "ecc_decode", s, plane.dec_cw_per_sec, plane.dec_ms));
+    codec_table.add_row({"codec", s.label, "scalar", strf("%.3g", scalar.enc_cw_per_sec),
+                         strf("%.3g", scalar.dec_cw_per_sec), "-", "-", "-"});
+    codec_table.add_row({"codec", s.label, "plane", strf("%.3g", plane.enc_cw_per_sec),
+                         strf("%.3g", plane.dec_cw_per_sec), strf("%.2fx", enc_x),
+                         strf("%.2fx", dec_x), strf("%.2fx", both_x)});
+  }
+  codec_table.print();
+
+  std::printf(
+      "\ngf256_mul_add, dispatched vs scalar: %.2fx\n"
+      "concatenated encode+decode, plane vs scalar, min over shapes: %.2fx "
+      "(acceptance: >= 5x with SIMD kernels; portable builds are exempt)\n",
+      kernel_speedup, min_codec_speedup);
+
+  sim::SweepMeta meta;
+  meta.num_runs = records.size();
+  meta.include_timing = true;
+  auto emit = [&](sim::ResultSink& sink) {
+    sink.begin(meta);
+    for (const sim::RunRecord& r : records) sink.consume(r);
+    sink.end();
+  };
+  if (!jsonl_path.empty()) {
+    std::ofstream out(jsonl_path);
+    sim::JsonlSink sink(out);
+    emit(sink);
+  }
+  if (!csv_path.empty()) {
+    std::ofstream out(csv_path);
+    sim::CsvSink sink(out);
+    emit(sink);
+  }
+  return 0;
+}

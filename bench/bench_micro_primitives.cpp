@@ -11,8 +11,11 @@
 #include "hash/inner_product_hash.h"
 #include "hash/seed_plane.h"
 #include "hash/seed_source.h"
+#include "ecc/ecc_plane.h"
 #include "net/round_engine.h"
 #include "util/gf2_64.h"
+#include "util/gf256.h"
+#include "util/gf256_simd.h"
 #include "util/rng.h"
 
 namespace gkr {
@@ -26,6 +29,44 @@ void BM_Gf64Mul(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_Gf64Mul);
+
+void BM_Gf256MulScalarOne(benchmark::State& state) {
+  std::uint8_t a = 0x9e, b = 0x5a;
+  for (auto _ : state) {
+    a = GF256::mul(a, b);
+    benchmark::DoNotOptimize(a);
+  }
+}
+BENCHMARK(BM_Gf256MulScalarOne);
+
+// The batched GF(2^8) MAC the ECC plane's RS kernels ride on (DESIGN.md §13),
+// dispatched (SSSE3/AVX2 where present) vs the portable table path, over one
+// SoA lane row.
+void BM_Gf256MulAddDispatched(benchmark::State& state) {
+  const std::size_t len = static_cast<std::size_t>(state.range(0));
+  std::vector<std::uint8_t> dst(len, 0x11), src(len, 0x77);
+  std::uint8_t c = 1;
+  for (auto _ : state) {
+    gf256_mul_add(dst.data(), src.data(), c++, len);
+    benchmark::DoNotOptimize(dst[0]);
+    if (c == 0) c = 1;
+  }
+  state.SetBytesProcessed(state.iterations() * static_cast<long>(len));
+}
+BENCHMARK(BM_Gf256MulAddDispatched)->Arg(64)->Arg(4096);
+
+void BM_Gf256MulAddPortable(benchmark::State& state) {
+  const std::size_t len = static_cast<std::size_t>(state.range(0));
+  std::vector<std::uint8_t> dst(len, 0x11), src(len, 0x77);
+  std::uint8_t c = 1;
+  for (auto _ : state) {
+    gf256_mul_add_portable(dst.data(), src.data(), c++, len);
+    benchmark::DoNotOptimize(dst[0]);
+    if (c == 0) c = 1;
+  }
+  state.SetBytesProcessed(state.iterations() * static_cast<long>(len));
+}
+BENCHMARK(BM_Gf256MulAddPortable)->Arg(64)->Arg(4096);
 
 void BM_DeltaBiasedBit(benchmark::State& state) {
   DeltaBiasedStream stream(mix64(1), mix64(2));
@@ -137,6 +178,31 @@ void BM_ConcatenatedRoundTrip(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_ConcatenatedRoundTrip);
+
+void BM_EccPlaneRoundTrip(benchmark::State& state) {
+  // Batched counterpart of BM_ConcatenatedRoundTrip at the 8-party-clique
+  // lane count (56 link masters per exchange — DESIGN.md §13); items are
+  // codewords, so items/s divides out the lane count.
+  const int lanes = 56;
+  ConcatenatedCode code(16, 0.5);
+  EccPlane plane(code, lanes);
+  std::vector<std::uint8_t> msgs(static_cast<std::size_t>(lanes) * 16, 0x42);
+  std::vector<std::uint8_t> out(msgs.size());
+  std::vector<std::uint8_t> ok(static_cast<std::size_t>(lanes));
+  for (auto _ : state) {
+    plane.encode(msgs);
+    plane.rx_reset();
+    for (int l = 0; l < lanes; ++l) {
+      for (long j = 0; j < plane.rounds(); ++j) {
+        plane.rx_set(l, j, static_cast<std::int8_t>(plane.tx_bit(l, j)));
+      }
+    }
+    (void)plane.decode_all(out, ok);
+    benchmark::DoNotOptimize(out[0]);
+  }
+  state.SetItemsProcessed(state.iterations() * lanes);
+}
+BENCHMARK(BM_EccPlaneRoundTrip);
 
 void BM_TranscriptAppendPrefixDigest(benchmark::State& state) {
   LinkTranscript tr;

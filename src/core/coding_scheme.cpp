@@ -6,6 +6,7 @@
 
 #include "core/phase_executors.h"
 #include "ecc/concatenated_code.h"
+#include "ecc/ecc_plane.h"
 #include "ecc/secded.h"
 #include "util/rng.h"
 #include "util/stats.h"
@@ -36,6 +37,7 @@ struct CodedSimulation::Impl {
   int tau = 0;
   long exchange_rounds = 0;
   std::unique_ptr<ConcatenatedCode> exchange_code;
+  std::unique_ptr<EccPlane> ecc_plane;  // batched exchange codec (DESIGN.md §13)
   RoundPlan plan;
 
   // Run state.
@@ -83,6 +85,7 @@ struct CodedSimulation::Impl {
       exchange_code = std::make_unique<ConcatenatedCode>(kMasterBytes, 0.5,
                                                          static_cast<std::size_t>(target));
       exchange_rounds = static_cast<long>(exchange_code->codeword_bits());
+      if (cfg.use_ecc_plane) ecc_plane = std::make_unique<EccPlane>(*exchange_code, m);
     }
 
     plan = RoundPlan::build(
@@ -133,46 +136,94 @@ struct CodedSimulation::Impl {
   void run_randomness_exchange() {
     if (!cfg.uses_exchange()) return;  // parties share the CRS source
     obs::PhaseScope scope(obs, Phase::RandomnessExchange, /*iteration=*/0);
+    const auto cw_bits = static_cast<std::size_t>(exchange_rounds);
 
-    // Senders (smaller endpoint id) sample masters and encode.
-    std::vector<std::vector<std::int8_t>> codewords(static_cast<std::size_t>(m));
-    std::vector<std::array<std::uint8_t, kMasterBytes>> masters(static_cast<std::size_t>(m));
+    // Senders (smaller endpoint id) sample masters. Lane-major flat layout:
+    // link l's master occupies bytes [l·kMasterBytes, (l+1)·kMasterBytes).
+    std::vector<std::uint8_t> masters(static_cast<std::size_t>(m) * kMasterBytes);
     for (int l = 0; l < m; ++l) {
       Rng link_rng = rng.fork("master").fork(static_cast<std::uint64_t>(l));
       for (int b = 0; b < kMasterBytes; ++b) {
-        masters[static_cast<std::size_t>(l)][static_cast<std::size_t>(b)] =
+        masters[static_cast<std::size_t>(l) * kMasterBytes + static_cast<std::size_t>(b)] =
             static_cast<std::uint8_t>(link_rng.next_below(256));
       }
-      codewords[static_cast<std::size_t>(l)] =
-          exchange_code->encode(std::span<const std::uint8_t>(
-              masters[static_cast<std::size_t>(l)].data(), kMasterBytes));
+    }
+    std::vector<std::uint8_t> decoded(static_cast<std::size_t>(m) * kMasterBytes);
+    std::vector<std::uint8_t> decode_ok(static_cast<std::size_t>(m), 0);
+
+    if (cfg.use_ecc_plane) {
+      // Batched path (DESIGN.md §13): one SoA encode over all links, wire
+      // bits served from per-lane bit streams, one batched decode at the end.
+      // Bit-identical to the legacy branch below.
+      ecc_plane->encode(masters);
+      ecc_plane->rx_reset();
+      for (long j = 0; j < exchange_rounds; ++j) {
+        for (int l = 0; l < m; ++l) {
+          core.wire_out.set(static_cast<std::size_t>(topo->dlink_from(l, topo->link(l).a)),
+                            ecc_plane->tx_bit(l, j) != 0 ? Sym::One : Sym::Zero);
+        }
+        core.step(0, Phase::RandomnessExchange);
+        for (int l = 0; l < m; ++l) {
+          const Sym got =
+              core.wire_in.get(static_cast<std::size_t>(topo->dlink_from(l, topo->link(l).a)));
+          // Deletions arrive as ∗ at a round where a bit was expected: erasure
+          // (footnote 9). A ⊥ is equally out of place: erasure.
+          ecc_plane->rx_set(l, j,
+                            got == Sym::Zero  ? kWireZero
+                            : got == Sym::One ? kWireOne
+                                              : kWireErased);
+        }
+      }
+      const EccPlane::DecodeStats stats = ecc_plane->decode_all(decoded, decode_ok);
+      result.ecc_bit_erasures += stats.bit_erasures;
+      result.ecc_symbol_erasures += stats.symbol_erasures;
+      result.ecc_rs_failures += stats.rs_failures;
+    } else {
+      // Legacy per-link path: two flat caller-owned buffers (one allocation
+      // each) shared by all links, encode_into/decode_from with a reused
+      // workspace instead of per-link vectors.
+      std::vector<std::int8_t> codewords(static_cast<std::size_t>(m) * cw_bits);
+      for (int l = 0; l < m; ++l) {
+        exchange_code->encode_into(
+            std::span<const std::uint8_t>(masters).subspan(
+                static_cast<std::size_t>(l) * kMasterBytes, kMasterBytes),
+            std::span<std::int8_t>(codewords).subspan(static_cast<std::size_t>(l) * cw_bits,
+                                                      cw_bits));
+      }
+
+      // Ship codewords bit-by-bit, all links in parallel, a → b.
+      std::vector<std::int8_t> received(static_cast<std::size_t>(m) * cw_bits, kWireErased);
+      for (long j = 0; j < exchange_rounds; ++j) {
+        for (int l = 0; l < m; ++l) {
+          const std::int8_t bit =
+              codewords[static_cast<std::size_t>(l) * cw_bits + static_cast<std::size_t>(j)];
+          core.wire_out.set(static_cast<std::size_t>(topo->dlink_from(l, topo->link(l).a)),
+                            bit != 0 ? Sym::One : Sym::Zero);
+        }
+        core.step(0, Phase::RandomnessExchange);
+        for (int l = 0; l < m; ++l) {
+          const Sym got =
+              core.wire_in.get(static_cast<std::size_t>(topo->dlink_from(l, topo->link(l).a)));
+          received[static_cast<std::size_t>(l) * cw_bits + static_cast<std::size_t>(j)] =
+              got == Sym::Zero ? kWireZero : got == Sym::One ? kWireOne : kWireErased;
+        }
+      }
+
+      ConcatenatedCode::Workspace ws;
+      for (int l = 0; l < m; ++l) {
+        decode_ok[static_cast<std::size_t>(l)] = exchange_code->decode_from(
+            std::span<const std::int8_t>(received).subspan(
+                static_cast<std::size_t>(l) * cw_bits, cw_bits),
+            std::span<std::uint8_t>(decoded).subspan(static_cast<std::size_t>(l) * kMasterBytes,
+                                                     kMasterBytes),
+            ws);
+      }
     }
 
-    // Ship codewords bit-by-bit, all links in parallel, a → b.
-    std::vector<std::vector<std::int8_t>> received(
-        static_cast<std::size_t>(m),
-        std::vector<std::int8_t>(static_cast<std::size_t>(exchange_rounds), kWireErased));
-    for (long j = 0; j < exchange_rounds; ++j) {
-      for (int l = 0; l < m; ++l) {
-        const std::int8_t bit = codewords[static_cast<std::size_t>(l)][static_cast<std::size_t>(j)];
-        core.wire_out.set(static_cast<std::size_t>(topo->dlink_from(l, topo->link(l).a)),
-                          bit != 0 ? Sym::One : Sym::Zero);
-      }
-      core.step(0, Phase::RandomnessExchange);
-      for (int l = 0; l < m; ++l) {
-        const Sym got =
-            core.wire_in.get(static_cast<std::size_t>(topo->dlink_from(l, topo->link(l).a)));
-        std::int8_t& cell = received[static_cast<std::size_t>(l)][static_cast<std::size_t>(j)];
-        // Deletions arrive as ∗ at a round where a bit was expected: erasure
-        // (footnote 9). A ⊥ is equally out of place: erasure.
-        cell = got == Sym::Zero ? kWireZero : got == Sym::One ? kWireOne : kWireErased;
-      }
-    }
-
-    // Receivers decode; both endpoints install their seed sources.
+    // Both endpoints install their seed sources.
     for (int l = 0; l < m; ++l) {
       const Edge& e = topo->link(l);
-      auto read_master = [&](const std::array<std::uint8_t, kMasterBytes>& bytes) {
+      auto read_master = [](std::span<const std::uint8_t> bytes) {
         std::uint64_t lo = 0, hi = 0;
         for (int b = 0; b < 8; ++b) {
           lo |= static_cast<std::uint64_t>(bytes[static_cast<std::size_t>(b)]) << (8 * b);
@@ -181,19 +232,17 @@ struct CodedSimulation::Impl {
         return std::pair<std::uint64_t, std::uint64_t>(lo, hi);
       };
       // Sender side: the sampled master.
-      auto [a_lo, a_hi] = read_master(masters[static_cast<std::size_t>(l)]);
+      auto [a_lo, a_hi] = read_master(std::span<const std::uint8_t>(masters).subspan(
+          static_cast<std::size_t>(l) * kMasterBytes, kMasterBytes));
       core.seeds[static_cast<std::size_t>(core.ep(e.a, l))] =
           std::make_unique<BiasedSeedSource>(a_lo, a_hi);
 
-      // Receiver side: decode, or fall back to a private garbage master
-      // (guaranteeing mismatch) when decoding fails.
-      std::array<std::uint8_t, kMasterBytes> decoded{};
+      // Receiver side: the decoded master, or a private garbage master
+      // (guaranteeing mismatch) when decoding failed.
       std::uint64_t b_lo = 0, b_hi = 0;
-      const bool ok = exchange_code->decode(
-          received[static_cast<std::size_t>(l)],
-          std::span<std::uint8_t>(decoded.data(), kMasterBytes));
-      if (ok) {
-        std::tie(b_lo, b_hi) = read_master(decoded);
+      if (decode_ok[static_cast<std::size_t>(l)] != 0) {
+        std::tie(b_lo, b_hi) = read_master(std::span<const std::uint8_t>(decoded).subspan(
+            static_cast<std::size_t>(l) * kMasterBytes, kMasterBytes));
       } else {
         Rng junk = rng.fork("decode-fail").fork(static_cast<std::uint64_t>(l));
         b_lo = junk.next_u64();

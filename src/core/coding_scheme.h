@@ -65,6 +65,11 @@ struct SimulationResult {
   long rewind_truncations = 0;       // chunks removed by the rewind phase
   long rewinds_sent = 0;
   int exchange_failures = 0;         // links whose seed masters ended unequal
+  // Randomness-exchange inner-code anatomy (populated only on the ECC-plane
+  // path, SchemeConfig::use_ecc_plane; not part of the run digest).
+  long ecc_bit_erasures = 0;     // erased wire bits seen by the exchange decoder
+  long ecc_symbol_erasures = 0;  // inner SECDED failures → outer erasures
+  int ecc_rs_failures = 0;       // links whose outer RS decode failed
   int iterations = 0;
   long replayer_rebuilds = 0;
   // (link, chunk) records fed by those rebuilds — suffix-only under the

@@ -75,6 +75,14 @@ struct SchemeConfig {
   // F13 A/B benchmark and for regression bisection.
   bool use_seed_plane = true;
 
+  // Run the randomness exchange through the batched ECC plane (DESIGN.md
+  // §13): one SoA encode/decode over all links with the SIMD GF(2^8) kernels,
+  // instead of the legacy per-link ConcatenatedCode calls. Wire bits, decode
+  // outcomes and results are bit-identical either way (pinned by the
+  // ecc-plane equivalence suite and the golden corpus) — the switch exists
+  // for the F15 A/B benchmark and for regression bisection.
+  bool use_ecc_plane = true;
+
   // Replay checkpoint cadence in chunks (DESIGN.md §11): each party snapshots
   // its replay automaton every this-many chunks and rebuilds by restoring the
   // newest still-valid snapshot + replaying the suffix — amortized

@@ -7,51 +7,62 @@
 #include "util/assert.h"
 
 namespace gkr {
-namespace {
 
-int outer_length(int message_bytes, double outer_rate) {
+int ConcatenatedCode::outer_length(int message_bytes, double outer_rate) {
   GKR_ASSERT(message_bytes >= 1);
+  // 253 ⇒ k = 253 still leaves ≥ 2 parity symbols under the 255 clamp below;
+  // anything larger would silently degrade to a distance-1 or invalid code.
+  GKR_ASSERT_MSG(message_bytes <= 253, "outer message too long for GF(2^8) Reed-Solomon");
   GKR_ASSERT(outer_rate > 0.0 && outer_rate < 1.0);
   const int n = static_cast<int>(std::ceil(static_cast<double>(message_bytes) / outer_rate));
   return std::min(255, std::max(n, message_bytes + 2));
 }
-
-}  // namespace
 
 ConcatenatedCode::ConcatenatedCode(int message_bytes, double outer_rate,
                                    std::size_t min_codeword_bits)
     : message_bytes_(message_bytes),
       rs_(outer_length(message_bytes, outer_rate), message_bytes),
       bits_per_rep_(static_cast<std::size_t>(rs_.n()) * kSecdedBits),
-      repeats_(1) {
+      repeats_(1),
+      outer_clamped_(rs_.n() == 255 &&
+                     std::ceil(static_cast<double>(message_bytes) / outer_rate) > 255.0) {
   if (min_codeword_bits > bits_per_rep_) {
     repeats_ = (min_codeword_bits + bits_per_rep_ - 1) / bits_per_rep_;
   }
 }
 
-std::vector<std::int8_t> ConcatenatedCode::encode(std::span<const std::uint8_t> msg) const {
+void ConcatenatedCode::encode_into(std::span<const std::uint8_t> msg,
+                                   std::span<std::int8_t> out) const {
   GKR_ASSERT(static_cast<int>(msg.size()) == message_bytes_);
-  std::vector<std::uint8_t> outer(static_cast<std::size_t>(rs_.n()));
-  rs_.encode(msg, outer);
-  std::vector<std::int8_t> one_rep(bits_per_rep_);
+  GKR_ASSERT(out.size() == codeword_bits());
+  // Build the first repetition in place: RS symbols into the tail of the
+  // first repetition's buffer would alias the inner bits, so keep the outer
+  // word on the stack (n ≤ 255 bytes).
+  std::uint8_t outer[255];
+  rs_.encode(msg, std::span<std::uint8_t>(outer, static_cast<std::size_t>(rs_.n())));
+  const auto one_rep = out.first(bits_per_rep_);
   for (int s = 0; s < rs_.n(); ++s) {
     secded_encode(outer[static_cast<std::size_t>(s)],
-                  std::span<std::int8_t>(one_rep).subspan(
-                      static_cast<std::size_t>(s) * kSecdedBits, kSecdedBits));
+                  one_rep.subspan(static_cast<std::size_t>(s) * kSecdedBits, kSecdedBits));
   }
-  std::vector<std::int8_t> out;
-  out.reserve(codeword_bits());
-  for (std::size_t r = 0; r < repeats_; ++r) out.insert(out.end(), one_rep.begin(), one_rep.end());
+  for (std::size_t r = 1; r < repeats_; ++r) {
+    std::copy_n(one_rep.begin(), bits_per_rep_, out.begin() + static_cast<std::ptrdiff_t>(r * bits_per_rep_));
+  }
+}
+
+std::vector<std::int8_t> ConcatenatedCode::encode(std::span<const std::uint8_t> msg) const {
+  std::vector<std::int8_t> out(codeword_bits());
+  encode_into(msg, out);
   return out;
 }
 
-bool ConcatenatedCode::decode(std::span<const std::int8_t> wire,
-                              std::span<std::uint8_t> msg_out) const {
+bool ConcatenatedCode::decode_from(std::span<const std::int8_t> wire,
+                                   std::span<std::uint8_t> msg_out, Workspace& ws) const {
   GKR_ASSERT(wire.size() == codeword_bits());
   GKR_ASSERT(static_cast<int>(msg_out.size()) == message_bytes_);
 
   // Majority-combine the repetitions bitwise; ties and all-erased → erased.
-  std::vector<std::int8_t> combined(bits_per_rep_);
+  ws.combined.resize(bits_per_rep_);
   for (std::size_t i = 0; i < bits_per_rep_; ++i) {
     int votes[2] = {0, 0};
     for (std::size_t r = 0; r < repeats_; ++r) {
@@ -59,27 +70,34 @@ bool ConcatenatedCode::decode(std::span<const std::int8_t> wire,
       if (w == kWireZero) ++votes[0];
       if (w == kWireOne) ++votes[1];
     }
-    combined[i] = votes[0] > votes[1]   ? kWireZero
-                  : votes[1] > votes[0] ? kWireOne
-                                        : kWireErased;
+    ws.combined[i] = votes[0] > votes[1]   ? kWireZero
+                     : votes[1] > votes[0] ? kWireOne
+                                           : kWireErased;
   }
 
   // Inner decode per symbol → outer word with erasures.
-  std::vector<std::uint8_t> outer(static_cast<std::size_t>(rs_.n()), 0);
-  std::vector<int> erasures;
+  ws.outer.assign(static_cast<std::size_t>(rs_.n()), 0);
+  ws.erasures.clear();
+  ws.erasures.reserve(static_cast<std::size_t>(rs_.n()));  // steady-state: no realloc
   for (int s = 0; s < rs_.n(); ++s) {
     std::uint8_t sym = 0;
-    const auto word = std::span<const std::int8_t>(combined).subspan(
-        static_cast<std::size_t>(s) * kSecdedBits, kSecdedBits);
+    const auto word = std::span<const std::int8_t>(ws.combined)
+                          .subspan(static_cast<std::size_t>(s) * kSecdedBits, kSecdedBits);
     if (secded_decode(word, &sym)) {
-      outer[static_cast<std::size_t>(s)] = sym;
+      ws.outer[static_cast<std::size_t>(s)] = sym;
     } else {
-      erasures.push_back(s);
+      ws.erasures.push_back(s);
     }
   }
-  if (!rs_.decode(outer, erasures)) return false;
-  std::copy_n(outer.begin(), static_cast<std::size_t>(message_bytes_), msg_out.begin());
+  if (!rs_.decode_lane(ws.outer.data(), 1, ws.erasures, ws.rs)) return false;
+  std::copy_n(ws.outer.begin(), static_cast<std::size_t>(message_bytes_), msg_out.begin());
   return true;
+}
+
+bool ConcatenatedCode::decode(std::span<const std::int8_t> wire,
+                              std::span<std::uint8_t> msg_out) const {
+  Workspace ws;
+  return decode_from(wire, msg_out, ws);
 }
 
 }  // namespace gkr

@@ -14,6 +14,12 @@
 // `repeats` stretches the codeword to a target length (the paper sizes the
 // exchange at Θ(|Π|K/m) bits); the decoder majority-votes wire bits across
 // repetitions, treating ties as erasures.
+//
+// Two call shapes: the allocating encode()/decode() convenience pair, and the
+// span-based encode_into()/decode_from() pair that writes into caller-owned
+// buffers and a reusable Workspace — zero allocations per call once the
+// workspace is warm. The batched ECC plane (ecc/ecc_plane.h, DESIGN.md §13)
+// bypasses both and drives the outer()/repeats() geometry directly.
 #pragma once
 
 #include <cstdint>
@@ -26,26 +32,54 @@ namespace gkr {
 
 class ConcatenatedCode {
  public:
-  // message_bytes ≥ 1; outer_rate in (0,1) controls RS redundancy;
+  // Decode scratch; sized lazily on first use, then reused allocation-free.
+  struct Workspace {
+    std::vector<std::int8_t> combined;
+    std::vector<std::uint8_t> outer;
+    std::vector<int> erasures;
+    RsWorkspace rs;
+  };
+
+  // message_bytes in [1, 253] — 253 keeps the outer code at least 2 parity
+  // symbols even when the GF(2^8) length ceiling clamps n to 255 (see
+  // outer_length); outer_rate in (0,1) controls RS redundancy;
   // min_codeword_bits stretches the code via repetition (0 = no stretching).
   ConcatenatedCode(int message_bytes, double outer_rate, std::size_t min_codeword_bits = 0);
+
+  // Outer RS length n = ⌈message_bytes / outer_rate⌉, floored at
+  // message_bytes + 2 and clamped to the GF(2^8) maximum of 255. Asserts
+  // message_bytes ≤ 253 so the clamp never silently erodes the distance below
+  // 2 parity symbols.
+  static int outer_length(int message_bytes, double outer_rate);
 
   std::size_t codeword_bits() const noexcept { return bits_per_rep_ * repeats_; }
   int message_bytes() const noexcept { return message_bytes_; }
   int repeats() const noexcept { return static_cast<int>(repeats_); }
+  const ReedSolomon& outer() const noexcept { return rs_; }
+  // True when the requested outer length hit the 255-symbol clamp (the outer
+  // rate is then higher — i.e. the code weaker — than asked for).
+  bool outer_clamped() const noexcept { return outer_clamped_; }
 
   // Encode message_bytes bytes into codeword_bits() wire bits (0/1).
   std::vector<std::int8_t> encode(std::span<const std::uint8_t> msg) const;
 
+  // Same, into a caller-owned buffer of exactly codeword_bits() cells.
+  void encode_into(std::span<const std::uint8_t> msg, std::span<std::int8_t> out) const;
+
   // Decode codeword_bits() wire values in {0,1,kWireErased}. Returns true and
   // fills msg_out (message_bytes bytes) on success.
   bool decode(std::span<const std::int8_t> wire, std::span<std::uint8_t> msg_out) const;
+
+  // Same, with all scratch drawn from `ws` (reused across calls).
+  bool decode_from(std::span<const std::int8_t> wire, std::span<std::uint8_t> msg_out,
+                   Workspace& ws) const;
 
  private:
   int message_bytes_;
   ReedSolomon rs_;
   std::size_t bits_per_rep_;
   std::size_t repeats_;
+  bool outer_clamped_;
 };
 
 }  // namespace gkr

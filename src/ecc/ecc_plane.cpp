@@ -1,0 +1,268 @@
+#include "ecc/ecc_plane.h"
+
+#include <bit>
+#include <cstring>
+
+#include "ecc/secded.h"
+#include "util/assert.h"
+#include "util/gf256.h"
+#include "util/gf256_simd.h"
+
+namespace gkr {
+namespace {
+
+// Max repetitions a vote counter can hold: bit-sliced ripple counters below
+// use up to 32 slices (2^32 repetitions — far beyond any exchange sizing).
+constexpr int kMaxCountSlices = 32;
+
+}  // namespace
+
+EccPlane::EccPlane(const ConcatenatedCode& code, int lanes)
+    : code_(&code),
+      rs_(&code.outer()),
+      lanes_(lanes),
+      n_(rs_->n()),
+      k_(rs_->k()),
+      nr_(rs_->nroots()),
+      repeats_(code.repeats()),
+      bits_per_rep_(static_cast<std::size_t>(n_) * kSecdedBits),
+      words_per_rep_((bits_per_rep_ + 63) / 64),
+      stride_((static_cast<std::size_t>(lanes) + 63) / 64 * 64) {
+  GKR_ASSERT(lanes >= 1);
+  GKR_ASSERT(std::bit_width(static_cast<unsigned>(repeats_)) <= kMaxCountSlices);
+  const std::size_t rem_bits = bits_per_rep_ % 64;
+  tail_mask_ = rem_bits == 0 ? ~0ull : ((1ull << rem_bits) - 1);
+
+  outer_.resize(static_cast<std::size_t>(n_) * stride_);
+  rem_.resize(static_cast<std::size_t>(nr_) * stride_);
+  fb_.resize(stride_);
+  synd_.resize(static_cast<std::size_t>(nr_) * stride_);
+  dirty_.resize(stride_);
+
+  const std::size_t lane_words = static_cast<std::size_t>(lanes_) * words_per_rep_;
+  tx_.resize(lane_words);
+  rx_ones_.resize(lane_words * static_cast<std::size_t>(repeats_));
+  rx_erased_.resize(lane_words * static_cast<std::size_t>(repeats_));
+  vote_one_.resize(words_per_rep_);
+  vote_erased_.resize(words_per_rep_);
+
+  erasures_.resize(static_cast<std::size_t>(lanes_) * static_cast<std::size_t>(n_));
+  er_count_.resize(static_cast<std::size_t>(lanes_));
+
+  rx_reset();
+}
+
+void EccPlane::encode(std::span<const std::uint8_t> messages) {
+  GKR_ASSERT(messages.size() == static_cast<std::size_t>(lanes_) * static_cast<std::size_t>(k_));
+
+  // Scatter the lane-major messages into the position-major message rows.
+  for (int i = 0; i < k_; ++i) {
+    std::uint8_t* row = outer_row(i);
+    for (int l = 0; l < lanes_; ++l) {
+      row[l] = messages[static_cast<std::size_t>(l) * static_cast<std::size_t>(k_) +
+                        static_cast<std::size_t>(i)];
+    }
+  }
+
+  // Batched systematic RS encode: the same synthetic division as
+  // ReedSolomon::encode, replayed across all lanes per step. The remainder
+  // rows live in a ring buffer — rotating the base index replaces the
+  // rem[j] ← rem[j−1] row shift, so each step costs nroots−1 fused
+  // multiply-accumulate rows and one multiply row, no copies.
+  const std::span<const std::uint8_t> g = rs_->genpoly();
+  std::memset(rem_.data(), 0, rem_.size());
+  int base = 0;
+  for (int i = 0; i < k_; ++i) {
+    const std::uint8_t* top = rem_row((base + nr_ - 1) % nr_);
+    const std::uint8_t* msg = outer_row(i);
+    for (std::size_t b = 0; b < stride_; ++b) fb_[b] = static_cast<std::uint8_t>(msg[b] ^ top[b]);
+    base = (base + nr_ - 1) % nr_;  // old rem[j−1] is now logical row j
+    for (int j = nr_ - 1; j > 0; --j) {
+      gf256_mul_add(rem_row((base + j) % nr_), fb_.data(), g[static_cast<std::size_t>(j)],
+                    stride_);
+    }
+    gf256_mul_scalar(rem_row(base), fb_.data(), g[0], stride_);
+  }
+  // Parity symbol at position k+j is the degree-(nroots−1−j) remainder row.
+  for (int j = 0; j < nr_; ++j) {
+    std::memcpy(outer_row(k_ + j), rem_row((base + nr_ - 1 - j) % nr_), stride_);
+  }
+
+  // Inner SECDED via the packed table, spliced into each lane's bit stream.
+  // All repetitions transmit the same bits, so one stream per lane suffices.
+  for (int l = 0; l < lanes_; ++l) {
+    std::uint64_t* seg = tx_.data() + static_cast<std::size_t>(l) * words_per_rep_;
+    std::memset(seg, 0, words_per_rep_ * sizeof(std::uint64_t));
+    for (int s = 0; s < n_; ++s) {
+      const std::uint64_t w =
+          secded_encode_u16(outer_[static_cast<std::size_t>(s) * stride_ +
+                                   static_cast<std::size_t>(l)]);
+      const std::size_t pos = static_cast<std::size_t>(s) * kSecdedBits;
+      const unsigned off = static_cast<unsigned>(pos & 63);
+      seg[pos >> 6] |= w << off;
+      if (off + kSecdedBits > 64) seg[(pos >> 6) + 1] |= w >> (64 - off);
+    }
+  }
+}
+
+int EccPlane::tx_bit(int lane, long round) const noexcept {
+  const std::size_t i = static_cast<std::size_t>(round) % bits_per_rep_;
+  const std::uint64_t* seg = tx_.data() + static_cast<std::size_t>(lane) * words_per_rep_;
+  return static_cast<int>((seg[i >> 6] >> (i & 63)) & 1u);
+}
+
+void EccPlane::rx_reset() noexcept {
+  std::memset(rx_ones_.data(), 0, rx_ones_.size() * sizeof(std::uint64_t));
+  std::memset(rx_erased_.data(), 0xff, rx_erased_.size() * sizeof(std::uint64_t));
+}
+
+void EccPlane::rx_set(int lane, long round, std::int8_t wire) noexcept {
+  const std::size_t rep = static_cast<std::size_t>(round) / bits_per_rep_;
+  const std::size_t i = static_cast<std::size_t>(round) % bits_per_rep_;
+  const std::size_t at =
+      (static_cast<std::size_t>(lane) * static_cast<std::size_t>(repeats_) + rep) *
+          words_per_rep_ +
+      (i >> 6);
+  const std::uint64_t bit = 1ull << (i & 63);
+  if (wire == kWireOne) {
+    rx_ones_[at] |= bit;
+    rx_erased_[at] &= ~bit;
+  } else if (wire == kWireZero) {
+    rx_ones_[at] &= ~bit;
+    rx_erased_[at] &= ~bit;
+  } else {
+    rx_ones_[at] &= ~bit;
+    rx_erased_[at] |= bit;
+  }
+}
+
+EccPlane::DecodeStats EccPlane::decode_all(std::span<std::uint8_t> messages_out,
+                                           std::span<std::uint8_t> ok) {
+  GKR_ASSERT(messages_out.size() ==
+             static_cast<std::size_t>(lanes_) * static_cast<std::size_t>(k_));
+  GKR_ASSERT(ok.size() == static_cast<std::size_t>(lanes_));
+  DecodeStats stats;
+
+  std::memset(outer_.data(), 0, outer_.size());  // erased symbols stay 0, like the legacy path
+  const int cnt_bits = std::bit_width(static_cast<unsigned>(repeats_));
+
+  for (int l = 0; l < lanes_; ++l) {
+    const std::uint64_t* lane_ones =
+        rx_ones_.data() +
+        static_cast<std::size_t>(l) * static_cast<std::size_t>(repeats_) * words_per_rep_;
+    const std::uint64_t* lane_erased =
+        rx_erased_.data() +
+        static_cast<std::size_t>(l) * static_cast<std::size_t>(repeats_) * words_per_rep_;
+
+    for (int r = 0; r < repeats_; ++r) {
+      const std::uint64_t* er = lane_erased + static_cast<std::size_t>(r) * words_per_rep_;
+      for (std::size_t w = 0; w < words_per_rep_; ++w) {
+        const std::uint64_t mask = w + 1 == words_per_rep_ ? tail_mask_ : ~0ull;
+        stats.bit_erasures += std::popcount(er[w] & mask);
+      }
+    }
+
+    // Majority vote across repetitions; ties (incl. all-erased) → erased.
+    const std::uint64_t* vote_one = lane_ones;
+    const std::uint64_t* vote_erased = lane_erased;
+    if (repeats_ > 1) {
+      for (std::size_t w = 0; w < words_per_rep_; ++w) {
+        // Bit-sliced ripple counters: c1 counts One votes, c0 counts Zero
+        // votes, per bit position, 64 positions at a time.
+        std::uint64_t c1[kMaxCountSlices] = {};
+        std::uint64_t c0[kMaxCountSlices] = {};
+        for (int r = 0; r < repeats_; ++r) {
+          const std::uint64_t o = lane_ones[static_cast<std::size_t>(r) * words_per_rep_ + w];
+          const std::uint64_t e = lane_erased[static_cast<std::size_t>(r) * words_per_rep_ + w];
+          std::uint64_t carry = o;
+          for (int i = 0; i < cnt_bits && carry; ++i) {
+            const std::uint64_t t = c1[i] & carry;
+            c1[i] ^= carry;
+            carry = t;
+          }
+          carry = ~o & ~e;
+          for (int i = 0; i < cnt_bits && carry; ++i) {
+            const std::uint64_t t = c0[i] & carry;
+            c0[i] ^= carry;
+            carry = t;
+          }
+        }
+        // Bitwise most-significant-difference comparison of the two counts.
+        std::uint64_t gt1 = 0, gt0 = 0, eq = ~0ull;
+        for (int i = cnt_bits - 1; i >= 0; --i) {
+          gt1 |= eq & c1[i] & ~c0[i];
+          gt0 |= eq & c0[i] & ~c1[i];
+          eq &= ~(c1[i] ^ c0[i]);
+        }
+        vote_one_[w] = gt1;
+        vote_erased_[w] = ~(gt1 | gt0);
+      }
+      vote_one = vote_one_.data();
+      vote_erased = vote_erased_.data();
+    }
+
+    // Splice out each 13-bit inner codeword and table-decode it.
+    int er_n = 0;
+    int* lane_erasures = erasures_.data() + static_cast<std::size_t>(l) * static_cast<std::size_t>(n_);
+    for (int s = 0; s < n_; ++s) {
+      const std::size_t pos = static_cast<std::size_t>(s) * kSecdedBits;
+      const unsigned off = static_cast<unsigned>(pos & 63);
+      std::uint64_t one_bits = vote_one[pos >> 6] >> off;
+      std::uint64_t erased_bits = vote_erased[pos >> 6] >> off;
+      if (off + kSecdedBits > 64) {
+        one_bits |= vote_one[(pos >> 6) + 1] << (64 - off);
+        erased_bits |= vote_erased[(pos >> 6) + 1] << (64 - off);
+      }
+      const auto word = static_cast<std::uint16_t>(one_bits & 0x1fffu);
+      const auto erased = static_cast<std::uint16_t>(erased_bits & 0x1fffu);
+      std::uint8_t sym = 0;
+      if (secded_decode_u16(word, erased, &sym)) {
+        outer_[static_cast<std::size_t>(s) * stride_ + static_cast<std::size_t>(l)] = sym;
+      } else {
+        lane_erasures[er_n++] = s;
+        ++stats.symbol_erasures;
+      }
+    }
+    er_count_[static_cast<std::size_t>(l)] = er_n;
+  }
+
+  // Batched outer syndromes: one SIMD Horner pass over the n symbol rows per
+  // root, all lanes in parallel; `dirty_` ORs the rows so clean lanes (zero
+  // syndromes, no erasures) skip the scalar Berlekamp–Massey tail entirely.
+  std::memset(dirty_.data(), 0, dirty_.size());
+  for (int j = 0; j < nr_; ++j) {
+    std::uint8_t* row = synd_row(j);
+    std::memset(row, 0, stride_);
+    const std::uint8_t x = GF256::pow_of_alpha(static_cast<unsigned>(j + 1));
+    for (int p = 0; p < n_; ++p) gf256_horner_step(row, outer_row(p), x, stride_);
+    for (std::size_t b = 0; b < stride_; ++b) dirty_[b] |= row[b];
+  }
+
+  for (int l = 0; l < lanes_; ++l) {
+    const int er_n = er_count_[static_cast<std::size_t>(l)];
+    bool good = true;
+    if (er_n != 0 || dirty_[static_cast<std::size_t>(l)] != 0) {
+      for (int j = 0; j < nr_; ++j) {
+        synd_gather_[j] = synd_[static_cast<std::size_t>(j) * stride_ + static_cast<std::size_t>(l)];
+      }
+      good = rs_->decode_lane(
+          outer_.data() + static_cast<std::size_t>(l), static_cast<std::ptrdiff_t>(stride_),
+          std::span<const int>(erasures_.data() + static_cast<std::size_t>(l) * static_cast<std::size_t>(n_),
+                               static_cast<std::size_t>(er_n)),
+          ws_, synd_gather_);
+    }
+    ok[static_cast<std::size_t>(l)] = good ? 1 : 0;
+    if (good) {
+      for (int b = 0; b < k_; ++b) {
+        messages_out[static_cast<std::size_t>(l) * static_cast<std::size_t>(k_) +
+                     static_cast<std::size_t>(b)] =
+            outer_[static_cast<std::size_t>(b) * stride_ + static_cast<std::size_t>(l)];
+      }
+    } else {
+      ++stats.rs_failures;
+    }
+  }
+  return stats;
+}
+
+}  // namespace gkr

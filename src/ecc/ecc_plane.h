@@ -1,0 +1,110 @@
+// Batched ECC plane (DESIGN.md §13): one flat SoA codec for all of a party's
+// link masters in the randomness-exchange phase (Algorithm 5).
+//
+// The legacy path encodes and decodes each link's concatenated codeword
+// independently — one vector<Poly> Reed–Solomon decode, one per-bit SECDED
+// loop and one ±1-cell majority vote per link. This plane lays all `lanes`
+// codewords out position-major ([symbol][lane], lane stride rounded up to 64)
+// and runs every stage batched:
+//   * outer RS encode — synthetic division replayed across all lanes at once
+//     with the gf256_mul_add / gf256_mul_scalar kernels (util/gf256_simd.h)
+//     over a ring buffer of remainder rows (no row moves);
+//   * outer RS syndromes — gf256_horner_step over contiguous lane rows, one
+//     pass per root; only lanes with a nonzero syndrome or an erasure enter
+//     the scalar Berlekamp–Massey tail (ReedSolomon::decode_lane, strided,
+//     allocation-free, syndromes injected);
+//   * inner SECDED — the packed-uint16 table codec (ecc/secded.h), 13-bit
+//     codewords spliced into / out of per-lane bit streams;
+//   * repetition voting — bit-sliced ripple-carry counters over 64-lane-bit
+//     words instead of a per-bit per-repetition tally.
+//
+// The wire contract is bit-identical to ConcatenatedCode::encode/decode:
+// identical transmitted bits, identical vote/erasure semantics, identical
+// decode successes and decoded bytes (pinned by tests/ecc_plane_test.cpp and
+// the golden adversary corpus with SchemeConfig::use_ecc_plane on and off).
+//
+// All buffers are sized at construction; encode(), tx_bit(), rx_set() and
+// decode_all() perform zero heap allocations (pinned by
+// tests/ecc_plane_alloc_test.cpp).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "ecc/concatenated_code.h"
+#include "ecc/reed_solomon.h"
+
+namespace gkr {
+
+class EccPlane {
+ public:
+  // Geometry is fixed per plane: `lanes` codewords of `code` (kept by
+  // reference — must outlive the plane).
+  EccPlane(const ConcatenatedCode& code, int lanes);
+
+  int lanes() const noexcept { return lanes_; }
+  // Wire bits per lane = rounds of the exchange phase.
+  long rounds() const noexcept { return static_cast<long>(code_->codeword_bits()); }
+
+  // Encode all lanes. `messages` is lane-major: lane l's message occupies
+  // bytes [l·message_bytes, (l+1)·message_bytes).
+  void encode(std::span<const std::uint8_t> messages);
+
+  // Transmitted wire bit (0/1) of `lane` at exchange round `round`.
+  int tx_bit(int lane, long round) const noexcept;
+
+  // Reset the receive state to all-erased (a round never written behaves as ∗,
+  // matching the legacy kWireErased-filled receive buffer).
+  void rx_reset() noexcept;
+
+  // Record the received wire value for (lane, round): kWireZero, kWireOne, or
+  // anything else = erased.
+  void rx_set(int lane, long round, std::int8_t wire) noexcept;
+
+  struct DecodeStats {
+    long bit_erasures = 0;     // erased wire bits across all lanes/repetitions
+    long symbol_erasures = 0;  // inner SECDED decode failures (symbol → ∗)
+    int rs_failures = 0;       // lanes whose outer decode failed
+  };
+
+  // Decode every lane. ok[lane] is set to 1 and the decoded message written
+  // to messages_out (lane-major, like encode) on success; ok[lane] = 0 and
+  // the lane's slice left untouched on outer-decode failure.
+  DecodeStats decode_all(std::span<std::uint8_t> messages_out, std::span<std::uint8_t> ok);
+
+ private:
+  std::uint8_t* outer_row(int s) noexcept { return outer_.data() + static_cast<std::size_t>(s) * stride_; }
+  std::uint8_t* rem_row(int phys) noexcept { return rem_.data() + static_cast<std::size_t>(phys) * stride_; }
+  std::uint8_t* synd_row(int j) noexcept { return synd_.data() + static_cast<std::size_t>(j) * stride_; }
+
+  const ConcatenatedCode* code_;
+  const ReedSolomon* rs_;
+  int lanes_;
+  int n_, k_, nr_;
+  int repeats_;
+  std::size_t bits_per_rep_;
+  std::size_t words_per_rep_;  // 64-bit words per lane per repetition
+  std::size_t stride_;         // lanes rounded up to 64 (SoA row length, bytes)
+  std::uint64_t tail_mask_;    // valid bits of the last word of a repetition
+
+  // Outer-code SoA planes, position-major.
+  std::vector<std::uint8_t> outer_;  // n rows × stride
+  std::vector<std::uint8_t> rem_;    // nroots rows × stride (encode ring buffer)
+  std::vector<std::uint8_t> fb_;     // stride (encode feedback row)
+  std::vector<std::uint8_t> synd_;   // nroots rows × stride
+  std::vector<std::uint8_t> dirty_;  // stride (OR of all syndrome rows)
+
+  // Bit-packed wire streams, lane-major. TX stores one repetition (all
+  // repetitions transmit identical bits); RX stores every repetition.
+  std::vector<std::uint64_t> tx_;                    // lanes × words_per_rep
+  std::vector<std::uint64_t> rx_ones_, rx_erased_;   // lanes × repeats × words_per_rep
+  std::vector<std::uint64_t> vote_one_, vote_erased_;  // words_per_rep (scratch)
+
+  std::vector<int> erasures_;  // lanes × n, per-lane erasure positions
+  std::vector<int> er_count_;  // lanes
+  std::uint8_t synd_gather_[255];
+  RsWorkspace ws_;
+};
+
+}  // namespace gkr

@@ -1,6 +1,7 @@
 #include "ecc/reed_solomon.h"
 
 #include <algorithm>
+#include <cstring>
 
 #include "util/assert.h"
 #include "util/gf256.h"
@@ -10,7 +11,7 @@ namespace {
 
 using Poly = std::vector<std::uint8_t>;  // poly[i] = coefficient of x^i
 
-// c(x) = a(x) * b(x)
+// c(x) = a(x) * b(x) — construction-time only (generator polynomial).
 Poly poly_mul(const Poly& a, const Poly& b) {
   Poly c(a.size() + b.size() - 1, 0);
   for (std::size_t i = 0; i < a.size(); ++i) {
@@ -22,33 +23,20 @@ Poly poly_mul(const Poly& a, const Poly& b) {
   return c;
 }
 
-// a(x) * b(x) mod x^m
-Poly poly_mul_mod(const Poly& a, const Poly& b, std::size_t m) {
-  Poly c = poly_mul(a, b);
-  if (c.size() > m) c.resize(m);
-  return c;
-}
-
-std::uint8_t poly_eval(const Poly& p, std::uint8_t x) {
+// Horner over a fixed-capacity coefficient array (index = degree). Trailing
+// zero coefficients are harmless: the accumulator passes through them.
+std::uint8_t poly_eval(const std::uint8_t* p, int n, std::uint8_t x) noexcept {
   std::uint8_t acc = 0;
-  for (std::size_t i = p.size(); i-- > 0;) {
+  for (int i = n; i-- > 0;) {
     acc = GF256::add(GF256::mul(acc, x), p[i]);
   }
   return acc;
 }
 
-// Formal derivative; in characteristic 2 the even-degree terms vanish.
-Poly poly_derivative(const Poly& p) {
-  if (p.size() <= 1) return Poly{0};
-  Poly d(p.size() - 1, 0);
-  for (std::size_t i = 1; i < p.size(); i += 2) d[i - 1] = p[i];
-  return d;
-}
-
-int poly_degree(const Poly& p) {
+int poly_degree(const std::uint8_t* p, int n) noexcept {
   int deg = 0;
-  for (std::size_t i = 0; i < p.size(); ++i) {
-    if (p[i] != 0) deg = static_cast<int>(i);
+  for (int i = 0; i < n; ++i) {
+    if (p[i] != 0) deg = i;
   }
   return deg;
 }
@@ -69,9 +57,10 @@ void ReedSolomon::encode(std::span<const std::uint8_t> msg, std::span<std::uint8
   GKR_ASSERT(static_cast<int>(out.size()) == n_);
   std::copy(msg.begin(), msg.end(), out.begin());
   // Parity = remainder of msg(x)·x^nroots divided by g(x) (synthetic division).
-  std::vector<std::uint8_t> rem(static_cast<std::size_t>(nroots()), 0);
+  std::uint8_t rem[255] = {};
   for (int i = 0; i < k_; ++i) {
-    const std::uint8_t feedback = GF256::add(msg[static_cast<std::size_t>(i)], rem.back());
+    const std::uint8_t feedback =
+        GF256::add(msg[static_cast<std::size_t>(i)], rem[static_cast<std::size_t>(nroots() - 1)]);
     for (int j = nroots() - 1; j > 0; --j) {
       rem[static_cast<std::size_t>(j)] =
           GF256::add(rem[static_cast<std::size_t>(j - 1)],
@@ -89,107 +78,149 @@ void ReedSolomon::encode(std::span<const std::uint8_t> msg, std::span<std::uint8
 bool ReedSolomon::decode(std::span<std::uint8_t> codeword,
                          std::span<const int> erasures) const {
   GKR_ASSERT(static_cast<int>(codeword.size()) == n_);
+  RsWorkspace ws;
+  return decode_lane(codeword.data(), 1, erasures, ws);
+}
+
+bool ReedSolomon::decode_lane(std::uint8_t* cw, std::ptrdiff_t stride,
+                              std::span<const int> erasures, RsWorkspace& ws,
+                              const std::uint8_t* synd_in) const {
   const int nr = nroots();
   const int e_count = static_cast<int>(erasures.size());
   if (e_count > nr) return false;
 
+  const auto at = [&](int pos) -> std::uint8_t& {
+    return cw[static_cast<std::ptrdiff_t>(pos) * stride];
+  };
   // Array position p (0 = first message symbol) holds the coefficient of
   // degree n-1-p: c(x) = Σ_p codeword[p]·x^{n-1-p}.
-  auto degree_of = [&](int pos) { return n_ - 1 - pos; };
+  const auto degree_of = [&](int pos) { return n_ - 1 - pos; };
 
   // Zero out erased symbols so their true value becomes the "error" value.
   for (int pos : erasures) {
     GKR_ASSERT(pos >= 0 && pos < n_);
-    codeword[static_cast<std::size_t>(pos)] = 0;
+    at(pos) = 0;
   }
 
-  auto syndromes_of = [&](std::span<const std::uint8_t> word) {
-    Poly synd(static_cast<std::size_t>(nr), 0);
+  const auto syndromes_into = [&](std::uint8_t* synd) {
     for (int j = 0; j < nr; ++j) {
       std::uint8_t s = 0;
       const std::uint8_t x = GF256::pow_of_alpha(static_cast<unsigned>(j + 1));
       for (int p = 0; p < n_; ++p) {
-        s = GF256::add(GF256::mul(s, x), word[static_cast<std::size_t>(p)]);  // Horner
+        s = GF256::add(GF256::mul(s, x), at(p));  // Horner
       }
-      synd[static_cast<std::size_t>(j)] = s;
+      synd[j] = s;
     }
-    return synd;
   };
 
-  const Poly synd = syndromes_of(codeword);
-  if (std::all_of(synd.begin(), synd.end(), [](std::uint8_t s) { return s == 0; })) {
+  if (synd_in != nullptr) {
+    std::memcpy(ws.synd, synd_in, static_cast<std::size_t>(nr));
+  } else {
+    syndromes_into(ws.synd);
+  }
+  const auto all_zero = [&](const std::uint8_t* s) {
+    for (int j = 0; j < nr; ++j) {
+      if (s[j] != 0) return false;
+    }
+    return true;
+  };
+  if (all_zero(ws.synd)) {
     return true;  // consistent codeword (erasures, if any, were genuinely 0)
   }
 
-  // Erasure locator Γ(x) = Π (1 − α^{deg} x).
-  Poly gamma{1};
+  // Erasure locator Γ(x) = Π (1 − α^{deg} x), built in place — multiplying by
+  // (1 + xk·x) appends one degree per erasure.
+  std::uint8_t* lambda = ws.lambda;
+  lambda[0] = 1;
+  int lambda_n = 1;
   for (int pos : erasures) {
     const std::uint8_t xk = GF256::pow_of_alpha(static_cast<unsigned>(degree_of(pos)));
-    gamma = poly_mul(gamma, Poly{1, xk});
+    lambda[lambda_n] = GF256::mul(xk, lambda[lambda_n - 1]);
+    for (int i = lambda_n - 1; i > 0; --i) {
+      lambda[i] = GF256::add(lambda[i], GF256::mul(xk, lambda[i - 1]));
+    }
+    ++lambda_n;
   }
 
   // Joint errors-and-erasures Berlekamp–Massey (Blahut): start from the
   // erasure locator and absorb the remaining syndromes. Yields the full
   // locator Φ with Γ | Φ.
-  Poly lambda = gamma;
-  Poly b = gamma;
+  std::memcpy(ws.b, lambda, static_cast<std::size_t>(lambda_n));
+  int b_n = lambda_n;
   int l = e_count;
   for (int r = e_count + 1; r <= nr; ++r) {
     std::uint8_t delta = 0;
-    for (std::size_t j = 0; j < lambda.size(); ++j) {
-      const int idx = r - 1 - static_cast<int>(j);
+    for (int j = 0; j < lambda_n; ++j) {
+      const int idx = r - 1 - j;
       if (idx >= 0 && idx < nr) {
-        delta = GF256::add(delta, GF256::mul(lambda[j], synd[static_cast<std::size_t>(idx)]));
+        delta = GF256::add(delta, GF256::mul(lambda[j], ws.synd[idx]));
       }
     }
     // x·B, used by both branches.
-    Poly xb(b.size() + 1, 0);
-    for (std::size_t j = 0; j < b.size(); ++j) xb[j + 1] = b[j];
+    ws.xb[0] = 0;
+    std::memcpy(ws.xb + 1, ws.b, static_cast<std::size_t>(b_n));
+    const int xb_n = b_n + 1;
     if (delta != 0 && 2 * l <= r - 1 + e_count) {
       // Length change: B ← Λ/Δ (pre-update Λ), Λ ← Λ − Δ·x·B.
-      Poly new_b(lambda.size());
-      for (std::size_t j = 0; j < lambda.size(); ++j) new_b[j] = GF256::div(lambda[j], delta);
-      Poly new_lambda = lambda;
-      if (new_lambda.size() < xb.size()) new_lambda.resize(xb.size(), 0);
-      for (std::size_t j = 0; j < xb.size(); ++j) {
-        new_lambda[j] = GF256::add(new_lambda[j], GF256::mul(delta, xb[j]));
+      for (int j = 0; j < lambda_n; ++j) ws.tmp[j] = GF256::div(lambda[j], delta);
+      const int tmp_n = lambda_n;
+      if (lambda_n < xb_n) {
+        std::memset(lambda + lambda_n, 0, static_cast<std::size_t>(xb_n - lambda_n));
+        lambda_n = xb_n;
       }
-      lambda = std::move(new_lambda);
-      b = std::move(new_b);
+      for (int j = 0; j < xb_n; ++j) {
+        lambda[j] = GF256::add(lambda[j], GF256::mul(delta, ws.xb[j]));
+      }
+      std::memcpy(ws.b, ws.tmp, static_cast<std::size_t>(tmp_n));
+      b_n = tmp_n;
       l = r - l + e_count;
     } else {
-      if (lambda.size() < xb.size()) lambda.resize(xb.size(), 0);
-      for (std::size_t j = 0; j < xb.size(); ++j) {
-        lambda[j] = GF256::add(lambda[j], GF256::mul(delta, xb[j]));
+      if (lambda_n < xb_n) {
+        std::memset(lambda + lambda_n, 0, static_cast<std::size_t>(xb_n - lambda_n));
+        lambda_n = xb_n;
       }
-      b = std::move(xb);
+      for (int j = 0; j < xb_n; ++j) {
+        lambda[j] = GF256::add(lambda[j], GF256::mul(delta, ws.xb[j]));
+      }
+      std::memcpy(ws.b, ws.xb, static_cast<std::size_t>(xb_n));
+      b_n = xb_n;
     }
   }
 
-  const int phi_deg = poly_degree(lambda);
+  const int phi_deg = poly_degree(lambda, lambda_n);
   if (2 * (phi_deg - e_count) + e_count > nr) return false;  // beyond capacity
 
   // Evaluator Ω = S·Φ mod x^nr; Forney with fcr = 1: e = Ω(X⁻¹)/Φ'(X⁻¹).
-  const Poly omega = poly_mul_mod(synd, lambda, static_cast<std::size_t>(nr));
-  const Poly phi_prime = poly_derivative(lambda);
+  for (int i = 0; i < nr; ++i) {
+    std::uint8_t acc = 0;
+    for (int j = 0; j <= i && j < nr; ++j) {
+      if (i - j < lambda_n) {
+        acc = GF256::add(acc, GF256::mul(ws.synd[j], lambda[i - j]));
+      }
+    }
+    ws.omega[i] = acc;
+  }
+  // Formal derivative; in characteristic 2 the even-degree terms vanish.
+  int phi_prime_n = std::max(1, lambda_n - 1);
+  std::memset(ws.phi_prime, 0, static_cast<std::size_t>(phi_prime_n));
+  for (int i = 1; i < lambda_n; i += 2) ws.phi_prime[i - 1] = lambda[i];
 
   int roots_found = 0;
   for (int p = 0; p < n_; ++p) {
     const unsigned deg = static_cast<unsigned>(degree_of(p));
     const std::uint8_t x_inv = GF256::pow_of_alpha(255u - (deg % 255u));
-    if (poly_eval(lambda, x_inv) != 0) continue;
+    if (poly_eval(lambda, lambda_n, x_inv) != 0) continue;
     ++roots_found;
-    const std::uint8_t den = poly_eval(phi_prime, x_inv);
+    const std::uint8_t den = poly_eval(ws.phi_prime, phi_prime_n, x_inv);
     if (den == 0) return false;
-    const std::uint8_t magnitude = GF256::div(poly_eval(omega, x_inv), den);
-    codeword[static_cast<std::size_t>(p)] =
-        GF256::add(codeword[static_cast<std::size_t>(p)], magnitude);
+    const std::uint8_t magnitude = GF256::div(poly_eval(ws.omega, nr, x_inv), den);
+    at(p) = GF256::add(at(p), magnitude);
   }
   if (roots_found != phi_deg) return false;  // locator roots outside the code
 
   // Verify the corrected word really is a codeword.
-  const Poly check = syndromes_of(codeword);
-  return std::all_of(check.begin(), check.end(), [](std::uint8_t s) { return s == 0; });
+  syndromes_into(ws.tmp);
+  return all_zero(ws.tmp);
 }
 
 }  // namespace gkr

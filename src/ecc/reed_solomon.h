@@ -8,13 +8,32 @@
 // Implementation: systematic encoding by synthetic division with the
 // generator polynomial g(x) = Π_{j=1..n−k} (x − α^j) (fcr = 1), decoding via
 // syndromes → erasure-modified Berlekamp–Massey → Chien search → Forney.
+//
+// All decode scratch lives in an RsWorkspace of fixed-capacity polynomial
+// buffers, so decoding performs zero heap allocations; decode_lane() further
+// operates on a strided codeword (one lane of a position-major SoA buffer)
+// with optionally precomputed syndromes — the entry point the batched ECC
+// plane (ecc/ecc_plane.h, DESIGN.md §13) drives after its SIMD syndrome pass.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 #include <span>
 #include <vector>
 
 namespace gkr {
+
+// Decode scratch: fixed-capacity polynomials (max code length 255). ~1.8 KB;
+// reusable across calls, nothing to reset between them.
+struct RsWorkspace {
+  std::uint8_t synd[255];
+  std::uint8_t lambda[256];
+  std::uint8_t b[256];
+  std::uint8_t xb[257];
+  std::uint8_t tmp[256];
+  std::uint8_t omega[255];
+  std::uint8_t phi_prime[255];
+};
 
 class ReedSolomon {
  public:
@@ -31,8 +50,19 @@ class ReedSolomon {
   // Decode in place. `erasures` lists positions in [0, n) whose symbols are
   // unreliable (their current value is ignored). Returns true and corrects
   // the codeword on success; returns false on decoding failure (codeword is
-  // left in an unspecified but valid state).
+  // left in an unspecified but valid state). Allocation-free.
   bool decode(std::span<std::uint8_t> codeword, std::span<const int> erasures) const;
+
+  // Same contract over a strided codeword: position p lives at cw[p·stride].
+  // `synd_in`, when non-null, supplies the nroots() syndromes S_1..S_nr of the
+  // received word (erased positions already zeroed) — the batched plane
+  // computes them with the SIMD Horner kernel and skips the scalar pass here.
+  bool decode_lane(std::uint8_t* cw, std::ptrdiff_t stride, std::span<const int> erasures,
+                   RsWorkspace& ws, const std::uint8_t* synd_in = nullptr) const;
+
+  // Generator polynomial, degree nroots, genpoly()[0] = constant term. The
+  // batched encoder replays the same synthetic division across lanes.
+  std::span<const std::uint8_t> genpoly() const noexcept { return genpoly_; }
 
  private:
   int n_;

@@ -1,6 +1,6 @@
 #include "ecc/secded.h"
 
-#include <array>
+#include <bit>
 
 #include "util/assert.h"
 
@@ -9,121 +9,132 @@ namespace {
 
 // Hamming(12,8): positions 1..12; parity bits at 1,2,4,8; data bits at
 // 3,5,6,7,9,10,11,12 (in that order, data bit 0 first).
-constexpr std::array<int, 8> kDataPos = {3, 5, 6, 7, 9, 10, 11, 12};
-constexpr std::array<int, 4> kParityPos = {1, 2, 4, 8};
+constexpr int kDataPos[8] = {3, 5, 6, 7, 9, 10, 11, 12};
+constexpr int kParityPos[4] = {1, 2, 4, 8};
 
-int hamming_syndrome(const std::array<int, kSecdedBits>& bits) {
+constexpr int hamming_syndrome(std::uint16_t w) noexcept {
   int syndrome = 0;
   for (int p = 1; p <= 12; ++p) {
-    if (bits[static_cast<std::size_t>(p)]) syndrome ^= p;
+    if (w & (1u << p)) syndrome ^= p;
   }
   return syndrome;
 }
 
-int overall_parity(const std::array<int, kSecdedBits>& bits) {
+constexpr int overall_parity(std::uint16_t w) noexcept {
   int par = 0;
-  for (int b : bits) par ^= b;
+  for (int b = 0; b < kSecdedBits; ++b) par ^= (w >> b) & 1;
   return par;
 }
 
-void encode_into(std::uint8_t data, std::array<int, kSecdedBits>& bits) {
-  bits.fill(0);
+constexpr std::uint8_t extract_data(std::uint16_t w) noexcept {
+  std::uint8_t data = 0;
   for (int i = 0; i < 8; ++i) {
-    bits[static_cast<std::size_t>(kDataPos[static_cast<std::size_t>(i)])] = (data >> i) & 1;
+    if (w & (1u << kDataPos[i])) data |= static_cast<std::uint8_t>(1u << i);
+  }
+  return data;
+}
+
+constexpr std::uint16_t encode_word(std::uint8_t data) noexcept {
+  std::uint16_t w = 0;
+  for (int i = 0; i < 8; ++i) {
+    if ((data >> i) & 1) w |= static_cast<std::uint16_t>(1u << kDataPos[i]);
   }
   // Set each Hamming parity so the syndrome becomes zero.
   for (int p : kParityPos) {
     int par = 0;
     for (int q = 1; q <= 12; ++q) {
-      if (q != p && (q & p) && bits[static_cast<std::size_t>(q)]) par ^= 1;
+      if (q != p && (q & p) && (w & (1u << q))) par ^= 1;
     }
-    bits[static_cast<std::size_t>(p)] = par;
+    if (par) w |= static_cast<std::uint16_t>(1u << p);
   }
   // Overall parity over bits 1..12 stored at position 0.
   int par = 0;
-  for (int q = 1; q <= 12; ++q) par ^= bits[static_cast<std::size_t>(q)];
-  bits[0] = par;
+  for (int q = 1; q <= 12; ++q) par ^= (w >> q) & 1;
+  if (par) w |= 1u;
+  return w;
 }
 
-std::uint8_t extract_data(const std::array<int, kSecdedBits>& bits) {
-  std::uint8_t data = 0;
-  for (int i = 0; i < 8; ++i) {
-    if (bits[static_cast<std::size_t>(kDataPos[static_cast<std::size_t>(i)])]) {
-      data |= static_cast<std::uint8_t>(1u << i);
-    }
-  }
-  return data;
-}
+// Decode-table entry: bits 0..7 decoded data, bit 8 decode-ok (erasure-free
+// decode incl. single-bit correction), bit 9 exact-codeword (zero syndrome
+// AND even parity — what the single-erasure fill-in probe tests).
+constexpr std::uint16_t kOk = 1u << 8;
+constexpr std::uint16_t kValid = 1u << 9;
 
-// Decode an erasure-free word. Returns false on detected double error.
-bool decode_exact(std::array<int, kSecdedBits> bits, std::uint8_t* data) {
-  const int syndrome = hamming_syndrome(bits);
-  const int parity = overall_parity(bits);
-  if (syndrome == 0 && parity == 0) {
-    *data = extract_data(bits);
-    return true;
-  }
-  if (syndrome == 0 && parity == 1) {
-    // Overall-parity bit itself flipped; data unaffected.
-    *data = extract_data(bits);
-    return true;
+constexpr std::uint16_t decode_word(std::uint16_t w) noexcept {
+  const int syndrome = hamming_syndrome(w);
+  const int parity = overall_parity(w);
+  std::uint16_t entry = 0;
+  if (syndrome == 0 && parity == 0) entry |= kValid;
+  if (syndrome == 0) {
+    // Clean, or only the overall-parity bit flipped; data unaffected.
+    return static_cast<std::uint16_t>(entry | kOk | extract_data(w));
   }
   if (parity == 1) {
     // Odd number of flips with nonzero syndrome: assume single, correct it.
     // A syndrome that is no valid bit position (13..15) can only come from
     // ≥ 3 flips — detected, not correctable.
-    if (syndrome >= kSecdedBits) return false;
-    bits[static_cast<std::size_t>(syndrome)] ^= 1;
-    *data = extract_data(bits);
-    return true;
+    if (syndrome >= kSecdedBits) return entry;
+    return static_cast<std::uint16_t>(
+        entry | kOk | extract_data(static_cast<std::uint16_t>(w ^ (1u << syndrome))));
   }
-  return false;  // syndrome != 0, parity even ⇒ double error detected
+  return entry;  // syndrome != 0, parity even ⇒ double error detected
 }
+
+struct Tables {
+  std::uint16_t enc[256] = {};
+  std::uint16_t dec[1u << kSecdedBits] = {};
+  constexpr Tables() noexcept {
+    for (unsigned b = 0; b < 256; ++b) enc[b] = encode_word(static_cast<std::uint8_t>(b));
+    for (unsigned w = 0; w < (1u << kSecdedBits); ++w) {
+      dec[w] = decode_word(static_cast<std::uint16_t>(w));
+    }
+  }
+};
+inline constexpr Tables kTables{};
 
 }  // namespace
 
+std::uint16_t secded_encode_u16(std::uint8_t data) noexcept { return kTables.enc[data]; }
+
+bool secded_decode_u16(std::uint16_t word, std::uint16_t erased, std::uint8_t* data) noexcept {
+  if (erased == 0) {
+    const std::uint16_t e = kTables.dec[word];
+    if (!(e & kOk)) return false;
+    *data = static_cast<std::uint8_t>(e);
+    return true;
+  }
+  if (std::popcount(erased) == 1) {
+    // Try both fill-ins; accept iff exactly one is a valid codeword
+    // (erasure + no flips). Ambiguity or residual errors ⇒ symbol erasure.
+    const std::uint16_t e0 = kTables.dec[word];
+    const std::uint16_t e1 = kTables.dec[static_cast<std::uint16_t>(word | erased)];
+    if (((e0 ^ e1) & kValid) == 0) return false;
+    *data = static_cast<std::uint8_t>((e0 & kValid) ? e0 : e1);
+    return true;
+  }
+  return false;  // 2+ erasures: give up on the symbol
+}
+
 void secded_encode(std::uint8_t data, std::span<std::int8_t> out) {
   GKR_ASSERT(out.size() == static_cast<std::size_t>(kSecdedBits));
-  std::array<int, kSecdedBits> bits{};
-  encode_into(data, bits);
+  const std::uint16_t w = kTables.enc[data];
   for (int i = 0; i < kSecdedBits; ++i) {
-    out[static_cast<std::size_t>(i)] = static_cast<std::int8_t>(bits[static_cast<std::size_t>(i)]);
+    out[static_cast<std::size_t>(i)] = static_cast<std::int8_t>((w >> i) & 1);
   }
 }
 
 bool secded_decode(std::span<const std::int8_t> wire, std::uint8_t* data) {
   GKR_ASSERT(wire.size() == static_cast<std::size_t>(kSecdedBits));
-  int n_erased = 0;
-  int erased_pos = -1;
-  std::array<int, kSecdedBits> bits{};
+  std::uint16_t word = 0, erased = 0;
   for (int i = 0; i < kSecdedBits; ++i) {
     const std::int8_t w = wire[static_cast<std::size_t>(i)];
     if (w == kWireErased) {
-      ++n_erased;
-      erased_pos = i;
-      bits[static_cast<std::size_t>(i)] = 0;
-    } else {
-      bits[static_cast<std::size_t>(i)] = w != 0;
+      erased |= static_cast<std::uint16_t>(1u << i);
+    } else if (w != 0) {
+      word |= static_cast<std::uint16_t>(1u << i);
     }
   }
-  if (n_erased == 0) return decode_exact(bits, data);
-  if (n_erased == 1) {
-    // Try both fill-ins; accept iff exactly one is a valid codeword
-    // (erasure + no flips). Ambiguity or residual errors ⇒ symbol erasure.
-    std::uint8_t cand[2];
-    bool ok[2];
-    for (int v = 0; v < 2; ++v) {
-      bits[static_cast<std::size_t>(erased_pos)] = v;
-      ok[v] = hamming_syndrome(bits) == 0 && overall_parity(bits) == 0;
-      cand[v] = extract_data(bits);
-    }
-    if (ok[0] != ok[1]) {
-      *data = ok[0] ? cand[0] : cand[1];
-      return true;
-    }
-    return false;
-  }
-  return false;  // 2+ erasures: give up on the symbol
+  return secded_decode_u16(word, erased, data);
 }
 
 }  // namespace gkr

@@ -6,6 +6,15 @@
 // (received ∗) as an erasure it tries to resolve by re-encoding both
 // fill-ins. The symbol-level error/erasure stream then feeds the outer
 // Reed–Solomon decoder.
+//
+// Two granularities share one semantics (DESIGN.md §13):
+//   * the packed form — the 13-bit codeword in the low bits of a uint16_t
+//     (bit i = wire bit i, bit 0 = overall parity) — encodes by a 256-entry
+//     table and decodes by one 8192-entry table lookup instead of per-bit
+//     syndrome loops; erased positions arrive as a bit mask. This is what the
+//     batched ECC plane (ecc/ecc_plane.h) runs on.
+//   * the span form over ±1/∗ wire cells, kept for the legacy scalar path;
+//     it packs and delegates to the tables, so the two forms cannot drift.
 #pragma once
 
 #include <cstdint>
@@ -20,11 +29,18 @@ inline constexpr std::int8_t kWireZero = 0;
 inline constexpr std::int8_t kWireOne = 1;
 inline constexpr std::int8_t kWireErased = -1;
 
-// Encode one byte into 13 bits (out[0..13)).
+// Encode one byte into the low 13 bits (bit i = wire bit i).
+std::uint16_t secded_encode_u16(std::uint8_t data) noexcept;
+
+// Decode a packed word. `erased` marks unreliable bit positions; their bits
+// in `word` must be 0. Returns true and sets *data on success; returns false
+// (symbol erasure) when the word is ambiguous or detectably double-corrupted.
+bool secded_decode_u16(std::uint16_t word, std::uint16_t erased, std::uint8_t* data) noexcept;
+
+// Encode one byte into 13 wire cells (out[0..13)).
 void secded_encode(std::uint8_t data, std::span<std::int8_t> out);
 
-// Decode 13 wire bits. Returns true and sets *data on success; returns false
-// (symbol erasure) when the word is ambiguous or detectably double-corrupted.
+// Decode 13 wire cells. Same contract as secded_decode_u16.
 bool secded_decode(std::span<const std::int8_t> wire, std::uint8_t* data);
 
 }  // namespace gkr

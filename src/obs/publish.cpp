@@ -54,6 +54,9 @@ void publish_result(Registry& reg, const SimulationResult& r) {
   add_counter(reg, "scheme/rewind_truncations", r.rewind_truncations);
   add_counter(reg, "scheme/rewinds_sent", r.rewinds_sent);
   add_counter(reg, "scheme/exchange_failures", r.exchange_failures);
+  add_counter(reg, "ecc/bit_erasures", r.ecc_bit_erasures);
+  add_counter(reg, "ecc/symbol_erasures", r.ecc_symbol_erasures);
+  add_counter(reg, "ecc/rs_failures", r.ecc_rs_failures);
   add_counter(reg, "replay/rebuilds", r.replayer_rebuilds);
   add_counter(reg, "replay/replayed_chunks", r.replayed_chunks);
 }

@@ -3,20 +3,73 @@
 //
 // Backing store for the Reed–Solomon code used by the randomness-exchange
 // phase (Algorithm 5 / Theorem 2.1 of the paper).
+//
+// The tables are constexpr — built at compile time and placed in .rodata — so
+// every operation is straight table indexing with no first-use init guard on
+// the hot path (the lazy function-local-static build this replaced cost a
+// guard branch per call). The batched SIMD kernels layered on top live in
+// util/gf256_simd.h.
 #pragma once
 
 #include <cstdint>
 
+#include "util/assert.h"
+
 namespace gkr {
+
+namespace gf256_detail {
+
+struct Tables {
+  std::uint8_t exp[512] = {};  // exp[i] = alpha^i, doubled to avoid a mod in mul
+  std::uint8_t log[256] = {};  // log[a] for a != 0
+
+  constexpr Tables() noexcept {
+    unsigned x = 1;
+    for (unsigned i = 0; i < 255; ++i) {
+      exp[i] = static_cast<std::uint8_t>(x);
+      log[x] = static_cast<std::uint8_t>(i);
+      x <<= 1;
+      if (x & 0x100) x ^= 0x11d;
+    }
+    for (unsigned i = 255; i < 512; ++i) exp[i] = exp[i - 255];
+    log[0] = 0;  // unused; guarded by assertions
+  }
+};
+
+inline constexpr Tables kTables{};
+
+}  // namespace gf256_detail
 
 class GF256 {
  public:
-  // Tables are built once, on first use (constant thereafter).
-  static std::uint8_t mul(std::uint8_t a, std::uint8_t b) noexcept;
-  static std::uint8_t div(std::uint8_t a, std::uint8_t b) noexcept;  // b != 0
-  static std::uint8_t inv(std::uint8_t a) noexcept;                  // a != 0
-  static std::uint8_t pow_of_alpha(unsigned e) noexcept;  // alpha^e, alpha = 0x02
-  static unsigned log_of(std::uint8_t a) noexcept;        // a != 0
+  static constexpr std::uint8_t mul(std::uint8_t a, std::uint8_t b) noexcept {
+    if (a == 0 || b == 0) return 0;
+    const auto& t = gf256_detail::kTables;
+    return t.exp[static_cast<unsigned>(t.log[a]) + t.log[b]];
+  }
+
+  static constexpr std::uint8_t inv(std::uint8_t a) noexcept {
+    GKR_ASSERT(a != 0);
+    const auto& t = gf256_detail::kTables;
+    return t.exp[255u - t.log[a]];
+  }
+
+  static constexpr std::uint8_t div(std::uint8_t a, std::uint8_t b) noexcept {
+    GKR_ASSERT(b != 0);
+    if (a == 0) return 0;
+    const auto& t = gf256_detail::kTables;
+    return t.exp[static_cast<unsigned>(t.log[a]) + 255u - t.log[b]];
+  }
+
+  // alpha^e, alpha = 0x02.
+  static constexpr std::uint8_t pow_of_alpha(unsigned e) noexcept {
+    return gf256_detail::kTables.exp[e % 255];
+  }
+
+  static constexpr unsigned log_of(std::uint8_t a) noexcept {
+    GKR_ASSERT(a != 0);
+    return gf256_detail::kTables.log[a];
+  }
 
   static constexpr std::uint8_t add(std::uint8_t a, std::uint8_t b) noexcept {
     return a ^ b;

@@ -1,0 +1,255 @@
+#include "util/gf256_simd.h"
+
+#include "util/gf256.h"
+
+#if !defined(GKR_FORCE_PORTABLE_GF256) && (defined(__x86_64__) || defined(__i386__)) && \
+    (defined(__GNUC__) || defined(__clang__))
+#define GKR_GF256_X86_KERNELS 1
+#include <immintrin.h>
+#else
+#define GKR_GF256_X86_KERNELS 0
+#endif
+
+namespace gkr {
+namespace {
+
+// Full 256×256 product table for the portable path: one lookup per lane, no
+// zero-branch and no log/exp addition on the inner loop. 64 KB, .rodata.
+struct MulTable {
+  std::uint8_t row[256][256] = {};
+  constexpr MulTable() noexcept {
+    for (unsigned a = 0; a < 256; ++a) {
+      for (unsigned b = 0; b < 256; ++b) {
+        row[a][b] = GF256::mul(static_cast<std::uint8_t>(a), static_cast<std::uint8_t>(b));
+      }
+    }
+  }
+};
+inline constexpr MulTable kMul{};
+
+// Split-nibble shuffle tables: lo[c][i] = c·i, hi[c][i] = c·(i<<4). 8 KB.
+struct NibTables {
+  std::uint8_t lo[256][16] = {};
+  std::uint8_t hi[256][16] = {};
+  constexpr NibTables() noexcept {
+    for (unsigned c = 0; c < 256; ++c) {
+      for (unsigned i = 0; i < 16; ++i) {
+        lo[c][i] = GF256::mul(static_cast<std::uint8_t>(c), static_cast<std::uint8_t>(i));
+        hi[c][i] = GF256::mul(static_cast<std::uint8_t>(c), static_cast<std::uint8_t>(i << 4));
+      }
+    }
+  }
+};
+inline constexpr NibTables kNib{};
+
+// ------------------------------------------------------------ portable paths
+
+void mul_add_portable(std::uint8_t* dst, const std::uint8_t* src, std::uint8_t c,
+                      std::size_t len) noexcept {
+  const std::uint8_t* r = kMul.row[c];
+  for (std::size_t i = 0; i < len; ++i) dst[i] ^= r[src[i]];
+}
+
+void mul_scalar_portable(std::uint8_t* dst, const std::uint8_t* src, std::uint8_t c,
+                         std::size_t len) noexcept {
+  const std::uint8_t* r = kMul.row[c];
+  for (std::size_t i = 0; i < len; ++i) dst[i] = r[src[i]];
+}
+
+void horner_step_portable(std::uint8_t* acc, const std::uint8_t* in, std::uint8_t x,
+                          std::size_t len) noexcept {
+  const std::uint8_t* r = kMul.row[x];
+  for (std::size_t i = 0; i < len; ++i) acc[i] = static_cast<std::uint8_t>(r[acc[i]] ^ in[i]);
+}
+
+#if GKR_GF256_X86_KERNELS
+
+// ------------------------------------------------------------- SSSE3 kernels
+
+__attribute__((target("ssse3"))) inline __m128i mul128(__m128i v, __m128i tl, __m128i th,
+                                                       __m128i lomask) noexcept {
+  const __m128i lo = _mm_and_si128(v, lomask);
+  const __m128i hi = _mm_and_si128(_mm_srli_epi16(v, 4), lomask);
+  return _mm_xor_si128(_mm_shuffle_epi8(tl, lo), _mm_shuffle_epi8(th, hi));
+}
+
+__attribute__((target("ssse3"))) void mul_add_ssse3(std::uint8_t* dst, const std::uint8_t* src,
+                                                    std::uint8_t c, std::size_t len) noexcept {
+  const __m128i tl = _mm_loadu_si128(reinterpret_cast<const __m128i*>(kNib.lo[c]));
+  const __m128i th = _mm_loadu_si128(reinterpret_cast<const __m128i*>(kNib.hi[c]));
+  const __m128i lomask = _mm_set1_epi8(0x0f);
+  std::size_t i = 0;
+  for (; i + 16 <= len; i += 16) {
+    const __m128i v = _mm_loadu_si128(reinterpret_cast<const __m128i*>(src + i));
+    const __m128i d = _mm_loadu_si128(reinterpret_cast<const __m128i*>(dst + i));
+    _mm_storeu_si128(reinterpret_cast<__m128i*>(dst + i),
+                     _mm_xor_si128(d, mul128(v, tl, th, lomask)));
+  }
+  for (; i < len; ++i) dst[i] ^= kMul.row[c][src[i]];
+}
+
+__attribute__((target("ssse3"))) void mul_scalar_ssse3(std::uint8_t* dst, const std::uint8_t* src,
+                                                       std::uint8_t c, std::size_t len) noexcept {
+  const __m128i tl = _mm_loadu_si128(reinterpret_cast<const __m128i*>(kNib.lo[c]));
+  const __m128i th = _mm_loadu_si128(reinterpret_cast<const __m128i*>(kNib.hi[c]));
+  const __m128i lomask = _mm_set1_epi8(0x0f);
+  std::size_t i = 0;
+  for (; i + 16 <= len; i += 16) {
+    const __m128i v = _mm_loadu_si128(reinterpret_cast<const __m128i*>(src + i));
+    _mm_storeu_si128(reinterpret_cast<__m128i*>(dst + i), mul128(v, tl, th, lomask));
+  }
+  for (; i < len; ++i) dst[i] = kMul.row[c][src[i]];
+}
+
+__attribute__((target("ssse3"))) void horner_step_ssse3(std::uint8_t* acc, const std::uint8_t* in,
+                                                        std::uint8_t x, std::size_t len) noexcept {
+  const __m128i tl = _mm_loadu_si128(reinterpret_cast<const __m128i*>(kNib.lo[x]));
+  const __m128i th = _mm_loadu_si128(reinterpret_cast<const __m128i*>(kNib.hi[x]));
+  const __m128i lomask = _mm_set1_epi8(0x0f);
+  std::size_t i = 0;
+  for (; i + 16 <= len; i += 16) {
+    const __m128i a = _mm_loadu_si128(reinterpret_cast<const __m128i*>(acc + i));
+    const __m128i w = _mm_loadu_si128(reinterpret_cast<const __m128i*>(in + i));
+    _mm_storeu_si128(reinterpret_cast<__m128i*>(acc + i),
+                     _mm_xor_si128(mul128(a, tl, th, lomask), w));
+  }
+  for (; i < len; ++i) acc[i] = static_cast<std::uint8_t>(kMul.row[x][acc[i]] ^ in[i]);
+}
+
+// -------------------------------------------------------------- AVX2 kernels
+
+__attribute__((target("avx2"))) inline __m256i mul256(__m256i v, __m256i tl, __m256i th,
+                                                      __m256i lomask) noexcept {
+  const __m256i lo = _mm256_and_si256(v, lomask);
+  const __m256i hi = _mm256_and_si256(_mm256_srli_epi16(v, 4), lomask);
+  return _mm256_xor_si256(_mm256_shuffle_epi8(tl, lo), _mm256_shuffle_epi8(th, hi));
+}
+
+__attribute__((target("avx2"))) void mul_add_avx2(std::uint8_t* dst, const std::uint8_t* src,
+                                                  std::uint8_t c, std::size_t len) noexcept {
+  const __m256i tl = _mm256_broadcastsi128_si256(
+      _mm_loadu_si128(reinterpret_cast<const __m128i*>(kNib.lo[c])));
+  const __m256i th = _mm256_broadcastsi128_si256(
+      _mm_loadu_si128(reinterpret_cast<const __m128i*>(kNib.hi[c])));
+  const __m256i lomask = _mm256_set1_epi8(0x0f);
+  std::size_t i = 0;
+  for (; i + 32 <= len; i += 32) {
+    const __m256i v = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(src + i));
+    const __m256i d = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(dst + i));
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(dst + i),
+                        _mm256_xor_si256(d, mul256(v, tl, th, lomask)));
+  }
+  for (; i < len; ++i) dst[i] ^= kMul.row[c][src[i]];
+}
+
+__attribute__((target("avx2"))) void mul_scalar_avx2(std::uint8_t* dst, const std::uint8_t* src,
+                                                     std::uint8_t c, std::size_t len) noexcept {
+  const __m256i tl = _mm256_broadcastsi128_si256(
+      _mm_loadu_si128(reinterpret_cast<const __m128i*>(kNib.lo[c])));
+  const __m256i th = _mm256_broadcastsi128_si256(
+      _mm_loadu_si128(reinterpret_cast<const __m128i*>(kNib.hi[c])));
+  const __m256i lomask = _mm256_set1_epi8(0x0f);
+  std::size_t i = 0;
+  for (; i + 32 <= len; i += 32) {
+    const __m256i v = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(src + i));
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(dst + i), mul256(v, tl, th, lomask));
+  }
+  for (; i < len; ++i) dst[i] = kMul.row[c][src[i]];
+}
+
+__attribute__((target("avx2"))) void horner_step_avx2(std::uint8_t* acc, const std::uint8_t* in,
+                                                      std::uint8_t x, std::size_t len) noexcept {
+  const __m256i tl = _mm256_broadcastsi128_si256(
+      _mm_loadu_si128(reinterpret_cast<const __m128i*>(kNib.lo[x])));
+  const __m256i th = _mm256_broadcastsi128_si256(
+      _mm_loadu_si128(reinterpret_cast<const __m128i*>(kNib.hi[x])));
+  const __m256i lomask = _mm256_set1_epi8(0x0f);
+  std::size_t i = 0;
+  for (; i + 32 <= len; i += 32) {
+    const __m256i a = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(acc + i));
+    const __m256i w = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(in + i));
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(acc + i),
+                        _mm256_xor_si256(mul256(a, tl, th, lomask), w));
+  }
+  for (; i < len; ++i) acc[i] = static_cast<std::uint8_t>(kMul.row[x][acc[i]] ^ in[i]);
+}
+
+#endif  // GKR_GF256_X86_KERNELS
+
+// ----------------------------------------------------------------- dispatch
+
+using MulAddFn = void (*)(std::uint8_t*, const std::uint8_t*, std::uint8_t,
+                          std::size_t) noexcept;
+using HornerFn = void (*)(std::uint8_t*, const std::uint8_t*, std::uint8_t,
+                          std::size_t) noexcept;
+
+// constinit to portable, upgraded by one dynamic initializer at load: any
+// caller — even one running during static init before the upgrade — gets a
+// correct (if slower) kernel. No per-call guard branch.
+constinit MulAddFn g_mul_add = &mul_add_portable;
+constinit MulAddFn g_mul_scalar = &mul_scalar_portable;
+constinit HornerFn g_horner = &horner_step_portable;
+constinit Gf256Kernel g_level = Gf256Kernel::Portable;
+
+#if GKR_GF256_X86_KERNELS
+const bool g_dispatch_resolved = [] {
+  if (__builtin_cpu_supports("avx2")) {
+    g_mul_add = &mul_add_avx2;
+    g_mul_scalar = &mul_scalar_avx2;
+    g_horner = &horner_step_avx2;
+    g_level = Gf256Kernel::Avx2;
+  } else if (__builtin_cpu_supports("ssse3")) {
+    g_mul_add = &mul_add_ssse3;
+    g_mul_scalar = &mul_scalar_ssse3;
+    g_horner = &horner_step_ssse3;
+    g_level = Gf256Kernel::Ssse3;
+  }
+  return true;
+}();
+#endif
+
+}  // namespace
+
+Gf256Kernel gf256_kernel_level() noexcept { return g_level; }
+
+bool gf256_force_portable() noexcept {
+#ifdef GKR_FORCE_PORTABLE_GF256
+  return true;
+#else
+  return false;
+#endif
+}
+
+void gf256_mul_add(std::uint8_t* dst, const std::uint8_t* src, std::uint8_t c,
+                   std::size_t len) noexcept {
+  if (c == 0) return;  // c·src ≡ 0: nothing to accumulate
+  g_mul_add(dst, src, c, len);
+}
+
+void gf256_mul_scalar(std::uint8_t* dst, const std::uint8_t* src, std::uint8_t c,
+                      std::size_t len) noexcept {
+  g_mul_scalar(dst, src, c, len);
+}
+
+void gf256_horner_step(std::uint8_t* acc, const std::uint8_t* in, std::uint8_t x,
+                       std::size_t len) noexcept {
+  g_horner(acc, in, x, len);
+}
+
+void gf256_mul_add_portable(std::uint8_t* dst, const std::uint8_t* src, std::uint8_t c,
+                            std::size_t len) noexcept {
+  if (c == 0) return;
+  mul_add_portable(dst, src, c, len);
+}
+
+void gf256_mul_scalar_portable(std::uint8_t* dst, const std::uint8_t* src, std::uint8_t c,
+                               std::size_t len) noexcept {
+  mul_scalar_portable(dst, src, c, len);
+}
+
+void gf256_horner_step_portable(std::uint8_t* acc, const std::uint8_t* in, std::uint8_t x,
+                                std::size_t len) noexcept {
+  horner_step_portable(acc, in, x, len);
+}
+
+}  // namespace gkr

@@ -1,0 +1,69 @@
+// Batched GF(2^8) kernels: vector·scalar multiply(-accumulate) over
+// contiguous byte lanes, runtime-dispatched between a portable table path and
+// SSSE3/AVX2 split-nibble shuffle-LUT implementations (DESIGN.md §13).
+//
+// The trick (the `rs64` lineage — runtime ALU/SSSE3/AVX2 RS dispatch): for a
+// fixed scalar c, the product c·b splits over the nibbles of b,
+//   c·b = c·(b & 0x0f)  ^  c·(b >> 4 << 4),
+// so two 16-entry lookup tables (one per nibble) give the full product, and
+// PSHUFB/VPSHUFB applies a 16-entry table to 16/32 lanes per instruction. The
+// per-scalar tables for all 256 scalars are precomputed constexpr (8 KB).
+//
+// Dispatch: the strongest supported level is resolved once at load via
+// __builtin_cpu_supports; until that initializer runs (and on non-x86 or
+// -DGKR_FORCE_PORTABLE_GF256=ON builds) the portable path is active, so the
+// entry points are always callable. The *_portable variants are exported
+// directly so both paths can be cross-checked inside one binary, mirroring
+// gf64_mul_portable (util/gf2_64.h).
+//
+// All kernels tolerate len == 0 and any alignment; `dst` and `src`/`in` must
+// not partially overlap (dst == src is allowed for gf256_mul_scalar).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace gkr {
+
+enum class Gf256Kernel : int { Portable = 0, Ssse3 = 1, Avx2 = 2 };
+
+// The level the dispatched entry points below are currently bound to.
+Gf256Kernel gf256_kernel_level() noexcept;
+
+// True when -DGKR_FORCE_PORTABLE_GF256=ON pinned the portable path.
+bool gf256_force_portable() noexcept;
+
+inline const char* gf256_kernel_name(Gf256Kernel k) noexcept {
+  switch (k) {
+    case Gf256Kernel::Portable:
+      return "portable";
+    case Gf256Kernel::Ssse3:
+      return "ssse3";
+    case Gf256Kernel::Avx2:
+      return "avx2";
+  }
+  return "?";
+}
+
+// dst[i] ^= c · src[i]  — the RS synthetic-division / parity MAC.
+void gf256_mul_add(std::uint8_t* dst, const std::uint8_t* src, std::uint8_t c,
+                   std::size_t len) noexcept;
+
+// dst[i] = c · src[i].
+void gf256_mul_scalar(std::uint8_t* dst, const std::uint8_t* src, std::uint8_t c,
+                      std::size_t len) noexcept;
+
+// acc[i] = acc[i]·x ^ in[i]  — one batched Horner step (syndrome kernels).
+void gf256_horner_step(std::uint8_t* acc, const std::uint8_t* in, std::uint8_t x,
+                       std::size_t len) noexcept;
+
+// Always-callable portable references (bit-identical contract with the
+// dispatched paths; pinned by tests/ecc_plane_test.cpp).
+void gf256_mul_add_portable(std::uint8_t* dst, const std::uint8_t* src, std::uint8_t c,
+                            std::size_t len) noexcept;
+void gf256_mul_scalar_portable(std::uint8_t* dst, const std::uint8_t* src, std::uint8_t c,
+                               std::size_t len) noexcept;
+void gf256_horner_step_portable(std::uint8_t* acc, const std::uint8_t* in, std::uint8_t x,
+                                std::size_t len) noexcept;
+
+}  // namespace gkr

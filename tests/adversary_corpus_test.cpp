@@ -109,7 +109,7 @@ std::shared_ptr<Topology> build_topology(const std::string& name) {
 // buffers; it takes no part in simulation state — DESIGN.md §12).
 void run_corpus(int replay_checkpoint_interval,
                 obs::ObsLevel observability = obs::ObsLevel::Off,
-                obs::Tracer* tracer = nullptr) {
+                obs::Tracer* tracer = nullptr, bool use_ecc_plane = true) {
   std::string replacement;  // printed wholesale on any mismatch
   bool mismatch = false;
   for (const CorpusEntry& entry : kCorpus) {
@@ -120,6 +120,7 @@ void run_corpus(int replay_checkpoint_interval,
     w.cfg.replay_checkpoint_interval = replay_checkpoint_interval;
     w.cfg.observability = observability;
     w.cfg.tracer = tracer;
+    w.cfg.use_ecc_plane = use_ecc_plane;
     const sim::NoiseFactory factory = sim::noise_factory(entry.spec);
     Rng noise_rng(7);
     sim::BuiltNoise noise = factory.build(w, /*mu=*/0.004, noise_rng);
@@ -145,6 +146,14 @@ TEST(AdversaryCorpus, GoldenDigestsAreBitStable) {
 }
 
 TEST(AdversaryCorpus, GoldenDigestsAreBitStableWithoutCheckpoints) { run_corpus(0); }
+
+// The batched ECC plane (DESIGN.md §13) is a cost optimization of the
+// randomness exchange, never a behavior change: the same 20 digests with the
+// legacy per-link ConcatenatedCode path forced.
+TEST(AdversaryCorpus, GoldenDigestsAreBitStableWithoutEccPlane) {
+  run_corpus(SchemeConfig{}.replay_checkpoint_interval, obs::ObsLevel::Off, nullptr,
+             /*use_ecc_plane=*/false);
+}
 
 // The observability plane must be a pure observer: the same 20 digests at
 // ObsLevel::Full with spans flowing into a live tracer. A divergence here

@@ -1,0 +1,101 @@
+// Allocation regression for the batched ECC plane (DESIGN.md §13): one full
+// exchange cycle — encode all lanes, serve every tx bit, record every rx bit,
+// decode all lanes — must perform ZERO heap allocations once the plane is
+// constructed. The legacy path's cost was a vector-of-vectors codeword set
+// plus per-link decode scratch; this test pins that the plane path carries
+// none of it, not merely less.
+//
+// The counting hook replaces global operator new/new[] (this binary only —
+// each test source is its own executable), so the test lives alone in this
+// file to keep the override's blast radius contained.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstdlib>
+#include <new>
+#include <vector>
+
+#include "ecc/concatenated_code.h"
+#include "ecc/ecc_plane.h"
+#include "ecc/secded.h"
+#include "util/rng.h"
+
+namespace {
+long g_allocations = 0;
+}  // namespace
+
+void* operator new(std::size_t size) {
+  ++g_allocations;
+  if (void* p = std::malloc(size ? size : 1)) return p;
+  throw std::bad_alloc();
+}
+
+void* operator new[](std::size_t size) {
+  ++g_allocations;
+  if (void* p = std::malloc(size ? size : 1)) return p;
+  throw std::bad_alloc();
+}
+
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+
+namespace gkr {
+namespace {
+
+// One full exchange: encode, ship every bit through a deterministic noisy
+// "channel" (some flips, some erasures), decode. Returns operator-new count.
+long run_exchange(EccPlane& plane, const std::vector<std::uint8_t>& messages,
+                  std::vector<std::uint8_t>& out, std::vector<std::uint8_t>& ok,
+                  std::uint64_t salt) {
+  const long before = g_allocations;
+  plane.encode(messages);
+  plane.rx_reset();
+  for (int l = 0; l < plane.lanes(); ++l) {
+    for (long j = 0; j < plane.rounds(); ++j) {
+      std::int8_t bit = static_cast<std::int8_t>(plane.tx_bit(l, j));
+      const std::uint64_t roll =
+          mix64(salt ^ (static_cast<std::uint64_t>(l) << 32) ^ static_cast<std::uint64_t>(j));
+      if ((roll & 0x3f) == 0) bit = static_cast<std::int8_t>(bit ^ 1);  // ~1.6% flips
+      if ((roll & 0xfc0) == 0) bit = kWireErased;                      // sparse erasures
+      plane.rx_set(l, j, bit);
+    }
+  }
+  (void)plane.decode_all(out, ok);
+  return g_allocations - before;
+}
+
+TEST(EccPlaneAlloc, ZeroAllocationsPerExchange) {
+  ConcatenatedCode code(16, 0.5, 1000);  // repetition voting engaged
+  const int lanes = 12;
+  EccPlane plane(code, lanes);
+
+  Rng rng(99);
+  std::vector<std::uint8_t> messages(static_cast<std::size_t>(lanes) * 16);
+  for (auto& b : messages) b = static_cast<std::uint8_t>(rng.next_below(256));
+  std::vector<std::uint8_t> out(messages.size(), 0);
+  std::vector<std::uint8_t> ok(static_cast<std::size_t>(lanes), 0);
+
+  // Warmup exchange (first-touch effects), then the counted one.
+  run_exchange(plane, messages, out, ok, 1);
+  const long plane_allocs = run_exchange(plane, messages, out, ok, 2);
+  EXPECT_EQ(plane_allocs, 0) << "ECC-plane exchange must not allocate";
+  // The exchange did real work: decodes succeeded under the light noise.
+  for (int l = 0; l < lanes; ++l) {
+    EXPECT_EQ(ok[static_cast<std::size_t>(l)], 1) << "lane " << l;
+  }
+
+  // Control: the hook works and the legacy codec is measurably allocating —
+  // codeword + receive buffers and decode scratch per link.
+  const long before = g_allocations;
+  std::vector<std::uint8_t> msg(messages.begin(), messages.begin() + 16);
+  const auto wire = code.encode(msg);
+  std::vector<std::uint8_t> decoded(16);
+  (void)code.decode(wire, decoded);
+  const long legacy_allocs = g_allocations - before;
+  EXPECT_GE(legacy_allocs, 4) << "control: legacy encode/decode should allocate";
+}
+
+}  // namespace
+}  // namespace gkr

@@ -1,0 +1,276 @@
+// Equivalence suite for the batched ECC plane (DESIGN.md §13), three layers:
+//
+//   * kernel level — the dispatched GF(2^8) SIMD kernels, their portable
+//     references, and a scalar GF256::mul loop must agree byte for byte on
+//     every length class (empty, sub-vector, unaligned, multi-vector);
+//   * codec level — EccPlane must transmit exactly the bits of
+//     ConcatenatedCode::encode and decode noisy wire state to exactly the
+//     same successes and bytes, across repetition counts, lane counts and
+//     noise rates up to well beyond capacity;
+//   * scheme level — a CodedSimulation with use_ecc_plane on must produce
+//     the exact SimulationResult of one with the legacy per-link path, for
+//     every spec in the sim adversary registry (plus a composed spec).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/coding_scheme.h"
+#include "ecc/concatenated_code.h"
+#include "ecc/ecc_plane.h"
+#include "ecc/secded.h"
+#include "net/topology.h"
+#include "sim/param_grid.h"
+#include "sim/workload.h"
+#include "util/gf256.h"
+#include "util/gf256_simd.h"
+#include "util/rng.h"
+
+namespace gkr {
+namespace {
+
+// ----------------------------------------------------------------- kernels
+
+std::vector<std::uint8_t> random_bytes(Rng& rng, std::size_t len) {
+  std::vector<std::uint8_t> v(len);
+  for (auto& b : v) b = static_cast<std::uint8_t>(rng.next_below(256));
+  return v;
+}
+
+TEST(Gf256Simd, KernelsMatchPortableAndScalarAtEveryLengthClass) {
+  Rng rng(1);
+  for (const std::size_t len : {std::size_t{0}, std::size_t{1}, std::size_t{15},
+                                std::size_t{16}, std::size_t{31}, std::size_t{32},
+                                std::size_t{33}, std::size_t{255}, std::size_t{1024}}) {
+    for (int trial = 0; trial < 8; ++trial) {
+      const auto src = random_bytes(rng, len);
+      const auto base = random_bytes(rng, len);
+      const auto c = static_cast<std::uint8_t>(rng.next_below(256));
+
+      // Scalar reference straight off the field tables.
+      std::vector<std::uint8_t> ref_ma = base, ref_ms(len), ref_h = base;
+      for (std::size_t i = 0; i < len; ++i) {
+        ref_ma[i] = static_cast<std::uint8_t>(ref_ma[i] ^ GF256::mul(c, src[i]));
+        ref_ms[i] = GF256::mul(c, src[i]);
+        ref_h[i] = static_cast<std::uint8_t>(GF256::mul(ref_h[i], c) ^ src[i]);
+      }
+
+      std::vector<std::uint8_t> got = base;
+      gf256_mul_add(got.data(), src.data(), c, len);
+      EXPECT_EQ(got, ref_ma) << "mul_add len=" << len << " c=" << int(c);
+      got = base;
+      gf256_mul_add_portable(got.data(), src.data(), c, len);
+      EXPECT_EQ(got, ref_ma) << "mul_add_portable len=" << len;
+
+      got.assign(len, 0xee);
+      gf256_mul_scalar(got.data(), src.data(), c, len);
+      EXPECT_EQ(got, ref_ms) << "mul_scalar len=" << len << " c=" << int(c);
+      got.assign(len, 0xee);
+      gf256_mul_scalar_portable(got.data(), src.data(), c, len);
+      EXPECT_EQ(got, ref_ms) << "mul_scalar_portable len=" << len;
+
+      got = base;
+      gf256_horner_step(got.data(), src.data(), c, len);
+      EXPECT_EQ(got, ref_h) << "horner len=" << len << " c=" << int(c);
+      got = base;
+      gf256_horner_step_portable(got.data(), src.data(), c, len);
+      EXPECT_EQ(got, ref_h) << "horner_portable len=" << len;
+    }
+  }
+}
+
+TEST(Gf256Simd, DispatchIsCoherent) {
+  // A force-portable build must report Portable; otherwise any level is fine,
+  // but the name must round-trip.
+  if (gf256_force_portable()) {
+    EXPECT_EQ(gf256_kernel_level(), Gf256Kernel::Portable);
+  }
+  EXPECT_STRNE(gf256_kernel_name(gf256_kernel_level()), "?");
+}
+
+// ------------------------------------------------------------------- codec
+
+// Drive one (code, lanes) geometry through both codecs under the given noise
+// rates and require identical wire bits, decode outcomes and decoded bytes.
+void expect_codec_equivalence(const ConcatenatedCode& code, int lanes, double sub_rate,
+                              double erase_rate, std::uint64_t seed) {
+  const int k = code.message_bytes();
+  const auto bits = code.codeword_bits();
+  EccPlane plane(code, lanes);
+  ASSERT_EQ(plane.rounds(), static_cast<long>(bits));
+  Rng rng(seed);
+
+  std::vector<std::uint8_t> messages(static_cast<std::size_t>(lanes) * k);
+  for (auto& b : messages) b = static_cast<std::uint8_t>(rng.next_below(256));
+  plane.encode(messages);
+  plane.rx_reset();
+
+  ConcatenatedCode::Workspace ws;
+  long expected_bit_erasures = 0;
+  std::vector<std::uint8_t> scalar_ok(static_cast<std::size_t>(lanes));
+  std::vector<std::uint8_t> scalar_out(static_cast<std::size_t>(lanes) * k, 0xcd);
+  std::vector<std::int8_t> wire(bits);
+  for (int l = 0; l < lanes; ++l) {
+    const auto msg = std::span<const std::uint8_t>(messages).subspan(
+        static_cast<std::size_t>(l) * k, static_cast<std::size_t>(k));
+    code.encode_into(msg, wire);
+    // Identical transmitted bits, then a shared noisy channel.
+    for (std::size_t j = 0; j < bits; ++j) {
+      ASSERT_EQ(plane.tx_bit(l, static_cast<long>(j)), static_cast<int>(wire[j]))
+          << "lane " << l << " round " << j;
+      if (rng.next_coin(sub_rate)) wire[j] = static_cast<std::int8_t>(wire[j] ^ 1);
+      if (rng.next_coin(erase_rate)) wire[j] = kWireErased;
+      if (wire[j] == kWireErased) ++expected_bit_erasures;
+      plane.rx_set(l, static_cast<long>(j), wire[j]);
+    }
+    scalar_ok[static_cast<std::size_t>(l)] =
+        code.decode_from(wire,
+                         std::span<std::uint8_t>(scalar_out)
+                             .subspan(static_cast<std::size_t>(l) * k,
+                                      static_cast<std::size_t>(k)),
+                         ws)
+            ? 1
+            : 0;
+  }
+
+  std::vector<std::uint8_t> plane_out(static_cast<std::size_t>(lanes) * k, 0xcd);
+  std::vector<std::uint8_t> plane_ok(static_cast<std::size_t>(lanes), 0xff);
+  const EccPlane::DecodeStats stats = plane.decode_all(plane_out, plane_ok);
+  EXPECT_EQ(stats.bit_erasures, expected_bit_erasures);
+  EXPECT_EQ(stats.rs_failures,
+            static_cast<int>(std::count(scalar_ok.begin(), scalar_ok.end(), 0)));
+  for (int l = 0; l < lanes; ++l) {
+    ASSERT_EQ(plane_ok[static_cast<std::size_t>(l)], scalar_ok[static_cast<std::size_t>(l)])
+        << "lane " << l;
+    if (scalar_ok[static_cast<std::size_t>(l)]) {
+      for (int b = 0; b < k; ++b) {
+        ASSERT_EQ(plane_out[static_cast<std::size_t>(l) * k + static_cast<std::size_t>(b)],
+                  scalar_out[static_cast<std::size_t>(l) * k + static_cast<std::size_t>(b)])
+            << "lane " << l << " byte " << b;
+      }
+    }
+  }
+}
+
+TEST(EccPlane, MatchesScalarCodecSingleRepetition) {
+  ConcatenatedCode code(16, 0.5);
+  std::uint64_t seed = 100;
+  for (const int lanes : {1, 3, 12, 64, 70}) {
+    for (const auto& [sub, er] : {std::pair<double, double>{0.0, 0.0},
+                                  {0.01, 0.01},
+                                  {0.04, 0.04},
+                                  {0.15, 0.10},   // around capacity: mixed outcomes
+                                  {0.40, 0.30}})  // far beyond: mass failures
+    {
+      SCOPED_TRACE("lanes=" + std::to_string(lanes) + " sub=" + std::to_string(sub));
+      expect_codec_equivalence(code, lanes, sub, er, seed++);
+    }
+  }
+}
+
+TEST(EccPlane, MatchesScalarCodecWithRepetitionVoting) {
+  // repeats > 1 engages the bit-sliced majority vote; noise above the inner
+  // capacity makes the vote (and its tie-→-erased rule) load-bearing.
+  ConcatenatedCode stretched(16, 0.5, 3 * 416 + 1);  // 4 repetitions
+  ASSERT_GE(stretched.repeats(), 2);
+  std::uint64_t seed = 500;
+  for (const int lanes : {1, 5, 66}) {
+    for (const auto& [sub, er] : {std::pair<double, double>{0.0, 0.0},
+                                  {0.08, 0.05},
+                                  {0.25, 0.20},
+                                  {0.45, 0.35}}) {
+      SCOPED_TRACE("lanes=" + std::to_string(lanes) + " sub=" + std::to_string(sub));
+      expect_codec_equivalence(stretched, lanes, sub, er, seed++);
+    }
+  }
+}
+
+TEST(EccPlane, AllErasedAndAllZeroLanes) {
+  // Degenerate receive states: nothing received (all rounds erased — the
+  // reset default) and everything received as zero.
+  ConcatenatedCode code(16, 0.5);
+  EccPlane plane(code, 2);
+  std::vector<std::uint8_t> messages(32, 0xab);
+  plane.encode(messages);
+  plane.rx_reset();
+  for (long j = 0; j < plane.rounds(); ++j) plane.rx_set(1, j, kWireZero);
+  std::vector<std::uint8_t> out(32, 0);
+  std::vector<std::uint8_t> ok(2, 0xff);
+  const EccPlane::DecodeStats stats = plane.decode_all(out, ok);
+  EXPECT_EQ(ok[0], 0);  // lane 0: every symbol erased → outer failure
+  EXPECT_EQ(stats.rs_failures >= 1, true);
+  // Lane 1 received the all-zero word, a valid codeword for message 0^16:
+  // that's what the scalar path decodes too.
+  std::vector<std::int8_t> zeros(code.codeword_bits(), kWireZero);
+  std::vector<std::uint8_t> scalar_out(16, 0xff);
+  const bool scalar_ok = code.decode(zeros, scalar_out);
+  ASSERT_EQ(ok[1] != 0, scalar_ok);
+  if (scalar_ok) {
+    for (int b = 0; b < 16; ++b) EXPECT_EQ(out[16 + b], scalar_out[static_cast<std::size_t>(b)]);
+  }
+}
+
+// ------------------------------------------------------------------ scheme
+
+void expect_results_equal(const SimulationResult& x, const SimulationResult& y) {
+  EXPECT_EQ(x.success, y.success);
+  EXPECT_EQ(x.outputs_match, y.outputs_match);
+  EXPECT_EQ(x.transcripts_match, y.transcripts_match);
+  EXPECT_EQ(x.cc_coded, y.cc_coded);
+  EXPECT_EQ(x.counters.rounds, y.counters.rounds);
+  EXPECT_EQ(x.counters.corruptions, y.counters.corruptions);
+  EXPECT_EQ(x.counters.substitutions, y.counters.substitutions);
+  EXPECT_EQ(x.counters.deletions, y.counters.deletions);
+  EXPECT_EQ(x.counters.insertions, y.counters.insertions);
+  EXPECT_EQ(x.counters.transmissions_by_phase, y.counters.transmissions_by_phase);
+  EXPECT_EQ(x.counters.corruptions_by_phase, y.counters.corruptions_by_phase);
+  EXPECT_EQ(x.hash_collisions, y.hash_collisions);
+  EXPECT_EQ(x.mp_truncations, y.mp_truncations);
+  EXPECT_EQ(x.rewind_truncations, y.rewind_truncations);
+  EXPECT_EQ(x.rewinds_sent, y.rewinds_sent);
+  EXPECT_EQ(x.exchange_failures, y.exchange_failures);
+  EXPECT_EQ(x.iterations, y.iterations);
+  EXPECT_EQ(x.replayer_rebuilds, y.replayer_rebuilds);
+}
+
+// Full-scheme twin runs over the whole sim adversary registry: the plane path
+// must reproduce the legacy path's SimulationResult exactly. (ecc_* counters
+// are plane-only telemetry and deliberately not compared.)
+TEST(EccPlane, CodedSimulationTwinRunsAllRegistryKinds) {
+  std::vector<std::string> specs = sim::standard_noise_names();
+  specs.push_back("greedy+echo");
+
+  std::uint64_t seed = 313;
+  for (const std::string& spec : specs) {
+    SCOPED_TRACE(spec);
+    // ExchangeNonOblivious includes the randomness-exchange prologue — the
+    // phase the plane rewires — so every spec exercises it.
+    sim::Workload w = sim::gossip_workload(std::make_shared<Topology>(Topology::ring(4)),
+                                           Variant::ExchangeNonOblivious, seed++,
+                                           /*rounds=*/6);
+    const sim::NoiseFactory factory = sim::noise_factory(spec);
+
+    auto run_one = [&](bool plane) {
+      w.cfg.use_ecc_plane = plane;
+      Rng noise_rng(2718);
+      sim::BuiltNoise noise = factory.build(w, /*mu=*/0.004, noise_rng);
+      NoNoise none;
+      ChannelAdversary& adv =
+          noise.adversary ? *noise.adversary : static_cast<ChannelAdversary&>(none);
+      return w.run(adv);
+    };
+
+    const SimulationResult with_plane = run_one(true);
+    const SimulationResult legacy = run_one(false);
+    expect_results_equal(with_plane, legacy);
+    EXPECT_EQ(legacy.ecc_bit_erasures, 0);  // counters are plane-only
+  }
+}
+
+}  // namespace
+}  // namespace gkr

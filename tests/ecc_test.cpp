@@ -7,6 +7,7 @@
 #include <algorithm>
 #include <cstdint>
 #include <numeric>
+#include <utility>
 #include <vector>
 
 #include "ecc/concatenated_code.h"
@@ -244,6 +245,180 @@ TEST(Concatenated, FailsGracefullyUnderHeavyNoise) {
   std::vector<std::uint8_t> out(16);
   // Either fails outright or (very unlikely) decodes; it must not crash.
   (void)code.decode(wire, out);
+}
+
+// Exact-capacity property sweep: every split 2e + f = n − k must decode, on
+// both the errors-heavy and erasures-heavy side of the tradeoff; one more
+// erasure than capacity must fail (the decoder knows f, so this side is a
+// guarantee, not a probabilistic claim).
+TEST(ReedSolomon, ExactCapacityEverySplit) {
+  for (const auto& [n, k] : {std::pair<int, int>{15, 7}, {32, 16}, {255, 191}}) {
+    ReedSolomon rs(n, k);
+    const int nr = n - k;
+    Rng rng(static_cast<std::uint64_t>(n * 131 + k));
+    for (int e = 0; 2 * e <= nr; ++e) {
+      const int f = nr - 2 * e;  // exactly at capacity
+      for (int trial = 0; trial < 8; ++trial) {
+        const auto msg = random_message(rng, k);
+        std::vector<std::uint8_t> cw(static_cast<std::size_t>(n));
+        rs.encode(msg, cw);
+        std::vector<int> pos(static_cast<std::size_t>(n));
+        std::iota(pos.begin(), pos.end(), 0);
+        for (std::size_t i = pos.size(); i > 1; --i) {
+          std::swap(pos[i - 1], pos[rng.next_below(i)]);
+        }
+        std::vector<int> erasures(pos.begin(), pos.begin() + f);
+        for (int j = 0; j < e; ++j) {
+          cw[static_cast<std::size_t>(pos[static_cast<std::size_t>(f + j)])] ^=
+              static_cast<std::uint8_t>(1 + rng.next_below(255));
+        }
+        for (int p : erasures) {
+          cw[static_cast<std::size_t>(p)] = static_cast<std::uint8_t>(rng.next_below(256));
+        }
+        ASSERT_TRUE(rs.decode(cw, erasures))
+            << "n=" << n << " k=" << k << " e=" << e << " f=" << f;
+        EXPECT_TRUE(std::equal(msg.begin(), msg.end(), cw.begin()));
+      }
+    }
+    // One erasure past capacity: e_count > nroots is a guaranteed failure.
+    const auto msg = random_message(rng, k);
+    std::vector<std::uint8_t> cw(static_cast<std::size_t>(n));
+    rs.encode(msg, cw);
+    std::vector<int> erasures(static_cast<std::size_t>(nr) + 1);
+    std::iota(erasures.begin(), erasures.end(), 0);
+    EXPECT_FALSE(rs.decode(cw, erasures));
+  }
+}
+
+// Exhaustive sweeps over ALL 256 symbols through the packed-uint16 table
+// codec (the batched plane's inner code): every single flip corrects, every
+// double flip is detected, every single erasure resolves. Also pins that the
+// span form agrees with the packed form bit for bit (they share the tables,
+// but the packing shims could still drift).
+TEST(Secded, PackedExhaustiveSingleErrorAll256) {
+  for (int b = 0; b < 256; ++b) {
+    const std::uint16_t w = secded_encode_u16(static_cast<std::uint8_t>(b));
+    std::uint8_t out = 0;
+    ASSERT_TRUE(secded_decode_u16(w, 0, &out));
+    EXPECT_EQ(out, b);
+    for (int flip = 0; flip < kSecdedBits; ++flip) {
+      out = 0;
+      ASSERT_TRUE(
+          secded_decode_u16(static_cast<std::uint16_t>(w ^ (1u << flip)), 0, &out))
+          << "b=" << b << " flip=" << flip;
+      EXPECT_EQ(out, b);
+    }
+  }
+}
+
+TEST(Secded, PackedExhaustiveDoubleErrorAll256) {
+  for (int b = 0; b < 256; ++b) {
+    const std::uint16_t w = secded_encode_u16(static_cast<std::uint8_t>(b));
+    for (int f1 = 0; f1 < kSecdedBits; ++f1) {
+      for (int f2 = f1 + 1; f2 < kSecdedBits; ++f2) {
+        std::uint8_t out = 0;
+        EXPECT_FALSE(secded_decode_u16(
+            static_cast<std::uint16_t>(w ^ (1u << f1) ^ (1u << f2)), 0, &out))
+            << "b=" << b << " f1=" << f1 << " f2=" << f2;
+      }
+    }
+  }
+}
+
+TEST(Secded, PackedExhaustiveSingleErasureAll256) {
+  for (int b = 0; b < 256; ++b) {
+    const std::uint16_t w = secded_encode_u16(static_cast<std::uint8_t>(b));
+    for (int pos = 0; pos < kSecdedBits; ++pos) {
+      const auto erased = static_cast<std::uint16_t>(1u << pos);
+      std::uint8_t out = 0;
+      ASSERT_TRUE(secded_decode_u16(static_cast<std::uint16_t>(w & ~erased), erased, &out))
+          << "b=" << b << " pos=" << pos;
+      EXPECT_EQ(out, b);
+    }
+  }
+}
+
+TEST(Secded, SpanFormMatchesPackedForm) {
+  Rng rng(77);
+  for (int trial = 0; trial < 2000; ++trial) {
+    // Random 13 wire cells, uniform over {0, 1, ∗}.
+    std::vector<std::int8_t> wire(kSecdedBits);
+    std::uint16_t word = 0, erased = 0;
+    for (int i = 0; i < kSecdedBits; ++i) {
+      const std::uint64_t roll = rng.next_below(3);
+      wire[static_cast<std::size_t>(i)] =
+          roll == 0 ? kWireZero : roll == 1 ? kWireOne : kWireErased;
+      if (roll == 1) word |= static_cast<std::uint16_t>(1u << i);
+      if (roll == 2) erased |= static_cast<std::uint16_t>(1u << i);
+    }
+    std::uint8_t a = 0, b = 0;
+    const bool ok_span = secded_decode(wire, &a);
+    const bool ok_packed = secded_decode_u16(word, erased, &b);
+    ASSERT_EQ(ok_span, ok_packed);
+    if (ok_span) {
+      EXPECT_EQ(a, b);
+    }
+  }
+}
+
+// The outer-length clamp (satellite of DESIGN.md §13): the requested rate is
+// honored until ⌈message_bytes/rate⌉ crosses the GF(2^8) ceiling of 255, the
+// boundary sits exactly between message_bytes 127 and 128 at rate 1/2, and
+// the constructor surfaces the clamp instead of silently weakening the code.
+TEST(Concatenated, OuterLengthClampBoundary) {
+  EXPECT_EQ(ConcatenatedCode::outer_length(127, 0.5), 254);
+  EXPECT_EQ(ConcatenatedCode::outer_length(128, 0.5), 255);  // 256 clamped
+  EXPECT_EQ(ConcatenatedCode::outer_length(253, 0.9), 255);
+  EXPECT_EQ(ConcatenatedCode::outer_length(1, 0.5), 3);  // floor: k + 2
+
+  ConcatenatedCode unclamped(127, 0.5);
+  EXPECT_FALSE(unclamped.outer_clamped());
+  EXPECT_EQ(unclamped.outer().n(), 254);
+
+  ConcatenatedCode clamped(128, 0.5);
+  EXPECT_TRUE(clamped.outer_clamped());
+  EXPECT_EQ(clamped.outer().n(), 255);
+  EXPECT_EQ(clamped.outer().k(), 128);
+
+  // The clamped code still round-trips.
+  Rng rng(40);
+  const auto msg = random_message(rng, 128);
+  const auto wire = clamped.encode(msg);
+  std::vector<std::uint8_t> out(128);
+  ASSERT_TRUE(clamped.decode(wire, out));
+  EXPECT_EQ(out, msg);
+}
+
+TEST(ConcatenatedDeathTest, RejectsMessagesBeyondClampCapacity) {
+  // 254 would leave at most one parity symbol after the clamp — refused.
+  EXPECT_DEATH(ConcatenatedCode(254, 0.5), "");
+}
+
+TEST(Concatenated, SpanOverloadsMatchAllocatingForms) {
+  ConcatenatedCode code(16, 0.5, 2000);
+  Rng rng(41);
+  ConcatenatedCode::Workspace ws;
+  for (int trial = 0; trial < 30; ++trial) {
+    const auto msg = random_message(rng, 16);
+    const auto wire = code.encode(msg);
+    std::vector<std::int8_t> wire2(code.codeword_bits());
+    code.encode_into(msg, wire2);
+    ASSERT_EQ(wire, wire2);
+
+    auto noisy = wire;
+    for (auto& w : noisy) {
+      if (rng.next_coin(0.04)) {
+        w = rng.next_coin(0.5) ? static_cast<std::int8_t>(w ^ 1) : kWireErased;
+      }
+    }
+    std::vector<std::uint8_t> a(16), b(16);
+    const bool ok_alloc = code.decode(noisy, a);
+    const bool ok_ws = code.decode_from(noisy, b, ws);
+    ASSERT_EQ(ok_alloc, ok_ws);
+    if (ok_alloc) {
+      EXPECT_EQ(a, b);
+    }
+  }
 }
 
 TEST(Repetition, MajorityDecodes) {
