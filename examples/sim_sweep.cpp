@@ -1,7 +1,7 @@
 // sim_sweep — the command-line front end of the src/sim sweep harness.
 //
 // Runs a declarative parameter grid (variant × topology × protocol × noise ×
-// μ × repetitions) of coded-simulation runs on a thread pool, with
+// μ × adaptive × repetitions) of coded-simulation runs on a thread pool, with
 // deterministic per-run seeding: the same grid + --seed produces bit-identical
 // JSONL/CSV output for any --threads value.
 //
@@ -22,6 +22,11 @@
 //              insertion_flood exchange_sniper markov_burst rewind_sniper
 //              (atoms chain with '+' into a composed attack: greedy+echo;
 //              --list-adversaries prints the registry with descriptions)
+//   --adaptive off|on|both   adaptive redundancy controller (DESIGN.md §14);
+//              "both" runs every grid point fixed AND adaptive for a paired
+//              comparison, e.g.:
+//              --topos ring:8 --protos gossip:240 --noises stochastic
+//                  --mu 0.002 --adaptive both --reps 3
 //
 // Observability (DESIGN.md §12):
 //   --obs off|counters|full   instrumentation level for every run
@@ -188,6 +193,20 @@ int run_main(int argc, char** argv) {
         grid.noise_fractions.push_back(mu);
       }
       grid_customized = true;
+    } else if (arg == "--adaptive") {
+      // Adaptive-controller axis (DESIGN.md §14): off, on, or both for a
+      // paired fixed-vs-adaptive comparison within one deterministic sweep.
+      const std::string mode = next_value(i);
+      if (mode == "off") {
+        grid.adaptive_modes = {0};
+      } else if (mode == "on") {
+        grid.adaptive_modes = {1};
+      } else if (mode == "both") {
+        grid.adaptive_modes = {0, 1};
+      } else {
+        die("bad --adaptive value '" + mode + "' (expected off, on or both)");
+      }
+      grid_customized = true;
     } else if (arg == "--reps") {
       grid.repetitions = std::atoi(next_value(i).c_str());
       if (grid.repetitions <= 0) die("--reps must be a positive integer");
@@ -225,7 +244,8 @@ int run_main(int argc, char** argv) {
       return 0;
     } else if (arg == "--help" || arg == "-h") {
       std::printf("usage: sim_sweep [--variants ...] [--topos ...] [--protos ...]\n"
-                  "                 [--noises ...] [--mu ...] [--reps N]\n"
+                  "                 [--noises ...] [--mu ...] [--adaptive off|on|both]\n"
+                  "                 [--reps N]\n"
                   "                 [--iteration-factor F] [--seed S] [--threads T]\n"
                   "                 [--jsonl PATH] [--csv PATH] [--no-summary]\n"
                   "                 [--timing] [--progress] [--list-adversaries]\n"

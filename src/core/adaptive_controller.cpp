@@ -1,0 +1,174 @@
+#include "core/adaptive_controller.h"
+
+#include <algorithm>
+
+#include "util/assert.h"
+#include "util/digest.h"
+
+namespace gkr {
+namespace {
+
+// Tier thresholds in q units (2^-10): ≈1.2% and ≈4.7%. Chosen so the default
+// stochastic sweep point (μ = 0.01 → q ≈ 10) lands in tier 1 and the
+// Gilbert–Elliott burst channel's in-burst rate lands in tier 3.
+constexpr int kTier1MaxQ = 12;
+constexpr int kTier2MaxQ = 48;
+
+}  // namespace
+
+AdaptiveController::AdaptiveController(const Tuning& t) : t_(t) {
+  GKR_ASSERT(t_.base_tau >= 1);
+  t_.tau_floor = std::clamp(t_.tau_floor, 1, t_.base_tau);
+  t_.window_epochs = std::max(1, t_.window_epochs);
+  t_.exchange_repeats = std::max(1, t_.exchange_repeats);
+  t_.exchange_parity_symbols = std::max(0, t_.exchange_parity_symbols);
+  window_.assign(static_cast<std::size_t>(t_.window_epochs), ChannelObservation{});
+  params_ = params_for(tier_);
+}
+
+int AdaptiveController::quantize_rate(std::int64_t corruptions,
+                                      std::int64_t transmissions) noexcept {
+  if (corruptions <= 0) return 0;
+  if (transmissions <= 0) return 1 << kRateScaleBits;
+  const std::int64_t q = (corruptions << kRateScaleBits) / transmissions;
+  return static_cast<int>(std::min<std::int64_t>(q, 1 << kRateScaleBits));
+}
+
+int AdaptiveController::tier_for(int rate_q10) noexcept {
+  if (rate_q10 <= 0) return 0;
+  if (rate_q10 <= kTier1MaxQ) return 1;
+  if (rate_q10 <= kTier2MaxQ) return 2;
+  return kTiers - 1;
+}
+
+EpochParams AdaptiveController::params_for(int tier) const noexcept {
+  EpochParams p;
+  p.tier = tier;
+
+  // τ interpolates linearly from the floor (tier 0) to the base (top tier);
+  // integer division makes the top tier land exactly on base_tau, so the
+  // fixed path and an all-hostile adaptive run use identical hash lengths.
+  const int d = t_.base_tau - t_.tau_floor;
+  p.tau = d <= 0 ? t_.base_tau
+                 : t_.tau_floor + (d * tier + (kTiers - 2)) / (kTiers - 1);
+
+  // Quiet channels rarely truncate, so snapshots can be sparser; cadence is
+  // a pure cost knob (DESIGN.md §11), never a behavior change.
+  if (t_.base_checkpoint_interval <= 0) {
+    p.checkpoint_interval = 0;
+  } else if (tier >= 2) {
+    p.checkpoint_interval = t_.base_checkpoint_interval;
+  } else {
+    p.checkpoint_interval = t_.base_checkpoint_interval * (tier == 1 ? 2 : 4);
+  }
+
+  const int reps = t_.exchange_repeats;
+  p.exchange_repeats = tier >= kTiers - 1 ? reps
+                       : tier == 2        ? std::max(1, (reps + 1) / 2)
+                       : tier == 1        ? std::max(1, (reps + 3) / 4)
+                                          : 1;
+  p.exchange_parity_symbols = tier >= 2 ? t_.exchange_parity_symbols
+                                        : (t_.exchange_parity_symbols + 1) / 2;
+  return p;
+}
+
+void AdaptiveController::push_window(const ChannelObservation& delta) {
+  window_[static_cast<std::size_t>(window_next_)] = delta;
+  window_next_ = (window_next_ + 1) % t_.window_epochs;
+  window_filled_ = std::min(window_filled_ + 1, t_.window_epochs);
+}
+
+void AdaptiveController::seed_window(const ChannelObservation& delta) {
+  push_window(delta);
+}
+
+void AdaptiveController::note_exchange_anatomy(std::int64_t symbol_erasures,
+                                               int decode_failures) {
+  (void)symbol_erasures;  // sub-decode-failure erosion already shows up in q
+  if (decode_failures > 0) {
+    hostile_hold_ = t_.window_epochs;
+    tier_ = kTiers - 1;
+    down_streak_ = 0;
+    params_ = params_for(tier_);
+  }
+}
+
+void AdaptiveController::observe_epoch(const ChannelObservation& delta) {
+  push_window(delta);
+
+  std::int64_t corr = 0, tx = 0;
+  for (int i = 0; i < window_filled_; ++i) {
+    const ChannelObservation& o = window_[static_cast<std::size_t>(i)];
+    corr += o.corruptions();
+    tx += o.transmissions;
+  }
+  const int q = quantize_rate(corr, tx);
+  last_rate_q10_ = q;
+
+  int target = tier_for(q);
+  if (hostile_hold_ > 0) {
+    --hostile_hold_;
+    target = kTiers - 1;
+  }
+
+  if (target > tier_) {
+    tier_ = target;  // escalation is immediate
+    down_streak_ = 0;
+  } else if (target < tier_) {
+    // De-escalation is damped: two consecutive lower-tier epochs, one tier
+    // per boundary — a single quiet epoch inside a burst never drops armor.
+    if (++down_streak_ >= 2) {
+      --tier_;
+      down_streak_ = 0;
+    }
+  } else {
+    down_streak_ = 0;
+  }
+
+  const EpochParams next = params_for(tier_);
+  if (next != params_) ++switches_;
+  params_ = next;
+
+  EpochRecord rec;
+  rec.epoch = static_cast<int>(schedule_.size()) + 1;
+  rec.rate_q10 = q;
+  rec.params = params_;
+  schedule_.push_back(rec);
+}
+
+AdaptiveController::SegmentPlan AdaptiveController::plan_exchange_segment(
+    int rep, const ChannelObservation& so_far) const noexcept {
+  const int tier = tier_for(quantize_rate(so_far.corruptions(), so_far.transmissions));
+  const EpochParams p = params_for(tier);
+  SegmentPlan plan;
+  plan.ship = rep < p.exchange_repeats;
+  plan.parity_symbols = p.exchange_parity_symbols;
+  return plan;
+}
+
+std::uint64_t AdaptiveController::state_digest() const noexcept {
+  std::uint64_t d = 0x9a7c41d3e6f5b208ULL;
+  const auto fold = [&d](std::uint64_t x) { d = mix64(d ^ mix64(x)); };
+  fold(static_cast<std::uint64_t>(tier_));
+  fold(static_cast<std::uint64_t>(down_streak_));
+  fold(static_cast<std::uint64_t>(hostile_hold_));
+  fold(static_cast<std::uint64_t>(last_rate_q10_));
+  fold(static_cast<std::uint64_t>(switches_));
+  fold(static_cast<std::uint64_t>(window_next_));
+  fold(static_cast<std::uint64_t>(window_filled_));
+  for (const ChannelObservation& o : window_) {
+    fold(static_cast<std::uint64_t>(o.transmissions));
+    fold(static_cast<std::uint64_t>(o.substitutions));
+    fold(static_cast<std::uint64_t>(o.deletions));
+    fold(static_cast<std::uint64_t>(o.insertions));
+  }
+  fold(static_cast<std::uint64_t>(params_.tier));
+  fold(static_cast<std::uint64_t>(params_.tau));
+  fold(static_cast<std::uint64_t>(params_.checkpoint_interval));
+  fold(static_cast<std::uint64_t>(params_.exchange_repeats));
+  fold(static_cast<std::uint64_t>(params_.exchange_parity_symbols));
+  fold(static_cast<std::uint64_t>(schedule_.size()));
+  return d;
+}
+
+}  // namespace gkr

@@ -1,0 +1,155 @@
+// Adaptive redundancy controller (DESIGN.md §14).
+//
+// Every scheme parameter is frozen at construction, so a channel that is
+// hostile for one burst and quiet for the rest pays hostile-phase redundancy
+// throughout — the opposite of the paper's constant-rate efficiency claim.
+// This controller estimates the live corruption rate from the engine's public
+// corruption taxonomy (EngineCounters word-diff classes, §2.1) over a sliding
+// window of epochs and retunes redundancy at epoch boundaries:
+//
+//   * meeting-points hash length τ_eff ∈ [τ_floor, τ]
+//   * replay-checkpoint interval (stretched on quiet channels)
+//   * randomness-exchange repetition count and RS parity budget
+//     (HARQ-style: decided at repetition boundaries from the corruption
+//     observed so far, shipped through the PR 7 ECC plane)
+//
+// The public timetable (RoundPlan) never changes: rounds are reserved at the
+// maximum parameters and adaptation transmits FEWER SYMBOLS, leaving the
+// unused rounds silent. Round numbering, phase_of() and the oblivious
+// adversary's planning surface stay exactly as documented, and savings are
+// real because cc_coded counts transmissions, not rounds.
+//
+// Determinism contract: every input to a decision is public (the engine's
+// ground-truth counters, which the §2.1 model lets all endpoints account
+// identically — corruption is defined by the wire, not by private state), and
+// the decision rule is pure integer arithmetic on quantized rates. Both
+// endpoints of every link therefore derive bit-identical parameter schedules;
+// CodedSimulation instantiates one controller replica per party and asserts
+// digest equality after every decision.
+//
+// Decision rule (all integer math, no floats anywhere):
+//   q      = ⌊2^10 · corruptions / transmissions⌋ over the window sums
+//   tier   = 0 if q == 0, 1 if q ≤ 12 (≈1.2%), 2 if q ≤ 48 (≈4.7%), else 3
+//   hysteresis: tier increases take effect immediately; decreases require
+//   two consecutive epochs observing a lower tier and step down one tier at
+//   a time. The controller starts at the top tier, so epoch 0 always runs
+//   the fixed parameters and a hostile opening never sees reduced redundancy.
+//   A failed exchange decode additionally pins the top tier for one full
+//   window ("hostile hold").
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace gkr {
+
+// One epoch's public channel observation: the delta of the engine's
+// word-diff taxonomy between two epoch boundaries.
+struct ChannelObservation {
+  std::int64_t transmissions = 0;
+  std::int64_t substitutions = 0;
+  std::int64_t deletions = 0;
+  std::int64_t insertions = 0;
+
+  std::int64_t corruptions() const noexcept {
+    return substitutions + deletions + insertions;
+  }
+};
+
+// Parameters in force for one epoch.
+struct EpochParams {
+  int tier = 0;
+  int tau = 0;                      // meeting-points hash bits (τ_eff)
+  int checkpoint_interval = 0;      // replay snapshot cadence; 0 = disabled
+  int exchange_repeats = 0;         // exchange repetitions shipped at this tier
+  int exchange_parity_symbols = 0;  // RS parity symbols shipped per extra rep
+
+  bool operator==(const EpochParams&) const = default;
+};
+
+// One row of the emitted schedule (recorded per observed epoch; mirrored into
+// SimulationResult::ctrl_schedule and the sweep RunRecord columns).
+struct EpochRecord {
+  int epoch = 0;      // 1-based: the first observed epoch is 1
+  int rate_q10 = 0;   // windowed corruption estimate, units of 1/1024
+  EpochParams params;
+};
+
+class AdaptiveController {
+ public:
+  static constexpr int kTiers = 4;
+  static constexpr int kRateScaleBits = 10;  // q is in units of 2^-10
+
+  struct Tuning {
+    int base_tau = 8;                 // the fixed scheme's τ (tier 3 value)
+    int tau_floor = 6;                // τ_eff at tier 0 (clamped to base_tau)
+    int base_checkpoint_interval = 0; // fixed cadence; 0 = checkpoints off
+    int exchange_repeats = 1;         // R of the exchange code (1 = no slack)
+    int exchange_parity_symbols = 0;  // nroots of the outer RS code
+    int window_epochs = 4;            // sliding-window length W
+  };
+
+  explicit AdaptiveController(const Tuning& t);
+
+  // ⌊2^kRateScaleBits · corruptions / transmissions⌋, saturated to 2^10.
+  static int quantize_rate(std::int64_t corruptions,
+                           std::int64_t transmissions) noexcept;
+
+  // The target tier a quantized rate maps to (before hysteresis).
+  static int tier_for(int rate_q10) noexcept;
+
+  // Fold one completed epoch's observation into the window and re-decide the
+  // parameters at this boundary. Appends one EpochRecord to the schedule.
+  void observe_epoch(const ChannelObservation& delta);
+
+  // Insert an observation into the window WITHOUT a decision — used to seed
+  // the window with the randomness-exchange prologue so epoch 1's estimate
+  // already reflects an opening attack.
+  void seed_window(const ChannelObservation& delta);
+
+  // Exchange-time decode anatomy (PR 7 stats): a failed outer decode is
+  // treated as evidence of a hostile prologue and pins the top tier for one
+  // full window of epochs.
+  void note_exchange_anatomy(std::int64_t symbol_erasures, int decode_failures);
+
+  // HARQ decision at an exchange repetition boundary: should repetition `rep`
+  // (1-based slack repetitions; rep 0 always ships in full) be transmitted,
+  // and punctured to how many RS parity symbols? Pure function of the public
+  // prologue observation, with no hysteresis — the prologue is one-shot.
+  struct SegmentPlan {
+    bool ship = true;
+    int parity_symbols = 0;
+
+    bool operator==(const SegmentPlan&) const = default;
+  };
+  SegmentPlan plan_exchange_segment(int rep, const ChannelObservation& so_far) const noexcept;
+
+  const EpochParams& params() const noexcept { return params_; }
+  int tier() const noexcept { return tier_; }
+  int last_rate_q10() const noexcept { return last_rate_q10_; }
+  int epochs() const noexcept { return static_cast<int>(schedule_.size()); }
+  long switches() const noexcept { return switches_; }
+  const std::vector<EpochRecord>& schedule() const noexcept { return schedule_; }
+
+  // Digest of the full decision state — what the per-party replica agreement
+  // assert compares (cheaper and stricter than field-by-field comparison).
+  std::uint64_t state_digest() const noexcept;
+
+ private:
+  EpochParams params_for(int tier) const noexcept;
+  void push_window(const ChannelObservation& delta);
+
+  Tuning t_;
+  std::vector<ChannelObservation> window_;  // ring buffer of W epoch deltas
+  int window_next_ = 0;
+  int window_filled_ = 0;
+  int tier_ = kTiers - 1;
+  int down_streak_ = 0;   // consecutive epochs observing a lower target tier
+  int hostile_hold_ = 0;  // epochs the top tier stays pinned
+  int last_rate_q10_ = 0;
+  long switches_ = 0;
+  EpochParams params_;
+  std::vector<EpochRecord> schedule_;
+};
+
+}  // namespace gkr

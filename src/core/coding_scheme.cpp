@@ -40,6 +40,14 @@ struct CodedSimulation::Impl {
   std::unique_ptr<EccPlane> ecc_plane;  // batched exchange codec (DESIGN.md §13)
   RoundPlan plan;
 
+  // Adaptive redundancy controller (DESIGN.md §14): one replica per party,
+  // each fed the same public counter deltas — the n-fold instantiation models
+  // per-endpoint derivation, and every decision asserts the replicas agree.
+  // Empty unless cfg.adaptive.
+  std::vector<AdaptiveController> ctrl;
+  EngineCounters epoch_mark;   // counters at the last epoch boundary
+  int ckpt_interval_eff = 0;   // checkpoint cadence currently installed
+
   // Run state.
   std::unique_ptr<RoundEngine> engine;
   obs::RunObs obs;
@@ -130,6 +138,67 @@ struct CodedSimulation::Impl {
     flag_exec = std::make_unique<FlagPassingExec>(core);
     sim_exec = std::make_unique<SimulationExec>(core);
     rewind_exec = std::make_unique<RewindExec>(core);
+
+    if (cfg.adaptive) {
+      AdaptiveController::Tuning t;
+      t.base_tau = tau;
+      t.tau_floor = cfg.adaptive_tau_floor;
+      t.base_checkpoint_interval = cfg.replay_checkpoint_interval;
+      t.window_epochs = cfg.adaptive_window_epochs;
+      if (exchange_code) {
+        t.exchange_repeats = exchange_code->repeats();
+        t.exchange_parity_symbols = exchange_code->outer().nroots();
+      }
+      ctrl.assign(static_cast<std::size_t>(n), AdaptiveController(t));
+      ckpt_interval_eff = cfg.replay_checkpoint_interval;
+    }
+  }
+
+  // -------------------------------------------------- adaptive controller
+  bool adaptive_on() const noexcept { return !ctrl.empty(); }
+
+  static ChannelObservation observation_delta(const EngineCounters& now,
+                                              const EngineCounters& mark) {
+    ChannelObservation d;
+    d.transmissions = now.transmissions - mark.transmissions;
+    d.substitutions = now.substitutions - mark.substitutions;
+    d.deletions = now.deletions - mark.deletions;
+    d.insertions = now.insertions - mark.insertions;
+    return d;
+  }
+
+  void assert_controller_agreement() const {
+    const std::uint64_t d0 = ctrl[0].state_digest();
+    for (std::size_t i = 1; i < ctrl.size(); ++i) {
+      GKR_ASSERT_MSG(ctrl[i].state_digest() == d0,
+                     "adaptive controller replicas derived different schedules");
+    }
+  }
+
+  void apply_epoch_params(const EpochParams& p) {
+    GKR_ASSERT(p.tau >= 1 && p.tau <= tau);
+    core.tau_eff = p.tau;
+    if (cfg.replay_checkpoint_interval > 0 && p.checkpoint_interval > 0 &&
+        p.checkpoint_interval != ckpt_interval_eff) {
+      ckpt_interval_eff = p.checkpoint_interval;
+      for (auto& rp : core.replayers) {
+        if (rp) rp->set_checkpoint_interval(p.checkpoint_interval);
+      }
+    }
+  }
+
+  void on_epoch_boundary(int iteration) {
+    obs::TimerScope t(obs, &obs::RunTimings::ctrl_ns, "ctrl");
+    if (iteration > 0) {
+      // Fold the completed epoch's public taxonomy delta; epoch 0 runs at
+      // the initial (= fixed) parameters so a hostile opening never sees
+      // reduced redundancy.
+      const ChannelObservation d = observation_delta(engine->counters(), epoch_mark);
+      for (AdaptiveController& c : ctrl) c.observe_epoch(d);
+      assert_controller_agreement();
+    }
+    epoch_mark = engine->counters();
+    apply_epoch_params(ctrl[0].params());
   }
 
   // ----------------------------------------------------- randomness exchange
@@ -137,6 +206,7 @@ struct CodedSimulation::Impl {
     if (!cfg.uses_exchange()) return;  // parties share the CRS source
     obs::PhaseScope scope(obs, Phase::RandomnessExchange, /*iteration=*/0);
     const auto cw_bits = static_cast<std::size_t>(exchange_rounds);
+    const EngineCounters prologue_mark = engine->counters();
 
     // Senders (smaller endpoint id) sample masters. Lane-major flat layout:
     // link l's master occupies bytes [l·kMasterBytes, (l+1)·kMasterBytes).
@@ -157,23 +227,66 @@ struct CodedSimulation::Impl {
       // Bit-identical to the legacy branch below.
       ecc_plane->encode(masters);
       ecc_plane->rx_reset();
-      for (long j = 0; j < exchange_rounds; ++j) {
-        for (int l = 0; l < m; ++l) {
-          core.wire_out.set(static_cast<std::size_t>(topo->dlink_from(l, topo->link(l).a)),
-                            ecc_plane->tx_bit(l, j) != 0 ? Sym::One : Sym::Zero);
+      // HARQ-style adaptation (DESIGN.md §14): at each repetition boundary
+      // the controllers fold the corruption observed so far and decide
+      // whether the next repetition ships at all, and punctured to how many
+      // RS parity symbols. Unshipped rounds are stepped silently — the
+      // timetable is fixed — and receivers never rx_set an unscheduled
+      // round, so both the majority vote and adversary insertions into the
+      // silence are handled by the decoder's erased-cells-don't-vote rule.
+      // With adaptation off every repetition ships in full and this loop is
+      // bit-identical to the fixed path.
+      const int reps = exchange_code->repeats();
+      const long bits_per_rep = exchange_rounds / reps;
+      int shipped_reps = 0;
+      for (int rep = 0; rep < reps; ++rep) {
+        long live_bits = bits_per_rep;
+        if (adaptive_on() && rep > 0) {
+          const ChannelObservation so_far =
+              observation_delta(engine->counters(), prologue_mark);
+          const AdaptiveController::SegmentPlan sp =
+              ctrl[0].plan_exchange_segment(rep, so_far);
+          for (std::size_t i = 1; i < ctrl.size(); ++i) {
+            GKR_ASSERT_MSG(ctrl[i].plan_exchange_segment(rep, so_far) == sp,
+                           "adaptive controllers disagree on the exchange schedule");
+          }
+          // Parity puncturing works because the outer RS is systematic and
+          // the inner SECDED lays symbols out sequentially: stopping after
+          // (k + parity) symbols leaves the tail as known erasures within
+          // the errors-and-erasures decoder's budget.
+          live_bits = sp.ship ? std::min(bits_per_rep,
+                                         static_cast<long>(exchange_code->outer().k() +
+                                                           sp.parity_symbols) *
+                                             kSecdedBits)
+                              : 0;
         }
-        core.step(0, Phase::RandomnessExchange);
-        for (int l = 0; l < m; ++l) {
-          const Sym got =
-              core.wire_in.get(static_cast<std::size_t>(topo->dlink_from(l, topo->link(l).a)));
-          // Deletions arrive as ∗ at a round where a bit was expected: erasure
-          // (footnote 9). A ⊥ is equally out of place: erasure.
-          ecc_plane->rx_set(l, j,
-                            got == Sym::Zero  ? kWireZero
-                            : got == Sym::One ? kWireOne
-                                              : kWireErased);
+        if (live_bits > 0) ++shipped_reps;
+        const long rep_base = static_cast<long>(rep) * bits_per_rep;
+        for (long jj = 0; jj < bits_per_rep; ++jj) {
+          const long j = rep_base + jj;
+          const bool live = jj < live_bits;
+          if (live) {
+            for (int l = 0; l < m; ++l) {
+              core.wire_out.set(static_cast<std::size_t>(topo->dlink_from(l, topo->link(l).a)),
+                                ecc_plane->tx_bit(l, j) != 0 ? Sym::One : Sym::Zero);
+            }
+          }
+          core.step(0, Phase::RandomnessExchange);
+          if (live) {
+            for (int l = 0; l < m; ++l) {
+              const Sym got = core.wire_in.get(
+                  static_cast<std::size_t>(topo->dlink_from(l, topo->link(l).a)));
+              // Deletions arrive as ∗ at a round where a bit was expected:
+              // erasure (footnote 9). A ⊥ is equally out of place: erasure.
+              ecc_plane->rx_set(l, j,
+                                got == Sym::Zero  ? kWireZero
+                                : got == Sym::One ? kWireOne
+                                                  : kWireErased);
+            }
+          }
         }
       }
+      result.ctrl_exchange_repeats = shipped_reps;
       const EccPlane::DecodeStats stats = ecc_plane->decode_all(decoded, decode_ok);
       result.ecc_bit_erasures += stats.bit_erasures;
       result.ecc_symbol_erasures += stats.symbol_erasures;
@@ -253,6 +366,25 @@ struct CodedSimulation::Impl {
       if (b_lo != a_lo || b_hi != a_hi) {
         ++result.exchange_failures;
       }
+    }
+
+    if (adaptive_on()) {
+      if (!cfg.use_ecc_plane) {
+        // Exchange adaptation needs the ECC plane's puncture geometry; the
+        // legacy per-link path ships every repetition in full.
+        result.ctrl_exchange_repeats = exchange_code->repeats();
+      }
+      // Seed the window with the prologue so epoch 1's estimate already
+      // reflects an opening attack, and let a failed decode (or a master
+      // that ended unequal) pin the top tier for a full window.
+      const ChannelObservation prologue =
+          observation_delta(engine->counters(), prologue_mark);
+      for (AdaptiveController& c : ctrl) {
+        c.seed_window(prologue);
+        c.note_exchange_anatomy(result.ecc_symbol_erasures,
+                                result.ecc_rs_failures + result.exchange_failures);
+      }
+      assert_controller_agreement();
     }
   }
 
@@ -348,13 +480,22 @@ struct CodedSimulation::Impl {
                                           static_cast<double>(result.cc_chunked));
     result.noise_fraction = result.counters.noise_fraction();
     result.iterations = plan.iterations();
+
+    if (adaptive_on()) {
+      result.ctrl_epochs = ctrl[0].epochs();
+      result.ctrl_switches = ctrl[0].switches();
+      result.ctrl_final_tier = ctrl[0].params().tier;
+      result.ctrl_schedule = ctrl[0].schedule();
+    }
   }
 
   SimulationResult run() {
     {
       obs::TimerScope total(obs, &obs::RunTimings::total_ns, "coded_run");
       run_randomness_exchange();
+      const int epoch_iters = std::max(1, cfg.adaptive_epoch_iters);
       for (int it = 0; it < plan.iterations(); ++it) {
+        if (adaptive_on() && it % epoch_iters == 0) on_epoch_boundary(it);
         obs::Span it_span(obs.tracer(), "iteration", "scheme", "iteration", it);
         if (cfg.record_trace) record_trace(it);
         {

@@ -24,6 +24,7 @@
 #include <memory>
 #include <vector>
 
+#include "core/adaptive_controller.h"
 #include "core/config.h"
 #include "core/meeting_points.h"
 #include "core/transcript.h"
@@ -70,6 +71,14 @@ struct SimulationResult {
   long ecc_bit_erasures = 0;     // erased wire bits seen by the exchange decoder
   long ecc_symbol_erasures = 0;  // inner SECDED failures → outer erasures
   int ecc_rs_failures = 0;       // links whose outer RS decode failed
+  // Adaptive redundancy controller (DESIGN.md §14; populated only when
+  // SchemeConfig::adaptive — zero/empty on the fixed path, and like the ecc_*
+  // stats not part of the run digest).
+  int ctrl_epochs = 0;             // epoch-boundary decisions taken
+  long ctrl_switches = 0;          // decisions that changed the parameters
+  int ctrl_exchange_repeats = 0;   // exchange repetitions actually shipped
+  int ctrl_final_tier = 0;         // tier in force when the run ended
+  std::vector<EpochRecord> ctrl_schedule;  // one row per observed epoch
   int iterations = 0;
   long replayer_rebuilds = 0;
   // (link, chunk) records fed by those rebuilds — suffix-only under the

@@ -96,6 +96,23 @@ struct SchemeConfig {
   // Θ(|Π|·K/m) per §5 (with a floor of one base codeword).
   long exchange_target_bits = 0;
 
+  // Adaptive redundancy controller (DESIGN.md §14): estimate the live
+  // corruption rate from the public engine counters over a sliding window of
+  // epochs and retune τ, the replay-checkpoint cadence and the exchange
+  // repetition/parity budget at epoch boundaries. The round timetable never
+  // changes — adaptation transmits fewer symbols on the reserved rounds — and
+  // both endpoints derive bit-identical schedules (asserted per epoch). Off
+  // by default; the fixed path is bit-identical to a build without the
+  // controller (pinned by the golden corpus).
+  bool adaptive = false;
+
+  // Epoch length in iterations, the sliding-window length in epochs, and the
+  // τ the controller may relax down to on observed-quiet channels (clamped
+  // to τ). Only read when `adaptive` is set.
+  int adaptive_epoch_iters = 4;
+  int adaptive_window_epochs = 4;
+  int adaptive_tau_floor = 6;
+
   // Record the per-iteration progress trace (G*, H*, B*, ...) — costs a
   // little time and memory; used by the potential-trace experiment.
   bool record_trace = false;

@@ -46,6 +46,7 @@ void SimCore::init() {
   replay_dirty.assign(static_cast<std::size_t>(n), 0);
   status.assign(static_cast<std::size_t>(n), 1);
   net_correct.assign(static_cast<std::size_t>(n), 1);
+  tau_eff = tau;
   tr.resize(eps);
   mp.resize(eps);
   seeds.resize(eps);
@@ -104,7 +105,11 @@ MeetingPointsExec::MeetingPointsExec(SimCore& core) : c_(&core) {
 void MeetingPointsExec::run(int iteration) {
   SimCore& c = *c_;
   const long mp_rounds = c.plan->mp_rounds();
-  const int tau = c.tau;
+  // The epoch's effective hash length (== c.tau unless the adaptive
+  // controller relaxed it). The plan reserves 3·c.tau rounds; only the first
+  // 3·τ_eff carry bits and the rest are stepped silently below.
+  const int tau = c.tau_eff;
+  GKR_ASSERT(tau >= 1 && tau <= c.tau);
 
   // Prepare outgoing messages. Default path: one plane fill materializes all
   // endpoints' seed words, then each prepare reads its flat view — no
@@ -160,7 +165,8 @@ void MeetingPointsExec::run(int iteration) {
   }
 
   // Ship the 3τ bits, one per round per directed link (fully utilized).
-  for (long j = 0; j < mp_rounds; ++j) {
+  const long live_rounds = 3L * tau;
+  for (long j = 0; j < live_rounds; ++j) {
     for (PartyId u = 0; u < c.n; ++u) {
       for (int l : c.topo->links_of(u)) {
         const std::size_t e = static_cast<std::size_t>(c.ep(u, l));
@@ -179,6 +185,13 @@ void MeetingPointsExec::run(int iteration) {
             c.wire_in.get(static_cast<std::size_t>(SimCore::in_dlink(e)));
       }
     }
+  }
+  // The rounds a smaller τ_eff leaves unused: step them silently so the
+  // timetable holds. Nothing is collected, so adversary insertions here are
+  // ignored by the parse (they still hit the public corruption counters the
+  // controller estimates from).
+  for (long j = live_rounds; j < mp_rounds; ++j) {
+    c.step(iteration, Phase::MeetingPoints);
   }
 
   // Process.

@@ -55,6 +55,11 @@ struct SimCore {
   SimulationResult* result = nullptr;
   obs::RunObs* obs = nullptr;  // null ⇒ observability off
   int n = 0, m = 0, tau = 0;
+  // Hash bits in force this epoch (DESIGN.md §14): τ_eff ≤ τ, re-published by
+  // the adaptive controller at epoch boundaries; always == τ when adaptation
+  // is off. The seed plane and the RoundPlan stay sized at τ — the rounds MP
+  // does not use at a smaller τ_eff are stepped silently.
+  int tau_eff = 0;
 
   // Wire state (packed, indexed by directed link) and the round cursor.
   PackedSymVec wire_out, wire_in;

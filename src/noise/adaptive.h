@@ -18,6 +18,9 @@
 // DeliveryEquivalence suite).
 #pragma once
 
+#include <algorithm>
+#include <cstdint>
+#include <limits>
 #include <memory>
 #include <vector>
 
@@ -32,36 +35,51 @@ namespace gkr {
 // Deliberate and documented: a rate-0 adversary can still spend exactly
 // kDefaultHeadStart corruptions (bench F6 and attack_lab use a rate-0
 // "opener" for precisely this). Pass head_start = 0 to forbid it.
-inline constexpr long kDefaultHeadStart = 4;
+inline constexpr std::int64_t kDefaultHeadStart = 4;
 
 // Per-type record of the corruptions an attacker inflicted, classified by the
 // same (sent, delivered) taxonomy the engine's word-diff uses (§2.1), so the
-// budget-invariant tests can equate the two ledgers exactly.
+// budget-invariant tests can equate the two ledgers exactly. Fixed-width
+// 64-bit everywhere: `long` is 32 bits on LLP64 targets, and long adaptive
+// runs overflow it.
 struct SpendLedger {
-  long substitutions = 0;
-  long deletions = 0;
-  long insertions = 0;
+  std::int64_t substitutions = 0;
+  std::int64_t deletions = 0;
+  std::int64_t insertions = 0;
 
-  long total() const noexcept { return substitutions + deletions + insertions; }
+  std::int64_t total() const noexcept { return substitutions + deletions + insertions; }
 };
 
 // Shared budget logic for adaptive adversaries. Allowance is computed with
 // integer semantics — ⌊rate × transmissions⌋ + head_start — instead of the
 // old `spent + 1.0 <= rate·tx + head_start` double comparison, whose
 // fractional boundary depended on rounding noise (e.g. rate = 1/3 at
-// tx = 3 earned 0.999…). The floor is taken with a +1e-9 tolerance so
-// products that are integral in exact arithmetic stay integral.
+// tx = 3 earned 0.999…).
+//
+// The floor tolerance is RELATIVE (ulp-scaled), not the old absolute +1e-9:
+// once rate·tx exceeds ~2^23 the representation error of an inexact `rate`
+// (e.g. 1.0/49) grows past 1e-9 and an absolute tolerance stops correcting
+// it, under-granting the intended ⌊tx/q⌋ by one on large runs (regression
+// pinned at tx ≥ 10^9 in tests/adaptive_redundancy_test.cpp). 8 ulps covers
+// the reciprocal's half-ulp error after the product rounds, while staying far
+// below 1 for any product < 2^50 — small-scale allowances are unchanged.
 class AdaptiveBudget {
  public:
-  explicit AdaptiveBudget(double rate, long head_start = kDefaultHeadStart)
+  explicit AdaptiveBudget(double rate, std::int64_t head_start = kDefaultHeadStart)
       : rate_(rate), head_start_(head_start) {}
 
   // Corruptions affordable so far. `counters.transmissions` already includes
   // the in-flight round (the engine accounts transmissions before delivery).
-  long allowance(const EngineCounters& counters) const noexcept {
+  std::int64_t allowance(const EngineCounters& counters) const noexcept {
     if (rate_ <= 0.0) return head_start_;
     const double earned = rate_ * static_cast<double>(counters.transmissions);
-    return static_cast<long>(earned + 1e-9) + head_start_;
+    const double tol =
+        std::max(1e-9, earned * 8 * std::numeric_limits<double>::epsilon());
+    const double floored = earned + tol;
+    // Saturate before the cast turns UB: doubles this large have no
+    // fractional part anyway, so the floor semantics are moot.
+    if (floored >= 9.0e18) return std::numeric_limits<std::int64_t>::max() / 2;
+    return static_cast<std::int64_t>(floored) + head_start_;
   }
 
   bool can_spend(const EngineCounters& counters) const noexcept {
@@ -81,14 +99,14 @@ class AdaptiveBudget {
     }
   }
 
-  long spent() const noexcept { return ledger_.total(); }
+  std::int64_t spent() const noexcept { return ledger_.total(); }
   const SpendLedger& ledger() const noexcept { return ledger_; }
   double rate() const noexcept { return rate_; }
-  long head_start() const noexcept { return head_start_; }
+  std::int64_t head_start() const noexcept { return head_start_; }
 
  private:
   double rate_;
-  long head_start_;
+  std::int64_t head_start_;
   SpendLedger ledger_;
 };
 
@@ -100,11 +118,11 @@ class BudgetedAttacker : public PlannedAdversary {
   const std::shared_ptr<AdaptiveBudget>& budget() const noexcept { return budget_; }
   void use_budget(std::shared_ptr<AdaptiveBudget> budget) { budget_ = std::move(budget); }
 
-  long spent() const noexcept { return budget_->spent(); }
+  std::int64_t spent() const noexcept { return budget_->spent(); }
   const SpendLedger& ledger() const noexcept { return budget_->ledger(); }
 
  protected:
-  BudgetedAttacker(double rate, long head_start)
+  BudgetedAttacker(double rate, std::int64_t head_start)
       : budget_(std::make_shared<AdaptiveBudget>(rate, head_start)) {}
 
  private:
@@ -116,7 +134,7 @@ class BudgetedAttacker : public PlannedAdversary {
 // transcript.
 class GreedyLinkAttacker final : public BudgetedAttacker {
  public:
-  GreedyLinkAttacker(double rate, int target_link, long head_start = kDefaultHeadStart)
+  GreedyLinkAttacker(double rate, int target_link, std::int64_t head_start = kDefaultHeadStart)
       : BudgetedAttacker(rate, head_start), target_link_(target_link) {}
 
   void plan_round(const RoundContext& ctx, const PackedSymVec& sent,
@@ -130,7 +148,7 @@ class GreedyLinkAttacker final : public BudgetedAttacker {
 // whenever affordable — the "keep the network out of sync" strategy.
 class DesyncAttacker final : public BudgetedAttacker {
  public:
-  explicit DesyncAttacker(double rate, long head_start = kDefaultHeadStart)
+  explicit DesyncAttacker(double rate, std::int64_t head_start = kDefaultHeadStart)
       : BudgetedAttacker(rate, head_start) {}
 
   void plan_round(const RoundContext& ctx, const PackedSymVec& sent,
@@ -145,7 +163,7 @@ class DesyncAttacker final : public BudgetedAttacker {
 // what the budget analysis kills (experiment F6).
 class EchoMpAttacker final : public BudgetedAttacker {
  public:
-  EchoMpAttacker(double rate, int target_link, long head_start = kDefaultHeadStart)
+  EchoMpAttacker(double rate, int target_link, std::int64_t head_start = kDefaultHeadStart)
       : BudgetedAttacker(rate, head_start), target_link_(target_link) {}
 
   void plan_round(const RoundContext& ctx, const PackedSymVec& sent,
@@ -159,7 +177,7 @@ class EchoMpAttacker final : public BudgetedAttacker {
 // the relative budget; the adaptive analogue of uniform_plan.
 class RandomAdaptiveAttacker final : public BudgetedAttacker {
  public:
-  RandomAdaptiveAttacker(double rate, Rng rng, long head_start = kDefaultHeadStart)
+  RandomAdaptiveAttacker(double rate, Rng rng, std::int64_t head_start = kDefaultHeadStart)
       : BudgetedAttacker(rate, head_start), rng_(rng) {}
 
   void plan_round(const RoundContext& ctx, const PackedSymVec& sent,

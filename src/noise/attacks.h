@@ -27,7 +27,7 @@ namespace gkr {
 // classifies every hit as an insertion.
 class InsertionFloodAttacker final : public BudgetedAttacker {
  public:
-  explicit InsertionFloodAttacker(double rate, long head_start = kDefaultHeadStart,
+  explicit InsertionFloodAttacker(double rate, std::int64_t head_start = kDefaultHeadStart,
                                   unsigned phase_mask = phase_bit(Phase::Simulation))
       : BudgetedAttacker(rate, head_start), phase_mask_(phase_mask) {}
 
@@ -46,7 +46,7 @@ class InsertionFloodAttacker final : public BudgetedAttacker {
 class ExchangeSniperAttacker final : public BudgetedAttacker {
  public:
   explicit ExchangeSniperAttacker(double rate, int target_link = -1,
-                                  long head_start = kDefaultHeadStart)
+                                  std::int64_t head_start = kDefaultHeadStart)
       : BudgetedAttacker(rate, head_start), target_link_(target_link) {}
 
   void plan_round(const RoundContext& ctx, const PackedSymVec& sent,
@@ -88,14 +88,14 @@ class MarkovBurstChannel final : public PlannedAdversary {
 // relative budget for the scheme's decisive coordination rounds.
 class RewindSniperAttacker final : public BudgetedAttacker {
  public:
-  explicit RewindSniperAttacker(double rate, long min_burst = 12, long head_start = 0)
+  explicit RewindSniperAttacker(double rate, std::int64_t min_burst = 12, std::int64_t head_start = 0)
       : BudgetedAttacker(rate, head_start), min_burst_(min_burst) {}
 
   void plan_round(const RoundContext& ctx, const PackedSymVec& sent,
                   const EngineCounters& counters, CorruptionSet& plan) override;
 
  private:
-  long min_burst_;
+  std::int64_t min_burst_;
 };
 
 }  // namespace gkr

@@ -59,6 +59,9 @@ void publish_result(Registry& reg, const SimulationResult& r) {
   add_counter(reg, "ecc/rs_failures", r.ecc_rs_failures);
   add_counter(reg, "replay/rebuilds", r.replayer_rebuilds);
   add_counter(reg, "replay/replayed_chunks", r.replayed_chunks);
+  add_counter(reg, "ctrl/epochs", r.ctrl_epochs);
+  add_counter(reg, "ctrl/switches", r.ctrl_switches);
+  add_counter(reg, "ctrl/exchange_repeats", r.ctrl_exchange_repeats);
 }
 
 void publish_timings(Registry& reg, const RunTimings& t) {
@@ -68,6 +71,7 @@ void publish_timings(Registry& reg, const RunTimings& t) {
     add_counter(reg, path, t.phase_ns[static_cast<std::size_t>(i)], /*timing=*/true);
   }
   add_counter(reg, "wall_ns/evaluate", t.evaluate_ns, /*timing=*/true);
+  add_counter(reg, "wall_ns/ctrl", t.ctrl_ns, /*timing=*/true);
   add_counter(reg, "wall_ns/total", t.total_ns, /*timing=*/true);
 }
 
@@ -96,6 +100,10 @@ void publish_record(Registry& reg, const sim::RunRecord& r) {
   add_counter(reg, "scheme/exchange_failures", r.exchange_failures);
   add_counter(reg, "replay/rebuilds", r.replayer_rebuilds);
   add_counter(reg, "replay/replayed_chunks", r.replayed_chunks);
+  add_counter(reg, "sweep/adaptive_runs", r.adaptive ? 1 : 0);
+  add_counter(reg, "ctrl/epochs", r.ctrl_epochs);
+  add_counter(reg, "ctrl/switches", r.ctrl_switches);
+  add_counter(reg, "ctrl/exchange_repeats", r.ctrl_exchange_repeats);
 
   reg.observe(reg.histogram("sweep/hist/cc_coded"),
               static_cast<std::uint64_t>(r.cc_coded < 0 ? 0 : r.cc_coded));

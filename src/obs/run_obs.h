@@ -35,6 +35,10 @@ std::int64_t monotonic_ns() noexcept;
 struct RunTimings {
   std::array<std::int64_t, kNumPhases> phase_ns{};
   std::int64_t evaluate_ns = 0;
+  // Adaptive-controller decision time (DESIGN.md §14): epoch-boundary
+  // observation + retuning. Not a wire phase — kNumPhases is frozen by the
+  // golden-corpus digest — so it gets its own slot like evaluate_ns.
+  std::int64_t ctrl_ns = 0;
   std::int64_t total_ns = 0;
 
   std::int64_t phases_total_ns() const noexcept {
@@ -47,7 +51,7 @@ struct RunTimings {
   // bench_overhead_anatomy acceptance gate asserts this stays ≥ 0.95.
   double coverage() const noexcept {
     if (total_ns <= 0) return 0.0;
-    return static_cast<double>(phases_total_ns() + evaluate_ns) /
+    return static_cast<double>(phases_total_ns() + evaluate_ns + ctrl_ns) /
            static_cast<double>(total_ns);
   }
 };

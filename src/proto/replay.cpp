@@ -33,6 +33,11 @@ void PartyReplayer::enable_checkpoints(int interval_chunks) {
                                                proto_->topology().num_links());
 }
 
+void PartyReplayer::set_checkpoint_interval(int interval_chunks) {
+  if (ckpt_ == nullptr || interval_chunks <= 0) return;
+  ckpt_->set_interval(interval_chunks);
+}
+
 void PartyReplayer::reset() {
   logic_ = proto_->spec().make_logic(self_, input_);
   dlink_parity_.assign(static_cast<std::size_t>(proto_->topology().num_dlinks()), false);

@@ -101,6 +101,12 @@ class PartyReplayer {
   // note_aligned_append. Results are bit-identical either way.
   void enable_checkpoints(int interval_chunks);
 
+  // Retune the snapshot cadence mid-run (the adaptive controller's quiet-
+  // channel lever, DESIGN.md §14). Cadence only gates when captures happen —
+  // existing checkpoints stay valid and restorable — so changing it is a pure
+  // cost decision, never a behavior change. No-op without checkpoints.
+  void set_checkpoint_interval(int interval_chunks);
+
   // Rebuild the automaton from recorded history. chunks_per_link[link] bounds
   // how many chunks to feed for each incident link (pass the transcript
   // lengths). Non-incident links are ignored.

@@ -50,6 +50,13 @@ class ReplayCheckpointer {
   ReplayCheckpointer(int interval, int num_links);
 
   int interval() const noexcept { return interval_; }
+
+  // Change the snapshot cadence. Only the capture condition reads the
+  // interval, so a mid-run change affects which future boundaries snapshot
+  // and nothing else; retained checkpoints remain restorable.
+  void set_interval(int interval) noexcept {
+    if (interval > 0) interval_ = interval;
+  }
   std::size_t size() const noexcept { return stack_.size(); }
 
   // Instrumentation: checkpoints restored / dropped as invalid, lifetime.

@@ -20,7 +20,8 @@ namespace gkr::sim {
 std::size_t ParamGrid::num_points() const {
   const std::size_t scenarios =
       zip_variant_noise ? variants.size() : variants.size() * noises.size();
-  return scenarios * topologies.size() * protocols.size() * noise_fractions.size();
+  return scenarios * topologies.size() * protocols.size() * noise_fractions.size() *
+         adaptive_modes.size();
 }
 
 std::vector<RunSpec> expand_grid(const ParamGrid& grid) {
@@ -29,6 +30,7 @@ std::vector<RunSpec> expand_grid(const ParamGrid& grid) {
   GKR_ASSERT_MSG(!grid.protocols.empty(), "ParamGrid: protocols axis is empty");
   GKR_ASSERT_MSG(!grid.noises.empty(), "ParamGrid: noises axis is empty");
   GKR_ASSERT_MSG(!grid.noise_fractions.empty(), "ParamGrid: noise_fractions axis is empty");
+  GKR_ASSERT_MSG(!grid.adaptive_modes.empty(), "ParamGrid: adaptive_modes axis is empty");
   GKR_ASSERT_MSG(grid.repetitions > 0, "ParamGrid: repetitions must be positive");
   if (grid.zip_variant_noise) {
     GKR_ASSERT_MSG(grid.variants.size() == grid.noises.size(),
@@ -37,26 +39,33 @@ std::vector<RunSpec> expand_grid(const ParamGrid& grid) {
 
   std::vector<RunSpec> specs;
   specs.reserve(grid.num_runs());
-  long grid_index = 0;
-  const int num_scenarios = static_cast<int>(grid.variants.size());
-  const int num_noises = grid.zip_variant_noise ? 1 : static_cast<int>(grid.noises.size());
-  for (int s = 0; s < num_scenarios; ++s) {
-    for (int t = 0; t < static_cast<int>(grid.topologies.size()); ++t) {
-      for (int p = 0; p < static_cast<int>(grid.protocols.size()); ++p) {
-        for (int n = 0; n < num_noises; ++n) {
-          for (int u = 0; u < static_cast<int>(grid.noise_fractions.size()); ++u) {
-            for (int rep = 0; rep < grid.repetitions; ++rep) {
-              RunSpec spec;
-              spec.grid_index = grid_index;
-              spec.rep = rep;
-              spec.variant_i = s;
-              spec.topology_i = t;
-              spec.protocol_i = p;
-              spec.noise_i = grid.zip_variant_noise ? s : n;
-              spec.mu_i = u;
-              specs.push_back(spec);
+  // Widened index loops: axis sizes are size_t, the flat index is uint64 —
+  // no narrowing anywhere on the enumeration path (seed derivation consumes
+  // grid_index as uint64, so the expansion is byte-identical to the old
+  // int/long loops for every grid that fit them).
+  std::uint64_t grid_index = 0;
+  const std::size_t num_scenarios = grid.variants.size();
+  const std::size_t num_noises = grid.zip_variant_noise ? std::size_t{1} : grid.noises.size();
+  for (std::size_t s = 0; s < num_scenarios; ++s) {
+    for (std::size_t t = 0; t < grid.topologies.size(); ++t) {
+      for (std::size_t p = 0; p < grid.protocols.size(); ++p) {
+        for (std::size_t n = 0; n < num_noises; ++n) {
+          for (std::size_t u = 0; u < grid.noise_fractions.size(); ++u) {
+            for (std::size_t a = 0; a < grid.adaptive_modes.size(); ++a) {
+              for (int rep = 0; rep < grid.repetitions; ++rep) {
+                RunSpec spec;
+                spec.grid_index = grid_index;
+                spec.rep = rep;
+                spec.variant_i = static_cast<int>(s);
+                spec.topology_i = static_cast<int>(t);
+                spec.protocol_i = static_cast<int>(p);
+                spec.noise_i = grid.zip_variant_noise ? static_cast<int>(s) : static_cast<int>(n);
+                spec.mu_i = static_cast<int>(u);
+                spec.adaptive_i = static_cast<int>(a);
+                specs.push_back(spec);
+              }
+              ++grid_index;
             }
-            ++grid_index;
           }
         }
       }

@@ -1,12 +1,14 @@
 // Declarative parameter grids for simulation sweeps.
 //
-// A ParamGrid is the cross product of six axes — coding-scheme variant,
-// topology, protocol, noise strategy, noise fraction μ, repetition — whose
-// expansion (expand_grid) fixes a canonical flat enumeration. Every run is
-// identified by (grid_index, rep); its randomness is
-// derive_seed(base_seed, grid_index, rep), so a sweep's results are a pure
+// A ParamGrid is the cross product of seven axes — coding-scheme variant,
+// topology, protocol, noise strategy, noise fraction μ, adaptive mode,
+// repetition — whose expansion (expand_grid) fixes a canonical flat
+// enumeration. Every run is identified by (grid_index, rep); its randomness
+// is derive_seed(base_seed, grid_index, rep), so a sweep's results are a pure
 // function of the grid and base seed, independent of execution order
-// (DESIGN.md §7).
+// (DESIGN.md §7). The adaptive axis defaults to the single mode {off}, so
+// grids that never mention it enumerate exactly as they did when there were
+// six axes.
 //
 // The variant and noise axes can optionally be *zipped* instead of crossed
 // (zip_variant_noise): scenario i pairs variants[i] with noises[i]. This is
@@ -72,6 +74,10 @@ struct ParamGrid {
   std::vector<ProtocolFactory> protocols;
   std::vector<NoiseFactory> noises;
   std::vector<double> noise_fractions{0.0};
+  // Adaptive-controller axis (DESIGN.md §14): 0 = fixed parameters, 1 = the
+  // channel-state-driven controller. Coded runs only; uncoded baselines
+  // ignore the mode. Size-1 default keeps legacy enumerations byte-stable.
+  std::vector<int> adaptive_modes{0};
   int repetitions = 1;
 
   // Zip variants[i] with noises[i] (sizes must match) instead of crossing
@@ -89,15 +95,19 @@ struct ParamGrid {
 // One cell of the expanded grid: axis indices plus the flat grid_index and
 // repetition number. grid_index enumerates points in row-major declaration
 // order — variant (or zipped scenario) slowest, then topology, protocol,
-// noise, μ — and rep varies fastest within a point.
+// noise, μ, adaptive mode — and rep varies fastest within a point.
+// grid_index is unsigned 64-bit: derive_seed consumes it as std::uint64_t,
+// and a crossed grid's point count can legitimately overflow 32-bit `long`
+// on LLP64 targets (the integer-math hardening pass, DESIGN.md §14).
 struct RunSpec {
-  long grid_index = 0;
+  std::uint64_t grid_index = 0;
   int rep = 0;
   int variant_i = 0;
   int topology_i = 0;
   int protocol_i = 0;
   int noise_i = 0;
   int mu_i = 0;
+  int adaptive_i = 0;
 };
 
 // Canonical expansion; result.size() == grid.num_runs(), ordered by

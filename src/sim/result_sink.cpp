@@ -31,6 +31,27 @@ void append_phase_wall_array(std::string& line, const std::array<double, kNumPha
   line += ']';
 }
 
+// JSON array for the controller's per-epoch schedule columns.
+void append_int_array(std::string& line, const std::vector<int>& v) {
+  line += '[';
+  for (std::size_t i = 0; i < v.size(); ++i) {
+    if (i) line += ',';
+    line += std::to_string(v[i]);
+  }
+  line += ']';
+}
+
+// CSV cell for the same: '|'-joined so the row stays one comma-separated
+// record ("12|3|0"); empty vector → empty cell.
+std::string pipe_join(const std::vector<int>& v) {
+  std::string s;
+  for (std::size_t i = 0; i < v.size(); ++i) {
+    if (i) s += '|';
+    s += std::to_string(v[i]);
+  }
+  return s;
+}
+
 }  // namespace
 
 void JsonlSink::consume(const RunRecord& r) {
@@ -74,6 +95,16 @@ void JsonlSink::consume(const RunRecord& r) {
   line += ",\"exchange_failures\":" + std::to_string(r.exchange_failures);
   line += ",\"replayer_rebuilds\":" + std::to_string(r.replayer_rebuilds);
   line += ",\"replayed_chunks\":" + std::to_string(r.replayed_chunks);
+  line += ",\"adaptive\":";
+  line += (r.adaptive ? "true" : "false");
+  line += ",\"ctrl_epochs\":" + std::to_string(r.ctrl_epochs);
+  line += ",\"ctrl_switches\":" + std::to_string(r.ctrl_switches);
+  line += ",\"ctrl_exchange_repeats\":" + std::to_string(r.ctrl_exchange_repeats);
+  line += ",\"ctrl_final_tier\":" + std::to_string(r.ctrl_final_tier);
+  line += ",\"ctrl_rate_q\":";
+  append_int_array(line, r.ctrl_rate_q);
+  line += ",\"ctrl_tau\":";
+  append_int_array(line, r.ctrl_tau);
   line += ",\"rounds\":" + std::to_string(r.rounds);
   if (include_timing_) {
     line += ",\"wall_ms\":" + fmt_double(r.wall_ms);
@@ -82,6 +113,7 @@ void JsonlSink::consume(const RunRecord& r) {
     line += ",\"phase_wall_ms\":";
     append_phase_wall_array(line, r.phase_wall_ms);
     line += ",\"evaluate_wall_ms\":" + fmt_double(r.evaluate_wall_ms);
+    line += ",\"ctrl_wall_ms\":" + fmt_double(r.ctrl_wall_ms);
     line += ",\"run_wall_ms\":" + fmt_double(r.run_wall_ms);
   }
   line += "}\n";
@@ -95,13 +127,14 @@ void CsvSink::begin(const SweepMeta& meta) {
            "blowup_vs_user,blowup_vs_chunked,corruptions,substitutions,deletions,"
            "insertions,noise_fraction,hash_collisions,mp_truncations,"
            "rewind_truncations,rewinds_sent,exchange_failures,"
-           "replayer_rebuilds,replayed_chunks,rounds";
+           "replayer_rebuilds,replayed_chunks,adaptive,ctrl_epochs,ctrl_switches,"
+           "ctrl_exchange_repeats,ctrl_final_tier,ctrl_rate_q,ctrl_tau,rounds";
   if (include_timing_) {
     *out_ << ",wall_ms,rounds_per_sec,syms_per_sec";
     for (int i = 0; i < kNumPhases; ++i) {
       *out_ << ",wall_" << phase_name(static_cast<Phase>(i)) << "_ms";
     }
-    *out_ << ",evaluate_wall_ms,run_wall_ms";
+    *out_ << ",evaluate_wall_ms,ctrl_wall_ms,run_wall_ms";
   }
   *out_ << '\n';
 }
@@ -141,6 +174,13 @@ void CsvSink::consume(const RunRecord& r) {
   line += ',' + std::to_string(r.exchange_failures);
   line += ',' + std::to_string(r.replayer_rebuilds);
   line += ',' + std::to_string(r.replayed_chunks);
+  line += ',' + std::to_string(r.adaptive ? 1 : 0);
+  line += ',' + std::to_string(r.ctrl_epochs);
+  line += ',' + std::to_string(r.ctrl_switches);
+  line += ',' + std::to_string(r.ctrl_exchange_repeats);
+  line += ',' + std::to_string(r.ctrl_final_tier);
+  line += ',' + pipe_join(r.ctrl_rate_q);
+  line += ',' + pipe_join(r.ctrl_tau);
   line += ',' + std::to_string(r.rounds);
   if (include_timing_) {
     line += ',' + fmt_double(r.wall_ms);
@@ -150,6 +190,7 @@ void CsvSink::consume(const RunRecord& r) {
       line += ',' + fmt_double(r.phase_wall_ms[static_cast<std::size_t>(i)]);
     }
     line += ',' + fmt_double(r.evaluate_wall_ms);
+    line += ',' + fmt_double(r.ctrl_wall_ms);
     line += ',' + fmt_double(r.run_wall_ms);
   }
   line += '\n';

@@ -10,6 +10,7 @@
 #include <array>
 #include <cstdint>
 #include <string>
+#include <vector>
 
 #include "net/channel.h"
 #include "net/round_engine.h"
@@ -17,8 +18,10 @@
 namespace gkr::sim {
 
 struct RunRecord {
-  // Grid coordinates.
-  long grid_index = 0;
+  // Grid coordinates. grid_index matches RunSpec::grid_index (uint64: the
+  // seed derivation's native width, and crossed grids can outgrow 32-bit
+  // `long` on LLP64 targets).
+  std::uint64_t grid_index = 0;
   int rep = 0;
   std::uint64_t run_seed = 0;
   std::string variant;
@@ -62,6 +65,19 @@ struct RunRecord {
   long replayer_rebuilds = 0;
   long replayed_chunks = 0;
 
+  // Adaptive-controller anatomy (DESIGN.md §14). `adaptive` echoes the grid's
+  // adaptive-mode axis for this run; the ctrl_* fields are all-zero/empty for
+  // fixed runs and baselines. The per-epoch arrays (quantized corruption rate
+  // q10 and effective tau) are the controller's full public schedule —
+  // deterministic, so safe for sink output by default.
+  bool adaptive = false;
+  int ctrl_epochs = 0;
+  long ctrl_switches = 0;
+  int ctrl_exchange_repeats = 0;
+  int ctrl_final_tier = 0;
+  std::vector<int> ctrl_rate_q;
+  std::vector<int> ctrl_tau;
+
   // Engine throughput. `rounds` is deterministic (part of the timetable);
   // the rates are wall-clock derived and follow the wall_ms opt-in rule.
   long rounds = 0;            // engine rounds executed
@@ -80,6 +96,7 @@ struct RunRecord {
   // wall_ms. Uncoded baselines attribute their whole run to Phase::Baseline.
   std::array<double, kNumPhases> phase_wall_ms{};
   double evaluate_wall_ms = 0.0;
+  double ctrl_wall_ms = 0.0;
   double run_wall_ms = 0.0;
 };
 

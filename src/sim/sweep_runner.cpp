@@ -24,11 +24,12 @@ RunRecord SweepRunner::execute(const RunSpec& spec) const {
   const ProtocolFactory& proto_f = grid_.protocols[static_cast<std::size_t>(spec.protocol_i)];
   const NoiseFactory& noise_f = grid_.noises[static_cast<std::size_t>(spec.noise_i)];
   const double mu = grid_.noise_fractions[static_cast<std::size_t>(spec.mu_i)];
+  const bool adaptive = grid_.adaptive_modes[static_cast<std::size_t>(spec.adaptive_i)] != 0;
 
   RunRecord rec;
   rec.grid_index = spec.grid_index;
   rec.rep = spec.rep;
-  rec.run_seed = derive_seed(grid_.base_seed, static_cast<std::uint64_t>(spec.grid_index),
+  rec.run_seed = derive_seed(grid_.base_seed, spec.grid_index,
                              static_cast<std::uint64_t>(spec.rep));
   rec.variant = variant_name(variant);
   rec.topology = topo_f.name;
@@ -86,6 +87,8 @@ RunRecord SweepRunner::execute(const RunSpec& spec) const {
   } else {
     w.cfg.observability = opts_.observability;
     w.cfg.tracer = opts_.tracer;
+    w.cfg.adaptive = adaptive;
+    rec.adaptive = adaptive;
     CodedSimulation sim(*w.proto, w.inputs, w.reference, w.cfg, adv);
     const SimulationResult r = sim.run();
     for (int p = 0; p < kNumPhases; ++p) {
@@ -93,6 +96,7 @@ RunRecord SweepRunner::execute(const RunSpec& spec) const {
           static_cast<double>(r.timings.phase_ns[static_cast<std::size_t>(p)]) / 1e6;
     }
     rec.evaluate_wall_ms = static_cast<double>(r.timings.evaluate_ns) / 1e6;
+    rec.ctrl_wall_ms = static_cast<double>(r.timings.ctrl_ns) / 1e6;
     rec.run_wall_ms = static_cast<double>(r.timings.total_ns) / 1e6;
     rec.success = r.success;
     rec.iterations = r.iterations;
@@ -113,6 +117,16 @@ RunRecord SweepRunner::execute(const RunSpec& spec) const {
     rec.exchange_failures = r.exchange_failures;
     rec.replayer_rebuilds = r.replayer_rebuilds;
     rec.replayed_chunks = r.replayed_chunks;
+    rec.ctrl_epochs = r.ctrl_epochs;
+    rec.ctrl_switches = r.ctrl_switches;
+    rec.ctrl_exchange_repeats = r.ctrl_exchange_repeats;
+    rec.ctrl_final_tier = r.ctrl_final_tier;
+    rec.ctrl_rate_q.reserve(r.ctrl_schedule.size());
+    rec.ctrl_tau.reserve(r.ctrl_schedule.size());
+    for (const EpochRecord& e : r.ctrl_schedule) {
+      rec.ctrl_rate_q.push_back(e.rate_q10);
+      rec.ctrl_tau.push_back(e.params.tau);
+    }
     rec.rounds = r.counters.rounds;
   }
 

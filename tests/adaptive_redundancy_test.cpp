@@ -1,0 +1,363 @@
+// Tests for the adaptive redundancy controller (DESIGN.md §14) and the
+// budget/grid integer-math hardening pass that rides along with it:
+//
+//  * AdaptiveBudget::allowance — the relative-tolerance floor. The old
+//    absolute +1e-9 tolerance under-granted ⌊tx/q⌋ by one once rate·tx grew
+//    past ~2^23 (the reciprocal's representation error outruns a fixed
+//    epsilon); the regression triples below all fail against that formula.
+//  * Allowance properties: monotone in transmissions, exact at dyadic-rate
+//    integer boundaries, and within one of an arbitrary-precision
+//    (__int128) floor of the product across random rates and scales.
+//  * AdaptiveController unit behavior: rate quantization, tier mapping,
+//    asymmetric hysteresis, hostile hold, schedule recording, and replica
+//    digest agreement.
+//  * End-to-end determinism: two identical adaptive runs under every
+//    standard registry adversary produce identical schedules and identical
+//    communication — the property that lets all n parties run controller
+//    replicas with no coordination traffic.
+//  * Quiet-channel savings: on a clean channel the controller must beat the
+//    fixed configuration's communication without giving up success.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <memory>
+#include <vector>
+
+#include "core/adaptive_controller.h"
+#include "core/coding_scheme.h"
+#include "net/round_engine.h"
+#include "net/topology.h"
+#include "noise/adaptive.h"
+#include "sim/param_grid.h"
+#include "sim/workload.h"
+#include "util/rng.h"
+
+namespace gkr {
+namespace {
+
+EngineCounters counters_with_tx(long tx) {
+  EngineCounters c;
+  c.transmissions = tx;
+  return c;
+}
+
+// Arbitrary-precision reference for ⌊rate · tx⌋: decompose the double into
+// mantissa × 2^exp exactly, then do the product and shift in 128-bit integer
+// arithmetic. Exact for every finite non-negative rate and tx ≥ 0 that fits.
+std::int64_t exact_floor_product(double rate, std::int64_t tx) {
+  if (rate <= 0.0 || tx == 0) return 0;
+  int exp = 0;
+  const double mant = std::frexp(rate, &exp);  // rate = mant · 2^exp, mant ∈ [0.5, 1)
+  const auto m = static_cast<__int128>(std::ldexp(mant, 53));  // integer, < 2^53
+  const int shift = 53 - exp;  // rate · tx = m · tx / 2^shift
+  __int128 prod = m * static_cast<__int128>(tx);
+  if (shift >= 127) return 0;
+  prod >>= shift;
+  return static_cast<std::int64_t>(prod);
+}
+
+// ---------------------------------------------------------------------------
+// AdaptiveBudget: the upper-binade under-grant regression.
+
+TEST(AdaptiveBudgetMath, LargeRunReciprocalRatesGrantExactQuotient) {
+  // Each triple (q, k, tx) has tx = q·k + r with the intended allowance
+  // ⌊tx/q⌋ = k; the pre-fix absolute-tolerance formula returned k − 1 because
+  // (1.0/q)·tx rounds to just below k and +1e-9 can no longer bridge the gap
+  // at this magnitude.
+  struct Case {
+    std::int64_t q, k, tx;
+  };
+  const Case cases[] = {
+      {49, 1792363284, 87825800916LL},
+      {103, 4254378494, 438200984882LL},
+      {197, 7526294131, 1482679943807LL},
+  };
+  for (const Case& c : cases) {
+    SCOPED_TRACE(testing::Message() << "q=" << c.q << " tx=" << c.tx);
+    ASSERT_EQ(c.tx / c.q, c.k);  // the triple really encodes ⌊tx/q⌋ = k
+    AdaptiveBudget budget(1.0 / static_cast<double>(c.q), /*head_start=*/0);
+    EXPECT_EQ(budget.allowance(counters_with_tx(c.tx)), c.k);
+  }
+}
+
+TEST(AdaptiveBudgetMath, AllowanceIsMonotoneInTransmissions) {
+  const double rates[] = {1.0 / 3.0, 1.0 / 49.0, 0.01, 0.004, 0.37, 1.0};
+  Rng rng(0x5eedULL);
+  for (double rate : rates) {
+    AdaptiveBudget budget(rate, /*head_start=*/0);
+    std::int64_t prev = 0;
+    std::int64_t tx = 0;
+    for (int i = 0; i < 2000; ++i) {
+      tx += static_cast<std::int64_t>(rng.next_below(1u << 20)) + 1;
+      const std::int64_t a = budget.allowance(counters_with_tx(tx));
+      EXPECT_GE(a, prev) << "rate=" << rate << " tx=" << tx;
+      prev = a;
+    }
+  }
+}
+
+TEST(AdaptiveBudgetMath, DyadicRatesAreExactAtIntegerBoundaries) {
+  // rate = a / 2^s is representable exactly, so allowance(t · 2^s) must be
+  // exactly a·t + head_start — the tolerance may never push past the next
+  // integer when the product is itself an integer.
+  for (int s = 1; s <= 20; s += 3) {
+    for (std::int64_t a = 1; a < (1 << s); a = a * 3 + 1) {
+      const double rate = static_cast<double>(a) / static_cast<double>(1LL << s);
+      AdaptiveBudget budget(rate, /*head_start=*/5);
+      for (std::int64_t t : {1LL, 7LL, 1000LL, 123456LL, 99999999LL}) {
+        const std::int64_t tx = t << s;
+        EXPECT_EQ(budget.allowance(counters_with_tx(tx)), a * t + 5)
+            << "a=" << a << " s=" << s << " t=" << t;
+      }
+    }
+  }
+}
+
+TEST(AdaptiveBudgetMath, AllowanceAgreesWithArbitraryPrecisionReference) {
+  // Randomized sweep across rates and tx magnitudes (up to ~10^12): the
+  // double-path allowance may exceed the exact rational floor only through
+  // the deliberate tolerance, i.e. by at most 1, and must never under-grant.
+  Rng rng(0xadabULL);
+  for (int i = 0; i < 20000; ++i) {
+    const std::int64_t q = static_cast<std::int64_t>(rng.next_below(997)) + 2;
+    const double rate = 1.0 / static_cast<double>(q);
+    const std::int64_t tx = static_cast<std::int64_t>(rng.next_u64() % 2000000000000ULL);
+    const std::int64_t expected = exact_floor_product(rate, tx);
+    AdaptiveBudget budget(rate, /*head_start=*/0);
+    const std::int64_t got = budget.allowance(counters_with_tx(tx));
+    // The exact floor of the *double* product can sit one below the rational
+    // ⌊tx/q⌋ (that is the regression); the tolerance restores it. Either way
+    // the result stays within one corruption of the exact rational intent.
+    const std::int64_t rational = tx / q;
+    EXPECT_GE(got, expected) << "q=" << q << " tx=" << tx;
+    EXPECT_LE(got, rational + 1) << "q=" << q << " tx=" << tx;
+    EXPECT_GE(got, rational) << "q=" << q << " tx=" << tx;
+  }
+}
+
+TEST(AdaptiveBudgetMath, SaturatesInsteadOfOverflowing) {
+  AdaptiveBudget budget(1.0, /*head_start=*/0);
+  EngineCounters c;
+  c.transmissions = std::numeric_limits<long>::max();
+  const std::int64_t a = budget.allowance(c);
+  EXPECT_GT(a, 0);  // no UB-driven negative wraparound
+}
+
+// ---------------------------------------------------------------------------
+// AdaptiveController decision rule.
+
+AdaptiveController::Tuning test_tuning() {
+  AdaptiveController::Tuning t;
+  t.base_tau = 8;
+  t.tau_floor = 6;
+  t.base_checkpoint_interval = 4;
+  t.exchange_repeats = 3;
+  t.exchange_parity_symbols = 8;
+  t.window_epochs = 4;
+  return t;
+}
+
+ChannelObservation quiet_epoch() {
+  ChannelObservation o;
+  o.transmissions = 10000;
+  return o;
+}
+
+ChannelObservation hostile_epoch() {
+  ChannelObservation o;
+  o.transmissions = 10000;
+  // 30% in-epoch: hostile even after the sliding window dilutes it across
+  // W = 4 quiet epochs (3000 / 40000 ≈ 7.5% ≫ the 4.7% tier-3 threshold).
+  o.substitutions = 3000;
+  return o;
+}
+
+TEST(AdaptiveControllerRule, RateQuantization) {
+  EXPECT_EQ(AdaptiveController::quantize_rate(0, 10000), 0);
+  EXPECT_EQ(AdaptiveController::quantize_rate(0, 0), 0);
+  // No traffic but corruption (pure insertions): saturate to the max rate.
+  EXPECT_EQ(AdaptiveController::quantize_rate(5, 0), 1 << 10);
+  EXPECT_EQ(AdaptiveController::quantize_rate(1, 1024), 1);
+  EXPECT_EQ(AdaptiveController::quantize_rate(1, 2048), 0);  // floor
+  EXPECT_EQ(AdaptiveController::quantize_rate(1 << 20, 1), 1 << 10);  // saturated
+}
+
+TEST(AdaptiveControllerRule, TierMapping) {
+  EXPECT_EQ(AdaptiveController::tier_for(0), 0);
+  EXPECT_EQ(AdaptiveController::tier_for(1), 1);
+  EXPECT_EQ(AdaptiveController::tier_for(12), 1);
+  EXPECT_EQ(AdaptiveController::tier_for(13), 2);
+  EXPECT_EQ(AdaptiveController::tier_for(48), 2);
+  EXPECT_EQ(AdaptiveController::tier_for(49), 3);
+  EXPECT_EQ(AdaptiveController::tier_for(1 << 10), 3);
+}
+
+TEST(AdaptiveControllerRule, StartsAtTopTierWithFixedParameters) {
+  AdaptiveController ctrl(test_tuning());
+  EXPECT_EQ(ctrl.tier(), AdaptiveController::kTiers - 1);
+  EXPECT_EQ(ctrl.params().tau, 8);
+  EXPECT_EQ(ctrl.params().checkpoint_interval, 4);
+  EXPECT_EQ(ctrl.params().exchange_repeats, 3);
+  EXPECT_EQ(ctrl.params().exchange_parity_symbols, 8);
+}
+
+TEST(AdaptiveControllerRule, DescendsOneTierPerTwoQuietEpochs) {
+  AdaptiveController ctrl(test_tuning());
+  // The window starts empty, so every epoch below observes target tier 0;
+  // hysteresis admits one step down per two consecutive low epochs.
+  std::vector<int> tiers;
+  for (int e = 0; e < 8; ++e) {
+    ctrl.observe_epoch(quiet_epoch());
+    tiers.push_back(ctrl.tier());
+  }
+  EXPECT_EQ(tiers, (std::vector<int>{3, 2, 2, 1, 1, 0, 0, 0}));
+  EXPECT_EQ(ctrl.epochs(), 8);
+  EXPECT_EQ(ctrl.switches(), 3);
+  EXPECT_EQ(ctrl.params().tau, 6);          // tau_floor at tier 0
+  EXPECT_EQ(ctrl.params().exchange_repeats, 1);
+}
+
+TEST(AdaptiveControllerRule, HostileEpochRaisesImmediately) {
+  AdaptiveController ctrl(test_tuning());
+  for (int e = 0; e < 8; ++e) ctrl.observe_epoch(quiet_epoch());
+  ASSERT_EQ(ctrl.tier(), 0);
+  ctrl.observe_epoch(hostile_epoch());
+  EXPECT_EQ(ctrl.tier(), AdaptiveController::kTiers - 1)
+      << "tier increases must not be damped by hysteresis";
+}
+
+TEST(AdaptiveControllerRule, FailedExchangeDecodePinsTopTier) {
+  AdaptiveController ctrl(test_tuning());
+  ctrl.note_exchange_anatomy(/*symbol_erasures=*/50, /*decode_failures=*/1);
+  // One full window of quiet epochs may not unseat the hold.
+  for (int e = 0; e < test_tuning().window_epochs; ++e) {
+    ctrl.observe_epoch(quiet_epoch());
+    EXPECT_EQ(ctrl.tier(), AdaptiveController::kTiers - 1) << "epoch " << e;
+  }
+  // After the hold expires the normal descent resumes.
+  for (int e = 0; e < 8; ++e) ctrl.observe_epoch(quiet_epoch());
+  EXPECT_EQ(ctrl.tier(), 0);
+}
+
+TEST(AdaptiveControllerRule, ScheduleRecordsEveryEpoch) {
+  AdaptiveController ctrl(test_tuning());
+  ctrl.observe_epoch(quiet_epoch());
+  ctrl.observe_epoch(hostile_epoch());
+  const std::vector<EpochRecord>& sched = ctrl.schedule();
+  ASSERT_EQ(sched.size(), 2u);
+  EXPECT_EQ(sched[0].epoch, 1);
+  EXPECT_EQ(sched[0].rate_q10, 0);
+  EXPECT_EQ(sched[1].epoch, 2);
+  EXPECT_GT(sched[1].rate_q10, 48);
+  EXPECT_EQ(sched[1].params.tau, 8);
+}
+
+TEST(AdaptiveControllerRule, SegmentPlanIsPureAndTierMonotone) {
+  AdaptiveController ctrl(test_tuning());
+  ChannelObservation clean;
+  clean.transmissions = 5000;
+  // Clean prologue so far: slack repetitions are skipped entirely.
+  EXPECT_FALSE(ctrl.plan_exchange_segment(1, clean).ship);
+  // A hostile prologue ships every repetition at full parity.
+  ChannelObservation hot = clean;
+  hot.substitutions = 400;
+  const AdaptiveController::SegmentPlan p = ctrl.plan_exchange_segment(1, hot);
+  EXPECT_TRUE(p.ship);
+  EXPECT_EQ(p.parity_symbols, 8);
+  // Repetition 0 always ships regardless of the observation.
+  EXPECT_TRUE(ctrl.plan_exchange_segment(0, clean).ship);
+  // Pure function: same inputs, same plan, no state consumed.
+  EXPECT_EQ(ctrl.plan_exchange_segment(1, hot), ctrl.plan_exchange_segment(1, hot));
+}
+
+TEST(AdaptiveControllerRule, ReplicasFedIdenticalDeltasAgreeBitwise) {
+  AdaptiveController a(test_tuning());
+  AdaptiveController b(test_tuning());
+  EXPECT_EQ(a.state_digest(), b.state_digest());
+  Rng rng(0x7777ULL);
+  for (int e = 0; e < 64; ++e) {
+    ChannelObservation o;
+    o.transmissions = static_cast<std::int64_t>(rng.next_below(20000)) + 1;
+    o.substitutions = static_cast<std::int64_t>(rng.next_below(700));
+    o.deletions = static_cast<std::int64_t>(rng.next_below(100));
+    o.insertions = static_cast<std::int64_t>(rng.next_below(100));
+    a.observe_epoch(o);
+    b.observe_epoch(o);
+    ASSERT_EQ(a.state_digest(), b.state_digest()) << "diverged at epoch " << e;
+    ASSERT_EQ(a.params(), b.params());
+  }
+}
+
+// ---------------------------------------------------------------------------
+// End-to-end: determinism under every registry adversary, savings when quiet.
+
+SimulationResult run_adaptive(const char* noise_spec, double mu, int epoch_iters = 4) {
+  sim::Workload w =
+      sim::gossip_workload(std::make_shared<Topology>(Topology::ring(4)),
+                           Variant::ExchangeNonOblivious, /*seed=*/2026, /*rounds=*/6);
+  w.cfg.adaptive = true;
+  w.cfg.adaptive_epoch_iters = epoch_iters;
+  const sim::NoiseFactory factory = sim::noise_factory(noise_spec);
+  Rng noise_rng(7);
+  sim::BuiltNoise noise = factory.build(w, mu, noise_rng);
+  NoNoise none;
+  ChannelAdversary& adv =
+      noise.adversary ? *noise.adversary : static_cast<ChannelAdversary&>(none);
+  return w.run(adv);
+}
+
+TEST(AdaptiveEndToEnd, TwinRunsDeriveIdenticalSchedulesUnderEveryAdversary) {
+  for (const std::string& name : sim::standard_noise_names()) {
+    SCOPED_TRACE(name);
+    const double mu = name == "none" ? 0.0 : 0.004;
+    const SimulationResult r1 = run_adaptive(name.c_str(), mu);
+    const SimulationResult r2 = run_adaptive(name.c_str(), mu);
+    // The controller actually ran and decided.
+    EXPECT_GT(r1.ctrl_epochs, 0);
+    ASSERT_EQ(r1.ctrl_schedule.size(), r2.ctrl_schedule.size());
+    for (std::size_t i = 0; i < r1.ctrl_schedule.size(); ++i) {
+      EXPECT_EQ(r1.ctrl_schedule[i].params, r2.ctrl_schedule[i].params) << "epoch " << i;
+      EXPECT_EQ(r1.ctrl_schedule[i].rate_q10, r2.ctrl_schedule[i].rate_q10) << "epoch " << i;
+    }
+    EXPECT_EQ(r1.cc_coded, r2.cc_coded);
+    EXPECT_EQ(r1.success, r2.success);
+    EXPECT_EQ(r1.ctrl_switches, r2.ctrl_switches);
+    EXPECT_EQ(r1.ctrl_exchange_repeats, r2.ctrl_exchange_repeats);
+  }
+}
+
+TEST(AdaptiveEndToEnd, QuietChannelSpendsStrictlyLessThanFixed) {
+  sim::Workload fixed =
+      sim::gossip_workload(std::make_shared<Topology>(Topology::ring(4)),
+                           Variant::ExchangeNonOblivious, /*seed=*/2026, /*rounds=*/6);
+  NoNoise none;
+  const SimulationResult rf = fixed.run(none);
+  // Epoch per iteration: this small workload runs few iterations, and the
+  // savings claim needs the controller to actually reach the bottom tier.
+  const SimulationResult ra = run_adaptive("none", 0.0, /*epoch_iters=*/1);
+  ASSERT_TRUE(rf.success);
+  ASSERT_TRUE(ra.success);
+  EXPECT_LT(ra.cc_coded, rf.cc_coded)
+      << "a clean channel must let the controller shed redundancy";
+  EXPECT_EQ(ra.ctrl_final_tier, 0) << "a clean channel should reach the bottom tier";
+}
+
+TEST(AdaptiveEndToEnd, FixedPathIsUntouchedWhenAdaptiveOff) {
+  // cfg.adaptive defaults to false; the controller must not even instantiate
+  // (ctrl_epochs stays 0) and the run must match a pre-controller run
+  // bit-for-bit — which the golden corpus pins globally. Here: spot-check the
+  // scalars are absent.
+  sim::Workload w =
+      sim::gossip_workload(std::make_shared<Topology>(Topology::ring(4)),
+                           Variant::ExchangeNonOblivious, /*seed=*/2026, /*rounds=*/6);
+  NoNoise none;
+  const SimulationResult r = w.run(none);
+  EXPECT_EQ(r.ctrl_epochs, 0);
+  EXPECT_EQ(r.ctrl_switches, 0);
+  EXPECT_TRUE(r.ctrl_schedule.empty());
+}
+
+}  // namespace
+}  // namespace gkr

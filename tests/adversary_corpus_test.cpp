@@ -94,6 +94,33 @@ const CorpusEntry kCorpus[] = {
     {"star5", "greedy+echo", 0xf9b0e9962b09db12ULL},
 };
 
+// Same grid with the adaptive redundancy controller on (DESIGN.md §14).
+// Adaptation is deliberately a *behavior* change — quiet channels ship fewer
+// symbols — so it gets its own golden table instead of reusing kCorpus; the
+// point pinned here is that the adaptive schedule itself is deterministic.
+const CorpusEntry kCorpusAdaptive[] = {
+    {"ring4", "none", 0x26170004fab58000ULL},
+    {"ring4", "uniform", 0xc7fb793903d080a5ULL},
+    {"ring4", "stochastic", 0xc4fec96bead57e13ULL},
+    {"ring4", "greedy", 0xb4b5574e2b316309ULL},
+    {"ring4", "random_adaptive", 0xdbc7ac4fe8bf78eaULL},
+    {"ring4", "desync", 0x2534f1d26a2c2734ULL},
+    {"ring4", "echo", 0x26170004fab58000ULL},
+    {"ring4", "insertion_flood", 0xe435e2f6a5405a6aULL},
+    {"ring4", "exchange_sniper", 0xa12a8aa8275b1effULL},
+    {"ring4", "markov_burst", 0x4586dd32089df19aULL},
+    {"ring4", "rewind_sniper", 0x60f07c454da2d5a7ULL},
+    {"ring4", "greedy+echo", 0xcd3ef5c03513d044ULL},
+    {"star5", "uniform", 0xb5cab15214c61869ULL},
+    {"star5", "stochastic", 0xd4add527c3b3c521ULL},
+    {"star5", "greedy", 0x14c073c95c071d7bULL},
+    {"star5", "desync", 0x345e1756dce72bbcULL},
+    {"star5", "insertion_flood", 0x7905d740ac0ccd54ULL},
+    {"star5", "markov_burst", 0x21ee6e055f199897ULL},
+    {"star5", "rewind_sniper", 0x3780cc0f6533c8d1ULL},
+    {"star5", "greedy+echo", 0x5eb571dae6936512ULL},
+};
+
 std::shared_ptr<Topology> build_topology(const std::string& name) {
   if (name == "ring4") return std::make_shared<Topology>(Topology::ring(4));
   if (name == "star5") return std::make_shared<Topology>(Topology::star(5));
@@ -109,10 +136,13 @@ std::shared_ptr<Topology> build_topology(const std::string& name) {
 // buffers; it takes no part in simulation state — DESIGN.md §12).
 void run_corpus(int replay_checkpoint_interval,
                 obs::ObsLevel observability = obs::ObsLevel::Off,
-                obs::Tracer* tracer = nullptr, bool use_ecc_plane = true) {
+                obs::Tracer* tracer = nullptr, bool use_ecc_plane = true,
+                bool adaptive = false,
+                const std::vector<CorpusEntry>& table = {std::begin(kCorpus),
+                                                         std::end(kCorpus)}) {
   std::string replacement;  // printed wholesale on any mismatch
   bool mismatch = false;
-  for (const CorpusEntry& entry : kCorpus) {
+  for (const CorpusEntry& entry : table) {
     SCOPED_TRACE(std::string(entry.topology) + " / " + entry.spec);
     sim::Workload w = sim::gossip_workload(build_topology(entry.topology),
                                            Variant::ExchangeNonOblivious,
@@ -121,6 +151,12 @@ void run_corpus(int replay_checkpoint_interval,
     w.cfg.observability = observability;
     w.cfg.tracer = tracer;
     w.cfg.use_ecc_plane = use_ecc_plane;
+    w.cfg.adaptive = adaptive;
+    // Epoch per iteration: these workloads run few iterations, and the
+    // adaptive table should pin runs where the controller actually moves
+    // (at the default cadence it never leaves the top tiers here and the
+    // digests degenerate to kCorpus).
+    if (adaptive) w.cfg.adaptive_epoch_iters = 1;
     const sim::NoiseFactory factory = sim::noise_factory(entry.spec);
     Rng noise_rng(7);
     sim::BuiltNoise noise = factory.build(w, /*mu=*/0.004, noise_rng);
@@ -165,6 +201,15 @@ TEST(AdversaryCorpus, GoldenDigestsAreBitStableAtFullObservability) {
   // The runs really were traced, not silently downgraded.
   EXPECT_GT(tracer.recorded(), 0u);
   EXPECT_EQ(tracer.dropped(), 0u);
+}
+
+// The adaptive controller's schedule — and through it the whole simulation —
+// must be a pure function of the run inputs. Same grid, adaptive on, its own
+// golden table (adaptation intentionally changes what crosses the wire).
+TEST(AdversaryCorpus, GoldenDigestsAreBitStableAdaptive) {
+  run_corpus(SchemeConfig{}.replay_checkpoint_interval, obs::ObsLevel::Off, nullptr,
+             /*use_ecc_plane=*/true, /*adaptive=*/true,
+             {std::begin(kCorpusAdaptive), std::end(kCorpusAdaptive)});
 }
 
 }  // namespace

@@ -103,7 +103,7 @@ TEST(ParamGrid, ExpansionCountAndOrder) {
   // grid_index is non-decreasing, reps vary fastest, every point appears
   // `repetitions` times.
   for (std::size_t i = 0; i < specs.size(); ++i) {
-    EXPECT_EQ(specs[i].grid_index, static_cast<long>(i / 2));
+    EXPECT_EQ(specs[i].grid_index, static_cast<std::uint64_t>(i / 2));
     EXPECT_EQ(specs[i].rep, static_cast<int>(i % 2));
   }
   // Row-major declaration order: μ varies fastest among the axes, then noise,
