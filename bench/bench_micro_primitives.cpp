@@ -235,6 +235,21 @@ void BM_MeetingPointsIteration(benchmark::State& state) {
 }
 BENCHMARK(BM_MeetingPointsIteration);
 
+void BM_LinkBetweenStarHub(benchmark::State& state) {
+  // link_between at the worst realistic degree: the hub of a 10k-spoke star.
+  // Binary search over the peer-sorted CSR row — O(log 10000) ≈ 14 probes
+  // (DESIGN.md §15); the row exists because a linear scan here turned the
+  // replay plane's per-message lookups quadratic at party scale.
+  const Topology topo = Topology::star(10001);
+  Rng rng(9);
+  for (auto _ : state) {
+    const PartyId peer = 1 + static_cast<PartyId>(rng.next_below(10000));
+    benchmark::DoNotOptimize(topo.link_between(0, peer));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_LinkBetweenStarHub);
+
 void BM_EngineRound(benchmark::State& state) {
   const Topology topo = Topology::clique(8);
   NoNoise adv;

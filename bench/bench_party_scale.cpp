@@ -1,0 +1,276 @@
+// Party-scale benchmark (DESIGN.md §15, F17; §5 for the experiment index).
+//
+// Runs the full coding scheme (gossip_sum workload, Algorithm-A Crs variant —
+// fixed τ = 8 and K = m, so per-edge state is size-invariant across n) over
+// four sparse families at n ∈ {8, 64, 512, 4096, 10000} and measures
+// rounds/sec and the end-of-run memory footprint (SimulationResult::
+// approx_bytes / m = bytes per edge). Three acceptance checks:
+//
+//   speedup   — at n = 4096, the sparse active-set engine must clear ≥ 5×
+//               the dense engine's rounds/sec on the ring (the same workload
+//               and seeds; the A/B runs under stochastic noise so the sparse
+//               classify path is exercised, not just the idle fast path);
+//   identical — sparse and dense legs of every A/B pair must fold to the
+//               same integer-counter digest (the adversary-corpus fold), the
+//               bit-identity contract of SchemeConfig::use_sparse_engine;
+//   flat      — bytes/edge at n = 10000 must stay within 1.25× of bytes/edge
+//               at n = 512 for every family: the O(m + n) memory bound.
+//
+// The digest and flatness checks are deterministic and always assert; the
+// wall-clock ≥ 5× line is printed always and enforced only under --strict
+// (CI smoke runs without it — loaded runners make timing gates flaky).
+// Results go to the standard table printer and, with --jsonl/--csv, through
+// the standard sinks as RunRecords (timing fields enabled — rates are
+// wall-clock derived and NOT deterministic; bytes/edge IS deterministic).
+//
+//   ./build/bench/bench_party_scale [--smoke] [--strict] [--jsonl F] [--csv F]
+#include <cstring>
+#include <fstream>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bench_support.h"
+#include "net/topology.h"
+#include "noise/stochastic.h"
+#include "noise/strategies.h"
+#include "sim/result_sink.h"
+#include "sim/run_record.h"
+#include "util/digest.h"
+#include "util/rng.h"
+#include "util/stats.h"
+
+namespace gkr {
+namespace {
+
+constexpr int kGossipRounds = 6;
+constexpr double kIterationFactor = 1.0;
+constexpr double kMu = 0.001;  // stochastic rate for the A/B legs
+
+// The same integer-counter fold the adversary corpus pins (tests/
+// adversary_corpus_test.cpp): success flags, communication counters, and
+// every protocol-visible event count. Wall-clock and approx_bytes stay out —
+// the two engines share behavior, not scratch-buffer sizes.
+std::uint64_t result_digest(const SimulationResult& r) {
+  std::uint64_t d = 0x9d6f0a7c5b3e1842ULL;
+  const auto fold = [&d](std::uint64_t x) { d = mix64(d ^ mix64(x)); };
+  fold(r.success ? 1 : 0);
+  fold(r.outputs_match ? 1 : 0);
+  fold(r.transcripts_match ? 1 : 0);
+  fold(static_cast<std::uint64_t>(r.cc_coded));
+  fold(static_cast<std::uint64_t>(r.cc_user));
+  fold(static_cast<std::uint64_t>(r.cc_chunked));
+  fold(static_cast<std::uint64_t>(r.counters.rounds));
+  fold(static_cast<std::uint64_t>(r.counters.transmissions));
+  fold(static_cast<std::uint64_t>(r.counters.corruptions));
+  fold(static_cast<std::uint64_t>(r.counters.substitutions));
+  fold(static_cast<std::uint64_t>(r.counters.deletions));
+  fold(static_cast<std::uint64_t>(r.counters.insertions));
+  for (long v : r.counters.transmissions_by_phase) fold(static_cast<std::uint64_t>(v));
+  for (long v : r.counters.corruptions_by_phase) fold(static_cast<std::uint64_t>(v));
+  fold(static_cast<std::uint64_t>(r.hash_collisions));
+  fold(static_cast<std::uint64_t>(r.mp_truncations));
+  fold(static_cast<std::uint64_t>(r.rewind_truncations));
+  fold(static_cast<std::uint64_t>(r.rewinds_sent));
+  fold(static_cast<std::uint64_t>(r.exchange_failures));
+  fold(static_cast<std::uint64_t>(r.iterations));
+  fold(static_cast<std::uint64_t>(r.replayer_rebuilds));
+  return d;
+}
+
+// The four F17 families. Random families draw from the seed they are handed,
+// so sparse and dense legs built from equal seeds walk identical graphs.
+std::shared_ptr<Topology> build_topo(const std::string& family, int n, std::uint64_t seed) {
+  Rng rng(seed);
+  if (family == "ring") return std::make_shared<Topology>(Topology::ring(n));
+  if (family == "rr") return std::make_shared<Topology>(Topology::random_regular(n, 4, rng));
+  if (family == "expander") return std::make_shared<Topology>(Topology::expander(n, 4, rng));
+  GKR_ASSERT(family == "htree");
+  return std::make_shared<Topology>(Topology::hierarchical_tree(n, 2));
+}
+
+struct Measurement {
+  sim::RunRecord record;
+  std::uint64_t digest = 0;
+};
+
+Measurement run_once(const std::string& family, int n, bool sparse, bool noisy,
+                     std::uint64_t seed) {
+  std::shared_ptr<Topology> topo = build_topo(family, n, seed);
+  sim::Workload w =
+      bench::gossip_workload(topo, Variant::Crs, seed, kGossipRounds, kIterationFactor);
+  w.cfg.use_sparse_engine = sparse;
+
+  NoNoise none;
+  // Same seed → identical corruption stream on both engine legs: the i.i.d.
+  // channel's draws depend only on the (bit-identical) wire contents.
+  StochasticChannel stochastic(Rng(seed ^ 0x51abULL), kMu / 2, kMu / 2, kMu / 10);
+  ChannelAdversary& adv =
+      noisy ? static_cast<ChannelAdversary&>(stochastic) : static_cast<ChannelAdversary&>(none);
+
+  bench::Timer timer;
+  const SimulationResult r = w.run(adv);
+  const double secs = timer.seconds();
+  if (!noisy) GKR_ASSERT_MSG(r.success, "noiseless run must succeed");
+
+  Measurement m;
+  m.digest = result_digest(r);
+  sim::RunRecord& rec = m.record;
+  rec.variant = sparse ? "sparse" : "dense";
+  rec.topology = family + ":" + std::to_string(n);
+  rec.protocol = "gossip:" + std::to_string(kGossipRounds);
+  rec.noise = noisy ? "stochastic" : "none";
+  rec.mu = noisy ? kMu : 0.0;
+  rec.run_seed = seed;
+  rec.n = topo->num_nodes();
+  rec.m = topo->num_links();
+  rec.success = r.success;
+  rec.iterations = r.iterations;
+  rec.cc_user = r.cc_user;
+  rec.cc_chunked = r.cc_chunked;
+  rec.cc_coded = r.cc_coded;
+  rec.blowup_vs_user = r.blowup_vs_user;
+  rec.blowup_vs_chunked = r.blowup_vs_chunked;
+  rec.corruptions = r.counters.corruptions;
+  rec.substitutions = r.counters.substitutions;
+  rec.deletions = r.counters.deletions;
+  rec.insertions = r.counters.insertions;
+  rec.noise_fraction = r.noise_fraction;
+  rec.transmissions_by_phase = r.counters.transmissions_by_phase;
+  rec.corruptions_by_phase = r.counters.corruptions_by_phase;
+  rec.approx_bytes = r.approx_bytes;
+  rec.bytes_per_edge =
+      safe_ratio(static_cast<double>(r.approx_bytes), static_cast<double>(rec.m));
+  rec.rounds = r.counters.rounds;
+  rec.wall_ms = secs * 1000.0;
+  rec.rounds_per_sec = safe_ratio(static_cast<double>(rec.rounds), secs);
+  rec.syms_per_sec = safe_ratio(static_cast<double>(rec.rounds) * topo->num_dlinks(), secs);
+  return m;
+}
+
+}  // namespace
+}  // namespace gkr
+
+int main(int argc, char** argv) {
+  using namespace gkr;
+
+  bool smoke = false, strict = false;
+  std::string jsonl_path, csv_path;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) {
+      smoke = true;
+    } else if (std::strcmp(argv[i], "--strict") == 0) {
+      strict = true;
+    } else if (std::strcmp(argv[i], "--jsonl") == 0 && i + 1 < argc) {
+      jsonl_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--csv") == 0 && i + 1 < argc) {
+      csv_path = argv[++i];
+    } else {
+      std::fprintf(stderr, "usage: %s [--smoke] [--strict] [--jsonl FILE] [--csv FILE]\n",
+                   argv[0]);
+      return 2;
+    }
+  }
+
+  std::printf("F17 — party scale: sparse active-set engine over CSR topologies\n");
+  std::printf("gossip_sum(%d), Crs variant (K=m, tau=8), full coding scheme per cell\n\n",
+              kGossipRounds);
+
+  const std::vector<std::string> families = {"ring", "rr", "expander", "htree"};
+  // Smoke keeps the endpoints that the acceptance checks need (512 and 10000
+  // for flatness, 4096 for the A/B) and drops only the cheap fill-in sizes.
+  const std::vector<int> sizes =
+      smoke ? std::vector<int>{512, 4096, 10000} : std::vector<int>{8, 64, 512, 4096, 10000};
+
+  std::vector<sim::RunRecord> records;
+  std::map<std::string, std::map<int, double>> bytes_per_edge;
+  TablePrinter table({"family", "n", "m", "engine", "iters", "rounds", "wall ms", "rounds/s",
+                      "bytes/edge", "speedup"});
+
+  double ring_speedup_4096 = 0.0;
+  for (const std::string& family : families) {
+    for (const int n : sizes) {
+      const std::uint64_t seed =
+          derive_seed(0xf17ULL, static_cast<std::uint64_t>(n), family.size());
+      const Measurement sparse = run_once(family, n, /*sparse=*/true, /*noisy=*/false, seed);
+      records.push_back(sparse.record);
+      bytes_per_edge[family][n] = sparse.record.bytes_per_edge;
+      std::string speedup_cell = "-";
+
+      // Smoke keeps one sparse-family A/B and the ring acceptance pair; the
+      // dense 4096 legs are ~4–14s each and dominate the full run's wall
+      // time, while the per-family digest coverage they duplicate is already
+      // pinned by the corpus's registry equivalence test.
+      const bool run_ab = n == 4096 && (!smoke || family == "ring" || family == "expander");
+      if (run_ab) {
+        // The engine A/B: same workload, same seeds, stochastic noise so the
+        // corrupt/classify paths run. Digest equality is the bit-identity
+        // contract; the rounds/sec ratio is the F17 acceptance metric.
+        const Measurement ab_sparse =
+            run_once(family, n, /*sparse=*/true, /*noisy=*/true, seed);
+        const Measurement ab_dense =
+            run_once(family, n, /*sparse=*/false, /*noisy=*/true, seed);
+        GKR_ASSERT_MSG(ab_sparse.digest == ab_dense.digest,
+                       "sparse and dense engines must be bit-identical");
+        const double speedup = safe_ratio(ab_sparse.record.rounds_per_sec,
+                                          ab_dense.record.rounds_per_sec);
+        if (family == "ring") ring_speedup_4096 = speedup;
+        speedup_cell = strf("%.2fx", speedup);
+        records.push_back(ab_sparse.record);
+        records.push_back(ab_dense.record);
+        table.add_row({family, strf("%d", ab_dense.record.n), strf("%ld", ab_dense.record.m),
+                       "dense", strf("%ld", ab_dense.record.iterations),
+                       strf("%ld", ab_dense.record.rounds),
+                       strf("%.1f", ab_dense.record.wall_ms),
+                       strf("%.3g", ab_dense.record.rounds_per_sec),
+                       strf("%.0f", ab_dense.record.bytes_per_edge), "-"});
+      }
+      table.add_row({family, strf("%d", sparse.record.n), strf("%ld", sparse.record.m),
+                     "sparse", strf("%ld", sparse.record.iterations),
+                     strf("%ld", sparse.record.rounds), strf("%.1f", sparse.record.wall_ms),
+                     strf("%.3g", sparse.record.rounds_per_sec),
+                     strf("%.0f", sparse.record.bytes_per_edge), speedup_cell});
+    }
+  }
+  table.print();
+
+  // O(m + n) memory acceptance: bytes/edge flat (≤ 1.25×) from 512 → 10000.
+  std::printf("\nbytes/edge flatness n=512 -> n=10000 (acceptance: <= 1.25x):\n");
+  for (const std::string& family : families) {
+    const double b512 = bytes_per_edge[family][512];
+    const double b10k = bytes_per_edge[family][10000];
+    const double ratio = safe_ratio(b10k, b512);
+    std::printf("  %-9s %.0f -> %.0f B/edge  (%.3fx)\n", family.c_str(), b512, b10k, ratio);
+    GKR_ASSERT_MSG(ratio <= 1.25, "bytes/edge must stay flat as n grows");
+  }
+
+  std::printf("\nsparse/dense rounds-per-sec speedup at n=4096 (ring): %.2fx "
+              "(acceptance: >= 5x)\n",
+              ring_speedup_4096);
+
+  sim::SweepMeta meta;
+  meta.num_runs = records.size();
+  meta.include_timing = true;
+  auto emit = [&](sim::ResultSink& sink) {
+    sink.begin(meta);
+    for (const sim::RunRecord& r : records) sink.consume(r);
+    sink.end();
+  };
+  if (!jsonl_path.empty()) {
+    std::ofstream out(jsonl_path);
+    sim::JsonlSink sink(out);
+    emit(sink);
+  }
+  if (!csv_path.empty()) {
+    std::ofstream out(csv_path);
+    sim::CsvSink sink(out);
+    emit(sink);
+  }
+
+  if (strict && ring_speedup_4096 < 5.0) {
+    std::fprintf(stderr, "bench_party_scale: FAIL — sparse engine below the 5x bar\n");
+    return 1;
+  }
+  return 0;
+}

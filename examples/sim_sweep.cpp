@@ -14,7 +14,10 @@
 // Axis syntax:
 //   --variants crs,a,b,c
 //   --topos    line:N ring:N star:N clique:N grid:RxC random_tree:N
-//              erdos_renyi:N[:p]
+//              erdos_renyi:N[:p] rr:N[:d] expander:N[:d] htree:N[:fanout]
+//              (call-style spelling works too: rr(4096,4), expander(10000);
+//              rr/expander default to degree 4, htree to fanout 2; random
+//              families rebuild bit-identically from the per-run seed)
 //   --protos   gossip[:rounds] tree_token[:laps[:word_bits]]
 //              tree_aggregate[:word_bits[:repeats]]
 //              line_pingpong[:sweeps[:pp_bits]] random[:rounds]
@@ -69,6 +72,26 @@ std::vector<std::string> split(const std::string& s, char sep) {
   return out;
 }
 
+// Axis-list split: commas separate entries only at parenthesis depth 0, so
+// call-style topology specs keep their argument commas —
+// "ring:8,rr(4096,4)" is two entries, not three.
+std::vector<std::string> split_axis(const std::string& s) {
+  std::vector<std::string> out;
+  std::size_t start = 0;
+  int depth = 0;
+  for (std::size_t i = 0; i <= s.size(); ++i) {
+    if (i == s.size() || (s[i] == ',' && depth == 0)) {
+      out.push_back(s.substr(start, i - start));
+      start = i + 1;
+    } else if (s[i] == '(') {
+      ++depth;
+    } else if (s[i] == ')' && depth > 0) {
+      --depth;
+    }
+  }
+  return out;
+}
+
 [[noreturn]] void die(const std::string& msg) {
   std::fprintf(stderr, "sim_sweep: %s\n", msg.c_str());
   std::exit(2);
@@ -90,10 +113,22 @@ bool one_of(const std::string& s, const std::vector<std::string>& names) {
 }
 
 TopologyFactory parse_topology(const std::string& s) {
-  const std::vector<std::string> parts = split(s, ':');
+  // Two spellings: colon-separated "family:N[:x]" and call-style
+  // "family(N[,x])" — rr(4096,4) and rr:4096:4 are the same axis point.
+  std::vector<std::string> parts;
+  const std::size_t paren = s.find('(');
+  if (paren != std::string::npos) {
+    if (s.back() != ')') die("topology syntax: family(args) — got '" + s + "'");
+    parts.push_back(s.substr(0, paren));
+    for (const std::string& a : split(s.substr(paren + 1, s.size() - paren - 2), ',')) {
+      parts.push_back(a);
+    }
+  } else {
+    parts = split(s, ':');
+  }
   const std::string& family = parts[0];
   if (!one_of(family, {"line", "ring", "star", "clique", "grid", "random_tree",
-                       "erdos_renyi"})) {
+                       "erdos_renyi", "rr", "random_regular", "expander", "htree"})) {
     die("unknown topology family '" + family + "' (try --help)");
   }
   if (family == "grid") {
@@ -108,6 +143,17 @@ TopologyFactory parse_topology(const std::string& s) {
   if (parts.size() < 2) die("topology syntax: family:N — got '" + s + "'");
   const int n = std::atoi(parts[1].c_str());
   if (n <= 0) die("bad topology size in '" + s + "'");
+  if (family == "rr" || family == "random_regular" || family == "expander" ||
+      family == "htree") {
+    // Second parameter: degree (rr/expander, default 4) or fanout (htree,
+    // default 2); the factory applies the defaults when b = 0.
+    int b = 0;
+    if (parts.size() >= 3) {
+      b = std::atoi(parts[2].c_str());
+      if (b <= 0) die("bad topology parameter in '" + s + "'");
+    }
+    return topology_factory(family, n, b);
+  }
   double p = 0.3;
   if (parts.size() >= 3) p = std::atof(parts[2].c_str());
   return topology_factory(family, n, 0, p);
@@ -163,7 +209,7 @@ int run_main(int argc, char** argv) {
       grid_customized = true;
     } else if (arg == "--topos") {
       grid.topologies.clear();
-      for (const std::string& t : split(next_value(i), ',')) grid.topologies.push_back(parse_topology(t));
+      for (const std::string& t : split_axis(next_value(i))) grid.topologies.push_back(parse_topology(t));
       grid_customized = true;
     } else if (arg == "--protos") {
       grid.protocols.clear();

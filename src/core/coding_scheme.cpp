@@ -267,8 +267,8 @@ struct CodedSimulation::Impl {
           const bool live = jj < live_bits;
           if (live) {
             for (int l = 0; l < m; ++l) {
-              core.wire_out.set(static_cast<std::size_t>(topo->dlink_from(l, topo->link(l).a)),
-                                ecc_plane->tx_bit(l, j) != 0 ? Sym::One : Sym::Zero);
+              core.send(topo->dlink_from(l, topo->link(l).a),
+                        ecc_plane->tx_bit(l, j) != 0 ? Sym::One : Sym::Zero);
             }
           }
           core.step(0, Phase::RandomnessExchange);
@@ -310,8 +310,7 @@ struct CodedSimulation::Impl {
         for (int l = 0; l < m; ++l) {
           const std::int8_t bit =
               codewords[static_cast<std::size_t>(l) * cw_bits + static_cast<std::size_t>(j)];
-          core.wire_out.set(static_cast<std::size_t>(topo->dlink_from(l, topo->link(l).a)),
-                            bit != 0 ? Sym::One : Sym::Zero);
+          core.send(topo->dlink_from(l, topo->link(l).a), bit != 0 ? Sym::One : Sym::Zero);
         }
         core.step(0, Phase::RandomnessExchange);
         for (int l = 0; l < m; ++l) {
@@ -452,15 +451,15 @@ struct CodedSimulation::Impl {
 
     result.outputs_match = true;
     for (PartyId u = 0; u < n; ++u) {
-      std::vector<int> chunks(static_cast<std::size_t>(m), 0);
       for (int l : topo->links_of(u)) {
-        chunks[static_cast<std::size_t>(l)] =
+        core.chunk_bounds[static_cast<std::size_t>(l)] =
             std::min(core.tr[static_cast<std::size_t>(core.ep(u, l))].chunks(), real);
       }
       // The live replayer holds the party's input; rebuilding it against the
       // first |Π| chunks yields the output Algorithm 1 extracts.
       core.replayers[static_cast<std::size_t>(u)]->rebuild(PartyTranscriptSource(core, u),
-                                                           chunks);
+                                                           core.chunk_bounds);
+      for (int l : topo->links_of(u)) core.chunk_bounds[static_cast<std::size_t>(l)] = 0;
       result.replayer_rebuilds += core.replayers[static_cast<std::size_t>(u)]->rebuild_count();
       result.replayed_chunks += core.replayers[static_cast<std::size_t>(u)]->replayed_chunks();
       if (core.replayers[static_cast<std::size_t>(u)]->output() !=
@@ -518,6 +517,10 @@ struct CodedSimulation::Impl {
       obs::TimerScope ev(obs, &obs::RunTimings::evaluate_ns, "evaluate");
       evaluate();
     }
+    result.approx_bytes = static_cast<long>(
+        core.approx_bytes() + mp_exec->approx_bytes() + flag_exec->approx_bytes() +
+        sim_exec->approx_bytes() + rewind_exec->approx_bytes() + engine->approx_bytes() +
+        plan.approx_bytes());
     result.timings = obs.timings;
     result.delivery_probe = probe;
     return result;

@@ -80,6 +80,12 @@ struct SimulationResult {
   int ctrl_final_tier = 0;         // tier in force when the run ended
   std::vector<EpochRecord> ctrl_schedule;  // one row per observed epoch
   int iterations = 0;
+  // Size-based end-of-run footprint of the scheme's resident state (wires,
+  // SoA planes, timetable, engine, transcripts, replay plane) in bytes — the
+  // DESIGN.md §15 memory audit. Deterministic (element counts, not allocator
+  // capacity) but not part of the run digest; bytes/edge = approx_bytes / m
+  // should stay flat as n grows at fixed degree.
+  long approx_bytes = 0;
   long replayer_rebuilds = 0;
   // (link, chunk) records fed by those rebuilds — suffix-only under the
   // checkpoint plane (DESIGN.md §11), full Θ(|T|) history on the legacy path.

@@ -83,6 +83,16 @@ struct SchemeConfig {
   // for the F15 A/B benchmark and for regression bisection.
   bool use_ecc_plane = true;
 
+  // Sparse active-set execution (DESIGN.md §15): the engine restores only the
+  // previous round's residue words instead of recopying the wire, classifies
+  // only sent ∪ adversary-touched words, and the phase executors iterate
+  // level-sliced / worklist active sets instead of scanning all parties and
+  // all 2m endpoints every round. Results are bit-identical either way
+  // (pinned by the dense≡sparse equivalence suite and the golden corpus,
+  // which runs with the knob both on and off) — the switch exists for the F17
+  // A/B benchmark and for regression bisection.
+  bool use_sparse_engine = true;
+
   // Replay checkpoint cadence in chunks (DESIGN.md §11): each party snapshots
   // its replay automaton every this-many chunks and rebuilds by restoring the
   // newest still-valid snapshot + replaying the suffix — amortized

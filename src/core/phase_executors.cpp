@@ -42,6 +42,10 @@ void SimCore::init() {
   const std::size_t eps = static_cast<std::size_t>(topo->num_dlinks());
   wire_out.assign(eps, Sym::None);
   wire_in.assign(eps, Sym::None);
+  touched_words.clear();
+  touched_words.reserve(wire_out.num_words());
+  word_mark.assign(wire_out.num_words(), 0);
+  send_epoch = 1;
   replayers.resize(static_cast<std::size_t>(n));
   replay_dirty.assign(static_cast<std::size_t>(n), 0);
   status.assign(static_cast<std::size_t>(n), 1);
@@ -55,6 +59,7 @@ void SimCore::init() {
   seed_plane.configure(eps, 2, 2 * static_cast<std::size_t>(tau));
   seed_sources.assign(eps, nullptr);
   seed_links.resize(eps);
+  chunk_bounds.assign(static_cast<std::size_t>(m), 0);
   for (std::size_t e = 0; e < eps; ++e) {
     seed_links[e] = static_cast<std::uint64_t>(link_of(static_cast<int>(e)));
   }
@@ -72,9 +77,22 @@ void SimCore::fill_seed_plane(std::uint64_t iter) {
 }
 
 void SimCore::step(int iteration, Phase phase) {
-  engine->step(RoundContext{round, iteration, phase}, wire_out, wire_in);
+  const RoundContext ctx{round, iteration, phase};
+  if (cfg->use_sparse_engine) {
+    engine->step_sparse(ctx, touched_words, wire_out, wire_in);
+    // Sparse clear: only the words this round's send()s dirtied go back to
+    // silence (set_word re-pads the tail), instead of refilling all ⌈2m/32⌉.
+    for (const std::uint32_t w : touched_words) wire_out.set_word(w, ~0ULL);
+  } else {
+    engine->step(ctx, wire_out, wire_in);
+    wire_out.fill(Sym::None);
+  }
   ++round;
-  wire_out.fill(Sym::None);
+  touched_words.clear();
+  if (++send_epoch == 0) {  // stamp wraparound: reset the array, burn epoch 0
+    std::fill(word_mark.begin(), word_mark.end(), 0u);
+    send_epoch = 1;
+  }
 }
 
 int SimCore::min_chunks(PartyId u) const {
@@ -88,12 +106,36 @@ int SimCore::min_chunks(PartyId u) const {
 void SimCore::rebuild_replayer(PartyId u) {
   obs::Span span(obs != nullptr ? obs->tracer() : nullptr, "rebuild", "replay",
                  "party", u);
-  std::vector<int> chunks(static_cast<std::size_t>(m), 0);
   for (int l : topo->links_of(u)) {
-    chunks[static_cast<std::size_t>(l)] = tr[static_cast<std::size_t>(ep(u, l))].chunks();
+    chunk_bounds[static_cast<std::size_t>(l)] = tr[static_cast<std::size_t>(ep(u, l))].chunks();
   }
-  replayers[static_cast<std::size_t>(u)]->rebuild(PartyTranscriptSource(*this, u), chunks);
+  replayers[static_cast<std::size_t>(u)]->rebuild(PartyTranscriptSource(*this, u), chunk_bounds);
+  for (int l : topo->links_of(u)) chunk_bounds[static_cast<std::size_t>(l)] = 0;
   replay_dirty[static_cast<std::size_t>(u)] = 0;
+}
+
+std::size_t SimCore::approx_bytes() const {
+  std::size_t b = sizeof(*this);
+  b += wire_out.approx_bytes() + wire_in.approx_bytes();
+  b += (touched_words.size() + word_mark.size()) * sizeof(std::uint32_t);
+  b += replay_dirty.size() + status.size() + net_correct.size();
+  b += chunk_bounds.size() * sizeof(int);
+  b += tr.size() * sizeof(LinkTranscript);
+  for (const LinkTranscript& t : tr) b += t.approx_bytes();
+  b += mp.size() * sizeof(MeetingPointsState);
+  // Seed sources: one pointer slot per endpoint plus a nominal object for
+  // installed per-link sources (BiasedSeedSource holds two 64-bit words).
+  b += seeds.size() * sizeof(std::unique_ptr<SeedSource>);
+  for (const std::unique_ptr<SeedSource>& s : seeds) {
+    if (s) b += 32;
+  }
+  b += seed_plane.approx_bytes();
+  b += seed_sources.size() * sizeof(const SeedSource*);
+  b += seed_links.size() * sizeof(std::uint64_t);
+  for (const std::unique_ptr<PartyReplayer>& rp : replayers) {
+    if (rp) b += rp->approx_bytes();
+  }
+  return b;
 }
 
 // -------------------------------------------------------- MeetingPointsExec
@@ -117,15 +159,18 @@ void MeetingPointsExec::run(int iteration) {
   // path is kept selectable as the cost baseline (config.use_seed_plane).
   const bool use_plane = c.cfg->use_seed_plane;
   if (use_plane) c.fill_seed_plane(static_cast<std::uint64_t>(iteration));
-  for (PartyId u = 0; u < c.n; ++u) {
-    for (int l : c.topo->links_of(u)) {
-      const std::size_t e = static_cast<std::size_t>(c.ep(u, l));
-      outgoing_[e] = use_plane
-                         ? c.mp[e].prepare(c.tr[e], c.seed_plane.mp_seeds(e), tau)
-                         : c.mp[e].prepare(c.tr[e], c.seeds_of(static_cast<int>(e)),
-                                           static_cast<std::uint64_t>(l),
-                                           static_cast<std::uint64_t>(iteration), tau);
-    }
+  // Every endpoint participates in every MP round, so the loops below are
+  // flat over [2m] directed links (endpoint e ↔ sender dlink e) — no
+  // per-party adjacency walk on the per-round path.
+  const int eps = c.topo->num_dlinks();
+  for (int ei = 0; ei < eps; ++ei) {
+    const std::size_t e = static_cast<std::size_t>(ei);
+    const int l = SimCore::link_of(ei);
+    outgoing_[e] = use_plane
+                       ? c.mp[e].prepare(c.tr[e], c.seed_plane.mp_seeds(e), tau)
+                       : c.mp[e].prepare(c.tr[e], c.seeds_of(ei),
+                                         static_cast<std::uint64_t>(l),
+                                         static_cast<std::uint64_t>(iteration), tau);
   }
   recv_.assign(static_cast<std::size_t>(c.topo->num_dlinks()) *
                    static_cast<std::size_t>(mp_rounds),
@@ -167,23 +212,18 @@ void MeetingPointsExec::run(int iteration) {
   // Ship the 3τ bits, one per round per directed link (fully utilized).
   const long live_rounds = 3L * tau;
   for (long j = 0; j < live_rounds; ++j) {
-    for (PartyId u = 0; u < c.n; ++u) {
-      for (int l : c.topo->links_of(u)) {
-        const std::size_t e = static_cast<std::size_t>(c.ep(u, l));
-        const std::uint32_t word = j < tau        ? outgoing_[e].hk >> j
-                                   : j < 2L * tau ? outgoing_[e].h1 >> (j - tau)
-                                                  : outgoing_[e].h2 >> (j - 2L * tau);
-        c.wire_out.set(e, (word & 1u) != 0 ? Sym::One : Sym::Zero);
-      }
+    for (int ei = 0; ei < eps; ++ei) {
+      const std::size_t e = static_cast<std::size_t>(ei);
+      const std::uint32_t word = j < tau        ? outgoing_[e].hk >> j
+                                 : j < 2L * tau ? outgoing_[e].h1 >> (j - tau)
+                                                : outgoing_[e].h2 >> (j - 2L * tau);
+      c.send(ei, (word & 1u) != 0 ? Sym::One : Sym::Zero);
     }
     c.step(iteration, Phase::MeetingPoints);
-    for (PartyId u = 0; u < c.n; ++u) {
-      for (int l : c.topo->links_of(u)) {
-        const int e = c.ep(u, l);
-        recv_[static_cast<std::size_t>(e) * static_cast<std::size_t>(mp_rounds) +
-              static_cast<std::size_t>(j)] =
-            c.wire_in.get(static_cast<std::size_t>(SimCore::in_dlink(e)));
-      }
+    for (int ei = 0; ei < eps; ++ei) {
+      recv_[static_cast<std::size_t>(ei) * static_cast<std::size_t>(mp_rounds) +
+            static_cast<std::size_t>(j)] =
+          c.wire_in.get(static_cast<std::size_t>(SimCore::in_dlink(ei)));
     }
   }
   // The rounds a smaller τ_eff leaves unused: step them silently so the
@@ -195,24 +235,22 @@ void MeetingPointsExec::run(int iteration) {
   }
 
   // Process.
-  for (PartyId u = 0; u < c.n; ++u) {
-    for (int l : c.topo->links_of(u)) {
-      const std::size_t e = static_cast<std::size_t>(c.ep(u, l));
-      const MpMessage received =
-          parse_mp_message(&recv_[e * static_cast<std::size_t>(mp_rounds)], tau);
-      const MpOutcome outcome = c.mp[e].process(received, c.tr[e]);
-      if (std::getenv("GKR_MP_DEBUG") != nullptr && outcome.status == MpStatus::MeetingPoints) {
-        std::fprintf(stderr,
-                     "MPDBG it=%d party=%d link=%d k=%ld E=%ld mpc=%ld/%ld len=%d trunc=%d "
-                     "valid=%d\n",
-                     iteration, u, l, c.mp[e].k(), c.mp[e].errors(), c.mp[e].mpc1(),
-                     c.mp[e].mpc2(), c.tr[e].chunks(),
-                     outcome.truncated ? outcome.truncated_to : -1, received.valid);
-      }
-      if (outcome.truncated && outcome.truncated_by > 0) {
-        c.result->mp_truncations += outcome.truncated_by;
-        c.replay_dirty[static_cast<std::size_t>(u)] = 1;
-      }
+  for (int ei = 0; ei < eps; ++ei) {
+    const std::size_t e = static_cast<std::size_t>(ei);
+    const MpMessage received =
+        parse_mp_message(&recv_[e * static_cast<std::size_t>(mp_rounds)], tau);
+    const MpOutcome outcome = c.mp[e].process(received, c.tr[e]);
+    if (std::getenv("GKR_MP_DEBUG") != nullptr && outcome.status == MpStatus::MeetingPoints) {
+      std::fprintf(stderr,
+                   "MPDBG it=%d party=%d link=%d k=%ld E=%ld mpc=%ld/%ld len=%d trunc=%d "
+                   "valid=%d\n",
+                   iteration, c.topo->dlink_sender(ei), SimCore::link_of(ei), c.mp[e].k(),
+                   c.mp[e].errors(), c.mp[e].mpc1(), c.mp[e].mpc2(), c.tr[e].chunks(),
+                   outcome.truncated ? outcome.truncated_to : -1, received.valid);
+    }
+    if (outcome.truncated && outcome.truncated_by > 0) {
+      c.result->mp_truncations += outcome.truncated_by;
+      c.replay_dirty[static_cast<std::size_t>(c.topo->dlink_sender(ei))] = 1;
     }
   }
 }
@@ -221,6 +259,13 @@ void MeetingPointsExec::run(int iteration) {
 
 FlagPassingExec::FlagPassingExec(SimCore& core) : c_(&core) {
   flag_partial_.assign(static_cast<std::size_t>(core.n), 1);
+  // Group parties by BFS level once; the sparse waves index straight into the
+  // level that is scheduled to act each round.
+  level_parties_.assign(static_cast<std::size_t>(core.tree->depth) + 1, {});
+  for (PartyId u = 0; u < core.n; ++u) {
+    level_parties_[static_cast<std::size_t>(core.tree->level[static_cast<std::size_t>(u)])]
+        .push_back(u);
+  }
 }
 
 void FlagPassingExec::compute_status() {
@@ -252,6 +297,52 @@ void FlagPassingExec::run(int iteration) {
   const int d = tree.depth;
   for (PartyId u = 0; u < c.n; ++u) {
     flag_partial_[static_cast<std::size_t>(u)] = c.status[static_cast<std::size_t>(u)];
+  }
+
+  if (c.cfg->use_sparse_engine) {
+    // Sparse waves (DESIGN.md §15): each round touches exactly the one level
+    // the timetable schedules, so the whole phase is O(n) work instead of
+    // O(n·depth) — the same (party, round) pairs the dense scans below visit,
+    // in a different (but update-commutative) order.
+    //
+    // Upward convergecast: level ℓ sends to its parent at round d − ℓ.
+    for (long r = 0; r < d - 1; ++r) {
+      const std::size_t send_level = static_cast<std::size_t>(d - r);  // ≥ 2
+      for (const PartyId u : level_parties_[send_level]) {
+        const int l = tree.parent_link[static_cast<std::size_t>(u)];
+        c.send(c.ep(u, l),
+               flag_partial_[static_cast<std::size_t>(u)] == 1 ? Sym::One : Sym::Zero);
+      }
+      c.step(iteration, Phase::FlagPassing);
+      for (const PartyId child : level_parties_[send_level]) {
+        const PartyId u = tree.parent[static_cast<std::size_t>(child)];
+        const int l = tree.parent_link[static_cast<std::size_t>(child)];
+        const Sym got = c.wire_in.get(static_cast<std::size_t>(SimCore::in_dlink(c.ep(u, l))));
+        // A lost or garbled flag reads as "stop" — fail safe.
+        if (got != Sym::One) flag_partial_[static_cast<std::size_t>(u)] = 0;
+      }
+    }
+
+    // Downward broadcast: level ℓ sends netCorrect to children at round ℓ−1.
+    c.net_correct[static_cast<std::size_t>(tree.root)] =
+        flag_partial_[static_cast<std::size_t>(tree.root)] == 1;
+    for (long r = 0; r < d - 1; ++r) {
+      for (const PartyId u : level_parties_[static_cast<std::size_t>(r) + 1]) {
+        for (const PartyId child : tree.children[static_cast<std::size_t>(u)]) {
+          const int l = tree.parent_link[static_cast<std::size_t>(child)];
+          c.send(c.ep(u, l),
+                 c.net_correct[static_cast<std::size_t>(u)] ? Sym::One : Sym::Zero);
+        }
+      }
+      c.step(iteration, Phase::FlagPassing);
+      for (const PartyId u : level_parties_[static_cast<std::size_t>(r) + 2]) {
+        const int l = tree.parent_link[static_cast<std::size_t>(u)];
+        const Sym got = c.wire_in.get(static_cast<std::size_t>(SimCore::in_dlink(c.ep(u, l))));
+        c.net_correct[static_cast<std::size_t>(u)] =
+            (got == Sym::One) && c.status[static_cast<std::size_t>(u)] == 1;  // Alg. 3 line 19
+      }
+    }
+    return;
   }
 
   // Upward convergecast: level ℓ sends to its parent at round d − ℓ.
@@ -321,6 +412,20 @@ SimulationExec::SimulationExec(SimCore& core) : c_(&core) {
     folds_[static_cast<std::size_t>(u)].reserve(2 * core.topo->links_of(u).size());
   }
   aligned_.assign(static_cast<std::size_t>(core.n), 0);
+  all_parties_.resize(static_cast<std::size_t>(core.n));
+  for (PartyId u = 0; u < core.n; ++u) all_parties_[static_cast<std::size_t>(u)] = u;
+  active_parties_.reserve(static_cast<std::size_t>(core.n));
+}
+
+std::size_t SimulationExec::approx_bytes() const noexcept {
+  std::size_t b = sizeof(*this) + partner_idle_.size() + simulating_.size() + aligned_.size() +
+                  chunk_index_.size() * sizeof(int) + cursor_.size() * sizeof(std::size_t) +
+                  (all_parties_.size() + active_parties_.size()) * sizeof(PartyId);
+  b += buffer_.size() * sizeof(LinkChunkRecord);
+  for (const LinkChunkRecord& r : buffer_) b += r.size() * sizeof(Sym);
+  b += folds_.size() * sizeof(std::vector<FoldEvent>);
+  for (const std::vector<FoldEvent>& f : folds_) b += f.capacity() * sizeof(FoldEvent);
+  return b;
 }
 
 Sym SimulationExec::wire_sent_value(const std::vector<FoldEvent>& folds, int slot_idx) {
@@ -340,18 +445,16 @@ void SimulationExec::run(int iteration) {
   for (PartyId u = 0; u < c.n; ++u) {
     if (!c.net_correct[static_cast<std::size_t>(u)]) {
       for (int l : c.topo->links_of(u)) {
-        c.wire_out.set(static_cast<std::size_t>(c.ep(u, l)), Sym::Bot);
+        c.send(c.ep(u, l), Sym::Bot);
       }
     }
   }
   c.step(iteration, Phase::Simulation);
-  for (PartyId u = 0; u < c.n; ++u) {
-    for (int l : c.topo->links_of(u)) {
-      const int e = c.ep(u, l);
-      partner_idle_[static_cast<std::size_t>(e)] =
-          c.wire_in.get(static_cast<std::size_t>(SimCore::in_dlink(e))) == Sym::Bot;
-      simulating_[static_cast<std::size_t>(e)] = 0;
-    }
+  const int eps = c.topo->num_dlinks();
+  for (int e = 0; e < eps; ++e) {
+    partner_idle_[static_cast<std::size_t>(e)] =
+        c.wire_in.get(static_cast<std::size_t>(SimCore::in_dlink(e))) == Sym::Bot;
+    simulating_[static_cast<std::size_t>(e)] = 0;
   }
 
   // Set up chunk walks for simulating parties.
@@ -378,12 +481,22 @@ void SimulationExec::run(int iteration) {
     aligned_[static_cast<std::size_t>(u)] = aligned ? 1 : 0;
   }
 
+  // Sparse mode walks only the netCorrect parties of this iteration; dense
+  // mode keeps the legacy full scan (the body's own guards then skip). Both
+  // visit the same simulating endpoints in the same per-party order.
+  active_parties_.clear();
+  for (PartyId u = 0; u < c.n; ++u) {
+    if (c.net_correct[static_cast<std::size_t>(u)]) active_parties_.push_back(u);
+  }
+  const std::vector<PartyId>& walkers =
+      c.cfg->use_sparse_engine ? active_parties_ : all_parties_;
+
   // Chunk body: fixed number of rounds; each party walks its per-link slot
   // lists (peek sends from the pre-round state, then fold in slot order).
   for (long lr = 0; lr < sim_rounds - 1; ++lr) {
-    for (auto& f : folds_) f.clear();
+    for (const PartyId u : walkers) folds_[static_cast<std::size_t>(u)].clear();
     // Pass A: peek and transmit all sends of this local round.
-    for (PartyId u = 0; u < c.n; ++u) {
+    for (const PartyId u : walkers) {
       if (!c.net_correct[static_cast<std::size_t>(u)]) continue;
       for (int l : c.topo->links_of(u)) {
         const std::size_t e = static_cast<std::size_t>(c.ep(u, l));
@@ -396,14 +509,14 @@ void SimulationExec::run(int iteration) {
           if (cs.local_round != static_cast<int>(lr)) break;
           if (c.topo->dlink_sender(2 * cs.link + cs.dir) != u) continue;
           const bool bit = c.replayers[static_cast<std::size_t>(u)]->peek_send(cs);
-          c.wire_out.set(static_cast<std::size_t>(2 * cs.link + cs.dir), bit_to_sym(bit));
+          c.send(2 * cs.link + cs.dir, bit_to_sym(bit));
           folds_[static_cast<std::size_t>(u)].push_back(FoldEvent{slot_idx, &cs, bit_to_sym(bit)});
         }
       }
     }
     c.step(iteration, Phase::Simulation);
     // Pass B: collect receives, fold everything in slot order, fill buffers.
-    for (PartyId u = 0; u < c.n; ++u) {
+    for (const PartyId u : walkers) {
       if (!c.net_correct[static_cast<std::size_t>(u)]) continue;
       for (int l : c.topo->links_of(u)) {
         const std::size_t e = static_cast<std::size_t>(c.ep(u, l));
@@ -436,7 +549,7 @@ void SimulationExec::run(int iteration) {
   }
 
   // Append collected chunk records.
-  for (PartyId u = 0; u < c.n; ++u) {
+  for (const PartyId u : walkers) {
     if (!c.net_correct[static_cast<std::size_t>(u)]) continue;
     for (int l : c.topo->links_of(u)) {
       const std::size_t e = static_cast<std::size_t>(c.ep(u, l));
@@ -464,6 +577,8 @@ void SimulationExec::run(int iteration) {
 
 RewindExec::RewindExec(SimCore& core) : c_(&core) {
   already_rewound_.assign(static_cast<std::size_t>(core.topo->num_dlinks()), 0);
+  recv_mark_.assign(static_cast<std::size_t>(core.topo->num_dlinks()), 0);
+  party_mark_.assign(static_cast<std::size_t>(core.n), 0);
 }
 
 void RewindExec::run(int iteration) {
@@ -471,6 +586,10 @@ void RewindExec::run(int iteration) {
   if (!c.cfg->enable_rewind_phase) return;
   std::fill(already_rewound_.begin(), already_rewound_.end(), 0);
   const long rewind_rounds = c.plan->rewind_rounds();
+  if (c.cfg->use_sparse_engine) {
+    run_sparse(iteration, rewind_rounds);
+    return;
+  }
   for (long r = 0; r < rewind_rounds; ++r) {
     for (PartyId u = 0; u < c.n; ++u) {
       const int min_chunk = c.min_chunks(u);
@@ -502,6 +621,82 @@ void RewindExec::run(int iteration) {
       }
     }
   }
+}
+
+void RewindExec::run_sparse(int iteration, long rewind_rounds) {
+  SimCore& c = *c_;
+  // Worklist form of the dense wave above, visiting O(events) endpoints per
+  // round instead of all 2m (see the invariants at the member declarations).
+  // Per-party scans and the receive wave only mutate endpoint-local state and
+  // monotone counters, so the different visiting order is update-commutative
+  // with the dense scan — bit-identical results, pinned by the dense≡sparse
+  // equivalence suite.
+  const auto scan_party = [&](PartyId u) {
+    const int min_chunk = c.min_chunks(u);
+    for (int l : c.topo->links_of(u)) {
+      const int ei = c.ep(u, l);
+      const std::size_t e = static_cast<std::size_t>(ei);
+      if (c.mp[e].status() == MpStatus::MeetingPoints || already_rewound_[e]) continue;
+      if (c.tr[e].chunks() > min_chunk) {
+        c.send(ei, Sym::One);
+        c.tr[e].truncate(c.tr[e].chunks() - 1);
+        already_rewound_[e] = 1;
+        c.replay_dirty[static_cast<std::size_t>(u)] = 1;
+        ++c.result->rewinds_sent;
+        ++c.result->rewind_truncations;
+        senders_.push_back(static_cast<std::uint32_t>(ei));
+      }
+    }
+  };
+
+  for (long r = 0; r < rewind_rounds; ++r) {
+    senders_.clear();
+    if (r == 0) {
+      // The MP/simulation phases may have imbalanced any party: full scan.
+      for (PartyId u = 0; u < c.n; ++u) scan_party(u);
+    } else {
+      // Only parties that took a receive-side truncation last round can have
+      // gained a sendable imbalance.
+      for (const PartyId u : pending_) {
+        party_mark_[static_cast<std::size_t>(u)] = 0;
+        scan_party(u);
+      }
+      pending_.clear();
+    }
+    c.step(iteration, Phase::Rewind);
+    // Receive wave: a One can only arrive where one was sent or the adversary
+    // rewrote the cell.
+    recv_dlinks_.clear();
+    const auto consider = [&](std::uint32_t dl) {
+      if (recv_mark_[dl] == 0) {
+        recv_mark_[dl] = 1;
+        recv_dlinks_.push_back(dl);
+      }
+    };
+    for (const std::uint32_t dl : senders_) consider(dl);
+    for (const std::uint32_t dl : c.engine->corrupt_cells()) consider(dl);
+    for (const std::uint32_t dl : recv_dlinks_) {
+      recv_mark_[dl] = 0;
+      if (c.wire_in.get(dl) != Sym::One) continue;  // only an explicit request
+      // The endpoint reading dlink dl is the opposite direction of its link.
+      const int ei = static_cast<int>(dl) ^ 1;
+      const std::size_t e = static_cast<std::size_t>(ei);
+      if (c.mp[e].status() == MpStatus::MeetingPoints || already_rewound_[e]) continue;
+      if (c.tr[e].chunks() == 0) continue;
+      c.tr[e].truncate(c.tr[e].chunks() - 1);
+      already_rewound_[e] = 1;
+      const PartyId u = c.topo->dlink_sender(ei);
+      c.replay_dirty[static_cast<std::size_t>(u)] = 1;
+      ++c.result->rewind_truncations;
+      if (party_mark_[static_cast<std::size_t>(u)] == 0) {
+        party_mark_[static_cast<std::size_t>(u)] = 1;
+        pending_.push_back(u);
+      }
+    }
+  }
+  // Unmark the tail so the next iteration's wave starts clean.
+  for (const PartyId u : pending_) party_mark_[static_cast<std::size_t>(u)] = 0;
+  pending_.clear();
 }
 
 }  // namespace gkr

@@ -65,6 +65,16 @@ struct SimCore {
   PackedSymVec wire_out, wire_in;
   long round = 0;
 
+  // Sparse-send tracking (DESIGN.md §15): the deduplicated wire-word indices
+  // written since the last step(), maintained by send() with an epoch-stamped
+  // mark array. step() hands the list to RoundEngine::step_sparse and then
+  // clears exactly those words — the whole round costs O(#sends), not O(m).
+  // Every honest wire write MUST go through send(); a raw wire_out.set would
+  // leave its word untracked and the sparse engine would drop the symbol.
+  std::vector<std::uint32_t> touched_words;
+  std::vector<std::uint32_t> word_mark;  // [num_words] stamp array
+  std::uint32_t send_epoch = 1;
+
   // Per-party state, SoA [n].
   std::vector<std::unique_ptr<PartyReplayer>> replayers;
   std::vector<std::uint8_t> replay_dirty;
@@ -86,6 +96,11 @@ struct SimCore {
   std::vector<const SeedSource*> seed_sources;  // [2m] fill scratch
   std::vector<std::uint64_t> seed_links;        // [2m] link id of endpoint e
 
+  // Reusable [m] bounds buffer for PartyReplayer::rebuild calls — all-zero
+  // between uses (callers fill their party's incident entries and re-zero
+  // them after), so no per-rebuild allocation.
+  std::vector<int> chunk_bounds;
+
   // Allocate the SoA arrays once the immutables are in place.
   void init();
 
@@ -103,11 +118,29 @@ struct SimCore {
     return seeds[static_cast<std::size_t>(e)] ? *seeds[static_cast<std::size_t>(e)] : *crs;
   }
 
-  // One engine round; clears wire_out afterwards.
+  // Put a symbol on outgoing directed link `dlink` for this round. The only
+  // sanctioned wire write: it records the word for the sparse step.
+  void send(int dlink, Sym s) {
+    wire_out.set(static_cast<std::size_t>(dlink), s);
+    const std::uint32_t w =
+        static_cast<std::uint32_t>(static_cast<std::size_t>(dlink) / PackedSymVec::kSymsPerWord);
+    if (word_mark[w] != send_epoch) {
+      word_mark[w] = send_epoch;
+      touched_words.push_back(w);
+    }
+  }
+
+  // One engine round; clears wire_out afterwards (only the touched words when
+  // the sparse engine is on).
   void step(int iteration, Phase phase);
 
   int min_chunks(PartyId u) const;
   void rebuild_replayer(PartyId u);
+
+  // Resident bytes of the shared state (size-based): wires, SoA planes,
+  // transcripts and replayers. The DESIGN.md §15 memory audit — everything in
+  // here is O(m + n) plus the recorded transcript payload.
+  std::size_t approx_bytes() const;
 };
 
 // ChunkSource over one party's endpoint transcripts — the concrete reader
@@ -138,6 +171,10 @@ class MeetingPointsExec {
   explicit MeetingPointsExec(SimCore& core);
   void run(int iteration);
 
+  std::size_t approx_bytes() const noexcept {
+    return sizeof(*this) + outgoing_.size() * sizeof(MpMessage) + recv_.size() * sizeof(Sym);
+  }
+
  private:
   SimCore* c_;
   std::vector<MpMessage> outgoing_;  // [2m]
@@ -152,9 +189,20 @@ class FlagPassingExec {
   void compute_status();
   void run(int iteration);
 
+  std::size_t approx_bytes() const noexcept {
+    std::size_t b = sizeof(*this) + flag_partial_.size() +
+                    level_parties_.size() * sizeof(std::vector<PartyId>);
+    for (const std::vector<PartyId>& lvl : level_parties_) b += lvl.size() * sizeof(PartyId);
+    return b;
+  }
+
  private:
   SimCore* c_;
   std::vector<std::uint8_t> flag_partial_;  // [n] convergecast accumulator
+  // Parties grouped by BFS level (index 1..depth), built once: the sparse
+  // waves touch only the one level that sends/receives each round, so an
+  // iteration's flag passing is O(n) total instead of O(n·depth).
+  std::vector<std::vector<PartyId>> level_parties_;
 };
 
 // Simulation phase: the ⊥-listen round plus one chunk of Π walked slot by
@@ -163,6 +211,8 @@ class SimulationExec {
  public:
   explicit SimulationExec(SimCore& core);
   void run(int iteration);
+
+  std::size_t approx_bytes() const noexcept;
 
  private:
   struct FoldEvent {
@@ -182,6 +232,10 @@ class SimulationExec {
   std::vector<LinkChunkRecord> buffer_;      // record being collected
   std::vector<std::vector<FoldEvent>> folds_;  // [n]
   std::vector<std::uint8_t> aligned_;          // [n] this-iteration alignment
+  // Party walk lists: sparse mode iterates only the netCorrect parties of the
+  // iteration; dense mode walks all_parties_ (== the legacy full scan).
+  std::vector<PartyId> all_parties_;
+  std::vector<PartyId> active_parties_;
 };
 
 // Rewind wave: n rounds of "truncate one chunk and tell the peer".
@@ -190,9 +244,29 @@ class RewindExec {
   explicit RewindExec(SimCore& core);
   void run(int iteration);
 
+  std::size_t approx_bytes() const noexcept {
+    return sizeof(*this) + already_rewound_.size() + recv_mark_.size() + party_mark_.size() +
+           pending_.size() * sizeof(PartyId) +
+           (senders_.size() + recv_dlinks_.size()) * sizeof(std::uint32_t);
+  }
+
  private:
+  void run_sparse(int iteration, long rewind_rounds);
+
   SimCore* c_;
   std::vector<std::uint8_t> already_rewound_;  // [2m] once-per-iteration latch
+
+  // Sparse worklist scratch (DESIGN.md §15). Two invariants make the wave
+  // O(events) instead of O(n·m) per iteration: a send-side truncation never
+  // lowers its party's min (it only shaves endpoints strictly above it), so
+  // new send candidates appear only at parties that took a receive-side
+  // truncation; and a One can only arrive on a dlink someone sent on or the
+  // adversary corrupted, so the receive wave checks senders_ ∪ corrupt_cells.
+  std::vector<std::uint32_t> senders_;      // this round's sent-One dlinks
+  std::vector<std::uint32_t> recv_dlinks_;  // dlinks that may carry a One
+  std::vector<std::uint8_t> recv_mark_;     // [2m] dedupe for recv_dlinks_
+  std::vector<PartyId> pending_;            // parties to rescan next round
+  std::vector<std::uint8_t> party_mark_;    // [n] dedupe for pending_
 };
 
 }  // namespace gkr

@@ -44,6 +44,16 @@ class LinkTranscript {
     return records_[static_cast<std::size_t>(c)];
   }
 
+  // Resident bytes of this endpoint transcript (size-based): the recorded
+  // symbols plus the digest chain. Feeds the scheme's memory audit
+  // (SimulationResult::approx_bytes, DESIGN.md §15).
+  std::size_t approx_bytes() const noexcept {
+    std::size_t b = records_.size() * sizeof(LinkChunkRecord);
+    for (const LinkChunkRecord& r : records_) b += r.size() * sizeof(Sym);
+    b += (chain_.size() + 1) * sizeof(std::uint64_t);
+    return b;
+  }
+
  private:
   std::vector<LinkChunkRecord> records_;
   PrefixChain chain_;

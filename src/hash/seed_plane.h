@@ -60,6 +60,8 @@ class SeedPlane {
   std::size_t endpoints() const noexcept { return endpoints_; }
   std::size_t slots() const noexcept { return slots_; }
   std::size_t words_per_slot() const noexcept { return wps_; }
+  // Resident bytes of the plane buffer (size-based; O(m)·slots·wps).
+  std::size_t approx_bytes() const noexcept { return words_.size() * sizeof(std::uint64_t); }
 
  private:
   std::size_t endpoints_ = 0;

@@ -26,6 +26,9 @@ void PlannedAdversary::deliver_round(const RoundContext& ctx, const PackedSymVec
   (void)sent;
   // Merge all corruptions of a wire word into one masked read-modify-write.
   const std::vector<Corruption>& items = plan_.items();
+  if (has_touch_sink()) {
+    for (const Corruption& c : items) note_touch(c.dlink);
+  }
   std::size_t i = 0;
   while (i < items.size()) {
     const std::size_t w =

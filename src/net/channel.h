@@ -125,6 +125,32 @@ class ChannelAdversary {
       wire.set(dl, deliver(ctx, static_cast<int>(dl), sent.get(dl)));
     }
   }
+
+  // ------------------------------------------------- sparse-engine support
+  // (DESIGN.md §15.) An implementation that can enumerate every wire cell it
+  // may have written during deliver_round returns true here and calls
+  // note_touch(dlink) for each such cell — a conservative superset is fine;
+  // the sparse engine classifies the union of the sender-active and touched
+  // words, and restores exactly that union to silence before the next round.
+  // Implementations that cannot report (e.g. ScalarizeAdversary's per-cell
+  // fallback) keep the default false, and the sparse engine falls back to a
+  // full-wire classification — slower, never wrong.
+  virtual bool reports_touched_cells() const noexcept { return false; }
+
+  // Install (or clear with nullptr) the engine's touch sink. Wrappers forward
+  // to every inner adversary so nested writes reach the engine.
+  virtual void set_touch_sink(std::vector<std::uint32_t>* sink) noexcept {
+    touch_sink_ = sink;
+  }
+
+ protected:
+  void note_touch(int dlink) {
+    if (touch_sink_ != nullptr) touch_sink_->push_back(static_cast<std::uint32_t>(dlink));
+  }
+  bool has_touch_sink() const noexcept { return touch_sink_ != nullptr; }
+
+ private:
+  std::vector<std::uint32_t>* touch_sink_ = nullptr;
 };
 
 // The identity adversary (noiseless channel).
@@ -133,6 +159,8 @@ class NoNoise final : public ChannelAdversary {
   Sym deliver(const RoundContext&, int, Sym sent) override { return sent; }
   // `wire` already equals `sent`.
   void deliver_round(const RoundContext&, const PackedSymVec&, PackedSymVec&) override {}
+  // Writes nothing, so the (empty) touch report is trivially exact.
+  bool reports_touched_cells() const noexcept override { return true; }
 };
 
 // Adapter that hides an adversary's deliver_round override, forcing the
@@ -224,6 +252,10 @@ class PlannedAdversary : public ChannelAdversary {
   }
   void deliver_round(const RoundContext& ctx, const PackedSymVec& sent,
                      PackedSymVec& wire) final;
+
+  // The plan enumerates every cell deliver_round writes, so the base class
+  // reports it to the sparse engine on behalf of all planned kinds.
+  bool reports_touched_cells() const noexcept override { return true; }
 
   const CorruptionSet& current_plan() const noexcept { return plan_; }
 

@@ -1,5 +1,6 @@
 #include "net/round_engine.h"
 
+#include <algorithm>
 #include <chrono>
 
 #include "util/assert.h"
@@ -37,6 +38,89 @@ void RoundEngine::step(const RoundContext& ctx, const PackedSymVec& sent,
   adversary_->deliver_round(ctx, sent, received);
 
   const SymDiffCounts diff = PackedSymVec::classify(sent, received);
+  counters_.corruptions += diff.corruptions;
+  counters_.corruptions_by_phase[phase] += diff.corruptions;
+  counters_.substitutions += diff.substitutions;
+  counters_.deletions += diff.deletions;
+  counters_.insertions += diff.insertions;
+}
+
+void RoundEngine::step_sparse(const RoundContext& ctx, const std::vector<std::uint32_t>& sent_words,
+                              const PackedSymVec& sent, PackedSymVec& received) {
+  const std::size_t d = static_cast<std::size_t>(topo_->num_dlinks());
+  GKR_ASSERT(sent.size() == d);
+  if (!sparse_ready_) {
+    received.assign(d);  // one full silence fill; residue restores thereafter
+    adversary_->set_touch_sink(&touched_cells_);
+    word_epoch_.assign(sent.num_words(), 0);
+    sparse_ready_ = true;
+  }
+  GKR_ASSERT(received.size() == d);
+
+  // Restore last round's residue to silence, then lay down this round's sends
+  // — the sparse equivalent of received.copy_from(sent).
+  for (const std::uint32_t w : residue_words_) received.set_word(w, ~0ULL);
+  residue_words_.clear();
+
+  ++counters_.rounds;
+  const std::size_t phase = static_cast<std::size_t>(ctx.phase);
+  long tx = 0;
+  for (const std::uint32_t w : sent_words) {
+    const std::uint64_t sw = sent.word(w);
+    received.set_word(w, sw);
+    tx += PackedSymVec::word_messages(sw);
+  }
+  counters_.transmissions += tx;
+  counters_.transmissions_by_phase[phase] += tx;
+
+  touched_cells_.clear();
+  const bool timed = probe_ != nullptr;
+  if (timed) ++probe_->rounds;
+  const long long t0 = timed ? probe_now_ns() : 0;
+  adversary_->begin_round(ctx, sent);
+  adversary_->deliver_round(ctx, sent, received);
+  const long long t1 = timed ? probe_now_ns() : 0;
+
+  // Classification set: the words someone sent on, plus every word the
+  // adversary reports having written. Non-reporting adversaries force the
+  // full-wire diff — correct, just not sparse.
+  classify_words_.clear();
+  if (++epoch_ == 0) {  // stamp wraparound: reset the array, burn epoch 0
+    std::fill(word_epoch_.begin(), word_epoch_.end(), 0u);
+    epoch_ = 1;
+  }
+  const auto mark = [this](std::uint32_t w) {
+    if (word_epoch_[w] != epoch_) {
+      word_epoch_[w] = epoch_;
+      classify_words_.push_back(w);
+    }
+  };
+  SymDiffCounts diff;
+  corrupt_cells_.clear();
+  if (adversary_->reports_touched_cells()) {
+    for (const std::uint32_t w : sent_words) mark(w);
+    for (const std::uint32_t c : touched_cells_) {
+      mark(c / static_cast<std::uint32_t>(PackedSymVec::kSymsPerWord));
+    }
+    for (const std::uint32_t w : classify_words_) {
+      PackedSymVec::classify_word(sent.word(w), received.word(w), w, diff, &corrupt_cells_);
+    }
+  } else {
+    for (const std::uint32_t w : sent_words) mark(w);
+    for (std::uint32_t w = 0; w < static_cast<std::uint32_t>(sent.num_words()); ++w) {
+      PackedSymVec::classify_word(sent.word(w), received.word(w), w, diff, &corrupt_cells_);
+      // Any word the delivery left non-silent must be restored next round.
+      if (sent.word(w) != received.word(w)) mark(w);
+    }
+  }
+  std::sort(corrupt_cells_.begin(), corrupt_cells_.end());
+  residue_words_.assign(classify_words_.begin(), classify_words_.end());
+
+  if (timed) {
+    const long long t2 = probe_now_ns();
+    probe_->deliver_ns += t1 - t0;
+    probe_->classify_ns += t2 - t1;
+  }
   counters_.corruptions += diff.corruptions;
   counters_.corruptions_by_phase[phase] += diff.corruptions;
   counters_.substitutions += diff.substitutions;

@@ -73,8 +73,37 @@ class RoundEngine {
   // Unpacked convenience overload (packs, steps, unpacks).
   void step(const RoundContext& ctx, const std::vector<Sym>& sent, std::vector<Sym>& received);
 
+  // Sparse round (DESIGN.md §15): like step(), but touches only the wire
+  // words someone wrote instead of all ⌈2m/32⌉ per round. `sent_words` is the
+  // caller's deduplicated list of word indices covering every non-None cell
+  // of `sent` (SimCore tracks this as it writes); all other sent words MUST
+  // be all-None. `received` must be the same buffer on every sparse step of
+  // this engine — the engine restores the previous round's residue words to
+  // silence instead of recopying the whole vector. Counters and corruption
+  // classification are bit-identical to step(): classification runs over the
+  // union of `sent_words` and the adversary's touched words
+  // (ChannelAdversary::reports_touched_cells), falling back to a full-wire
+  // diff for adversaries that cannot report. After the call corrupt_cells()
+  // lists this round's corrupted dlinks, sorted ascending.
+  void step_sparse(const RoundContext& ctx, const std::vector<std::uint32_t>& sent_words,
+                   const PackedSymVec& sent, PackedSymVec& received);
+
+  // Directed links where this sparse round's delivery differs from what was
+  // sent (sorted ascending). Valid until the next step_sparse call.
+  const std::vector<std::uint32_t>& corrupt_cells() const noexcept { return corrupt_cells_; }
+
   const EngineCounters& counters() const noexcept { return counters_; }
   EngineCounters& counters() noexcept { return counters_; }
+
+  // Resident bytes of the engine's wire-size state (size-based): the packed
+  // scratch pair plus the sparse-step word lists. O(m) — part of the scheme
+  // memory audit (§15).
+  std::size_t approx_bytes() const noexcept {
+    return sizeof(*this) + scratch_sent_.approx_bytes() + scratch_recv_.approx_bytes() +
+           (touched_cells_.size() + residue_words_.size() + classify_words_.size() +
+            corrupt_cells_.size() + word_epoch_.size()) *
+               sizeof(std::uint32_t);
+  }
 
   // Attach (or detach with nullptr) the per-round timing probe. The probe
   // must outlive the engine or be detached first; it only ever receives
@@ -92,6 +121,15 @@ class RoundEngine {
   PackedSymVec scratch_sent_, scratch_recv_;  // for the unpacked overload
   EngineCounters counters_;
   DeliveryProbe* probe_ = nullptr;
+
+  // --------------------------------------------------- sparse-step state
+  bool sparse_ready_ = false;           // first step_sparse initializes below
+  std::vector<std::uint32_t> touched_cells_;   // adversary's note_touch sink
+  std::vector<std::uint32_t> residue_words_;   // non-None words of `received`
+  std::vector<std::uint32_t> classify_words_;  // this round's word union
+  std::vector<std::uint32_t> corrupt_cells_;   // this round's corrupted dlinks
+  std::vector<std::uint32_t> word_epoch_;      // stamp array for word dedupe
+  std::uint32_t epoch_ = 0;
 };
 
 }  // namespace gkr

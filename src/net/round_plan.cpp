@@ -1,6 +1,42 @@
 #include "net/round_plan.h"
 
+#include "util/packed_symvec.h"
+
 namespace gkr {
+namespace {
+
+// Derive the index-list/word-list/per-party-CSR twins of a phase mask
+// (DESIGN.md §15). Only called for phases with a proper subset of the wire
+// active — all-active phases skip materialization entirely.
+void build_lists(const Topology& topo, RoundPlan::PhaseActivity& act) {
+  const std::size_t d = static_cast<std::size_t>(topo.num_dlinks());
+  std::uint32_t last_word = ~0u;
+  for (std::size_t dl = 0; dl < d; ++dl) {
+    if (!act.mask.get(dl)) continue;
+    act.dlinks.push_back(static_cast<std::uint32_t>(dl));
+    const std::uint32_t w = static_cast<std::uint32_t>(dl / PackedSymVec::kSymsPerWord);
+    if (w != last_word) {
+      act.words.push_back(w);
+      last_word = w;
+    }
+  }
+  // Group by sending party: counting sort over dlink_sender keeps each
+  // party's group in ascending-dlink order.
+  const std::size_t n = static_cast<std::size_t>(topo.num_nodes());
+  act.party_offsets.assign(n + 1, 0);
+  for (const std::uint32_t dl : act.dlinks) {
+    ++act.party_offsets[static_cast<std::size_t>(topo.dlink_sender(static_cast<int>(dl))) + 1];
+  }
+  for (std::size_t u = 0; u < n; ++u) act.party_offsets[u + 1] += act.party_offsets[u];
+  act.party_dlinks.resize(act.dlinks.size());
+  std::vector<std::uint32_t> cursor(act.party_offsets.begin(), act.party_offsets.end() - 1);
+  for (const std::uint32_t dl : act.dlinks) {
+    const std::size_t u = static_cast<std::size_t>(topo.dlink_sender(static_cast<int>(dl)));
+    act.party_dlinks[cursor[u]++] = dl;
+  }
+}
+
+}  // namespace
 
 RoundPlan RoundPlan::build(const Topology& topo, const SpanningTree& tree, long exchange_rounds,
                            long mp_rounds, long flag_rounds, long sim_rounds, long rewind_rounds,
@@ -19,11 +55,11 @@ RoundPlan RoundPlan::build(const Topology& topo, const SpanningTree& tree, long 
   plan.iterations_ = iterations;
 
   const std::size_t d = static_cast<std::size_t>(topo.num_dlinks());
-  for (BitVec& mask : plan.active_) mask.resize(d, false);
+  for (PhaseActivity& act : plan.active_) act.mask.resize(d, false);
 
   // Randomness exchange: the smaller endpoint (a) ships to b on every link.
   for (int l = 0; l < topo.num_links(); ++l) {
-    plan.active_[static_cast<std::size_t>(Phase::RandomnessExchange)].set(
+    plan.active_[static_cast<std::size_t>(Phase::RandomnessExchange)].mask.set(
         static_cast<std::size_t>(topo.dlink_from(l, topo.link(l).a)), true);
   }
   // Flag passing: both directions of every tree edge (up-convergecast, then
@@ -31,14 +67,19 @@ RoundPlan RoundPlan::build(const Topology& topo, const SpanningTree& tree, long 
   for (PartyId u = 0; u < topo.num_nodes(); ++u) {
     const int l = tree.parent_link[static_cast<std::size_t>(u)];
     if (l < 0) continue;
-    plan.active_[static_cast<std::size_t>(Phase::FlagPassing)].set(
+    plan.active_[static_cast<std::size_t>(Phase::FlagPassing)].mask.set(
         static_cast<std::size_t>(2 * l), true);
-    plan.active_[static_cast<std::size_t>(Phase::FlagPassing)].set(
+    plan.active_[static_cast<std::size_t>(Phase::FlagPassing)].mask.set(
         static_cast<std::size_t>(2 * l + 1), true);
   }
-  // Meeting points, simulation, rewind, baseline: every directed link.
+  // Meeting points, simulation, rewind, baseline: every directed link. These
+  // stay all_active — no index lists, so plan memory is O(m) total.
   for (Phase p : {Phase::MeetingPoints, Phase::Simulation, Phase::Rewind, Phase::Baseline}) {
-    plan.active_[static_cast<std::size_t>(p)] = BitVec(d, true);
+    plan.active_[static_cast<std::size_t>(p)].mask = BitVec(d, true);
+    plan.active_[static_cast<std::size_t>(p)].all = true;
+  }
+  for (Phase p : {Phase::RandomnessExchange, Phase::FlagPassing}) {
+    build_lists(topo, plan.active_[static_cast<std::size_t>(p)]);
   }
   return plan;
 }

@@ -13,6 +13,8 @@
 #pragma once
 
 #include <array>
+#include <cstdint>
+#include <vector>
 
 #include "net/channel.h"
 #include "net/spanning_tree.h"
@@ -71,13 +73,74 @@ class RoundPlan {
   // hit any cell — which is why the engine never consults it for accounting;
   // it exists for planners and schedule-aware tooling.
   const BitVec& active_dlinks(Phase phase) const noexcept {
-    return active_[static_cast<std::size_t>(phase)];
+    return activity(phase).mask;
+  }
+
+  // ------------------------------------------------ sparse active sets (§15)
+  // Index-list twins of the masks, so sparse iteration never rescans all 2m
+  // cells. Phases where every directed link is active (meeting points,
+  // simulation, rewind, baseline) keep all_active() true and do NOT
+  // materialize lists — O(m) timetable memory independent of phase count.
+
+  bool all_active(Phase phase) const noexcept { return activity(phase).all; }
+
+  // Active dlinks sorted ascending; empty when all_active(phase).
+  const std::vector<std::uint32_t>& active_list(Phase phase) const noexcept {
+    return activity(phase).dlinks;
+  }
+
+  // Sorted unique wire-word indices (dlink / 32) covering active_list —
+  // what a sparse sender hands RoundEngine::step_sparse when it drives the
+  // whole phase set. Empty when all_active(phase).
+  const std::vector<std::uint32_t>& active_words(Phase phase) const noexcept {
+    return activity(phase).words;
+  }
+
+  // CSR grouping of active_list by sending party: party u's active dlinks are
+  // party_dlinks(phase)[party_offsets(phase)[u] .. party_offsets(phase)[u+1]).
+  // Empty when all_active(phase).
+  const std::vector<std::uint32_t>& party_offsets(Phase phase) const noexcept {
+    return activity(phase).party_offsets;
+  }
+  const std::vector<std::uint32_t>& party_dlinks(Phase phase) const noexcept {
+    return activity(phase).party_dlinks;
+  }
+
+  // One phase's activity in every sparse-friendly shape at once (mask for
+  // O(1) membership, lists for iteration, per-party CSR for party-major
+  // walks). Public so the builder helper can fill it; callers use the
+  // accessors above.
+  struct PhaseActivity {
+    BitVec mask;
+    bool all = false;
+    std::vector<std::uint32_t> dlinks;
+    std::vector<std::uint32_t> words;
+    std::vector<std::uint32_t> party_offsets;
+    std::vector<std::uint32_t> party_dlinks;
+
+    std::size_t approx_bytes() const noexcept {
+      return mask.words().size() * sizeof(std::uint64_t) +
+             (dlinks.size() + words.size() + party_offsets.size() + party_dlinks.size()) *
+                 sizeof(std::uint32_t);
+    }
+  };
+
+  // Resident bytes of the timetable (size-based; masks + sparse lists). Part
+  // of the scheme memory audit — O(m) by construction (§15).
+  std::size_t approx_bytes() const noexcept {
+    std::size_t b = sizeof(*this);
+    for (const PhaseActivity& a : active_) b += a.approx_bytes();
+    return b;
   }
 
  private:
+  const PhaseActivity& activity(Phase phase) const noexcept {
+    return active_[static_cast<std::size_t>(phase)];
+  }
+
   long exchange_ = 0, mp_ = 0, flag_ = 0, sim_ = 0, rewind_ = 0;
   int iterations_ = 0;
-  std::array<BitVec, kNumPhases> active_{};
+  std::array<PhaseActivity, kNumPhases> active_{};
 };
 
 }  // namespace gkr

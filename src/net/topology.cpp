@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <set>
+#include <unordered_set>
+#include <utility>
 
 #include "util/stats.h"
 
@@ -11,6 +13,60 @@ namespace {
 Edge make_edge(PartyId u, PartyId v) {
   GKR_ASSERT(u != v);
   return Edge{std::min(u, v), std::max(u, v)};
+}
+
+std::uint64_t edge_key(int n, PartyId u, PartyId v) {
+  const auto a = static_cast<std::uint64_t>(std::min(u, v));
+  const auto b = static_cast<std::uint64_t>(std::max(u, v));
+  return a * static_cast<std::uint64_t>(n) + b;
+}
+
+// Uniform permutation of 0..n-1 (Fisher–Yates over the caller's rng stream).
+std::vector<PartyId> random_permutation(int n, Rng& rng) {
+  std::vector<PartyId> perm(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) perm[static_cast<std::size_t>(i)] = i;
+  for (int i = n - 1; i > 0; --i) {
+    const auto j =
+        static_cast<std::size_t>(rng.next_below(static_cast<std::uint64_t>(i) + 1));
+    std::swap(perm[static_cast<std::size_t>(i)], perm[j]);
+  }
+  return perm;
+}
+
+// Shared core of random_regular / expander: overlay d/2 uniform Hamiltonian
+// cycles. Each cycle is redrawn until it collides with no already-chosen edge
+// (the standard rejection step of the permutation model; the expected overlap
+// between random cycles is O(d²), so a handful of retries suffices at any n).
+// The first cycle visits every node, so the union is connected by
+// construction.
+std::vector<Edge> union_of_cycles(int n, int d, Rng& rng) {
+  GKR_ASSERT_MSG(d >= 2 && d % 2 == 0 && d < n && n >= 3,
+                 "union-of-cycles model needs even d, 2 <= d < n, n >= 3");
+  std::unordered_set<std::uint64_t> chosen;
+  std::vector<Edge> edges;
+  edges.reserve(static_cast<std::size_t>(n) * static_cast<std::size_t>(d) / 2);
+  for (int c = 0; c < d / 2; ++c) {
+    bool placed = false;
+    for (int attempt = 0; attempt < 1000 && !placed; ++attempt) {
+      const std::vector<PartyId> perm = random_permutation(n, rng);
+      bool clean = true;
+      for (int i = 0; i < n && clean; ++i) {
+        const PartyId u = perm[static_cast<std::size_t>(i)];
+        const PartyId v = perm[static_cast<std::size_t>((i + 1) % n)];
+        if (chosen.count(edge_key(n, u, v)) != 0) clean = false;
+      }
+      if (!clean) continue;
+      for (int i = 0; i < n; ++i) {
+        const PartyId u = perm[static_cast<std::size_t>(i)];
+        const PartyId v = perm[static_cast<std::size_t>((i + 1) % n)];
+        chosen.insert(edge_key(n, u, v));
+        edges.push_back(make_edge(u, v));
+      }
+      placed = true;
+    }
+    GKR_ASSERT_MSG(placed, "could not place an edge-disjoint Hamiltonian cycle");
+  }
+  return edges;
 }
 
 }  // namespace
@@ -27,10 +83,41 @@ Topology::Topology(int n, std::vector<Edge> edges, std::string name)
     GKR_ASSERT(0 <= e.a && e.a < e.b && e.b < n_);
     if (i > 0) GKR_ASSERT(!(edges_[i - 1].a == e.a && edges_[i - 1].b == e.b));
   }
-  incident_.resize(static_cast<std::size_t>(n_));
+  // CSR adjacency: degree counts → prefix offsets → fill. Walking links in
+  // ascending id order appends each row in ascending link-id order, the
+  // iteration order the executors and replayers have always seen.
+  offsets_.assign(static_cast<std::size_t>(n_) + 1, 0);
+  for (const Edge& e : edges_) {
+    ++offsets_[static_cast<std::size_t>(e.a) + 1];
+    ++offsets_[static_cast<std::size_t>(e.b) + 1];
+  }
+  for (std::size_t u = 0; u < static_cast<std::size_t>(n_); ++u) {
+    offsets_[u + 1] += offsets_[u];
+  }
+  csr_links_.resize(2 * edges_.size());
+  std::vector<std::size_t> cursor(offsets_.begin(), offsets_.end() - 1);
   for (int l = 0; l < num_links(); ++l) {
-    incident_[static_cast<std::size_t>(edges_[static_cast<std::size_t>(l)].a)].push_back(l);
-    incident_[static_cast<std::size_t>(edges_[static_cast<std::size_t>(l)].b)].push_back(l);
+    const Edge& e = edges_[static_cast<std::size_t>(l)];
+    csr_links_[cursor[static_cast<std::size_t>(e.a)]++] = l;
+    csr_links_[cursor[static_cast<std::size_t>(e.b)]++] = l;
+  }
+  // Peer-sorted twin rows for link_between's binary search. Peers are unique
+  // within a row (simple graph), so the order is total.
+  csr_peers_by_id_.resize(csr_links_.size());
+  csr_links_by_peer_.resize(csr_links_.size());
+  std::vector<std::pair<PartyId, int>> row;
+  for (PartyId u = 0; u < n_; ++u) {
+    const std::size_t lo = offsets_[static_cast<std::size_t>(u)];
+    const std::size_t hi = offsets_[static_cast<std::size_t>(u) + 1];
+    row.clear();
+    for (std::size_t i = lo; i < hi; ++i) {
+      row.emplace_back(peer(csr_links_[i], u), csr_links_[i]);
+    }
+    std::sort(row.begin(), row.end());
+    for (std::size_t i = lo; i < hi; ++i) {
+      csr_peers_by_id_[i] = row[i - lo].first;
+      csr_links_by_peer_[i] = row[i - lo].second;
+    }
   }
 }
 
@@ -100,11 +187,35 @@ Topology Topology::erdos_renyi(int n, double p, Rng& rng) {
   return Topology(n, std::move(edges), strf("gnp(%d,%.2f)", n, p));
 }
 
+Topology Topology::random_regular(int n, int d, Rng& rng) {
+  return Topology(n, union_of_cycles(n, d, rng), strf("rr(%d,%d)", n, d));
+}
+
+Topology Topology::expander(int n, int d, Rng& rng) {
+  // Same union-of-cycles model under its own name: an independently drawn
+  // random d-regular graph is an expander with high probability (Friedman's
+  // theorem — second eigenvalue ≤ 2√(d−1) + ε whp), and keeping the family
+  // distinct lets sweeps carry an explicit expander axis.
+  return Topology(n, union_of_cycles(n, d, rng), strf("expander(%d,%d)", n, d));
+}
+
+Topology Topology::hierarchical_tree(int n, int fanout) {
+  GKR_ASSERT_MSG(n >= 2 && fanout >= 2, "hierarchical_tree needs n >= 2, fanout >= 2");
+  std::vector<Edge> edges;
+  edges.reserve(static_cast<std::size_t>(n) - 1);
+  for (int i = 1; i < n; ++i) edges.push_back(make_edge((i - 1) / fanout, i));
+  return Topology(n, std::move(edges), strf("htree(%d,%d)", n, fanout));
+}
+
 int Topology::link_between(PartyId u, PartyId v) const {
-  for (int l : links_of(u)) {
-    if (peer(l, u) == v) return l;
-  }
-  return -1;
+  GKR_ASSERT(u >= 0 && u < n_ && v >= 0 && v < n_);
+  const std::size_t lo = offsets_[static_cast<std::size_t>(u)];
+  const std::size_t hi = offsets_[static_cast<std::size_t>(u) + 1];
+  const auto first = csr_peers_by_id_.begin() + static_cast<std::ptrdiff_t>(lo);
+  const auto last = csr_peers_by_id_.begin() + static_cast<std::ptrdiff_t>(hi);
+  const auto it = std::lower_bound(first, last, v);
+  if (it == last || *it != v) return -1;
+  return csr_links_by_peer_[static_cast<std::size_t>(it - csr_peers_by_id_.begin())];
 }
 
 bool Topology::is_connected() const {

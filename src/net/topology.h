@@ -4,8 +4,14 @@
 // Links are indexed 0..m-1. A *directed* link is addressed as
 // dlink = 2*link + dir with dir 0 = (a→b), 1 = (b→a) for the edge {a, b},
 // a < b. Directed links index the per-round wire state everywhere in gkrcode.
+//
+// Adjacency is stored in CSR form (DESIGN.md §15): one offsets array of n+1
+// entries plus flat link-id / neighbor rows, so `links_of` is an O(1) span
+// into shared storage and the whole structure is O(n + m) with no per-party
+// vectors. A parallel row sorted by peer id gives O(log deg) `link_between`.
 #pragma once
 
+#include <cstddef>
 #include <string>
 #include <vector>
 
@@ -21,6 +27,26 @@ struct Edge {
   PartyId b = -1;
 };
 
+// Contiguous view into one CSR row. Iterable and indexable like the
+// per-party vector it replaced; never outlives its Topology.
+class LinkSpan {
+ public:
+  LinkSpan(const int* data, std::size_t size) noexcept : data_(data), size_(size) {}
+
+  std::size_t size() const noexcept { return size_; }
+  bool empty() const noexcept { return size_ == 0; }
+  int operator[](std::size_t i) const {
+    GKR_ASSERT(i < size_);
+    return data_[i];
+  }
+  const int* begin() const noexcept { return data_; }
+  const int* end() const noexcept { return data_ + size_; }
+
+ private:
+  const int* data_;
+  std::size_t size_;
+};
+
 class Topology {
  public:
   // Factories for the standard families used throughout the experiments.
@@ -34,6 +60,23 @@ class Topology {
   // random spanning tree first.
   static Topology erdos_renyi(int n, double p, Rng& rng);
 
+  // Large sparse families for the party-scale axis (DESIGN.md §15). All three
+  // are deterministic functions of their arguments (and the rng state), so
+  // equal seeds rebuild bit-identical graphs.
+  //
+  // d-regular graph via the permutation-matching model: d/2 uniform
+  // Hamiltonian cycles (d even) overlaid, with local edge swaps repairing
+  // duplicates; retries until connected. Requires n > d ≥ 2, d even.
+  static Topology random_regular(int n, int d, Rng& rng);
+  // d-regular expander: same union-of-cycles construction with an
+  // independently drawn cycle set — kept as a distinct named family so sweeps
+  // can carry an "expander" axis; random d-regular graphs are expanders with
+  // high probability (Friedman's theorem).
+  static Topology expander(int n, int d, Rng& rng);
+  // Complete `fanout`-ary tree: node i's parent is (i-1)/fanout. Depth
+  // log_fanout(n), the hierarchical-aggregation shape.
+  static Topology hierarchical_tree(int n, int fanout);
+
   int num_nodes() const noexcept { return n_; }
   int num_links() const noexcept { return static_cast<int>(edges_.size()); }
   int num_dlinks() const noexcept { return 2 * num_links(); }
@@ -44,10 +87,18 @@ class Topology {
     return edges_[static_cast<std::size_t>(link_id)];
   }
 
-  // Link ids incident to u, sorted ascending.
-  const std::vector<int>& links_of(PartyId u) const {
+  // Link ids incident to u, sorted ascending — an O(1) span into the CSR row.
+  LinkSpan links_of(PartyId u) const {
     GKR_ASSERT(u >= 0 && u < n_);
-    return incident_[static_cast<std::size_t>(u)];
+    const std::size_t lo = offsets_[static_cast<std::size_t>(u)];
+    const std::size_t hi = offsets_[static_cast<std::size_t>(u) + 1];
+    return LinkSpan(csr_links_.data() + lo, hi - lo);
+  }
+
+  int degree(PartyId u) const {
+    GKR_ASSERT(u >= 0 && u < n_);
+    return static_cast<int>(offsets_[static_cast<std::size_t>(u) + 1] -
+                            offsets_[static_cast<std::size_t>(u)]);
   }
 
   // The other endpoint of `link_id` relative to u.
@@ -57,7 +108,8 @@ class Topology {
     return e.a == u ? e.b : e.a;
   }
 
-  // Link id between u and v, or -1.
+  // Link id between u and v, or -1. Binary search over u's peer-sorted CSR
+  // row: O(log deg(u)).
   int link_between(PartyId u, PartyId v) const;
 
   // Directed link for sender u on link_id.
@@ -85,7 +137,14 @@ class Topology {
 
   int n_ = 0;
   std::vector<Edge> edges_;
-  std::vector<std::vector<int>> incident_;
+  // CSR adjacency: row u spans csr_links_[offsets_[u] .. offsets_[u+1]).
+  // csr_links_ holds link ids ascending (the historical per-party order every
+  // executor iterates in); csr_peers_by_id_/csr_links_by_peer_ hold the same
+  // rows re-sorted by peer id for link_between's binary search.
+  std::vector<std::size_t> offsets_;
+  std::vector<int> csr_links_;
+  std::vector<PartyId> csr_peers_by_id_;
+  std::vector<int> csr_links_by_peer_;
   std::string name_;
 };
 

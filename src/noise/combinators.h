@@ -69,6 +69,16 @@ class ComposedAdversary final : public ChannelAdversary {
     second_->deliver_round(ctx, mid_, wire);
   }
 
+  // The chain's writes are contained in the union of the stages' writes, so
+  // the composition reports iff both stages do; the sink fans out to both.
+  bool reports_touched_cells() const noexcept override {
+    return first_->reports_touched_cells() && second_->reports_touched_cells();
+  }
+  void set_touch_sink(std::vector<std::uint32_t>* sink) noexcept override {
+    first_->set_touch_sink(sink);
+    second_->set_touch_sink(sink);
+  }
+
  private:
   ChannelAdversary* first_ = nullptr;
   ChannelAdversary* second_ = nullptr;
@@ -103,6 +113,13 @@ class PhaseGateAdversary final : public ChannelAdversary {
   void deliver_round(const RoundContext& ctx, const PackedSymVec& sent,
                      PackedSymVec& wire) override {
     if (active(ctx)) inner_->deliver_round(ctx, sent, wire);
+  }
+
+  bool reports_touched_cells() const noexcept override {
+    return inner_->reports_touched_cells();
+  }
+  void set_touch_sink(std::vector<std::uint32_t>* sink) noexcept override {
+    inner_->set_touch_sink(sink);
   }
 
  private:
@@ -150,6 +167,13 @@ class RoundScheduleAdversary final : public ChannelAdversary {
   void deliver_round(const RoundContext& ctx, const PackedSymVec& sent,
                      PackedSymVec& wire) override {
     if (active(ctx.round)) inner_->deliver_round(ctx, sent, wire);
+  }
+
+  bool reports_touched_cells() const noexcept override {
+    return inner_->reports_touched_cells();
+  }
+  void set_touch_sink(std::vector<std::uint32_t>* sink) noexcept override {
+    inner_->set_touch_sink(sink);
   }
 
  private:

@@ -38,6 +38,10 @@ void ObliviousAdversary::deliver_round(const RoundContext& ctx, const PackedSymV
     const std::size_t dl = static_cast<std::size_t>(dlink);
     if (dl >= sent.size()) continue;  // plan built for a wider topology
     wire.set(dl, apply(sent.get(dl), value));
+    // Fixing-mode entries may re-deliver the sent symbol; reporting them
+    // anyway keeps the touch set a superset of the writes, which is all the
+    // sparse engine needs.
+    note_touch(dlink);
   }
 }
 

@@ -46,6 +46,9 @@ class ObliviousAdversary final : public ChannelAdversary {
   void deliver_round(const RoundContext& ctx, const PackedSymVec& sent,
                      PackedSymVec& wire) override;
 
+  // The per-round group enumerates every cell the batched path writes.
+  bool reports_touched_cells() const noexcept override { return true; }
+
   ObliviousMode mode() const noexcept { return mode_; }
   std::size_t plan_size() const noexcept { return plan_entries_; }
 

@@ -46,16 +46,27 @@ class StochasticChannel final : public ChannelAdversary {
       if (lo < thr_max_) {
         const Sym s = sent.get(dl);
         const Sym t = transform(lo, s);
-        if (t != s) wire.set(dl, t);
+        if (t != s) {
+          wire.set(dl, t);
+          note_touch(static_cast<int>(dl));
+        }
       }
       const std::uint32_t hi = static_cast<std::uint32_t>(pair >> 32);
       if (hi < thr_max_ && dl + 1 < d) {
         const Sym s = sent.get(dl + 1);
         const Sym t = transform(hi, s);
-        if (t != s) wire.set(dl + 1, t);
+        if (t != s) {
+          wire.set(dl + 1, t);
+          note_touch(static_cast<int>(dl + 1));
+        }
       }
     }
   }
+
+  // The counter-based walk visits every cell regardless of engine mode (idle
+  // cells can earn insertions, so the walk itself cannot be sparsified), but
+  // the cells it *writes* are exactly the set reported here.
+  bool reports_touched_cells() const noexcept override { return true; }
 
  private:
   // p ↦ the u32 threshold with P[u < thr] = p for uniform 32-bit u.

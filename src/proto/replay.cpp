@@ -17,7 +17,9 @@ RecordsChunkSource::RecordsChunkSource(const std::vector<std::vector<LinkChunkRe
 
 PartyReplayer::PartyReplayer(const ChunkedProtocol& proto, PartyId self, std::uint64_t input)
     : proto_(&proto), self_(self), input_(input) {
-  recs_.assign(static_cast<std::size_t>(proto.topology().num_links()), nullptr);
+  const LinkSpan links = proto.topology().links_of(self);
+  my_links_.assign(links.begin(), links.end());
+  bounds_local_.assign(my_links_.size(), 0);
   reset();
 }
 
@@ -29,8 +31,7 @@ PartyReplayer& PartyReplayer::operator=(PartyReplayer&&) noexcept = default;
 
 void PartyReplayer::enable_checkpoints(int interval_chunks) {
   GKR_ASSERT(interval_chunks > 0);
-  ckpt_ = std::make_unique<ReplayCheckpointer>(interval_chunks,
-                                               proto_->topology().num_links());
+  ckpt_ = std::make_unique<ReplayCheckpointer>(interval_chunks);
 }
 
 void PartyReplayer::set_checkpoint_interval(int interval_chunks) {
@@ -40,7 +41,13 @@ void PartyReplayer::set_checkpoint_interval(int interval_chunks) {
 
 void PartyReplayer::reset() {
   logic_ = proto_->spec().make_logic(self_, input_);
-  dlink_parity_.assign(static_cast<std::size_t>(proto_->topology().num_dlinks()), false);
+  dlink_parity_.assign(2 * my_links_.size(), false);
+}
+
+std::size_t PartyReplayer::local_link(int link) const {
+  const auto it = std::lower_bound(my_links_.begin(), my_links_.end(), link);
+  GKR_ASSERT(it != my_links_.end() && *it == link);
+  return static_cast<std::size_t>(it - my_links_.begin());
 }
 
 void PartyReplayer::feed_slot(const ChunkSlot& cs, Sym recorded) {
@@ -55,20 +62,24 @@ void PartyReplayer::feed_slot(const ChunkSlot& cs, Sym recorded) {
     } else {
       logic_->note_received(cs.user_slot, s, bit);
     }
-    dlink_parity_[static_cast<std::size_t>(dlink)] =
-        dlink_parity_[static_cast<std::size_t>(dlink)] ^ bit;
+    const std::size_t p = 2 * local_link(cs.link) + static_cast<std::size_t>(cs.dir);
+    dlink_parity_[p] = dlink_parity_[p] ^ bit;
   }
   // Heartbeat and pad slots carry no automaton state.
 }
 
 void PartyReplayer::rebuild(const ChunkSource& src, const std::vector<int>& chunks_per_link) {
   ++rebuilds_;
-  const Topology& topo = proto_->topology();
-  const std::vector<int>& links = topo.links_of(self_);
+  // Gather the incident bounds once; everything downstream (checkpoint
+  // validation included) works in the party-local index space.
+  bounds_local_.resize(my_links_.size());
+  for (std::size_t i = 0; i < my_links_.size(); ++i) {
+    bounds_local_[i] = chunks_per_link[static_cast<std::size_t>(my_links_[i])];
+  }
 
   int start = 0;
   const ReplayCheckpoint* snap =
-      ckpt_ ? ckpt_->restore_point(links, chunks_per_link, src) : nullptr;
+      ckpt_ ? ckpt_->restore_point(my_links_, bounds_local_, src) : nullptr;
   if (snap != nullptr) {
     logic_ = snap->logic->clone();
     dlink_parity_ = snap->parity;
@@ -78,46 +89,51 @@ void PartyReplayer::rebuild(const ChunkSource& src, const std::vector<int>& chun
   }
 
   int max_chunks = start;
-  for (int l : links) {
-    max_chunks = std::max(max_chunks, chunks_per_link[static_cast<std::size_t>(l)]);
-  }
+  for (const int b : bounds_local_) max_chunks = std::max(max_chunks, b);
   for (int c = start; c < max_chunks; ++c) {
     if (ckpt_ && c > start && c % ckpt_->interval() == 0) {
-      ckpt_->capture(c, links, chunks_per_link, src, *logic_, dlink_parity_);
+      ckpt_->capture(c, my_links_, bounds_local_, src, *logic_, dlink_parity_);
     }
     const Chunk& chunk = proto_->chunk(c);
-    // Fetch + validate each incident link's record once per chunk; links past
-    // their bound (and non-incident links, never written) stay null and the
-    // slot loop skips them.
-    for (int l : links) {
-      if (c >= chunks_per_link[static_cast<std::size_t>(l)]) {
-        recs_[static_cast<std::size_t>(l)] = nullptr;
-        continue;
-      }
+    // Gather the incident links' slots (by_link[l][j] is the slot whose
+    // record index is j) and sort back into global slot order — the same
+    // round-minor interleaving the live simulation phase produces, at
+    // O(incident slots · log) per chunk instead of a walk over every slot of
+    // every link in the chunk.
+    feed_.clear();
+    for (std::size_t i = 0; i < my_links_.size(); ++i) {
+      if (c >= bounds_local_[i]) continue;
+      const int l = my_links_[i];
       const LinkChunkRecord* rec = src.chunk_record(l, c);
       GKR_ASSERT(rec != nullptr);
-      GKR_ASSERT(rec->size() == chunk.by_link[static_cast<std::size_t>(l)].size());
-      recs_[static_cast<std::size_t>(l)] = rec;
+      const std::vector<int>& list = chunk.by_link[static_cast<std::size_t>(l)];
+      GKR_ASSERT(rec->size() == list.size());
+      for (std::size_t j = 0; j < list.size(); ++j) {
+        feed_.push_back(FeedEntry{list[j], (*rec)[j]});
+      }
       ++replayed_chunks_;
     }
-    // Feed in chunk slot order (round-minor), interleaving links exactly as
-    // the live simulation phase does.
-    for (std::size_t idx = 0; idx < chunk.slots.size(); ++idx) {
-      const ChunkSlot& cs = chunk.slots[idx];
-      const LinkChunkRecord* rec = recs_[static_cast<std::size_t>(cs.link)];
-      if (rec == nullptr) continue;
-      feed_slot(cs, (*rec)[static_cast<std::size_t>(chunk.link_pos[idx])]);
+    std::sort(feed_.begin(), feed_.end(),
+              [](const FeedEntry& a, const FeedEntry& b) { return a.slot < b.slot; });
+    for (const FeedEntry& fe : feed_) {
+      feed_slot(chunk.slots[static_cast<std::size_t>(fe.slot)], fe.sym);
     }
   }
 }
 
+std::size_t PartyReplayer::approx_bytes() const noexcept {
+  std::size_t b = sizeof(*this) + my_links_.size() * sizeof(int) +
+                  (dlink_parity_.size() + 7) / 8 + feed_.size() * sizeof(FeedEntry) +
+                  bounds_local_.size() * sizeof(int);
+  if (ckpt_) b += ckpt_->approx_bytes();
+  return b;
+}
+
 void PartyReplayer::note_aligned_append(const ChunkSource& src, int chunks) {
   if (!ckpt_ || chunks <= 0 || chunks % ckpt_->interval() != 0) return;
-  const std::vector<int>& links = proto_->topology().links_of(self_);
   // Every incident link is `chunks` long here, so bounds == the watermark.
-  std::vector<int> bounds(static_cast<std::size_t>(proto_->topology().num_links()), 0);
-  for (int l : links) bounds[static_cast<std::size_t>(l)] = chunks;
-  ckpt_->capture(chunks, links, bounds, src, *logic_, dlink_parity_);
+  bounds_local_.assign(my_links_.size(), chunks);
+  ckpt_->capture(chunks, my_links_, bounds_local_, src, *logic_, dlink_parity_);
 }
 
 bool PartyReplayer::peek_send(const ChunkSlot& cs) const {
@@ -125,7 +141,7 @@ bool PartyReplayer::peek_send(const ChunkSlot& cs) const {
   GKR_ASSERT(proto_->topology().dlink_sender(dlink) == self_);
   switch (cs.kind) {
     case SlotKind::Heartbeat:
-      return dlink_parity_[static_cast<std::size_t>(dlink)];
+      return dlink_parity_[2 * local_link(cs.link) + static_cast<std::size_t>(cs.dir)];
     case SlotKind::Pad:
       return false;
     case SlotKind::User:

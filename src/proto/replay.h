@@ -138,8 +138,12 @@ class PartyReplayer {
   // Party output per the current automaton state.
   std::uint64_t output() const { return logic_->output(); }
 
-  // Heartbeat parity per directed link (state the checkpoint plane snapshots
-  // and the equivalence suite compares).
+  // Heartbeat parities in the party-local layout: entry 2·i + dir belongs to
+  // direction `dir` of the i-th incident link (ascending link-id order). The
+  // checkpoint plane snapshots this vector and the equivalence suite compares
+  // it between replayers of the SAME party, where the layouts agree. Keeping
+  // it [2·deg] instead of [2m] is what bounds the replay plane's total
+  // footprint at O(m + n) across all parties (DESIGN.md §15).
   const std::vector<bool>& dlink_parity() const noexcept { return dlink_parity_; }
 
   // Instrumentation for the overhead/replay-path benches: rebuild() calls and
@@ -150,19 +154,40 @@ class PartyReplayer {
   // Checkpoint-plane introspection (tests); null when disabled.
   const ReplayCheckpointer* checkpointer() const noexcept { return ckpt_.get(); }
 
+  // Resident bytes of this replayer (size-based): the party-local vectors
+  // plus the checkpoint stack. O(deg) per party — the bound DESIGN.md §15
+  // audits via SimulationResult::approx_bytes.
+  std::size_t approx_bytes() const noexcept;
+
  private:
+  // One gathered (slot, symbol) pair of a rebuild chunk, merged from the
+  // incident links' by_link lists and sorted back into global slot order.
+  struct FeedEntry {
+    int slot;
+    Sym sym;
+  };
+
   void reset();
   void feed_slot(const ChunkSlot& cs, Sym recorded);
+
+  // Position of `link` in my_links_ (the ascending incident-link list);
+  // O(log deg). The link must be incident.
+  std::size_t local_link(int link) const;
 
   const ChunkedProtocol* proto_;
   PartyId self_;
   std::uint64_t input_;
   std::unique_ptr<PartyLogic> logic_;
-  // Parity of user bits this party has put on / taken off each directed
-  // link — the heartbeat content.
+  // Incident links, ascending link id (a copy of the topology's CSR row, so
+  // rebuild hands the checkpoint plane a stable std::vector).
+  std::vector<int> my_links_;
+  // Parity of user bits this party has put on / taken off each incident
+  // directed link — the heartbeat content, [2·deg] local layout (see
+  // dlink_parity()).
   std::vector<bool> dlink_parity_;
   std::unique_ptr<ReplayCheckpointer> ckpt_;
-  std::vector<const LinkChunkRecord*> recs_;  // [m] per-chunk feed scratch
+  std::vector<FeedEntry> feed_;      // [≤ incident slots of one chunk] scratch
+  std::vector<int> bounds_local_;    // [deg] per-rebuild bounds gather
   long rebuilds_ = 0;
   long replayed_chunks_ = 0;
 };

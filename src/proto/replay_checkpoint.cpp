@@ -5,24 +5,15 @@
 #include "proto/replay.h"
 
 namespace gkr {
-namespace {
 
-// min(boundary, bounds[l]) — the chunks a from-scratch replay bounded by
-// `bounds` would have fed link l before chunk-major index `boundary`.
-int fed_before(int boundary, const std::vector<int>& bounds, int l) {
-  return std::min(boundary, bounds[static_cast<std::size_t>(l)]);
-}
-
-}  // namespace
-
-ReplayCheckpointer::ReplayCheckpointer(int interval, int num_links)
-    : interval_(interval), m_(num_links) {
-  GKR_ASSERT(interval_ > 0 && m_ > 0);
+ReplayCheckpointer::ReplayCheckpointer(int interval) : interval_(interval) {
+  GKR_ASSERT(interval_ > 0);
 }
 
 void ReplayCheckpointer::capture(int boundary, const std::vector<int>& links,
-                                 const std::vector<int>& bounds, const ChunkSource& src,
+                                 const std::vector<int>& bounds_local, const ChunkSource& src,
                                  const PartyLogic& logic, const std::vector<bool>& parity) {
+  GKR_ASSERT(links.size() == bounds_local.size());
   // Stale checkpoints at or past this boundary describe a history that has
   // since been rewritten; drop them rather than letting restore_point churn
   // through their failed validations later.
@@ -32,12 +23,14 @@ void ReplayCheckpointer::capture(int boundary, const std::vector<int>& links,
   }
   ReplayCheckpoint cp;
   cp.boundary = boundary;
-  cp.fed.assign(static_cast<std::size_t>(m_), 0);
-  cp.digests.assign(static_cast<std::size_t>(m_), 0);
-  for (int l : links) {
-    const int fed = fed_before(boundary, bounds, l);
-    cp.fed[static_cast<std::size_t>(l)] = fed;
-    cp.digests[static_cast<std::size_t>(l)] = src.prefix_digest(l, fed);
+  cp.fed.resize(links.size());
+  cp.digests.resize(links.size());
+  for (std::size_t i = 0; i < links.size(); ++i) {
+    // min(boundary, bound) — what a from-scratch replay bounded by
+    // bounds_local[i] would have fed this link before chunk index `boundary`.
+    const int fed = std::min(boundary, bounds_local[i]);
+    cp.fed[i] = fed;
+    cp.digests[i] = src.prefix_digest(links[i], fed);
   }
   cp.logic = logic.clone();
   cp.parity = parity;
@@ -46,17 +39,17 @@ void ReplayCheckpointer::capture(int boundary, const std::vector<int>& links,
 }
 
 const ReplayCheckpoint* ReplayCheckpointer::restore_point(const std::vector<int>& links,
-                                                          const std::vector<int>& bounds,
+                                                          const std::vector<int>& bounds_local,
                                                           const ChunkSource& src) {
+  GKR_ASSERT(links.size() == bounds_local.size());
   while (!stack_.empty()) {
     const ReplayCheckpoint& cp = stack_.back();
-    bool valid = true;
-    for (int l : links) {
-      const int fed = cp.fed[static_cast<std::size_t>(l)];
-      if (fed_before(cp.boundary, bounds, l) != fed ||
-          src.prefix_digest(l, fed) != cp.digests[static_cast<std::size_t>(l)]) {
+    bool valid = cp.fed.size() == links.size();
+    for (std::size_t i = 0; valid && i < links.size(); ++i) {
+      const int fed = cp.fed[i];
+      if (std::min(cp.boundary, bounds_local[i]) != fed ||
+          src.prefix_digest(links[i], fed) != cp.digests[i]) {
         valid = false;
-        break;
       }
     }
     if (valid) {

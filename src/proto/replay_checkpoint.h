@@ -22,6 +22,12 @@
 // checkpoint's fed counts therefore invalidates it — restore_point drops
 // invalidated checkpoints newest-first, so a rollback pays once and the plane
 // re-grows as the transcripts do.
+//
+// All per-link state is stored in the PARTY-LOCAL index space: position i
+// refers to the i-th entry of the caller's incident-link list, which must be
+// the same list (same order) across capture and restore_point calls. That
+// keeps a snapshot at O(deg) instead of O(m), which bounds the whole replay
+// plane at O(m + n) across all parties (DESIGN.md §15).
 #pragma once
 
 #include <cstdint>
@@ -34,20 +40,20 @@ namespace gkr {
 
 class ChunkSource;
 
-// One snapshot of a party's replay state at a chunk boundary.
+// One snapshot of a party's replay state at a chunk boundary. Per-link
+// vectors are indexed by the party-local incident-link position, not link id.
 struct ReplayCheckpoint {
   int boundary = 0;                    // chunk-major watermark c
-  std::vector<int> fed;                // [m] chunks fed per link (0 if not incident)
-  std::vector<std::uint64_t> digests;  // [m] prefix digest at fed[l]
+  std::vector<int> fed;                // [deg] chunks fed per incident link
+  std::vector<std::uint64_t> digests;  // [deg] prefix digest at fed[i]
   std::unique_ptr<PartyLogic> logic;   // cloned automaton
-  std::vector<bool> parity;            // [2m] dlink heartbeat parities
+  std::vector<bool> parity;            // [2·deg] local heartbeat parities
 };
 
 class ReplayCheckpointer {
  public:
-  // `interval` > 0: snapshot cadence in chunks. `num_links` sizes the
-  // per-link bookkeeping (m of the topology, not the party's degree).
-  ReplayCheckpointer(int interval, int num_links);
+  // `interval` > 0: snapshot cadence in chunks.
+  explicit ReplayCheckpointer(int interval);
 
   int interval() const noexcept { return interval_; }
 
@@ -63,20 +69,34 @@ class ReplayCheckpointer {
   long restores() const noexcept { return restores_; }
   long invalidations() const noexcept { return invalidations_; }
 
-  // Record the state reached after feeding, for each link in `links`,
-  // min(boundary, bounds[l]) chunks whose content `src` currently serves.
-  // A checkpoint already at `boundary` is replaced; any stale checkpoint at a
-  // later boundary is dropped first.
-  void capture(int boundary, const std::vector<int>& links, const std::vector<int>& bounds,
-               const ChunkSource& src, const PartyLogic& logic,
-               const std::vector<bool>& parity);
+  // Resident bytes of the checkpoint stack (size-based). Each snapshot is
+  // O(deg) party-local vectors; the cloned PartyLogic is counted at its base
+  // size only (automaton internals are O(1) per party).
+  std::size_t approx_bytes() const noexcept {
+    std::size_t b = sizeof(*this);
+    for (const ReplayCheckpoint& cp : stack_) {
+      b += sizeof(cp) + cp.fed.size() * sizeof(int) +
+           cp.digests.size() * sizeof(std::uint64_t) + (cp.parity.size() + 7) / 8;
+    }
+    return b;
+  }
 
-  // Newest checkpoint consistent with (bounds, src) per the rule above, or
-  // nullptr when none is. Inconsistent newer checkpoints are discarded. The
-  // returned pointer is owned by the checkpointer and valid until the next
-  // capture/restore_point call.
+  // Record the state reached after feeding, for each position i of `links`,
+  // min(boundary, bounds_local[i]) chunks whose content `src` currently
+  // serves. `bounds_local` is parallel to `links`. A checkpoint already at
+  // `boundary` is replaced; any stale checkpoint at a later boundary is
+  // dropped first.
+  void capture(int boundary, const std::vector<int>& links,
+               const std::vector<int>& bounds_local, const ChunkSource& src,
+               const PartyLogic& logic, const std::vector<bool>& parity);
+
+  // Newest checkpoint consistent with (bounds_local, src) per the rule above,
+  // or nullptr when none is. Inconsistent newer checkpoints are discarded.
+  // The returned pointer is owned by the checkpointer and valid until the
+  // next capture/restore_point call.
   const ReplayCheckpoint* restore_point(const std::vector<int>& links,
-                                        const std::vector<int>& bounds, const ChunkSource& src);
+                                        const std::vector<int>& bounds_local,
+                                        const ChunkSource& src);
 
  private:
   // Memory bound: dropping the oldest checkpoint only costs speed on a
@@ -85,7 +105,6 @@ class ReplayCheckpointer {
   static constexpr std::size_t kMaxCheckpoints = 128;
 
   int interval_;
-  int m_;
   std::vector<ReplayCheckpoint> stack_;  // ascending boundary order
   long restores_ = 0;
   long invalidations_ = 0;

@@ -104,6 +104,26 @@ TopologyFactory topology_factory(const std::string& family, int a, int b, double
       Rng rng(seed);
       return std::make_shared<Topology>(Topology::random_tree(a, rng));
     };
+  } else if (family == "rr" || family == "random_regular") {
+    const int d = b > 0 ? b : 4;
+    f.name = "rr:" + std::to_string(a) + ":" + std::to_string(d);
+    f.build = [a, d](std::uint64_t seed) {
+      Rng rng(seed);
+      return std::make_shared<Topology>(Topology::random_regular(a, d, rng));
+    };
+  } else if (family == "expander") {
+    const int d = b > 0 ? b : 4;
+    f.name = "expander:" + std::to_string(a) + ":" + std::to_string(d);
+    f.build = [a, d](std::uint64_t seed) {
+      Rng rng(seed);
+      return std::make_shared<Topology>(Topology::expander(a, d, rng));
+    };
+  } else if (family == "htree") {
+    const int fanout = b > 0 ? b : 2;
+    f.name = "htree:" + std::to_string(a) + ":" + std::to_string(fanout);
+    f.build = [a, fanout](std::uint64_t) {
+      return std::make_shared<Topology>(Topology::hierarchical_tree(a, fanout));
+    };
   } else if (family == "erdos_renyi") {
     char pbuf[32];
     std::snprintf(pbuf, sizeof pbuf, "%g", p);

@@ -118,8 +118,12 @@ std::vector<RunSpec> expand_grid(const ParamGrid& grid);
 // ---------------------------------------------------------------------------
 // Standard factories (shared by the sim_sweep CLI and the benches).
 
-// family ∈ {line, ring, star, clique, grid, random_tree, erdos_renyi}.
-// `a` is n (for grid: rows; cols = b). p is the Erdős–Rényi edge probability.
+// family ∈ {line, ring, star, clique, grid, random_tree, erdos_renyi,
+// rr (alias random_regular), expander, htree}.
+// `a` is n (for grid: rows; cols = b). For rr/expander `b` is the degree
+// (default 4); for htree it is the fanout (default 2). Random families derive
+// their graph from the per-run seed, so equal seeds rebuild bit-identical
+// topologies. p is the Erdős–Rényi edge probability.
 TopologyFactory topology_factory(const std::string& family, int a, int b = 0, double p = 0.3);
 
 // name ∈ {gossip, tree_token, tree_aggregate, line_pingpong, random}; the

@@ -105,6 +105,8 @@ void JsonlSink::consume(const RunRecord& r) {
   append_int_array(line, r.ctrl_rate_q);
   line += ",\"ctrl_tau\":";
   append_int_array(line, r.ctrl_tau);
+  line += ",\"approx_bytes\":" + std::to_string(r.approx_bytes);
+  line += ",\"bytes_per_edge\":" + fmt_double(r.bytes_per_edge);
   line += ",\"rounds\":" + std::to_string(r.rounds);
   if (include_timing_) {
     line += ",\"wall_ms\":" + fmt_double(r.wall_ms);
@@ -128,7 +130,8 @@ void CsvSink::begin(const SweepMeta& meta) {
            "insertions,noise_fraction,hash_collisions,mp_truncations,"
            "rewind_truncations,rewinds_sent,exchange_failures,"
            "replayer_rebuilds,replayed_chunks,adaptive,ctrl_epochs,ctrl_switches,"
-           "ctrl_exchange_repeats,ctrl_final_tier,ctrl_rate_q,ctrl_tau,rounds";
+           "ctrl_exchange_repeats,ctrl_final_tier,ctrl_rate_q,ctrl_tau,"
+           "approx_bytes,bytes_per_edge,rounds";
   if (include_timing_) {
     *out_ << ",wall_ms,rounds_per_sec,syms_per_sec";
     for (int i = 0; i < kNumPhases; ++i) {
@@ -181,6 +184,8 @@ void CsvSink::consume(const RunRecord& r) {
   line += ',' + std::to_string(r.ctrl_final_tier);
   line += ',' + pipe_join(r.ctrl_rate_q);
   line += ',' + pipe_join(r.ctrl_tau);
+  line += ',' + std::to_string(r.approx_bytes);
+  line += ',' + fmt_double(r.bytes_per_edge);
   line += ',' + std::to_string(r.rounds);
   if (include_timing_) {
     line += ',' + fmt_double(r.wall_ms);

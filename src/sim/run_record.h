@@ -78,6 +78,14 @@ struct RunRecord {
   std::vector<int> ctrl_rate_q;
   std::vector<int> ctrl_tau;
 
+  // Memory audit (DESIGN.md §15): the scheme's size-based end-of-run resident
+  // footprint, total and normalized per link. Deterministic (element counts,
+  // not allocator capacity); zero for uncoded baselines. bytes_per_edge
+  // staying flat as n grows at fixed degree is the O(m + n) scaling evidence
+  // bench_party_scale asserts.
+  long approx_bytes = 0;
+  double bytes_per_edge = 0.0;
+
   // Engine throughput. `rounds` is deterministic (part of the timetable);
   // the rates are wall-clock derived and follow the wall_ms opt-in rule.
   long rounds = 0;            // engine rounds executed

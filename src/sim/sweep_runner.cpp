@@ -127,6 +127,9 @@ RunRecord SweepRunner::execute(const RunSpec& spec) const {
       rec.ctrl_rate_q.push_back(e.rate_q10);
       rec.ctrl_tau.push_back(e.params.tau);
     }
+    rec.approx_bytes = r.approx_bytes;
+    rec.bytes_per_edge = safe_ratio(static_cast<double>(r.approx_bytes),
+                                    static_cast<double>(rec.m));
     rec.rounds = r.counters.rounds;
   }
 

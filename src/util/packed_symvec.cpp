@@ -19,17 +19,7 @@ SymDiffCounts PackedSymVec::classify(const PackedSymVec& sent,
   GKR_ASSERT(sent.size_ == received.size_);
   SymDiffCounts out;
   for (std::size_t i = 0; i < sent.words_.size(); ++i) {
-    const std::uint64_t a = sent.words_[i];
-    const std::uint64_t b = received.words_[i];
-    if (a == b) continue;
-    const std::uint64_t sn = none_mask(a);
-    const std::uint64_t on = none_mask(b);
-    const std::uint64_t x = a ^ b;
-    const std::uint64_t diff = (x | (x >> 1)) & kCellLsb;
-    out.corruptions += std::popcount(diff);
-    out.substitutions += std::popcount(diff & ~sn & ~on);
-    out.deletions += std::popcount(on & ~sn);
-    out.insertions += std::popcount(sn & ~on);
+    classify_word(sent.words_[i], received.words_[i], i, out, nullptr);
   }
   return out;
 }

@@ -10,6 +10,7 @@
 // without a tail special case.
 #pragma once
 
+#include <bit>
 #include <cstddef>
 #include <cstdint>
 #include <vector>
@@ -46,6 +47,8 @@ class PackedSymVec {
   std::size_t size() const noexcept { return size_; }
   bool empty() const noexcept { return size_ == 0; }
   std::size_t num_words() const noexcept { return words_.size(); }
+  // Resident payload in bytes (size-based, not allocator capacity).
+  std::size_t approx_bytes() const noexcept { return words_.size() * sizeof(std::uint64_t); }
 
   Sym get(std::size_t i) const noexcept {
     GKR_ASSERT(i < size_);
@@ -113,6 +116,38 @@ class PackedSymVec {
   // Classify every cell where `sent` and `received` disagree. Both vectors
   // must have the same size; padding agrees by invariant.
   static SymDiffCounts classify(const PackedSymVec& sent, const PackedSymVec& received) noexcept;
+
+  // Messages (≠ ∗) in one word; padding cells are None so whole words count
+  // exactly. The sparse engine's per-word counterpart of count_messages().
+  static long word_messages(std::uint64_t w) noexcept {
+    return static_cast<long>(kSymsPerWord) - std::popcount(none_mask(w));
+  }
+
+  // Classify one sent/received word pair, folding into `out`; when `cells` is
+  // non-null, append each differing cell's global index (word_index·32 + c).
+  // The sparse engine runs this over the active-word union instead of the
+  // full vector (DESIGN.md §15).
+  static void classify_word(std::uint64_t a, std::uint64_t b, std::size_t word_index,
+                            SymDiffCounts& out, std::vector<std::uint32_t>* cells) {
+    if (a == b) return;
+    const std::uint64_t sn = none_mask(a);
+    const std::uint64_t on = none_mask(b);
+    const std::uint64_t x = a ^ b;
+    const std::uint64_t diff = (x | (x >> 1)) & kCellLsb;
+    out.corruptions += std::popcount(diff);
+    out.substitutions += std::popcount(diff & ~sn & ~on);
+    out.deletions += std::popcount(on & ~sn);
+    out.insertions += std::popcount(sn & ~on);
+    if (cells != nullptr) {
+      std::uint64_t d = diff;
+      while (d != 0) {
+        const int bit = std::countr_zero(d);
+        cells->push_back(
+            static_cast<std::uint32_t>(word_index * kSymsPerWord + static_cast<std::size_t>(bit) / 2));
+        d &= d - 1;
+      }
+    }
+  }
 
   // std::vector<Sym> interop (tests, compat shims).
   static PackedSymVec from_syms(const std::vector<Sym>& syms);

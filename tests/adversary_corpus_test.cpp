@@ -139,7 +139,8 @@ void run_corpus(int replay_checkpoint_interval,
                 obs::Tracer* tracer = nullptr, bool use_ecc_plane = true,
                 bool adaptive = false,
                 const std::vector<CorpusEntry>& table = {std::begin(kCorpus),
-                                                         std::end(kCorpus)}) {
+                                                         std::end(kCorpus)},
+                bool use_sparse_engine = true) {
   std::string replacement;  // printed wholesale on any mismatch
   bool mismatch = false;
   for (const CorpusEntry& entry : table) {
@@ -151,6 +152,7 @@ void run_corpus(int replay_checkpoint_interval,
     w.cfg.observability = observability;
     w.cfg.tracer = tracer;
     w.cfg.use_ecc_plane = use_ecc_plane;
+    w.cfg.use_sparse_engine = use_sparse_engine;
     w.cfg.adaptive = adaptive;
     // Epoch per iteration: these workloads run few iterations, and the
     // adaptive table should pin runs where the controller actually moves
@@ -210,6 +212,50 @@ TEST(AdversaryCorpus, GoldenDigestsAreBitStableAdaptive) {
   run_corpus(SchemeConfig{}.replay_checkpoint_interval, obs::ObsLevel::Off, nullptr,
              /*use_ecc_plane=*/true, /*adaptive=*/true,
              {std::begin(kCorpusAdaptive), std::end(kCorpusAdaptive)});
+}
+
+// The sparse active-set engine (DESIGN.md §15) is a cost optimization of
+// round execution, never a behavior change: the same 20 digests with the
+// dense full-scan engine forced. Together with the default-config tests
+// above (which run sparse), this pins the corpus with the knob both ways.
+TEST(AdversaryCorpus, GoldenDigestsAreBitStableWithDenseEngine) {
+  run_corpus(SchemeConfig{}.replay_checkpoint_interval, obs::ObsLevel::Off, nullptr,
+             /*use_ecc_plane=*/true, /*adaptive=*/false,
+             {std::begin(kCorpus), std::end(kCorpus)}, /*use_sparse_engine=*/false);
+}
+
+// Beyond the pinned entries: sparse and dense legs must fold to the same
+// digest under *every* standard adversary, on a sparse topology (expander,
+// where the active sets actually prune) and a dense one (clique, where they
+// degenerate to everything — the regression that would hide in sparse-only
+// testing).
+TEST(AdversaryCorpus, SparseEngineMatchesDenseAcrossRegistry) {
+  std::vector<std::shared_ptr<Topology>> topos;
+  {
+    Rng topo_rng(11);
+    topos.push_back(std::make_shared<Topology>(Topology::expander(24, 4, topo_rng)));
+  }
+  topos.push_back(std::make_shared<Topology>(Topology::clique(6)));
+
+  for (const std::shared_ptr<Topology>& topo : topos) {
+    for (const sim::NoiseInfo& info : sim::standard_noise_registry()) {
+      SCOPED_TRACE(topo->name() + " / " + info.name);
+      std::uint64_t digests[2];
+      for (const bool sparse : {true, false}) {
+        sim::Workload w = sim::gossip_workload(topo, Variant::ExchangeNonOblivious,
+                                               /*seed=*/2026, /*rounds=*/6);
+        w.cfg.use_sparse_engine = sparse;
+        const sim::NoiseFactory factory = sim::noise_factory(info.name);
+        Rng noise_rng(7);
+        sim::BuiltNoise noise = factory.build(w, /*mu=*/0.004, noise_rng);
+        NoNoise none;
+        ChannelAdversary& adv =
+            noise.adversary ? *noise.adversary : static_cast<ChannelAdversary&>(none);
+        digests[sparse ? 0 : 1] = result_digest(w.run(adv));
+      }
+      EXPECT_EQ(digests[0], digests[1]);
+    }
+  }
 }
 
 }  // namespace

@@ -71,6 +71,76 @@ TEST(Topology, ErdosRenyiConnected) {
   }
 }
 
+// Shared invariants for the party-scale families (DESIGN.md §15): a simple
+// connected graph whose edge list is canonical (a < b, no duplicates, both
+// endpoints in range).
+void expect_simple_connected(const Topology& t) {
+  std::set<std::pair<PartyId, PartyId>> seen;
+  for (const Edge& e : t.links()) {
+    EXPECT_GE(e.a, 0);
+    EXPECT_LT(e.a, e.b);
+    EXPECT_LT(e.b, t.num_nodes());
+    EXPECT_TRUE(seen.insert({e.a, e.b}).second) << "duplicate edge " << e.a << "-" << e.b;
+  }
+  EXPECT_TRUE(t.is_connected());
+}
+
+TEST(Topology, RandomRegularIsRegular) {
+  Rng rng(4);
+  for (int n : {8, 50, 257}) {
+    const Topology t = Topology::random_regular(n, 4, rng);
+    expect_simple_connected(t);
+    EXPECT_EQ(t.num_links(), n * 4 / 2);
+    for (PartyId u = 0; u < n; ++u) EXPECT_EQ(t.degree(u), 4);
+  }
+}
+
+TEST(Topology, ExpanderIsRegular) {
+  Rng rng(5);
+  for (int n : {8, 50, 257}) {
+    const Topology t = Topology::expander(n, 4, rng);
+    expect_simple_connected(t);
+    EXPECT_EQ(t.num_links(), n * 4 / 2);
+    for (PartyId u = 0; u < n; ++u) EXPECT_EQ(t.degree(u), 4);
+  }
+}
+
+TEST(Topology, HierarchicalTreeShape) {
+  for (int fanout : {2, 3}) {
+    for (int n : {2, 9, 64}) {
+      const Topology t = Topology::hierarchical_tree(n, fanout);
+      expect_simple_connected(t);
+      EXPECT_EQ(t.num_links(), n - 1);
+      // Node i hangs off (i-1)/fanout; nobody exceeds fanout children.
+      for (PartyId u = 1; u < n; ++u) EXPECT_GE(t.link_between(u, (u - 1) / fanout), 0);
+      EXPECT_LE(t.degree(0), fanout);
+      for (PartyId u = 1; u < n; ++u) EXPECT_LE(t.degree(u), fanout + 1);
+    }
+  }
+}
+
+// The random families are pure functions of (n, d, rng state): equal seeds
+// must rebuild bit-identical graphs — what lets a sweep's RunRecord be
+// reproduced from its run_seed alone.
+TEST(Topology, SparseFamiliesAreSeedDeterministic) {
+  const auto expect_same_edges = [](const Topology& x, const Topology& y) {
+    ASSERT_EQ(x.num_links(), y.num_links());
+    for (int l = 0; l < x.num_links(); ++l) {
+      EXPECT_EQ(x.link(l).a, y.link(l).a);
+      EXPECT_EQ(x.link(l).b, y.link(l).b);
+    }
+  };
+  {
+    Rng r1(99), r2(99);
+    expect_same_edges(Topology::random_regular(64, 4, r1),
+                      Topology::random_regular(64, 4, r2));
+  }
+  {
+    Rng r1(99), r2(99);
+    expect_same_edges(Topology::expander(64, 4, r1), Topology::expander(64, 4, r2));
+  }
+}
+
 TEST(Topology, DlinkSenderReceiver) {
   const Topology t = Topology::line(3);
   const int link = t.link_between(0, 1);
