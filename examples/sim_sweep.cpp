@@ -38,6 +38,27 @@
 //   --metrics-out metrics.json  sweep-level metrics registry as JSON
 //                             (deterministic for any --threads; timing
 //                             subtree included only with --timing)
+//
+// Distributed sweeps (DESIGN.md §16):
+//   --serve PORT              run as coordinator on 127.0.0.1:PORT (0 =
+//                             ephemeral, port printed to stderr)
+//   --dist-workers N          self-spawn N worker processes (implies
+//                             --serve 0 when --serve is absent)
+//   --connect HOST:PORT       run as a worker for that coordinator; the grid
+//                             flags must match the coordinator's exactly
+//                             (the HELLO handshake enforces it)
+//   --worker-id K             this worker's id (default 0)
+//   --shard-size N            runs per shard (default: auto)
+//   --fault SPEC              coordinator-side fault injection, e.g.
+//                             "kill:1@5,drop:0.2,corrupt:0.1" (tests/CI)
+//   --fault-seed S            fault plan seed (default 1)
+//   --run-timeout-ms MS       per-run watchdog (local and worker execution)
+//
+// Output is byte-identical between --serve/--dist-workers and a plain local
+// sweep of the same grid — including under fault plans.
+#include <sys/wait.h>
+#include <unistd.h>
+
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -46,6 +67,9 @@
 #include <string>
 #include <vector>
 
+#include "dist/coordinator.h"
+#include "dist/fault_plan.h"
+#include "dist/worker.h"
 #include "obs/metrics.h"
 #include "obs/obs_level.h"
 #include "obs/trace.h"
@@ -185,6 +209,50 @@ ParamGrid demo_grid() {
   return grid;
 }
 
+// Self-spawned worker processes for --dist-workers: re-exec this binary with
+// the parent's grid-defining flags, minus everything about sinks, faults and
+// distribution (the coordinator owns output and fault injection), plus the
+// worker wiring.
+std::vector<pid_t> spawn_workers(int argc, char** argv, int count, int port) {
+  std::vector<std::string> base;
+  const std::vector<std::string> skip_flag = {"--no-summary", "--progress", "--timing"};
+  const std::vector<std::string> skip_flag_value = {
+      "--serve",  "--dist-workers", "--connect",   "--worker-id", "--fault",
+      "--fault-seed", "--shard-size", "--jsonl",   "--csv",       "--trace-out",
+      "--metrics-out", "--obs",       "--threads"};
+  base.emplace_back("sim_sweep");
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (one_of(arg, skip_flag)) continue;
+    if (one_of(arg, skip_flag_value)) {
+      ++i;
+      continue;
+    }
+    base.push_back(arg);
+  }
+  base.emplace_back("--no-summary");
+  base.emplace_back("--connect");
+  base.push_back("127.0.0.1:" + std::to_string(port));
+
+  std::vector<pid_t> pids;
+  for (int k = 0; k < count; ++k) {
+    std::vector<std::string> args = base;
+    args.emplace_back("--worker-id");
+    args.push_back(std::to_string(k));
+    std::vector<char*> cargv;
+    cargv.reserve(args.size() + 1);
+    for (std::string& s : args) cargv.push_back(s.data());
+    cargv.push_back(nullptr);
+    const pid_t pid = ::fork();
+    if (pid == 0) {
+      ::execv("/proc/self/exe", cargv.data());
+      _exit(127);
+    }
+    if (pid > 0) pids.push_back(pid);
+  }
+  return pids;
+}
+
 int run_main(int argc, char** argv) {
   ParamGrid grid = demo_grid();
   bool grid_customized = false;
@@ -193,6 +261,14 @@ int run_main(int argc, char** argv) {
   std::string jsonl_path, csv_path, trace_path, metrics_path;
   bool summary = true;
   bool timing = false;
+  bool serve_mode = false;
+  int serve_port = 0;
+  int dist_workers = 0;
+  std::string connect_spec;
+  std::uint32_t worker_id = 0;
+  std::size_t shard_size = 0;
+  std::string fault_spec;
+  std::uint64_t fault_seed = 1;
   obs::ObsLevel obs_level = obs::ObsLevel::Off;
   bool obs_level_set = false;
 
@@ -282,6 +358,31 @@ int run_main(int argc, char** argv) {
       trace_path = next_value(i);
     } else if (arg == "--metrics-out") {
       metrics_path = next_value(i);
+    } else if (arg == "--serve") {
+      serve_mode = true;
+      serve_port = std::atoi(next_value(i).c_str());
+      if (serve_port < 0 || serve_port > 65535) die("--serve PORT must be 0..65535");
+    } else if (arg == "--dist-workers") {
+      dist_workers = std::atoi(next_value(i).c_str());
+      if (dist_workers <= 0) die("--dist-workers must be a positive integer");
+    } else if (arg == "--connect") {
+      connect_spec = next_value(i);
+    } else if (arg == "--worker-id") {
+      worker_id = static_cast<std::uint32_t>(std::strtoul(next_value(i).c_str(), nullptr, 10));
+    } else if (arg == "--shard-size") {
+      const long n = std::atol(next_value(i).c_str());
+      if (n <= 0) die("--shard-size must be a positive integer");
+      shard_size = static_cast<std::size_t>(n);
+    } else if (arg == "--fault") {
+      fault_spec = next_value(i);
+      dist::FaultPlan probe;
+      std::string err;
+      if (!dist::FaultPlan::parse(fault_spec, probe, err)) die("--fault: " + err);
+    } else if (arg == "--fault-seed") {
+      fault_seed = std::strtoull(next_value(i).c_str(), nullptr, 0);
+    } else if (arg == "--run-timeout-ms") {
+      opts.run_timeout_ms = std::atoi(next_value(i).c_str());
+      if (opts.run_timeout_ms < 0) die("--run-timeout-ms must be >= 0");
     } else if (arg == "--list-adversaries") {
       for (const NoiseInfo& info : standard_noise_registry()) {
         std::printf("%-16s %s\n", info.name.c_str(), info.description.c_str());
@@ -296,7 +397,10 @@ int run_main(int argc, char** argv) {
                   "                 [--jsonl PATH] [--csv PATH] [--no-summary]\n"
                   "                 [--timing] [--progress] [--list-adversaries]\n"
                   "                 [--obs off|counters|full] [--trace-out PATH]\n"
-                  "                 [--metrics-out PATH]\n"
+                  "                 [--metrics-out PATH] [--run-timeout-ms MS]\n"
+                  "                 [--serve PORT] [--dist-workers N]\n"
+                  "                 [--connect HOST:PORT] [--worker-id K]\n"
+                  "                 [--shard-size N] [--fault SPEC] [--fault-seed S]\n"
                   "See the header of examples/sim_sweep.cpp for axis syntax.\n"
                   "--trace-out implies --obs full; --metrics-out exports the sweep\n"
                   "metrics registry as JSON (timing subtree included with --timing).\n");
@@ -312,6 +416,23 @@ int run_main(int argc, char** argv) {
     if (obs_level_set) die("--trace-out requires --obs full");
     obs_level = obs::ObsLevel::Full;
   }
+
+  if (!connect_spec.empty()) {
+    // Worker mode: no sinks, no banner — the coordinator owns the output.
+    if (serve_mode || dist_workers > 0) die("--connect excludes --serve/--dist-workers");
+    const std::size_t colon = connect_spec.rfind(':');
+    if (colon == std::string::npos) die("--connect syntax: HOST:PORT");
+    const int port = std::atoi(connect_spec.c_str() + colon + 1);
+    if (port <= 0 || port > 65535) die("bad port in --connect '" + connect_spec + "'");
+    dist::WorkerOptions wopts;
+    wopts.worker_id = worker_id;
+    dist::Worker worker(std::move(grid), opts, wopts);
+    const int rc = worker.serve(connect_spec.substr(0, colon), port);
+    std::fprintf(stderr, "sim_sweep: worker %u done, %lld runs executed, rc=%d\n",
+                 worker_id, static_cast<long long>(worker.records_done()), rc);
+    return rc;
+  }
+  if (dist_workers > 0) serve_mode = true;
 
   std::fprintf(stderr, "sim_sweep: %zu grid points x %d reps = %zu runs on %d thread(s)%s\n",
                grid.num_points(), grid.repetitions, grid.num_runs(),
@@ -342,8 +463,37 @@ int run_main(int argc, char** argv) {
   }
   if (summary) sinks.push_back(&summary_sink);
 
-  SweepRunner runner(std::move(grid), opts);
-  const std::vector<RunRecord> records = runner.run(sinks);
+  std::vector<RunRecord> records;
+  if (serve_mode) {
+    dist::CoordinatorOptions copts;
+    copts.port = static_cast<std::uint16_t>(serve_port);
+    copts.shard_size = shard_size;
+    copts.expected_workers = dist_workers > 0 ? dist_workers : 1;
+    if (!fault_spec.empty()) {
+      std::string err;
+      if (!dist::FaultPlan::parse(fault_spec, copts.faults, err)) die("--fault: " + err);
+      copts.faults.seed = fault_seed;
+    }
+    dist::Coordinator coordinator(std::move(grid), opts, copts);
+    std::fprintf(stderr, "sim_sweep: coordinator on 127.0.0.1:%d\n", coordinator.port());
+    const std::vector<pid_t> children =
+        spawn_workers(argc, argv, dist_workers, coordinator.port());
+    records = coordinator.run(sinks);
+    for (const pid_t pid : children) {
+      int status = 0;
+      (void)::waitpid(pid, &status, 0);  // fault plans legitimately kill workers
+    }
+    const FabricStats& fs = coordinator.stats();
+    std::fprintf(stderr,
+                 "sim_sweep: fabric workers=%d lost=%d shards_retried=%ld local=%ld "
+                 "dedup=%ld rejected=%ld dropped=%ld\n",
+                 fs.workers_connected, fs.workers_lost, fs.shards_retried,
+                 fs.shards_completed_local, fs.records_deduped, fs.frames_rejected,
+                 fs.frames_dropped);
+  } else {
+    SweepRunner runner(std::move(grid), opts);
+    records = runner.run(sinks);
+  }
 
   long failures = 0;
   for (const RunRecord& r : records) failures += r.success ? 0 : 1;

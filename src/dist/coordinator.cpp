@@ -1,0 +1,489 @@
+#include "dist/coordinator.h"
+
+#include <poll.h>
+#include <sys/socket.h>
+
+#include <algorithm>
+#include <chrono>
+#include <memory>
+#include <stdexcept>
+#include <utility>
+
+#include "dist/transport.h"
+#include "obs/publish.h"
+#include "sim/thread_pool.h"
+
+namespace gkr::dist {
+
+namespace {
+
+enum class ShardState { Pending, Assigned, Done };
+
+}  // namespace
+
+struct Coordinator::Shard {
+  std::uint64_t begin = 0;
+  std::uint64_t end = 0;
+  ShardState state = ShardState::Pending;
+  int retries = 0;
+  std::uint64_t holder_serial = 0;   // Conn::serial while Assigned
+  std::int64_t eligible_at_ms = 0;   // backoff gate while Pending
+  std::int64_t deadline_ms = 0;      // 0 = no deadline
+  std::uint64_t remaining = 0;       // unfilled slots in [begin, end)
+};
+
+struct Coordinator::Conn {
+  int fd = -1;
+  std::uint64_t serial = 0;
+  bool helloed = false;
+  std::uint32_t worker_id = 0;
+  FrameParser parser;
+  std::unique_ptr<FaultInjector> injector;  // created at HELLO (needs the id)
+  std::int64_t last_heartbeat_ms = 0;
+  std::int64_t last_progress_ms = 0;  // last ASSIGN sent or RECORD frame seen
+  std::int64_t handshake_deadline_ms = 0;
+  std::int64_t records_received = 0;  // RECORD frames, for the kill fault
+  std::int64_t current_shard = -1;
+};
+
+Coordinator::Coordinator(sim::ParamGrid grid, sim::SweepOptions sweep_opts,
+                         CoordinatorOptions opts)
+    : grid_(grid),
+      sweep_opts_(sweep_opts),
+      opts_(opts),
+      local_runner_(std::move(grid), sweep_opts) {
+  specs_ = sim::expand_grid(grid_);
+  grid_digest_ = grid_fingerprint(grid_);
+  records_.resize(specs_.size());
+  have_.assign(specs_.size(), 0);
+
+  if (opts_.shard_size > 0) {
+    shard_runs_ = opts_.shard_size;
+  } else {
+    const std::size_t workers = static_cast<std::size_t>(std::max(1, opts_.expected_workers));
+    shard_runs_ = std::clamp<std::size_t>(specs_.size() / (8 * workers), 1, 64);
+  }
+  for (std::uint64_t begin = 0; begin < specs_.size(); begin += shard_runs_) {
+    Shard s;
+    s.begin = begin;
+    s.end = std::min<std::uint64_t>(begin + shard_runs_, specs_.size());
+    s.remaining = s.end - s.begin;
+    shards_.push_back(s);
+  }
+  stats_.shards_total = static_cast<long>(shards_.size());
+
+  listen_fd_ = listen_on(opts_.port);
+  if (listen_fd_ < 0 || !set_nonblocking(listen_fd_)) {
+    close_fd(listen_fd_);
+    listen_fd_ = -1;
+    throw std::runtime_error("coordinator: cannot bind 127.0.0.1:" +
+                             std::to_string(opts_.port));
+  }
+  port_ = bound_port(listen_fd_);
+  last_worker_seen_ms_ = now_ms();
+}
+
+Coordinator::~Coordinator() {
+  for (Conn& c : conns_) close_fd(c.fd);
+  close_fd(listen_fd_);
+}
+
+std::int64_t Coordinator::now_ms() const {
+  return std::chrono::duration_cast<std::chrono::milliseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+void Coordinator::accept_new(std::int64_t now) {
+  for (;;) {
+    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) return;
+    if (!set_nonblocking(fd)) {
+      close_fd(fd);
+      continue;
+    }
+    Conn c;
+    c.fd = fd;
+    c.serial = next_serial_++;
+    c.handshake_deadline_ms = now + opts_.handshake_timeout_ms;
+    conns_.push_back(std::move(c));
+  }
+}
+
+void Coordinator::accept_record(Conn& conn, const RecordMsg& msg) {
+  conn.records_received++;
+  if (msg.run_index >= specs_.size()) return;
+  const std::size_t i = static_cast<std::size_t>(msg.run_index);
+  if (have_[i]) {
+    stats_.records_deduped++;
+    return;
+  }
+  records_[i] = msg.record;
+  have_[i] = 1;
+  slots_filled_++;
+  stats_.records_received++;
+  Shard& s = shards_[shard_of(msg.run_index)];
+  if (s.remaining > 0 && --s.remaining == 0 && s.state != ShardState::Done) {
+    // RECORD-completion is primary; DONE is advisory. A dropped DONE frame
+    // can therefore never wedge the sweep.
+    s.state = ShardState::Done;
+    shards_done_++;
+    // Free the holder right away — its DONE may be in flight or lost; the
+    // worker is idle either way and should get the next shard.
+    for (Conn& c : conns_) {
+      if (c.fd >= 0 && c.serial == s.holder_serial &&
+          c.current_shard == static_cast<std::int64_t>(shard_of(msg.run_index))) {
+        c.current_shard = -1;
+      }
+    }
+  }
+}
+
+bool Coordinator::handle_frame(Conn& conn, const Frame& frame, std::int64_t now) {
+  switch (frame.type) {
+    case FrameType::Hello: {
+      HelloMsg m;
+      if (!decode_hello(frame.payload, m)) {
+        stats_.frames_rejected++;
+        return true;
+      }
+      std::string mismatch;
+      if (m.version != kWireVersion) {
+        mismatch = "wire version mismatch";
+      } else if (m.grid_digest != grid_digest_) {
+        mismatch = "grid fingerprint mismatch (worker built a different grid)";
+      } else if (m.num_runs != specs_.size()) {
+        mismatch = "run-count mismatch";
+      }
+      if (!mismatch.empty()) {
+        ErrorMsg err;
+        err.shard_id = ~std::uint64_t{0};
+        err.message = mismatch;
+        (void)send_frame(conn.fd, FrameType::Error, encode_error(err),
+                         opts_.send_timeout_ms);
+        return false;
+      }
+      conn.helloed = true;
+      conn.worker_id = m.worker_id;
+      conn.injector = std::make_unique<FaultInjector>(opts_.faults, m.worker_id);
+      conn.last_heartbeat_ms = now;
+      conn.last_progress_ms = now;
+      stats_.workers_connected++;
+      last_worker_seen_ms_ = now;
+      return true;
+    }
+    case FrameType::Record: {
+      RecordMsg m;
+      if (!decode_record(frame.payload, m)) {
+        stats_.frames_rejected++;
+        return true;
+      }
+      conn.last_progress_ms = now;
+      accept_record(conn, m);
+      if (conn.injector != nullptr && conn.injector->should_kill(conn.records_received)) {
+        return false;  // the kill fault: the worker "crashes" mid-shard
+      }
+      return true;
+    }
+    case FrameType::Heartbeat: {
+      HeartbeatMsg m;
+      if (!decode_heartbeat(frame.payload, m)) {
+        stats_.frames_rejected++;
+        return true;
+      }
+      stats_.heartbeats_received++;
+      conn.last_heartbeat_ms = now;
+      return true;
+    }
+    case FrameType::Done: {
+      DoneMsg m;
+      if (!decode_done(frame.payload, m)) {
+        stats_.frames_rejected++;
+        return true;
+      }
+      if (m.shard_id < shards_.size()) {
+        Shard& s = shards_[static_cast<std::size_t>(m.shard_id)];
+        if (s.state == ShardState::Assigned && s.holder_serial == conn.serial &&
+            s.remaining > 0) {
+          // The worker thinks it finished but records went missing en route
+          // (dropped/rejected frames): put the shard back in play.
+          retry_shard(static_cast<std::size_t>(m.shard_id), now);
+        }
+      }
+      if (conn.current_shard >= 0 &&
+          static_cast<std::uint64_t>(conn.current_shard) == m.shard_id) {
+        conn.current_shard = -1;  // worker is idle; assign_pending refills it
+      }
+      return true;
+    }
+    case FrameType::Error:
+      // The worker failed executing its shard; treat it like a crash so the
+      // shard retries elsewhere (and eventually surfaces locally, where the
+      // same deterministic cell reproduces the same exception).
+      return false;
+    default:
+      stats_.frames_rejected++;
+      return true;
+  }
+}
+
+void Coordinator::pump_conn(std::size_t ci, std::int64_t now) {
+  Conn& conn = conns_[ci];
+  std::vector<std::uint8_t> bytes;
+  const std::int64_t got = read_available(conn.fd, bytes);
+  if (got < 0) {
+    drop_conn(ci, "connection lost");
+    return;
+  }
+  if (!bytes.empty()) conn.parser.feed(bytes.data(), bytes.size());
+
+  std::vector<std::uint8_t> raw;
+  while (conn.parser.next(raw)) {
+    // The fault injector sits exactly here: between frame splitting and
+    // frame decoding, like a hostile last hop.
+    if (conn.injector != nullptr) {
+      const FrameType peeked =
+          raw.size() > 4 ? static_cast<FrameType>(raw[4]) : FrameType::Error;
+      switch (conn.injector->classify(peeked)) {
+        case FaultAction::Drop:
+          stats_.frames_dropped++;
+          continue;
+        case FaultAction::Truncate:
+          stats_.frames_dropped++;
+          drop_conn(ci, "stream torn");
+          return;
+        case FaultAction::Corrupt:
+          conn.injector->flip_payload_bit(raw);
+          break;
+        case FaultAction::Deliver:
+          break;
+      }
+    }
+    Frame frame;
+    if (!decode_frame(raw.data(), raw.size(), frame)) {
+      stats_.frames_rejected++;  // CRC caught it; the stream stays in sync
+      continue;
+    }
+    if (!handle_frame(conn, frame, now)) {
+      drop_conn(ci, "protocol failure");
+      return;
+    }
+  }
+  if (conn.parser.poisoned()) drop_conn(ci, "unframeable stream");
+}
+
+void Coordinator::drop_conn(std::size_t ci, const char* why) {
+  (void)why;
+  Conn& conn = conns_[ci];
+  if (conn.fd < 0) return;
+  close_fd(conn.fd);
+  conn.fd = -1;
+  if (conn.helloed) {
+    stats_.workers_lost++;
+    last_worker_seen_ms_ = now_ms();  // restart the degrade countdown
+  }
+  release_shard(conn, now_ms());
+}
+
+void Coordinator::release_shard(Conn& conn, std::int64_t now) {
+  if (conn.current_shard < 0) return;
+  const std::size_t sid = static_cast<std::size_t>(conn.current_shard);
+  conn.current_shard = -1;
+  Shard& s = shards_[sid];
+  if (s.state == ShardState::Assigned && s.holder_serial == conn.serial) {
+    retry_shard(sid, now);
+  }
+}
+
+void Coordinator::retry_shard(std::size_t shard_id, std::int64_t now) {
+  Shard& s = shards_[shard_id];
+  if (s.state == ShardState::Done) return;
+  s.state = ShardState::Pending;
+  s.holder_serial = 0;
+  s.deadline_ms = 0;
+  s.retries++;
+  stats_.shards_retried++;
+  if (s.retries > opts_.max_shard_retries) {
+    run_shard_locally(shard_id);  // retry budget exhausted: degrade
+    return;
+  }
+  const int shift = std::min(s.retries - 1, 20);
+  const std::int64_t backoff =
+      std::min<std::int64_t>(opts_.backoff_cap_ms,
+                             static_cast<std::int64_t>(opts_.backoff_base_ms) << shift);
+  s.eligible_at_ms = now + backoff;
+}
+
+void Coordinator::run_shard_locally(std::size_t shard_id) {
+  Shard& s = shards_[shard_id];
+  if (s.state == ShardState::Done) return;
+  for (std::uint64_t i = s.begin; i < s.end; ++i) {
+    const std::size_t idx = static_cast<std::size_t>(i);
+    if (have_[idx]) continue;
+    records_[idx] = local_runner_.execute(specs_[idx]);
+    have_[idx] = 1;
+    slots_filled_++;
+    s.remaining--;
+  }
+  s.state = ShardState::Done;
+  shards_done_++;
+  stats_.shards_completed_local++;
+}
+
+void Coordinator::check_deadlines(std::int64_t now) {
+  for (std::size_t ci = 0; ci < conns_.size(); ++ci) {
+    Conn& conn = conns_[ci];
+    if (conn.fd < 0) continue;
+    if (!conn.helloed && now > conn.handshake_deadline_ms) {
+      drop_conn(ci, "handshake timeout");
+    } else if (conn.helloed &&
+               now - conn.last_heartbeat_ms > opts_.worker_timeout_ms) {
+      drop_conn(ci, "heartbeats stopped");
+    } else if (conn.helloed && conn.current_shard >= 0 &&
+               now - conn.last_progress_ms > opts_.worker_timeout_ms) {
+      // Alive (heartbeats flow) but no RECORD traffic for its shard: the
+      // tail of the shard — or its DONE — was lost in transit. Put the
+      // shard back in play without closing the worker; any late duplicates
+      // land in the dedup layer.
+      const std::size_t sid = static_cast<std::size_t>(conn.current_shard);
+      conn.current_shard = -1;
+      conn.last_progress_ms = now;
+      if (shards_[sid].state == ShardState::Assigned &&
+          shards_[sid].holder_serial == conn.serial) {
+        retry_shard(sid, now);
+      }
+    }
+  }
+  if (opts_.shard_timeout_ms > 0) {
+    for (std::size_t sid = 0; sid < shards_.size(); ++sid) {
+      Shard& s = shards_[sid];
+      if (s.state != ShardState::Assigned || s.deadline_ms == 0 || now <= s.deadline_ms) {
+        continue;
+      }
+      stats_.shards_timed_out++;
+      // Reassign without closing the holder: the straggler keeps streaming
+      // and its late records land in the dedup layer.
+      for (Conn& c : conns_) {
+        if (c.serial == s.holder_serial) c.current_shard = -1;
+      }
+      retry_shard(sid, now);
+    }
+  }
+}
+
+void Coordinator::assign_pending(std::int64_t now) {
+  for (std::size_t ci = 0; ci < conns_.size(); ++ci) {
+    Conn& conn = conns_[ci];
+    if (conn.fd < 0 || !conn.helloed || conn.current_shard >= 0) continue;
+    for (std::size_t sid = 0; sid < shards_.size(); ++sid) {
+      Shard& s = shards_[sid];
+      if (s.state != ShardState::Pending || s.eligible_at_ms > now) continue;
+      AssignMsg msg;
+      msg.shard_id = sid;
+      msg.run_begin = s.begin;
+      msg.run_end = s.end;
+      if (!send_frame(conn.fd, FrameType::Assign, encode_assign(msg),
+                      opts_.send_timeout_ms)) {
+        drop_conn(ci, "assign write failed");
+        break;
+      }
+      s.state = ShardState::Assigned;
+      s.holder_serial = conn.serial;
+      s.deadline_ms = opts_.shard_timeout_ms > 0 ? now + opts_.shard_timeout_ms : 0;
+      conn.current_shard = static_cast<std::int64_t>(sid);
+      conn.last_progress_ms = now;
+      break;
+    }
+  }
+}
+
+void Coordinator::degrade_if_stranded(std::int64_t now) {
+  if (slots_filled_ == records_.size()) return;
+  for (const Conn& c : conns_) {
+    if (c.fd >= 0) return;  // someone is connected (or mid-handshake)
+  }
+  if (now - last_worker_seen_ms_ < opts_.connect_wait_ms) return;
+  // No workers, none arriving: finish the sweep in-process. The records are
+  // the same pure functions of (grid, seed, index, rep) either way.
+  for (std::size_t sid = 0; sid < shards_.size(); ++sid) {
+    if (shards_[sid].state != ShardState::Done) run_shard_locally(sid);
+  }
+}
+
+std::vector<sim::RunRecord> Coordinator::run(const std::vector<sim::ResultSink*>& sinks) {
+  while (slots_filled_ < records_.size()) {
+    std::vector<pollfd> fds;
+    fds.push_back(pollfd{listen_fd_, POLLIN, 0});
+    for (const Conn& c : conns_) {
+      if (c.fd >= 0) fds.push_back(pollfd{c.fd, POLLIN, 0});
+    }
+    (void)::poll(fds.data(), static_cast<nfds_t>(fds.size()), 10);
+
+    std::int64_t now = now_ms();
+    accept_new(now);
+    for (std::size_t ci = 0; ci < conns_.size(); ++ci) {
+      if (conns_[ci].fd >= 0) pump_conn(ci, now);
+    }
+    now = now_ms();
+    check_deadlines(now);
+    assign_pending(now);
+    degrade_if_stranded(now);
+    conns_.erase(std::remove_if(conns_.begin(), conns_.end(),
+                                [](const Conn& c) { return c.fd < 0; }),
+                 conns_.end());
+  }
+
+  for (Conn& c : conns_) {
+    if (c.fd < 0) continue;
+    (void)send_frame(c.fd, FrameType::Shutdown, {}, opts_.send_timeout_ms);
+  }
+  // Drain until each worker closes its end. Closing immediately after the
+  // Shutdown frame races with in-flight heartbeats: a worker write landing on
+  // our closed socket triggers an RST that can flush the unread Shutdown out
+  // of the worker's receive buffer, turning a clean stop into a spurious
+  // connection-loss exit over there.
+  const std::int64_t drain_deadline = now_ms() + 500;
+  for (;;) {
+    std::vector<pollfd> fds;
+    for (const Conn& c : conns_) {
+      if (c.fd >= 0) fds.push_back(pollfd{c.fd, POLLIN, 0});
+    }
+    if (fds.empty() || now_ms() >= drain_deadline) break;
+    (void)::poll(fds.data(), static_cast<nfds_t>(fds.size()), 20);
+    for (Conn& c : conns_) {
+      if (c.fd < 0) continue;
+      std::vector<std::uint8_t> discard;
+      if (read_available(c.fd, discard) < 0) {  // EOF: worker saw Shutdown
+        close_fd(c.fd);
+        c.fd = -1;
+      }
+    }
+  }
+  for (Conn& c : conns_) {
+    if (c.fd >= 0) close_fd(c.fd);
+    c.fd = -1;
+  }
+  conns_.clear();
+
+  // Identical sink protocol to SweepRunner::run — this is the byte-identity
+  // guarantee: same records, same order, same meta gate.
+  sim::SweepMeta meta;
+  meta.base_seed = grid_.base_seed;
+  meta.num_runs = specs_.size();
+  meta.threads = sim::ThreadPool::resolve_threads(sweep_opts_.threads);
+  meta.include_timing = sweep_opts_.include_timing;
+  meta.fabric = &stats_;
+  for (sim::ResultSink* sink : sinks) sink->begin(meta);
+  for (const sim::RunRecord& rec : records_) {
+    for (sim::ResultSink* sink : sinks) sink->consume(rec);
+  }
+  for (sim::ResultSink* sink : sinks) sink->end();
+  if (sweep_opts_.metrics != nullptr) {
+    for (const sim::RunRecord& rec : records_) {
+      obs::publish_record(*sweep_opts_.metrics, rec);
+    }
+  }
+  return records_;
+}
+
+}  // namespace gkr::dist

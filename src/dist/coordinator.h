@@ -1,0 +1,144 @@
+// Coordinator side of the distributed sweep fabric (DESIGN.md §16).
+//
+// The coordinator owns the canonical grid expansion and a slot per run
+// index. It slices the run range into contiguous shards, hands one shard at
+// a time to each connected worker, and accepts RECORD frames into slots —
+// deduplicating by run index, so retries and straggling workers can only
+// ever fill a hole, never change an answer. When every slot is full it
+// feeds the sinks in (grid_index, rep) order, which is why a distributed
+// sweep's JSONL/CSV is byte-identical to a single-process run.
+//
+// Fault tolerance is retry-with-backoff all the way down:
+//
+//   · a worker whose heartbeats stop (worker_timeout_ms) is declared dead;
+//     its connection is closed and its shard goes back to pending with
+//     capped exponential backoff,
+//   · a shard that misses its optional deadline (shard_timeout_ms) is
+//     reassigned the same way while the original worker keeps streaming
+//     into the dedup layer,
+//   · a shard that exhausts max_shard_retries — or a sweep with no workers
+//     left after connect_wait_ms — degrades to local in-process execution
+//     on the coordinator's own SweepRunner, so the sweep always terminates
+//     with a full record set.
+//
+// The single-threaded poll() loop plus per-connection FaultInjector (the
+// injector sits between frame splitting and frame decoding) keeps faulty
+// runs replayable: no coordinator state is touched from another thread.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "dist/fault_plan.h"
+#include "dist/wire.h"
+#include "sim/param_grid.h"
+#include "sim/result_sink.h"
+#include "sim/sweep_runner.h"
+
+namespace gkr::dist {
+
+struct CoordinatorOptions {
+  std::uint16_t port = 0;  // 0 = ephemeral; read back via Coordinator::port()
+
+  // Shard size in runs; 0 = auto (num_runs / (8 · expected_workers), clamped
+  // to [1, 64]) so every worker sees several shards and a lost worker costs
+  // little redone work.
+  std::size_t shard_size = 0;
+  int expected_workers = 1;
+
+  // Liveness: a worker is alive iff HEARTBEAT frames arrive. RECORD traffic
+  // deliberately does not refresh the deadline — a frozen heartbeat stream
+  // must be able to kill an otherwise chatty worker deterministically.
+  int worker_timeout_ms = 2000;
+  int handshake_timeout_ms = 2000;
+
+  // Optional per-shard wall-clock deadline (0 = off). Expiry reassigns the
+  // shard without closing the original worker; duplicates dedup by slot.
+  int shard_timeout_ms = 0;
+
+  // Retry/backoff: a shard's k-th retry becomes eligible after
+  // min(backoff_cap_ms, backoff_base_ms << (k-1)); past max_shard_retries it
+  // is executed locally.
+  int max_shard_retries = 4;
+  int backoff_base_ms = 25;
+  int backoff_cap_ms = 1000;
+
+  // With zero live workers, wait this long for one to (re)connect before
+  // degrading the remaining shards to local execution.
+  int connect_wait_ms = 2000;
+
+  int send_timeout_ms = 5000;
+
+  // Fault injection on inbound worker traffic (tests/CI only).
+  FaultPlan faults;
+};
+
+class Coordinator {
+ public:
+  // Binds the listen socket immediately (throws std::runtime_error if the
+  // bind fails); workers may connect before run() is entered.
+  Coordinator(sim::ParamGrid grid, sim::SweepOptions sweep_opts,
+              CoordinatorOptions opts);
+  ~Coordinator();
+
+  Coordinator(const Coordinator&) = delete;
+  Coordinator& operator=(const Coordinator&) = delete;
+
+  // The bound TCP port (resolves port=0 binds).
+  int port() const noexcept { return port_; }
+
+  // Drive the sweep to completion: accept workers, assign shards, collect
+  // records, retry/degrade as needed, then feed sinks in (grid_index, rep)
+  // order and fold metrics exactly like SweepRunner::run. Returns the full
+  // record vector.
+  std::vector<sim::RunRecord> run(const std::vector<sim::ResultSink*>& sinks);
+
+  const sim::FabricStats& stats() const noexcept { return stats_; }
+
+ private:
+  struct Shard;
+  struct Conn;
+
+  std::int64_t now_ms() const;
+  void accept_new(std::int64_t now);
+  void pump_conn(std::size_t ci, std::int64_t now);
+  bool handle_frame(Conn& conn, const Frame& frame, std::int64_t now);
+  void accept_record(Conn& conn, const RecordMsg& msg);
+  void assign_pending(std::int64_t now);
+  void check_deadlines(std::int64_t now);
+  void drop_conn(std::size_t ci, const char* why);
+  void release_shard(Conn& conn, std::int64_t now);
+  void retry_shard(std::size_t shard_id, std::int64_t now);
+  void run_shard_locally(std::size_t shard_id);
+  void degrade_if_stranded(std::int64_t now);
+  std::size_t shard_of(std::uint64_t run_index) const {
+    return static_cast<std::size_t>(run_index) / shard_runs_;
+  }
+
+  sim::ParamGrid grid_;
+  sim::SweepOptions sweep_opts_;
+  CoordinatorOptions opts_;
+  sim::SweepRunner local_runner_;  // handshake digest source + degrade path
+
+  std::vector<sim::RunSpec> specs_;
+  std::uint64_t grid_digest_ = 0;
+
+  std::vector<sim::RunRecord> records_;
+  std::vector<char> have_;
+  std::size_t slots_filled_ = 0;
+
+  std::vector<Shard> shards_;
+  std::size_t shards_done_ = 0;
+  std::size_t shard_runs_ = 1;
+
+  std::vector<Conn> conns_;
+  std::uint64_t next_serial_ = 1;
+  int listen_fd_ = -1;
+  int port_ = -1;
+  std::int64_t last_worker_seen_ms_ = 0;
+
+  sim::FabricStats stats_;
+};
+
+}  // namespace gkr::dist

@@ -1,0 +1,129 @@
+#include "dist/fault_plan.h"
+
+#include <cstdlib>
+
+namespace gkr::dist {
+
+namespace {
+
+// splitmix64 finalizer — same mixer the sweep seed derivation uses; good
+// enough to decorrelate (seed, worker, counter) triples.
+std::uint64_t mix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+bool parse_rate(const std::string& text, double& out) {
+  char* end = nullptr;
+  const double v = std::strtod(text.c_str(), &end);
+  if (end == nullptr || *end != '\0' || v < 0.0 || v > 1.0) return false;
+  out = v;
+  return true;
+}
+
+bool parse_int(const std::string& text, long& out) {
+  char* end = nullptr;
+  const long v = std::strtol(text.c_str(), &end, 10);
+  if (end == nullptr || *end != '\0' || text.empty() || v < 0) return false;
+  out = v;
+  return true;
+}
+
+}  // namespace
+
+bool FaultPlan::parse(const std::string& spec, FaultPlan& out, std::string& error) {
+  FaultPlan plan;
+  std::size_t pos = 0;
+  while (pos <= spec.size()) {
+    const std::size_t comma = spec.find(',', pos);
+    const std::string item =
+        spec.substr(pos, comma == std::string::npos ? std::string::npos : comma - pos);
+    pos = comma == std::string::npos ? spec.size() + 1 : comma + 1;
+    if (item.empty()) continue;
+
+    const std::size_t colon = item.find(':');
+    if (colon == std::string::npos) {
+      error = "fault item '" + item + "' has no ':' (expected kind:value)";
+      return false;
+    }
+    const std::string kind = item.substr(0, colon);
+    const std::string value = item.substr(colon + 1);
+
+    if (kind == "drop" || kind == "corrupt" || kind == "truncate") {
+      double rate = 0.0;
+      if (!parse_rate(value, rate)) {
+        error = "fault rate '" + value + "' for '" + kind + "' is not in [0,1]";
+        return false;
+      }
+      (kind == "drop" ? plan.drop_rate
+                      : kind == "corrupt" ? plan.corrupt_rate : plan.truncate_rate) = rate;
+    } else if (kind == "kill") {
+      // kill:W@K — worker W dies after its K-th RECORD.
+      const std::size_t at = value.find('@');
+      long worker = 0;
+      long after = 0;
+      if (at == std::string::npos || !parse_int(value.substr(0, at), worker) ||
+          !parse_int(value.substr(at + 1), after)) {
+        error = "kill spec '" + value + "' is not W@K";
+        return false;
+      }
+      plan.kill_worker = static_cast<std::int32_t>(worker);
+      plan.kill_after_records = after;
+    } else if (kind == "freeze") {
+      long worker = 0;
+      if (!parse_int(value, worker)) {
+        error = "freeze spec '" + value + "' is not a worker id";
+        return false;
+      }
+      plan.freeze_worker = static_cast<std::int32_t>(worker);
+    } else {
+      error = "unknown fault kind '" + kind + "'";
+      return false;
+    }
+  }
+  out = plan;
+  return true;
+}
+
+double FaultInjector::next_unit() {
+  const std::uint64_t h = mix64(plan_.seed ^ mix64(static_cast<std::uint64_t>(worker_id_) ^
+                                                   (counter_++ << 32)));
+  // Top 53 bits → uniform double in [0,1).
+  return static_cast<double>(h >> 11) * 0x1.0p-53;
+}
+
+FaultAction FaultInjector::classify(FrameType type) {
+  // Freeze is an identity fault, not a rate: it silently eats heartbeats so
+  // the liveness deadline fires while the data stream looks healthy.
+  if (plan_.freeze_worker >= 0 &&
+      static_cast<std::uint32_t>(plan_.freeze_worker) == worker_id_ &&
+      type == FrameType::Heartbeat) {
+    return FaultAction::Drop;
+  }
+  // HELLO frames are exempt from the rate faults: a worker that can never
+  // complete its handshake contributes nothing to the sweep, and the plans
+  // are meant to perturb steady-state traffic, not admission.
+  if (type == FrameType::Hello) return FaultAction::Deliver;
+  const double roll = next_unit();
+  if (roll < plan_.drop_rate) return FaultAction::Drop;
+  if (roll < plan_.drop_rate + plan_.corrupt_rate) return FaultAction::Corrupt;
+  if (roll < plan_.drop_rate + plan_.corrupt_rate + plan_.truncate_rate) {
+    return FaultAction::Truncate;
+  }
+  return FaultAction::Deliver;
+}
+
+void FaultInjector::flip_payload_bit(std::vector<std::uint8_t>& raw_frame) {
+  // Keep the 4-byte length prefix intact so the frame still splits cleanly;
+  // anything from the type byte onward is fair game and is covered by the
+  // CRC, so the flip is guaranteed to be detected.
+  if (raw_frame.size() <= 4) return;
+  const std::uint64_t h = mix64(plan_.seed ^ mix64(0xF11Bu ^ counter_++));
+  const std::size_t span_bits = (raw_frame.size() - 4) * 8;
+  const std::size_t bit = static_cast<std::size_t>(h % span_bits);
+  raw_frame[4 + bit / 8] ^= static_cast<std::uint8_t>(1u << (bit % 8));
+}
+
+}  // namespace gkr::dist

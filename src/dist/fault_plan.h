@@ -1,0 +1,96 @@
+// Deterministic fault injection for the distributed sweep fabric
+// (DESIGN.md §16).
+//
+// The paper's thesis is that a fixed protocol survives a channel inserting,
+// deleting, and substituting symbols; the fabric makes the same claim about
+// its own wire protocol, and this is the adversary that tests it. A
+// FaultPlan sits on the coordinator's *inbound* transport — between frame
+// splitting and frame decoding — and mangles worker traffic:
+//
+//   drop      — discard the frame (a deleted message)
+//   corrupt   — flip one payload bit (a substitution; the CRC must catch it)
+//   truncate  — tear the stream (the connection is poisoned and closed, as
+//               if the transport lost framing mid-frame)
+//   kill:W@K  — close worker W's connection after its K-th RECORD frame
+//               (a worker crash mid-shard)
+//   freeze:W  — drop every HEARTBEAT from worker W (a live-but-silent
+//               worker, which the liveness deadline must declare dead)
+//
+// Every decision is a pure function of (seed, worker id, per-connection
+// frame ordinal) — no wall clock, no global state — so a faulty run is
+// replayable: same plan + same seed ⇒ the same frames get the same
+// treatment. The acceptance bar is that sweep *output* is byte-identical to
+// a clean run under any plan, because every fault funnels into CRC
+// rejection, shard retry, or worker reassignment — never into a wrong
+// record.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "dist/wire.h"
+
+namespace gkr::dist {
+
+struct FaultPlan {
+  std::uint64_t seed = 1;
+
+  // Per-inbound-frame fault rates (mutually exclusive per frame; evaluated
+  // in this order against one uniform draw).
+  double drop_rate = 0.0;
+  double corrupt_rate = 0.0;
+  double truncate_rate = 0.0;
+
+  // Identity faults.
+  std::int32_t kill_worker = -1;       // worker id, or -1 for none
+  std::int64_t kill_after_records = 0;  // RECORD frames before the kill
+  std::int32_t freeze_worker = -1;     // worker id whose heartbeats vanish
+
+  bool any() const {
+    return drop_rate > 0.0 || corrupt_rate > 0.0 || truncate_rate > 0.0 ||
+           kill_worker >= 0 || freeze_worker >= 0;
+  }
+
+  // Parse a comma-separated spec: "kill:W@K", "freeze:W", "drop:R",
+  // "corrupt:R", "truncate:R" (R in [0,1]). Returns false with a message on
+  // malformed input.
+  static bool parse(const std::string& spec, FaultPlan& out, std::string& error);
+};
+
+// What to do with one inbound frame.
+enum class FaultAction { Deliver, Drop, Corrupt, Truncate };
+
+// Per-connection injector. Decisions consume a counter-based stream keyed by
+// (plan seed, worker id), so they do not depend on how frames from different
+// workers interleave at the coordinator.
+class FaultInjector {
+ public:
+  FaultInjector(const FaultPlan& plan, std::uint32_t worker_id)
+      : plan_(plan), worker_id_(worker_id) {}
+
+  // Classify the next inbound frame (advances the decision counter).
+  FaultAction classify(FrameType type);
+
+  // Corrupt action helper: flip one payload bit of a raw frame in place.
+  // The bit index is drawn from the same deterministic stream; bits in the
+  // length prefix are never touched (framing must survive so the CRC, not
+  // the splitter, is what rejects the frame).
+  void flip_payload_bit(std::vector<std::uint8_t>& raw_frame);
+
+  // True exactly when this connection's records_received count hits the
+  // plan's kill threshold for this worker.
+  bool should_kill(std::int64_t records_received) const {
+    return plan_.kill_worker >= 0 &&
+           static_cast<std::uint32_t>(plan_.kill_worker) == worker_id_ &&
+           records_received >= plan_.kill_after_records;
+  }
+
+ private:
+  double next_unit();  // uniform in [0,1), deterministic
+
+  FaultPlan plan_;
+  std::uint32_t worker_id_;
+  std::uint64_t counter_ = 0;
+};
+
+}  // namespace gkr::dist

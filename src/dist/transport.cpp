@@ -1,0 +1,142 @@
+#include "dist/transport.h"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace gkr::dist {
+
+namespace {
+
+// Frames are tiny (a RunRecord is a few hundred bytes); Nagle would add
+// 40 ms hiccups to the heartbeat/record stream for nothing.
+void disable_nagle(int fd) {
+  int one = 1;
+  (void)setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+}
+
+}  // namespace
+
+int listen_on(std::uint16_t port, int backlog) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return -1;
+  int one = 1;
+  (void)setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0 ||
+      ::listen(fd, backlog) != 0) {
+    close_fd(fd);
+    return -1;
+  }
+  return fd;
+}
+
+int bound_port(int listen_fd) {
+  sockaddr_in addr{};
+  socklen_t len = sizeof(addr);
+  if (::getsockname(listen_fd, reinterpret_cast<sockaddr*>(&addr), &len) != 0) return -1;
+  return static_cast<int>(ntohs(addr.sin_port));
+}
+
+int connect_to(const std::string& host, int port, int timeout_ms) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return -1;
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<std::uint16_t>(port));
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    close_fd(fd);
+    return -1;
+  }
+  if (!set_nonblocking(fd)) {
+    close_fd(fd);
+    return -1;
+  }
+  const int rc = ::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr));
+  if (rc != 0) {
+    if (errno != EINPROGRESS) {
+      close_fd(fd);
+      return -1;
+    }
+    pollfd p{fd, POLLOUT, 0};
+    if (::poll(&p, 1, timeout_ms) != 1) {
+      close_fd(fd);
+      return -1;
+    }
+    int err = 0;
+    socklen_t len = sizeof(err);
+    if (::getsockopt(fd, SOL_SOCKET, SO_ERROR, &err, &len) != 0 || err != 0) {
+      close_fd(fd);
+      return -1;
+    }
+  }
+  // Back to blocking for the worker's simple read loop; the coordinator
+  // flips its accepted fds nonblocking itself.
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags >= 0) (void)::fcntl(fd, F_SETFL, flags & ~O_NONBLOCK);
+  disable_nagle(fd);
+  return fd;
+}
+
+bool set_nonblocking(int fd) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  return flags >= 0 && ::fcntl(fd, F_SETFL, flags | O_NONBLOCK) == 0;
+}
+
+bool send_all(int fd, const std::uint8_t* data, std::size_t n, int timeout_ms) {
+  std::size_t sent = 0;
+  while (sent < n) {
+    const ssize_t rc = ::send(fd, data + sent, n - sent, MSG_NOSIGNAL);
+    if (rc > 0) {
+      sent += static_cast<std::size_t>(rc);
+      continue;
+    }
+    if (rc < 0 && errno == EINTR) continue;
+    if (rc < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+      pollfd p{fd, POLLOUT, 0};
+      if (::poll(&p, 1, timeout_ms) != 1) return false;
+      continue;
+    }
+    return false;
+  }
+  return true;
+}
+
+bool send_frame(int fd, FrameType type, const std::vector<std::uint8_t>& payload,
+                int timeout_ms) {
+  const std::vector<std::uint8_t> frame = encode_frame(type, payload);
+  return send_all(fd, frame.data(), frame.size(), timeout_ms);
+}
+
+std::int64_t read_available(int fd, std::vector<std::uint8_t>& out) {
+  std::uint8_t chunk[16384];
+  std::int64_t total = 0;
+  for (;;) {
+    const ssize_t rc = ::recv(fd, chunk, sizeof(chunk), 0);
+    if (rc > 0) {
+      out.insert(out.end(), chunk, chunk + rc);
+      total += rc;
+      continue;
+    }
+    if (rc == 0) return total > 0 ? total : -1;  // EOF
+    if (errno == EINTR) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) return total;
+    return -1;
+  }
+}
+
+void close_fd(int fd) {
+  if (fd >= 0) ::close(fd);
+}
+
+}  // namespace gkr::dist

@@ -1,0 +1,49 @@
+// Thin POSIX TCP helpers for the distributed sweep fabric (DESIGN.md §16).
+//
+// The fabric runs over plain loopback/LAN TCP sockets: the coordinator holds
+// a nonblocking listen socket plus one nonblocking connection per worker and
+// multiplexes them with poll(); workers use a blocking socket with a
+// poll-guarded read timeout. Everything here returns -1/false on failure and
+// never throws — connection failure is an expected event the fabric's retry
+// machinery handles, not an error condition.
+//
+// All sends use MSG_NOSIGNAL: a peer death must surface as a failed write,
+// never as SIGPIPE killing the process mid-sweep.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "dist/wire.h"
+
+namespace gkr::dist {
+
+// Bind + listen on 127.0.0.1:port (port 0 = ephemeral). Returns the fd or -1.
+int listen_on(std::uint16_t port, int backlog = 16);
+
+// The locally bound port of a listening socket (resolves ephemeral binds).
+int bound_port(int listen_fd);
+
+// Blocking connect to host:port with a deadline. Returns the fd or -1.
+int connect_to(const std::string& host, int port, int timeout_ms);
+
+bool set_nonblocking(int fd);
+
+// Write all n bytes, riding out EINTR and (for nonblocking fds) EAGAIN with
+// POLLOUT waits bounded by timeout_ms. False = the connection is broken or
+// too slow; the caller treats the peer as lost.
+bool send_all(int fd, const std::uint8_t* data, std::size_t n, int timeout_ms);
+
+// encode_frame + send_all.
+bool send_frame(int fd, FrameType type, const std::vector<std::uint8_t>& payload,
+                int timeout_ms);
+
+// Nonblocking read into `out` (appends). Returns the byte count (0 = nothing
+// available right now), or -1 on EOF/error.
+std::int64_t read_available(int fd, std::vector<std::uint8_t>& out);
+
+void close_fd(int fd);
+
+}  // namespace gkr::dist

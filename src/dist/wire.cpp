@@ -1,0 +1,471 @@
+#include "dist/wire.h"
+
+#include <array>
+#include <bit>
+#include <cstring>
+
+#include "util/rng.h"
+
+namespace gkr::dist {
+
+const char* frame_type_name(FrameType t) {
+  switch (t) {
+    case FrameType::Hello: return "HELLO";
+    case FrameType::Assign: return "ASSIGN";
+    case FrameType::Record: return "RECORD";
+    case FrameType::Heartbeat: return "HEARTBEAT";
+    case FrameType::Done: return "DONE";
+    case FrameType::Error: return "ERROR";
+    case FrameType::Shutdown: return "SHUTDOWN";
+  }
+  return "?";
+}
+
+namespace {
+
+constexpr std::array<std::uint32_t, 256> make_crc_table() {
+  std::array<std::uint32_t, 256> table{};
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint32_t c = i;
+    for (int k = 0; k < 8; ++k) c = (c & 1u) != 0 ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+    table[i] = c;
+  }
+  return table;
+}
+
+constexpr std::array<std::uint32_t, 256> kCrcTable = make_crc_table();
+
+bool valid_frame_type(std::uint8_t t) {
+  return t >= static_cast<std::uint8_t>(FrameType::Hello) &&
+         t <= static_cast<std::uint8_t>(FrameType::Shutdown);
+}
+
+std::uint32_t read_le32(const std::uint8_t* p) {
+  return static_cast<std::uint32_t>(p[0]) | (static_cast<std::uint32_t>(p[1]) << 8) |
+         (static_cast<std::uint32_t>(p[2]) << 16) | (static_cast<std::uint32_t>(p[3]) << 24);
+}
+
+}  // namespace
+
+std::uint32_t crc32_ieee(const std::uint8_t* data, std::size_t n) {
+  std::uint32_t c = 0xFFFFFFFFu;
+  for (std::size_t i = 0; i < n; ++i) {
+    c = kCrcTable[(c ^ data[i]) & 0xFFu] ^ (c >> 8);
+  }
+  return c ^ 0xFFFFFFFFu;
+}
+
+// ---------------------------------------------------------------- byte I/O
+
+void ByteWriter::u32(std::uint32_t v) {
+  buf_.push_back(static_cast<std::uint8_t>(v));
+  buf_.push_back(static_cast<std::uint8_t>(v >> 8));
+  buf_.push_back(static_cast<std::uint8_t>(v >> 16));
+  buf_.push_back(static_cast<std::uint8_t>(v >> 24));
+}
+
+void ByteWriter::u64(std::uint64_t v) {
+  u32(static_cast<std::uint32_t>(v));
+  u32(static_cast<std::uint32_t>(v >> 32));
+}
+
+void ByteWriter::f64(double v) { u64(std::bit_cast<std::uint64_t>(v)); }
+
+void ByteWriter::str(std::string_view s) {
+  u32(static_cast<std::uint32_t>(s.size()));
+  buf_.insert(buf_.end(), s.begin(), s.end());
+}
+
+bool ByteReader::take(std::size_t k) {
+  if (fail_ || n_ - pos_ < k) {
+    fail_ = true;
+    return false;
+  }
+  return true;
+}
+
+std::uint8_t ByteReader::u8() {
+  if (!take(1)) return 0;
+  return p_[pos_++];
+}
+
+std::uint32_t ByteReader::u32() {
+  if (!take(4)) return 0;
+  const std::uint32_t v = read_le32(p_ + pos_);
+  pos_ += 4;
+  return v;
+}
+
+std::uint64_t ByteReader::u64() {
+  const std::uint64_t lo = u32();
+  const std::uint64_t hi = u32();
+  return lo | (hi << 32);
+}
+
+double ByteReader::f64() { return std::bit_cast<double>(u64()); }
+
+std::string ByteReader::str() {
+  const std::uint32_t len = u32();
+  if (!take(len)) return {};
+  std::string s(reinterpret_cast<const char*>(p_ + pos_), len);
+  pos_ += len;
+  return s;
+}
+
+// ----------------------------------------------------------------- framing
+
+std::vector<std::uint8_t> encode_frame(FrameType type,
+                                       const std::vector<std::uint8_t>& payload) {
+  std::vector<std::uint8_t> frame;
+  frame.reserve(kFrameHeaderBytes + payload.size());
+  const std::uint32_t len = static_cast<std::uint32_t>(payload.size());
+  frame.push_back(static_cast<std::uint8_t>(len));
+  frame.push_back(static_cast<std::uint8_t>(len >> 8));
+  frame.push_back(static_cast<std::uint8_t>(len >> 16));
+  frame.push_back(static_cast<std::uint8_t>(len >> 24));
+  frame.push_back(static_cast<std::uint8_t>(type));
+  frame.push_back(0);
+  frame.push_back(0);
+  frame.push_back(0);
+  // CRC over type + padding + payload — everything after the crc field.
+  std::vector<std::uint8_t> crc_region;
+  crc_region.reserve(4 + payload.size());
+  crc_region.insert(crc_region.end(), frame.begin() + 4, frame.end());
+  crc_region.insert(crc_region.end(), payload.begin(), payload.end());
+  const std::uint32_t crc = crc32_ieee(crc_region.data(), crc_region.size());
+  frame.push_back(static_cast<std::uint8_t>(crc));
+  frame.push_back(static_cast<std::uint8_t>(crc >> 8));
+  frame.push_back(static_cast<std::uint8_t>(crc >> 16));
+  frame.push_back(static_cast<std::uint8_t>(crc >> 24));
+  frame.insert(frame.end(), payload.begin(), payload.end());
+  return frame;
+}
+
+bool decode_frame(const std::uint8_t* data, std::size_t n, Frame& out) {
+  if (n < kFrameHeaderBytes) return false;
+  const std::uint32_t len = read_le32(data);
+  if (len != n - kFrameHeaderBytes) return false;
+  const std::uint32_t stored_crc = read_le32(data + 8);
+  // The CRC region is type + padding + payload, i.e. the frame minus the
+  // length and crc words; reassemble it contiguously.
+  std::vector<std::uint8_t> crc_region;
+  crc_region.reserve(4 + len);
+  crc_region.insert(crc_region.end(), data + 4, data + 8);
+  crc_region.insert(crc_region.end(), data + kFrameHeaderBytes, data + n);
+  if (crc32_ieee(crc_region.data(), crc_region.size()) != stored_crc) return false;
+  if (!valid_frame_type(data[4])) return false;
+  out.type = static_cast<FrameType>(data[4]);
+  out.payload.assign(data + kFrameHeaderBytes, data + n);
+  return true;
+}
+
+void FrameParser::feed(const std::uint8_t* data, std::size_t n) {
+  if (poisoned_) return;
+  buf_.insert(buf_.end(), data, data + n);
+}
+
+bool FrameParser::next(std::vector<std::uint8_t>& out) {
+  if (poisoned_) return false;
+  // Reclaim the consumed prefix once it dominates the buffer.
+  if (pos_ > 4096 && pos_ * 2 > buf_.size()) {
+    buf_.erase(buf_.begin(), buf_.begin() + static_cast<std::ptrdiff_t>(pos_));
+    pos_ = 0;
+  }
+  const std::size_t avail = buf_.size() - pos_;
+  if (avail < kFrameHeaderBytes) return false;
+  const std::uint32_t len = read_le32(buf_.data() + pos_);
+  if (len > kMaxFramePayload) {
+    // A torn stream: whatever these bytes are, they are not a frame header.
+    poisoned_ = true;
+    return false;
+  }
+  const std::size_t total = kFrameHeaderBytes + len;
+  if (avail < total) return false;
+  out.assign(buf_.begin() + static_cast<std::ptrdiff_t>(pos_),
+             buf_.begin() + static_cast<std::ptrdiff_t>(pos_ + total));
+  pos_ += total;
+  return true;
+}
+
+// ---------------------------------------------------------------- messages
+
+std::vector<std::uint8_t> encode_hello(const HelloMsg& m) {
+  ByteWriter w;
+  w.u32(m.version);
+  w.u32(m.worker_id);
+  w.u64(m.grid_digest);
+  w.u64(m.num_runs);
+  return w.take();
+}
+
+bool decode_hello(const std::vector<std::uint8_t>& payload, HelloMsg& out) {
+  ByteReader r(payload.data(), payload.size());
+  out.version = r.u32();
+  out.worker_id = r.u32();
+  out.grid_digest = r.u64();
+  out.num_runs = r.u64();
+  return r.ok() && r.at_end();
+}
+
+std::vector<std::uint8_t> encode_assign(const AssignMsg& m) {
+  ByteWriter w;
+  w.u64(m.shard_id);
+  w.u64(m.run_begin);
+  w.u64(m.run_end);
+  return w.take();
+}
+
+bool decode_assign(const std::vector<std::uint8_t>& payload, AssignMsg& out) {
+  ByteReader r(payload.data(), payload.size());
+  out.shard_id = r.u64();
+  out.run_begin = r.u64();
+  out.run_end = r.u64();
+  return r.ok() && r.at_end();
+}
+
+std::vector<std::uint8_t> encode_record(const RecordMsg& m) {
+  ByteWriter w;
+  w.u64(m.shard_id);
+  w.u64(m.run_index);
+  put_record(w, m.record);
+  return w.take();
+}
+
+bool decode_record(const std::vector<std::uint8_t>& payload, RecordMsg& out) {
+  ByteReader r(payload.data(), payload.size());
+  out.shard_id = r.u64();
+  out.run_index = r.u64();
+  if (!get_record(r, out.record)) return false;
+  return r.ok() && r.at_end();
+}
+
+std::vector<std::uint8_t> encode_heartbeat(const HeartbeatMsg& m) {
+  ByteWriter w;
+  w.u32(m.worker_id);
+  w.u64(m.records_done);
+  return w.take();
+}
+
+bool decode_heartbeat(const std::vector<std::uint8_t>& payload, HeartbeatMsg& out) {
+  ByteReader r(payload.data(), payload.size());
+  out.worker_id = r.u32();
+  out.records_done = r.u64();
+  return r.ok() && r.at_end();
+}
+
+std::vector<std::uint8_t> encode_done(const DoneMsg& m) {
+  ByteWriter w;
+  w.u64(m.shard_id);
+  w.u64(m.records_sent);
+  return w.take();
+}
+
+bool decode_done(const std::vector<std::uint8_t>& payload, DoneMsg& out) {
+  ByteReader r(payload.data(), payload.size());
+  out.shard_id = r.u64();
+  out.records_sent = r.u64();
+  return r.ok() && r.at_end();
+}
+
+std::vector<std::uint8_t> encode_error(const ErrorMsg& m) {
+  ByteWriter w;
+  w.u64(m.shard_id);
+  w.str(m.message);
+  return w.take();
+}
+
+bool decode_error(const std::vector<std::uint8_t>& payload, ErrorMsg& out) {
+  ByteReader r(payload.data(), payload.size());
+  out.shard_id = r.u64();
+  out.message = r.str();
+  return r.ok() && r.at_end();
+}
+
+// -------------------------------------------------------- RunRecord codec
+
+namespace {
+
+void put_phase_longs(ByteWriter& w, const std::array<long, kNumPhases>& a) {
+  for (long v : a) w.i64(v);
+}
+
+bool get_phase_longs(ByteReader& r, std::array<long, kNumPhases>& a) {
+  for (long& v : a) v = static_cast<long>(r.i64());
+  return r.ok();
+}
+
+void put_int_vec(ByteWriter& w, const std::vector<int>& v) {
+  w.u32(static_cast<std::uint32_t>(v.size()));
+  for (int x : v) w.i32(x);
+}
+
+bool get_int_vec(ByteReader& r, std::vector<int>& v) {
+  const std::uint32_t n = r.u32();
+  if (!r.ok() || n > kMaxFramePayload / 4) return false;
+  v.resize(n);
+  for (int& x : v) x = r.i32();
+  return r.ok();
+}
+
+}  // namespace
+
+void put_record(ByteWriter& w, const sim::RunRecord& r) {
+  // Field-for-field in sim/run_record.h declaration order; doubles travel as
+  // bit patterns so the record is reproduced bit-exactly on the far side.
+  w.u64(r.grid_index);
+  w.i32(r.rep);
+  w.u64(r.run_seed);
+  w.str(r.variant);
+  w.str(r.topology);
+  w.str(r.protocol);
+  w.str(r.noise);
+  w.f64(r.mu);
+  w.i32(r.n);
+  w.i32(r.m);
+  w.i32(r.mode);
+  w.i32(r.iterations);
+  w.u8(r.success ? 1 : 0);
+  w.u8(r.timed_out ? 1 : 0);
+  w.i64(r.cc_coded);
+  w.i64(r.cc_user);
+  w.i64(r.cc_chunked);
+  w.i64(r.cc_fully_utilized);
+  w.f64(r.blowup_vs_user);
+  w.f64(r.blowup_vs_chunked);
+  w.i64(r.corruptions);
+  w.i64(r.substitutions);
+  w.i64(r.deletions);
+  w.i64(r.insertions);
+  w.f64(r.noise_fraction);
+  put_phase_longs(w, r.transmissions_by_phase);
+  put_phase_longs(w, r.corruptions_by_phase);
+  w.i64(r.hash_collisions);
+  w.i64(r.mp_truncations);
+  w.i64(r.rewind_truncations);
+  w.i64(r.rewinds_sent);
+  w.i32(r.exchange_failures);
+  w.i64(r.replayer_rebuilds);
+  w.i64(r.replayed_chunks);
+  w.u8(r.adaptive ? 1 : 0);
+  w.i32(r.ctrl_epochs);
+  w.i64(r.ctrl_switches);
+  w.i32(r.ctrl_exchange_repeats);
+  w.i32(r.ctrl_final_tier);
+  put_int_vec(w, r.ctrl_rate_q);
+  put_int_vec(w, r.ctrl_tau);
+  w.i64(r.approx_bytes);
+  w.f64(r.bytes_per_edge);
+  w.i64(r.rounds);
+  w.f64(r.rounds_per_sec);
+  w.f64(r.syms_per_sec);
+  w.f64(r.wall_ms);
+  for (double v : r.phase_wall_ms) w.f64(v);
+  w.f64(r.evaluate_wall_ms);
+  w.f64(r.ctrl_wall_ms);
+  w.f64(r.run_wall_ms);
+}
+
+bool get_record(ByteReader& r, sim::RunRecord& out) {
+  out.grid_index = r.u64();
+  out.rep = r.i32();
+  out.run_seed = r.u64();
+  out.variant = r.str();
+  out.topology = r.str();
+  out.protocol = r.str();
+  out.noise = r.str();
+  out.mu = r.f64();
+  out.n = r.i32();
+  out.m = r.i32();
+  out.mode = r.i32();
+  out.iterations = r.i32();
+  out.success = r.u8() != 0;
+  out.timed_out = r.u8() != 0;
+  out.cc_coded = static_cast<long>(r.i64());
+  out.cc_user = static_cast<long>(r.i64());
+  out.cc_chunked = static_cast<long>(r.i64());
+  out.cc_fully_utilized = static_cast<long>(r.i64());
+  out.blowup_vs_user = r.f64();
+  out.blowup_vs_chunked = r.f64();
+  out.corruptions = static_cast<long>(r.i64());
+  out.substitutions = static_cast<long>(r.i64());
+  out.deletions = static_cast<long>(r.i64());
+  out.insertions = static_cast<long>(r.i64());
+  out.noise_fraction = r.f64();
+  if (!get_phase_longs(r, out.transmissions_by_phase)) return false;
+  if (!get_phase_longs(r, out.corruptions_by_phase)) return false;
+  out.hash_collisions = static_cast<long>(r.i64());
+  out.mp_truncations = static_cast<long>(r.i64());
+  out.rewind_truncations = static_cast<long>(r.i64());
+  out.rewinds_sent = static_cast<long>(r.i64());
+  out.exchange_failures = r.i32();
+  out.replayer_rebuilds = static_cast<long>(r.i64());
+  out.replayed_chunks = static_cast<long>(r.i64());
+  out.adaptive = r.u8() != 0;
+  out.ctrl_epochs = r.i32();
+  out.ctrl_switches = static_cast<long>(r.i64());
+  out.ctrl_exchange_repeats = r.i32();
+  out.ctrl_final_tier = r.i32();
+  if (!get_int_vec(r, out.ctrl_rate_q)) return false;
+  if (!get_int_vec(r, out.ctrl_tau)) return false;
+  out.approx_bytes = static_cast<long>(r.i64());
+  out.bytes_per_edge = r.f64();
+  out.rounds = static_cast<long>(r.i64());
+  out.rounds_per_sec = r.f64();
+  out.syms_per_sec = r.f64();
+  out.wall_ms = r.f64();
+  for (double& v : out.phase_wall_ms) v = r.f64();
+  out.evaluate_wall_ms = r.f64();
+  out.ctrl_wall_ms = r.f64();
+  out.run_wall_ms = r.f64();
+  return r.ok();
+}
+
+// --------------------------------------------------------- grid fingerprint
+
+namespace {
+
+void fold_u64(std::uint64_t& h, std::uint64_t x) { h = mix64(h ^ mix64(x)); }
+
+void fold_str(std::uint64_t& h, std::string_view s) {
+  fold_u64(h, s.size());
+  std::uint64_t word = 0;
+  int shift = 0;
+  for (char c : s) {
+    word |= static_cast<std::uint64_t>(static_cast<std::uint8_t>(c)) << shift;
+    shift += 8;
+    if (shift == 64) {
+      fold_u64(h, word);
+      word = 0;
+      shift = 0;
+    }
+  }
+  if (shift != 0) fold_u64(h, word);
+}
+
+}  // namespace
+
+std::uint64_t grid_fingerprint(const sim::ParamGrid& grid) {
+  std::uint64_t h = mix64(0x6469737466616263ULL ^ kWireVersion);
+  fold_u64(h, grid.base_seed);
+  fold_u64(h, static_cast<std::uint64_t>(grid.repetitions));
+  fold_u64(h, std::bit_cast<std::uint64_t>(grid.iteration_factor));
+  fold_u64(h, grid.zip_variant_noise ? 1 : 0);
+  fold_u64(h, grid.variants.size());
+  for (Variant v : grid.variants) fold_str(h, variant_name(v));
+  fold_u64(h, grid.topologies.size());
+  for (const sim::TopologyFactory& f : grid.topologies) fold_str(h, f.name);
+  fold_u64(h, grid.protocols.size());
+  for (const sim::ProtocolFactory& f : grid.protocols) fold_str(h, f.name);
+  fold_u64(h, grid.noises.size());
+  for (const sim::NoiseFactory& f : grid.noises) {
+    fold_str(h, f.name);
+    fold_u64(h, f.mode == sim::ExecMode::Uncoded ? 1 : 0);
+  }
+  fold_u64(h, grid.noise_fractions.size());
+  for (double mu : grid.noise_fractions) fold_u64(h, std::bit_cast<std::uint64_t>(mu));
+  fold_u64(h, grid.adaptive_modes.size());
+  for (int m : grid.adaptive_modes) fold_u64(h, static_cast<std::uint64_t>(m));
+  return h;
+}
+
+}  // namespace gkr::dist

@@ -1,0 +1,216 @@
+// Wire protocol of the distributed sweep fabric (DESIGN.md §16).
+//
+// Frames are length-prefixed and CRC-checked:
+//
+//   u32 payload_len | u8 type | u8[3] zero | u32 crc | payload...
+//
+// (all integers little-endian; crc is CRC-32/IEEE over type + padding +
+// payload). The stream is framed by the length prefix alone, so a receiver
+// can always split frames before judging them: a frame whose CRC fails is
+// *rejected* — counted and discarded, the stream stays in sync — while a
+// structurally broken stream (absurd length, torn frame) poisons the parser,
+// which is the coordinator's cue to drop the connection and reassign the
+// worker's shards. That split is what makes the fault-injection tests
+// meaningful: a flipped bit must surface as a rejected frame, never as a
+// wrong RunRecord.
+//
+// Conversation (worker-initiated):
+//
+//   worker → coordinator   HELLO     { version, worker_id, grid_digest, num_runs }
+//   coordinator → worker   ASSIGN    { shard_id, run_begin, run_end }
+//   worker → coordinator   RECORD    { shard_id, run_index, RunRecord }   (streamed)
+//   worker → coordinator   DONE      { shard_id, records_sent }
+//   worker → coordinator   HEARTBEAT { worker_id, records_done }          (periodic)
+//   either direction       ERROR     { shard_id, message }
+//   coordinator → worker   SHUTDOWN  {}
+//
+// Both sides compute grid_fingerprint() over their own ParamGrid; the
+// coordinator refuses a HELLO whose digest differs (an out-of-sync worker
+// would stream records for the wrong grid — deterministically wrong is still
+// wrong).
+//
+// RunRecord serialization is field-for-field in declaration order
+// (sim/run_record.h), doubles as IEEE-754 bit patterns — a record round-trips
+// bit-exactly, which is what lets a distributed sweep promise byte-identical
+// JSONL/CSV to a single-process run.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "sim/param_grid.h"
+#include "sim/run_record.h"
+
+namespace gkr::dist {
+
+inline constexpr std::uint32_t kWireVersion = 1;
+
+// Upper bound on a frame payload; a length prefix beyond it poisons the
+// stream (a torn or hostile byte stream, not a big frame — RunRecords are a
+// few hundred bytes).
+inline constexpr std::size_t kMaxFramePayload = std::size_t{1} << 22;  // 4 MiB
+
+inline constexpr std::size_t kFrameHeaderBytes = 12;
+
+enum class FrameType : std::uint8_t {
+  Hello = 1,
+  Assign = 2,
+  Record = 3,
+  Heartbeat = 4,
+  Done = 5,
+  Error = 6,
+  Shutdown = 7,
+};
+
+const char* frame_type_name(FrameType t);
+
+// CRC-32/IEEE (reflected, poly 0xEDB88320), the classic Ethernet/zlib CRC.
+std::uint32_t crc32_ieee(const std::uint8_t* data, std::size_t n);
+
+// ---------------------------------------------------------------- byte I/O
+
+// Little-endian append-only writer for frame payloads.
+class ByteWriter {
+ public:
+  void u8(std::uint8_t v) { buf_.push_back(v); }
+  void u32(std::uint32_t v);
+  void u64(std::uint64_t v);
+  void i32(std::int32_t v) { u32(static_cast<std::uint32_t>(v)); }
+  void i64(std::int64_t v) { u64(static_cast<std::uint64_t>(v)); }
+  void f64(double v);  // IEEE-754 bit pattern
+  void str(std::string_view s);
+
+  const std::vector<std::uint8_t>& bytes() const noexcept { return buf_; }
+  std::vector<std::uint8_t> take() { return std::move(buf_); }
+
+ private:
+  std::vector<std::uint8_t> buf_;
+};
+
+// Bounds-checked little-endian reader. Out-of-range reads latch `ok() ==
+// false` and return zero values; callers check once at the end.
+class ByteReader {
+ public:
+  ByteReader(const std::uint8_t* data, std::size_t n) : p_(data), n_(n) {}
+
+  std::uint8_t u8();
+  std::uint32_t u32();
+  std::uint64_t u64();
+  std::int32_t i32() { return static_cast<std::int32_t>(u32()); }
+  std::int64_t i64() { return static_cast<std::int64_t>(u64()); }
+  double f64();
+  std::string str();
+
+  bool ok() const noexcept { return !fail_; }
+  bool at_end() const noexcept { return pos_ == n_; }
+
+ private:
+  bool take(std::size_t k);
+
+  const std::uint8_t* p_;
+  std::size_t n_;
+  std::size_t pos_ = 0;
+  bool fail_ = false;
+};
+
+// ----------------------------------------------------------------- framing
+
+struct Frame {
+  FrameType type = FrameType::Error;
+  std::vector<std::uint8_t> payload;
+};
+
+// Header + payload, ready to write to a socket.
+std::vector<std::uint8_t> encode_frame(FrameType type,
+                                       const std::vector<std::uint8_t>& payload);
+
+// Validate and strip the header of one complete raw frame (as produced by
+// FrameParser::next). Returns false on CRC mismatch or unknown type — the
+// caller counts a rejected frame and moves on.
+bool decode_frame(const std::uint8_t* data, std::size_t n, Frame& out);
+
+// Incremental splitter: feed() raw stream bytes, next() pops complete raw
+// frames (header included, *not* yet CRC-validated — the coordinator's fault
+// injector mangles raw frames between splitting and decoding, exactly like a
+// hostile network would). A structurally impossible length poisons the
+// parser permanently.
+class FrameParser {
+ public:
+  void feed(const std::uint8_t* data, std::size_t n);
+
+  // Pops the next complete raw frame into `out`; false if none buffered (or
+  // the stream is poisoned).
+  bool next(std::vector<std::uint8_t>& out);
+
+  bool poisoned() const noexcept { return poisoned_; }
+
+ private:
+  std::vector<std::uint8_t> buf_;
+  std::size_t pos_ = 0;  // consumed prefix of buf_
+  bool poisoned_ = false;
+};
+
+// ---------------------------------------------------------------- messages
+
+struct HelloMsg {
+  std::uint32_t version = kWireVersion;
+  std::uint32_t worker_id = 0;
+  std::uint64_t grid_digest = 0;
+  std::uint64_t num_runs = 0;
+};
+
+struct AssignMsg {
+  std::uint64_t shard_id = 0;
+  std::uint64_t run_begin = 0;  // [run_begin, run_end) into the expanded grid
+  std::uint64_t run_end = 0;
+};
+
+struct RecordMsg {
+  std::uint64_t shard_id = 0;
+  std::uint64_t run_index = 0;
+  sim::RunRecord record;
+};
+
+struct HeartbeatMsg {
+  std::uint32_t worker_id = 0;
+  std::uint64_t records_done = 0;
+};
+
+struct DoneMsg {
+  std::uint64_t shard_id = 0;
+  std::uint64_t records_sent = 0;
+};
+
+struct ErrorMsg {
+  std::uint64_t shard_id = 0;  // ~0 when not about a specific shard
+  std::string message;
+};
+
+std::vector<std::uint8_t> encode_hello(const HelloMsg& m);
+std::vector<std::uint8_t> encode_assign(const AssignMsg& m);
+std::vector<std::uint8_t> encode_record(const RecordMsg& m);
+std::vector<std::uint8_t> encode_heartbeat(const HeartbeatMsg& m);
+std::vector<std::uint8_t> encode_done(const DoneMsg& m);
+std::vector<std::uint8_t> encode_error(const ErrorMsg& m);
+
+bool decode_hello(const std::vector<std::uint8_t>& payload, HelloMsg& out);
+bool decode_assign(const std::vector<std::uint8_t>& payload, AssignMsg& out);
+bool decode_record(const std::vector<std::uint8_t>& payload, RecordMsg& out);
+bool decode_heartbeat(const std::vector<std::uint8_t>& payload, HeartbeatMsg& out);
+bool decode_done(const std::vector<std::uint8_t>& payload, DoneMsg& out);
+bool decode_error(const std::vector<std::uint8_t>& payload, ErrorMsg& out);
+
+// RunRecord ⇄ bytes, bit-exact (doubles as bit patterns).
+void put_record(ByteWriter& w, const sim::RunRecord& r);
+bool get_record(ByteReader& r, sim::RunRecord& out);
+
+// 64-bit fingerprint of everything that determines a sweep's output: wire
+// version, base seed, every axis's names/values, repetitions, iteration
+// factor, zip flag. Coordinator and workers must agree on it before any
+// shard is assigned.
+std::uint64_t grid_fingerprint(const sim::ParamGrid& grid);
+
+}  // namespace gkr::dist

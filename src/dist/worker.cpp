@@ -1,0 +1,158 @@
+#include "dist/worker.h"
+
+#include <sys/socket.h>
+
+#include <atomic>
+#include <cerrno>
+#include <chrono>
+#include <condition_variable>
+#include <cstdio>
+#include <exception>
+#include <mutex>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "dist/transport.h"
+#include "dist/wire.h"
+
+namespace gkr::dist {
+
+namespace {
+
+// Blocking read of whatever is available (≥1 byte). Returns the byte count,
+// or -1 on EOF/error. (transport.h's read_available is for the coordinator's
+// nonblocking fds; the worker keeps its socket blocking.)
+std::int64_t read_some(int fd, std::vector<std::uint8_t>& out) {
+  std::uint8_t chunk[16384];
+  for (;;) {
+    const ssize_t rc = ::recv(fd, chunk, sizeof(chunk), 0);
+    if (rc > 0) {
+      out.insert(out.end(), chunk, chunk + rc);
+      return rc;
+    }
+    if (rc == 0) return -1;
+    if (errno == EINTR) continue;
+    return -1;
+  }
+}
+
+}  // namespace
+
+Worker::Worker(sim::ParamGrid grid, sim::SweepOptions sweep_opts, WorkerOptions opts)
+    : grid_(grid), opts_(opts), runner_(std::move(grid), sweep_opts) {}
+
+int Worker::serve(const std::string& host, int port) {
+  const int fd = connect_to(host, port, opts_.connect_timeout_ms);
+  if (fd < 0) return 1;
+
+  const std::vector<sim::RunSpec> specs = sim::expand_grid(grid_);
+
+  // One mutex serializes every frame write: heartbeats tick from their own
+  // thread while the main thread streams records, and a frame torn by an
+  // interleaved write would poison the coordinator's parser.
+  std::mutex write_mu;
+  bool write_failed = false;
+  auto send = [&](FrameType type, const std::vector<std::uint8_t>& payload) {
+    std::lock_guard<std::mutex> lock(write_mu);
+    if (write_failed) return false;
+    if (!send_frame(fd, type, payload, opts_.send_timeout_ms)) {
+      write_failed = true;
+      return false;
+    }
+    return true;
+  };
+
+  HelloMsg hello;
+  hello.worker_id = opts_.worker_id;
+  hello.grid_digest = grid_fingerprint(grid_);
+  hello.num_runs = specs.size();
+  if (!send(FrameType::Hello, encode_hello(hello))) {
+    close_fd(fd);
+    return 1;
+  }
+
+  std::atomic<bool> stop{false};
+  std::mutex stop_mu;
+  std::condition_variable stop_cv;
+  std::thread heartbeat([&] {
+    std::unique_lock<std::mutex> lock(stop_mu);
+    while (!stop.load()) {
+      stop_cv.wait_for(lock, std::chrono::milliseconds(opts_.heartbeat_ms),
+                       [&] { return stop.load(); });
+      if (stop.load()) break;
+      HeartbeatMsg hb;
+      hb.worker_id = opts_.worker_id;
+      hb.records_done = static_cast<std::uint64_t>(records_done_.load());
+      lock.unlock();
+      (void)send(FrameType::Heartbeat, encode_heartbeat(hb));
+      lock.lock();
+    }
+  });
+  const auto finish = [&](int code) {
+    {
+      std::lock_guard<std::mutex> lock(stop_mu);
+      stop.store(true);
+    }
+    stop_cv.notify_all();
+    heartbeat.join();
+    close_fd(fd);
+    return code;
+  };
+
+  FrameParser parser;
+  std::vector<std::uint8_t> bytes;
+  std::vector<std::uint8_t> raw;
+  for (;;) {
+    bytes.clear();
+    if (read_some(fd, bytes) < 0) return finish(2);
+    parser.feed(bytes.data(), bytes.size());
+    while (parser.next(raw)) {
+      Frame frame;
+      if (!decode_frame(raw.data(), raw.size(), frame)) continue;
+      switch (frame.type) {
+        case FrameType::Assign: {
+          AssignMsg m;
+          if (!decode_assign(frame.payload, m)) break;
+          try {
+            for (std::uint64_t i = m.run_begin;
+                 i < m.run_end && i < specs.size(); ++i) {
+              RecordMsg rm;
+              rm.shard_id = m.shard_id;
+              rm.run_index = i;
+              rm.record = runner_.execute(specs[static_cast<std::size_t>(i)]);
+              if (!send(FrameType::Record, encode_record(rm))) return finish(2);
+              records_done_++;
+            }
+            DoneMsg done;
+            done.shard_id = m.shard_id;
+            done.records_sent = m.run_end - m.run_begin;
+            if (!send(FrameType::Done, encode_done(done))) return finish(2);
+          } catch (const std::exception& e) {
+            ErrorMsg err;
+            err.shard_id = m.shard_id;
+            err.message = e.what();
+            (void)send(FrameType::Error, encode_error(err));
+            return finish(2);
+          }
+          break;
+        }
+        case FrameType::Shutdown:
+          return finish(0);
+        case FrameType::Error: {
+          ErrorMsg m;
+          if (decode_error(frame.payload, m)) {
+            std::fprintf(stderr, "worker %u: coordinator error: %s\n",
+                         opts_.worker_id, m.message.c_str());
+          }
+          return finish(2);
+        }
+        default:
+          break;  // nothing else is addressed to a worker
+      }
+    }
+    if (parser.poisoned()) return finish(2);
+  }
+}
+
+}  // namespace gkr::dist

@@ -1,0 +1,53 @@
+// Worker side of the distributed sweep fabric (DESIGN.md §16).
+//
+// A worker is a SweepRunner with a socket: it builds the *same* grid as the
+// coordinator (workers are launched with identical grid-defining arguments;
+// the HELLO handshake's grid fingerprint enforces the match), connects,
+// and then loops executing ASSIGN shards — streaming one RECORD per run and
+// a DONE per shard — until SHUTDOWN or connection loss. Records come from
+// SweepRunner::execute, the identical pure function a local sweep uses, so
+// what the worker streams is bit-for-bit what the coordinator would have
+// computed itself.
+//
+// A separate heartbeat thread ticks HEARTBEAT frames while shards execute;
+// a write mutex keeps heartbeat and record frames from interleaving
+// mid-frame on the socket.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+
+#include "sim/param_grid.h"
+#include "sim/sweep_runner.h"
+
+namespace gkr::dist {
+
+struct WorkerOptions {
+  std::uint32_t worker_id = 0;
+  int heartbeat_ms = 250;
+  int connect_timeout_ms = 5000;
+  int send_timeout_ms = 5000;
+};
+
+class Worker {
+ public:
+  Worker(sim::ParamGrid grid, sim::SweepOptions sweep_opts, WorkerOptions opts);
+
+  // Serve one coordinator to completion. Returns 0 on clean SHUTDOWN,
+  // 1 if the connection could not be established, 2 on connection loss or a
+  // coordinator-reported error (e.g. grid fingerprint mismatch).
+  int serve(const std::string& host, int port);
+
+  // Runs executed across all shards served so far (read by the heartbeat
+  // thread while the main thread executes, hence atomic).
+  std::int64_t records_done() const noexcept { return records_done_.load(); }
+
+ private:
+  sim::ParamGrid grid_;
+  WorkerOptions opts_;
+  sim::SweepRunner runner_;
+  std::atomic<std::int64_t> records_done_{0};
+};
+
+}  // namespace gkr::dist

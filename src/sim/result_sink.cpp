@@ -73,6 +73,8 @@ void JsonlSink::consume(const RunRecord& r) {
   line += ",\"iterations\":" + std::to_string(r.iterations);
   line += ",\"success\":";
   line += (r.success ? "true" : "false");
+  line += ",\"timed_out\":";
+  line += (r.timed_out ? "true" : "false");
   line += ",\"cc_coded\":" + std::to_string(r.cc_coded);
   line += ",\"cc_user\":" + std::to_string(r.cc_user);
   line += ",\"cc_chunked\":" + std::to_string(r.cc_chunked);
@@ -125,7 +127,7 @@ void JsonlSink::consume(const RunRecord& r) {
 void CsvSink::begin(const SweepMeta& meta) {
   include_timing_ = meta.include_timing;
   *out_ << "grid_index,rep,run_seed,variant,topology,protocol,noise,mu,n,m,mode,"
-           "iterations,success,cc_coded,cc_user,cc_chunked,cc_fully_utilized,"
+           "iterations,success,timed_out,cc_coded,cc_user,cc_chunked,cc_fully_utilized,"
            "blowup_vs_user,blowup_vs_chunked,corruptions,substitutions,deletions,"
            "insertions,noise_fraction,hash_collisions,mp_truncations,"
            "rewind_truncations,rewinds_sent,exchange_failures,"
@@ -159,6 +161,7 @@ void CsvSink::consume(const RunRecord& r) {
   line += (r.mode == 0 ? "coded" : "uncoded");
   line += ',' + std::to_string(r.iterations);
   line += ',' + std::to_string(r.success ? 1 : 0);
+  line += ',' + std::to_string(r.timed_out ? 1 : 0);
   line += ',' + std::to_string(r.cc_coded);
   line += ',' + std::to_string(r.cc_user);
   line += ',' + std::to_string(r.cc_chunked);
@@ -202,6 +205,13 @@ void CsvSink::consume(const RunRecord& r) {
   *out_ << line;
 }
 
+void SummarySink::begin(const SweepMeta& meta) {
+  if (meta.fabric != nullptr) {
+    fabric_ = *meta.fabric;
+    have_fabric_ = true;
+  }
+}
+
 void SummarySink::consume(const RunRecord& r) {
   Group* g = nullptr;
   for (Group& cand : groups_) {
@@ -238,9 +248,23 @@ void SummarySink::end() {
                    strf("%.2f±%.2f", g.blowup_vs_chunked.mean(), g.blowup_vs_chunked.stddev()),
                    strf("%.0f", g.cc_coded.mean()), strf("%.1f", g.corruptions.mean())});
   }
+  // Retry/reassignment accounting from the distributed fabric, when one ran
+  // the sweep (DESIGN.md §16).
+  std::string fabric_line;
+  if (have_fabric_) {
+    fabric_line = strf(
+        "fabric: workers=%d lost=%d | shards=%ld retried=%ld local=%ld timed_out=%ld"
+        " | records=%ld dup=%ld | frames rejected=%ld dropped=%ld | heartbeats=%ld\n",
+        fabric_.workers_connected, fabric_.workers_lost, fabric_.shards_total,
+        fabric_.shards_retried, fabric_.shards_completed_local, fabric_.shards_timed_out,
+        fabric_.records_received, fabric_.records_deduped, fabric_.frames_rejected,
+        fabric_.frames_dropped, fabric_.heartbeats_received);
+  }
+
   // TablePrinter prints to FILE*; route through a string for ostream sinks.
   if (out_ == &std::cout) {
     table.print();
+    if (!fabric_line.empty()) std::fputs(fabric_line.c_str(), stdout);
     return;
   }
   std::string text;
@@ -253,7 +277,7 @@ void SummarySink::end() {
     text.assign(buf, len);
     std::free(buf);
   }
-  *out_ << text;
+  *out_ << text << fabric_line;
 }
 
 std::vector<SummarySink::Group> summarize(const std::vector<RunRecord>& records) {

@@ -39,6 +39,25 @@
 
 namespace gkr::sim {
 
+// Counters from the distributed sweep fabric (DESIGN.md §16): how many
+// workers served the sweep, how many were declared dead, and how much work
+// the retry/reassignment machinery had to redo. The values are wall-clock
+// and fault dependent — never part of the record stream — so they ride on
+// SweepMeta for the summary sink, not on RunRecords.
+struct FabricStats {
+  int workers_connected = 0;        // HELLO handshakes accepted
+  int workers_lost = 0;             // connections closed on the coordinator
+  long shards_total = 0;
+  long shards_retried = 0;          // reassignments (worker loss, deadline, loss-y DONE)
+  long shards_completed_local = 0;  // degraded to in-process execution
+  long shards_timed_out = 0;        // shard-deadline expiries
+  long records_received = 0;        // RECORD frames accepted into a slot
+  long records_deduped = 0;         // double completions dropped by (grid_index, rep)
+  long frames_rejected = 0;         // CRC/decode failures on inbound frames
+  long frames_dropped = 0;          // frames discarded by the fault injector
+  long heartbeats_received = 0;
+};
+
 struct SweepMeta {
   std::uint64_t base_seed = 0;
   std::size_t num_runs = 0;
@@ -47,6 +66,10 @@ struct SweepMeta {
   // the wall-clock-derived fields; when false (default) output is fully
   // deterministic.
   bool include_timing = false;
+  // Non-null only for sweeps executed by the distributed coordinator
+  // (src/dist); the summary sink appends a fabric line after its table.
+  // JSONL/CSV ignore it — record output stays identical to a local sweep.
+  const FabricStats* fabric = nullptr;
 };
 
 class ResultSink {
@@ -107,6 +130,7 @@ class SummarySink final : public ResultSink {
   // When `out` is non-null, end() prints the aggregate table to it.
   explicit SummarySink(std::ostream* out = nullptr) : out_(out) {}
 
+  void begin(const SweepMeta& meta) override;
   void consume(const RunRecord& r) override;
   void end() override;
 
@@ -115,6 +139,8 @@ class SummarySink final : public ResultSink {
  private:
   std::ostream* out_;
   std::vector<Group> groups_;
+  FabricStats fabric_;
+  bool have_fabric_ = false;
 };
 
 // Convenience: run records already collected → groups (same aggregation as

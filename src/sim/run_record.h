@@ -36,8 +36,12 @@ struct RunRecord {
   int mode = 0;       // 0 = coded, 1 = uncoded baseline
   int iterations = 0;
 
-  // Outcome.
+  // Outcome. `timed_out` marks a run the per-run watchdog abandoned
+  // (SweepOptions::run_timeout_ms, DESIGN.md §16): the record carries the
+  // run's grid coordinates but no simulation results, and success is false —
+  // the sweep keeps going instead of hanging on one wedged cell.
   bool success = false;
+  bool timed_out = false;
   long cc_coded = 0;            // CC of the executed (coded or uncoded) run
   long cc_user = 0;             // CC(Π)
   long cc_chunked = 0;          // CC of the chunked Π

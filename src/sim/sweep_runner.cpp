@@ -1,7 +1,10 @@
 #include "sim/sweep_runner.h"
 
 #include <chrono>
+#include <condition_variable>
 #include <cstdio>
+#include <memory>
+#include <stdexcept>
 #include <utility>
 
 #include "core/baselines.h"
@@ -16,15 +19,16 @@ namespace gkr::sim {
 SweepRunner::SweepRunner(ParamGrid grid, SweepOptions opts)
     : grid_(std::move(grid)), opts_(opts) {}
 
-RunRecord SweepRunner::execute(const RunSpec& spec) const {
-  const auto t0 = std::chrono::steady_clock::now();
+SweepRunner::~SweepRunner() {
+  std::lock_guard<std::mutex> lock(straggler_mu_);
+  for (std::thread& t : stragglers_) t.join();
+}
 
+RunRecord SweepRunner::spec_header(const RunSpec& spec) const {
   const Variant variant = grid_.variants[static_cast<std::size_t>(spec.variant_i)];
   const TopologyFactory& topo_f = grid_.topologies[static_cast<std::size_t>(spec.topology_i)];
   const ProtocolFactory& proto_f = grid_.protocols[static_cast<std::size_t>(spec.protocol_i)];
   const NoiseFactory& noise_f = grid_.noises[static_cast<std::size_t>(spec.noise_i)];
-  const double mu = grid_.noise_fractions[static_cast<std::size_t>(spec.mu_i)];
-  const bool adaptive = grid_.adaptive_modes[static_cast<std::size_t>(spec.adaptive_i)] != 0;
 
   RunRecord rec;
   rec.grid_index = spec.grid_index;
@@ -35,8 +39,73 @@ RunRecord SweepRunner::execute(const RunSpec& spec) const {
   rec.topology = topo_f.name;
   rec.protocol = proto_f.name;
   rec.noise = noise_f.name;
-  rec.mu = mu;
+  rec.mu = grid_.noise_fractions[static_cast<std::size_t>(spec.mu_i)];
   rec.mode = noise_f.mode == ExecMode::Uncoded ? 1 : 0;
+  rec.adaptive = noise_f.mode != ExecMode::Uncoded &&
+                 grid_.adaptive_modes[static_cast<std::size_t>(spec.adaptive_i)] != 0;
+  return rec;
+}
+
+RunRecord SweepRunner::execute(const RunSpec& spec) const {
+  if (opts_.run_timeout_ms <= 0) return execute_now(spec);
+
+  // Watchdog path: run the cell on its own thread and give up waiting at the
+  // deadline. `Slot` is shared so an abandoned run can still complete into it
+  // harmlessly after the watchdog stopped listening.
+  struct Slot {
+    std::mutex mu;
+    std::condition_variable cv;
+    bool done = false;
+    RunRecord rec;
+    std::exception_ptr error;
+  };
+  auto slot = std::make_shared<Slot>();
+  std::thread runner([this, spec, slot] {
+    RunRecord rec;
+    std::exception_ptr error;
+    try {
+      rec = execute_now(spec);
+    } catch (...) {
+      error = std::current_exception();
+    }
+    std::lock_guard<std::mutex> lock(slot->mu);
+    slot->rec = std::move(rec);
+    slot->error = error;
+    slot->done = true;
+    slot->cv.notify_all();
+  });
+
+  std::unique_lock<std::mutex> lock(slot->mu);
+  const bool finished = slot->cv.wait_for(
+      lock, std::chrono::milliseconds(opts_.run_timeout_ms), [&] { return slot->done; });
+  if (finished) {
+    lock.unlock();
+    runner.join();
+    if (slot->error != nullptr) std::rethrow_exception(slot->error);
+    return std::move(slot->rec);
+  }
+  lock.unlock();
+  {
+    std::lock_guard<std::mutex> g(straggler_mu_);
+    stragglers_.push_back(std::move(runner));
+  }
+  RunRecord rec = spec_header(spec);
+  rec.success = false;
+  rec.timed_out = true;
+  return rec;
+}
+
+RunRecord SweepRunner::execute_now(const RunSpec& spec) const {
+  const auto t0 = std::chrono::steady_clock::now();
+
+  const Variant variant = grid_.variants[static_cast<std::size_t>(spec.variant_i)];
+  const TopologyFactory& topo_f = grid_.topologies[static_cast<std::size_t>(spec.topology_i)];
+  const ProtocolFactory& proto_f = grid_.protocols[static_cast<std::size_t>(spec.protocol_i)];
+  const NoiseFactory& noise_f = grid_.noises[static_cast<std::size_t>(spec.noise_i)];
+  const double mu = grid_.noise_fractions[static_cast<std::size_t>(spec.mu_i)];
+  const bool adaptive = grid_.adaptive_modes[static_cast<std::size_t>(spec.adaptive_i)] != 0;
+
+  RunRecord rec = spec_header(spec);
 
   // Disjoint randomness streams for the run: topology sampling, the workload
   // (scheme seed + inputs), and the adversary's plan.
@@ -150,7 +219,16 @@ std::vector<RunRecord> SweepRunner::run(const std::vector<ResultSink*>& sinks) {
   std::vector<RunRecord> records(specs.size());
   const int threads = ThreadPool::resolve_threads(opts_.threads);
   parallel_for(specs.size(), threads, [&](std::size_t i) {
-    records[i] = execute(specs[i]);
+    try {
+      records[i] = execute(specs[i]);
+    } catch (const std::exception& e) {
+      // The pool rethrows the first job exception from wait(); make sure it
+      // names the failing cell when it surfaces from run().
+      throw std::runtime_error("sweep run (grid_index=" +
+                               std::to_string(specs[i].grid_index) +
+                               ", rep=" + std::to_string(specs[i].rep) +
+                               ") failed: " + e.what());
+    }
     if (opts_.progress) {
       std::fputc('.', stderr);
       std::fflush(stderr);

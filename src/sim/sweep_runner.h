@@ -9,6 +9,8 @@
 // it ran on 1 thread or 64 (wall_ms excepted, and omitted by default).
 #pragma once
 
+#include <mutex>
+#include <thread>
 #include <vector>
 
 #include "obs/obs_level.h"
@@ -39,27 +41,56 @@ struct SweepOptions {
   // obs::publish_record in (grid_index, rep) order after the parallel phase —
   // count metrics are therefore bit-identical for any thread count.
   obs::Registry* metrics = nullptr;
+
+  // Per-run watchdog (DESIGN.md §16), 0 = off. A run exceeding this
+  // wall-clock deadline is abandoned: its RunRecord carries the grid
+  // coordinates with success=false and timed_out=true, and the sweep moves
+  // on — the in-process analogue of the coordinator's shard deadline. The
+  // abandoned computation keeps running on a detached-from-the-sweep thread
+  // until it finishes (results discarded); SweepRunner joins stragglers at
+  // destruction, so a *genuinely* unbounded run blocks teardown, not the
+  // sweep's output.
+  int run_timeout_ms = 0;
 };
 
 class SweepRunner {
  public:
   explicit SweepRunner(ParamGrid grid, SweepOptions opts = {});
+  ~SweepRunner();
+
+  SweepRunner(const SweepRunner&) = delete;
+  SweepRunner& operator=(const SweepRunner&) = delete;
 
   // Execute the whole grid; records are returned in (grid_index, rep) order.
+  // A run that throws fails the sweep with the offending (grid_index, rep)
+  // prefixed to the exception message (the thread pool forwards the first
+  // job exception to the submitting thread).
   std::vector<RunRecord> run() { return run({}); }
 
   // Execute and stream the records through every sink (begin → consume in
   // deterministic order → end). Also returns the records.
   std::vector<RunRecord> run(const std::vector<ResultSink*>& sinks);
 
-  // Execute a single cell (exposed for tests and custom drivers).
+  // Execute a single cell (exposed for tests, the distributed fabric's
+  // workers, and custom drivers). Applies the run_timeout_ms watchdog.
   RunRecord execute(const RunSpec& spec) const;
 
   const ParamGrid& grid() const noexcept { return grid_; }
 
  private:
+  // The full simulation for one cell, no watchdog.
+  RunRecord execute_now(const RunSpec& spec) const;
+  // A record carrying only the cell's grid coordinates and axis names — the
+  // deterministic skeleton both execute_now and the watchdog's timed-out
+  // records start from.
+  RunRecord spec_header(const RunSpec& spec) const;
+
   ParamGrid grid_;
   SweepOptions opts_;
+
+  // Threads abandoned by the watchdog; joined at destruction.
+  mutable std::mutex straggler_mu_;
+  mutable std::vector<std::thread> stragglers_;
 };
 
 }  // namespace gkr::sim

@@ -1,5 +1,7 @@
 #include "sim/thread_pool.h"
 
+#include <utility>
+
 #include "util/assert.h"
 
 namespace gkr::sim {
@@ -38,6 +40,11 @@ void ThreadPool::submit(std::function<void()> job) {
 void ThreadPool::wait() {
   std::unique_lock<std::mutex> lock(mu_);
   idle_cv_.wait(lock, [this] { return queue_.empty() && in_flight_ == 0; });
+  if (first_error_ != nullptr) {
+    std::exception_ptr error = std::exchange(first_error_, nullptr);
+    lock.unlock();
+    std::rethrow_exception(error);
+  }
 }
 
 void ThreadPool::worker_loop() {
@@ -51,9 +58,18 @@ void ThreadPool::worker_loop() {
       queue_.pop();
       ++in_flight_;
     }
-    job();
+    // An escaping exception would cross the thread boundary and terminate the
+    // process; capture the first one for wait() instead, and keep in_flight_
+    // consistent on every path so the pool never wedges.
+    std::exception_ptr error;
+    try {
+      job();
+    } catch (...) {
+      error = std::current_exception();
+    }
     {
       std::lock_guard<std::mutex> lock(mu_);
+      if (error != nullptr && first_error_ == nullptr) first_error_ = error;
       --in_flight_;
     }
     idle_cv_.notify_all();

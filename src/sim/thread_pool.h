@@ -8,11 +8,16 @@
 //    so the schedule never affects the output);
 //  * `threads == 0` means "one worker per hardware thread";
 //  * wait() blocks until the queue is drained AND every in-flight job has
-//    returned, so submit/wait rounds can be interleaved.
+//    returned, so submit/wait rounds can be interleaved;
+//  * a job that throws never reaches the worker thread boundary (where it
+//    would std::terminate the process): the first exception is captured and
+//    rethrown from the next wait(), with the pool's accounting intact —
+//    later jobs still run, and the pool stays usable after the rethrow.
 #pragma once
 
 #include <condition_variable>
 #include <cstddef>
+#include <exception>
 #include <functional>
 #include <mutex>
 #include <queue>
@@ -32,7 +37,9 @@ class ThreadPool {
   // Enqueue a job. Must not be called after shutdown began (the destructor).
   void submit(std::function<void()> job);
 
-  // Block until all submitted jobs have completed.
+  // Block until all submitted jobs have completed. If any job threw since the
+  // last wait(), rethrows the first captured exception (subsequent ones are
+  // dropped); the pool remains consistent and reusable afterwards.
   void wait();
 
   int num_threads() const noexcept { return static_cast<int>(workers_.size()); }
@@ -50,6 +57,7 @@ class ThreadPool {
   std::condition_variable idle_cv_;   // signalled when a job finishes
   std::size_t in_flight_ = 0;
   bool stop_ = false;
+  std::exception_ptr first_error_;  // first job exception since the last wait()
 };
 
 // Run fn(i) for i in [0, n) on `threads` workers (1 means inline, no pool).

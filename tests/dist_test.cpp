@@ -1,0 +1,594 @@
+// Tests for the distributed sweep fabric (src/dist, DESIGN.md §16): wire
+// round-trips and CRC rejection, deterministic fault injection, and
+// localhost coordinator/worker sweeps — equivalence with single-process
+// execution, worker kill/freeze recovery, drop/corrupt/truncate plans,
+// shard-deadline dedup, and local degradation.
+#include <gtest/gtest.h>
+#include <sys/socket.h>
+
+#include <cstdint>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "dist/coordinator.h"
+#include "dist/fault_plan.h"
+#include "dist/transport.h"
+#include "dist/wire.h"
+#include "dist/worker.h"
+#include "sim/param_grid.h"
+#include "sim/result_sink.h"
+#include "sim/sweep_runner.h"
+
+namespace gkr::dist {
+namespace {
+
+using sim::ParamGrid;
+using sim::RunRecord;
+using sim::SweepOptions;
+
+// ------------------------------------------------------------------- wire
+
+RunRecord sample_record() {
+  RunRecord r;
+  r.grid_index = 0x1234567890abcdefULL;
+  r.rep = 7;
+  r.run_seed = 42;
+  r.variant = "crs";
+  r.topology = "ring:8";
+  r.protocol = "gossip";
+  r.noise = "greedy+echo";
+  r.mu = 0.004;
+  r.n = 8;
+  r.m = 8;
+  r.mode = 0;
+  r.iterations = 3;
+  r.success = true;
+  r.timed_out = false;
+  r.cc_coded = 123456;
+  r.cc_user = 1000;
+  r.cc_chunked = 2000;
+  r.cc_fully_utilized = 3000;
+  r.blowup_vs_user = 123.456;
+  r.blowup_vs_chunked = 61.728;
+  r.corruptions = 17;
+  r.substitutions = 10;
+  r.deletions = 4;
+  r.insertions = 3;
+  r.noise_fraction = 0.00137;
+  r.transmissions_by_phase[0] = 11;
+  r.corruptions_by_phase[1] = 5;
+  r.hash_collisions = 1;
+  r.mp_truncations = 2;
+  r.rewind_truncations = 3;
+  r.rewinds_sent = 4;
+  r.exchange_failures = 5;
+  r.replayer_rebuilds = 6;
+  r.replayed_chunks = 7;
+  r.adaptive = true;
+  r.ctrl_epochs = 2;
+  r.ctrl_switches = 1;
+  r.ctrl_exchange_repeats = 1;
+  r.ctrl_final_tier = 2;
+  r.ctrl_rate_q = {3, 9, 27};
+  r.ctrl_tau = {5, 6};
+  r.approx_bytes = 987654;
+  r.bytes_per_edge = 123456.75;
+  r.rounds = 4096;
+  r.rounds_per_sec = 1e6;
+  r.syms_per_sec = 8e6;
+  r.wall_ms = 12.5;
+  r.phase_wall_ms[2] = 3.25;
+  r.evaluate_wall_ms = 0.5;
+  r.ctrl_wall_ms = 0.125;
+  r.run_wall_ms = 11.0;
+  return r;
+}
+
+void expect_record_eq(const RunRecord& a, const RunRecord& b) {
+  EXPECT_EQ(a.grid_index, b.grid_index);
+  EXPECT_EQ(a.rep, b.rep);
+  EXPECT_EQ(a.run_seed, b.run_seed);
+  EXPECT_EQ(a.variant, b.variant);
+  EXPECT_EQ(a.topology, b.topology);
+  EXPECT_EQ(a.protocol, b.protocol);
+  EXPECT_EQ(a.noise, b.noise);
+  EXPECT_EQ(a.mu, b.mu);
+  EXPECT_EQ(a.success, b.success);
+  EXPECT_EQ(a.timed_out, b.timed_out);
+  EXPECT_EQ(a.cc_coded, b.cc_coded);
+  EXPECT_EQ(a.blowup_vs_chunked, b.blowup_vs_chunked);
+  EXPECT_EQ(a.transmissions_by_phase, b.transmissions_by_phase);
+  EXPECT_EQ(a.corruptions_by_phase, b.corruptions_by_phase);
+  EXPECT_EQ(a.ctrl_rate_q, b.ctrl_rate_q);
+  EXPECT_EQ(a.ctrl_tau, b.ctrl_tau);
+  EXPECT_EQ(a.approx_bytes, b.approx_bytes);
+  EXPECT_EQ(a.bytes_per_edge, b.bytes_per_edge);
+  EXPECT_EQ(a.rounds, b.rounds);
+  EXPECT_EQ(a.wall_ms, b.wall_ms);
+  EXPECT_EQ(a.phase_wall_ms, b.phase_wall_ms);
+  EXPECT_EQ(a.run_wall_ms, b.run_wall_ms);
+}
+
+TEST(Wire, RecordMessageRoundTripsBitExactly) {
+  RecordMsg msg;
+  msg.shard_id = 5;
+  msg.run_index = 99;
+  msg.record = sample_record();
+  const std::vector<std::uint8_t> payload = encode_record(msg);
+  RecordMsg out;
+  ASSERT_TRUE(decode_record(payload, out));
+  EXPECT_EQ(out.shard_id, 5u);
+  EXPECT_EQ(out.run_index, 99u);
+  expect_record_eq(msg.record, out.record);
+}
+
+TEST(Wire, ControlMessagesRoundTrip) {
+  HelloMsg h{kWireVersion, 3, 0xdeadbeefcafef00dULL, 132};
+  HelloMsg h2;
+  ASSERT_TRUE(decode_hello(encode_hello(h), h2));
+  EXPECT_EQ(h2.worker_id, 3u);
+  EXPECT_EQ(h2.grid_digest, h.grid_digest);
+  EXPECT_EQ(h2.num_runs, 132u);
+
+  AssignMsg a{7, 56, 64};
+  AssignMsg a2;
+  ASSERT_TRUE(decode_assign(encode_assign(a), a2));
+  EXPECT_EQ(a2.shard_id, 7u);
+  EXPECT_EQ(a2.run_begin, 56u);
+  EXPECT_EQ(a2.run_end, 64u);
+
+  ErrorMsg e{~std::uint64_t{0}, "grid fingerprint mismatch"};
+  ErrorMsg e2;
+  ASSERT_TRUE(decode_error(encode_error(e), e2));
+  EXPECT_EQ(e2.message, e.message);
+}
+
+TEST(Wire, FlippedBitIsRejectedByCrc) {
+  DoneMsg msg{3, 8};
+  const std::vector<std::uint8_t> frame = encode_frame(FrameType::Done, encode_done(msg));
+  Frame out;
+  ASSERT_TRUE(decode_frame(frame.data(), frame.size(), out));
+  // Any single-bit flip past the length prefix must be caught: the CRC
+  // covers type + padding + payload, and a flip inside the stored CRC
+  // mismatches the recomputed one.
+  for (std::size_t byte = 4; byte < frame.size(); ++byte) {
+    std::vector<std::uint8_t> bad = frame;
+    bad[byte] ^= 0x10;
+    EXPECT_FALSE(decode_frame(bad.data(), bad.size(), out)) << "byte " << byte;
+  }
+}
+
+TEST(Wire, ParserSplitsDribbledFrames) {
+  std::vector<std::uint8_t> stream;
+  for (int k = 0; k < 5; ++k) {
+    DoneMsg msg{static_cast<std::uint64_t>(k), 1};
+    const std::vector<std::uint8_t> f = encode_frame(FrameType::Done, encode_done(msg));
+    stream.insert(stream.end(), f.begin(), f.end());
+  }
+  FrameParser parser;
+  std::vector<std::vector<std::uint8_t>> raws;
+  std::vector<std::uint8_t> raw;
+  for (std::uint8_t b : stream) {  // one byte at a time
+    parser.feed(&b, 1);
+    while (parser.next(raw)) raws.push_back(raw);
+  }
+  ASSERT_EQ(raws.size(), 5u);
+  for (int k = 0; k < 5; ++k) {
+    Frame f;
+    ASSERT_TRUE(decode_frame(raws[static_cast<std::size_t>(k)].data(),
+                             raws[static_cast<std::size_t>(k)].size(), f));
+    DoneMsg msg;
+    ASSERT_TRUE(decode_done(f.payload, msg));
+    EXPECT_EQ(msg.shard_id, static_cast<std::uint64_t>(k));
+  }
+  EXPECT_FALSE(parser.poisoned());
+}
+
+TEST(Wire, AbsurdLengthPoisonsParser) {
+  // A length prefix beyond kMaxFramePayload cannot be a real frame — the
+  // stream is torn and the connection must be abandoned.
+  std::vector<std::uint8_t> junk = {0xff, 0xff, 0xff, 0xff, 1, 0, 0, 0, 0, 0, 0, 0};
+  FrameParser parser;
+  parser.feed(junk.data(), junk.size());
+  std::vector<std::uint8_t> raw;
+  EXPECT_FALSE(parser.next(raw));
+  EXPECT_TRUE(parser.poisoned());
+}
+
+TEST(Wire, GridFingerprintSeparatesGrids) {
+  ParamGrid a;
+  a.variants = {Variant::Crs};
+  a.topologies = {sim::topology_factory("ring", 5)};
+  a.protocols = {sim::protocol_factory("gossip", 6)};
+  a.noises = {sim::no_noise()};
+  a.base_seed = 9;
+  ParamGrid b = a;
+  EXPECT_EQ(grid_fingerprint(a), grid_fingerprint(b));
+  b.base_seed = 10;
+  EXPECT_NE(grid_fingerprint(a), grid_fingerprint(b));
+  ParamGrid c = a;
+  c.noise_fractions = {0.0, 0.002};
+  EXPECT_NE(grid_fingerprint(a), grid_fingerprint(c));
+  ParamGrid d = a;
+  d.repetitions = 2;
+  EXPECT_NE(grid_fingerprint(a), grid_fingerprint(d));
+}
+
+// -------------------------------------------------------------- fault plan
+
+TEST(FaultPlan, ParsesCombinedSpec) {
+  FaultPlan plan;
+  std::string err;
+  ASSERT_TRUE(FaultPlan::parse("kill:1@5,drop:0.25,corrupt:0.1,truncate:0.05,freeze:2",
+                               plan, err))
+      << err;
+  EXPECT_EQ(plan.kill_worker, 1);
+  EXPECT_EQ(plan.kill_after_records, 5);
+  EXPECT_EQ(plan.drop_rate, 0.25);
+  EXPECT_EQ(plan.corrupt_rate, 0.1);
+  EXPECT_EQ(plan.truncate_rate, 0.05);
+  EXPECT_EQ(plan.freeze_worker, 2);
+  EXPECT_TRUE(plan.any());
+}
+
+TEST(FaultPlan, RejectsMalformedSpecs) {
+  FaultPlan plan;
+  std::string err;
+  EXPECT_FALSE(FaultPlan::parse("drop:1.5", plan, err));
+  EXPECT_FALSE(FaultPlan::parse("kill:3", plan, err));
+  EXPECT_FALSE(FaultPlan::parse("explode:1", plan, err));
+  EXPECT_FALSE(FaultPlan::parse("drop", plan, err));
+  EXPECT_TRUE(FaultPlan::parse("", plan, err));
+  EXPECT_FALSE(plan.any());
+}
+
+TEST(FaultPlan, InjectorIsDeterministic) {
+  FaultPlan plan;
+  std::string err;
+  ASSERT_TRUE(FaultPlan::parse("drop:0.3,corrupt:0.2,truncate:0.1", plan, err));
+  plan.seed = 77;
+  FaultInjector a(plan, 4);
+  FaultInjector b(plan, 4);
+  FaultInjector other(plan, 5);
+  int diverged = 0;
+  for (int i = 0; i < 256; ++i) {
+    const FaultAction x = a.classify(FrameType::Record);
+    EXPECT_EQ(static_cast<int>(x), static_cast<int>(b.classify(FrameType::Record)));
+    if (x != other.classify(FrameType::Record)) diverged++;
+  }
+  EXPECT_GT(diverged, 0);  // different workers get different fault streams
+}
+
+TEST(FaultPlan, FreezeDropsOnlyHeartbeats) {
+  FaultPlan plan;
+  plan.freeze_worker = 2;
+  FaultInjector frozen(plan, 2);
+  FaultInjector healthy(plan, 1);
+  for (int i = 0; i < 16; ++i) {
+    EXPECT_EQ(static_cast<int>(frozen.classify(FrameType::Heartbeat)),
+              static_cast<int>(FaultAction::Drop));
+    EXPECT_EQ(static_cast<int>(frozen.classify(FrameType::Record)),
+              static_cast<int>(FaultAction::Deliver));
+    EXPECT_EQ(static_cast<int>(healthy.classify(FrameType::Heartbeat)),
+              static_cast<int>(FaultAction::Deliver));
+  }
+}
+
+// ----------------------------------------------------------------- fabric
+
+// The registry-adversary acceptance grid: 2 variants × 3 topologies ×
+// 1 protocol × 11 registry adversaries × 2 μ = 132 points (132 runs).
+ParamGrid acceptance_grid() {
+  ParamGrid grid;
+  grid.variants = {Variant::Crs, Variant::ExchangeOblivious};
+  grid.topologies = {sim::topology_factory("ring", 5), sim::topology_factory("line", 4),
+                     sim::topology_factory("clique", 4)};
+  grid.protocols = {sim::protocol_factory("gossip", 6)};
+  for (const std::string& name : sim::standard_noise_names()) {
+    grid.noises.push_back(sim::noise_factory(name));
+  }
+  grid.noise_fractions = {0.0, 0.002};
+  grid.repetitions = 1;
+  grid.iteration_factor = 3.0;
+  grid.base_seed = 20260808;
+  return grid;
+}
+
+// A smaller grid for the timing-sensitive fault scenarios.
+ParamGrid small_grid(int reps = 2) {
+  ParamGrid grid;
+  grid.variants = {Variant::Crs};
+  grid.topologies = {sim::topology_factory("ring", 5)};
+  grid.protocols = {sim::protocol_factory("gossip", 8)};
+  grid.noises = {sim::no_noise(), sim::uniform_oblivious_noise(),
+                 sim::stochastic_noise()};
+  grid.noise_fractions = {0.0, 0.002};
+  grid.repetitions = reps;
+  grid.base_seed = 7;
+  return grid;
+}
+
+std::string jsonl_of_local(const ParamGrid& grid, SweepOptions opts = {}) {
+  opts.threads = 2;
+  std::ostringstream out;
+  sim::JsonlSink sink(out);
+  sim::SweepRunner runner(grid, opts);
+  runner.run({&sink});
+  return out.str();
+}
+
+struct FabricResult {
+  std::string jsonl;
+  sim::FabricStats stats;
+  std::vector<int> worker_rcs;
+};
+
+// Run the grid through a coordinator plus `workers` in-process Worker
+// threads over real localhost sockets.
+FabricResult run_fabric(const ParamGrid& grid, int workers, CoordinatorOptions copts,
+                        SweepOptions opts = {}) {
+  copts.expected_workers = workers;
+  Coordinator coordinator(grid, opts, copts);
+  const int port = coordinator.port();
+
+  std::vector<int> rcs(static_cast<std::size_t>(workers), -1);
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<std::size_t>(workers));
+  for (int w = 0; w < workers; ++w) {
+    threads.emplace_back([&, w] {
+      WorkerOptions wopts;
+      wopts.worker_id = static_cast<std::uint32_t>(w);
+      wopts.heartbeat_ms = 25;
+      Worker worker(grid, opts, wopts);
+      rcs[static_cast<std::size_t>(w)] = worker.serve("127.0.0.1", port);
+    });
+  }
+
+  std::ostringstream out;
+  sim::JsonlSink sink(out);
+  coordinator.run({&sink});
+  for (std::thread& t : threads) t.join();
+
+  FabricResult result;
+  result.jsonl = out.str();
+  result.stats = coordinator.stats();
+  result.worker_rcs = rcs;
+  return result;
+}
+
+TEST(Fabric, FourWorkersMatchSingleProcessByteForByte) {
+  const ParamGrid grid = acceptance_grid();
+  const std::string local = jsonl_of_local(grid);
+  CoordinatorOptions copts;
+  const FabricResult dist = run_fabric(grid, 4, copts);
+  EXPECT_EQ(dist.stats.workers_connected, 4);
+  EXPECT_EQ(dist.stats.workers_lost, 0);
+  EXPECT_EQ(dist.stats.records_received, 132);
+  EXPECT_EQ(local, dist.jsonl);
+  for (int rc : dist.worker_rcs) EXPECT_EQ(rc, 0);
+}
+
+TEST(Fabric, KilledWorkerTriggersRetryAndOutputIsUnchanged) {
+  const ParamGrid grid = small_grid(/*reps=*/4);  // 24 runs
+  const std::string local = jsonl_of_local(grid);
+  CoordinatorOptions copts;
+  copts.shard_size = 3;
+  copts.backoff_base_ms = 5;
+  std::string err;
+  // Kill after 2 RECORDs of a 3-run shard: the death is mid-shard, so the
+  // shard must be reassigned.
+  ASSERT_TRUE(FaultPlan::parse("kill:1@2", copts.faults, err));
+  const FabricResult dist = run_fabric(grid, 4, copts);
+  EXPECT_EQ(dist.stats.workers_lost, 1);
+  EXPECT_GT(dist.stats.shards_retried, 0);
+  EXPECT_EQ(local, dist.jsonl);
+  EXPECT_EQ(dist.worker_rcs[1], 2);  // the killed worker saw its socket die
+}
+
+TEST(Fabric, DropAndCorruptPlansRecoverAndOutputIsUnchanged) {
+  const ParamGrid grid = small_grid(/*reps=*/3);  // 18 runs
+  const std::string local = jsonl_of_local(grid);
+  CoordinatorOptions copts;
+  copts.shard_size = 2;
+  copts.worker_timeout_ms = 400;  // stall recovery drives lost-tail retries
+  copts.backoff_base_ms = 5;
+  std::string err;
+  ASSERT_TRUE(FaultPlan::parse("drop:0.3,corrupt:0.3", copts.faults, err));
+  copts.faults.seed = 11;
+  const FabricResult dist = run_fabric(grid, 3, copts);
+  EXPECT_GT(dist.stats.frames_dropped, 0);
+  EXPECT_GT(dist.stats.frames_rejected, 0);  // every flipped bit CRC-rejected
+  EXPECT_EQ(local, dist.jsonl);
+}
+
+TEST(Fabric, TruncatedStreamsLoseWorkersButNotRecords) {
+  const ParamGrid grid = small_grid(/*reps=*/3);
+  const std::string local = jsonl_of_local(grid);
+  CoordinatorOptions copts;
+  copts.shard_size = 2;
+  copts.worker_timeout_ms = 400;
+  copts.backoff_base_ms = 5;
+  copts.connect_wait_ms = 100;  // all workers may die: degrade quickly
+  std::string err;
+  ASSERT_TRUE(FaultPlan::parse("truncate:0.2", copts.faults, err));
+  copts.faults.seed = 3;
+  const FabricResult dist = run_fabric(grid, 3, copts);
+  EXPECT_GT(dist.stats.workers_lost, 0);
+  EXPECT_GT(dist.stats.shards_retried, 0);
+  EXPECT_EQ(local, dist.jsonl);
+}
+
+TEST(Fabric, FrozenHeartbeatsGetWorkerDeclaredDead) {
+  // Worker 0's heartbeats are silently eaten; liveness counts heartbeats
+  // only, so it must be declared dead within worker_timeout_ms even while
+  // its RECORD stream is healthy. Enough work that the sweep outlives the
+  // timeout.
+  ParamGrid grid = small_grid(/*reps=*/10);  // 60 runs of ~5 ms each
+  grid.topologies = {sim::topology_factory("ring", 8)};
+  grid.protocols = {sim::protocol_factory("gossip", 64)};
+  const std::string local = jsonl_of_local(grid);
+  CoordinatorOptions copts;
+  copts.shard_size = 2;
+  copts.worker_timeout_ms = 120;
+  copts.backoff_base_ms = 5;
+  copts.connect_wait_ms = 200;
+  std::string err;
+  ASSERT_TRUE(FaultPlan::parse("freeze:0", copts.faults, err));
+  const FabricResult dist = run_fabric(grid, 2, copts);
+  EXPECT_GE(dist.stats.workers_lost, 1);
+  EXPECT_EQ(local, dist.jsonl);
+}
+
+TEST(Fabric, ShardDeadlineReassignsAndDedupsStragglers) {
+  ParamGrid grid = small_grid(/*reps=*/4);
+  grid.topologies = {sim::topology_factory("ring", 8)};
+  grid.protocols = {sim::protocol_factory("gossip", 64)};  // ~5 ms cells
+  const std::string local = jsonl_of_local(grid);
+  CoordinatorOptions copts;
+  // Two 12-run shards (~60 ms each) against a 10 ms deadline, with a third
+  // worker idle: the reassignment lands while the original holder is still
+  // mid-stream, so the re-execution's records are guaranteed duplicates.
+  copts.shard_size = 12;
+  copts.shard_timeout_ms = 10;
+  copts.backoff_base_ms = 1;
+  copts.backoff_cap_ms = 1;
+  copts.max_shard_retries = 100;  // keep it distributed, not degraded
+  const FabricResult dist = run_fabric(grid, 3, copts);
+  EXPECT_GT(dist.stats.shards_timed_out, 0);
+  EXPECT_GT(dist.stats.shards_retried, 0);
+  EXPECT_EQ(local, dist.jsonl);
+}
+
+// A wire-level worker that double-sends every RECORD: all duplicates except
+// possibly the final one sit in the stream ahead of later records, so the
+// coordinator must process (and dedup) them before the sweep can complete —
+// no timing dependence.
+TEST(Fabric, DuplicateRecordsAreDedupedBySlot) {
+  const ParamGrid grid = small_grid(/*reps=*/1);  // 6 runs
+  const std::string local = jsonl_of_local(grid);
+  CoordinatorOptions copts;
+  Coordinator coordinator(grid, {}, copts);
+  const int port = coordinator.port();
+
+  std::thread rogue([&] {
+    const int fd = connect_to("127.0.0.1", port, 2000);
+    ASSERT_GE(fd, 0);
+    const std::vector<sim::RunSpec> specs = sim::expand_grid(grid);
+    sim::SweepRunner runner(grid, {});
+    HelloMsg hello;
+    hello.worker_id = 0;
+    hello.grid_digest = grid_fingerprint(grid);
+    hello.num_runs = specs.size();
+    ASSERT_TRUE(send_frame(fd, FrameType::Hello, encode_hello(hello), 2000));
+    FrameParser parser;
+    std::vector<std::uint8_t> raw;
+    std::uint8_t chunk[4096];
+    for (;;) {
+      const ssize_t got = ::recv(fd, chunk, sizeof(chunk), 0);
+      if (got <= 0) break;
+      parser.feed(chunk, static_cast<std::size_t>(got));
+      bool shutdown = false;
+      while (parser.next(raw)) {
+        Frame frame;
+        ASSERT_TRUE(decode_frame(raw.data(), raw.size(), frame));
+        if (frame.type == FrameType::Shutdown) {
+          shutdown = true;
+          break;
+        }
+        if (frame.type != FrameType::Assign) continue;
+        AssignMsg m;
+        ASSERT_TRUE(decode_assign(frame.payload, m));
+        // Sends are best-effort: once the final slot fills, the coordinator
+        // shuts the connection and trailing writes legitimately fail.
+        for (std::uint64_t i = m.run_begin; i < m.run_end; ++i) {
+          RecordMsg rm;
+          rm.shard_id = m.shard_id;
+          rm.run_index = i;
+          rm.record = runner.execute(specs[static_cast<std::size_t>(i)]);
+          const std::vector<std::uint8_t> payload = encode_record(rm);
+          (void)send_frame(fd, FrameType::Record, payload, 2000);
+          (void)send_frame(fd, FrameType::Record, payload, 2000);  // dup
+        }
+        DoneMsg done{m.shard_id, m.run_end - m.run_begin};
+        (void)send_frame(fd, FrameType::Done, encode_done(done), 2000);
+      }
+      if (shutdown) break;
+    }
+    close_fd(fd);
+  });
+
+  std::ostringstream out;
+  sim::JsonlSink sink(out);
+  coordinator.run({&sink});
+  rogue.join();
+  // 6 runs double-sent: at least the first 5 duplicates precede record 6 in
+  // the stream and must have been deduped.
+  EXPECT_GE(coordinator.stats().records_deduped, 5);
+  EXPECT_EQ(coordinator.stats().records_received, 6);
+  EXPECT_EQ(local, out.str());
+}
+
+TEST(Fabric, ZeroWorkersDegradesToLocalExecution) {
+  const ParamGrid grid = small_grid(/*reps=*/1);
+  const std::string local = jsonl_of_local(grid);
+  CoordinatorOptions copts;
+  copts.connect_wait_ms = 30;
+  Coordinator coordinator(grid, {}, copts);
+  std::ostringstream out;
+  sim::JsonlSink sink(out);
+  coordinator.run({&sink});
+  EXPECT_EQ(coordinator.stats().workers_connected, 0);
+  EXPECT_EQ(coordinator.stats().shards_completed_local,
+            coordinator.stats().shards_total);
+  EXPECT_EQ(local, out.str());
+}
+
+TEST(Fabric, GridDigestMismatchRefusesWorker) {
+  const ParamGrid grid = small_grid(/*reps=*/1);
+  ParamGrid other = grid;
+  other.base_seed = 999;  // same shape, different sweep → different digest
+  CoordinatorOptions copts;
+  copts.connect_wait_ms = 150;
+  Coordinator coordinator(grid, {}, copts);
+  const int port = coordinator.port();
+  int rc = -1;
+  std::thread t([&] {
+    WorkerOptions wopts;
+    wopts.heartbeat_ms = 25;
+    Worker worker(other, {}, wopts);
+    rc = worker.serve("127.0.0.1", port);
+  });
+  std::ostringstream out;
+  sim::JsonlSink sink(out);
+  coordinator.run({&sink});
+  t.join();
+  EXPECT_EQ(rc, 2);  // coordinator sent ERROR and closed
+  EXPECT_EQ(coordinator.stats().workers_connected, 0);
+  // The sweep still finished — locally.
+  EXPECT_EQ(out.str(), jsonl_of_local(grid));
+}
+
+TEST(Fabric, SummarySinkReportsFabricCounters) {
+  const ParamGrid grid = small_grid(/*reps=*/1);
+  CoordinatorOptions copts;
+  std::ostringstream out;
+  sim::SummarySink summary(&out);
+
+  Coordinator coordinator(grid, {}, copts);
+  const int port = coordinator.port();
+  std::thread t([&] {
+    WorkerOptions wopts;
+    wopts.heartbeat_ms = 25;
+    Worker worker(grid, {}, wopts);
+    (void)worker.serve("127.0.0.1", port);
+  });
+  coordinator.run({&summary});
+  t.join();
+  EXPECT_NE(out.str().find("fabric:"), std::string::npos);
+  EXPECT_NE(out.str().find("workers=1"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace gkr::dist

@@ -7,6 +7,7 @@
 #include <cstdlib>
 #include <limits>
 #include <sstream>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
@@ -381,6 +382,122 @@ TEST(Sinks, TimingFieldsAppearOnlyThroughSweepMetaGate) {
   EXPECT_NE(header.find(",wall_ms,"), std::string::npos);
   EXPECT_NE(header.find(",wall_simulation_ms"), std::string::npos);
   EXPECT_NE(header.find(",run_wall_ms"), std::string::npos);
+}
+
+// ------------------------------------------------- exceptions & watchdog
+
+TEST(ThreadPool, JobExceptionRethrownFromWaitAndPoolStaysUsable) {
+  ThreadPool pool(3);
+  std::atomic<int> done{0};
+  for (int i = 0; i < 8; ++i) {
+    pool.submit([&done, i] {
+      if (i == 3) throw std::runtime_error("job blew up");
+      ++done;
+    });
+  }
+  try {
+    pool.wait();
+    FAIL() << "wait() must rethrow the job exception";
+  } catch (const std::runtime_error& e) {
+    EXPECT_STREQ(e.what(), "job blew up");
+  }
+  // The pool is consistent after the failure: the remaining jobs ran and new
+  // submissions execute normally.
+  pool.submit([&done] { ++done; });
+  pool.wait();
+  EXPECT_EQ(done.load(), 8);  // 7 surviving + 1 new
+}
+
+TEST(ThreadPool, ParallelForPropagatesWorkerException) {
+  EXPECT_THROW(parallel_for(16, 4,
+                            [](std::size_t i) {
+                              if (i == 5) throw std::runtime_error("cell failed");
+                            }),
+               std::runtime_error);
+}
+
+NoiseFactory throwing_noise() {
+  NoiseFactory f;
+  f.name = "throwing";
+  f.build = [](const Workload&, double, Rng&) -> BuiltNoise {
+    throw std::runtime_error("adversary construction failed");
+  };
+  return f;
+}
+
+TEST(SweepRunner, FailingCellNamesItsGridCoordinates) {
+  ParamGrid grid;
+  grid.variants = {Variant::Crs};
+  grid.topologies = {topology_factory("ring", 4)};
+  grid.protocols = {protocol_factory("gossip", 4)};
+  grid.noises = {throwing_noise()};
+  grid.base_seed = 5;
+  SweepRunner runner(grid, {});
+  try {
+    runner.run();
+    FAIL() << "run() must surface the cell exception";
+  } catch (const std::runtime_error& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("grid_index=0"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("rep=0"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("adversary construction failed"), std::string::npos) << msg;
+  }
+}
+
+// A grid whose single cell takes ~tens of milliseconds — far beyond the
+// 2 ms watchdog below, so the timeout always fires.
+ParamGrid slow_grid() {
+  ParamGrid grid;
+  grid.variants = {Variant::Crs};
+  grid.topologies = {topology_factory("rr", 192, 4)};
+  grid.protocols = {protocol_factory("gossip", 24)};
+  grid.noises = {no_noise()};
+  grid.iteration_factor = 2.0;
+  grid.base_seed = 3;
+  return grid;
+}
+
+TEST(SweepRunner, WatchdogAbandonsSlowRunWithTimedOutRecord) {
+  SweepOptions opts;
+  opts.run_timeout_ms = 2;
+  std::ostringstream jsonl;
+  JsonlSink sink(jsonl);
+  SweepRunner runner(slow_grid(), opts);
+  const std::vector<RunRecord> records = runner.run({&sink});
+  ASSERT_EQ(records.size(), 1u);
+  EXPECT_TRUE(records[0].timed_out);
+  EXPECT_FALSE(records[0].success);
+  // The record still carries the cell's grid coordinates…
+  EXPECT_EQ(records[0].grid_index, 0u);
+  EXPECT_EQ(records[0].topology, "rr:192:4");
+  EXPECT_EQ(records[0].cc_coded, 0);  // …but no simulation results
+  // …and the flag reaches the sinks.
+  EXPECT_NE(jsonl.str().find("\"timed_out\":true"), std::string::npos);
+  EXPECT_NE(jsonl.str().find("\"success\":false"), std::string::npos);
+}
+
+TEST(SweepRunner, GenerousWatchdogIsBitIdenticalToNoWatchdog) {
+  const ParamGrid grid = small_grid();
+  SweepOptions plain;
+  plain.threads = 2;
+  SweepOptions generous = plain;
+  generous.run_timeout_ms = 60000;  // never fires; the detour through the
+                                    // watchdog thread must not change records
+  std::ostringstream a, b;
+  JsonlSink sink_a(a), sink_b(b);
+  SweepRunner(grid, plain).run({&sink_a});
+  SweepRunner(grid, generous).run({&sink_b});
+  EXPECT_EQ(a.str(), b.str());
+}
+
+TEST(Sinks, TimedOutColumnPresentInCsv) {
+  ParamGrid grid = small_grid();
+  grid.repetitions = 1;
+  std::ostringstream csv;
+  CsvSink sink(csv);
+  SweepRunner(grid, {}).run({&sink});
+  const std::string header = csv.str().substr(0, csv.str().find('\n'));
+  EXPECT_NE(header.find("success,timed_out,"), std::string::npos);
 }
 
 }  // namespace
